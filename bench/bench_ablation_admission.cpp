@@ -1,0 +1,76 @@
+// Ablation / motivation experiment (§1): admission control for live
+// versus stored content.
+//
+// The paper's capacity-planning argument: rejecting a STORED request
+// defers value (the user can come back); rejecting a LIVE request
+// destroys value (the content's worth is its liveness). We serve a live
+// and a stored workload of comparable volume through servers provisioned
+// at fractions of their peak and compare the damage.
+#include "bench/common.h"
+#include "gismo/live_generator.h"
+#include "gismo/stored_generator.h"
+#include "sim/replay.h"
+
+int main() {
+    using namespace lsm;
+    bench::print_title("bench_ablation_admission", "Section 1 motivation",
+                       "under-provisioning + admission control destroys "
+                       "liveness; stored requests can retry later");
+
+    gismo::live_config lcfg = gismo::live_config::scaled(0.05);
+    lcfg.window = 7 * seconds_per_day;
+    const trace live = gismo::generate_live_workload(lcfg, 21);
+
+    gismo::stored_config scfg;
+    scfg.window = 7 * seconds_per_day;
+    scfg.arrivals = gismo::rate_profile::paper_daily(
+        lcfg.arrivals.mean_rate());
+    const trace stored = gismo::generate_stored_workload(scfg, 21);
+
+    const auto live_base = sim::replay_trace(live, sim::server_config{});
+    const auto stored_base =
+        sim::replay_trace(stored, sim::server_config{});
+    std::printf("  live workload: %zu transfers, peak %u streams\n",
+                live.size(), live_base.peak_concurrency);
+    std::printf("  stored workload: %zu transfers, peak %u streams\n",
+                stored.size(), stored_base.peak_concurrency);
+
+    std::printf("\n  %-10s %-8s %10s %10s %16s %14s\n", "workload",
+                "capacity", "admitted", "rejected", "denied (hours)",
+                "reject rate");
+    for (double frac : {0.8, 0.6, 0.4}) {
+        for (bool is_live : {true, false}) {
+            const trace& tr = is_live ? live : stored;
+            const auto& base = is_live ? live_base : stored_base;
+            sim::server_config sc;
+            sc.policy = sim::admission_policy::reject_at_capacity;
+            sc.max_concurrent_streams = static_cast<std::uint32_t>(
+                frac * static_cast<double>(base.peak_concurrency));
+            const auto r = sim::replay_trace(tr, sc);
+            std::printf("  %-10s %6.0f%% %10llu %10llu %16.1f %13.2f%%\n",
+                        is_live ? "live" : "stored", frac * 100.0,
+                        static_cast<unsigned long long>(r.admitted),
+                        static_cast<unsigned long long>(r.rejected),
+                        r.denied_live_seconds / 3600.0,
+                        100.0 * static_cast<double>(r.rejected) /
+                            static_cast<double>(tr.size()));
+        }
+    }
+
+    // The structural point: at the same relative provisioning, every
+    // rejected live second is destroyed value (denied liveness), while
+    // stored rejections are retryable. Quantify denied liveness at 60%.
+    sim::server_config sixty;
+    sixty.policy = sim::admission_policy::reject_at_capacity;
+    sixty.max_concurrent_streams = static_cast<std::uint32_t>(
+        0.6 * static_cast<double>(live_base.peak_concurrency));
+    const auto r60 = sim::replay_trace(live, sixty);
+    bench::print_row("denied live hours at 60% provisioning", 0.0,
+                     r60.denied_live_seconds / 3600.0,
+                     "(paper: must be ~0 -> plan capacity)");
+    bench::print_verdict(
+        r60.rejected > 0 && r60.denied_live_seconds > 0.0,
+        "admission control at realistic provisioning visibly denies "
+        "liveness — capacity planning is a necessity for live delivery");
+    return 0;
+}

@@ -1,0 +1,61 @@
+// Edge-delivery capacity planning (§1 names "servers, network, CDN" as
+// the infrastructure live workloads must size): map the workload onto a
+// CDN, report per-edge peaks (what each edge must be provisioned for),
+// origin egress (what the feed distribution tree carries), and how the
+// fan-out leverage grows with audience.
+#include "bench/common.h"
+#include "sim/cdn.h"
+
+int main() {
+    using namespace lsm;
+    bench::print_title("bench_ablation_cdn", "Section 1 (CDN planning)",
+                       "per-edge peaks set edge capacity; origin pays one "
+                       "feed per edge with audience");
+    const trace tr = bench::make_world_trace();
+
+    for (std::uint32_t edges : {1U, 4U, 16U}) {
+        sim::cdn_config cfg;
+        cfg.num_edges = edges;
+        cfg.feed_rate_bps = 300000.0;
+        const auto rep = sim::simulate_cdn(tr, cfg);
+        std::uint32_t max_peak = 0;
+        for (const auto& e : rep.edges) {
+            max_peak = std::max(max_peak, e.peak_concurrency);
+        }
+        std::printf("  edges=%-3u hottest-edge peak=%-6u origin TB=%.4f "
+                    "fanout=%.1fx imbalance=%.2f\n",
+                    edges, max_peak, rep.origin_bytes / 1e12,
+                    rep.fanout_factor, rep.load_imbalance);
+    }
+
+    sim::cdn_config cfg;
+    cfg.num_edges = 4;
+    const auto rep = sim::simulate_cdn(tr, cfg);
+    std::uint32_t total_peak = 0, max_peak = 0;
+    for (const auto& e : rep.edges) {
+        total_peak += e.peak_concurrency;
+        max_peak = std::max(max_peak, e.peak_concurrency);
+    }
+    bench::print_row("fanout factor at 4 edges", 5.0, rep.fanout_factor);
+    bench::print_row("hottest edge / mean edge bytes", 1.5,
+                     rep.load_imbalance);
+    // Edges split the peak: the hottest edge peak must be well below the
+    // single-server peak (sum of per-edge peaks ~ single peak).
+    const auto single = sim::simulate_cdn(tr, [] {
+        sim::cdn_config c;
+        c.num_edges = 1;
+        return c;
+    }());
+    bench::print_row("hottest-edge peak / origin-server peak", 0.4,
+                     static_cast<double>(max_peak) /
+                         static_cast<double>(
+                             single.edges[0].peak_concurrency));
+
+    bench::print_verdict(
+        rep.fanout_factor > 1.0 && rep.load_imbalance < 4.0 &&
+            max_peak < single.edges[0].peak_concurrency,
+        "edges shave the provisioning peak and the origin carries feeds, "
+        "not viewers — the capacity-planning structure live delivery "
+        "needs");
+    return 0;
+}

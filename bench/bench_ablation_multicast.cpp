@@ -1,0 +1,47 @@
+// Multicast what-if (§2.3 notes the server supported multicast but ran
+// unicast-only; Chesire et al., cited in §7, measure multicast's
+// bandwidth leverage). How much of the >8 TB unicast bill would IP
+// multicast have saved for this workload?
+#include "bench/common.h"
+#include "sim/multicast.h"
+#include "stats/descriptive.h"
+
+int main() {
+    using namespace lsm;
+    bench::print_title("bench_ablation_multicast", "Section 2.3 what-if",
+                       "unicast-only delivery pays per viewer; multicast "
+                       "pays per live feed");
+    const trace tr = bench::make_world_trace();
+
+    sim::multicast_config cfg;
+    cfg.stream_rate_bps = 300000.0;
+    const auto rep = sim::analyze_multicast_savings(tr, cfg);
+
+    bench::print_row("unicast TB served", 8.0 * bench::default_scale,
+                     rep.unicast_bytes / 1e12, "(scaled)");
+    std::printf("  multicast TB at %.0f kbps/feed: %.4f\n",
+                cfg.stream_rate_bps / 1000.0, rep.multicast_bytes / 1e12);
+    bench::print_row("savings factor (unicast/multicast)", 5.0,
+                     rep.savings_factor);
+    bench::print_row("mean audience while a feed is live", 40.0,
+                     rep.mean_audience_while_covered, "(scaled)");
+    for (std::size_t i = 0; i < rep.covered_seconds_per_object.size();
+         ++i) {
+        std::printf("  object %zu covered %lld s of %lld s window\n", i,
+                    static_cast<long long>(
+                        rep.covered_seconds_per_object[i]),
+                    static_cast<long long>(tr.window_length()));
+    }
+    bench::print_series("savings factor per 15-min bin (thinned)",
+                        rep.savings_timeline, 24);
+
+    const auto s = stats::summarize(rep.savings_timeline);
+    bench::print_row("peak-hour savings factor", 20.0, s.max, "(scaled)");
+
+    bench::print_verdict(
+        rep.savings_factor > 1.5 && s.max > 3.0 * s.median,
+        "multicast saves most exactly when the server is busiest — the "
+        "peak-load relief admission control cannot provide for live "
+        "content");
+    return 0;
+}

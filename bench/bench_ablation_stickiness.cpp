@@ -1,0 +1,62 @@
+// Stickiness decomposition (§5.3): "the source of high variability in
+// transfer sizes can be traced back to client behavior". If stickiness
+// is a client property, log transfer lengths cluster by client: the
+// between-client variance share sits far above the i.i.d. sampling
+// floor. The plain Table 2 generator (lengths i.i.d., no per-client
+// component) is the null model.
+#include "bench/common.h"
+#include "characterize/stickiness.h"
+#include "gismo/live_generator.h"
+
+int main() {
+    using namespace lsm;
+    bench::print_title("bench_ablation_stickiness", "Section 5.3",
+                       "transfer-length variability clusters by client "
+                       "(stickiness), unlike the i.i.d. null model");
+
+    const trace world_tr = bench::make_world_trace();
+    const auto measured = characterize::analyze_stickiness(world_tr);
+
+    gismo::live_config null_cfg = gismo::live_config::scaled(
+        bench::default_scale);
+    const trace null_tr =
+        gismo::generate_live_workload(null_cfg, bench::default_seed);
+    const auto null_rep = characterize::analyze_stickiness(null_tr);
+
+    std::printf("  measured world: %llu clients, %llu transfers\n",
+                static_cast<unsigned long long>(measured.clients_analyzed),
+                static_cast<unsigned long long>(
+                    measured.transfers_analyzed));
+    bench::print_row("between-client variance share, measured", 0.12,
+                     measured.between_share);
+    bench::print_row("  sampling floor for that share", 0.01,
+                     measured.sampling_floor_share);
+    bench::print_row("per-client mean log-length SD, measured", 0.5,
+                     measured.per_client_mean_sd);
+    bench::print_row("between-client share, i.i.d. null generator", 0.02,
+                     null_rep.between_share);
+    bench::print_row("  sampling floor (null)", 0.01,
+                     null_rep.sampling_floor_share);
+
+    // The discriminating quantity is the EXCESS share above the sampling
+    // floor: i.i.d. data sits on the floor, sticky data rises above it.
+    const double measured_excess =
+        measured.between_share - measured.sampling_floor_share;
+    const double null_excess =
+        null_rep.between_share - null_rep.sampling_floor_share;
+    bench::print_row("excess share above floor, measured", 0.11,
+                     measured_excess);
+    bench::print_row("excess share above floor, null", 0.0, null_excess);
+
+    bench::print_verdict(
+        measured_excess > 0.05 &&
+            measured_excess > 10.0 * std::max(null_excess, 0.004),
+        "lengths cluster by client in the measured workload and not in "
+        "the i.i.d. null — variability is client behavior, not object "
+        "structure");
+    bench::print_note(
+        "this is also a fidelity gap of the plain Table 2 model: "
+        "reproducing per-client stickiness requires the per-client "
+        "length component the world model carries.");
+    return 0;
+}

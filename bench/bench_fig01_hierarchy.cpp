@@ -1,0 +1,59 @@
+// Figure 1 / Section 2.2: the hierarchy itself — client activities
+// produce transfer ON/OFF times nested inside session ON/OFF times.
+//
+// The schematic's structural claims, made measurable:
+//   * transfer OFF ("think") times are bounded by T_o, session OFF times
+//     exceed T_o — the two OFF populations are disjoint by construction
+//     and separated by orders of magnitude in practice;
+//   * some transfers overlap (simultaneous feeds), so session ON time is
+//     not the sum of transfer lengths;
+//   * both feeds coexist inside sessions: clients switch and sometimes
+//     watch both, while the two feeds' length distributions coincide
+//     (stickiness is client behavior, not object structure — §5.3).
+#include "bench/common.h"
+#include "characterize/object_layer.h"
+#include "characterize/session_builder.h"
+#include "characterize/session_layer.h"
+#include "stats/descriptive.h"
+
+int main() {
+    using namespace lsm;
+    bench::print_title("bench_fig01_hierarchy", "Figure 1 / Section 2.2",
+                       "transfer ON/OFF nested in session ON/OFF; "
+                       "overlapping multi-feed transfers");
+    const trace tr = bench::make_world_trace();
+    const auto sessions = characterize::build_sessions(
+        tr, characterize::default_session_timeout);
+    const auto sl = characterize::analyze_session_layer(sessions);
+    const auto ol = characterize::analyze_object_layer(tr, sessions);
+
+    const auto think = stats::summarize(sl.transfer_off_times);
+    const auto off = stats::summarize(sl.off_times);
+    std::printf("  transfer OFF (think) times: n=%zu mean=%.0f max=%.0f "
+                "(all <= T_o=1500)\n",
+                sl.transfer_off_times.size(), think.mean, think.max);
+    std::printf("  session OFF times: n=%zu mean=%.0f min=%.0f "
+                "(all > T_o)\n",
+                sl.off_times.size(), off.mean, off.min);
+    bench::print_row("session-OFF mean / transfer-OFF mean", 1000.0,
+                     off.mean / think.mean);
+    std::printf("  overlapping transfer-pair fraction: %.3f (the paper "
+                "gives no number;\n   Fig 1 depicts overlap as routine)\n",
+                sl.overlap_fraction);
+
+    std::printf("  feeds: share %.2f / %.2f, switch rate %.3f, "
+                "multi-feed sessions %.3f, multi-feed clients %.3f\n",
+                ol.objects[0].transfer_share, ol.objects[1].transfer_share,
+                ol.switch_rate, ol.multi_feed_session_fraction,
+                ol.multi_feed_client_fraction);
+    bench::print_row("KS between the two feeds' length dists", 0.0,
+                     ol.length_ks_between_feeds);
+
+    bench::print_verdict(
+        think.max <= 1501.0 && off.min > 1500.0 &&
+            off.mean > 100.0 * think.mean && sl.overlap_fraction > 0.01 &&
+            ol.length_ks_between_feeds < 0.05 && ol.switch_rate > 0.05,
+        "two nested ON/OFF layers with disjoint OFF scales; overlapping "
+        "multi-feed viewing; feed-independent lengths");
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 14: marginal distribution of transfer interarrivals within a
+// single session, fitted to Lognormal(mu = 4.89991, sigma = 1.32074).
+#include "bench/common.h"
+#include "characterize/session_builder.h"
+#include "characterize/session_layer.h"
+
+int main() {
+    using namespace lsm;
+    bench::print_title("bench_fig14_intrasession_interarrival", "Figure 14",
+                       "intra-session gaps ~ Lognormal(4.900, 1.321)");
+    const trace tr = bench::make_world_trace();
+    const auto sessions = characterize::build_sessions(
+        tr, characterize::default_session_timeout);
+    const auto sl = characterize::analyze_session_layer(sessions);
+
+    std::printf("  %zu intra-session interarrivals\n",
+                sl.intra_session_interarrivals.size());
+    bench::print_triptych(sl.intra_session_interarrivals);
+    bench::print_row("lognormal mu", 4.89991, sl.intra_fit.mu);
+    bench::print_row("lognormal sigma", 1.32074, sl.intra_fit.sigma);
+    bench::print_row("KS distance of fit", 0.03, sl.intra_fit.ks);
+
+    bench::print_verdict(
+        bench::within_factor(sl.intra_fit.mu, 4.89991, 1.15) &&
+            bench::within_factor(sl.intra_fit.sigma, 1.32074, 1.25) &&
+            sl.intra_fit.ks < 0.08,
+        "lognormal with parameters near the paper's");
+    return 0;
+}

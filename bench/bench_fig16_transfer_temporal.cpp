@@ -1,0 +1,67 @@
+// Figure 16: temporal behavior of the number of concurrent transfers —
+// full trace, weekly fold, daily fold.
+//
+// Paper: "fairly similar to those we observed for the number of
+// concurrent clients over time (Figures 3 and 4)".
+#include "bench/common.h"
+#include "characterize/client_layer.h"
+#include "characterize/session_builder.h"
+#include "characterize/transfer_layer.h"
+
+int main() {
+    using namespace lsm;
+    bench::print_title("bench_fig16_transfer_temporal", "Figure 16",
+                       "transfer concurrency tracks client concurrency's "
+                       "diurnal/weekly pattern");
+    const trace tr = bench::make_world_trace();
+    const auto tl = characterize::analyze_transfer_layer(tr);
+
+    bench::print_series("active transfers per 15-min bin (left, thinned)",
+                        tl.concurrency_binned, 28);
+    bench::print_series("weekly fold (center)", tl.concurrency_weekly_fold,
+                        28);
+    bench::print_series("daily fold (right)", tl.concurrency_daily_fold,
+                        24);
+
+    // Correlation with the client-concurrency daily fold.
+    const auto sessions = characterize::build_sessions(
+        tr, characterize::default_session_timeout);
+    const auto cl = characterize::analyze_client_layer(tr, sessions);
+    const auto& a = tl.concurrency_daily_fold;
+    const auto& b = cl.concurrency_daily_fold;
+    double ma = 0.0, mb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ma += a[i];
+        mb += b[i];
+    }
+    ma /= static_cast<double>(a.size());
+    mb /= static_cast<double>(b.size());
+    double num = 0.0, da = 0.0, db = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        num += (a[i] - ma) * (b[i] - mb);
+        da += (a[i] - ma) * (a[i] - ma);
+        db += (b[i] - mb) * (b[i] - mb);
+    }
+    const double corr = num / std::sqrt(da * db);
+    bench::print_row("corr(daily transfer fold, daily client fold)", 1.0,
+                     corr);
+
+    auto hour_mean = [&](const std::vector<double>& f, int h0, int h1) {
+        double s = 0.0;
+        int n = 0;
+        for (int h = h0; h < h1; ++h) {
+            for (int q = 0; q < 4; ++q) {
+                s += f[static_cast<std::size_t>(h * 4 + q)];
+                ++n;
+            }
+        }
+        return s / n;
+    };
+    const double swing =
+        hour_mean(a, 19, 23) / hour_mean(a, 4, 11);
+    bench::print_row("evening/trough transfer concurrency", 8.0, swing);
+
+    bench::print_verdict(corr > 0.97 && swing > 3.0,
+                         "same diurnal structure as client concurrency");
+    return 0;
+}

@@ -1,0 +1,151 @@
+// Performance microbenchmarks (google-benchmark): throughput of the
+// generator, the sessionizer, the fitting routines, and the RNG — the
+// hot paths of the library.
+#include <benchmark/benchmark.h>
+
+#include "characterize/session_builder.h"
+#include "characterize/transfer_layer.h"
+#include "core/rng.h"
+#include "characterize/hierarchical.h"
+#include "gismo/arrival_process.h"
+#include "gismo/live_generator.h"
+#include "gismo/vbr.h"
+#include "stats/fitting.h"
+#include "stats/timeseries.h"
+
+namespace {
+
+using namespace lsm;
+
+void BM_RngU64(benchmark::State& state) {
+    rng r(1);
+    for (auto _ : state) benchmark::DoNotOptimize(r.next_u64());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_RngLognormal(benchmark::State& state) {
+    rng r(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(r.next_lognormal(4.4, 1.4));
+    }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_ZipfSample(benchmark::State& state) {
+    stats::zipf_dist d(0.4704, static_cast<std::uint64_t>(state.range(0)));
+    rng r(3);
+    for (auto _ : state) benchmark::DoNotOptimize(d.sample(r));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000)->Arg(900000);
+
+void BM_PiecewisePoissonDay(benchmark::State& state) {
+    const auto profile =
+        gismo::rate_profile::paper_daily(static_cast<double>(state.range(0)));
+    rng r(4);
+    for (auto _ : state) {
+        auto arrivals =
+            gismo::generate_piecewise_poisson(profile, seconds_per_day, r);
+        benchmark::DoNotOptimize(arrivals.data());
+        state.counters["arrivals"] = static_cast<double>(arrivals.size());
+    }
+}
+BENCHMARK(BM_PiecewisePoissonDay)->Arg(1)->Arg(10);
+
+void BM_GenerateLiveWorkloadDay(benchmark::State& state) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.1);
+    cfg.window = seconds_per_day;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        const trace t = gismo::generate_live_workload(cfg, ++seed);
+        benchmark::DoNotOptimize(t.records().data());
+        state.counters["transfers/s"] = benchmark::Counter(
+            static_cast<double>(t.size()), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_GenerateLiveWorkloadDay)->Unit(benchmark::kMillisecond);
+
+void BM_BuildSessions(benchmark::State& state) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.1);
+    cfg.window = 2 * seconds_per_day;
+    const trace t = gismo::generate_live_workload(cfg, 7);
+    for (auto _ : state) {
+        auto ss = characterize::build_sessions(t, 1500);
+        benchmark::DoNotOptimize(ss.sessions.data());
+        state.counters["records/s"] = benchmark::Counter(
+            static_cast<double>(t.size()), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_BuildSessions)->Unit(benchmark::kMillisecond);
+
+void BM_FitLognormal(benchmark::State& state) {
+    rng r(8);
+    std::vector<double> xs;
+    for (int i = 0; i < state.range(0); ++i) {
+        xs.push_back(r.next_lognormal(4.4, 1.4));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::fit_lognormal_mle(xs));
+    }
+}
+BENCHMARK(BM_FitLognormal)->Arg(10000)->Arg(100000);
+
+void BM_ConcurrencySeries(benchmark::State& state) {
+    rng r(9);
+    std::vector<stats::interval> intervals;
+    for (int i = 0; i < 100000; ++i) {
+        const auto start =
+            static_cast<seconds_t>(r.next_below(seconds_per_day));
+        intervals.push_back(
+            {start, start + static_cast<seconds_t>(
+                                r.next_lognormal(4.4, 1.4))});
+    }
+    for (auto _ : state) {
+        auto s = stats::concurrency_series(intervals, 60, seconds_per_day);
+        benchmark::DoNotOptimize(s.data());
+    }
+}
+BENCHMARK(BM_ConcurrencySeries)->Unit(benchmark::kMillisecond);
+
+void BM_FullCharacterizationPipeline(benchmark::State& state) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.05);
+    cfg.window = 2 * seconds_per_day;
+    trace t = gismo::generate_live_workload(cfg, 12);
+    for (auto _ : state) {
+        trace copy = t;
+        characterize::hierarchical_config hcfg;
+        hcfg.client.acf_max_lag = 200;
+        auto rep = characterize::characterize_hierarchically(copy, hcfg);
+        benchmark::DoNotOptimize(rep.transfer.length_fit.mu);
+        state.counters["records/s"] = benchmark::Counter(
+            static_cast<double>(t.size()), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_FullCharacterizationPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_SessionCountSweep(benchmark::State& state) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.05);
+    cfg.window = 2 * seconds_per_day;
+    const trace t = gismo::generate_live_workload(cfg, 13);
+    const std::vector<seconds_t> timeouts = {0,    250,  500, 1000,
+                                             1500, 2500, 4000};
+    for (auto _ : state) {
+        auto counts = characterize::session_count_sweep(t, timeouts);
+        benchmark::DoNotOptimize(counts.data());
+    }
+}
+BENCHMARK(BM_SessionCountSweep)->Unit(benchmark::kMillisecond);
+
+void BM_VbrSeries(benchmark::State& state) {
+    rng r(10);
+    gismo::vbr_config cfg;
+    for (auto _ : state) {
+        auto s = gismo::generate_vbr_series(
+            cfg, static_cast<std::size_t>(state.range(0)), r);
+        benchmark::DoNotOptimize(s.data());
+    }
+}
+BENCHMARK(BM_VbrSeries)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Table 1: basic statistics of the trace.
+//
+// Paper values (28-day trace): 2 live objects, 1,010 client ASs,
+// 364,184 client IPs, 691,889 users, >1.5M sessions, >5.5M transfers,
+// >8 TB served. Counts scale with the bench scale factor; ratios
+// (IPs/users, transfers/sessions) and the object/AS structure should hold.
+#include "bench/common.h"
+#include "characterize/session_builder.h"
+
+int main() {
+    using namespace lsm;
+    const double scale = bench::default_scale;
+    bench::print_title("bench_table1_basic_stats", "Table 1",
+                       "2 objects, 1010 ASs, 364k IPs, 692k users, >1.5M "
+                       "sessions, >5.5M transfers, >8 TB");
+    const trace tr = bench::make_world_trace(scale);
+    const trace_summary s = summarize(tr);
+    const auto sessions =
+        characterize::count_sessions(tr, characterize::default_session_timeout);
+
+    std::printf("  trace scale factor: %.2f (counts scale, ratios do not)\n",
+                scale);
+    bench::print_row("log period (days)", 28.0,
+                     static_cast<double>(s.window_length) /
+                         static_cast<double>(seconds_per_day));
+    bench::print_row("live objects", 2.0,
+                     static_cast<double>(s.num_objects));
+    // The AS universe does not shrink with traffic volume (every AS is
+    // still reachable), so this row is unscaled.
+    bench::print_row("client ASs", 1010.0,
+                     static_cast<double>(s.num_asns));
+    bench::print_row("client IPs", 364184.0 * scale,
+                     static_cast<double>(s.num_ips), "(scaled)");
+    bench::print_row("users", 691889.0 * scale,
+                     static_cast<double>(s.num_clients), "(scaled)");
+    bench::print_row("sessions", 1500000.0 * scale,
+                     static_cast<double>(sessions), "(scaled)");
+    bench::print_row("transfers", 5500000.0 * scale,
+                     static_cast<double>(s.num_transfers), "(scaled)");
+    bench::print_row("content served (TB)", 8.0 * scale,
+                     s.total_bytes / 1e12, "(scaled)");
+    bench::print_row("countries", 11.0,
+                     static_cast<double>(s.num_countries));
+
+    const double ips_per_user = static_cast<double>(s.num_ips) /
+                                static_cast<double>(s.num_clients);
+    bench::print_row("IPs per user (ratio)", 364184.0 / 691889.0,
+                     ips_per_user);
+    const double tps = static_cast<double>(s.num_transfers) /
+                       static_cast<double>(sessions);
+    bench::print_row("transfers per session (ratio)", 5.5 / 1.5, tps);
+
+    bench::print_verdict(
+        s.num_objects == 2 &&
+            bench::within_factor(ips_per_user, 364184.0 / 691889.0, 1.6) &&
+            bench::within_factor(static_cast<double>(sessions),
+                                 1500000.0 * scale, 1.6),
+        "object count exact; users/IPs/sessions within 1.6x at scale");
+    bench::print_note(
+        "transfers/session lands near the Zipf(2.70) mean (~1.7) rather "
+        "than the paper's 3.7 — the paper's own Fig 13 fit and its Table 1 "
+        "counts disagree; we follow the fitted law (see EXPERIMENTS.md).");
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Shared support for the figure/table reproduction benches.
+//
+// Every bench binary regenerates its input deterministically (world
+// simulator or GISMO generator with a fixed seed), computes the quantity
+// the paper plots, and prints paper-reported versus measured values with
+// a shape verdict. Absolute counts scale with the bench's `scale` factor;
+// fitted distribution parameters and curve shapes do not.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "stats/empirical.h"
+#include "world/world_sim.h"
+
+namespace lsm::bench {
+
+/// Default scale for benches: ~15% of the paper's traffic volume — large
+/// enough for stable fits, small enough to run in about a second.
+inline constexpr double default_scale = 0.15;
+inline constexpr std::uint64_t default_seed = 20020510;  // paper's date
+
+/// The sanitized world trace all characterization benches run on.
+inline trace make_world_trace(double scale = default_scale,
+                              std::uint64_t seed = default_seed) {
+    auto result =
+        world::simulate_world(world::world_config::scaled(scale), seed);
+    sanitize(result.tr);
+    return std::move(result.tr);
+}
+
+inline void print_title(const std::string& bench,
+                        const std::string& paper_item,
+                        const std::string& claim) {
+    std::printf("==================================================\n");
+    std::printf("%s — %s\n", bench.c_str(), paper_item.c_str());
+    std::printf("paper: %s\n", claim.c_str());
+    std::printf("==================================================\n");
+}
+
+inline void print_row(const char* name, double paper, double measured,
+                      const char* unit = "") {
+    const double ratio = paper != 0.0 ? measured / paper : 0.0;
+    std::printf("  %-38s paper=%12.5g  measured=%12.5g %s (x%.2f)\n", name,
+                paper, measured, unit, ratio);
+}
+
+inline void print_note(const std::string& s) {
+    std::printf("  %s\n", s.c_str());
+}
+
+inline bool within_factor(double measured, double paper, double factor) {
+    if (paper == 0.0) return measured == 0.0;
+    const double r = measured / paper;
+    return r > 1.0 / factor && r < factor;
+}
+
+inline void print_verdict(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "SHAPE OK" : "SHAPE DEVIATES",
+                what.c_str());
+}
+
+/// Prints an (x, y) curve thinned to ~max_rows rows.
+inline void print_points(const char* caption,
+                         const std::vector<stats::dist_point>& pts,
+                         std::size_t max_rows = 20) {
+    std::printf("  %s (%zu points)\n", caption, pts.size());
+    if (pts.empty()) return;
+    const std::size_t step =
+        pts.size() <= max_rows ? 1 : pts.size() / max_rows;
+    for (std::size_t i = 0; i < pts.size(); i += step) {
+        std::printf("    %14.6g  %14.6g\n", pts[i].x, pts[i].y);
+    }
+}
+
+/// Prints a binned series thinned to ~max_rows rows.
+inline void print_series(const char* caption,
+                         const std::vector<double>& series,
+                         std::size_t max_rows = 24) {
+    std::printf("  %s (%zu bins)\n", caption, series.size());
+    if (series.empty()) return;
+    const std::size_t step =
+        series.size() <= max_rows ? 1 : series.size() / max_rows;
+    for (std::size_t i = 0; i < series.size(); i += step) {
+        std::printf("    %8zu  %14.6g\n", i, series[i]);
+    }
+}
+
+/// Prints the triptych (frequency / CDF / CCDF) of a sample the way the
+/// paper's three-panel figures do.
+inline void print_triptych(const std::vector<double>& sample,
+                           std::size_t rows = 12) {
+    stats::empirical_distribution ed(sample);
+    if (ed.min() > 0.0) {
+        print_points("frequency (log-binned)", ed.frequency_points_log(50),
+                     rows);
+    } else {
+        print_points("frequency (linear bins)",
+                     ed.frequency_points_linear(50), rows);
+    }
+    print_points("CDF  P[X <= x]", ed.cdf_points(), rows);
+    print_points("CCDF P[X >= x]", ed.ccdf_points(), rows);
+}
+
+}  // namespace lsm::bench

@@ -1,0 +1,106 @@
+// Full hierarchical characterization of a trace file — the paper's
+// Sections 3-5 as a command-line tool.
+//
+//   $ ./characterize_trace <trace.csv> [session_timeout_seconds]
+//   $ ./characterize_trace --demo          # world-sim a demo trace first
+//   $ ./characterize_trace --json <trace.csv>   # machine-readable output
+//
+// The trace format is the library's CSV (see core/trace_io.h); use
+// write_trace_csv_file() or the --demo flag to produce one.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "characterize/client_layer.h"
+#include "characterize/hierarchical.h"
+#include "characterize/report.h"
+#include "characterize/report_json.h"
+#include "characterize/session_builder.h"
+#include "characterize/session_layer.h"
+#include "characterize/transfer_layer.h"
+#include "core/trace_io.h"
+#include "world/world_sim.h"
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::cerr << "usage: " << argv[0]
+                  << " [--json] <trace.csv> [session_timeout] | --demo\n";
+        return 1;
+    }
+    lsm::seconds_t timeout = lsm::characterize::default_session_timeout;
+
+    bool json = false;
+    int argi = 1;
+    if (std::string(argv[argi]) == "--json") {
+        json = true;
+        ++argi;
+        if (argi >= argc) {
+            std::cerr << "--json requires a trace path\n";
+            return 1;
+        }
+    }
+    // Shift remaining positional arguments.
+    argv += argi - 1;
+    argc -= argi - 1;
+
+    lsm::trace tr;
+    const std::string arg = argv[1];
+    if (arg == "--demo") {
+        const std::string path = "demo_trace.csv";
+        std::cout << "Simulating a demo world trace -> " << path << "\n";
+        auto world = lsm::world::simulate_world(
+            lsm::world::world_config::scaled(0.02), 7);
+        lsm::write_trace_csv_file(world.tr, path);
+        tr = std::move(world.tr);
+    } else {
+        try {
+            tr = lsm::read_trace_csv_file(arg);
+        } catch (const std::exception& e) {
+            std::cerr << "failed to read trace: " << e.what() << "\n";
+            return 1;
+        }
+        if (argc > 2) timeout = std::atoll(argv[2]);
+        if (timeout <= 0) {
+            std::cerr << "session timeout must be positive\n";
+            return 1;
+        }
+    }
+
+    if (json) {
+        lsm::characterize::hierarchical_config hcfg;
+        hcfg.session_timeout = timeout;
+        try {
+            const auto rep =
+                lsm::characterize::characterize_hierarchically(tr, hcfg);
+            lsm::characterize::write_report_json(rep, std::cout);
+            std::cout << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "characterization failed: " << e.what() << "\n";
+            return 1;
+        }
+        return 0;
+    }
+
+    const auto sr = lsm::sanitize(tr);
+    std::cout << "Sanitization: kept " << sr.kept << ", dropped "
+              << sr.dropped_out_of_window << " out-of-window, "
+              << sr.dropped_negative << " malformed\n\n";
+    if (tr.empty()) {
+        std::cerr << "no records left after sanitization\n";
+        return 1;
+    }
+
+    const auto sessions = lsm::characterize::build_sessions(tr, timeout);
+    const auto cl = lsm::characterize::analyze_client_layer(tr, sessions);
+    const auto sl = lsm::characterize::analyze_session_layer(sessions);
+    const auto tl = lsm::characterize::analyze_transfer_layer(tr);
+    lsm::characterize::print_full_report(std::cout, tr, cl, sl, tl);
+
+    std::cout << "\n== Session ON time distribution (Fig 11) ==\n";
+    lsm::characterize::print_triptych(std::cout, "session ON times (s)",
+                                      sl.on_times, 15);
+    std::cout << "\n== Transfer length distribution (Fig 19) ==\n";
+    lsm::characterize::print_triptych(std::cout, "transfer lengths (s)",
+                                      tl.lengths, 15);
+    return 0;
+}

@@ -1,0 +1,152 @@
+// Figure-data exporter: writes gnuplot-ready .dat files for every curve
+// the paper plots, computed from the world-simulator trace (or a trace
+// CSV you provide). Pair with the bench binaries — those print and
+// judge; this one hands you the raw series for plotting.
+//
+//   $ ./dump_figures <outdir> [scale]
+//   $ ./dump_figures <outdir> --trace <trace.csv>
+//
+// Produces:
+//   fig03_client_concurrency_{freq,cdf,ccdf}.dat
+//   fig04_client_daily_fold.dat   fig04_client_weekly_fold.dat
+//   fig05_interarrival_{freq,cdf,ccdf}.dat
+//   fig07_interest_{transfers,sessions}.dat
+//   fig08_acf.dat
+//   fig11_session_on_{freq,cdf,ccdf}.dat
+//   fig13_transfers_per_session.dat
+//   fig17_transfer_interarrival_ccdf.dat
+//   fig19_transfer_length_{freq,cdf,ccdf}.dat
+//   fig20_bandwidth_cdf.dat
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "characterize/hierarchical.h"
+#include "core/trace_io.h"
+#include "stats/empirical.h"
+#include "world/world_sim.h"
+
+namespace {
+
+void write_points(const std::string& path,
+                  const std::vector<lsm::stats::dist_point>& pts) {
+    std::ofstream out(path);
+    for (const auto& p : pts) out << p.x << ' ' << p.y << '\n';
+    std::cout << "  " << path << " (" << pts.size() << " rows)\n";
+}
+
+void write_series(const std::string& path,
+                  const std::vector<double>& series) {
+    std::ofstream out(path);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        out << i << ' ' << series[i] << '\n';
+    }
+    std::cout << "  " << path << " (" << series.size() << " rows)\n";
+}
+
+void write_triptych(const std::string& stem,
+                    const std::vector<double>& sample) {
+    lsm::stats::empirical_distribution ed(sample);
+    if (ed.min() > 0.0) {
+        write_points(stem + "_freq.dat", ed.frequency_points_log(80));
+    } else {
+        write_points(stem + "_freq.dat", ed.frequency_points_linear(80));
+    }
+    write_points(stem + "_cdf.dat", ed.cdf_points());
+    write_points(stem + "_ccdf.dat", ed.ccdf_points());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::cerr << "usage: " << argv[0]
+                  << " <outdir> [scale | --trace <trace.csv>]\n";
+        return 1;
+    }
+    const std::string outdir = argv[1];
+    std::error_code ec;
+    std::filesystem::create_directories(outdir, ec);
+    if (ec) {
+        std::cerr << "cannot create " << outdir << ": " << ec.message()
+                  << "\n";
+        return 1;
+    }
+
+    lsm::trace tr;
+    if (argc >= 4 && std::string(argv[2]) == "--trace") {
+        try {
+            tr = lsm::read_trace_csv_file(argv[3]);
+        } catch (const std::exception& e) {
+            std::cerr << "failed to read trace: " << e.what() << "\n";
+            return 1;
+        }
+    } else {
+        const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+        if (scale <= 0.0 || scale > 1.0) {
+            std::cerr << "scale must be in (0, 1]\n";
+            return 1;
+        }
+        std::cout << "Simulating world trace at scale " << scale << "...\n";
+        tr = lsm::world::simulate_world(
+                 lsm::world::world_config::scaled(scale), 20020510)
+                 .tr;
+    }
+
+    lsm::characterize::hierarchical_config hcfg;
+    const auto rep = lsm::characterize::characterize_hierarchically(tr, hcfg);
+    std::cout << "Writing figure data to " << outdir << "/\n";
+    const std::string d = outdir + "/";
+
+    write_triptych(d + "fig03_client_concurrency",
+                   rep.client.concurrency_series);
+    write_series(d + "fig04_client_daily_fold.dat",
+                 rep.client.concurrency_daily_fold);
+    write_series(d + "fig04_client_weekly_fold.dat",
+                 rep.client.concurrency_weekly_fold);
+    write_triptych(d + "fig05_interarrival",
+                   rep.client.client_interarrivals);
+    {
+        std::vector<lsm::stats::dist_point> tp, sp;
+        for (std::size_t i = 0;
+             i < rep.client.transfer_interest_profile.size();
+             i += 1 + i / 16) {
+            tp.push_back({static_cast<double>(i + 1),
+                          rep.client.transfer_interest_profile[i]});
+        }
+        for (std::size_t i = 0;
+             i < rep.client.session_interest_profile.size();
+             i += 1 + i / 16) {
+            sp.push_back({static_cast<double>(i + 1),
+                          rep.client.session_interest_profile[i]});
+        }
+        write_points(d + "fig07_interest_transfers.dat", tp);
+        write_points(d + "fig07_interest_sessions.dat", sp);
+    }
+    write_series(d + "fig08_acf.dat", rep.client.concurrency_acf);
+    write_triptych(d + "fig11_session_on", rep.session.on_times);
+    {
+        std::vector<lsm::stats::dist_point> vz;
+        const auto& z = rep.session.transfers_per_session_zipf;
+        for (std::size_t i = 0; i < z.values.size(); ++i) {
+            vz.push_back({z.values[i], z.frequencies[i]});
+        }
+        write_points(d + "fig13_transfers_per_session.dat", vz);
+    }
+    {
+        lsm::stats::empirical_distribution ed(rep.transfer.interarrivals);
+        write_points(d + "fig17_transfer_interarrival_ccdf.dat",
+                     ed.ccdf_points());
+    }
+    write_triptych(d + "fig19_transfer_length", rep.transfer.lengths);
+    {
+        lsm::stats::empirical_distribution ed(rep.transfer.bandwidths_bps);
+        write_points(d + "fig20_bandwidth_cdf.dat", ed.cdf_points());
+    }
+    std::cout << "Done. Plot with e.g.\n"
+              << "  gnuplot> set logscale xy; plot '" << d
+              << "fig19_transfer_length_ccdf.dat' with lines\n";
+    return 0;
+}

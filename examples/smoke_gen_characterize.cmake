@@ -1,0 +1,16 @@
+# Runs gen_workload then characterize_trace on its output, failing on any
+# non-zero exit.
+execute_process(COMMAND ${GEN} smoke_trace.csv scale=0.005 days=2
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "gen_workload failed: ${rc1}")
+endif()
+execute_process(COMMAND ${CHAR} smoke_trace.csv RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "characterize_trace failed: ${rc2}")
+endif()
+execute_process(COMMAND ${CHAR} --json smoke_trace.csv
+                RESULT_VARIABLE rc3 OUTPUT_QUIET)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "characterize_trace --json failed: ${rc3}")
+endif()

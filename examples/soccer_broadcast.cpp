@@ -1,0 +1,104 @@
+// Adapting the generative model to different live content — the paper
+// conjectures (§6.1) that live-workload characteristics depend on the
+// content: "the periodicity observed in our reality TV application is
+// likely to be very different from that observed in live feeds associated
+// with a soccer game", and notes the GISMO processes "can be easily
+// adjusted" to such applications.
+//
+// This example builds a soccer-match rate profile — near-zero interest
+// outside the match, a surge at kickoff, dips at half-time, a spike in
+// stoppage time — generates a workload from it, and contrasts its
+// concurrency profile and interarrival distribution with the reality-show
+// profile.
+//
+//   $ ./soccer_broadcast [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "characterize/session_builder.h"
+#include "characterize/transfer_layer.h"
+#include "gismo/live_generator.h"
+#include "stats/descriptive.h"
+#include "stats/timeseries.h"
+
+namespace {
+
+// One match day: 96 15-minute bins. Kickoff 16:00, half-time 16:45-17:00,
+// second half until 17:50, short highlight tail afterwards.
+lsm::gismo::rate_profile soccer_profile(double peak_rate) {
+    std::vector<double> rates(96, 0.002 * peak_rate);  // idle channel
+    auto bin_of = [](int hour, int minute) { return hour * 4 + minute / 15; };
+    for (int b = bin_of(15, 30); b < bin_of(16, 0); ++b)
+        rates[static_cast<std::size_t>(b)] = 0.35 * peak_rate;  // pre-match
+    for (int b = bin_of(16, 0); b < bin_of(16, 45); ++b)
+        rates[static_cast<std::size_t>(b)] = peak_rate;  // first half
+    for (int b = bin_of(16, 45); b < bin_of(17, 0); ++b)
+        rates[static_cast<std::size_t>(b)] = 0.30 * peak_rate;  // half-time
+    for (int b = bin_of(17, 0); b < bin_of(17, 45); ++b)
+        rates[static_cast<std::size_t>(b)] = 0.95 * peak_rate;  // second half
+    for (int b = bin_of(17, 45); b < bin_of(18, 0); ++b)
+        rates[static_cast<std::size_t>(b)] = 1.25 * peak_rate;  // stoppage
+    for (int b = bin_of(18, 0); b < bin_of(18, 30); ++b)
+        rates[static_cast<std::size_t>(b)] = 0.15 * peak_rate;  // highlights
+    return {std::move(rates), 900};
+}
+
+void summarize_workload(const char* name, const lsm::trace& tr) {
+    const auto tl = lsm::characterize::analyze_transfer_layer(tr);
+    const auto s = lsm::stats::summarize(tl.concurrency_binned);
+    std::printf("%-14s transfers=%-8zu  concurrency mean=%7.1f "
+                "peak=%7.1f  peak/mean=%5.1f\n",
+                name, tr.size(), s.mean, s.max,
+                s.mean > 0 ? s.max / s.mean : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 99;
+
+    // Soccer: 4 match days (one match per day at 16:00).
+    lsm::gismo::live_config soccer = lsm::gismo::live_config::scaled(0.05);
+    soccer.window = 4 * lsm::seconds_per_day;
+    soccer.arrivals = soccer_profile(3.0);
+    // Viewers stick with a match: longer transfers, fewer re-requests.
+    soccer.length_mu = 5.6;
+    soccer.transfers_per_session_alpha = 3.0;
+
+    // Reality show: same four days with the paper's diurnal profile.
+    lsm::gismo::live_config show = lsm::gismo::live_config::scaled(0.05);
+    show.window = 4 * lsm::seconds_per_day;
+
+    std::cout << "Generating both workloads...\n";
+    const lsm::trace soccer_tr =
+        lsm::gismo::generate_live_workload(soccer, seed);
+    const lsm::trace show_tr =
+        lsm::gismo::generate_live_workload(show, seed + 1);
+
+    summarize_workload("soccer", soccer_tr);
+    summarize_workload("reality show", show_tr);
+
+    // Hour-of-day concurrency fold, side by side.
+    const auto soccer_tl =
+        lsm::characterize::analyze_transfer_layer(soccer_tr);
+    const auto show_tl = lsm::characterize::analyze_transfer_layer(show_tr);
+    std::cout << "\nhour  soccer-active  show-active\n";
+    for (int h = 0; h < 24; ++h) {
+        double soc = 0.0, sho = 0.0;
+        for (int q = 0; q < 4; ++q) {
+            soc += soccer_tl.concurrency_daily_fold[static_cast<std::size_t>(
+                h * 4 + q)];
+            sho += show_tl.concurrency_daily_fold[static_cast<std::size_t>(
+                h * 4 + q)];
+        }
+        std::printf("%02d    %13.1f  %11.1f\n", h, soc / 4.0, sho / 4.0);
+    }
+    std::cout << "\nSame generative machinery, different f(t): the soccer\n"
+                 "audience is event-synchronized (sharp kickoff surge,\n"
+                 "half-time dip), the show audience diurnal — exactly the\n"
+                 "content dependence the paper conjectures in Section 6.\n";
+    return 0;
+}

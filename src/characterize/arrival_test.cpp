@@ -1,0 +1,101 @@
+#include "characterize/arrival_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "stats/descriptive.h"
+#include "stats/ks.h"
+
+namespace lsm::characterize {
+
+pwp_test_report test_piecewise_poisson(
+    const std::vector<seconds_t>& arrivals, seconds_t horizon,
+    const pwp_test_config& cfg) {
+    LSM_EXPECTS(horizon > 0);
+    LSM_EXPECTS(cfg.window > 0);
+    LSM_EXPECTS(cfg.min_arrivals_per_window >= 3);
+    LSM_EXPECTS(cfg.dispersion_subwindow > 0 &&
+                cfg.window % cfg.dispersion_subwindow == 0);
+    LSM_EXPECTS(std::is_sorted(arrivals.begin(), arrivals.end()));
+
+    pwp_test_report rep;
+    std::vector<double> dispersion_indices;
+    // The log's 1 s timestamp resolution makes interarrivals discrete,
+    // which a KS test against a continuous exponential would reject even
+    // for a perfect Poisson process at high rates. Standard remedy:
+    // dequantize with U(0,1) jitter (deterministic seed, so the test is
+    // reproducible).
+    rng jitter(0x90155071);
+
+    std::size_t i = 0;
+    for (seconds_t w0 = 0; w0 < horizon; w0 += cfg.window) {
+        const seconds_t w1 = std::min(w0 + cfg.window, horizon);
+        // Collect arrivals in [w0, w1) as jittered continuous offsets
+        // within the window.
+        std::vector<double> in_window;
+        while (i < arrivals.size() && arrivals[i] < w1) {
+            if (arrivals[i] >= w0) {
+                in_window.push_back(static_cast<double>(arrivals[i] - w0) +
+                                    jitter.next_double());
+            }
+            ++i;
+        }
+        std::sort(in_window.begin(), in_window.end());
+        if (in_window.size() < cfg.min_arrivals_per_window) {
+            ++rep.windows_skipped;
+            continue;
+        }
+
+        std::vector<double> gaps;
+        gaps.reserve(in_window.size() - 1);
+        for (std::size_t k = 0; k + 1 < in_window.size(); ++k) {
+            gaps.push_back(in_window[k + 1] - in_window[k]);
+        }
+        const double mean_gap = stats::mean(gaps);
+        if (mean_gap <= 0.0) {
+            ++rep.windows_skipped;
+            continue;
+        }
+        const double d = stats::ks_distance(gaps, [&](double x) {
+            return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mean_gap);
+        });
+        rep.p_values.push_back(stats::ks_pvalue(d, gaps.size()));
+
+        // Dispersion index of per-subwindow counts.
+        const auto nsub =
+            static_cast<std::size_t>(cfg.window / cfg.dispersion_subwindow);
+        std::vector<double> counts(nsub, 0.0);
+        for (double t : in_window) {
+            const auto b = static_cast<std::size_t>(
+                static_cast<seconds_t>(t) / cfg.dispersion_subwindow);
+            if (b < nsub) counts[b] += 1.0;
+        }
+        const double m = stats::mean(counts);
+        if (m > 0.0) {
+            dispersion_indices.push_back(stats::variance(counts) / m);
+        }
+        ++rep.windows_tested;
+    }
+
+    if (!rep.p_values.empty()) {
+        std::size_t ok = 0;
+        double sum = 0.0;
+        for (double p : rep.p_values) {
+            if (p >= 0.01) ++ok;
+            sum += p;
+        }
+        rep.fraction_not_rejected =
+            static_cast<double>(ok) /
+            static_cast<double>(rep.p_values.size());
+        rep.mean_p_value =
+            sum / static_cast<double>(rep.p_values.size());
+    }
+    if (!dispersion_indices.empty()) {
+        rep.mean_dispersion_index = stats::mean(dispersion_indices);
+    }
+    return rep;
+}
+
+}  // namespace lsm::characterize

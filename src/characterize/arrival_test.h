@@ -1,0 +1,51 @@
+// Formal testing of the piecewise-stationary Poisson hypothesis (§3.4).
+//
+// The paper supports its arrival-process claim visually (Fig 5 vs
+// Fig 6). This module makes the claim testable: split the trace into
+// fixed windows, assume stationarity within each window, and KS-test the
+// within-window interarrivals against an exponential with that window's
+// empirical mean. Under the PWP hypothesis the per-window KS p-values
+// are Uniform(0,1); gross non-Poissonness within windows shows up as a
+// pile-up of small p-values. The dispersion index of per-subwindow
+// counts provides a complementary check (Poisson => index ~ 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/time_utils.h"
+
+namespace lsm::characterize {
+
+struct pwp_test_config {
+    /// Window width within which the process is assumed stationary.
+    /// The paper uses 15-minute pieces.
+    seconds_t window = 900;
+    /// Windows with fewer arrivals than this are skipped (too little
+    /// data to test).
+    std::size_t min_arrivals_per_window = 30;
+    /// Subwindow width for the dispersion index.
+    seconds_t dispersion_subwindow = 60;
+};
+
+struct pwp_test_report {
+    std::size_t windows_tested = 0;
+    std::size_t windows_skipped = 0;
+    /// Per-window KS p-values (exponential interarrivals hypothesis).
+    std::vector<double> p_values;
+    /// Fraction of tested windows with p >= 0.01 (not rejected at 1%).
+    double fraction_not_rejected = 0.0;
+    /// Mean of p-values (0.5 under the hypothesis).
+    double mean_p_value = 0.0;
+    /// Mean dispersion index (variance/mean of per-subwindow counts)
+    /// across tested windows; ~1 under Poisson.
+    double mean_dispersion_index = 0.0;
+};
+
+/// Runs the PWP test on sorted arrival times (seconds). Arrivals must be
+/// non-decreasing; `horizon` > 0 bounds the windows.
+pwp_test_report test_piecewise_poisson(
+    const std::vector<seconds_t>& arrivals, seconds_t horizon,
+    const pwp_test_config& cfg = {});
+
+}  // namespace lsm::characterize

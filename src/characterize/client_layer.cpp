@@ -1,0 +1,119 @@
+#include "characterize/client_layer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/contracts.h"
+#include "stats/timeseries.h"
+
+namespace lsm::characterize {
+
+client_layer_report analyze_client_layer(const trace& t,
+                                         const session_set& sessions,
+                                         const client_layer_config& cfg) {
+    LSM_EXPECTS(cfg.concurrency_sample_step > 0);
+    LSM_EXPECTS(cfg.temporal_bin > 0);
+    LSM_EXPECTS(cfg.temporal_bin % cfg.concurrency_sample_step == 0);
+    client_layer_report rep;
+    rep.total_transfers = t.size();
+    rep.total_sessions = sessions.sessions.size();
+
+    const seconds_t horizon =
+        t.window_length() > 0 ? t.window_length() : seconds_per_day;
+
+    // --- Concurrency: a client is active while one of its sessions is on.
+    std::vector<stats::interval> session_intervals;
+    session_intervals.reserve(sessions.sessions.size());
+    for (const session& s : sessions.sessions) {
+        // Zero-length sessions still occupy their start instant.
+        session_intervals.push_back(
+            {s.start, std::max(s.end, s.start + 1)});
+    }
+    rep.concurrency_series = stats::concurrency_series(
+        session_intervals, cfg.concurrency_sample_step, horizon);
+    rep.concurrency_binned = stats::mean_concurrency_series(
+        session_intervals, cfg.temporal_bin, horizon);
+
+    const auto bins_per_week =
+        static_cast<std::size_t>(seconds_per_week / cfg.temporal_bin);
+    const auto bins_per_day =
+        static_cast<std::size_t>(seconds_per_day / cfg.temporal_bin);
+    rep.concurrency_weekly_fold =
+        stats::fold_series(rep.concurrency_binned, bins_per_week);
+    rep.concurrency_daily_fold =
+        stats::fold_series(rep.concurrency_binned, bins_per_day);
+
+    const std::size_t max_lag =
+        std::min(cfg.acf_max_lag, rep.concurrency_series.size() - 1);
+    rep.concurrency_acf =
+        stats::autocorrelation(rep.concurrency_series, max_lag);
+
+    // --- Client interarrivals (Fig 5): consecutive session arrivals from
+    // different clients, in global start order.
+    const auto order = sessions.order_by_start();
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        const session& a = sessions.sessions[order[i]];
+        const session& b = sessions.sessions[order[i + 1]];
+        if (a.client == b.client) continue;
+        rep.client_interarrivals.push_back(
+            static_cast<double>(log_display(b.start - a.start)));
+    }
+
+    // --- Interest profiles (Fig 7).
+    std::unordered_map<client_id, std::uint64_t> transfers_per_client;
+    for (const log_record& r : t.records()) ++transfers_per_client[r.client];
+    std::unordered_map<client_id, std::uint64_t> sessions_per_client;
+    for (const session& s : sessions.sessions) ++sessions_per_client[s.client];
+    rep.distinct_clients = transfers_per_client.size();
+
+    std::vector<std::uint64_t> tcounts;
+    tcounts.reserve(transfers_per_client.size());
+    for (const auto& [id, c] : transfers_per_client) tcounts.push_back(c);
+    rep.transfer_interest_profile = stats::rank_frequency_profile(tcounts);
+    rep.transfer_interest_fit =
+        stats::fit_zipf_loglog(rep.transfer_interest_profile);
+
+    std::vector<std::uint64_t> scounts;
+    scounts.reserve(sessions_per_client.size());
+    for (const auto& [id, c] : sessions_per_client) scounts.push_back(c);
+    rep.session_interest_profile = stats::rank_frequency_profile(scounts);
+    rep.session_interest_fit =
+        stats::fit_zipf_loglog(rep.session_interest_profile);
+
+    // --- Fig 2: AS and country diversity.
+    struct as_acc {
+        std::uint64_t transfers = 0;
+        std::unordered_set<ipv4_addr> ips;
+    };
+    std::unordered_map<as_number, as_acc> by_as;
+    std::map<std::string, std::uint64_t> by_country;
+    for (const log_record& r : t.records()) {
+        auto& acc = by_as[r.asn];
+        ++acc.transfers;
+        acc.ips.insert(r.ip);
+        ++by_country[to_string(r.country)];
+    }
+    rep.as_by_transfers.reserve(by_as.size());
+    for (const auto& [asn, acc] : by_as) {
+        rep.as_by_transfers.push_back(
+            {asn, acc.transfers, acc.ips.size()});
+    }
+    std::sort(rep.as_by_transfers.begin(), rep.as_by_transfers.end(),
+              [](const as_profile& a, const as_profile& b) {
+                  if (a.transfers != b.transfers)
+                      return a.transfers > b.transfers;
+                  return a.asn < b.asn;
+              });
+    rep.countries.reserve(by_country.size());
+    for (const auto& [cc, n] : by_country) rep.countries.push_back({cc, n});
+    std::sort(rep.countries.begin(), rep.countries.end(),
+              [](const country_profile& a, const country_profile& b) {
+                  if (a.transfers != b.transfers)
+                      return a.transfers > b.transfers;
+                  return a.country < b.country;
+              });
+    return rep;
+}
+
+}  // namespace lsm::characterize

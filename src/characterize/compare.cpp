@@ -1,0 +1,133 @@
+#include "characterize/compare.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "characterize/client_layer.h"
+#include "characterize/session_builder.h"
+#include "characterize/session_layer.h"
+#include "characterize/transfer_layer.h"
+#include "core/contracts.h"
+#include "stats/descriptive.h"
+#include "stats/ks.h"
+
+namespace lsm::characterize {
+
+namespace {
+
+struct layer_bundle {
+    session_set sessions;
+    session_layer_report sl;
+    transfer_layer_report tl;
+    client_layer_report cl;
+};
+
+layer_bundle analyze(const trace& t, seconds_t timeout) {
+    layer_bundle b;
+    b.sessions = build_sessions(t, timeout);
+    b.sl = analyze_session_layer(b.sessions);
+    b.tl = analyze_transfer_layer(t);
+    client_layer_config ccfg;
+    ccfg.acf_max_lag = 10;  // the ACF itself is not compared
+    b.cl = analyze_client_layer(t, b.sessions, ccfg);
+    return b;
+}
+
+dimension_match ks_dimension(const std::string& name,
+                             const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             double threshold) {
+    dimension_match m;
+    m.dimension = name;
+    if (a.empty() || b.empty()) {
+        m.distance = 1.0;
+        m.matched = a.empty() && b.empty();
+        return m;
+    }
+    m.distance = stats::ks_distance_two_sample(a, b);
+    m.matched = m.distance <= threshold;
+    return m;
+}
+
+}  // namespace
+
+comparison_report compare_workloads(const trace& reference,
+                                    const trace& candidate,
+                                    const compare_config& cfg) {
+    LSM_EXPECTS(!reference.empty() && !candidate.empty());
+    LSM_EXPECTS(cfg.session_timeout > 0);
+
+    const layer_bundle ref = analyze(reference, cfg.session_timeout);
+    const layer_bundle cand = analyze(candidate, cfg.session_timeout);
+
+    comparison_report rep;
+    rep.dimensions.push_back(ks_dimension(
+        "transfer lengths", ref.tl.lengths, cand.tl.lengths,
+        cfg.ks_threshold));
+    rep.dimensions.push_back(ks_dimension(
+        "transfer interarrivals", ref.tl.interarrivals,
+        cand.tl.interarrivals, cfg.ks_threshold));
+    rep.dimensions.push_back(ks_dimension(
+        "session ON times", ref.sl.on_times, cand.sl.on_times,
+        cfg.ks_threshold));
+    rep.dimensions.push_back(ks_dimension(
+        "session OFF times", ref.sl.off_times, cand.sl.off_times,
+        cfg.ks_threshold));
+    rep.dimensions.push_back(ks_dimension(
+        "transfers per session", ref.sl.transfers_per_session,
+        cand.sl.transfers_per_session, cfg.ks_threshold));
+    rep.dimensions.push_back(ks_dimension(
+        "intra-session gaps", ref.sl.intra_session_interarrivals,
+        cand.sl.intra_session_interarrivals, cfg.ks_threshold));
+    rep.dimensions.push_back(ks_dimension(
+        "client interarrivals", ref.cl.client_interarrivals,
+        cand.cl.client_interarrivals, cfg.ks_threshold));
+
+    // Interest skew: compare the session-interest Zipf exponents.
+    {
+        dimension_match m;
+        m.dimension = "interest Zipf alpha";
+        const double a = ref.cl.session_interest_fit.alpha;
+        const double b = cand.cl.session_interest_fit.alpha;
+        m.distance = std::abs(a - b);
+        m.matched = m.distance <= 0.15;
+        rep.dimensions.push_back(m);
+    }
+
+    // Diurnal profile: correlation of the daily concurrency folds.
+    {
+        dimension_match m;
+        m.dimension = "diurnal concurrency profile";
+        const auto& a = ref.tl.concurrency_daily_fold;
+        const auto& b = cand.tl.concurrency_daily_fold;
+        const double corr = stats::pearson_correlation(a, b);
+        m.distance = 1.0 - corr;
+        m.matched = corr >= cfg.diurnal_corr_threshold;
+        rep.dimensions.push_back(m);
+    }
+
+    for (const auto& d : rep.dimensions) {
+        if (d.matched) ++rep.matched;
+    }
+    return rep;
+}
+
+std::string format_comparison(const comparison_report& rep) {
+    std::string out;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%-30s %10s  %s\n", "dimension",
+                  "distance", "match");
+    out += buf;
+    for (const auto& d : rep.dimensions) {
+        std::snprintf(buf, sizeof buf, "%-30s %10.4f  %s\n",
+                      d.dimension.c_str(), d.distance,
+                      d.matched ? "yes" : "NO");
+        out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "matched %zu / %zu dimensions\n",
+                  rep.matched, rep.dimensions.size());
+    out += buf;
+    return out;
+}
+
+}  // namespace lsm::characterize

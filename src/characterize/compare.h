@@ -1,0 +1,49 @@
+// Whole-workload comparison: does a synthetic trace statistically match a
+// reference trace?
+//
+// This is the acceptance test a GISMO user runs after parameterizing the
+// generator from a measured workload: compare the two traces along every
+// dimension the paper characterizes — transfer lengths, intra-session
+// gaps, session ON/OFF times, transfers per session, interarrivals,
+// interest skew, diurnal profile — via two-sample KS distances and
+// fitted-parameter deltas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace lsm::characterize {
+
+struct compare_config {
+    seconds_t session_timeout = 1500;
+    /// KS distance below which a dimension counts as matching.
+    double ks_threshold = 0.08;
+    /// Diurnal profiles match if their correlation exceeds this.
+    double diurnal_corr_threshold = 0.9;
+};
+
+struct dimension_match {
+    std::string dimension;
+    /// Two-sample KS distance (or 1 - correlation for profile rows).
+    double distance = 0.0;
+    bool matched = false;
+};
+
+struct comparison_report {
+    std::vector<dimension_match> dimensions;
+    std::size_t matched = 0;
+    bool all_matched() const { return matched == dimensions.size(); }
+};
+
+/// Compares trace `candidate` against reference `reference`. Both must
+/// be non-empty.
+comparison_report compare_workloads(const trace& reference,
+                                    const trace& candidate,
+                                    const compare_config& cfg = {});
+
+/// Renders the report as a fixed-width table.
+std::string format_comparison(const comparison_report& rep);
+
+}  // namespace lsm::characterize

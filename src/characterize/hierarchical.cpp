@@ -1,0 +1,24 @@
+#include "characterize/hierarchical.h"
+
+#include "core/contracts.h"
+
+namespace lsm::characterize {
+
+hierarchical_report characterize_hierarchically(
+    trace& t, const hierarchical_config& cfg) {
+    hierarchical_report rep;
+    if (cfg.sanitize_first) {
+        rep.sanitization = sanitize(t);
+    } else {
+        rep.sanitization.kept = t.size();
+    }
+    LSM_EXPECTS(!t.empty());
+    rep.summary = summarize(t);
+    rep.sessions = build_sessions(t, cfg.session_timeout);
+    rep.client = analyze_client_layer(t, rep.sessions, cfg.client);
+    rep.session = analyze_session_layer(rep.sessions, cfg.session);
+    rep.transfer = analyze_transfer_layer(t, cfg.transfer);
+    return rep;
+}
+
+}  // namespace lsm::characterize

@@ -1,0 +1,37 @@
+// One-call facade over the full hierarchical characterization —
+// sanitize, sessionize, and run all three layer analyses, returning the
+// bundle the paper's Sections 3-5 correspond to.
+#pragma once
+
+#include "characterize/client_layer.h"
+#include "characterize/session_builder.h"
+#include "characterize/session_layer.h"
+#include "characterize/transfer_layer.h"
+#include "core/trace.h"
+
+namespace lsm::characterize {
+
+struct hierarchical_config {
+    seconds_t session_timeout = default_session_timeout;
+    client_layer_config client{};
+    session_layer_config session{};
+    transfer_layer_config transfer{};
+    /// Run sanitize() on the input first (recommended for raw logs).
+    bool sanitize_first = true;
+};
+
+struct hierarchical_report {
+    sanitize_report sanitization{};
+    session_set sessions;
+    client_layer_report client;
+    session_layer_report session;
+    transfer_layer_report transfer;
+    trace_summary summary{};
+};
+
+/// Runs the full pipeline on `t` (modified in place if sanitizing).
+/// Requires a trace that is non-empty after sanitization.
+hierarchical_report characterize_hierarchically(
+    trace& t, const hierarchical_config& cfg = {});
+
+}  // namespace lsm::characterize

@@ -1,0 +1,97 @@
+#include "characterize/object_layer.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/contracts.h"
+#include "stats/ks.h"
+
+namespace lsm::characterize {
+
+object_layer_report analyze_object_layer(const trace& t,
+                                         const session_set& sessions) {
+    LSM_EXPECTS(!t.empty());
+    object_layer_report rep;
+
+    struct acc {
+        std::uint64_t transfers = 0;
+        std::unordered_set<client_id> clients;
+        double length_sum = 0.0;
+        std::vector<double> lengths;
+    };
+    std::map<object_id, acc> by_object;
+    std::unordered_map<client_id, std::unordered_set<object_id>>
+        objects_per_client;
+    for (const log_record& r : t.records()) {
+        auto& a = by_object[r.object];
+        ++a.transfers;
+        a.clients.insert(r.client);
+        const double len = static_cast<double>(log_display(r.duration));
+        a.length_sum += len;
+        a.lengths.push_back(len);
+        objects_per_client[r.client].insert(r.object);
+    }
+
+    const auto total = static_cast<double>(t.size());
+    for (const auto& [obj, a] : by_object) {
+        object_profile p;
+        p.object = obj;
+        p.transfers = a.transfers;
+        p.transfer_share = static_cast<double>(a.transfers) / total;
+        p.distinct_clients = a.clients.size();
+        p.mean_length = a.length_sum / static_cast<double>(a.transfers);
+        rep.objects.push_back(p);
+    }
+
+    std::uint64_t multi = 0;
+    for (const auto& [id, objs] : objects_per_client) {
+        if (objs.size() > 1) ++multi;
+    }
+    rep.multi_feed_client_fraction =
+        static_cast<double>(multi) /
+        static_cast<double>(objects_per_client.size());
+
+    std::uint64_t multi_sessions = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t pairs = 0;
+    for (const session& s : sessions.sessions) {
+        bool session_multi = false;
+        for (std::size_t i = 0; i + 1 < s.transfer_objects.size(); ++i) {
+            ++pairs;
+            if (s.transfer_objects[i + 1] != s.transfer_objects[i]) {
+                ++switches;
+                session_multi = true;
+            }
+        }
+        if (session_multi) ++multi_sessions;
+    }
+    rep.multi_feed_session_fraction =
+        sessions.sessions.empty()
+            ? 0.0
+            : static_cast<double>(multi_sessions) /
+                  static_cast<double>(sessions.sessions.size());
+    rep.switch_rate =
+        pairs > 0 ? static_cast<double>(switches) /
+                        static_cast<double>(pairs)
+                  : 0.0;
+
+    if (by_object.size() >= 2) {
+        // Two busiest objects.
+        std::vector<const acc*> ranked;
+        for (const auto& [obj, a] : by_object) ranked.push_back(&a);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const acc* a, const acc* b) {
+                      return a->transfers > b->transfers;
+                  });
+        if (ranked[0]->lengths.size() >= 2 &&
+            ranked[1]->lengths.size() >= 2) {
+            rep.length_ks_between_feeds = stats::ks_distance_two_sample(
+                ranked[0]->lengths, ranked[1]->lengths);
+        }
+    }
+    return rep;
+}
+
+}  // namespace lsm::characterize

@@ -1,0 +1,48 @@
+// Per-object (per-feed) analysis.
+//
+// The paper's trace carries two live objects — the two camera feeds of
+// the show (§2.1). Access to live objects is object driven (§1), but the
+// two feeds are interchangeable windows onto the same event, so the
+// paper treats "the live content" as one service. This layer quantifies
+// that treatment: per-feed shares, audience overlap (clients using both
+// feeds), within-session feed switching, and whether the per-feed
+// transfer-length distributions coincide (they must, if lengths are
+// client stickiness rather than object structure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "characterize/session_builder.h"
+#include "core/trace.h"
+
+namespace lsm::characterize {
+
+struct object_profile {
+    object_id object = 0;
+    std::uint64_t transfers = 0;
+    double transfer_share = 0.0;
+    std::uint64_t distinct_clients = 0;
+    double mean_length = 0.0;  ///< ⌊t+1⌋ seconds
+};
+
+struct object_layer_report {
+    std::vector<object_profile> objects;  ///< sorted by object id
+    /// Fraction of clients that accessed more than one object.
+    double multi_feed_client_fraction = 0.0;
+    /// Fraction of sessions containing transfers to more than one object.
+    double multi_feed_session_fraction = 0.0;
+    /// Within multi-feed sessions: rate of feed switches per transfer
+    /// pair (consecutive transfers on different objects).
+    double switch_rate = 0.0;
+    /// Two-sample KS distance between the two largest objects'
+    /// length distributions (near 0 when lengths are object-independent,
+    /// the live-media signature). Only set with >= 2 objects.
+    double length_ks_between_feeds = 0.0;
+};
+
+/// Requires a non-empty trace; `sessions` must be built from `t`.
+object_layer_report analyze_object_layer(const trace& t,
+                                         const session_set& sessions);
+
+}  // namespace lsm::characterize

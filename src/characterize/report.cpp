@@ -1,0 +1,145 @@
+#include "characterize/report.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "core/contracts.h"
+#include "stats/descriptive.h"
+
+namespace lsm::characterize {
+
+namespace {
+
+std::string fmt(const char* format, double a, double b = 0.0,
+                double c = 0.0) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, format, a, b, c);
+    return buf;
+}
+
+}  // namespace
+
+void print_curve(std::ostream& out, const std::string& caption,
+                 const std::vector<stats::dist_point>& pts,
+                 std::size_t max_rows) {
+    out << "  " << caption << " (" << pts.size() << " points)\n";
+    if (pts.empty()) return;
+    const std::size_t step =
+        (max_rows == 0 || pts.size() <= max_rows) ? 1
+                                                  : pts.size() / max_rows;
+    char buf[96];
+    for (std::size_t i = 0; i < pts.size(); i += step) {
+        std::snprintf(buf, sizeof buf, "    %14.6g  %14.6g\n", pts[i].x,
+                      pts[i].y);
+        out << buf;
+    }
+    if (step > 1 && (pts.size() - 1) % step != 0) {
+        std::snprintf(buf, sizeof buf, "    %14.6g  %14.6g\n", pts.back().x,
+                      pts.back().y);
+        out << buf;
+    }
+}
+
+void print_triptych(std::ostream& out, const std::string& caption,
+                    const std::vector<double>& sample,
+                    std::size_t max_rows) {
+    LSM_EXPECTS(!sample.empty());
+    stats::empirical_distribution ed(sample);
+    const auto s = stats::summarize(sample);
+    out << caption << ": n=" << s.count
+        << fmt("  mean=%.4g  sd=%.4g", s.mean, s.stddev)
+        << fmt("  median=%.4g  p99=%.4g  max=%.4g\n", s.median, s.p99,
+               s.max);
+    if (ed.min() > 0.0) {
+        print_curve(out, "frequency (log bins)", ed.frequency_points_log(60),
+                    max_rows);
+    } else {
+        print_curve(out, "frequency (linear bins)",
+                    ed.frequency_points_linear(60), max_rows);
+    }
+    print_curve(out, "CDF  P[X <= x]", ed.cdf_points(), max_rows);
+    print_curve(out, "CCDF P[X >= x]", ed.ccdf_points(), max_rows);
+}
+
+std::string describe(const stats::lognormal_fit& f) {
+    return fmt("lognormal(mu=%.4f, sigma=%.4f), KS=%.4f", f.mu, f.sigma,
+               f.ks);
+}
+
+std::string describe(const stats::exponential_fit& f) {
+    return fmt("exponential(mean=%.1f s), KS=%.4f", f.mean, f.ks);
+}
+
+std::string describe(const stats::zipf_fit& f) {
+    return fmt("Zipf: %.6g * x^-%.4f (R^2=%.3f)", f.c, f.alpha, f.r_squared);
+}
+
+std::string describe(const stats::tail_fit& f) {
+    return fmt("CCDF tail ~ x^-%.3f (R^2=%.3f, %g points)", f.alpha,
+               f.r_squared, static_cast<double>(f.points));
+}
+
+void print_series(std::ostream& out, const std::string& caption,
+                  const std::vector<double>& series, std::size_t max_rows) {
+    out << "  " << caption << " (" << series.size() << " bins)\n";
+    if (series.empty()) return;
+    const std::size_t step =
+        (max_rows == 0 || series.size() <= max_rows)
+            ? 1
+            : series.size() / max_rows;
+    char buf[64];
+    for (std::size_t i = 0; i < series.size(); i += step) {
+        std::snprintf(buf, sizeof buf, "    %8zu  %14.6g\n", i, series[i]);
+        out << buf;
+    }
+}
+
+void print_full_report(std::ostream& out, const trace& t,
+                       const client_layer_report& cl,
+                       const session_layer_report& sl,
+                       const transfer_layer_report& tl) {
+    const trace_summary ts = summarize(t);
+    out << "== Trace summary (Table 1) ==\n";
+    out << "  window          " << ts.window_length << " s ("
+        << ts.window_length / seconds_per_day << " days)\n";
+    out << "  live objects    " << ts.num_objects << "\n";
+    out << "  client ASs      " << ts.num_asns << "\n";
+    out << "  client IPs      " << ts.num_ips << "\n";
+    out << "  users           " << ts.num_clients << "\n";
+    out << "  sessions        " << cl.total_sessions << "\n";
+    out << "  transfers       " << ts.num_transfers << "\n";
+    out << fmt("  content served  %.3f TB\n",
+               ts.total_bytes / 1e12);
+
+    out << "\n== Client layer (Section 3) ==\n";
+    out << "  distinct clients: " << cl.distinct_clients << "\n";
+    out << "  interest (transfers/client): "
+        << describe(cl.transfer_interest_fit) << "\n";
+    out << "  interest (sessions/client):  "
+        << describe(cl.session_interest_fit) << "\n";
+
+    out << "\n== Session layer (Section 4) ==\n";
+    out << "  ON times:  " << describe(sl.on_fit) << "\n";
+    if (!sl.off_times.empty()) {
+        out << "  OFF times: " << describe(sl.off_fit) << "\n";
+    }
+    out << "  transfers/session: "
+        << describe(sl.transfers_per_session_zipf.fit) << "\n";
+    if (!sl.intra_session_interarrivals.empty()) {
+        out << "  intra-session interarrivals: " << describe(sl.intra_fit)
+            << "\n";
+    }
+    out << fmt("  ON-vs-hour max/mean ratio: %.3f\n",
+               sl.on_hour_max_over_mean);
+
+    out << "\n== Transfer layer (Section 5) ==\n";
+    out << "  lengths: " << describe(tl.length_fit) << "\n";
+    out << "  interarrival fast regime: " << describe(tl.fast_regime)
+        << "\n";
+    out << "  interarrival slow regime: " << describe(tl.slow_regime)
+        << "\n";
+    out << fmt("  congestion-bound transfers: %.2f%%\n",
+               100.0 * tl.congestion_bound_fraction);
+}
+
+}  // namespace lsm::characterize

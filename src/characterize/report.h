@@ -1,0 +1,47 @@
+// Textual rendering of characterization results: fixed-width tables for
+// distribution curves, fits, and the full hierarchical report used by the
+// characterize_trace example and the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "characterize/client_layer.h"
+#include "characterize/session_layer.h"
+#include "characterize/transfer_layer.h"
+#include "core/trace.h"
+#include "stats/empirical.h"
+
+namespace lsm::characterize {
+
+/// Prints an (x, y) curve as two columns with a caption. `max_rows`
+/// thins long curves to roughly that many evenly spaced rows (in index
+/// space); 0 = print everything.
+void print_curve(std::ostream& out, const std::string& caption,
+                 const std::vector<stats::dist_point>& pts,
+                 std::size_t max_rows = 40);
+
+/// Prints the paper-style triptych of a sample: log-binned frequency,
+/// CDF, and CCDF, each thinned for terminal display.
+void print_triptych(std::ostream& out, const std::string& caption,
+                    const std::vector<double>& sample,
+                    std::size_t max_rows = 25);
+
+/// One-line renderings of fits.
+std::string describe(const stats::lognormal_fit& f);
+std::string describe(const stats::exponential_fit& f);
+std::string describe(const stats::zipf_fit& f);
+std::string describe(const stats::tail_fit& f);
+
+/// Prints a binned time series as (bin index, value) rows, optionally
+/// labelling the x axis in hours or weekdays.
+void print_series(std::ostream& out, const std::string& caption,
+                  const std::vector<double>& series, std::size_t max_rows = 40);
+
+/// Full hierarchical report: Table-1 style summary plus the three layers.
+void print_full_report(std::ostream& out, const trace& t,
+                       const client_layer_report& cl,
+                       const session_layer_report& sl,
+                       const transfer_layer_report& tl);
+
+}  // namespace lsm::characterize

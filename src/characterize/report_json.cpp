@@ -1,0 +1,145 @@
+#include "characterize/report_json.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "stats/descriptive.h"
+
+namespace lsm::characterize {
+
+namespace {
+
+// JSON numbers cannot be NaN/inf; clamp to null-safe 0.
+double safe(double x) { return std::isfinite(x) ? x : 0.0; }
+
+void write_number(std::ostream& out, double x) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", safe(x));
+    out << buf;
+}
+
+void write_series(std::ostream& out, const std::vector<double>& xs) {
+    out << '[';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) out << ',';
+        write_number(out, xs[i]);
+    }
+    out << ']';
+}
+
+void write_sample_stats(std::ostream& out,
+                        const std::vector<double>& sample) {
+    if (sample.empty()) {
+        out << "{\"count\":0}";
+        return;
+    }
+    const auto s = stats::summarize(sample);
+    out << "{\"count\":" << s.count << ",\"mean\":";
+    write_number(out, s.mean);
+    out << ",\"stddev\":";
+    write_number(out, s.stddev);
+    out << ",\"median\":";
+    write_number(out, s.median);
+    out << ",\"p99\":";
+    write_number(out, s.p99);
+    out << ",\"max\":";
+    write_number(out, s.max);
+    out << '}';
+}
+
+void write_lognormal(std::ostream& out, const stats::lognormal_fit& f) {
+    out << "{\"family\":\"lognormal\",\"mu\":";
+    write_number(out, f.mu);
+    out << ",\"sigma\":";
+    write_number(out, f.sigma);
+    out << ",\"ks\":";
+    write_number(out, f.ks);
+    out << '}';
+}
+
+void write_zipf(std::ostream& out, const stats::zipf_fit& f) {
+    out << "{\"family\":\"zipf\",\"alpha\":";
+    write_number(out, f.alpha);
+    out << ",\"c\":";
+    write_number(out, f.c);
+    out << ",\"r_squared\":";
+    write_number(out, f.r_squared);
+    out << '}';
+}
+
+}  // namespace
+
+void write_report_json(const hierarchical_report& rep, std::ostream& out,
+                       const report_json_config& cfg) {
+    out << "{\"summary\":{";
+    out << "\"window_seconds\":" << rep.summary.window_length;
+    out << ",\"objects\":" << rep.summary.num_objects;
+    out << ",\"asns\":" << rep.summary.num_asns;
+    out << ",\"ips\":" << rep.summary.num_ips;
+    out << ",\"clients\":" << rep.summary.num_clients;
+    out << ",\"transfers\":" << rep.summary.num_transfers;
+    out << ",\"countries\":" << rep.summary.num_countries;
+    out << ",\"bytes\":";
+    write_number(out, rep.summary.total_bytes);
+    out << "},\"sanitization\":{";
+    out << "\"kept\":" << rep.sanitization.kept;
+    out << ",\"dropped_out_of_window\":"
+        << rep.sanitization.dropped_out_of_window;
+    out << ",\"dropped_negative\":" << rep.sanitization.dropped_negative;
+    out << "},\"client\":{";
+    out << "\"sessions\":" << rep.client.total_sessions;
+    out << ",\"distinct_clients\":" << rep.client.distinct_clients;
+    out << ",\"transfer_interest\":";
+    write_zipf(out, rep.client.transfer_interest_fit);
+    out << ",\"session_interest\":";
+    write_zipf(out, rep.client.session_interest_fit);
+    out << ",\"interarrivals\":";
+    write_sample_stats(out, rep.client.client_interarrivals);
+    out << ",\"concurrency\":";
+    write_sample_stats(out, rep.client.concurrency_series);
+    out << "},\"session\":{";
+    out << "\"on\":";
+    write_lognormal(out, rep.session.on_fit);
+    out << ",\"on_stats\":";
+    write_sample_stats(out, rep.session.on_times);
+    out << ",\"off_mean\":";
+    write_number(out, rep.session.off_fit.mean);
+    out << ",\"off_ks\":";
+    write_number(out, rep.session.off_fit.ks);
+    out << ",\"transfers_per_session\":";
+    write_zipf(out, rep.session.transfers_per_session_zipf.fit);
+    out << ",\"intra_session_gaps\":";
+    write_lognormal(out, rep.session.intra_fit);
+    out << ",\"overlap_fraction\":";
+    write_number(out, rep.session.overlap_fraction);
+    out << "},\"transfer\":{";
+    out << "\"length\":";
+    write_lognormal(out, rep.transfer.length_fit);
+    out << ",\"fast_tail_alpha\":";
+    write_number(out, rep.transfer.fast_regime.alpha);
+    out << ",\"slow_tail_alpha\":";
+    write_number(out, rep.transfer.slow_regime.alpha);
+    out << ",\"congestion_bound_fraction\":";
+    write_number(out, rep.transfer.congestion_bound_fraction);
+    out << '}';
+    if (cfg.include_series) {
+        out << ",\"series\":{\"client_daily_fold\":";
+        write_series(out, rep.client.concurrency_daily_fold);
+        out << ",\"transfer_daily_fold\":";
+        write_series(out, rep.transfer.concurrency_daily_fold);
+        out << ",\"on_time_by_hour\":";
+        write_series(out, rep.session.on_time_by_hour);
+        out << '}';
+    }
+    out << '}';
+}
+
+std::string report_to_json(const hierarchical_report& rep,
+                           const report_json_config& cfg) {
+    std::ostringstream ss;
+    write_report_json(rep, ss, cfg);
+    return ss.str();
+}
+
+}  // namespace lsm::characterize

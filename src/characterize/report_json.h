@@ -1,0 +1,33 @@
+// JSON rendering of the hierarchical report — the machine-readable
+// counterpart of report.h, for plotting pipelines and regression
+// tracking. Hand-rolled writer (no dependencies); emits a single object:
+//
+// {
+//   "summary":  { window, objects, asns, ips, clients, transfers, bytes },
+//   "sanitization": { kept, dropped_out_of_window, dropped_negative },
+//   "client":   { interest fits, interarrival stats, concurrency stats },
+//   "session":  { on/off fits, transfers-per-session fit, intra fit },
+//   "transfer": { length fit, tail regimes, congestion fraction },
+//   "series":   { daily folds }    // optional, see config
+// }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "characterize/hierarchical.h"
+
+namespace lsm::characterize {
+
+struct report_json_config {
+    /// Include the (long) daily-fold series arrays.
+    bool include_series = true;
+};
+
+void write_report_json(const hierarchical_report& rep, std::ostream& out,
+                       const report_json_config& cfg = {});
+
+std::string report_to_json(const hierarchical_report& rep,
+                           const report_json_config& cfg = {});
+
+}  // namespace lsm::characterize

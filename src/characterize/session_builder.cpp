@@ -1,0 +1,148 @@
+#include "characterize/session_builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "core/contracts.h"
+
+namespace lsm::characterize {
+
+namespace {
+
+/// Indices of trace records sorted by (client, start, end): the per-client
+/// timeline the sessionizer walks.
+std::vector<std::uint32_t> client_timeline_order(const trace& t) {
+    LSM_EXPECTS(t.size() < 0xFFFFFFFFULL);
+    std::vector<std::uint32_t> idx(t.size());
+    std::iota(idx.begin(), idx.end(), 0U);
+    const auto& recs = t.records();
+    std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return std::tuple(recs[a].client, recs[a].start, recs[a].duration) <
+               std::tuple(recs[b].client, recs[b].start, recs[b].duration);
+    });
+    return idx;
+}
+
+}  // namespace
+
+std::vector<seconds_t> session_set::off_times() const {
+    std::vector<seconds_t> offs;
+    for (std::size_t i = 0; i + 1 < sessions.size(); ++i) {
+        if (sessions[i].client != sessions[i + 1].client) continue;
+        const seconds_t off = sessions[i + 1].start - sessions[i].end;
+        // By construction of the sessionizer this exceeds the timeout.
+        offs.push_back(off);
+    }
+    return offs;
+}
+
+std::vector<std::size_t> session_set::order_by_start() const {
+    std::vector<std::size_t> idx(sessions.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return std::tuple(sessions[a].start, sessions[a].client) <
+               std::tuple(sessions[b].start, sessions[b].client);
+    });
+    return idx;
+}
+
+session_set build_sessions(const trace& t, seconds_t timeout) {
+    LSM_EXPECTS(timeout >= 0);
+    session_set out;
+    out.timeout = timeout;
+    if (t.empty()) return out;
+
+    const auto order = client_timeline_order(t);
+    const auto& recs = t.records();
+
+    session current;
+    bool open = false;
+    auto flush = [&]() {
+        if (open) out.sessions.push_back(std::move(current));
+        open = false;
+    };
+
+    for (std::uint32_t i : order) {
+        const log_record& r = recs[i];
+        const bool new_session =
+            !open || r.client != current.client ||
+            r.start - current.end > timeout;
+        if (new_session) {
+            flush();
+            current = session{};
+            current.client = r.client;
+            current.start = r.start;
+            current.end = r.end();
+            open = true;
+        } else {
+            current.end = std::max(current.end, r.end());
+        }
+        ++current.num_transfers;
+        current.transfer_starts.push_back(r.start);
+        current.transfer_ends.push_back(r.end());
+        current.transfer_objects.push_back(r.object);
+    }
+    flush();
+    LSM_ENSURES(!out.sessions.empty());
+    return out;
+}
+
+std::uint64_t count_sessions(const trace& t, seconds_t timeout) {
+    LSM_EXPECTS(timeout >= 0);
+    if (t.empty()) return 0;
+    const auto order = client_timeline_order(t);
+    const auto& recs = t.records();
+    std::uint64_t count = 0;
+    client_id cur_client = 0;
+    seconds_t cur_end = 0;
+    bool open = false;
+    for (std::uint32_t i : order) {
+        const log_record& r = recs[i];
+        if (!open || r.client != cur_client || r.start - cur_end > timeout) {
+            ++count;
+            cur_client = r.client;
+            cur_end = r.end();
+            open = true;
+        } else {
+            cur_end = std::max(cur_end, r.end());
+        }
+    }
+    return count;
+}
+
+std::vector<std::uint64_t> session_count_sweep(
+    const trace& t, const std::vector<seconds_t>& timeouts) {
+    // Sort the timeline once; each sweep point is then a linear pass.
+    std::vector<std::uint64_t> counts;
+    counts.reserve(timeouts.size());
+    if (t.empty()) {
+        counts.assign(timeouts.size(), 0);
+        return counts;
+    }
+    const auto order = client_timeline_order(t);
+    const auto& recs = t.records();
+    for (seconds_t timeout : timeouts) {
+        LSM_EXPECTS(timeout >= 0);
+        std::uint64_t count = 0;
+        client_id cur_client = 0;
+        seconds_t cur_end = 0;
+        bool open = false;
+        for (std::uint32_t i : order) {
+            const log_record& r = recs[i];
+            if (!open || r.client != cur_client ||
+                r.start - cur_end > timeout) {
+                ++count;
+                cur_client = r.client;
+                cur_end = r.end();
+                open = true;
+            } else {
+                cur_end = std::max(cur_end, r.end());
+            }
+        }
+        counts.push_back(count);
+    }
+    return counts;
+}
+
+}  // namespace lsm::characterize

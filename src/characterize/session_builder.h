@@ -1,0 +1,63 @@
+// Sessionization: grouping a client's transfers into sessions.
+//
+// The paper defines a session as a maximal interval of client activity in
+// which no transfer-free gap exceeds a threshold T_o (§2.2); it uses
+// T_o = 1,500 s after observing that the session count stabilizes there
+// (Fig 9). This module reconstructs sessions from a flat trace and is the
+// basis of both the session-layer and client-layer analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace lsm::characterize {
+
+/// The paper's default session timeout (§3.5, footnote 7).
+inline constexpr seconds_t default_session_timeout = 1500;
+
+struct session {
+    client_id client = 0;
+    seconds_t start = 0;  ///< start of the first transfer
+    seconds_t end = 0;    ///< latest end over all transfers (>= start)
+    std::uint32_t num_transfers = 0;
+    /// Start times of the transfers in this session, ascending.
+    std::vector<seconds_t> transfer_starts;
+    /// End times of the transfers, aligned with transfer_starts (not
+    /// themselves sorted: an earlier transfer may end later).
+    std::vector<seconds_t> transfer_ends;
+    /// Objects requested, aligned with transfer_starts.
+    std::vector<object_id> transfer_objects;
+
+    /// Session ON time l(i) = end - start (§4.2).
+    seconds_t on_time() const { return end - start; }
+};
+
+struct session_set {
+    seconds_t timeout = default_session_timeout;
+    /// Sessions in ascending order of (client, start).
+    std::vector<session> sessions;
+
+    /// Session OFF times f(i) = t(j) - t(i) - l(i) between consecutive
+    /// sessions of the same client (§4.3). Non-negative by construction.
+    std::vector<seconds_t> off_times() const;
+
+    /// Sessions sorted by start time (indices into `sessions`).
+    std::vector<std::size_t> order_by_start() const;
+};
+
+/// Builds sessions with gap threshold `timeout`. A new session starts when
+/// the gap between a transfer's start and the latest end of all earlier
+/// transfers of the same client exceeds `timeout`. Requires timeout >= 0.
+session_set build_sessions(const trace& t, seconds_t timeout);
+
+/// Counts sessions without materializing them — used for the Fig 9 sweep
+/// of session count versus T_o.
+std::uint64_t count_sessions(const trace& t, seconds_t timeout);
+
+/// Fig 9: session count for each timeout value in `timeouts`.
+std::vector<std::uint64_t> session_count_sweep(
+    const trace& t, const std::vector<seconds_t>& timeouts);
+
+}  // namespace lsm::characterize

@@ -1,0 +1,122 @@
+#include "characterize/session_layer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/contracts.h"
+#include "stats/descriptive.h"
+#include "stats/linreg.h"
+#include "stats/timeseries.h"
+
+namespace lsm::characterize {
+
+value_zipf fit_value_zipf(const std::vector<double>& samples) {
+    LSM_EXPECTS(!samples.empty());
+    std::map<double, std::uint64_t> counts;
+    for (double s : samples) {
+        LSM_EXPECTS(s > 0.0);
+        ++counts[s];
+    }
+    value_zipf vz;
+    const auto total = static_cast<double>(samples.size());
+    for (const auto& [value, count] : counts) {
+        vz.values.push_back(value);
+        vz.frequencies.push_back(static_cast<double>(count) / total);
+    }
+    // A single distinct value carries no slope information: return the
+    // profile with an empty fit.
+    if (vz.values.size() < 2) return vz;
+    // Log-log regression of frequency on value.
+    stats::linreg_result lr =
+        stats::loglog_regression(vz.values, vz.frequencies);
+    vz.fit.alpha = -lr.slope;
+    vz.fit.c = std::pow(10.0, lr.intercept);
+    vz.fit.r_squared = lr.r_squared;
+    return vz;
+}
+
+session_layer_report analyze_session_layer(const session_set& sessions,
+                                           const session_layer_config& cfg) {
+    LSM_EXPECTS(!sessions.sessions.empty());
+    LSM_EXPECTS(cfg.hour_bin > 0 && seconds_per_day % cfg.hour_bin == 0);
+    session_layer_report rep;
+
+    rep.on_times.reserve(sessions.sessions.size());
+    rep.transfers_per_session.reserve(sessions.sessions.size());
+    std::vector<seconds_t> starts;
+    starts.reserve(sessions.sessions.size());
+    std::uint64_t overlapping_pairs = 0;
+    std::uint64_t consecutive_pairs = 0;
+    for (const session& s : sessions.sessions) {
+        rep.on_times.push_back(
+            static_cast<double>(log_display(s.on_time())));
+        rep.transfers_per_session.push_back(
+            static_cast<double>(s.num_transfers));
+        starts.push_back(s.start);
+
+        // Intra-session interarrivals of transfer starts (Fig 14) and
+        // transfer OFF / overlap structure (§2.2, Fig 1).
+        seconds_t running_end =
+            s.transfer_starts.empty() ? 0 : s.transfer_ends.front();
+        for (std::size_t i = 0; i + 1 < s.transfer_starts.size(); ++i) {
+            rep.intra_session_interarrivals.push_back(
+                static_cast<double>(log_display(
+                    s.transfer_starts[i + 1] - s.transfer_starts[i])));
+            const seconds_t off = s.transfer_starts[i + 1] - running_end;
+            if (off > 0) {
+                rep.transfer_off_times.push_back(
+                    static_cast<double>(log_display(off)));
+            } else {
+                overlapping_pairs += 1;
+            }
+            consecutive_pairs += 1;
+            running_end =
+                std::max(running_end, s.transfer_ends[i + 1]);
+        }
+    }
+    if (rep.on_times.size() >= 2) {
+        rep.on_fit = stats::fit_lognormal_mle(rep.on_times);
+    }
+    rep.overlap_fraction =
+        consecutive_pairs > 0
+            ? static_cast<double>(overlapping_pairs) /
+                  static_cast<double>(consecutive_pairs)
+            : 0.0;
+
+    for (seconds_t off : sessions.off_times()) {
+        rep.off_times.push_back(static_cast<double>(off));
+    }
+    if (!rep.off_times.empty()) {
+        rep.off_fit = stats::fit_exponential_mle(rep.off_times);
+    }
+
+    rep.transfers_per_session_zipf =
+        fit_value_zipf(rep.transfers_per_session);
+
+    if (rep.intra_session_interarrivals.size() >= 2) {
+        rep.intra_fit =
+            stats::fit_lognormal_mle(rep.intra_session_interarrivals);
+    }
+
+    // Fig 10: mean ON time by starting hour.
+    std::vector<double> on_raw;
+    on_raw.reserve(sessions.sessions.size());
+    for (const session& s : sessions.sessions) {
+        on_raw.push_back(static_cast<double>(s.on_time()));
+    }
+    rep.on_time_by_hour =
+        stats::folded_bin_means(starts, on_raw, seconds_per_day,
+                                cfg.hour_bin);
+    double sum = 0.0, mx = 0.0;
+    for (double v : rep.on_time_by_hour) {
+        sum += v;
+        mx = std::max(mx, v);
+    }
+    const double mean_hour =
+        sum / static_cast<double>(rep.on_time_by_hour.size());
+    rep.on_hour_max_over_mean = mean_hour > 0.0 ? mx / mean_hour : 0.0;
+    return rep;
+}
+
+}  // namespace lsm::characterize

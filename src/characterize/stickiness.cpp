@@ -1,0 +1,84 @@
+#include "characterize/stickiness.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::characterize {
+
+stickiness_report analyze_stickiness(const trace& t,
+                                     const stickiness_config& cfg) {
+    LSM_EXPECTS(cfg.min_transfers_per_client >= 2);
+
+    struct acc {
+        double sum = 0.0;
+        double sumsq = 0.0;
+        std::uint32_t n = 0;
+    };
+    std::unordered_map<client_id, acc> per_client;
+    for (const log_record& r : t.records()) {
+        const double x = std::log(static_cast<double>(r.duration) + 1.0);
+        auto& a = per_client[r.client];
+        a.sum += x;
+        a.sumsq += x * x;
+        ++a.n;
+    }
+
+    stickiness_report rep;
+    double total_sum = 0.0, total_sumsq = 0.0;
+    std::uint64_t total_n = 0;
+    std::vector<std::pair<double, std::uint32_t>> means;  // (mean, n)
+    for (const auto& [id, a] : per_client) {
+        if (a.n < cfg.min_transfers_per_client) continue;
+        total_sum += a.sum;
+        total_sumsq += a.sumsq;
+        total_n += a.n;
+        means.emplace_back(a.sum / a.n, a.n);
+    }
+    LSM_EXPECTS(means.size() >= 2);
+    rep.clients_analyzed = means.size();
+    rep.transfers_analyzed = total_n;
+    rep.grand_mean_log = total_sum / static_cast<double>(total_n);
+
+    const double total_var =
+        total_sumsq / static_cast<double>(total_n) -
+        rep.grand_mean_log * rep.grand_mean_log;
+
+    // Between-client variance: transfer-weighted variance of per-client
+    // means around the grand mean.
+    double between = 0.0;
+    double mean_of_means = 0.0;
+    for (const auto& [m, n] : means) {
+        const double d = m - rep.grand_mean_log;
+        between += static_cast<double>(n) * d * d;
+        mean_of_means += m;
+    }
+    between /= static_cast<double>(total_n);
+    mean_of_means /= static_cast<double>(means.size());
+
+    rep.between_client_variance = between;
+    rep.within_client_variance = std::max(0.0, total_var - between);
+    rep.between_share =
+        total_var > 0.0 ? between / total_var : 0.0;
+
+    // Sampling floor: under i.i.d. lengths, E[between] ~ sigma^2 * (k-1)/N
+    // where k = #clients, N = #transfers (each client mean contributes
+    // sigma^2/n_i, weighted by n_i).
+    rep.sampling_floor_share =
+        total_n > 0
+            ? static_cast<double>(means.size() - 1) /
+                  static_cast<double>(total_n)
+            : 0.0;
+
+    double sd = 0.0;
+    for (const auto& [m, n] : means) {
+        sd += (m - mean_of_means) * (m - mean_of_means);
+    }
+    rep.per_client_mean_sd =
+        std::sqrt(sd / static_cast<double>(means.size()));
+    return rep;
+}
+
+}  // namespace lsm::characterize

@@ -1,0 +1,53 @@
+// Client-stickiness analysis — the paper's central §5.3 claim made
+// measurable.
+//
+// For live media, "the source of high variability in transfer sizes can
+// be traced back to client behavior (as opposed to object size
+// characteristics)": some clients habitually stick to the feed, others
+// habitually graze. If that is true, log transfer lengths should cluster
+// by client — a variance decomposition of log-lengths into
+// BETWEEN-client and WITHIN-client components will show a substantial
+// between share, and per-client mean lengths will spread far more than
+// sampling noise allows. For a workload whose lengths are drawn i.i.d.
+// regardless of client (e.g. the plain Table 2 generator), the between
+// share collapses to the sampling floor.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.h"
+
+namespace lsm::characterize {
+
+struct stickiness_config {
+    /// Only clients with at least this many transfers enter the
+    /// decomposition (per-client means need support).
+    std::uint32_t min_transfers_per_client = 5;
+};
+
+struct stickiness_report {
+    std::uint64_t clients_analyzed = 0;
+    std::uint64_t transfers_analyzed = 0;
+    /// Grand mean of log(length+1).
+    double grand_mean_log = 0.0;
+    /// Variance decomposition of log-lengths (one-way, by client):
+    /// total = between + within (law of total variance, population form).
+    double between_client_variance = 0.0;
+    double within_client_variance = 0.0;
+    /// between / (between + within) — the stickiness share.
+    double between_share = 0.0;
+    /// Expected between share if lengths were i.i.d. across clients with
+    /// the same per-client sample sizes (the sampling floor):
+    /// approximately (#clients - 1) / #transfers scaled by the total
+    /// variance. Reported so callers can compare observed vs floor.
+    double sampling_floor_share = 0.0;
+    /// SD of per-client mean log-lengths.
+    double per_client_mean_sd = 0.0;
+};
+
+/// Runs the decomposition over `t`. Requires at least two qualifying
+/// clients.
+stickiness_report analyze_stickiness(const trace& t,
+                                     const stickiness_config& cfg = {});
+
+}  // namespace lsm::characterize

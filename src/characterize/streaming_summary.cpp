@@ -1,0 +1,48 @@
+#include "characterize/streaming_summary.h"
+
+#include <cmath>
+#include <istream>
+
+#include "core/contracts.h"
+#include "core/trace_io.h"
+
+namespace lsm::characterize {
+
+streaming_summary::streaming_summary(const streaming_summary_config& cfg)
+    : cfg_(cfg) {
+    LSM_EXPECTS(cfg.congestion_threshold_bps >= 0.0);
+}
+
+void streaming_summary::add(const log_record& r) {
+    ++transfers_;
+    total_bytes_ += r.bytes();
+    clients_.insert(r.client);
+    ips_.insert(r.ip);
+    asns_.insert(r.asn);
+    objects_.insert(r.object);
+    log_len_.add(std::log(static_cast<double>(r.duration) + 1.0));
+    bandwidth_.add(r.avg_bandwidth_bps);
+    if (r.avg_bandwidth_bps < cfg_.congestion_threshold_bps) ++congested_;
+    if (have_prev_start_) {
+        log_gap_.add(std::log(
+            static_cast<double>(r.start - prev_start_) + 1.0));
+    }
+    prev_start_ = r.start;
+    have_prev_start_ = true;
+}
+
+double streaming_summary::congestion_bound_fraction() const {
+    return transfers_ > 0 ? static_cast<double>(congested_) /
+                                static_cast<double>(transfers_)
+                          : 0.0;
+}
+
+streaming_summary summarize_trace_csv_stream(
+    std::istream& in, const streaming_summary_config& cfg) {
+    streaming_summary summary(cfg);
+    read_trace_csv_stream(in,
+                          [&summary](const log_record& r) { summary.add(r); });
+    return summary;
+}
+
+}  // namespace lsm::characterize

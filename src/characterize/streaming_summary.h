@@ -1,0 +1,73 @@
+// Single-pass streaming characterization for logs too big for memory.
+//
+// A month of logs from a busy live service can exceed RAM many times
+// over. This module computes the Table-1 summary plus the moment-level
+// transfer statistics (length and interarrival log-moments, bandwidth
+// modes, congestion fraction) in ONE pass over the records, using
+// constant memory per distinct entity class and Welford accumulators for
+// moments. Records must arrive sorted by start time for the interarrival
+// statistics; unsorted input still yields correct non-temporal fields.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/log_record.h"
+#include "core/trace.h"
+#include "stats/streaming_stats.h"
+
+namespace lsm::characterize {
+
+struct streaming_summary_config {
+    /// Bandwidth below this counts as congestion-bound (Fig 20).
+    double congestion_threshold_bps = 25000.0;
+};
+
+class streaming_summary {
+public:
+    explicit streaming_summary(const streaming_summary_config& cfg = {});
+
+    /// Feeds one record. For interarrival statistics records should be
+    /// fed in start order.
+    void add(const log_record& r);
+
+    std::uint64_t transfers() const { return transfers_; }
+    std::uint64_t distinct_clients() const { return clients_.size(); }
+    std::uint64_t distinct_ips() const { return ips_.size(); }
+    std::uint64_t distinct_asns() const { return asns_.size(); }
+    std::uint64_t distinct_objects() const { return objects_.size(); }
+    double total_bytes() const { return total_bytes_; }
+    double congestion_bound_fraction() const;
+
+    /// Moments of log(duration + 1): a lognormal's (mu, sigma) via the
+    /// method of log-moments — matches fit_lognormal_mle up to the n/n-1
+    /// variance convention.
+    const stats::streaming_stats& log_length() const { return log_len_; }
+    /// Moments of log(interarrival + 1) between consecutive fed records.
+    const stats::streaming_stats& log_interarrival() const {
+        return log_gap_;
+    }
+    const stats::streaming_stats& bandwidth() const { return bandwidth_; }
+
+private:
+    streaming_summary_config cfg_;
+    std::uint64_t transfers_ = 0;
+    std::uint64_t congested_ = 0;
+    double total_bytes_ = 0.0;
+    std::unordered_set<client_id> clients_;
+    std::unordered_set<ipv4_addr> ips_;
+    std::unordered_set<as_number> asns_;
+    std::unordered_set<object_id> objects_;
+    stats::streaming_stats log_len_;
+    stats::streaming_stats log_gap_;
+    stats::streaming_stats bandwidth_;
+    bool have_prev_start_ = false;
+    seconds_t prev_start_ = 0;
+};
+
+/// Streams a CSV trace file through a streaming_summary without ever
+/// materializing the trace (see core/trace_io.h for the format).
+streaming_summary summarize_trace_csv_stream(
+    std::istream& in, const streaming_summary_config& cfg = {});
+
+}  // namespace lsm::characterize

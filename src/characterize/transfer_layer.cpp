@@ -1,0 +1,91 @@
+#include "characterize/transfer_layer.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+#include "stats/timeseries.h"
+
+namespace lsm::characterize {
+
+transfer_layer_report analyze_transfer_layer(
+    const trace& t, const transfer_layer_config& cfg) {
+    LSM_EXPECTS(!t.empty());
+    LSM_EXPECTS(cfg.temporal_bin > 0);
+    LSM_EXPECTS(cfg.tail_split > 1.0 && cfg.tail_split < cfg.tail_max);
+    transfer_layer_report rep;
+
+    const seconds_t horizon =
+        t.window_length() > 0 ? t.window_length() : seconds_per_day;
+
+    // --- Concurrency of transfers (Fig 15 / Fig 16).
+    std::vector<stats::interval> intervals;
+    intervals.reserve(t.size());
+    for (const log_record& r : t.records()) {
+        intervals.push_back({r.start, std::max(r.end(), r.start + 1)});
+    }
+    rep.concurrency_binned =
+        stats::mean_concurrency_series(intervals, cfg.temporal_bin, horizon);
+    const auto bins_per_week =
+        static_cast<std::size_t>(seconds_per_week / cfg.temporal_bin);
+    const auto bins_per_day =
+        static_cast<std::size_t>(seconds_per_day / cfg.temporal_bin);
+    rep.concurrency_weekly_fold =
+        stats::fold_series(rep.concurrency_binned, bins_per_week);
+    rep.concurrency_daily_fold =
+        stats::fold_series(rep.concurrency_binned, bins_per_day);
+    rep.concurrency_marginal =
+        stats::concurrency_series(intervals, 60, horizon);
+
+    // --- Interarrivals (Fig 17 / Fig 18). Requires start-sorted records.
+    std::vector<seconds_t> starts;
+    starts.reserve(t.size());
+    for (const log_record& r : t.records()) starts.push_back(r.start);
+    std::sort(starts.begin(), starts.end());
+    std::vector<seconds_t> gap_times;  // time of the earlier event
+    std::vector<double> gap_values;
+    rep.interarrivals.reserve(starts.size());
+    for (std::size_t i = 0; i + 1 < starts.size(); ++i) {
+        const seconds_t gap = starts[i + 1] - starts[i];
+        rep.interarrivals.push_back(
+            static_cast<double>(log_display(gap)));
+        gap_times.push_back(starts[i]);
+        gap_values.push_back(static_cast<double>(log_display(gap)));
+    }
+    if (rep.interarrivals.size() >= 2) {
+        stats::empirical_distribution ed(rep.interarrivals);
+        // Regime boundaries: only fit where there are points.
+        const double hi = std::min(cfg.tail_max, ed.max());
+        if (ed.max() > cfg.tail_split) {
+            rep.fast_regime = stats::fit_ccdf_tail(ed, 2.0, cfg.tail_split);
+            rep.slow_regime = stats::fit_ccdf_tail(ed, cfg.tail_split, hi);
+        }
+        rep.interarrival_binned = stats::bin_means(
+            gap_times, gap_values, cfg.temporal_bin, horizon);
+        rep.interarrival_weekly_fold = stats::folded_bin_means(
+            gap_times, gap_values, seconds_per_week, cfg.temporal_bin);
+        rep.interarrival_daily_fold = stats::folded_bin_means(
+            gap_times, gap_values, seconds_per_day, cfg.temporal_bin);
+    }
+
+    // --- Lengths (Fig 19).
+    rep.lengths.reserve(t.size());
+    for (const log_record& r : t.records()) {
+        rep.lengths.push_back(static_cast<double>(log_display(r.duration)));
+    }
+    if (rep.lengths.size() >= 2) {
+        rep.length_fit = stats::fit_lognormal_mle(rep.lengths);
+    }
+
+    // --- Bandwidth (Fig 20).
+    rep.bandwidths_bps.reserve(t.size());
+    std::uint64_t congested = 0;
+    for (const log_record& r : t.records()) {
+        rep.bandwidths_bps.push_back(r.avg_bandwidth_bps);
+        if (r.avg_bandwidth_bps < cfg.congestion_threshold_bps) ++congested;
+    }
+    rep.congestion_bound_fraction =
+        static_cast<double>(congested) / static_cast<double>(t.size());
+    return rep;
+}
+
+}  // namespace lsm::characterize

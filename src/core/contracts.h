@@ -1,0 +1,42 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations throw, so both library users and
+// the test suite can observe them; they are not compiled out in release
+// builds because every caller of this library is a simulator or an analysis
+// tool where correctness dominates raw speed on the contract-check paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lsm {
+
+/// Thrown when a precondition or postcondition of a public API is violated.
+class contract_violation : public std::logic_error {
+public:
+    explicit contract_violation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw contract_violation(std::string(kind) + " failed: " + expr + " at " +
+                             file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace lsm
+
+#define LSM_EXPECTS(cond)                                                  \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::lsm::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                         __LINE__);                       \
+    } while (false)
+
+#define LSM_ENSURES(cond)                                                  \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::lsm::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                         __LINE__);                       \
+    } while (false)

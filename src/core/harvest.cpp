@@ -1,0 +1,62 @@
+#include "core/harvest.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace lsm {
+
+std::vector<trace> harvest_logs(const trace& t, const harvest_config& cfg) {
+    LSM_EXPECTS(t.window_length() > 0);
+    LSM_EXPECTS(cfg.period > 0);
+    const seconds_t window = t.window_length();
+    const auto num_harvests =
+        static_cast<std::size_t>((window + cfg.period - 1) / cfg.period);
+    std::vector<trace> harvests;
+    harvests.reserve(num_harvests);
+    for (std::size_t i = 0; i < num_harvests; ++i) {
+        harvests.emplace_back(window, t.start_day());
+    }
+
+    for (const log_record& r : t.records()) {
+        log_record rec = r;
+        if (rec.end() > window) {
+            if (!cfg.flush_open_at_end) continue;
+            // Force-logged at final collection, truncated at the window.
+            rec.duration = std::max<seconds_t>(0, window - rec.start);
+        }
+        // End == 0 (zero-length at t=0) belongs to the first harvest.
+        const seconds_t end = std::max<seconds_t>(rec.end(), 1);
+        const auto idx = static_cast<std::size_t>(
+            std::min<seconds_t>((end - 1) / cfg.period,
+                                static_cast<seconds_t>(num_harvests) - 1));
+        harvests[idx].add(rec);
+    }
+
+    // Within a harvest file, the server wrote entries in end order.
+    for (trace& h : harvests) {
+        std::sort(h.records().begin(), h.records().end(),
+                  [](const log_record& a, const log_record& b) {
+                      if (a.end() != b.end()) return a.end() < b.end();
+                      return record_start_less(a, b);
+                  });
+    }
+    return harvests;
+}
+
+trace merge_harvests(const std::vector<trace>& harvests) {
+    LSM_EXPECTS(!harvests.empty());
+    trace out(harvests.front().window_length(),
+              harvests.front().start_day());
+    std::size_t total = 0;
+    for (const trace& h : harvests) total += h.size();
+    out.reserve(total);
+    for (const trace& h : harvests) {
+        LSM_EXPECTS(h.start_day() == out.start_day());
+        for (const log_record& r : h.records()) out.add(r);
+    }
+    out.sort_by_start();
+    return out;
+}
+
+}  // namespace lsm

@@ -1,0 +1,43 @@
+// Log harvesting: the §2.4 mechanism made explicit.
+//
+// The paper's logs "were harvested daily (at midnight)" and a small
+// number of entries "correspond to accesses that spanned multiple log
+// harvests". This module models the operator's side of that pipeline:
+// split a continuous trace into per-period harvest files — a media
+// server writes a transfer's log entry when the transfer ENDS, so a
+// harvest contains the records that finished during its period — and
+// re-merge harvests back into an analysis trace. Records still running
+// at the final harvest appear truncated there (the server force-logs
+// open sessions at collection time), which is exactly the artifact class
+// sanitize() deals with.
+#pragma once
+
+#include <vector>
+
+#include "core/trace.h"
+
+namespace lsm {
+
+struct harvest_config {
+    /// Harvest period (paper: daily, at midnight).
+    seconds_t period = seconds_per_day;
+    /// If true, transfers still open at the end of the trace window are
+    /// emitted in the final harvest truncated at the window edge.
+    bool flush_open_at_end = true;
+};
+
+/// Splits `t` into ceil(window / period) harvests. Harvest i holds the
+/// records with end() in (i*period, (i+1)*period], in end order —
+/// timestamps stay on the trace's global clock (a harvest is a file,
+/// not a re-based trace). Records whose end exceeds the window are
+/// placed by their truncated end when flush_open_at_end, else dropped.
+/// Requires a positive window and period.
+std::vector<trace> harvest_logs(const trace& t,
+                                const harvest_config& cfg = {});
+
+/// Re-merges harvest files into one analysis trace (window/start-day
+/// from the first harvest), re-sorted by start — the inverse of
+/// harvest_logs up to the truncation of still-open transfers.
+trace merge_harvests(const std::vector<trace>& harvests);
+
+}  // namespace lsm

@@ -1,0 +1,34 @@
+#include "core/log_record.h"
+
+#include <cstdio>
+#include <cstring>
+#include <tuple>
+
+#include "core/contracts.h"
+
+namespace lsm {
+
+country_code make_country(const char* two_letters) {
+    LSM_EXPECTS(two_letters != nullptr &&
+                std::strlen(two_letters) == 2);
+    country_code cc;
+    cc.c[0] = two_letters[0];
+    cc.c[1] = two_letters[1];
+    return cc;
+}
+
+std::string to_string(country_code cc) { return std::string(cc.c, 2); }
+
+bool record_start_less(const log_record& a, const log_record& b) {
+    return std::tie(a.start, a.client, a.object) <
+           std::tie(b.start, b.client, b.object);
+}
+
+std::string format_ipv4(ipv4_addr ip) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                  (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+    return buf;
+}
+
+}  // namespace lsm

@@ -1,0 +1,87 @@
+// A single server-log entry: one unicast transfer of a live object.
+//
+// Mirrors the fields the paper lists for the Windows Media Server logs
+// (§2.3): client identification (player ID, IP), topology (AS, country),
+// requested object, transfer statistics (duration, average bandwidth,
+// packet loss), server load, and status. Timestamps have one-second
+// resolution, like the original logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time_utils.h"
+
+namespace lsm {
+
+/// Unique player-ID of the client software instance ("client" in the
+/// paper's terminology; loosely one user).
+using client_id = std::uint64_t;
+
+/// IPv4 address in host byte order.
+using ipv4_addr = std::uint32_t;
+
+/// Autonomous-system number.
+using as_number = std::uint32_t;
+
+/// Identifier of a live object (the trace has two: the two live feeds).
+using object_id = std::uint16_t;
+
+/// Two-letter ISO country codes packed as two chars, e.g. {'B','R'}.
+struct country_code {
+    char c[2] = {'?', '?'};
+
+    friend bool operator==(country_code a, country_code b) {
+        return a.c[0] == b.c[0] && a.c[1] == b.c[1];
+    }
+    friend auto operator<=>(country_code a, country_code b) {
+        if (auto cmp = a.c[0] <=> b.c[0]; cmp != 0) return cmp;
+        return a.c[1] <=> b.c[1];
+    }
+};
+
+country_code make_country(const char* two_letters);
+std::string to_string(country_code cc);
+
+/// HTTP-like status of the transfer.
+enum class transfer_status : std::uint16_t {
+    ok = 200,
+    rejected = 503,
+};
+
+struct log_record {
+    client_id client = 0;
+    ipv4_addr ip = 0;
+    as_number asn = 0;
+    country_code country{};
+    object_id object = 0;
+    /// Start of the transfer, seconds since the trace-window origin.
+    seconds_t start = 0;
+    /// Transfer length in whole seconds (>= 0; zero-length records model
+    /// sub-second transfers quantized by the 1 s log resolution).
+    seconds_t duration = 0;
+    /// Average delivered bandwidth over the transfer, bits per second.
+    double avg_bandwidth_bps = 0.0;
+    /// Fraction of packets lost, in [0, 1].
+    float packet_loss = 0.0F;
+    /// Server CPU utilization in [0, 1] sampled when the entry was logged.
+    float server_cpu = 0.0F;
+    transfer_status status = transfer_status::ok;
+
+    /// End of the transfer (exclusive), seconds since trace origin.
+    seconds_t end() const { return start + duration; }
+
+    /// Bytes delivered, derived from duration and average bandwidth.
+    double bytes() const {
+        return static_cast<double>(duration) * avg_bandwidth_bps / 8.0;
+    }
+};
+
+/// Orders records by start time, breaking ties by client then object, which
+/// gives analyses a deterministic ordering.
+bool record_start_less(const log_record& a, const log_record& b);
+
+/// Renders an IPv4 address in dotted-quad notation.
+std::string format_ipv4(ipv4_addr ip);
+
+}  // namespace lsm

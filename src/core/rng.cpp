@@ -1,0 +1,135 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+namespace lsm {
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+rng::rng(std::uint64_t seed) : seed_(seed) {
+    splitmix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t rng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double rng::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::next_double_open0() {
+    return (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+std::uint64_t rng::next_below(std::uint64_t n) {
+    LSM_EXPECTS(n > 0);
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+        std::uint64_t t = -n % n;
+        while (l < t) {
+            x = next_u64();
+            m = static_cast<__uint128_t>(x) * n;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t rng::next_int(std::int64_t lo, std::int64_t hi) {
+    LSM_EXPECTS(lo <= hi);
+    std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool rng::next_bool(double p) {
+    LSM_EXPECTS(p >= 0.0 && p <= 1.0);
+    return next_double() < p;
+}
+
+double rng::next_exponential(double mean) {
+    LSM_EXPECTS(mean > 0.0);
+    return -mean * std::log(next_double_open0());
+}
+
+double rng::next_normal() {
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+        u = 2.0 * next_double() - 1.0;
+        v = 2.0 * next_double() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    have_cached_normal_ = true;
+    return u * factor;
+}
+
+double rng::next_normal(double mean, double stddev) {
+    LSM_EXPECTS(stddev >= 0.0);
+    return mean + stddev * next_normal();
+}
+
+double rng::next_lognormal(double mu, double sigma) {
+    LSM_EXPECTS(sigma >= 0.0);
+    return std::exp(next_normal(mu, sigma));
+}
+
+double rng::next_pareto(double alpha, double xmin) {
+    LSM_EXPECTS(alpha > 0.0 && xmin > 0.0);
+    return xmin / std::pow(next_double_open0(), 1.0 / alpha);
+}
+
+std::uint64_t rng::next_poisson(double mean) {
+    LSM_EXPECTS(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    if (mean <= 64.0) {
+        // Knuth: count exponential gaps fitting in one unit of time.
+        const double limit = std::exp(-mean);
+        double prod = next_double_open0();
+        std::uint64_t k = 0;
+        while (prod > limit) {
+            prod *= next_double_open0();
+            ++k;
+        }
+        return k;
+    }
+    // Normal approximation with continuity correction; adequate for the
+    // large-mean bin counts used by the arrival processes in this library.
+    double x = 0.0;
+    do {
+        x = next_normal(mean, std::sqrt(mean)) + 0.5;
+    } while (x < 0.0);
+    return static_cast<std::uint64_t>(x);
+}
+
+rng rng::substream(std::uint64_t key) const {
+    // Mix (seed, key) through splitmix64 twice to decorrelate substreams.
+    splitmix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL + key));
+    std::uint64_t derived = sm.next() ^ rotl(sm.next(), 23) ^ key;
+    return rng(derived);
+}
+
+}  // namespace lsm

@@ -1,0 +1,66 @@
+#include "core/time_utils.h"
+
+#include <cstdio>
+
+#include "core/contracts.h"
+
+namespace lsm {
+
+namespace {
+// Euclidean modulo: result is always in [0, m) even for negative t.
+seconds_t mod_floor(seconds_t t, seconds_t m) {
+    seconds_t r = t % m;
+    return r < 0 ? r + m : r;
+}
+}  // namespace
+
+seconds_t log_display(seconds_t t) {
+    LSM_EXPECTS(t >= 0);
+    return t + 1;
+}
+
+int hour_of_day(seconds_t t) {
+    return static_cast<int>(second_of_day(t) / seconds_per_hour);
+}
+
+int minute_of_day(seconds_t t) {
+    return static_cast<int>(second_of_day(t) / seconds_per_minute);
+}
+
+seconds_t second_of_day(seconds_t t) { return mod_floor(t, seconds_per_day); }
+
+seconds_t second_of_week(seconds_t t, weekday start_day) {
+    seconds_t offset = static_cast<seconds_t>(start_day) * seconds_per_day;
+    return mod_floor(t + offset, seconds_per_week);
+}
+
+weekday day_of_week(seconds_t t, weekday start_day) {
+    return static_cast<weekday>(second_of_week(t, start_day) /
+                                seconds_per_day);
+}
+
+std::string weekday_name(weekday d) {
+    static const char* const names[] = {"Sun", "Mon", "Tue", "Wed",
+                                        "Thu", "Fri", "Sat"};
+    int i = static_cast<int>(d);
+    LSM_EXPECTS(i >= 0 && i < 7);
+    return names[i];
+}
+
+std::string format_trace_time(seconds_t t) {
+    bool negative = t < 0;
+    if (negative) t = -t;
+    seconds_t days = t / seconds_per_day;
+    seconds_t rem = t % seconds_per_day;
+    seconds_t h = rem / seconds_per_hour;
+    seconds_t m = (rem % seconds_per_hour) / seconds_per_minute;
+    seconds_t s = rem % seconds_per_minute;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s%lld %02lld:%02lld:%02lld",
+                  negative ? "-" : "", static_cast<long long>(days),
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+    return buf;
+}
+
+}  // namespace lsm

@@ -1,0 +1,62 @@
+// Trace-time utilities.
+//
+// All trace timestamps are integral seconds relative to the start of the
+// trace window (the paper's server logs have one-second resolution, §2.3).
+// The paper displays zero-valued measurements on log axes using the
+// convention ⌊t + 1⌋; log_display() implements exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lsm {
+
+/// Seconds since the start of the trace window. Signed so that differences
+/// (interarrivals, OFF times) are representable without casts.
+using seconds_t = std::int64_t;
+
+inline constexpr seconds_t seconds_per_minute = 60;
+inline constexpr seconds_t seconds_per_hour = 3600;
+inline constexpr seconds_t seconds_per_day = 86400;
+inline constexpr seconds_t seconds_per_week = 7 * seconds_per_day;
+
+/// Day-of-week indices; the paper's trace starts on a Sunday (Fig 4 left).
+enum class weekday : int {
+    sunday = 0,
+    monday = 1,
+    tuesday = 2,
+    wednesday = 3,
+    thursday = 4,
+    friday = 5,
+    saturday = 6,
+};
+
+/// The paper's ⌊t + 1⌋ convention for showing t = 0 measurements on a
+/// logarithmic scale (§2.3). Defined for t >= 0.
+seconds_t log_display(seconds_t t);
+
+/// Hour of day in [0, 24) for a trace timestamp, given the weekday on which
+/// the trace window begins (the window is assumed to begin at midnight,
+/// matching the daily-midnight log harvest described in §2.3).
+int hour_of_day(seconds_t t);
+
+/// Minute of day in [0, 1440).
+int minute_of_day(seconds_t t);
+
+/// Second within the current day, in [0, 86400).
+seconds_t second_of_day(seconds_t t);
+
+/// Second within the current week, in [0, 604800), where week phase 0 is
+/// midnight of `start_day`.
+seconds_t second_of_week(seconds_t t, weekday start_day);
+
+/// Weekday of a trace timestamp given the weekday the trace started on.
+weekday day_of_week(seconds_t t, weekday start_day);
+
+/// Three-letter English weekday name ("Sun", "Mon", ...).
+std::string weekday_name(weekday d);
+
+/// "d HH:MM:SS" rendering of a trace timestamp (d = whole days elapsed).
+std::string format_trace_time(seconds_t t);
+
+}  // namespace lsm

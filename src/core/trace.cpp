@@ -1,0 +1,77 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/contracts.h"
+
+namespace lsm {
+
+trace::trace(seconds_t window_length, weekday start_day)
+    : window_length_(window_length), start_day_(start_day) {
+    LSM_EXPECTS(window_length >= 0);
+}
+
+void trace::set_window_length(seconds_t w) {
+    LSM_EXPECTS(w >= 0);
+    window_length_ = w;
+}
+
+void trace::sort_by_start() {
+    std::sort(records_.begin(), records_.end(), record_start_less);
+}
+
+bool trace::is_sorted_by_start() const {
+    return std::is_sorted(records_.begin(), records_.end(),
+                          record_start_less);
+}
+
+trace_summary summarize(const trace& t) {
+    trace_summary s;
+    s.window_length = t.window_length();
+    std::unordered_set<object_id> objects;
+    std::unordered_set<as_number> asns;
+    std::unordered_set<ipv4_addr> ips;
+    std::unordered_set<client_id> clients;
+    std::unordered_set<std::uint16_t> countries;
+    for (const log_record& r : t.records()) {
+        objects.insert(r.object);
+        asns.insert(r.asn);
+        ips.insert(r.ip);
+        clients.insert(r.client);
+        countries.insert(static_cast<std::uint16_t>(
+            (static_cast<unsigned char>(r.country.c[0]) << 8) |
+            static_cast<unsigned char>(r.country.c[1])));
+        s.total_bytes += r.bytes();
+    }
+    s.num_objects = objects.size();
+    s.num_asns = asns.size();
+    s.num_ips = ips.size();
+    s.num_clients = clients.size();
+    s.num_countries = countries.size();
+    s.num_transfers = t.size();
+    return s;
+}
+
+sanitize_report sanitize(trace& t) {
+    sanitize_report rep;
+    const seconds_t window = t.window_length();
+    auto& recs = t.records();
+    auto keep_end = std::remove_if(
+        recs.begin(), recs.end(), [&](const log_record& r) {
+            if (r.start < 0 || r.duration < 0) {
+                ++rep.dropped_negative;
+                return true;
+            }
+            if (window > 0 && (r.start >= window || r.end() > window)) {
+                ++rep.dropped_out_of_window;
+                return true;
+            }
+            return false;
+        });
+    recs.erase(keep_end, recs.end());
+    rep.kept = recs.size();
+    return rep;
+}
+
+}  // namespace lsm

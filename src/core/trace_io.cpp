@@ -1,0 +1,164 @@
+#include "core/trace_io.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace lsm {
+
+namespace {
+
+constexpr const char* k_magic = "lsm-trace-v1";
+constexpr const char* k_header =
+    "client,ip,asn,country,object,start,duration,bandwidth_bps,loss,cpu,"
+    "status";
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+    std::vector<std::string_view> fields;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t comma = line.find(',', pos);
+        if (comma == std::string_view::npos) {
+            fields.push_back(line.substr(pos));
+            break;
+        }
+        fields.push_back(line.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return fields;
+}
+
+template <typename T>
+T parse_int(std::string_view s, int line_no, const char* field) {
+    T value{};
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+        throw trace_io_error("line " + std::to_string(line_no) +
+                             ": bad integer field '" + std::string(field) +
+                             "': '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+double parse_double(std::string_view s, int line_no, const char* field) {
+    // std::from_chars for double is not universally available; strtod on a
+    // bounded copy is portable and the fields are short.
+    char buf[64];
+    if (s.size() >= sizeof buf) {
+        throw trace_io_error("line " + std::to_string(line_no) +
+                             ": oversized numeric field '" +
+                             std::string(field) + "'");
+    }
+    std::memcpy(buf, s.data(), s.size());
+    buf[s.size()] = '\0';
+    char* end = nullptr;
+    double value = std::strtod(buf, &end);
+    if (end != buf + s.size()) {
+        throw trace_io_error("line " + std::to_string(line_no) +
+                             ": bad numeric field '" + std::string(field) +
+                             "': '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+}  // namespace
+
+void write_trace_csv(const trace& t, std::ostream& out) {
+    out << k_magic << ',' << t.window_length() << ','
+        << static_cast<int>(t.start_day()) << '\n';
+    out << k_header << '\n';
+    char buf[256];
+    for (const log_record& r : t.records()) {
+        std::snprintf(buf, sizeof buf,
+                      "%" PRIu64 ",%u,%u,%c%c,%u,%" PRId64 ",%" PRId64
+                      ",%.6g,%.6g,%.6g,%u\n",
+                      r.client, r.ip, r.asn, r.country.c[0], r.country.c[1],
+                      static_cast<unsigned>(r.object), r.start, r.duration,
+                      r.avg_bandwidth_bps, static_cast<double>(r.packet_loss),
+                      static_cast<double>(r.server_cpu),
+                      static_cast<unsigned>(r.status));
+        out << buf;
+    }
+}
+
+void write_trace_csv_file(const trace& t, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw trace_io_error("cannot open for writing: " + path);
+    write_trace_csv(t, out);
+    if (!out) throw trace_io_error("write failed: " + path);
+}
+
+trace_csv_header read_trace_csv_stream(
+    std::istream& in, const std::function<void(const log_record&)>& sink) {
+    if (sink == nullptr) throw trace_io_error("null record sink");
+    std::string line;
+    if (!std::getline(in, line))
+        throw trace_io_error("empty input: missing magic line");
+    auto magic_fields = split_csv(line);
+    if (magic_fields.size() != 3 || magic_fields[0] != k_magic)
+        throw trace_io_error("bad magic line: '" + line + "'");
+    trace_csv_header header;
+    header.window_length = parse_int<seconds_t>(magic_fields[1], 1,
+                                                "window");
+    header.start_day = static_cast<weekday>(
+        parse_int<int>(magic_fields[2], 1, "start_day"));
+    if (!std::getline(in, line) || line != k_header)
+        throw trace_io_error("missing or bad column header line");
+
+    int line_no = 2;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        auto f = split_csv(line);
+        if (f.size() != 11) {
+            throw trace_io_error("line " + std::to_string(line_no) +
+                                 ": expected 11 fields, got " +
+                                 std::to_string(f.size()));
+        }
+        log_record r;
+        r.client = parse_int<client_id>(f[0], line_no, "client");
+        r.ip = parse_int<ipv4_addr>(f[1], line_no, "ip");
+        r.asn = parse_int<as_number>(f[2], line_no, "asn");
+        if (f[3].size() != 2) {
+            throw trace_io_error("line " + std::to_string(line_no) +
+                                 ": country must be two letters");
+        }
+        r.country.c[0] = f[3][0];
+        r.country.c[1] = f[3][1];
+        r.object = parse_int<object_id>(f[4], line_no, "object");
+        r.start = parse_int<seconds_t>(f[5], line_no, "start");
+        r.duration = parse_int<seconds_t>(f[6], line_no, "duration");
+        r.avg_bandwidth_bps = parse_double(f[7], line_no, "bandwidth_bps");
+        r.packet_loss =
+            static_cast<float>(parse_double(f[8], line_no, "loss"));
+        r.server_cpu = static_cast<float>(parse_double(f[9], line_no, "cpu"));
+        r.status = static_cast<transfer_status>(
+            parse_int<std::uint16_t>(f[10], line_no, "status"));
+        sink(r);
+    }
+    return header;
+}
+
+trace read_trace_csv(std::istream& in) {
+    trace t;
+    const trace_csv_header header = read_trace_csv_stream(
+        in, [&t](const log_record& r) { t.add(r); });
+    t.set_window_length(header.window_length);
+    t.set_start_day(header.start_day);
+    return t;
+}
+
+trace read_trace_csv_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw trace_io_error("cannot open for reading: " + path);
+    return read_trace_csv(in);
+}
+
+}  // namespace lsm

@@ -1,0 +1,48 @@
+// CSV serialization of traces.
+//
+// The on-disk format is one header line followed by one line per log
+// record. It is a faithful, self-describing stand-in for the Windows Media
+// Server log format described in §2.3 of the paper (which is proprietary
+// and verbose); all fields the characterization needs are present.
+//
+//   lsm-trace-v1,<window_length_seconds>,<start_weekday 0..6>
+//   client,ip,asn,country,object,start,duration,bandwidth_bps,loss,cpu,status
+//   42,3232235777,28573,BR,0,1234,56,56000,0.001,0.03,200
+//   ...
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/trace.h"
+
+namespace lsm {
+
+/// Thrown on malformed input.
+class trace_io_error : public std::runtime_error {
+public:
+    explicit trace_io_error(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+void write_trace_csv(const trace& t, std::ostream& out);
+void write_trace_csv_file(const trace& t, const std::string& path);
+
+trace read_trace_csv(std::istream& in);
+trace read_trace_csv_file(const std::string& path);
+
+/// Trace-level metadata from the CSV magic line.
+struct trace_csv_header {
+    seconds_t window_length = 0;
+    weekday start_day = weekday::sunday;
+};
+
+/// Streaming reader: parses the header, then invokes `sink` once per
+/// record without materializing a trace — constant memory for logs of
+/// any size. Returns the header.
+trace_csv_header read_trace_csv_stream(
+    std::istream& in, const std::function<void(const log_record&)>& sink);
+
+}  // namespace lsm

@@ -1,0 +1,65 @@
+#include "core/trace_ops.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace lsm {
+
+trace slice_time(const trace& t, seconds_t from, seconds_t to) {
+    LSM_EXPECTS(from >= 0 && from < to);
+    trace out(to - from, t.start_day());
+    for (const log_record& r : t.records()) {
+        if (r.start < from || r.start >= to) continue;
+        log_record rebased = r;
+        rebased.start -= from;
+        // Transfers running past the slice end are truncated, mirroring
+        // what a log harvest at `to` would record.
+        rebased.duration =
+            std::min(rebased.duration, (to - from) - rebased.start);
+        out.add(rebased);
+    }
+    out.sort_by_start();
+    return out;
+}
+
+trace filter_object(const trace& t, object_id obj) {
+    return filter_records(
+        t, [obj](const log_record& r) { return r.object == obj; });
+}
+
+trace filter_records(const trace& t,
+                     const std::function<bool(const log_record&)>& keep) {
+    LSM_EXPECTS(keep != nullptr);
+    trace out(t.window_length(), t.start_day());
+    for (const log_record& r : t.records()) {
+        if (keep(r)) out.add(r);
+    }
+    return out;
+}
+
+trace merge_traces(const trace& a, const trace& b) {
+    LSM_EXPECTS(a.start_day() == b.start_day());
+    trace out(std::max(a.window_length(), b.window_length()),
+              a.start_day());
+    out.reserve(a.size() + b.size());
+    for (const log_record& r : a.records()) out.add(r);
+    for (const log_record& r : b.records()) out.add(r);
+    out.sort_by_start();
+    return out;
+}
+
+trace shift_time(const trace& t, seconds_t offset) {
+    trace out(t.window_length() + std::max<seconds_t>(offset, 0),
+              t.start_day());
+    out.reserve(t.size());
+    for (const log_record& r : t.records()) {
+        LSM_EXPECTS(r.start + offset >= 0);
+        log_record shifted = r;
+        shifted.start += offset;
+        out.add(shifted);
+    }
+    return out;
+}
+
+}  // namespace lsm

@@ -1,0 +1,38 @@
+// Trace manipulation: filtering, slicing, merging, shifting.
+//
+// The characterization pipeline often needs views of a trace — one
+// object's transfers (per-feed analyses), one day's traffic (stationarity
+// checks), one AS's clients (edge-server assignment in the CDN
+// simulator), or the union of several traces (multi-server logs harvested
+// separately, as the paper's daily midnight harvests were).
+#pragma once
+
+#include <functional>
+
+#include "core/trace.h"
+
+namespace lsm {
+
+/// Records within [from, to) by start time. Window of the result is the
+/// slice length; start times are rebased to the slice origin. Requires
+/// 0 <= from < to.
+trace slice_time(const trace& t, seconds_t from, seconds_t to);
+
+/// Records of a single object. Keeps the original window.
+trace filter_object(const trace& t, object_id obj);
+
+/// Records matching a predicate. Keeps the original window.
+trace filter_records(const trace& t,
+                     const std::function<bool(const log_record&)>& keep);
+
+/// Union of two traces over the same time origin: window is the max of
+/// the two windows, records concatenated and re-sorted. Both traces must
+/// share the same start weekday.
+trace merge_traces(const trace& a, const trace& b);
+
+/// Shifts every record by `offset` seconds (may be negative, but no
+/// record may end up with a negative start). Grows the window by
+/// max(offset, 0).
+trace shift_time(const trace& t, seconds_t offset);
+
+}  // namespace lsm

@@ -1,0 +1,214 @@
+#include "core/wms_log.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace lsm {
+
+namespace {
+
+constexpr const char* k_fields =
+    "#Fields: c-ip c-playerid cs-uri-stem x-asnum c-country x-start "
+    "x-duration avg-bandwidth c-rate s-cpu-util sc-status";
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && line[i] == ' ') ++i;
+        const std::size_t j = line.find(' ', i);
+        if (i >= line.size()) break;
+        if (j == std::string_view::npos) {
+            out.push_back(line.substr(i));
+            break;
+        }
+        out.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+template <typename T>
+T parse_uint(std::string_view s, int line_no, const char* field) {
+    T value{};
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+        throw wms_log_error("line " + std::to_string(line_no) +
+                            ": bad field " + field + ": '" +
+                            std::string(s) + "'");
+    }
+    return value;
+}
+
+double parse_num(std::string_view s, int line_no, const char* field) {
+    char buf[64];
+    if (s.size() >= sizeof buf) {
+        throw wms_log_error("line " + std::to_string(line_no) +
+                            ": oversized field " + field);
+    }
+    std::memcpy(buf, s.data(), s.size());
+    buf[s.size()] = '\0';
+    char* end = nullptr;
+    const double v = std::strtod(buf, &end);
+    if (end != buf + s.size()) {
+        throw wms_log_error("line " + std::to_string(line_no) +
+                            ": bad field " + field + ": '" +
+                            std::string(s) + "'");
+    }
+    return v;
+}
+
+ipv4_addr parse_ip(std::string_view s, int line_no) {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    char buf[32];
+    if (s.size() >= sizeof buf) {
+        throw wms_log_error("line " + std::to_string(line_no) +
+                            ": bad c-ip");
+    }
+    std::memcpy(buf, s.data(), s.size());
+    buf[s.size()] = '\0';
+    if (std::sscanf(buf, "%u.%u.%u.%u", &a, &b, &c, &d) != 4 || a > 255 ||
+        b > 255 || c > 255 || d > 255) {
+        throw wms_log_error("line " + std::to_string(line_no) +
+                            ": bad c-ip: '" + std::string(s) + "'");
+    }
+    return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace
+
+void write_wms_log(const trace& t, std::ostream& out) {
+    out << "#Software: Microsoft Windows Media Services\n";
+    out << "#Version: 1.0\n";
+    out << "#Date: window=" << t.window_length()
+        << " start-day=" << static_cast<int>(t.start_day()) << "\n";
+    out << k_fields << "\n";
+    char buf[320];
+    for (const log_record& r : t.records()) {
+        std::snprintf(
+            buf, sizeof buf,
+            "%s {%016" PRIx64 "} mms://server/feed%u %u %c%c %" PRId64
+            " %" PRId64 " %.0f %.6g %.2f %u\n",
+            format_ipv4(r.ip).c_str(), r.client,
+            static_cast<unsigned>(r.object) + 1, r.asn, r.country.c[0],
+            r.country.c[1], r.start, r.duration, r.avg_bandwidth_bps,
+            static_cast<double>(r.packet_loss),
+            static_cast<double>(r.server_cpu) * 100.0,
+            static_cast<unsigned>(r.status));
+        out << buf;
+    }
+}
+
+void write_wms_log_file(const trace& t, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw wms_log_error("cannot open for writing: " + path);
+    write_wms_log(t, out);
+    if (!out) throw wms_log_error("write failed: " + path);
+}
+
+trace read_wms_log(std::istream& in) {
+    trace t;
+    std::string line;
+    int line_no = 0;
+    bool fields_seen = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            if (line.rfind("#Date: window=", 0) == 0) {
+                // "#Date: window=<W> start-day=<D>"
+                const auto parts = split_ws(line);
+                for (const auto& p : parts) {
+                    if (p.rfind("window=", 0) == 0) {
+                        t.set_window_length(parse_uint<seconds_t>(
+                            p.substr(7), line_no, "window"));
+                    } else if (p.rfind("start-day=", 0) == 0) {
+                        t.set_start_day(static_cast<weekday>(parse_uint<int>(
+                            p.substr(10), line_no, "start-day")));
+                    }
+                }
+            } else if (line.rfind("#Fields:", 0) == 0) {
+                if (line != k_fields) {
+                    throw wms_log_error(
+                        "unsupported #Fields layout at line " +
+                        std::to_string(line_no));
+                }
+                fields_seen = true;
+            }
+            continue;
+        }
+        if (!fields_seen) {
+            throw wms_log_error("record before #Fields at line " +
+                                std::to_string(line_no));
+        }
+        const auto f = split_ws(line);
+        if (f.size() != 11) {
+            throw wms_log_error("line " + std::to_string(line_no) +
+                                ": expected 11 fields, got " +
+                                std::to_string(f.size()));
+        }
+        log_record r;
+        r.ip = parse_ip(f[0], line_no);
+        // Player id token: {<16 hex digits>}.
+        if (f[1].size() != 18 || f[1].front() != '{' ||
+            f[1].back() != '}') {
+            throw wms_log_error("line " + std::to_string(line_no) +
+                                ": bad c-playerid");
+        }
+        {
+            const std::string_view hex = f[1].substr(1, 16);
+            std::uint64_t id = 0;
+            auto [ptr, ec] =
+                std::from_chars(hex.data(), hex.data() + hex.size(), id, 16);
+            if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
+                throw wms_log_error("line " + std::to_string(line_no) +
+                                    ": bad c-playerid hex");
+            }
+            r.client = id;
+        }
+        // Stream URI: mms://server/feed<N>.
+        constexpr std::string_view prefix = "mms://server/feed";
+        if (f[2].rfind(prefix, 0) != 0) {
+            throw wms_log_error("line " + std::to_string(line_no) +
+                                ": bad cs-uri-stem");
+        }
+        r.object = static_cast<object_id>(
+            parse_uint<unsigned>(f[2].substr(prefix.size()), line_no,
+                                 "cs-uri-stem") -
+            1);
+        r.asn = parse_uint<as_number>(f[3], line_no, "x-asnum");
+        if (f[4].size() != 2) {
+            throw wms_log_error("line " + std::to_string(line_no) +
+                                ": bad c-country");
+        }
+        r.country.c[0] = f[4][0];
+        r.country.c[1] = f[4][1];
+        r.start = parse_uint<seconds_t>(f[5], line_no, "x-start");
+        r.duration = parse_uint<seconds_t>(f[6], line_no, "x-duration");
+        r.avg_bandwidth_bps = parse_num(f[7], line_no, "avg-bandwidth");
+        r.packet_loss =
+            static_cast<float>(parse_num(f[8], line_no, "c-rate"));
+        r.server_cpu = static_cast<float>(
+            parse_num(f[9], line_no, "s-cpu-util") / 100.0);
+        r.status = static_cast<transfer_status>(
+            parse_uint<std::uint16_t>(f[10], line_no, "sc-status"));
+        t.add(r);
+    }
+    return t;
+}
+
+trace read_wms_log_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw wms_log_error("cannot open for reading: " + path);
+    return read_wms_log(in);
+}
+
+}  // namespace lsm

@@ -1,0 +1,54 @@
+#include "gismo/arrival_process.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace lsm::gismo {
+
+std::vector<seconds_t> generate_piecewise_poisson(const rate_profile& profile,
+                                                  seconds_t horizon,
+                                                  rng& r) {
+    LSM_EXPECTS(horizon > 0);
+    std::vector<seconds_t> arrivals;
+    arrivals.reserve(static_cast<std::size_t>(
+        profile.mean_rate() * static_cast<double>(horizon) * 1.1));
+    const seconds_t bin = profile.bin();
+    for (seconds_t bin_start = 0; bin_start < horizon; bin_start += bin) {
+        const seconds_t bin_end = std::min(bin_start + bin, horizon);
+        const double rate = profile.rate_at(bin_start);
+        if (rate <= 0.0) continue;
+        double t = static_cast<double>(bin_start);
+        const auto end = static_cast<double>(bin_end);
+        while (true) {
+            t += r.next_exponential(1.0 / rate);
+            if (t >= end) break;
+            arrivals.push_back(static_cast<seconds_t>(t));
+        }
+    }
+    LSM_ENSURES(std::is_sorted(arrivals.begin(), arrivals.end()));
+    return arrivals;
+}
+
+std::vector<seconds_t> generate_stationary_poisson(double rate,
+                                                   seconds_t horizon,
+                                                   rng& r) {
+    LSM_EXPECTS(rate > 0.0);
+    return generate_piecewise_poisson(rate_profile::constant(rate), horizon,
+                                      r);
+}
+
+std::vector<double> interarrival_times(
+    const std::vector<seconds_t>& arrivals) {
+    LSM_EXPECTS(std::is_sorted(arrivals.begin(), arrivals.end()));
+    std::vector<double> gaps;
+    if (arrivals.size() < 2) return gaps;
+    gaps.reserve(arrivals.size() - 1);
+    for (std::size_t i = 0; i + 1 < arrivals.size(); ++i) {
+        gaps.push_back(static_cast<double>(
+            log_display(arrivals[i + 1] - arrivals[i])));
+    }
+    return gaps;
+}
+
+}  // namespace lsm::gismo

@@ -1,0 +1,36 @@
+// Arrival processes.
+//
+// The paper's model (§3.4, §6.1): client arrivals follow a
+// piecewise-stationary Poisson process — a sequence of stationary Poisson
+// processes, one per profile bin, with rates drawn from the periodic
+// diurnal pattern. This module generates such arrival streams (and the
+// stationary special case used for the Fig 5-vs-Fig 6 comparison and the
+// ablation benches).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time_utils.h"
+#include "gismo/diurnal.h"
+
+namespace lsm::gismo {
+
+/// Generates arrival times over [0, horizon) from a piecewise-stationary
+/// Poisson process whose rate in each profile bin is profile.rate_at(t).
+/// Times are returned in ascending order at 1-second resolution (the log
+/// resolution of the paper's server). Deterministic in (profile, horizon,
+/// r's state).
+std::vector<seconds_t> generate_piecewise_poisson(const rate_profile& profile,
+                                                  seconds_t horizon, rng& r);
+
+/// Stationary Poisson arrivals at a fixed rate (the §3.4 null model).
+std::vector<seconds_t> generate_stationary_poisson(double rate,
+                                                   seconds_t horizon,
+                                                   rng& r);
+
+/// Interarrival times (⌊t+1⌋ convention) of an arrival stream — what
+/// Figures 5 and 6 plot.
+std::vector<double> interarrival_times(const std::vector<seconds_t>& arrivals);
+
+}  // namespace lsm::gismo

@@ -1,0 +1,162 @@
+#include "gismo/config_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace lsm::gismo {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos) return "";
+    const auto b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+double to_double(const std::string& v, const std::string& key) {
+    char* end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (end != v.c_str() + v.size() || v.empty()) {
+        throw config_io_error("bad numeric value for " + key + ": '" + v +
+                              "'");
+    }
+    return x;
+}
+
+}  // namespace
+
+void write_live_config(const live_config& cfg, std::ostream& out) {
+    out << "# lsm live workload recipe (see gismo/config_io.h)\n";
+    out << "window_seconds = " << cfg.window << "\n";
+    out << "start_day = " << static_cast<int>(cfg.start_day) << "\n";
+    out << "stationary_arrivals = " << (cfg.stationary_arrivals ? 1 : 0)
+        << "\n";
+    out << "interest_model = "
+        << (cfg.interest == interest_model::zipf ? "zipf" : "uniform")
+        << "\n";
+    out << "interest_alpha = " << cfg.interest_alpha << "\n";
+    out << "num_clients = " << cfg.num_clients << "\n";
+    out << "transfers_per_session_alpha = "
+        << cfg.transfers_per_session_alpha << "\n";
+    out << "max_transfers_per_session = " << cfg.max_transfers_per_session
+        << "\n";
+    out << "gap_mu = " << cfg.gap_mu << "\n";
+    out << "gap_sigma = " << cfg.gap_sigma << "\n";
+    out << "length_mu = " << cfg.length_mu << "\n";
+    out << "length_sigma = " << cfg.length_sigma << "\n";
+    out << "num_objects = " << cfg.num_objects << "\n";
+    out << "annotate_network = " << (cfg.annotate_network ? 1 : 0) << "\n";
+    out << "rate_bin = " << cfg.arrivals.bin() << "\n";
+    out << "rates =";
+    char buf[40];
+    for (double r : cfg.arrivals.rates()) {
+        std::snprintf(buf, sizeof buf, " %.17g", r);
+        out << buf;
+    }
+    out << "\n";
+}
+
+void write_live_config_file(const live_config& cfg,
+                            const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw config_io_error("cannot open for writing: " + path);
+    write_live_config(cfg, out);
+    if (!out) throw config_io_error("write failed: " + path);
+}
+
+live_config read_live_config(std::istream& in) {
+    live_config cfg = live_config::paper_defaults();
+    std::vector<double> rates;
+    seconds_t rate_bin = cfg.arrivals.bin();
+    bool have_rates = false;
+
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#') continue;
+        const auto eq = stripped.find('=');
+        if (eq == std::string::npos) {
+            throw config_io_error("line " + std::to_string(line_no) +
+                                  ": expected key = value");
+        }
+        const std::string key = trim(stripped.substr(0, eq));
+        const std::string value = trim(stripped.substr(eq + 1));
+
+        if (key == "window_seconds") {
+            cfg.window = static_cast<seconds_t>(to_double(value, key));
+        } else if (key == "start_day") {
+            const int d = static_cast<int>(to_double(value, key));
+            if (d < 0 || d > 6) {
+                throw config_io_error("start_day must be 0..6");
+            }
+            cfg.start_day = static_cast<weekday>(d);
+        } else if (key == "stationary_arrivals") {
+            cfg.stationary_arrivals = to_double(value, key) != 0.0;
+        } else if (key == "interest_model") {
+            if (value == "zipf") {
+                cfg.interest = interest_model::zipf;
+            } else if (value == "uniform") {
+                cfg.interest = interest_model::uniform;
+            } else {
+                throw config_io_error("interest_model must be zipf or "
+                                      "uniform, got '" +
+                                      value + "'");
+            }
+        } else if (key == "interest_alpha") {
+            cfg.interest_alpha = to_double(value, key);
+        } else if (key == "num_clients") {
+            cfg.num_clients =
+                static_cast<std::uint64_t>(to_double(value, key));
+        } else if (key == "transfers_per_session_alpha") {
+            cfg.transfers_per_session_alpha = to_double(value, key);
+        } else if (key == "max_transfers_per_session") {
+            cfg.max_transfers_per_session =
+                static_cast<std::uint64_t>(to_double(value, key));
+        } else if (key == "gap_mu") {
+            cfg.gap_mu = to_double(value, key);
+        } else if (key == "gap_sigma") {
+            cfg.gap_sigma = to_double(value, key);
+        } else if (key == "length_mu") {
+            cfg.length_mu = to_double(value, key);
+        } else if (key == "length_sigma") {
+            cfg.length_sigma = to_double(value, key);
+        } else if (key == "num_objects") {
+            cfg.num_objects =
+                static_cast<std::uint16_t>(to_double(value, key));
+        } else if (key == "annotate_network") {
+            cfg.annotate_network = to_double(value, key) != 0.0;
+        } else if (key == "rate_bin") {
+            rate_bin = static_cast<seconds_t>(to_double(value, key));
+        } else if (key == "rates") {
+            std::istringstream rs(value);
+            double r = 0.0;
+            rates.clear();
+            while (rs >> r) rates.push_back(r);
+            if (rates.empty()) {
+                throw config_io_error("rates list is empty");
+            }
+            have_rates = true;
+        } else {
+            throw config_io_error("line " + std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+        }
+    }
+    if (have_rates) {
+        cfg.arrivals = rate_profile(std::move(rates), rate_bin);
+    }
+    return cfg;
+}
+
+live_config read_live_config_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw config_io_error("cannot open for reading: " + path);
+    return read_live_config(in);
+}
+
+}  // namespace lsm::gismo

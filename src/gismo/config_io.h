@@ -1,0 +1,40 @@
+// Text serialization of live_config — saved workload recipes.
+//
+// A GISMO user tunes a configuration (often from a measured trace, as in
+// examples/workload_compare.cpp) and wants to keep it: this module
+// round-trips live_config through a simple `key = value` text format,
+// including the full piecewise rate profile. Lines starting with '#' are
+// comments; unknown keys are an error (catching typos beats silently
+// ignoring them).
+//
+//   # live workload recipe
+//   window_days = 28
+//   interest_alpha = 0.4704
+//   rate_bin = 900
+//   rates = 0.1 0.2 0.4 ...
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "gismo/live_generator.h"
+
+namespace lsm::gismo {
+
+class config_io_error : public std::runtime_error {
+public:
+    explicit config_io_error(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+void write_live_config(const live_config& cfg, std::ostream& out);
+void write_live_config_file(const live_config& cfg,
+                            const std::string& path);
+
+/// Parses a config written by write_live_config (or hand-authored).
+/// Missing keys keep their paper defaults; unknown keys throw.
+live_config read_live_config(std::istream& in);
+live_config read_live_config_file(const std::string& path);
+
+}  // namespace lsm::gismo

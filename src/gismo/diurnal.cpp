@@ -1,0 +1,107 @@
+#include "gismo/diurnal.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace lsm::gismo {
+
+rate_profile::rate_profile(std::vector<double> rates, seconds_t bin)
+    : rates_(std::move(rates)), bin_(bin) {
+    LSM_EXPECTS(!rates_.empty());
+    LSM_EXPECTS(bin_ > 0);
+    for (double r : rates_) LSM_EXPECTS(r >= 0.0);
+}
+
+rate_profile rate_profile::paper_daily(double mean_rate) {
+    LSM_EXPECTS(mean_rate > 0.0);
+    // Hourly shape echoing Fig 4 (right): minimum 4am-11am, ramp through
+    // the afternoon, peak 8pm-11pm. Normalized to mean 1 below.
+    const double hourly[24] = {
+        0.55, 0.40, 0.30, 0.22, 0.15, 0.12, 0.12, 0.13,  // 00-07
+        0.15, 0.18, 0.25, 0.50, 0.85, 1.05, 1.10, 1.15,  // 08-15
+        1.20, 1.30, 1.45, 1.70, 2.10, 2.45, 2.20, 1.30,  // 16-23
+    };
+    double mean = 0.0;
+    for (double h : hourly) mean += h;
+    mean /= 24.0;
+    std::vector<double> rates(96, 0.0);
+    for (std::size_t i = 0; i < 96; ++i) {
+        rates[i] = mean_rate * hourly[i / 4] / mean;
+    }
+    return rate_profile(std::move(rates), 900);
+}
+
+rate_profile rate_profile::paper_weekly(double mean_rate) {
+    LSM_EXPECTS(mean_rate > 0.0);
+    const rate_profile daily = paper_daily(1.0);
+    // Sun..Sat weekend modulation, as in the world model's defaults.
+    const double dow[7] = {1.15, 0.95, 0.97, 0.97, 0.98, 1.02, 1.18};
+    double dow_mean = 0.0;
+    for (double d : dow) dow_mean += d;
+    dow_mean /= 7.0;
+    std::vector<double> rates;
+    rates.reserve(7 * daily.rates().size());
+    for (int day = 0; day < 7; ++day) {
+        for (double r : daily.rates()) {
+            rates.push_back(mean_rate * r * dow[day] / dow_mean);
+        }
+    }
+    return rate_profile(std::move(rates), daily.bin());
+}
+
+rate_profile rate_profile::constant(double rate) {
+    LSM_EXPECTS(rate >= 0.0);
+    return rate_profile(std::vector<double>{rate}, seconds_per_day);
+}
+
+rate_profile rate_profile::from_arrivals(
+    const std::vector<seconds_t>& starts, seconds_t period, seconds_t bin,
+    seconds_t horizon) {
+    LSM_EXPECTS(period > 0 && bin > 0 && period % bin == 0);
+    LSM_EXPECTS(horizon >= period);
+    const auto nbins = static_cast<std::size_t>(period / bin);
+    std::vector<double> counts(nbins, 0.0);
+    for (seconds_t s : starts) {
+        seconds_t phase = s % period;
+        if (phase < 0) phase += period;
+        counts[static_cast<std::size_t>(phase / bin)] += 1.0;
+    }
+    // Seconds of observation contributing to each phase bin.
+    const double full_periods =
+        static_cast<double>(horizon / period);
+    const seconds_t rem = horizon % period;
+    std::vector<double> rates(nbins, 0.0);
+    for (std::size_t i = 0; i < nbins; ++i) {
+        const seconds_t phase_lo = static_cast<seconds_t>(i) * bin;
+        double observed_seconds =
+            full_periods * static_cast<double>(bin);
+        if (phase_lo < rem) {
+            observed_seconds += static_cast<double>(
+                std::min(bin, rem - phase_lo));
+        }
+        if (observed_seconds > 0.0) rates[i] = counts[i] / observed_seconds;
+    }
+    return rate_profile(std::move(rates), bin);
+}
+
+double rate_profile::rate_at(seconds_t t) const {
+    seconds_t phase = t % period();
+    if (phase < 0) phase += period();
+    return rates_[static_cast<std::size_t>(phase / bin_)];
+}
+
+double rate_profile::mean_rate() const {
+    double s = 0.0;
+    for (double r : rates_) s += r;
+    return s / static_cast<double>(rates_.size());
+}
+
+rate_profile rate_profile::scaled(double factor) const {
+    LSM_EXPECTS(factor > 0.0);
+    std::vector<double> rates = rates_;
+    for (double& r : rates) r *= factor;
+    return rate_profile(std::move(rates), bin_);
+}
+
+}  // namespace lsm::gismo

@@ -1,0 +1,61 @@
+// Periodic arrival-rate profiles: "Mean Client Arrival Rate f(t),
+// periodic over p = 24 hours" — the first row of the paper's Table 2.
+//
+// A rate_profile is a piecewise-constant, periodic function of time. It
+// can be built parametrically (the paper-default diurnal curve of Fig 4
+// right), from arbitrary bin values, or measured from a trace — which is
+// how GISMO is "keyed to the periodic behavior of Figure 4".
+#pragma once
+
+#include <vector>
+
+#include "core/time_utils.h"
+#include "core/trace.h"
+
+namespace lsm::gismo {
+
+class rate_profile {
+public:
+    /// Piecewise-constant profile: `rates[i]` is the arrival rate
+    /// (sessions/second) on [i*bin, (i+1)*bin), repeating with period
+    /// rates.size() * bin. Requires non-empty rates, all >= 0, bin > 0.
+    rate_profile(std::vector<double> rates, seconds_t bin);
+
+    /// The paper-default daily profile: trough between 4am and 11am,
+    /// evening peak (Fig 4 right), scaled so the mean rate equals
+    /// `mean_rate` (sessions/second). 96 15-minute bins.
+    static rate_profile paper_daily(double mean_rate);
+
+    /// Constant profile (for the stationary-Poisson ablation).
+    static rate_profile constant(double rate);
+
+    /// Weekly profile: the paper_daily curve day by day, modulated by the
+    /// weekend effect of Fig 4 (center) — Sunday and Saturday busier,
+    /// weekdays slightly quieter. 672 15-minute bins; phase 0 is Sunday
+    /// midnight. Mean rate equals `mean_rate`.
+    static rate_profile paper_weekly(double mean_rate);
+
+    /// Measures a profile from session start times folded onto `period`
+    /// (e.g. one day): rate in each bin = mean arrivals/s in that phase
+    /// bin. `horizon` is the observation window length.
+    static rate_profile from_arrivals(const std::vector<seconds_t>& starts,
+                                      seconds_t period, seconds_t bin,
+                                      seconds_t horizon);
+
+    double rate_at(seconds_t t) const;
+    seconds_t period() const {
+        return static_cast<seconds_t>(rates_.size()) * bin_;
+    }
+    seconds_t bin() const { return bin_; }
+    const std::vector<double>& rates() const { return rates_; }
+    double mean_rate() const;
+
+    /// Returns a copy with every rate multiplied by `factor` (> 0 scale).
+    rate_profile scaled(double factor) const;
+
+private:
+    std::vector<double> rates_;
+    seconds_t bin_;
+};
+
+}  // namespace lsm::gismo

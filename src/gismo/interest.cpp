@@ -1,0 +1,26 @@
+#include "gismo/interest.h"
+
+#include "core/contracts.h"
+
+namespace lsm::gismo {
+
+zipf_client_selector::zipf_client_selector(double alpha,
+                                           std::uint64_t num_clients)
+    : n_(num_clients), dist_(alpha, num_clients) {
+    LSM_EXPECTS(num_clients > 0);
+}
+
+client_id zipf_client_selector::select(rng& r) const {
+    return dist_.sample(r);
+}
+
+uniform_client_selector::uniform_client_selector(std::uint64_t num_clients)
+    : n_(num_clients) {
+    LSM_EXPECTS(num_clients > 0);
+}
+
+client_id uniform_client_selector::select(rng& r) const {
+    return r.next_below(n_) + 1;
+}
+
+}  // namespace lsm::gismo

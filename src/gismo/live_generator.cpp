@@ -1,0 +1,198 @@
+#include "gismo/live_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+#include "gismo/arrival_process.h"
+#include "gismo/interest.h"
+#include "stats/distributions.h"
+
+namespace lsm::gismo {
+
+live_config live_config::paper_defaults() {
+    live_config cfg;
+    // Mean rate: >1.5M sessions over 28 days ~ 0.62 sessions/s.
+    cfg.arrivals = rate_profile::paper_daily(1500000.0 /
+                                             (28.0 * 86400.0));
+    return cfg;
+}
+
+live_config live_config::scaled(double factor) {
+    LSM_EXPECTS(factor > 0.0 && factor <= 1.0);
+    live_config cfg = paper_defaults();
+    cfg.arrivals = cfg.arrivals.scaled(factor);
+    cfg.num_clients = std::max<std::uint64_t>(
+        1000, static_cast<std::uint64_t>(
+                  static_cast<double>(cfg.num_clients) * factor));
+    cfg.topo.num_ases = std::max<std::size_t>(
+        50, std::min<std::size_t>(
+                cfg.topo.num_ases,
+                static_cast<std::size_t>(cfg.num_clients / 50)));
+    return cfg;
+}
+
+namespace {
+
+std::unique_ptr<client_selector> make_selector(const live_config& cfg) {
+    if (cfg.interest == interest_model::zipf) {
+        return std::make_unique<zipf_client_selector>(cfg.interest_alpha,
+                                                      cfg.num_clients);
+    }
+    return std::make_unique<uniform_client_selector>(cfg.num_clients);
+}
+
+/// Network annotation context; one per generation run.
+struct net_context {
+    net::as_topology topo;
+    net::ip_space ips;
+    net::bandwidth_model bw;
+    std::vector<std::size_t> dummy;
+
+    net_context(const live_config& cfg, rng& r)
+        : topo(cfg.topo, r),
+          ips(cfg.ip, client_mass(cfg, topo)),
+          bw(cfg.bw) {}
+
+    static std::vector<double> client_mass(const live_config& cfg,
+                                           const net::as_topology& topo) {
+        std::vector<double> mass(topo.num_ases(), 0.0);
+        for (std::size_t i = 0; i < topo.num_ases(); ++i) {
+            mass[i] = topo.as_at(i).weight *
+                      static_cast<double>(cfg.num_clients);
+        }
+        return mass;
+    }
+};
+
+/// Deterministic per-client network attributes, derived from the id.
+struct client_net {
+    as_number asn = 0;
+    country_code country{};
+    std::size_t as_index = 0;
+    net::access_class access = net::access_class::modem_56k;
+    ipv4_addr ip = 0;
+};
+
+client_net derive_client_net(const net_context& ctx, const rng& seed_root,
+                             client_id id) {
+    rng r = seed_root.substream(id);
+    client_net cn;
+    cn.as_index = ctx.topo.sample_as_index(r);
+    cn.asn = ctx.topo.as_at(cn.as_index).asn;
+    cn.country = ctx.topo.as_at(cn.as_index).country;
+    cn.access = ctx.bw.sample_class(r);
+    cn.ip = ctx.ips.sample_address(cn.as_index, r);
+    return cn;
+}
+
+}  // namespace
+
+trace generate_live_workload(const live_config& cfg, std::uint64_t seed) {
+    trace out(cfg.window, cfg.start_day);
+    auto plan = generate_live_plan(cfg, seed);
+    out.reserve(plan.size());
+    for (const planned_item& item : plan) out.add(item.record);
+    // Plan is already start-sorted.
+    return out;
+}
+
+std::vector<planned_item> generate_live_plan(const live_config& cfg,
+                                             std::uint64_t seed) {
+    LSM_EXPECTS(cfg.window > 0);
+    LSM_EXPECTS(cfg.num_objects >= 1);
+    LSM_EXPECTS(cfg.gap_sigma > 0.0 && cfg.length_sigma > 0.0);
+
+    rng root(seed);
+    rng arrivals_rng = root.substream(11);
+    rng identity_rng = root.substream(12);
+    rng body_rng = root.substream(13);
+    rng net_attr_root = root.substream(14);
+    rng topo_rng = root.substream(15);
+
+    // Row 1-2: session arrival instants.
+    std::vector<seconds_t> arrivals;
+    if (cfg.stationary_arrivals) {
+        arrivals = generate_stationary_poisson(cfg.arrivals.mean_rate(),
+                                               cfg.window, arrivals_rng);
+    } else {
+        arrivals =
+            generate_piecewise_poisson(cfg.arrivals, cfg.window,
+                                       arrivals_rng);
+    }
+
+    // Row 3: client identities.
+    auto selector = make_selector(cfg);
+
+    // Row 4: transfers per session.
+    stats::zipf_dist transfers_per_session(cfg.transfers_per_session_alpha,
+                                           cfg.max_transfers_per_session);
+
+    std::optional<net_context> net_ctx;
+    if (cfg.annotate_network) net_ctx.emplace(cfg, topo_rng);
+
+    std::vector<planned_item> out;
+    out.reserve(arrivals.size() * 2);
+    std::uint64_t session_index = 0;
+
+    for (seconds_t arrival : arrivals) {
+        const client_id who = selector->select(identity_rng);
+
+        client_net cn;
+        if (net_ctx) {
+            cn = derive_client_net(*net_ctx, net_attr_root, who);
+        } else {
+            cn.asn = 64512;  // single private-use AS
+            cn.country = make_country("BR");
+            cn.ip = 0x0A000001;
+        }
+
+        const std::uint64_t n = transfers_per_session.sample(body_rng);
+        seconds_t start = arrival;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            log_record rec;
+            rec.client = who;
+            rec.ip = cn.ip;
+            rec.asn = cn.asn;
+            rec.country = cn.country;
+            rec.object = static_cast<object_id>(
+                body_rng.next_below(cfg.num_objects));
+            rec.start = start;
+            // Row 6: transfer length.
+            rec.duration = static_cast<seconds_t>(
+                body_rng.next_lognormal(cfg.length_mu, cfg.length_sigma));
+            if (net_ctx) {
+                const auto draw = net_ctx->bw.sample_transfer_bandwidth(
+                    cn.access, body_rng);
+                rec.avg_bandwidth_bps = draw.bps;
+                rec.packet_loss = net_ctx->bw.sample_packet_loss(
+                    draw.congestion_bound, body_rng);
+            } else {
+                rec.avg_bandwidth_bps = 56000.0;
+            }
+            if (rec.start < cfg.window) {
+                rec.duration = std::min(rec.duration,
+                                        cfg.window - rec.start);
+                out.push_back({session_index, rec});
+            }
+            // Row 5: next transfer start within the session.
+            if (i + 1 < n) {
+                const double gap =
+                    body_rng.next_lognormal(cfg.gap_mu, cfg.gap_sigma);
+                start += std::max<seconds_t>(1,
+                                             static_cast<seconds_t>(gap));
+            }
+        }
+        ++session_index;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const planned_item& a, const planned_item& b) {
+                  if (record_start_less(a.record, b.record)) return true;
+                  if (record_start_less(b.record, a.record)) return false;
+                  return a.session < b.session;
+              });
+    return out;
+}
+
+}  // namespace lsm::gismo

@@ -1,0 +1,102 @@
+// The live-media workload generator — the paper's generative model
+// (§6.1, Table 2), implemented as the GISMO live extension.
+//
+// Ingredients, one per Table 2 row:
+//   1. Mean client arrival rate f(t): periodic over 24 h  (rate_profile)
+//   2. Client arrival process: piecewise-stationary Poisson, lambda = f(t)
+//   3. Client interest profile: Zipf, alpha = 0.4704      (client_selector)
+//   4. Transfers per session: Zipf, alpha = 2.7042
+//   5. Interarrival of session transfers: Lognormal(4.900, 1.321)
+//   6. Transfer length: Lognormal(4.384, 1.427)
+//
+// The generator emits a trace in the same format as a measured log, so
+// synthetic workloads flow through the same characterization, replay, and
+// serving machinery as real ones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/trace.h"
+#include "gismo/diurnal.h"
+#include "net/as_topology.h"
+#include "net/bandwidth.h"
+#include "net/ip_space.h"
+
+namespace lsm::gismo {
+
+enum class interest_model : std::uint8_t {
+    zipf = 0,     ///< Table 2: Zipf(alpha) client interest
+    uniform = 1,  ///< ablation: uniform identity assignment
+};
+
+struct live_config {
+    /// Trace window to generate.
+    seconds_t window = 28 * seconds_per_day;
+    weekday start_day = weekday::sunday;
+
+    /// Row 1-2: client (session) arrival process.
+    rate_profile arrivals = rate_profile::paper_daily(0.62);
+    /// Ablation switch: replace the PWP process with a stationary Poisson
+    /// of equal mean rate.
+    bool stationary_arrivals = false;
+
+    /// Row 3: client interest profile.
+    interest_model interest = interest_model::zipf;
+    double interest_alpha = 0.4704;
+    std::uint64_t num_clients = 900000;
+
+    /// Row 4: transfers per session.
+    double transfers_per_session_alpha = 2.7042;
+    std::uint64_t max_transfers_per_session = 4000;
+
+    /// Row 5: interarrival of session transfers (lognormal).
+    double gap_mu = 4.900;
+    double gap_sigma = 1.321;
+
+    /// Row 6: transfer length (lognormal).
+    double length_mu = 4.384;
+    double length_sigma = 1.427;
+
+    /// Number of live objects (feeds); transfers choose uniformly.
+    std::uint16_t num_objects = 2;
+
+    /// Optional network annotation (AS/IP/bandwidth log fields). When
+    /// disabled the records carry a single synthetic AS and nominal
+    /// bandwidth — workload timing is unaffected.
+    bool annotate_network = true;
+    net::as_topology_config topo{};
+    net::ip_space_config ip{};
+    net::bandwidth_config bw{};
+
+    /// Paper-scale defaults (Table 2 parameters, 28-day window, mean rate
+    /// calibrated to >1.5M sessions).
+    static live_config paper_defaults();
+
+    /// Scaled-down variant for quick experiments: session volume and
+    /// client universe multiplied by `factor` (0 < factor <= 1).
+    static live_config scaled(double factor);
+};
+
+/// Generates a live streaming workload trace. Deterministic in
+/// (cfg, seed). Records are sorted by start time; the trace window and
+/// start weekday are set from the config.
+trace generate_live_workload(const live_config& cfg, std::uint64_t seed);
+
+/// One planned transfer with its session identity — the generator's
+/// intermediate representation, exposed for consumers that need session
+/// structure the flat log loses (e.g. the server-feedback simulation).
+struct planned_item {
+    std::uint64_t session = 0;  ///< 0-based session index in arrival order
+    log_record record;          ///< fully annotated transfer
+};
+
+/// The full demand plan behind generate_live_workload: every transfer,
+/// annotated and tagged with its session, sorted by start time.
+/// generate_live_workload(cfg, seed) equals the records of
+/// generate_live_plan(cfg, seed) — same seed, same stream.
+std::vector<planned_item> generate_live_plan(const live_config& cfg,
+                                             std::uint64_t seed);
+
+}  // namespace lsm::gismo

@@ -1,0 +1,166 @@
+#include "gismo/stored_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+#include "gismo/arrival_process.h"
+#include "stats/distributions.h"
+
+namespace lsm::gismo {
+
+namespace {
+
+// Popularity sampler supporting the single-Zipf default and the
+// concatenated two-Zipf law of Almeida et al.
+class popularity_sampler {
+public:
+    explicit popularity_sampler(const stored_config& cfg) {
+        LSM_EXPECTS(cfg.popularity_alpha > 0.0);
+        cum_.resize(cfg.num_objects);
+        double acc = 0.0;
+        // Continuous two-regime weights: w(k) = k^-a1 for k <= b,
+        // w(k) = b^(a2-a1) * k^-a2 beyond.
+        const double b = static_cast<double>(cfg.popularity_break);
+        const bool two = cfg.popularity_tail_alpha > 0.0;
+        const double scale =
+            two ? std::pow(b, cfg.popularity_tail_alpha -
+                                  cfg.popularity_alpha)
+                : 0.0;
+        for (std::uint32_t k = 1; k <= cfg.num_objects; ++k) {
+            double w = 0.0;
+            if (two && static_cast<double>(k) > b) {
+                w = scale * std::pow(static_cast<double>(k),
+                                     -cfg.popularity_tail_alpha);
+            } else {
+                w = std::pow(static_cast<double>(k),
+                             -cfg.popularity_alpha);
+            }
+            acc += w;
+            cum_[k - 1] = acc;
+        }
+        for (auto& c : cum_) c /= acc;
+        cum_.back() = 1.0;
+    }
+
+    std::uint32_t sample(rng& r) const {
+        const double u = r.next_double();
+        auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+        if (it == cum_.end()) --it;
+        return static_cast<std::uint32_t>(it - cum_.begin()) + 1;
+    }
+
+private:
+    std::vector<double> cum_;
+};
+
+std::vector<seconds_t> make_catalog(const stored_config& cfg, rng& r) {
+    std::vector<seconds_t> catalog(cfg.num_objects, 0);
+    for (auto& len : catalog) {
+        len = std::max<seconds_t>(
+            1, static_cast<seconds_t>(r.next_lognormal(
+                   cfg.object_length_mu, cfg.object_length_sigma)));
+    }
+    return catalog;
+}
+
+}  // namespace
+
+std::vector<seconds_t> stored_object_catalog(const stored_config& cfg,
+                                             std::uint64_t seed) {
+    rng root(seed);
+    rng catalog_rng = root.substream(21);
+    return make_catalog(cfg, catalog_rng);
+}
+
+trace generate_stored_workload(const stored_config& cfg,
+                               std::uint64_t seed) {
+    LSM_EXPECTS(cfg.window > 0);
+    LSM_EXPECTS(cfg.num_objects >= 1 && cfg.num_objects <= 0xFFFF);
+    LSM_EXPECTS(cfg.partial_access_probability >= 0.0 &&
+                cfg.partial_access_probability <= 1.0);
+    LSM_EXPECTS(cfg.vcr_interaction_probability >= 0.0 &&
+                cfg.vcr_interaction_probability <= 1.0);
+    LSM_EXPECTS(cfg.max_vcr_segments >= 1);
+
+    rng root(seed);
+    rng catalog_rng = root.substream(21);
+    rng arrivals_rng = root.substream(22);
+    rng body_rng = root.substream(23);
+
+    const std::vector<seconds_t> catalog = make_catalog(cfg, catalog_rng);
+    const popularity_sampler popularity(cfg);
+
+    std::vector<seconds_t> arrivals;
+    if (cfg.stationary_arrivals) {
+        arrivals = generate_stationary_poisson(cfg.arrivals.mean_rate(),
+                                               cfg.window, arrivals_rng);
+    } else {
+        arrivals = generate_piecewise_poisson(cfg.arrivals, cfg.window,
+                                              arrivals_rng);
+    }
+
+    trace out(cfg.window, cfg.start_day);
+    out.reserve(arrivals.size() * 2);
+
+    for (seconds_t arrival : arrivals) {
+        // USER driven: the user picks an object (by popularity) and a
+        // uniform identity — the skew is on the object side.
+        const auto obj =
+            static_cast<object_id>(popularity.sample(body_rng) - 1);
+        const client_id who = body_rng.next_below(cfg.num_clients) + 1;
+        const seconds_t object_len = catalog[obj];
+
+        // Viewed span: full object or a partial access.
+        seconds_t viewed = object_len;
+        if (body_rng.next_bool(cfg.partial_access_probability)) {
+            const double frac = 0.05 + 0.90 * body_rng.next_double();
+            viewed = std::max<seconds_t>(
+                1, static_cast<seconds_t>(
+                       frac * static_cast<double>(object_len)));
+        }
+
+        // VCR interactivity splits the view into segments with pauses.
+        std::uint32_t segments = 1;
+        if (body_rng.next_bool(cfg.vcr_interaction_probability)) {
+            segments = static_cast<std::uint32_t>(
+                           body_rng.next_below(cfg.max_vcr_segments)) +
+                       1;
+        }
+
+        seconds_t start = arrival;
+        seconds_t remaining = viewed;
+        for (std::uint32_t s = 0; s < segments && remaining > 0; ++s) {
+            seconds_t seg_len =
+                s + 1 == segments
+                    ? remaining
+                    : std::max<seconds_t>(
+                          1, remaining / static_cast<seconds_t>(
+                                             segments - s));
+            seg_len = std::min(seg_len, remaining);
+            log_record rec;
+            rec.client = who;
+            rec.ip = 0x0A000001;
+            rec.asn = 64512;
+            rec.country = make_country("US");
+            rec.object = obj;
+            rec.start = start;
+            rec.duration = seg_len;
+            rec.avg_bandwidth_bps = 300000.0;  // stored clips stream at
+                                               // their encoded rate
+            if (rec.start < cfg.window) {
+                rec.duration =
+                    std::min(rec.duration, cfg.window - rec.start);
+                out.add(rec);
+            }
+            remaining -= seg_len;
+            // Pause ("think") before resuming playback.
+            start += seg_len + static_cast<seconds_t>(
+                                   body_rng.next_exponential(30.0));
+        }
+    }
+    out.sort_by_start();
+    return out;
+}
+
+}  // namespace lsm::gismo

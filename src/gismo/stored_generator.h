@@ -1,0 +1,69 @@
+// The stored-media baseline: classic GISMO (Jin & Bestavros 2001).
+//
+// Pre-recorded streaming workloads are USER driven: a session picks an
+// OBJECT by Zipf popularity, the object has a size (duration) drawn from
+// a heavy-tailed catalog, and the transfer length is bounded by the
+// object length — partial accesses (early stoppage) and VCR interactions
+// shorten it. This baseline exists to demonstrate the paper's central
+// duality: in live workloads transfer-length variability comes from
+// client stickiness; in stored workloads it comes from object size
+// structure. (See bench_ablation_generator.)
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.h"
+#include "gismo/diurnal.h"
+
+namespace lsm::gismo {
+
+struct stored_config {
+    seconds_t window = 7 * seconds_per_day;
+    weekday start_day = weekday::sunday;
+
+    /// Session (request) arrival process, same machinery as live.
+    rate_profile arrivals = rate_profile::paper_daily(0.3);
+    bool stationary_arrivals = false;
+
+    /// Catalog: object popularity is Zipf over num_objects ranks
+    /// (web/video studies report alpha near 1).
+    std::uint32_t num_objects = 2000;
+    double popularity_alpha = 1.0;
+    /// Optional second regime: Almeida et al. (cited in §7) found media
+    /// popularity "modeled by the concatenation of two Zipf-like
+    /// distributions". When popularity_tail_alpha > 0, ranks beyond
+    /// popularity_break follow that second exponent (weights continuous
+    /// at the breakpoint).
+    double popularity_tail_alpha = 0.0;
+    std::uint32_t popularity_break = 100;
+    /// Object durations (seconds) are lognormal — "most streaming objects
+    /// are small" with a heavy upper tail (Chesire et al. 2001).
+    double object_length_mu = 5.0;
+    double object_length_sigma = 1.2;
+
+    /// Client universe; stored-media audiences are modelled uniform (the
+    /// skew lives on the object side — the duality).
+    std::uint64_t num_clients = 100000;
+
+    /// Probability a request stops early (partial access ~ half of
+    /// requests per Acharya & Smith 2000).
+    double partial_access_probability = 0.5;
+    /// A partial access views a Uniform(0.05, 0.95) fraction of the object.
+    /// VCR pauses/jumps within a view generate extra transfer records.
+    double vcr_interaction_probability = 0.2;
+    std::uint32_t max_vcr_segments = 6;
+
+    static stored_config defaults() { return {}; }
+};
+
+/// Generates a stored-media (pre-recorded) workload trace. The object_id
+/// field carries the catalog object index. Deterministic in (cfg, seed).
+trace generate_stored_workload(const stored_config& cfg, std::uint64_t seed);
+
+/// The exact catalog of object durations the generator uses for a given
+/// (cfg, seed) — exposed so analyses can correlate transfer lengths with
+/// object sizes (the stored-vs-live duality experiments).
+std::vector<seconds_t> stored_object_catalog(const stored_config& cfg,
+                                             std::uint64_t seed);
+
+}  // namespace lsm::gismo

@@ -1,0 +1,97 @@
+#include "gismo/trace_fit.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "characterize/client_layer.h"
+#include "characterize/session_builder.h"
+#include "characterize/session_layer.h"
+#include "characterize/transfer_layer.h"
+#include "core/contracts.h"
+#include "stats/fitting.h"
+
+namespace lsm::gismo {
+
+live_config fit_live_config(const trace& t,
+                            const trace_fit_options& opts) {
+    LSM_EXPECTS(!t.empty());
+    LSM_EXPECTS(t.window_length() >= opts.profile_period);
+    LSM_EXPECTS(opts.session_timeout > 0);
+    LSM_EXPECTS(opts.client_universe_factor >= 1.0);
+
+    const auto sessions =
+        characterize::build_sessions(t, opts.session_timeout);
+    const auto sl = characterize::analyze_session_layer(sessions);
+    const auto tl = characterize::analyze_transfer_layer(t);
+
+    live_config cfg;
+    cfg.window = t.window_length();
+    cfg.start_day = t.start_day();
+
+    // Row 1: f(t) measured from session arrival phases.
+    std::vector<seconds_t> starts;
+    starts.reserve(sessions.sessions.size());
+    for (const auto& s : sessions.sessions) starts.push_back(s.start);
+    std::sort(starts.begin(), starts.end());
+    cfg.arrivals = rate_profile::from_arrivals(
+        starts, opts.profile_period, opts.profile_bin, t.window_length());
+
+    // Row 3: client interest.
+    std::unordered_map<client_id, std::uint64_t> sessions_per_client;
+    for (const auto& s : sessions.sessions) ++sessions_per_client[s.client];
+    std::vector<std::uint64_t> counts;
+    counts.reserve(sessions_per_client.size());
+    for (const auto& [id, c] : sessions_per_client) counts.push_back(c);
+    if (counts.size() >= 2) {
+        if (opts.interest_by_mle) {
+            // Rank the observed counts and fit by MLE. Clients that never
+            // appeared are invisible, so the support is truncated to the
+            // observed ranks — a far smaller bias than the log-log
+            // regression's staircase sensitivity.
+            std::sort(counts.begin(), counts.end(), std::greater<>());
+            cfg.interest_alpha = stats::fit_zipf_mle(counts);
+        } else {
+            cfg.interest_alpha = stats::fit_zipf_loglog(
+                                     stats::rank_frequency_profile(counts))
+                                     .alpha;
+        }
+    }
+    cfg.num_clients = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(
+               static_cast<double>(sessions_per_client.size()) *
+               opts.client_universe_factor));
+
+    // Row 4: transfers per session.
+    if (sl.transfers_per_session_zipf.values.size() >= 2) {
+        cfg.transfers_per_session_alpha =
+            sl.transfers_per_session_zipf.fit.alpha;
+    }
+    double max_tps = 1.0;
+    for (double v : sl.transfers_per_session) {
+        max_tps = std::max(max_tps, v);
+    }
+    cfg.max_transfers_per_session = std::max<std::uint64_t>(
+        8, static_cast<std::uint64_t>(max_tps * 2.0));
+
+    // Row 5: intra-session gaps.
+    if (sl.intra_session_interarrivals.size() >= 2 &&
+        sl.intra_fit.sigma > 0.0) {
+        cfg.gap_mu = sl.intra_fit.mu;
+        cfg.gap_sigma = sl.intra_fit.sigma;
+    }
+
+    // Row 6: transfer lengths.
+    if (tl.lengths.size() >= 2 && tl.length_fit.sigma > 0.0) {
+        cfg.length_mu = tl.length_fit.mu;
+        cfg.length_sigma = tl.length_fit.sigma;
+    }
+
+    // Objects: carry the observed feed count over.
+    object_id max_obj = 0;
+    for (const auto& r : t.records()) max_obj = std::max(max_obj, r.object);
+    cfg.num_objects = static_cast<std::uint16_t>(max_obj + 1);
+    return cfg;
+}
+
+}  // namespace lsm::gismo

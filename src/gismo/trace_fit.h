@@ -1,0 +1,35 @@
+// Parameterizing GISMO from a measured trace — the paper's §6 workflow
+// as one call.
+//
+// "We have parametrized GISMO ... to allow the synthetic generation of
+// live streaming content workloads that resemble those we characterize
+// in this paper": given any trace, extract every Table 2 ingredient —
+// the periodic arrival-rate profile f(t) measured from session arrivals,
+// the interest-profile Zipf exponent, the transfers-per-session Zipf,
+// and the two lognormals — into a ready-to-generate live_config.
+#pragma once
+
+#include "core/trace.h"
+#include "gismo/live_generator.h"
+
+namespace lsm::gismo {
+
+struct trace_fit_options {
+    seconds_t session_timeout = 1500;
+    /// Period of the measured rate profile (paper: 24 h).
+    seconds_t profile_period = seconds_per_day;
+    seconds_t profile_bin = 900;
+    /// The observed client count underestimates the interested universe
+    /// (many clients never showed up); the universe is scaled by this.
+    double client_universe_factor = 1.3;
+    /// Estimate the interest exponent by MLE over per-client session
+    /// counts (consistent) instead of the paper's log-log regression.
+    bool interest_by_mle = true;
+};
+
+/// Extracts a live_config from `t`. The trace must be non-empty and have
+/// a positive window at least one profile period long.
+live_config fit_live_config(const trace& t,
+                            const trace_fit_options& opts = {});
+
+}  // namespace lsm::gismo

@@ -1,0 +1,34 @@
+// Generative-model closure validation (Table 2 bench): generate a
+// workload from a live_config, push it through the characterization
+// pipeline, and compare the re-fitted parameters against the inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gismo/live_generator.h"
+
+namespace lsm::gismo {
+
+struct closure_row {
+    std::string variable;
+    double input = 0.0;     ///< parameter the generator was given
+    double refitted = 0.0;  ///< parameter recovered by characterization
+    double rel_error() const {
+        return input != 0.0 ? (refitted - input) / input : 0.0;
+    }
+};
+
+struct closure_report {
+    std::vector<closure_row> rows;
+    std::uint64_t sessions = 0;
+    std::uint64_t transfers = 0;
+};
+
+/// Runs the closure experiment: generate -> sanitize -> sessionize with
+/// the paper timeout -> re-fit every Table 2 distribution. `session_timeout`
+/// defaults to the paper's 1,500 s.
+closure_report validate_closure(const live_config& cfg, std::uint64_t seed,
+                                seconds_t session_timeout = 1500);
+
+}  // namespace lsm::gismo

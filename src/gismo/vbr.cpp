@@ -1,0 +1,107 @@
+#include "gismo/vbr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+#include "stats/linreg.h"
+
+namespace lsm::gismo {
+
+namespace {
+
+// Fractional Gaussian noise via random midpoint displacement on the
+// cumulative (fractional-Brownian-motion) path. RMD is approximate but
+// captures the variance scaling Var[B(t+s)-B(t)] = s^(2H) that the
+// aggregated-variance estimator measures.
+void rmd_fill(std::vector<double>& path, std::size_t lo, std::size_t hi,
+              double sigma, double hurst, rng& r) {
+    if (hi - lo < 2) return;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const double span =
+        static_cast<double>(hi - lo) / static_cast<double>(path.size() - 1);
+    // Displacement SD for this recursion level.
+    const double level_sigma =
+        sigma * std::pow(span, hurst) *
+        std::sqrt(1.0 - std::pow(2.0, 2.0 * hurst - 2.0)) * 0.5;
+    path[mid] = 0.5 * (path[lo] + path[hi]) +
+                r.next_normal(0.0, level_sigma);
+    rmd_fill(path, lo, mid, sigma, hurst, r);
+    rmd_fill(path, mid, hi, sigma, hurst, r);
+}
+
+}  // namespace
+
+std::vector<double> generate_vbr_series(const vbr_config& cfg, std::size_t n,
+                                        rng& r) {
+    LSM_EXPECTS(n > 0);
+    LSM_EXPECTS(cfg.mean_bps > 0.0);
+    LSM_EXPECTS(cfg.cv >= 0.0);
+    LSM_EXPECTS(cfg.hurst > 0.5 && cfg.hurst < 1.0);
+    LSM_EXPECTS(cfg.floor_fraction >= 0.0 && cfg.floor_fraction < 1.0);
+
+    if (n == 1 || cfg.cv == 0.0) {
+        return std::vector<double>(n, cfg.mean_bps);
+    }
+
+    // Build an fBm path over a power-of-two grid covering n increments.
+    std::size_t grid = 1;
+    while (grid < n) grid <<= 1;
+    std::vector<double> path(grid + 1, 0.0);
+    path.front() = 0.0;
+    path.back() = r.next_normal(0.0, 1.0);
+    rmd_fill(path, 0, grid, 1.0, cfg.hurst, r);
+
+    // Increments of fBm = fGn.
+    std::vector<double> fgn(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) fgn[i] = path[i + 1] - path[i];
+
+    // Standardize and map onto the bitrate marginal.
+    double m = 0.0;
+    for (double x : fgn) m += x;
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (double x : fgn) var += (x - m) * (x - m);
+    var /= static_cast<double>(n);
+    const double sd = std::sqrt(std::max(var, 1e-30));
+
+    std::vector<double> out(n, 0.0);
+    const double floor_bps = cfg.mean_bps * cfg.floor_fraction;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double z = (fgn[i] - m) / sd;
+        out[i] = std::max(floor_bps,
+                          cfg.mean_bps * (1.0 + cfg.cv * z));
+    }
+    return out;
+}
+
+double estimate_hurst_aggvar(const std::vector<double>& series) {
+    LSM_EXPECTS(series.size() >= 64);
+    std::vector<double> log_m, log_var;
+    for (std::size_t m = 1; m <= series.size() / 8; m *= 2) {
+        // Aggregate into blocks of size m and compute block-mean variance.
+        const std::size_t nblocks = series.size() / m;
+        if (nblocks < 4) break;
+        std::vector<double> means(nblocks, 0.0);
+        for (std::size_t b = 0; b < nblocks; ++b) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < m; ++i) s += series[b * m + i];
+            means[b] = s / static_cast<double>(m);
+        }
+        double mm = 0.0;
+        for (double x : means) mm += x;
+        mm /= static_cast<double>(nblocks);
+        double v = 0.0;
+        for (double x : means) v += (x - mm) * (x - mm);
+        v /= static_cast<double>(nblocks);
+        if (v <= 0.0) continue;
+        log_m.push_back(std::log10(static_cast<double>(m)));
+        log_var.push_back(std::log10(v));
+    }
+    LSM_EXPECTS(log_m.size() >= 2);
+    const auto lr = stats::linear_regression(log_m, log_var);
+    // slope = 2H - 2.
+    return 1.0 + lr.slope / 2.0;
+}
+
+}  // namespace lsm::gismo

@@ -1,0 +1,39 @@
+// Self-similar variable-bit-rate (VBR) content encoding.
+//
+// Classic GISMO generates media objects with self-similar VBR traffic;
+// the paper notes (§6.2) these content characteristics remain applicable
+// to live media. This module synthesizes per-second bitrate series with a
+// target Hurst parameter using fractional Gaussian noise via successive
+// random midpoint displacement, plus an aggregated-variance Hurst
+// estimator used for validation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lsm::gismo {
+
+struct vbr_config {
+    /// Mean bitrate of the encoded stream, bits per second.
+    double mean_bps = 250000.0;
+    /// Marginal coefficient of variation of the per-second bitrate.
+    double cv = 0.25;
+    /// Target Hurst parameter in (0.5, 1): long-range dependence strength.
+    double hurst = 0.8;
+    /// Floor as a fraction of mean (encoder never emits less).
+    double floor_fraction = 0.1;
+};
+
+/// Generates a per-second bitrate series of length `n` (> 0) with
+/// approximately the configured mean, CV, and Hurst parameter.
+/// Deterministic in (cfg, n, r state).
+std::vector<double> generate_vbr_series(const vbr_config& cfg, std::size_t n,
+                                        rng& r);
+
+/// Estimates the Hurst parameter of a series by the aggregated-variance
+/// method: Var(X^(m)) ~ m^(2H-2). Requires series.size() >= 64.
+double estimate_hurst_aggvar(const std::vector<double>& series);
+
+}  // namespace lsm::gismo

@@ -1,0 +1,107 @@
+#include "net/as_topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/contracts.h"
+
+namespace lsm::net {
+
+as_topology::as_topology(const as_topology_config& cfg, rng& r) {
+    LSM_EXPECTS(cfg.num_ases > 0);
+    LSM_EXPECTS(!cfg.country_shares.empty());
+    LSM_EXPECTS(cfg.as_zipf_alpha > 0.0);
+
+    // Normalize country shares.
+    double share_total = 0.0;
+    for (const auto& [code, share] : cfg.country_shares) {
+        LSM_EXPECTS(code.size() == 2);
+        LSM_EXPECTS(share > 0.0);
+        share_total += share;
+    }
+
+    // Allocate AS count per country proportional to share, at least one.
+    std::vector<std::size_t> per_country(cfg.country_shares.size(), 1);
+    std::size_t allocated = cfg.country_shares.size();
+    LSM_EXPECTS(cfg.num_ases >= allocated);
+    for (std::size_t i = 0; i < cfg.country_shares.size(); ++i) {
+        const double share = cfg.country_shares[i].second / share_total;
+        auto extra = static_cast<std::size_t>(
+            share * static_cast<double>(cfg.num_ases - allocated));
+        per_country[i] += extra;
+    }
+    // Distribute any remainder (rounding shortfall) to the largest country.
+    std::size_t assigned = 0;
+    for (auto c : per_country) assigned += c;
+    while (assigned < cfg.num_ases) {
+        ++per_country[0];
+        ++assigned;
+    }
+
+    // Create ASes: global Zipf weights assigned in an interleaved order so
+    // every country gets some popular ASes, with the heaviest ranks biased
+    // to the biggest country (rank 1 goes to country 0, etc.).
+    ases_.reserve(cfg.num_ases);
+    as_number next_asn = 1000;
+    for (std::size_t ci = 0; ci < cfg.country_shares.size(); ++ci) {
+        for (std::size_t k = 0; k < per_country[ci]; ++k) {
+            as_info info;
+            info.asn = next_asn++;
+            info.country = make_country(cfg.country_shares[ci].first.c_str());
+            ases_.push_back(info);
+        }
+    }
+
+    // Weight of AS = country share * within-country Zipf(rank).
+    std::size_t offset = 0;
+    for (std::size_t ci = 0; ci < cfg.country_shares.size(); ++ci) {
+        const double cshare = cfg.country_shares[ci].second / share_total;
+        double norm = 0.0;
+        for (std::size_t k = 0; k < per_country[ci]; ++k) {
+            norm += std::pow(static_cast<double>(k + 1), -cfg.as_zipf_alpha);
+        }
+        for (std::size_t k = 0; k < per_country[ci]; ++k) {
+            ases_[offset + k].weight =
+                cshare *
+                std::pow(static_cast<double>(k + 1), -cfg.as_zipf_alpha) /
+                norm;
+        }
+        offset += per_country[ci];
+    }
+
+    // Shuffle ASN labels (not weights) so that ASN value does not encode
+    // rank; keeps analyses honest when they rank ASes by observed traffic.
+    for (std::size_t i = ases_.size(); i > 1; --i) {
+        std::size_t j = r.next_below(i);
+        std::swap(ases_[i - 1].asn, ases_[j].asn);
+    }
+
+    cum_weights_.resize(ases_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ases_.size(); ++i) {
+        acc += ases_[i].weight;
+        cum_weights_[i] = acc;
+    }
+    for (auto& w : cum_weights_) w /= acc;
+    cum_weights_.back() = 1.0;
+}
+
+std::size_t as_topology::sample_as_index(rng& r) const {
+    const double u = r.next_double();
+    auto it = std::upper_bound(cum_weights_.begin(), cum_weights_.end(), u);
+    if (it == cum_weights_.end()) --it;
+    return static_cast<std::size_t>(it - cum_weights_.begin());
+}
+
+std::size_t as_topology::num_countries() const {
+    std::unordered_set<std::uint16_t> seen;
+    for (const auto& a : ases_) {
+        seen.insert(static_cast<std::uint16_t>(
+            (static_cast<unsigned char>(a.country.c[0]) << 8) |
+            static_cast<unsigned char>(a.country.c[1])));
+    }
+    return seen.size();
+}
+
+}  // namespace lsm::net

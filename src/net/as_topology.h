@@ -1,0 +1,62 @@
+// Synthetic Internet topology for client placement.
+//
+// The paper maps its client population onto ~1,010 Autonomous Systems in
+// 11 countries, with Brazil dominating (Fig 2): both the per-AS transfer
+// share and the per-AS IP share are strongly skewed (Zipf-like over four
+// to six decades). This module builds such a topology: a configurable
+// number of ASes spread over the paper's 11 countries with a skewed
+// country mix, and a Zipf(weight) popularity across ASes so that sampling
+// client home-ASes reproduces the diversity profile of Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/log_record.h"
+#include "core/rng.h"
+#include "stats/distributions.h"
+
+namespace lsm::net {
+
+struct as_info {
+    as_number asn = 0;
+    country_code country{};
+    double weight = 0.0;  ///< share of the client population homed here
+};
+
+struct as_topology_config {
+    std::size_t num_ases = 1010;
+    /// Zipf exponent of AS popularity (share of clients per AS rank).
+    double as_zipf_alpha = 1.1;
+    /// Two-letter codes and population shares per country. The default is
+    /// calibrated to Figure 2 (right): Brazil dominates, the US takes most
+    /// of the remainder, then a long tail of nine countries.
+    std::vector<std::pair<std::string, double>> country_shares = {
+        {"BR", 0.935}, {"US", 0.045},  {"AR", 0.008},  {"JP", 0.004},
+        {"DE", 0.003}, {"CH", 0.002},  {"AU", 0.0013}, {"BE", 0.0008},
+        {"BO", 0.0005}, {"SG", 0.0003}, {"SV", 0.0001},
+    };
+};
+
+/// A fixed universe of ASes with skewed popularity; clients sample their
+/// home AS once and keep it (a user does not hop providers mid-trace).
+class as_topology {
+public:
+    explicit as_topology(const as_topology_config& cfg, rng& r);
+
+    std::size_t num_ases() const { return ases_.size(); }
+    const as_info& as_at(std::size_t index) const { return ases_[index]; }
+    const std::vector<as_info>& ases() const { return ases_; }
+
+    /// Samples an AS index by popularity weight.
+    std::size_t sample_as_index(rng& r) const;
+
+    std::size_t num_countries() const;
+
+private:
+    std::vector<as_info> ases_;
+    std::vector<double> cum_weights_;
+};
+
+}  // namespace lsm::net

@@ -1,0 +1,101 @@
+#include "net/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::net {
+
+double nominal_rate_bps(access_class c) {
+    switch (c) {
+        case access_class::modem_28k: return 28800.0;
+        case access_class::modem_33k: return 33600.0;
+        case access_class::modem_56k: return 56000.0;
+        case access_class::isdn_64k: return 64000.0;
+        case access_class::isdn_128k: return 128000.0;
+        case access_class::dsl_256k: return 256000.0;
+        case access_class::dsl_512k: return 512000.0;
+        case access_class::cable_1m: return 1000000.0;
+        case access_class::cable_2m: return 2000000.0;
+    }
+    LSM_EXPECTS(false && "invalid access_class");
+    return 0.0;
+}
+
+const char* access_class_name(access_class c) {
+    switch (c) {
+        case access_class::modem_28k: return "modem 28.8k";
+        case access_class::modem_33k: return "modem 33.6k";
+        case access_class::modem_56k: return "modem 56k";
+        case access_class::isdn_64k: return "ISDN 64k";
+        case access_class::isdn_128k: return "ISDN 128k";
+        case access_class::dsl_256k: return "DSL 256k";
+        case access_class::dsl_512k: return "DSL 512k";
+        case access_class::cable_1m: return "cable 1M";
+        case access_class::cable_2m: return "cable 2M";
+    }
+    return "?";
+}
+
+bandwidth_model::bandwidth_model(const bandwidth_config& cfg) : cfg_(cfg) {
+    LSM_EXPECTS(cfg.class_mix.size() == num_access_classes);
+    LSM_EXPECTS(cfg.congestion_probability >= 0.0 &&
+                cfg.congestion_probability <= 1.0);
+    LSM_EXPECTS(cfg.utilization_lo > 0.0 &&
+                cfg.utilization_lo <= cfg.utilization_hi &&
+                cfg.utilization_hi <= 1.0);
+    LSM_EXPECTS(cfg.congestion_sigma > 0.0);
+    double total = 0.0;
+    for (double w : cfg.class_mix) {
+        LSM_EXPECTS(w >= 0.0);
+        total += w;
+    }
+    LSM_EXPECTS(total > 0.0);
+    cum_mix_.resize(cfg.class_mix.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < cfg.class_mix.size(); ++i) {
+        acc += cfg.class_mix[i] / total;
+        cum_mix_[i] = acc;
+    }
+    cum_mix_.back() = 1.0;
+}
+
+access_class bandwidth_model::sample_class(rng& r) const {
+    const double u = r.next_double();
+    auto it = std::upper_bound(cum_mix_.begin(), cum_mix_.end(), u);
+    if (it == cum_mix_.end()) --it;
+    return static_cast<access_class>(it - cum_mix_.begin());
+}
+
+bandwidth_model::draw bandwidth_model::sample_transfer_bandwidth(
+    access_class c, rng& r) const {
+    draw d;
+    if (r.next_bool(cfg_.congestion_probability)) {
+        d.congestion_bound = true;
+        // Congestion-bound bandwidth, capped below nominal so the mode
+        // stays on the left side of the distribution.
+        const double bw =
+            r.next_lognormal(cfg_.congestion_mu, cfg_.congestion_sigma);
+        d.bps = std::min(bw, 0.5 * nominal_rate_bps(c));
+        d.bps = std::max(d.bps, 100.0);  // a stalled stream still trickles
+        return d;
+    }
+    const double util =
+        cfg_.utilization_lo +
+        (cfg_.utilization_hi - cfg_.utilization_lo) * r.next_double();
+    d.bps = nominal_rate_bps(c) * util;
+    return d;
+}
+
+float bandwidth_model::sample_packet_loss(bool congestion_bound,
+                                          rng& r) const {
+    if (congestion_bound) {
+        // Bursty loss: a few percent up to tens of percent.
+        return static_cast<float>(
+            std::min(0.6, 0.02 + r.next_exponential(0.06)));
+    }
+    return static_cast<float>(std::min(0.02, r.next_exponential(0.002)));
+}
+
+}  // namespace lsm::net

@@ -1,0 +1,87 @@
+// Access-link and congestion model for transfer bandwidth.
+//
+// Figure 20 of the paper shows a bimodal bandwidth distribution: sharp
+// spikes on the right at client connection speeds (modem tiers, ISDN, DSL,
+// cable) and a diffuse low-bandwidth mass on the left from
+// congestion-bound transfers (~10% of transfers, §5.4 / footnote 12).
+// This module reproduces both modes: each client has a fixed access class;
+// each transfer either runs client-bound (near its class nominal rate,
+// with small jitter from the 2002-era encoder rate adaptation) or
+// congestion-bound (severely throttled).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lsm::net {
+
+/// 2002-vintage access-link classes.
+enum class access_class : std::uint8_t {
+    modem_28k = 0,
+    modem_33k,
+    modem_56k,
+    isdn_64k,
+    isdn_128k,
+    dsl_256k,
+    dsl_512k,
+    cable_1m,
+    cable_2m,
+};
+
+inline constexpr std::size_t num_access_classes = 9;
+
+/// Nominal downstream rate of an access class, bits per second.
+double nominal_rate_bps(access_class c);
+
+const char* access_class_name(access_class c);
+
+struct bandwidth_config {
+    /// Population mix across access classes; defaults weight modems
+    /// heavily, matching the 2002 Brazilian consumer base implied by the
+    /// spikes of Figure 20.
+    std::vector<double> class_mix = {0.10, 0.14, 0.33, 0.06, 0.05,
+                                     0.14, 0.10, 0.06, 0.02};
+    /// Probability that a transfer is congestion-bound (paper: ~10%).
+    double congestion_probability = 0.10;
+    /// Congestion-bound bandwidth is lognormal with these parameters (bps);
+    /// defaults put the mass around 1-20 kbps, well under any access rate.
+    double congestion_mu = 8.5;
+    double congestion_sigma = 1.2;
+    /// Client-bound transfers achieve a fraction of nominal in
+    /// [utilization_lo, utilization_hi] (streaming rarely saturates the
+    /// link exactly; the spikes in Fig 20 have finite width).
+    double utilization_lo = 0.88;
+    double utilization_hi = 1.0;
+};
+
+/// Samples client access classes and per-transfer bandwidths.
+class bandwidth_model {
+public:
+    explicit bandwidth_model(const bandwidth_config& cfg);
+
+    /// Draws an access class for a new client from the population mix.
+    access_class sample_class(rng& r) const;
+
+    /// Draws the average bandwidth (bps) of one transfer for a client of
+    /// the given class. Returns the bandwidth and whether the transfer was
+    /// congestion-bound.
+    struct draw {
+        double bps = 0.0;
+        bool congestion_bound = false;
+    };
+    draw sample_transfer_bandwidth(access_class c, rng& r) const;
+
+    /// Packet-loss fraction consistent with the draw: near zero when
+    /// client-bound, elevated when congestion-bound.
+    float sample_packet_loss(bool congestion_bound, rng& r) const;
+
+    const bandwidth_config& config() const { return cfg_; }
+
+private:
+    bandwidth_config cfg_;
+    std::vector<double> cum_mix_;
+};
+
+}  // namespace lsm::net

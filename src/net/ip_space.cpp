@@ -1,0 +1,51 @@
+#include "net/ip_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::net {
+
+ip_space::ip_space(const ip_space_config& cfg,
+                   const std::vector<double>& clients_per_as) {
+    LSM_EXPECTS(!clients_per_as.empty());
+    LSM_EXPECTS(cfg.addresses_per_client > 0.0);
+    LSM_EXPECTS(cfg.min_pool_size >= 1);
+    pool_base_.resize(clients_per_as.size());
+    pool_len_.resize(clients_per_as.size());
+    // Each AS gets a /16-aligned region starting at 10.0.0.0-style private
+    // space rolled forward; regions never overlap because pools are capped
+    // at 65,536 addresses.
+    ipv4_addr next_base = 0x0A000000;  // 10.0.0.0
+    for (std::size_t i = 0; i < clients_per_as.size(); ++i) {
+        LSM_EXPECTS(clients_per_as[i] >= 0.0);
+        auto want = static_cast<std::uint32_t>(
+            std::ceil(clients_per_as[i] * cfg.addresses_per_client));
+        want = std::max<std::uint32_t>(
+            want, static_cast<std::uint32_t>(cfg.min_pool_size));
+        want = std::min<std::uint32_t>(want, 65536);
+        pool_base_[i] = next_base;
+        pool_len_[i] = want;
+        next_base += 65536;
+    }
+}
+
+std::size_t ip_space::pool_size(std::size_t as_index) const {
+    LSM_EXPECTS(as_index < pool_len_.size());
+    return pool_len_[as_index];
+}
+
+ipv4_addr ip_space::sample_address(std::size_t as_index, rng& r) const {
+    LSM_EXPECTS(as_index < pool_base_.size());
+    return pool_base_[as_index] +
+           static_cast<ipv4_addr>(r.next_below(pool_len_[as_index]));
+}
+
+std::size_t ip_space::total_addresses() const {
+    std::size_t total = 0;
+    for (auto len : pool_len_) total += len;
+    return total;
+}
+
+}  // namespace lsm::net

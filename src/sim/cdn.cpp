@@ -1,0 +1,109 @@
+#include "sim/cdn.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+
+namespace lsm::sim {
+
+namespace {
+
+std::uint32_t edge_of(as_number asn, std::uint32_t num_edges) {
+    // splitmix-style avalanche so consecutive ASNs spread out.
+    std::uint64_t z = asn + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>((z ^ (z >> 31)) % num_edges);
+}
+
+}  // namespace
+
+cdn_report simulate_cdn(const trace& t, const cdn_config& cfg) {
+    LSM_EXPECTS(!t.empty());
+    LSM_EXPECTS(cfg.num_edges >= 1);
+    LSM_EXPECTS(cfg.feed_rate_bps > 0.0);
+    LSM_EXPECTS(cfg.bin > 0);
+
+    seconds_t horizon = t.window_length();
+    if (horizon == 0) {
+        for (const auto& r : t.records())
+            horizon = std::max(horizon, r.end());
+        horizon = std::max<seconds_t>(horizon, 1);
+    }
+
+    cdn_report rep;
+    rep.edges.resize(cfg.num_edges);
+    for (std::uint32_t e = 0; e < cfg.num_edges; ++e) {
+        rep.edges[e].edge = e;
+    }
+
+    // Per (edge, object) coverage via difference arrays, plus per-edge
+    // concurrency for peak sizing.
+    std::map<std::pair<std::uint32_t, object_id>, std::vector<std::int32_t>>
+        coverage;
+    std::vector<std::vector<std::int32_t>> concurrency(cfg.num_edges);
+    for (auto& c : concurrency) {
+        c.assign(static_cast<std::size_t>(horizon) + 1, 0);
+    }
+
+    for (const log_record& r : t.records()) {
+        const std::uint32_t e = edge_of(r.asn, cfg.num_edges);
+        auto& es = rep.edges[e];
+        ++es.transfers;
+        es.client_bytes += r.bytes();
+        rep.client_bytes += r.bytes();
+
+        const seconds_t a = std::clamp<seconds_t>(r.start, 0, horizon);
+        const seconds_t b = std::clamp<seconds_t>(
+            std::max(r.end(), r.start + 1), 0, horizon);
+        if (b <= a) continue;
+        auto& cov = coverage[{e, r.object}];
+        if (cov.empty()) {
+            cov.assign(static_cast<std::size_t>(horizon) + 1, 0);
+        }
+        cov[static_cast<std::size_t>(a)] += 1;
+        cov[static_cast<std::size_t>(b)] -= 1;
+        concurrency[e][static_cast<std::size_t>(a)] += 1;
+        concurrency[e][static_cast<std::size_t>(b)] -= 1;
+    }
+
+    for (auto& [key, cov] : coverage) {
+        const std::uint32_t e = key.first;
+        std::int64_t active = 0;
+        seconds_t covered = 0;
+        for (seconds_t s = 0; s < horizon; ++s) {
+            active += cov[static_cast<std::size_t>(s)];
+            if (active > 0) ++covered;
+        }
+        rep.edges[e].feed_subscription_seconds += covered;
+        rep.origin_bytes +=
+            static_cast<double>(covered) * cfg.feed_rate_bps / 8.0;
+    }
+
+    for (std::uint32_t e = 0; e < cfg.num_edges; ++e) {
+        std::int64_t active = 0;
+        std::int64_t peak = 0;
+        for (seconds_t s = 0; s < horizon; ++s) {
+            active += concurrency[e][static_cast<std::size_t>(s)];
+            peak = std::max(peak, active);
+        }
+        rep.edges[e].peak_concurrency = static_cast<std::uint32_t>(peak);
+    }
+
+    rep.fanout_factor =
+        rep.origin_bytes > 0.0 ? rep.client_bytes / rep.origin_bytes : 0.0;
+
+    double max_bytes = 0.0;
+    for (const auto& es : rep.edges) {
+        max_bytes = std::max(max_bytes, es.client_bytes);
+    }
+    const double mean_bytes =
+        rep.client_bytes / static_cast<double>(cfg.num_edges);
+    rep.load_imbalance = mean_bytes > 0.0 ? max_bytes / mean_bytes : 0.0;
+    return rep;
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,57 @@
+// Edge-delivery (CDN) simulation.
+//
+// The paper's capacity-planning motivation (§1) names "servers, network,
+// CDN" as the infrastructure that must be provisioned for live delivery.
+// This module models the standard live-CDN arrangement: clients are
+// assigned to edge servers by home AS; each edge serves its clients
+// unicast and pulls ONE copy of each live feed from the origin while it
+// has any audience for that feed. It reports per-edge load (for edge
+// sizing), origin egress (which multicast-style fan-out collapses), and
+// the load-balance quality of the AS->edge assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace lsm::sim {
+
+struct cdn_config {
+    std::uint32_t num_edges = 8;
+    /// Origin feed rate per live object, bits per second.
+    double feed_rate_bps = 300000.0;
+    /// Bin width of the per-edge load timelines.
+    seconds_t bin = 900;
+};
+
+struct edge_stats {
+    std::uint32_t edge = 0;
+    std::uint64_t transfers = 0;
+    double client_bytes = 0.0;       ///< unicast bytes served to clients
+    std::uint32_t peak_concurrency = 0;
+    /// Seconds during which this edge held a feed subscription, summed
+    /// over objects.
+    seconds_t feed_subscription_seconds = 0;
+};
+
+struct cdn_report {
+    std::vector<edge_stats> edges;
+    /// Total bytes the origin pushes to edges (one feed copy per edge
+    /// with audience).
+    double origin_bytes = 0.0;
+    /// Total bytes edges push to clients (= unicast total).
+    double client_bytes = 0.0;
+    /// client_bytes / origin_bytes — the CDN's fan-out leverage.
+    double fanout_factor = 0.0;
+    /// max/mean of per-edge client bytes — 1.0 is perfectly balanced.
+    double load_imbalance = 0.0;
+};
+
+/// Simulates edge delivery of `t`. Clients are mapped to edges by hashing
+/// their AS number, which keeps a client's traffic on one edge (session
+/// affinity) while spreading ASes across edges. Requires a non-empty
+/// trace and num_edges >= 1.
+cdn_report simulate_cdn(const trace& t, const cdn_config& cfg = {});
+
+}  // namespace lsm::sim

@@ -1,0 +1,81 @@
+#include "sim/closed_loop.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "sim/event_queue.h"
+
+namespace lsm::sim {
+
+namespace {
+
+struct pending_request {
+    seconds_t duration = 0;
+    double bandwidth_bps = 0.0;
+    std::uint32_t attempts = 0;
+};
+
+}  // namespace
+
+closed_loop_result run_closed_loop(const trace& t,
+                                   const closed_loop_config& cfg) {
+    LSM_EXPECTS(t.window_length() > 0);
+    LSM_EXPECTS(cfg.retry_backoff_mean > 0.0);
+
+    closed_loop_result res;
+    res.requests = t.size();
+
+    streaming_server server(cfg.server);
+    simulator des;
+    rng r(cfg.seed);
+
+    // One closure per request attempt; retries reschedule themselves.
+    std::function<void(pending_request)> attempt_fn;
+    attempt_fn = [&](pending_request req) {
+        const bool admitted = server.try_admit(des.now(), req.bandwidth_bps);
+        if (admitted) {
+            if (req.attempts == 0) {
+                ++res.served_first_try;
+            } else {
+                ++res.served_after_retry;
+            }
+            res.delivered_seconds += static_cast<double>(req.duration);
+            const double bw = req.bandwidth_bps;
+            des.schedule_in(std::max<seconds_t>(req.duration, 1),
+                            [&server, bw]() { server.finish(bw); });
+            return;
+        }
+        if (cfg.kind == content_kind::live ||
+            req.attempts >= cfg.max_retries) {
+            ++res.lost;
+            return;
+        }
+        ++res.total_retries;
+        pending_request next = req;
+        ++next.attempts;
+        const auto backoff = std::max<seconds_t>(
+            1, static_cast<seconds_t>(
+                   r.next_exponential(cfg.retry_backoff_mean)));
+        des.schedule_in(backoff,
+                        [&attempt_fn, next]() { attempt_fn(next); });
+    };
+
+    for (const log_record& rec : t.records()) {
+        res.requested_seconds += static_cast<double>(rec.duration);
+        pending_request req;
+        req.duration = rec.duration;
+        req.bandwidth_bps = rec.avg_bandwidth_bps;
+        des.schedule_at(rec.start, [&attempt_fn, req]() { attempt_fn(req); });
+    }
+
+    des.run_all();
+    res.delivered_fraction =
+        res.requested_seconds > 0.0
+            ? res.delivered_seconds / res.requested_seconds
+            : 1.0;
+    return res;
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,51 @@
+// Closed-loop admission experiment: the feedback the open-loop replay
+// cannot capture.
+//
+// The paper's §1 argument is about what happens AFTER a rejection: a
+// stored-content viewer retries later and eventually gets the bytes; a
+// live-content viewer loses the moment forever. This module runs a
+// discrete-event simulation in which rejected requests behave
+// accordingly — stored requests re-enter the queue after an exponential
+// backoff (up to a retry budget), live requests are lost — and reports
+// how much requested value each policy ultimately delivers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.h"
+#include "sim/streaming_server.h"
+
+namespace lsm::sim {
+
+enum class content_kind : std::uint8_t { live = 0, stored = 1 };
+
+struct closed_loop_config {
+    server_config server{};
+    content_kind kind = content_kind::live;
+    /// Mean of the exponential retry backoff for stored content.
+    double retry_backoff_mean = 300.0;
+    /// Maximum retries per request (stored only).
+    std::uint32_t max_retries = 10;
+    std::uint64_t seed = 1;
+};
+
+struct closed_loop_result {
+    std::uint64_t requests = 0;
+    std::uint64_t served_first_try = 0;
+    std::uint64_t served_after_retry = 0;  ///< stored only
+    std::uint64_t lost = 0;
+    double requested_seconds = 0.0;
+    double delivered_seconds = 0.0;
+    /// delivered / requested — the fraction of value realized.
+    double delivered_fraction = 0.0;
+    std::uint64_t total_retries = 0;
+};
+
+/// Runs the closed loop over the trace's transfers. For stored content a
+/// retried transfer keeps its full duration (the user watches the clip
+/// whenever it finally starts); for live content a rejected transfer is
+/// lost. Requires a trace with a positive window.
+closed_loop_result run_closed_loop(const trace& t,
+                                   const closed_loop_config& cfg);
+
+}  // namespace lsm::sim

@@ -1,0 +1,44 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace lsm::sim {
+
+void simulator::schedule_at(seconds_t when, action act) {
+    LSM_EXPECTS(when >= now_);
+    LSM_EXPECTS(act != nullptr);
+    queue_.push(event{when, next_seq_++, std::move(act)});
+}
+
+void simulator::schedule_in(seconds_t delay, action act) {
+    LSM_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::move(act));
+}
+
+std::size_t simulator::run_until(seconds_t until) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= until) {
+        // Copy out before pop: the action may schedule further events.
+        event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ev.act();
+        ++executed;
+    }
+    if (now_ < until) now_ = until;
+    return executed;
+}
+
+std::size_t simulator::run_all() {
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+        event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ev.act();
+        ++executed;
+    }
+    return executed;
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,62 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic DES core: events are (time, sequence, action)
+// triples; ties in time are broken by insertion order so simulations are
+// reproducible. Used by the streaming-server replay and by the
+// admission-control experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/time_utils.h"
+
+namespace lsm::sim {
+
+class simulator {
+public:
+    using action = std::function<void()>;
+
+    simulator() = default;
+
+    /// Current simulation time. Starts at 0.
+    seconds_t now() const { return now_; }
+
+    /// Schedules `act` at absolute time `when` (must not be in the past).
+    void schedule_at(seconds_t when, action act);
+
+    /// Schedules `act` `delay` seconds from now (delay >= 0).
+    void schedule_in(seconds_t delay, action act);
+
+    /// Runs events until the queue is empty or the time of the next event
+    /// exceeds `until`. Returns the number of events executed.
+    std::size_t run_until(seconds_t until);
+
+    /// Runs all remaining events. Returns the number executed.
+    std::size_t run_all();
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t pending() const { return queue_.size(); }
+
+private:
+    struct event {
+        seconds_t when = 0;
+        std::uint64_t seq = 0;
+        action act;
+    };
+    struct later {
+        bool operator()(const event& a, const event& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<event, std::vector<event>, later> queue_;
+    seconds_t now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lsm::sim

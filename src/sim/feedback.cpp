@@ -1,0 +1,53 @@
+#include "sim/feedback.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "core/contracts.h"
+
+namespace lsm::sim {
+
+feedback_result generate_under_feedback(const gismo::live_config& cfg,
+                                        const server_config& server_cfg,
+                                        std::uint64_t seed) {
+    const auto plan = gismo::generate_live_plan(cfg, seed);
+
+    feedback_result res;
+    res.tr = trace(cfg.window, cfg.start_day);
+    res.planned_transfers = plan.size();
+    res.tr.reserve(plan.size());
+
+    streaming_server server(server_cfg);
+    using departure = std::pair<seconds_t, double>;
+    std::priority_queue<departure, std::vector<departure>, std::greater<>>
+        departures;
+    std::unordered_set<std::uint64_t> abandoned_sessions;
+
+    for (const gismo::planned_item& item : plan) {
+        const log_record& rec = item.record;
+        while (!departures.empty() &&
+               departures.top().first <= rec.start) {
+            server.finish(departures.top().second);
+            departures.pop();
+        }
+        if (abandoned_sessions.contains(item.session)) {
+            ++res.abandoned_transfers;
+            continue;
+        }
+        if (server.try_admit(rec.start, rec.avg_bandwidth_bps)) {
+            ++res.admitted_transfers;
+            res.tr.add(rec);
+            departures.emplace(rec.end(), rec.avg_bandwidth_bps);
+        } else {
+            ++res.rejected_transfers;
+            abandoned_sessions.insert(item.session);
+        }
+    }
+    res.sessions_touched_by_rejection = abandoned_sessions.size();
+    // Plan order is start order, so the emitted trace is already sorted.
+    LSM_ENSURES(res.tr.is_sorted_by_start());
+    return res;
+}
+
+}  // namespace lsm::sim

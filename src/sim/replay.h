@@ -1,0 +1,16 @@
+// Trace replay: drives a streaming_server with the begin/end events of a
+// trace through the DES engine and collects serve_result statistics.
+#pragma once
+
+#include "core/trace.h"
+#include "sim/streaming_server.h"
+
+namespace lsm::sim {
+
+/// Replays all transfers of `t` through a server with config `cfg`.
+/// `cpu_bin_width` controls the resolution of the CPU timeline in the
+/// result (seconds; must be > 0).
+serve_result replay_trace(const trace& t, const server_config& cfg,
+                          seconds_t cpu_bin_width = 900);
+
+}  // namespace lsm::sim

@@ -1,0 +1,59 @@
+#include "sim/streaming_server.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace lsm::sim {
+
+streaming_server::streaming_server(const server_config& cfg) : cfg_(cfg) {
+    LSM_EXPECTS(cfg.cpu_reject_threshold > 0.0 &&
+                cfg.cpu_reject_threshold <= 1.0);
+    LSM_EXPECTS(cfg.cpu_per_stream >= 0.0 && cfg.cpu_per_arrival >= 0.0);
+    LSM_EXPECTS(cfg.nic_capacity_bps >= 0.0);
+}
+
+double streaming_server::cpu_load() const {
+    const double load =
+        cfg_.cpu_per_stream * static_cast<double>(concurrency_) +
+        cfg_.cpu_per_arrival * static_cast<double>(arrivals_this_second_);
+    return std::min(load, 1.0);
+}
+
+bool streaming_server::try_admit(seconds_t now, double bandwidth_bps) {
+    LSM_EXPECTS(bandwidth_bps >= 0.0);
+    if (now != current_second_) {
+        current_second_ = now;
+        arrivals_this_second_ = 0;
+    }
+    ++arrivals_this_second_;
+
+    switch (cfg_.policy) {
+        case admission_policy::admit_all:
+            break;
+        case admission_policy::reject_at_capacity:
+            if (cfg_.max_concurrent_streams != 0 &&
+                concurrency_ >= cfg_.max_concurrent_streams) {
+                return false;
+            }
+            break;
+        case admission_policy::reject_at_cpu_threshold:
+            if (cpu_load() >= cfg_.cpu_reject_threshold) return false;
+            break;
+    }
+    if (cfg_.nic_capacity_bps > 0.0 &&
+        used_bandwidth_bps_ + bandwidth_bps > cfg_.nic_capacity_bps) {
+        return false;
+    }
+    ++concurrency_;
+    used_bandwidth_bps_ += bandwidth_bps;
+    return true;
+}
+
+void streaming_server::finish(double bandwidth_bps) {
+    LSM_EXPECTS(concurrency_ > 0);
+    --concurrency_;
+    used_bandwidth_bps_ = std::max(0.0, used_bandwidth_bps_ - bandwidth_bps);
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,43 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "stats/descriptive.h"
+
+namespace lsm::stats {
+
+bootstrap_result bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    const bootstrap_config& cfg) {
+    LSM_EXPECTS(!xs.empty());
+    LSM_EXPECTS(cfg.resamples >= 10);
+    LSM_EXPECTS(cfg.confidence > 0.0 && cfg.confidence < 1.0);
+    LSM_EXPECTS(statistic != nullptr);
+
+    bootstrap_result res;
+    res.point = statistic(xs);
+
+    rng r(cfg.seed);
+    std::vector<double> resample(xs.size());
+    std::vector<double> stats_dist;
+    stats_dist.reserve(cfg.resamples);
+    for (std::size_t b = 0; b < cfg.resamples; ++b) {
+        for (auto& v : resample) {
+            v = xs[r.next_below(xs.size())];
+        }
+        stats_dist.push_back(statistic(resample));
+    }
+    std::sort(stats_dist.begin(), stats_dist.end());
+    const double alpha = (1.0 - cfg.confidence) / 2.0;
+    res.lower = quantile_sorted(stats_dist, alpha);
+    res.upper = quantile_sorted(stats_dist, 1.0 - alpha);
+    res.stderr_est = std::sqrt(variance(stats_dist));
+    return res;
+}
+
+}  // namespace lsm::stats

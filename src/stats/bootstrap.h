@@ -1,0 +1,42 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// The paper quotes fit parameters with uncertainties ("±0.025%",
+// "±0.19%", "±2.7%"); this module provides the machinery to attach the
+// same kind of uncertainty to every fit in this library: resample the
+// data with replacement, recompute the statistic, take percentile
+// bounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace lsm::stats {
+
+struct bootstrap_config {
+    std::size_t resamples = 200;
+    /// Two-sided confidence level, e.g. 0.95.
+    double confidence = 0.95;
+    std::uint64_t seed = 0xB007;
+};
+
+struct bootstrap_result {
+    double point = 0.0;  ///< statistic on the original sample
+    double lower = 0.0;  ///< percentile lower bound
+    double upper = 0.0;  ///< percentile upper bound
+    double stderr_est = 0.0;  ///< SD of the bootstrap distribution
+
+    double half_width() const { return (upper - lower) / 2.0; }
+    /// Relative half-width (the paper's "±x%"); requires point != 0.
+    double relative_half_width() const { return half_width() / point; }
+};
+
+/// Percentile bootstrap of `statistic` over `xs`. The statistic receives
+/// a resampled vector (same size as xs). Requires a non-empty sample,
+/// resamples >= 10 and confidence in (0, 1).
+bootstrap_result bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    const bootstrap_config& cfg = {});
+
+}  // namespace lsm::stats

@@ -1,0 +1,192 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "core/contracts.h"
+
+namespace lsm::stats {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+double normal_quantile(double p) {
+    LSM_EXPECTS(p > 0.0 && p < 1.0);
+    // Acklam's algorithm.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    double q = 0.0, r = 0.0;
+    if (p < plow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+        q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                 c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+}
+
+// ---------------------------------------------------------------- lognormal
+
+lognormal_dist::lognormal_dist(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+    LSM_EXPECTS(sigma > 0.0);
+}
+
+double lognormal_dist::pdf(double x) const {
+    if (x <= 0.0) return 0.0;
+    const double z = (std::log(x) - mu_) / sigma_;
+    return std::exp(-0.5 * z * z) /
+           (x * sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double lognormal_dist::cdf(double x) const {
+    if (x <= 0.0) return 0.0;
+    return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double lognormal_dist::ccdf(double x) const { return 1.0 - cdf(x); }
+
+double lognormal_dist::quantile(double q) const {
+    LSM_EXPECTS(q > 0.0 && q < 1.0);
+    return std::exp(mu_ + sigma_ * normal_quantile(q));
+}
+
+double lognormal_dist::mean() const {
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double lognormal_dist::median() const { return std::exp(mu_); }
+
+double lognormal_dist::sample(rng& r) const {
+    return r.next_lognormal(mu_, sigma_);
+}
+
+// -------------------------------------------------------------- exponential
+
+exponential_dist::exponential_dist(double mean) : mean_(mean) {
+    LSM_EXPECTS(mean > 0.0);
+}
+
+double exponential_dist::pdf(double x) const {
+    if (x < 0.0) return 0.0;
+    return std::exp(-x / mean_) / mean_;
+}
+
+double exponential_dist::cdf(double x) const {
+    if (x < 0.0) return 0.0;
+    return 1.0 - std::exp(-x / mean_);
+}
+
+double exponential_dist::ccdf(double x) const {
+    if (x < 0.0) return 1.0;
+    return std::exp(-x / mean_);
+}
+
+double exponential_dist::quantile(double q) const {
+    LSM_EXPECTS(q >= 0.0 && q < 1.0);
+    return -mean_ * std::log(1.0 - q);
+}
+
+double exponential_dist::sample(rng& r) const {
+    return r.next_exponential(mean_);
+}
+
+// ------------------------------------------------------------------- pareto
+
+pareto_dist::pareto_dist(double alpha, double xmin)
+    : alpha_(alpha), xmin_(xmin) {
+    LSM_EXPECTS(alpha > 0.0 && xmin > 0.0);
+}
+
+double pareto_dist::pdf(double x) const {
+    if (x < xmin_) return 0.0;
+    return alpha_ * std::pow(xmin_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double pareto_dist::cdf(double x) const {
+    if (x < xmin_) return 0.0;
+    return 1.0 - std::pow(xmin_ / x, alpha_);
+}
+
+double pareto_dist::ccdf(double x) const {
+    if (x < xmin_) return 1.0;
+    return std::pow(xmin_ / x, alpha_);
+}
+
+double pareto_dist::quantile(double q) const {
+    LSM_EXPECTS(q >= 0.0 && q < 1.0);
+    return xmin_ / std::pow(1.0 - q, 1.0 / alpha_);
+}
+
+double pareto_dist::mean() const {
+    if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+    return alpha_ * xmin_ / (alpha_ - 1.0);
+}
+
+double pareto_dist::sample(rng& r) const {
+    return r.next_pareto(alpha_, xmin_);
+}
+
+// --------------------------------------------------------------------- zipf
+
+zipf_dist::zipf_dist(double alpha, std::uint64_t n) : alpha_(alpha), n_(n) {
+    LSM_EXPECTS(alpha > 0.0);
+    LSM_EXPECTS(n > 0);
+    cum_.resize(n);
+    double acc = 0.0;
+    double weighted = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        const double w = std::pow(static_cast<double>(k), -alpha);
+        acc += w;
+        weighted += static_cast<double>(k) * w;
+        cum_[k - 1] = acc;
+    }
+    norm_ = acc;
+    mean_ = weighted / acc;
+    for (auto& c : cum_) c /= norm_;
+    cum_.back() = 1.0;  // guard against rounding
+}
+
+double zipf_dist::pmf(std::uint64_t k) const {
+    LSM_EXPECTS(k >= 1 && k <= n_);
+    return std::pow(static_cast<double>(k), -alpha_) / norm_;
+}
+
+double zipf_dist::cdf(std::uint64_t k) const {
+    LSM_EXPECTS(k >= 1 && k <= n_);
+    return cum_[k - 1];
+}
+
+double zipf_dist::mean() const { return mean_; }
+
+std::uint64_t zipf_dist::sample(rng& r) const {
+    const double u = r.next_double();
+    auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+    if (it == cum_.end()) --it;
+    return static_cast<std::uint64_t>(it - cum_.begin()) + 1;
+}
+
+}  // namespace lsm::stats

@@ -1,0 +1,102 @@
+// Analytic distributions used by the paper's fits and by the generators:
+// lognormal (session ON, transfer length, intra-session interarrivals),
+// exponential (session OFF), Pareto (tail comparisons), Zipf (client
+// interest, transfers per session).
+//
+// Each type carries its parameters by value and offers pdf / cdf / ccdf /
+// quantile / mean / sample. Sampling takes the library rng by reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lsm::stats {
+
+/// Lognormal: log X ~ Normal(mu, sigma).
+class lognormal_dist {
+public:
+    lognormal_dist(double mu, double sigma);
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+    double pdf(double x) const;
+    double cdf(double x) const;
+    double ccdf(double x) const;
+    double quantile(double q) const;
+    double mean() const;
+    double median() const;
+    double sample(rng& r) const;
+
+private:
+    double mu_;
+    double sigma_;
+};
+
+/// Exponential with the given mean (the paper parameterizes session OFF
+/// times by their mean, ~203,150 s).
+class exponential_dist {
+public:
+    explicit exponential_dist(double mean);
+    double mean() const { return mean_; }
+    double rate() const { return 1.0 / mean_; }
+    double pdf(double x) const;
+    double cdf(double x) const;
+    double ccdf(double x) const;
+    double quantile(double q) const;
+    double sample(rng& r) const;
+
+private:
+    double mean_;
+};
+
+/// Pareto with shape alpha and scale xmin: P[X >= x] = (xmin/x)^alpha.
+class pareto_dist {
+public:
+    pareto_dist(double alpha, double xmin);
+    double alpha() const { return alpha_; }
+    double xmin() const { return xmin_; }
+    double pdf(double x) const;
+    double cdf(double x) const;
+    double ccdf(double x) const;
+    double quantile(double q) const;
+    /// Mean; infinite for alpha <= 1 (returns +inf).
+    double mean() const;
+    double sample(rng& r) const;
+
+private:
+    double alpha_;
+    double xmin_;
+};
+
+/// Zipf over ranks 1..n: P[K = k] ∝ k^-alpha. This is the paper's model
+/// both for client interest (Fig 7) and for transfers per session (Fig 13).
+/// Sampling uses a precomputed cumulative table with binary search —
+/// exact, O(log n) per draw, O(n) memory.
+class zipf_dist {
+public:
+    zipf_dist(double alpha, std::uint64_t n);
+    double alpha() const { return alpha_; }
+    std::uint64_t n() const { return n_; }
+    double pmf(std::uint64_t k) const;
+    double cdf(std::uint64_t k) const;
+    double mean() const;
+    /// Draws a rank in [1, n].
+    std::uint64_t sample(rng& r) const;
+
+private:
+    double alpha_;
+    std::uint64_t n_;
+    double norm_ = 0.0;             ///< generalized harmonic H(n, alpha)
+    std::vector<double> cum_;       ///< cumulative probabilities
+    double mean_ = 0.0;
+};
+
+/// Standard normal CDF (used by lognormal and by fitting diagnostics).
+double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9 over (0, 1)).
+double normal_quantile(double p);
+
+}  // namespace lsm::stats

@@ -1,0 +1,93 @@
+#include "stats/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace lsm::stats {
+
+empirical_distribution::empirical_distribution(std::span<const double> xs)
+    : sorted_(xs.begin(), xs.end()) {
+    LSM_EXPECTS(!xs.empty());
+    std::sort(sorted_.begin(), sorted_.end());
+    mean_ = stats::mean(sorted_);
+}
+
+double empirical_distribution::cdf(double x) const {
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double empirical_distribution::ccdf(double x) const {
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(sorted_.end() - it) /
+           static_cast<double>(sorted_.size());
+}
+
+double empirical_distribution::quantile(double q) const {
+    return quantile_sorted(sorted_, q);
+}
+
+std::vector<dist_point> empirical_distribution::cdf_points() const {
+    std::vector<dist_point> pts;
+    const auto n = static_cast<double>(sorted_.size());
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+        // Emit one point per distinct value, at its last occurrence.
+        if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+        pts.push_back({sorted_[i], static_cast<double>(i + 1) / n});
+    }
+    return pts;
+}
+
+std::vector<dist_point> empirical_distribution::ccdf_points() const {
+    std::vector<dist_point> pts;
+    const auto n = static_cast<double>(sorted_.size());
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+        // Emit one point per distinct value, at its first occurrence:
+        // P[X >= x] counts this occurrence and everything after it.
+        if (i > 0 && sorted_[i] == sorted_[i - 1]) continue;
+        pts.push_back({sorted_[i], static_cast<double>(sorted_.size() - i) / n});
+    }
+    return pts;
+}
+
+std::vector<dist_point> empirical_distribution::frequency_points_log(
+    std::size_t nbins) const {
+    LSM_EXPECTS(nbins > 0);
+    LSM_EXPECTS(sorted_.front() > 0.0);
+    double lo = sorted_.front();
+    double hi = sorted_.back();
+    if (lo == hi) hi = lo * 2.0;  // degenerate sample: single-valued
+    auto h = histogram::logarithmic(lo, hi, nbins);
+    h.add_all(sorted_);
+    h.finalize();
+    std::vector<dist_point> pts;
+    for (const auto& b : h.bins()) {
+        if (b.count == 0) continue;
+        pts.push_back({b.log_center(), b.frequency});
+    }
+    return pts;
+}
+
+std::vector<dist_point> empirical_distribution::frequency_points_linear(
+    std::size_t nbins) const {
+    LSM_EXPECTS(nbins > 0);
+    double lo = sorted_.front();
+    double hi = sorted_.back();
+    if (lo == hi) hi = lo + 1.0;
+    auto h = histogram::linear(lo, hi, nbins);
+    h.add_all(sorted_);
+    h.finalize();
+    std::vector<dist_point> pts;
+    for (const auto& b : h.bins()) {
+        if (b.count == 0) continue;
+        pts.push_back({b.center(), b.frequency});
+    }
+    return pts;
+}
+
+}  // namespace lsm::stats

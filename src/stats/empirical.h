@@ -1,0 +1,60 @@
+// Empirical distribution of a sample: CDF, CCDF, quantiles, and
+// plot-ready point series matching the paper's "Frequency / P[X <= x] /
+// P[X >= x]" triptychs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lsm::stats {
+
+/// An (x, y) point of a distribution curve.
+struct dist_point {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+class empirical_distribution {
+public:
+    /// Copies and sorts the sample. Requires a non-empty sample.
+    explicit empirical_distribution(std::span<const double> xs);
+
+    std::size_t size() const { return sorted_.size(); }
+    double min() const { return sorted_.front(); }
+    double max() const { return sorted_.back(); }
+    double mean() const { return mean_; }
+
+    /// P[X <= x].
+    double cdf(double x) const;
+
+    /// P[X >= x] (note: >=, matching the paper's CCDF axes).
+    double ccdf(double x) const;
+
+    /// Quantile (inverse CDF) for q in [0, 1].
+    double quantile(double q) const;
+
+    /// CDF evaluated at each distinct sample value.
+    std::vector<dist_point> cdf_points() const;
+
+    /// CCDF P[X >= x] at each distinct sample value. On a log-log plot this
+    /// is the paper's right-hand panel in each triptych.
+    std::vector<dist_point> ccdf_points() const;
+
+    /// Log-binned frequency histogram points (geometric bin centers),
+    /// matching the paper's left-hand "Frequency" panels. Requires all
+    /// sample values > 0. `nbins` > 0.
+    std::vector<dist_point> frequency_points_log(std::size_t nbins) const;
+
+    /// Linearly-binned frequency points for distributions plotted on a
+    /// linear x axis (e.g. concurrency marginals, Figures 3 and 15).
+    std::vector<dist_point> frequency_points_linear(std::size_t nbins) const;
+
+    const std::vector<double>& sorted() const { return sorted_; }
+
+private:
+    std::vector<double> sorted_;
+    double mean_ = 0.0;
+};
+
+}  // namespace lsm::stats

@@ -1,0 +1,84 @@
+// Distribution fitting: the estimators behind every fitted curve in the
+// paper (lognormal MLE for Figures 11/14/19, exponential MLE for Figure 12,
+// Zipf log-log regression for Figures 7/13, and tail-exponent estimation
+// for the two-regime interarrival tail of Figure 17).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/empirical.h"
+
+namespace lsm::stats {
+
+struct lognormal_fit {
+    double mu = 0.0;
+    double sigma = 0.0;
+    double ks = 0.0;  ///< KS distance of the fit against the sample
+    lognormal_dist dist() const { return {mu, sigma}; }
+};
+
+/// Maximum-likelihood lognormal fit: mu/sigma are the mean/SD of log X.
+/// Requires a sample of at least two positive values.
+lognormal_fit fit_lognormal_mle(std::span<const double> xs);
+
+struct exponential_fit {
+    double mean = 0.0;
+    double ks = 0.0;
+    exponential_dist dist() const { return exponential_dist{mean}; }
+};
+
+/// Maximum-likelihood exponential fit (mean = sample mean).
+/// Requires a non-empty sample of non-negative values with positive mean.
+exponential_fit fit_exponential_mle(std::span<const double> xs);
+
+struct zipf_fit {
+    double alpha = 0.0;  ///< exponent of f(k) = c * k^-alpha
+    double c = 0.0;      ///< prefactor
+    double r_squared = 0.0;
+};
+
+/// Fits a Zipf law to a rank/frequency profile by log-log least squares —
+/// the same procedure the paper applied (gnuplot fit of c * x^-alpha).
+/// `freq_by_rank[k-1]` is the frequency of rank k (descending). Ranks with
+/// zero frequency are skipped. Requires at least two positive entries.
+zipf_fit fit_zipf_loglog(std::span<const double> freq_by_rank);
+
+/// Builds the rank/frequency profile from per-entity counts: sorts counts
+/// descending and normalizes by the total, so entry [k-1] = share of rank k.
+std::vector<double> rank_frequency_profile(
+    std::span<const std::uint64_t> counts);
+
+/// Maximum-likelihood Zipf exponent for ranks drawn from
+/// P[K = k] ∝ k^-alpha over k = 1..n: maximizes the log-likelihood
+/// sum(count_k * (-alpha log k)) - N log H(n, alpha) by golden-section
+/// search over [alpha_lo, alpha_hi]. Unlike the paper's log-log
+/// regression this estimator is consistent — the closure bench reports
+/// both, quantifying the regression's bias. `counts_by_rank[k-1]` is the
+/// number of draws of rank k (zeros allowed). Requires at least two
+/// ranks, a positive total, and 0 <= alpha_lo < alpha_hi.
+double fit_zipf_mle(std::span<const std::uint64_t> counts_by_rank,
+                    double alpha_lo = 0.01, double alpha_hi = 6.0);
+
+struct tail_fit {
+    double alpha = 0.0;   ///< CCDF tail exponent: P[X >= x] ~ x^-alpha
+    double r_squared = 0.0;
+    std::size_t points = 0;
+};
+
+/// Estimates the CCDF tail exponent over x in [x_lo, x_hi] by log-log
+/// regression on the empirical CCDF points in that range. Used for the
+/// two-regime tail of transfer interarrivals (Fig 17: alpha ~ 2.8 below
+/// 100 s, alpha ~ 1 above). If fewer than 2 distinct CCDF points fall in
+/// range, returns an empty fit (check `points < 2`).
+tail_fit fit_ccdf_tail(const empirical_distribution& ed, double x_lo,
+                       double x_hi);
+
+/// Hill estimator of the Pareto tail index from the largest
+/// `tail_count` order statistics. Requires 2 <= tail_count <= sample size
+/// and positive values in the tail.
+double hill_tail_index(std::span<const double> xs, std::size_t tail_count);
+
+}  // namespace lsm::stats

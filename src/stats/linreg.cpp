@@ -1,0 +1,52 @@
+#include "stats/linreg.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::stats {
+
+linreg_result linear_regression(std::span<const double> xs,
+                                std::span<const double> ys) {
+    LSM_EXPECTS(xs.size() == ys.size());
+    LSM_EXPECTS(xs.size() >= 2);
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    LSM_EXPECTS(sxx > 0.0);
+    linreg_result res;
+    res.slope = sxy / sxx;
+    res.intercept = my - res.slope * mx;
+    res.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+    return res;
+}
+
+linreg_result loglog_regression(std::span<const double> xs,
+                                std::span<const double> ys) {
+    LSM_EXPECTS(xs.size() == ys.size());
+    std::vector<double> lx, ly;
+    lx.reserve(xs.size());
+    ly.reserve(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        LSM_EXPECTS(xs[i] > 0.0 && ys[i] > 0.0);
+        lx.push_back(std::log10(xs[i]));
+        ly.push_back(std::log10(ys[i]));
+    }
+    return linear_regression(lx, ly);
+}
+
+}  // namespace lsm::stats

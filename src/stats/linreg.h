@@ -1,0 +1,25 @@
+// Ordinary least-squares linear regression, including the log-log variant
+// the paper uses (via gnuplot) to fit Zipf exponents in Figures 7 and 13.
+#pragma once
+
+#include <span>
+
+namespace lsm::stats {
+
+struct linreg_result {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+/// Fits y = slope * x + intercept by OLS. Requires xs.size() == ys.size()
+/// and at least two points with non-zero x variance.
+linreg_result linear_regression(std::span<const double> xs,
+                                std::span<const double> ys);
+
+/// Fits log10(y) = slope * log10(x) + intercept. Requires all values > 0.
+/// For a Zipf fit y = c * x^-alpha: alpha = -slope, c = 10^intercept.
+linreg_result loglog_regression(std::span<const double> xs,
+                                std::span<const double> ys);
+
+}  // namespace lsm::stats

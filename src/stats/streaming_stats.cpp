@@ -1,0 +1,62 @@
+#include "stats/streaming_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::stats {
+
+void streaming_stats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double streaming_stats::mean() const {
+    LSM_EXPECTS(n_ >= 1);
+    return mean_;
+}
+
+double streaming_stats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double streaming_stats::stddev() const { return std::sqrt(variance()); }
+
+double streaming_stats::min() const {
+    LSM_EXPECTS(n_ >= 1);
+    return min_;
+}
+
+double streaming_stats::max() const {
+    LSM_EXPECTS(n_ >= 1);
+    return max_;
+}
+
+void streaming_stats::merge(const streaming_stats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+}  // namespace lsm::stats

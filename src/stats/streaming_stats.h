@@ -1,0 +1,39 @@
+// Single-pass (Welford) accumulator for mean/variance/min/max.
+//
+// Full-scale traces carry millions of transfers; analyses that only need
+// moments should not buffer samples. Numerically stable for the huge
+// dynamic ranges in this workload (sub-second gaps next to week-long OFF
+// times).
+#pragma once
+
+#include <cstdint>
+
+namespace lsm::stats {
+
+class streaming_stats {
+public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    /// Requires count() >= 1.
+    double mean() const;
+    /// Unbiased (n-1) variance; 0 for count() < 2.
+    double variance() const;
+    double stddev() const;
+    /// Requires count() >= 1.
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /// Merges another accumulator (parallel reduction), Chan et al.
+    void merge(const streaming_stats& other);
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace lsm::stats

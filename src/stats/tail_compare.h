@@ -1,0 +1,45 @@
+// Lognormal-versus-Pareto tail arbitration.
+//
+// Section 5.3 of the paper places its transfer-length finding in the
+// middle of the then-active debate on file-size tails (Crovella &
+// Bestavros 1996 for Pareto, Downey 2001 for lognormal, Mitzenmacher
+// 2002 for double Pareto); its conclusion (§8) is that live ON times are
+// lognormal and "not as heavy as Pareto". This module implements that
+// arbitration: fit both families to a sample, score each by KS distance
+// (whole body for lognormal, tail-conditional for Pareto, which is a
+// tail-only model), and report which explains the data better.
+#pragma once
+
+#include <span>
+
+#include "stats/fitting.h"
+
+namespace lsm::stats {
+
+enum class tail_family { lognormal, pareto };
+
+struct tail_comparison {
+    lognormal_fit lognormal;
+    /// Pareto tail fitted by the Hill estimator over the top
+    /// `tail_fraction` of the sample, anchored at that quantile.
+    double pareto_alpha = 0.0;
+    double pareto_xmin = 0.0;
+    /// KS distance of the lognormal over the whole sample.
+    double ks_lognormal = 0.0;
+    /// KS distance of the Pareto over the tail sample (x >= xmin).
+    double ks_pareto_tail = 0.0;
+    /// KS distance of the lognormal restricted to the same tail
+    /// (conditional distribution) — the apples-to-apples comparison.
+    double ks_lognormal_tail = 0.0;
+    tail_family winner = tail_family::lognormal;
+};
+
+/// Compares lognormal and Pareto explanations of a positive sample.
+/// `tail_fraction` in (0, 0.5]: the top fraction treated as "the tail"
+/// (default 10%). Requires at least 50 samples, all > 0.
+tail_comparison compare_tail_models(std::span<const double> xs,
+                                    double tail_fraction = 0.10);
+
+const char* to_string(tail_family f);
+
+}  // namespace lsm::stats

@@ -1,0 +1,73 @@
+// Time-series machinery for the paper's temporal analyses: binning event
+// streams, concurrency (level-of-activity) series from interval sets,
+// periodic folding (mod one day / one week, Figures 4, 16, 18), and the
+// autocorrelation function (Figure 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/time_utils.h"
+
+namespace lsm::stats {
+
+/// Counts events per consecutive bin of `bin_width` seconds over
+/// [0, horizon). Events outside the window are ignored.
+/// Requires bin_width > 0 and horizon > 0.
+std::vector<double> bin_event_counts(std::span<const seconds_t> event_times,
+                                     seconds_t bin_width, seconds_t horizon);
+
+/// A [start, end) activity interval (session or transfer lifetime).
+struct interval {
+    seconds_t start = 0;
+    seconds_t end = 0;  ///< exclusive
+};
+
+/// Number of intervals active at each bin boundary (sampled at bin start):
+/// result[i] = |{ intervals v : v.start <= i*w < v.end }|.
+/// A zero-length interval is counted at its start instant.
+std::vector<double> concurrency_series(std::span<const interval> intervals,
+                                       seconds_t bin_width,
+                                       seconds_t horizon);
+
+/// Time-average number of active intervals within each bin (integral of the
+/// active count over the bin divided by the bin width) — matches the
+/// paper's "average value of c(t) calculated for consecutive 900-second
+/// bins" (Fig 4).
+std::vector<double> mean_concurrency_series(
+    std::span<const interval> intervals, seconds_t bin_width,
+    seconds_t horizon);
+
+/// Folds a binned series onto a period: result[p] = mean over all bins i
+/// with i % period_bins == p of series[i]. Requires 0 < period_bins.
+std::vector<double> fold_series(std::span<const double> series,
+                                std::size_t period_bins);
+
+/// Sample autocorrelation function for lags 0..max_lag:
+/// r(l) = sum (x_t - m)(x_{t+l} - m) / sum (x_t - m)^2.
+/// Requires series.size() > max_lag and non-zero variance.
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag);
+
+/// Positions (lags > 0) of local maxima of an ACF that exceed `threshold`,
+/// in index units. Used to verify the 1-day periodicity of Figure 8.
+std::vector<std::size_t> acf_peaks(std::span<const double> acf,
+                                   double threshold);
+
+/// Mean of the values that fall in each bin: given per-event (time, value)
+/// pairs, result[i] = mean of values with time in bin i (0 where empty).
+/// Used for Fig 18 (mean interarrival per 15-minute bin) and Fig 10
+/// (mean session ON time per starting hour).
+std::vector<double> bin_means(std::span<const seconds_t> times,
+                              std::span<const double> values,
+                              seconds_t bin_width, seconds_t horizon);
+
+/// Folded bin means: mean of values grouped by (time mod period) / width.
+/// Bins with no values are 0.
+std::vector<double> folded_bin_means(std::span<const seconds_t> times,
+                                     std::span<const double> values,
+                                     seconds_t period, seconds_t bin_width);
+
+}  // namespace lsm::stats

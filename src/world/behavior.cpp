@@ -1,0 +1,100 @@
+#include "world/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::world {
+
+behavior_model::behavior_model(const behavior_config& cfg,
+                               double stickiness_sigma)
+    : cfg_(cfg),
+      transfers_per_session_(cfg.transfers_per_session_alpha,
+                             cfg.max_transfers_per_session) {
+    LSM_EXPECTS(cfg.gap_sigma > 0.0 && cfg.length_sigma > 0.0);
+    LSM_EXPECTS(stickiness_sigma >= 0.0);
+    LSM_EXPECTS(stickiness_sigma < cfg.length_sigma);
+    LSM_EXPECTS(cfg.preferred_feed_probability >= 0.0 &&
+                cfg.preferred_feed_probability <= 1.0);
+    LSM_EXPECTS(cfg.overlap_probability >= 0.0 &&
+                cfg.overlap_probability <= 1.0);
+    LSM_EXPECTS(cfg.qos_abort_probability >= 0.0 &&
+                cfg.qos_abort_probability <= 1.0);
+    LSM_EXPECTS(cfg.qos_abort_keep_lo > 0.0 &&
+                cfg.qos_abort_keep_lo <= cfg.qos_abort_keep_hi &&
+                cfg.qos_abort_keep_hi <= 1.0);
+    pop_length_sigma_ = std::sqrt(cfg.length_sigma * cfg.length_sigma -
+                                  stickiness_sigma * stickiness_sigma);
+}
+
+seconds_t behavior_model::sample_length(const client_attributes& attrs,
+                                        double activity, rng& r) const {
+    double log_len = r.next_normal(cfg_.length_mu, pop_length_sigma_) +
+                     attrs.stickiness_log;
+    if (activity > 0.0 && cfg_.length_activity_exponent != 0.0) {
+        log_len += cfg_.length_activity_exponent * std::log(activity);
+    }
+    const double len = std::exp(log_len);
+    // Quantize to the 1 s log resolution; very short stints round to 0 s
+    // exactly as they would in the real server log.
+    return static_cast<seconds_t>(len);
+}
+
+seconds_t behavior_model::apply_qos_feedback(seconds_t planned,
+                                             bool congestion_bound,
+                                             rng& r) const {
+    if (!congestion_bound || planned <= 1) return planned;
+    if (!r.next_bool(cfg_.qos_abort_probability)) return planned;
+    const double keep =
+        cfg_.qos_abort_keep_lo +
+        (cfg_.qos_abort_keep_hi - cfg_.qos_abort_keep_lo) * r.next_double();
+    return std::max<seconds_t>(
+        1, static_cast<seconds_t>(keep * static_cast<double>(planned)));
+}
+
+std::vector<planned_transfer> behavior_model::plan_session(
+    seconds_t arrival, const client_attributes& attrs, double activity,
+    rng& r) const {
+    LSM_EXPECTS(arrival >= 0);
+    LSM_EXPECTS(activity >= 0.0);
+    const std::uint64_t n = transfers_per_session_.sample(r);
+    std::vector<planned_transfer> plan;
+    plan.reserve(n + 2);
+
+    seconds_t start = arrival;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        planned_transfer tr;
+        tr.start = start;
+        tr.duration = sample_length(attrs, activity, r);
+        tr.object = r.next_bool(cfg_.preferred_feed_probability)
+                        ? attrs.preferred_feed
+                        : static_cast<object_id>(1 - attrs.preferred_feed);
+        plan.push_back(tr);
+
+        // Occasionally watch both feeds at once: a shorter overlapping
+        // transfer on the other feed starting partway into this one.
+        if (tr.duration > 4 && r.next_bool(cfg_.overlap_probability)) {
+            planned_transfer ov;
+            ov.start = tr.start + static_cast<seconds_t>(
+                                      r.next_below(static_cast<std::uint64_t>(
+                                          tr.duration / 2)) +
+                                      1);
+            ov.duration = std::max<seconds_t>(
+                1, static_cast<seconds_t>(
+                       static_cast<double>(tr.duration) *
+                       (0.2 + 0.5 * r.next_double())));
+            ov.object = static_cast<object_id>(1 - tr.object);
+            plan.push_back(ov);
+        }
+
+        if (i + 1 < n) {
+            const double gap = r.next_lognormal(cfg_.gap_mu, cfg_.gap_sigma);
+            start += std::max<seconds_t>(1, static_cast<seconds_t>(gap));
+        }
+    }
+    LSM_ENSURES(!plan.empty());
+    return plan;
+}
+
+}  // namespace lsm::world

@@ -1,0 +1,104 @@
+// Per-session client behavior: how a client, once arrived, interacts with
+// the live feeds.
+//
+// A session is a burst of start/stop transfer pairs (Fig 1 of the paper):
+// the number of transfers is Zipf-skewed (Fig 13), the gaps between
+// consecutive transfer starts are lognormal (Fig 14), and each transfer's
+// length is lognormal (Fig 19) — with the lognormal split between a
+// population component and a per-client stickiness component so that the
+// marginal stays lognormal while individual clients are consistently
+// stickier or flightier. Occasionally a client opens an overlapping
+// transfer on the second feed (picture-in-picture style double viewing),
+// which is what makes transfer ON/OFF times differ from session ON/OFF
+// times in the hierarchy of Fig 1.
+#pragma once
+
+#include <vector>
+
+#include "core/log_record.h"
+#include "core/rng.h"
+#include "core/time_utils.h"
+#include "stats/distributions.h"
+#include "world/population.h"
+
+namespace lsm::world {
+
+struct behavior_config {
+    /// Zipf exponent for transfers per session (paper Fig 13: 2.70417).
+    double transfers_per_session_alpha = 2.70417;
+    /// Cap on transfers per session (support of the Zipf law).
+    std::uint64_t max_transfers_per_session = 4000;
+    /// Lognormal parameters of intra-session transfer-start interarrivals
+    /// (paper Fig 14: mu 4.89991, sigma 1.32074).
+    double gap_mu = 4.89991;
+    double gap_sigma = 1.32074;
+    /// Lognormal parameters of the MARGINAL transfer length
+    /// (paper Fig 19: mu 4.383921, sigma 1.427247). The per-client
+    /// stickiness sigma (population_config) is subtracted in quadrature so
+    /// the aggregate marginal keeps this sigma.
+    double length_mu = 4.383921;
+    double length_sigma = 1.427247;
+    /// Probability a transfer picks the client's preferred feed.
+    double preferred_feed_probability = 0.80;
+    /// Probability that a transfer spawns a concurrent overlapping
+    /// transfer on the other feed.
+    double overlap_probability = 0.05;
+    /// How show activity stretches watching: transfer length is scaled by
+    /// activity^length_activity_exponent (0 = no coupling).
+    double length_activity_exponent = 0.10;
+
+    /// QoS feedback (§1 of the paper): probability that a viewer on a
+    /// congestion-bound transfer gives up early. The paper conjectures
+    /// this coupling is WEAK for live content (no second chance to see
+    /// the moment, so viewers tolerate bad playout) and strong for
+    /// stored content; the live default is correspondingly small.
+    double qos_abort_probability = 0.15;
+    /// An aborted transfer keeps a Uniform(lo, hi) fraction of its
+    /// planned length.
+    double qos_abort_keep_lo = 0.10;
+    double qos_abort_keep_hi = 0.60;
+};
+
+/// One planned transfer within a session.
+struct planned_transfer {
+    seconds_t start = 0;
+    seconds_t duration = 0;
+    object_id object = 0;
+};
+
+/// Generates the transfer plan of one session.
+class behavior_model {
+public:
+    behavior_model(const behavior_config& cfg, double stickiness_sigma);
+
+    /// Plans a session starting at `arrival` for a client with the given
+    /// attributes. `activity` is the show-model multiplier at arrival
+    /// time (>= 0; 1 = average). Returns at least one transfer. Transfer
+    /// times are in whole seconds (1 s log resolution).
+    std::vector<planned_transfer> plan_session(
+        seconds_t arrival, const client_attributes& attrs, double activity,
+        rng& r) const;
+
+    const behavior_config& config() const { return cfg_; }
+
+    /// Applies the QoS-feedback rule to a planned duration given that the
+    /// transfer turned out congestion-bound: with probability
+    /// qos_abort_probability the viewer keeps only a fraction of the
+    /// planned length. Client-bound transfers pass through unchanged.
+    seconds_t apply_qos_feedback(seconds_t planned, bool congestion_bound,
+                                 rng& r) const;
+
+    /// Effective population sigma after removing the per-client
+    /// stickiness component (exposed for tests).
+    double population_length_sigma() const { return pop_length_sigma_; }
+
+private:
+    seconds_t sample_length(const client_attributes& attrs, double activity,
+                            rng& r) const;
+
+    behavior_config cfg_;
+    double pop_length_sigma_ = 0.0;
+    stats::zipf_dist transfers_per_session_;
+};
+
+}  // namespace lsm::world

@@ -1,0 +1,52 @@
+#include "world/population.h"
+
+#include "core/contracts.h"
+
+namespace lsm::world {
+
+population::population(const population_config& cfg,
+                       const net::as_topology& topo, const net::ip_space& ips,
+                       const net::bandwidth_model& bw,
+                       const rng& seed_stream)
+    : cfg_(cfg),
+      topo_(&topo),
+      ips_(&ips),
+      bw_(&bw),
+      attr_seed_(seed_stream.substream(0xA77B)),
+      interest_(cfg.interest_alpha, cfg.num_clients) {
+    LSM_EXPECTS(cfg.num_clients > 0);
+    LSM_EXPECTS(cfg.stickiness_sigma >= 0.0);
+    LSM_EXPECTS(cfg.feed0_preference_fraction >= 0.0 &&
+                cfg.feed0_preference_fraction <= 1.0);
+    LSM_EXPECTS(cfg.home_ip_probability >= 0.0 &&
+                cfg.home_ip_probability <= 1.0);
+}
+
+client_id population::sample_client(rng& r) const {
+    return interest_.sample(r);
+}
+
+client_attributes population::attributes(client_id id) const {
+    LSM_EXPECTS(id >= 1 && id <= cfg_.num_clients);
+    rng r = attr_seed_.substream(id);
+    client_attributes a;
+    a.as_index = topo_->sample_as_index(r);
+    a.access = bw_->sample_class(r);
+    a.stickiness_log = r.next_normal(0.0, cfg_.stickiness_sigma);
+    a.preferred_feed =
+        r.next_bool(cfg_.feed0_preference_fraction) ? object_id{0}
+                                                    : object_id{1};
+    a.home_ip = ips_->sample_address(a.as_index, r);
+    return a;
+}
+
+ipv4_addr population::session_ip(client_id id, const client_attributes& attrs,
+                                 rng& session_rng) const {
+    LSM_EXPECTS(id >= 1 && id <= cfg_.num_clients);
+    if (session_rng.next_bool(cfg_.home_ip_probability)) {
+        return attrs.home_ip;
+    }
+    return ips_->sample_address(attrs.as_index, session_rng);
+}
+
+}  // namespace lsm::world

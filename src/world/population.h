@@ -1,0 +1,79 @@
+// The client population.
+//
+// Clients have heterogeneous "interest" in the live content: the paper
+// finds a Zipf-like rank/frequency profile of sessions per client
+// (Fig 7, alpha ~ 0.47). The population assigns each session arrival to a
+// client by sampling ranks from a Zipf law, and derives every other
+// per-client attribute (home AS, access class, stickiness, preferred
+// feed) as a pure deterministic function of the client id — no per-client
+// state is stored, so populations of hundreds of thousands of clients are
+// free.
+#pragma once
+
+#include <cstdint>
+
+#include "core/log_record.h"
+#include "core/rng.h"
+#include "net/as_topology.h"
+#include "net/bandwidth.h"
+#include "net/ip_space.h"
+#include "stats/distributions.h"
+
+namespace lsm::world {
+
+struct population_config {
+    /// Size of the client universe (number of distinct possible clients).
+    std::uint64_t num_clients = 900000;
+    /// Zipf exponent of the interest profile (paper Fig 7 right: 0.4704).
+    double interest_alpha = 0.4704;
+    /// Log-space sigma of per-client stickiness (how long this client
+    /// tends to stay on a transfer relative to the population).
+    double stickiness_sigma = 0.50;
+    /// Probability that a client prefers feed 0 over feed 1.
+    double feed0_preference_fraction = 0.65;
+    /// Probability a session reuses the client's home IP (vs. drawing a
+    /// fresh pool address — dial-up address rotation).
+    double home_ip_probability = 0.70;
+};
+
+/// Static per-client attributes, derived deterministically from the id.
+struct client_attributes {
+    std::size_t as_index = 0;
+    net::access_class access = net::access_class::modem_56k;
+    /// Additive log-space offset applied to transfer lengths.
+    double stickiness_log = 0.0;
+    object_id preferred_feed = 0;
+    ipv4_addr home_ip = 0;
+};
+
+class population {
+public:
+    population(const population_config& cfg, const net::as_topology& topo,
+               const net::ip_space& ips, const net::bandwidth_model& bw,
+               const rng& seed_stream);
+
+    std::uint64_t num_clients() const { return cfg_.num_clients; }
+
+    /// Draws the client for a new session arrival (interest-weighted).
+    /// Client ids are 1-based ranks: id 1 is the most interested client.
+    client_id sample_client(rng& r) const;
+
+    /// Deterministic attributes of a client (same id -> same attributes).
+    client_attributes attributes(client_id id) const;
+
+    /// IP address a given session of `id` appears from.
+    ipv4_addr session_ip(client_id id, const client_attributes& attrs,
+                         rng& session_rng) const;
+
+    const population_config& config() const { return cfg_; }
+
+private:
+    population_config cfg_;
+    const net::as_topology* topo_;
+    const net::ip_space* ips_;
+    const net::bandwidth_model* bw_;
+    rng attr_seed_;
+    stats::zipf_dist interest_;
+};
+
+}  // namespace lsm::world

@@ -1,0 +1,73 @@
+#include "world/show_model.h"
+
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::world {
+
+show_model::show_model(const show_config& cfg, const rng& seed_stream)
+    : cfg_(cfg), noise_seed_(seed_stream.substream(0x5109)) {
+    LSM_EXPECTS(cfg.hourly.size() == 24);
+    LSM_EXPECTS(cfg.daily.size() == 7);
+    LSM_EXPECTS(cfg.noise_sigma >= 0.0);
+    LSM_EXPECTS(cfg.noise_bin > 0);
+    LSM_EXPECTS(cfg.dead_air_probability >= 0.0 &&
+                cfg.dead_air_probability <= 1.0);
+    LSM_EXPECTS(cfg.dead_air_lo > 0.0 &&
+                cfg.dead_air_lo <= cfg.dead_air_hi);
+    LSM_EXPECTS(cfg.dead_air_spell_bins > 0);
+    for (double h : cfg_.hourly) LSM_EXPECTS(h > 0.0);
+    for (double d : cfg_.daily) LSM_EXPECTS(d > 0.0);
+
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (seconds_t t = 0; t < seconds_per_week; t += seconds_per_minute) {
+        sum += deterministic_multiplier(t);
+        ++n;
+    }
+    mean_det_ = sum / static_cast<double>(n);
+    LSM_ENSURES(mean_det_ > 0.0);
+}
+
+double show_model::deterministic_multiplier(seconds_t t) const {
+    const int hour = hour_of_day(t);
+    const weekday dow = day_of_week(t, cfg_.start_day);
+    double m = cfg_.hourly[static_cast<std::size_t>(hour)] *
+               cfg_.daily[static_cast<std::size_t>(dow)];
+    const seconds_t sod = second_of_day(t);
+    for (const show_event& ev : cfg_.events) {
+        if (ev.day == dow && sod >= ev.start_of_day &&
+            sod < ev.start_of_day + ev.duration) {
+            m *= ev.boost;
+        }
+    }
+    return m;
+}
+
+double show_model::noise_for_bin(seconds_t bin_index) const {
+    // One deterministic draw per bin: substream keyed by bin index, so the
+    // noise is reproducible and does not depend on query order.
+    rng r = noise_seed_.substream(static_cast<std::uint64_t>(bin_index));
+    const double m = std::exp(r.next_normal(0.0, cfg_.noise_sigma));
+    return m * dead_air_factor(bin_index * cfg_.noise_bin);
+}
+
+double show_model::dead_air_factor(seconds_t t) const {
+    // Dead-air spells are drawn per BLOCK of consecutive bins so that a
+    // spell lasts long enough for in-flight sessions to drain; one
+    // deterministic draw per block.
+    const seconds_t block = (t / cfg_.noise_bin) / cfg_.dead_air_spell_bins;
+    rng rb = noise_seed_.substream(0xD00Dull ^
+                                   static_cast<std::uint64_t>(block));
+    if (!rb.next_bool(cfg_.dead_air_probability)) return 1.0;
+    const double lo = std::log(cfg_.dead_air_lo);
+    const double hi = std::log(cfg_.dead_air_hi);
+    return std::exp(lo + (hi - lo) * rb.next_double());
+}
+
+double show_model::multiplier(seconds_t t) const {
+    return deterministic_multiplier(t) * noise_for_bin(t / cfg_.noise_bin);
+}
+
+}  // namespace lsm::world

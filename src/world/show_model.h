@@ -1,0 +1,109 @@
+// The live content: a reality-TV show whose on-screen activity drives the
+// audience (access to live objects is OBJECT driven — §1 of the paper).
+//
+// The show model produces a time-varying arrival-rate multiplier composed
+// of: a diurnal curve (deep trough 4am–11am, evening peak — Fig 4 right),
+// a weekly modulation (weekends slightly busier — Fig 4 center), scheduled
+// show events (elimination nights) that spike the audience, and slowly
+// varying random "how interesting is the show right now" noise. The world
+// simulator multiplies a base rate by this profile to drive session
+// arrivals.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time_utils.h"
+
+namespace lsm::world {
+
+struct show_event {
+    /// Day-of-week the event recurs on.
+    weekday day = weekday::tuesday;
+    /// Start second within that day.
+    seconds_t start_of_day = 20 * seconds_per_hour + 30 * seconds_per_minute;
+    seconds_t duration = 90 * seconds_per_minute;
+    /// Multiplicative boost to the arrival rate while the event is live.
+    double boost = 2.0;
+};
+
+struct show_config {
+    /// Hourly diurnal multipliers (24 entries, mean ~1 before
+    /// normalization). Defaults trace the paper's Fig 4 (right): deep
+    /// minimum 3am-7am (the show sleeps, so does the audience — this
+    /// depth is what produces the slow second regime of transfer
+    /// interarrivals in Fig 17), ramp after noon, maximum 8pm-11pm.
+    std::vector<double> hourly = {
+        0.55, 0.30, 0.12, 0.05, 0.03, 0.02, 0.02, 0.04,  // 00-07
+        0.08, 0.15, 0.25, 0.50, 0.85, 1.05, 1.10, 1.15,  // 08-15
+        1.20, 1.30, 1.45, 1.70, 2.10, 2.45, 2.20, 1.30,  // 16-23
+    };
+    /// Day-of-week multipliers indexed by weekday (Sun..Sat). Weekends
+    /// slightly higher, per Fig 4 (center).
+    std::vector<double> daily = {1.15, 0.95, 0.97, 0.97, 0.98, 1.02, 1.18};
+    std::vector<show_event> events = {
+        {weekday::tuesday,
+         20 * seconds_per_hour + 30 * seconds_per_minute,
+         90 * seconds_per_minute, 2.1},
+        {weekday::thursday,
+         21 * seconds_per_hour,
+         60 * seconds_per_minute, 1.8},
+    };
+    /// Sigma of the lognormal per-bin interest noise (log-space). Wide
+    /// enough that deep-night arrival rates spread over decades, which is
+    /// part of the generative mechanism behind the shallow slow regime of
+    /// the interarrival tail (Fig 17).
+    double noise_sigma = 0.45;
+    /// Width of a noise bin; interest drifts on a 15-minute scale.
+    seconds_t noise_bin = 900;
+    /// Probability that a dead-air SPELL starts — a feed interruption or
+    /// an overnight quiet stretch during which almost nobody tunes in.
+    /// A spell covers `dead_air_spell_bins` consecutive noise bins and
+    /// multiplies the rate by a log-uniform factor in
+    /// [dead_air_lo, dead_air_hi]. Spells must be long enough for
+    /// straggler transfers of earlier sessions to drain; the resulting
+    /// spread of near-zero arrival rates generates the paper's shallow
+    /// (alpha ~ 1) interarrival tail beyond 100 s (Fig 17).
+    double dead_air_probability = 0.03;
+    double dead_air_lo = 0.0005;
+    double dead_air_hi = 0.05;
+    /// Bins per dead-air spell (8 x 900 s = 2 hours).
+    seconds_t dead_air_spell_bins = 8;
+    weekday start_day = weekday::sunday;
+};
+
+class show_model {
+public:
+    /// `seed_stream` seeds the interest-noise substream; two models built
+    /// from the same config and stream are identical.
+    show_model(const show_config& cfg, const rng& seed_stream);
+
+    /// Deterministic (diurnal x weekly x event) multiplier at time t,
+    /// noise excluded.
+    double deterministic_multiplier(seconds_t t) const;
+
+    /// Full multiplier including the interest noise of t's noise bin.
+    double multiplier(seconds_t t) const;
+
+    /// Dead-air attenuation at time t: 1.0 normally, the spell's
+    /// log-uniform factor during a dead spell. Access to live objects is
+    /// OBJECT driven (§1 of the paper): when the feed is dead, ongoing
+    /// viewers stop re-requesting, so the world simulator thins
+    /// mid-session transfers by this factor.
+    double dead_air_factor(seconds_t t) const;
+
+    /// Mean of deterministic_multiplier over one week, computed on a
+    /// 1-minute grid at construction; used to calibrate base rates.
+    double mean_deterministic_multiplier() const { return mean_det_; }
+
+    const show_config& config() const { return cfg_; }
+
+private:
+    double noise_for_bin(seconds_t bin_index) const;
+
+    show_config cfg_;
+    rng noise_seed_;
+    double mean_det_ = 1.0;
+};
+
+}  // namespace lsm::world

@@ -1,0 +1,181 @@
+#include "world/world_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::world {
+
+world_config world_config::paper_scale() { return world_config{}; }
+
+world_config world_config::scaled(double factor) {
+    LSM_EXPECTS(factor > 0.0 && factor <= 1.0);
+    world_config cfg;
+    cfg.target_sessions *= factor;
+    cfg.pop.num_clients = std::max<std::uint64_t>(
+        1000, static_cast<std::uint64_t>(
+                  static_cast<double>(cfg.pop.num_clients) * factor));
+    // Keep AS count meaningful at small scales but below client count.
+    cfg.topo.num_ases = std::max<std::size_t>(
+        50, std::min<std::size_t>(
+                cfg.topo.num_ases,
+                static_cast<std::size_t>(cfg.pop.num_clients / 50)));
+    return cfg;
+}
+
+namespace {
+
+// Fills the server_cpu field of every record from the reconstructed
+// concurrency at its start second — the load the server reported when the
+// entry was generated.
+void fill_server_cpu(trace& tr, double cpu_per_stream) {
+    const seconds_t horizon = tr.window_length();
+    if (horizon <= 0) return;
+    std::vector<std::int32_t> diff(static_cast<std::size_t>(horizon) + 1, 0);
+    for (const log_record& r : tr.records()) {
+        if (r.start < 0 || r.start >= horizon) continue;
+        const seconds_t end = std::min<seconds_t>(r.end(), horizon);
+        diff[static_cast<std::size_t>(r.start)] += 1;
+        if (end > r.start) diff[static_cast<std::size_t>(end)] -= 1;
+    }
+    std::vector<float> load(static_cast<std::size_t>(horizon), 0.0F);
+    std::int64_t running = 0;
+    for (seconds_t s = 0; s < horizon; ++s) {
+        running += diff[static_cast<std::size_t>(s)];
+        load[static_cast<std::size_t>(s)] = static_cast<float>(
+            std::min(1.0, cpu_per_stream * static_cast<double>(running)));
+    }
+    for (log_record& r : tr.records()) {
+        if (r.start >= 0 && r.start < horizon) {
+            r.server_cpu = load[static_cast<std::size_t>(r.start)];
+        }
+    }
+}
+
+}  // namespace
+
+world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
+    LSM_EXPECTS(cfg.window > 0);
+    LSM_EXPECTS(cfg.target_sessions > 0.0);
+    LSM_EXPECTS(cfg.corrupt_fraction >= 0.0 && cfg.corrupt_fraction < 1.0);
+
+    rng root(seed);
+    rng arrivals_rng = root.substream(1);
+    rng identity_rng = root.substream(2);
+    rng session_rng_root = root.substream(3);
+    rng corrupt_rng = root.substream(4);
+
+    show_config show_cfg = cfg.show;
+    show_cfg.start_day = cfg.start_day;
+    show_model show(show_cfg, root.substream(5));
+
+    net::as_topology topo(cfg.topo, identity_rng);
+    // Expected client mass per AS for IP pool sizing.
+    std::vector<double> clients_per_as(topo.num_ases(), 0.0);
+    for (std::size_t i = 0; i < topo.num_ases(); ++i) {
+        clients_per_as[i] = topo.as_at(i).weight *
+                            static_cast<double>(cfg.pop.num_clients);
+    }
+    net::ip_space ips(cfg.ip, clients_per_as);
+    net::bandwidth_model bw(cfg.bw);
+    population pop(cfg.pop, topo, ips, bw, root.substream(6));
+    behavior_model behavior(cfg.behavior, cfg.pop.stickiness_sigma);
+
+    // Base arrival rate calibrated so the expected session count over the
+    // window matches target_sessions given the mean show multiplier.
+    const double base_rate =
+        cfg.target_sessions /
+        (static_cast<double>(cfg.window) * show.mean_deterministic_multiplier());
+
+    world_result out;
+    out.tr = trace(cfg.window, cfg.start_day);
+    out.tr.reserve(static_cast<std::size_t>(cfg.target_sessions * 2.0));
+
+    // Non-homogeneous Poisson arrivals: piecewise-constant rate per show
+    // noise bin (the bin is where the show model's stochastic interest
+    // lives; within a bin the process is honestly Poisson).
+    const seconds_t bin = cfg.show.noise_bin;
+    std::uint64_t session_counter = 0;
+    for (seconds_t bin_start = 0; bin_start < cfg.window;
+         bin_start += bin) {
+        const seconds_t bin_len = std::min(bin, cfg.window - bin_start);
+        // Evaluate the modulated rate mid-bin.
+        const double rate =
+            base_rate * show.multiplier(bin_start + bin_len / 2);
+        double t = static_cast<double>(bin_start);
+        const double bin_end = static_cast<double>(bin_start + bin_len);
+        while (true) {
+            t += arrivals_rng.next_exponential(1.0 / rate);
+            if (t >= bin_end) break;
+            const auto arrival = static_cast<seconds_t>(t);
+
+            const client_id who = pop.sample_client(identity_rng);
+            const client_attributes attrs = pop.attributes(who);
+            rng srng = session_rng_root.substream(++session_counter);
+            const ipv4_addr ip = pop.session_ip(who, attrs, srng);
+            const double activity = show.deterministic_multiplier(arrival);
+
+            auto plan = behavior.plan_session(arrival, attrs, activity, srng);
+            bool first_of_session = true;
+            for (const planned_transfer& ptr : plan) {
+                // Object-driven thinning: a viewer does not start another
+                // view of a dead feed. The session's first transfer is
+                // kept (its arrival was already rate-suppressed).
+                if (!first_of_session) {
+                    const double factor = show.dead_air_factor(ptr.start);
+                    if (factor < 1.0 && srng.next_double() >= factor) {
+                        continue;
+                    }
+                }
+                first_of_session = false;
+                log_record rec;
+                rec.client = who;
+                rec.ip = ip;
+                rec.asn = topo.as_at(attrs.as_index).asn;
+                rec.country = topo.as_at(attrs.as_index).country;
+                rec.object = ptr.object;
+                rec.start = ptr.start;
+                rec.duration = ptr.duration;
+                const auto draw =
+                    bw.sample_transfer_bandwidth(attrs.access, srng);
+                rec.avg_bandwidth_bps = draw.bps;
+                rec.packet_loss =
+                    bw.sample_packet_loss(draw.congestion_bound, srng);
+                // QoS feedback: congested viewers sometimes give up early
+                // (weakly, for live content — §1).
+                rec.duration = behavior.apply_qos_feedback(
+                    rec.duration, draw.congestion_bound, srng);
+                rec.status = transfer_status::ok;
+                if (rec.start < cfg.window) {
+                    // Transfers running past the end of the window are
+                    // truncated at the final midnight harvest.
+                    rec.duration =
+                        std::min(rec.duration, cfg.window - rec.start);
+                    out.tr.add(rec);
+                    ++out.truth.transfers_generated;
+                }
+            }
+            ++out.truth.sessions_generated;
+        }
+    }
+
+    // Corrupt a small fraction of records to span past the window (§2.4:
+    // "request/response activities that span durations longer than the
+    // 28-day period", attributed to multi-harvest accesses).
+    for (log_record& r : out.tr.records()) {
+        if (corrupt_rng.next_bool(cfg.corrupt_fraction)) {
+            r.duration = cfg.window + static_cast<seconds_t>(
+                                          corrupt_rng.next_below(
+                                              seconds_per_day * 7));
+            ++out.truth.corrupted_records;
+        }
+    }
+
+    out.tr.sort_by_start();
+    fill_server_cpu(out.tr, cfg.cpu_per_stream);
+    return out;
+}
+
+}  // namespace lsm::world

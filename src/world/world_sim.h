@@ -1,0 +1,69 @@
+// The ground-truth world simulator.
+//
+// Stands in for the proprietary 28-day server logs (see DESIGN.md,
+// "Substitution"): simulates the reality-show audience end to end —
+// non-homogeneous Poisson session arrivals driven by the show model,
+// interest-weighted client identity, per-session behavioral plans,
+// topology and bandwidth per transfer — and emits a Windows-Media-Server-
+// style trace. A small fraction of records is deliberately corrupted to
+// span past the trace window, reproducing the multi-harvest artifacts the
+// paper sanitizes away in §2.4.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.h"
+#include "net/as_topology.h"
+#include "net/bandwidth.h"
+#include "net/ip_space.h"
+#include "world/behavior.h"
+#include "world/population.h"
+#include "world/show_model.h"
+
+namespace lsm::world {
+
+struct world_config {
+    /// Trace window: the paper's logs cover 28 days.
+    seconds_t window = 28 * seconds_per_day;
+    weekday start_day = weekday::sunday;
+    /// Expected total number of sessions over the window. The paper's
+    /// trace has > 1.5M sessions; scale() divides this (and the client
+    /// universe) for faster experiments.
+    double target_sessions = 1500000.0;
+    show_config show{};
+    population_config pop{};
+    behavior_config behavior{};
+    net::as_topology_config topo{};
+    net::ip_space_config ip{};
+    net::bandwidth_config bw{};
+    /// Fraction of records corrupted to span past the window (§2.4
+    /// artifacts). Applied post hoc; sanitize() removes them.
+    double corrupt_fraction = 0.0001;
+    /// CPU-load model used to fill the server_cpu log field.
+    double cpu_per_stream = 0.000020;
+
+    /// Full paper-scale configuration (~1.5M sessions, 900k clients).
+    static world_config paper_scale();
+
+    /// Scaled-down configuration: sessions and client universe multiplied
+    /// by `factor` (0 < factor <= 1). Distributional shape is unchanged.
+    static world_config scaled(double factor);
+};
+
+/// Extra ground-truth outputs that a real measurement would not have, used
+/// by tests to validate the characterization pipeline.
+struct world_truth {
+    std::uint64_t sessions_generated = 0;
+    std::uint64_t transfers_generated = 0;
+    std::uint64_t corrupted_records = 0;
+};
+
+struct world_result {
+    trace tr;
+    world_truth truth;
+};
+
+/// Runs the world simulation. Deterministic in (cfg, seed).
+world_result simulate_world(const world_config& cfg, std::uint64_t seed);
+
+}  // namespace lsm::world

@@ -1,0 +1,97 @@
+#include "characterize/arrival_test.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+#include "gismo/arrival_process.h"
+
+namespace lsm::characterize {
+namespace {
+
+TEST(PwpTest, StationaryPoissonNotRejected) {
+    rng r(1);
+    const auto arrivals = gismo::generate_stationary_poisson(
+        0.2, 2 * seconds_per_day, r);
+    const auto rep =
+        test_piecewise_poisson(arrivals, 2 * seconds_per_day);
+    EXPECT_GT(rep.windows_tested, 100U);
+    EXPECT_GT(rep.fraction_not_rejected, 0.95);
+    // The window mean is estimated from the same data (Lilliefors
+    // situation), which biases p-values high; anywhere in [0.45, 0.9]
+    // is consistent with "not rejected".
+    EXPECT_GT(rep.mean_p_value, 0.45);
+    EXPECT_LT(rep.mean_p_value, 0.90);
+    EXPECT_NEAR(rep.mean_dispersion_index, 1.0, 0.15);
+}
+
+TEST(PwpTest, PiecewisePoissonWithDiurnalRatesNotRejected) {
+    // The paper's model itself: modulated across windows, Poisson within.
+    rng r(2);
+    const auto profile = gismo::rate_profile::paper_daily(0.3);
+    const auto arrivals = gismo::generate_piecewise_poisson(
+        profile, 7 * seconds_per_day, r);
+    const auto rep =
+        test_piecewise_poisson(arrivals, 7 * seconds_per_day);
+    EXPECT_GT(rep.windows_tested, 200U);
+    EXPECT_GT(rep.fraction_not_rejected, 0.95);
+}
+
+TEST(PwpTest, BurstyProcessRejected) {
+    // Heavy clustering: arrivals in tight bursts separated by silences
+    // inside each window — decisively non-Poisson.
+    std::vector<seconds_t> arrivals;
+    for (seconds_t w = 0; w < 2 * seconds_per_day; w += 900) {
+        for (seconds_t b = 0; b < 5; ++b) {
+            const seconds_t burst_start = w + b * 180;
+            for (int k = 0; k < 12; ++k) {
+                arrivals.push_back(burst_start + k / 6);  // 6 per second
+            }
+        }
+    }
+    const auto rep =
+        test_piecewise_poisson(arrivals, 2 * seconds_per_day);
+    EXPECT_GT(rep.windows_tested, 100U);
+    EXPECT_LT(rep.fraction_not_rejected, 0.2);
+}
+
+TEST(PwpTest, OverdispersedCountsDetected) {
+    // Doubly-stochastic process: rate flips between 0 and high inside
+    // each window -> dispersion index well above 1.
+    rng r(3);
+    std::vector<seconds_t> arrivals;
+    for (seconds_t w = 0; w < seconds_per_day; w += 900) {
+        // First 300 s of each window at 0.5/s, rest silent.
+        double t = static_cast<double>(w);
+        while (true) {
+            t += r.next_exponential(2.0);
+            if (t >= static_cast<double>(w + 300)) break;
+            arrivals.push_back(static_cast<seconds_t>(t));
+        }
+    }
+    const auto rep = test_piecewise_poisson(arrivals, seconds_per_day);
+    EXPECT_GT(rep.mean_dispersion_index, 2.0);
+}
+
+TEST(PwpTest, SparseWindowsSkipped) {
+    std::vector<seconds_t> arrivals = {10, 20, 30};  // 3 arrivals total
+    const auto rep = test_piecewise_poisson(arrivals, seconds_per_day);
+    EXPECT_EQ(rep.windows_tested, 0U);
+    EXPECT_GT(rep.windows_skipped, 0U);
+    EXPECT_TRUE(rep.p_values.empty());
+}
+
+TEST(PwpTest, RejectsBadArguments) {
+    std::vector<seconds_t> arrivals = {1, 2, 3};
+    EXPECT_THROW(test_piecewise_poisson(arrivals, 0),
+                 lsm::contract_violation);
+    pwp_test_config bad;
+    bad.dispersion_subwindow = 7;  // does not divide 900
+    EXPECT_THROW(test_piecewise_poisson(arrivals, 100, bad),
+                 lsm::contract_violation);
+    std::vector<seconds_t> unsorted = {5, 3};
+    EXPECT_THROW(test_piecewise_poisson(unsorted, 100),
+                 lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

@@ -1,0 +1,93 @@
+#include "characterize/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+#include "gismo/live_generator.h"
+#include "gismo/stored_generator.h"
+
+namespace lsm::characterize {
+namespace {
+
+gismo::live_config small_cfg() {
+    auto cfg = gismo::live_config::scaled(0.02);
+    cfg.window = 7 * seconds_per_day;
+    return cfg;
+}
+
+TEST(Compare, SameGeneratorDifferentSeedsMatch) {
+    const trace a = gismo::generate_live_workload(small_cfg(), 1);
+    const trace b = gismo::generate_live_workload(small_cfg(), 2);
+    const auto rep = compare_workloads(a, b);
+    EXPECT_GE(rep.dimensions.size(), 8U);
+    // Two draws from the same model should match on nearly everything.
+    EXPECT_GE(rep.matched, rep.dimensions.size() - 1);
+}
+
+TEST(Compare, IdenticalTracePerfectMatch) {
+    const trace a = gismo::generate_live_workload(small_cfg(), 3);
+    const auto rep = compare_workloads(a, a);
+    EXPECT_TRUE(rep.all_matched());
+    for (const auto& d : rep.dimensions) {
+        EXPECT_LE(d.distance, 1e-9) << d.dimension;
+    }
+}
+
+TEST(Compare, DifferentLengthDistributionDetected) {
+    const trace a = gismo::generate_live_workload(small_cfg(), 4);
+    auto changed = small_cfg();
+    changed.length_mu = 5.5;  // much longer transfers
+    const trace b = gismo::generate_live_workload(changed, 4);
+    const auto rep = compare_workloads(a, b);
+    bool length_flagged = false;
+    for (const auto& d : rep.dimensions) {
+        if (d.dimension == "transfer lengths") {
+            length_flagged = !d.matched;
+        }
+    }
+    EXPECT_TRUE(length_flagged);
+    EXPECT_FALSE(rep.all_matched());
+}
+
+TEST(Compare, StationaryAblationFailsDiurnalDimension) {
+    const trace a = gismo::generate_live_workload(small_cfg(), 5);
+    auto stat = small_cfg();
+    stat.stationary_arrivals = true;
+    const trace b = gismo::generate_live_workload(stat, 5);
+    const auto rep = compare_workloads(a, b);
+    for (const auto& d : rep.dimensions) {
+        if (d.dimension == "diurnal concurrency profile") {
+            EXPECT_FALSE(d.matched);
+        }
+    }
+}
+
+TEST(Compare, StoredWorkloadBadlyMismatched) {
+    const trace live = gismo::generate_live_workload(small_cfg(), 6);
+    gismo::stored_config scfg;
+    scfg.window = 7 * seconds_per_day;
+    scfg.arrivals = gismo::rate_profile::constant(0.01);
+    const trace stored = gismo::generate_stored_workload(scfg, 6);
+    const auto rep = compare_workloads(live, stored);
+    EXPECT_LT(rep.matched, rep.dimensions.size() / 2);
+}
+
+TEST(Compare, FormatMentionsEveryDimension) {
+    const trace a = gismo::generate_live_workload(small_cfg(), 7);
+    const auto rep = compare_workloads(a, a);
+    const std::string s = format_comparison(rep);
+    for (const auto& d : rep.dimensions) {
+        EXPECT_NE(s.find(d.dimension), std::string::npos);
+    }
+    EXPECT_NE(s.find("matched"), std::string::npos);
+}
+
+TEST(Compare, RejectsEmptyTrace) {
+    const trace a = gismo::generate_live_workload(small_cfg(), 8);
+    trace empty(100);
+    EXPECT_THROW(compare_workloads(a, empty), lsm::contract_violation);
+    EXPECT_THROW(compare_workloads(empty, a), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

@@ -1,0 +1,70 @@
+#include "characterize/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+#include "gismo/live_generator.h"
+#include "world/world_sim.h"
+
+namespace lsm::characterize {
+namespace {
+
+TEST(Hierarchical, MatchesManualPipeline) {
+    auto cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    trace t1 = gismo::generate_live_workload(cfg, 7);
+    trace t2 = t1;
+
+    hierarchical_config hcfg;
+    hcfg.client.acf_max_lag = 100;
+    const auto rep = characterize_hierarchically(t1, hcfg);
+
+    sanitize(t2);
+    const auto sessions = build_sessions(t2, hcfg.session_timeout);
+    const auto sl = analyze_session_layer(sessions);
+    const auto tl = analyze_transfer_layer(t2);
+
+    EXPECT_EQ(rep.sessions.sessions.size(), sessions.sessions.size());
+    EXPECT_DOUBLE_EQ(rep.session.on_fit.mu, sl.on_fit.mu);
+    EXPECT_DOUBLE_EQ(rep.transfer.length_fit.mu, tl.length_fit.mu);
+    EXPECT_EQ(rep.summary.num_transfers, t2.size());
+}
+
+TEST(Hierarchical, SanitizationReported) {
+    world::world_config wcfg = world::world_config::scaled(0.01);
+    wcfg.window = 2 * seconds_per_day;
+    wcfg.target_sessions = 3000.0;
+    wcfg.corrupt_fraction = 0.01;
+    auto world = world::simulate_world(wcfg, 5);
+    hierarchical_config hcfg;
+    hcfg.client.acf_max_lag = 100;
+    const auto rep = characterize_hierarchically(world.tr, hcfg);
+    EXPECT_EQ(rep.sanitization.dropped_out_of_window,
+              world.truth.corrupted_records);
+    EXPECT_EQ(rep.sanitization.kept, world.tr.size());
+}
+
+TEST(Hierarchical, SkipSanitizeOption) {
+    auto cfg = gismo::live_config::scaled(0.005);
+    cfg.window = seconds_per_day;
+    trace t = gismo::generate_live_workload(cfg, 9);
+    const std::size_t before = t.size();
+    hierarchical_config hcfg;
+    hcfg.sanitize_first = false;
+    hcfg.client.acf_max_lag = 100;
+    const auto rep = characterize_hierarchically(t, hcfg);
+    EXPECT_EQ(rep.sanitization.kept, before);
+    EXPECT_EQ(rep.sanitization.dropped_out_of_window, 0U);
+}
+
+TEST(Hierarchical, EmptyAfterSanitizeThrows) {
+    trace t(100);
+    log_record r;
+    r.start = 200;  // outside window
+    r.duration = 1;
+    t.add(r);
+    EXPECT_THROW(characterize_hierarchically(t), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

@@ -1,0 +1,105 @@
+#include "characterize/object_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+#include "world/world_sim.h"
+
+namespace lsm::characterize {
+namespace {
+
+log_record rec(client_id c, object_id obj, seconds_t start,
+               seconds_t dur) {
+    log_record r;
+    r.client = c;
+    r.object = obj;
+    r.start = start;
+    r.duration = dur;
+    return r;
+}
+
+TEST(ObjectLayer, SharesAndClientCounts) {
+    trace t(10000);
+    t.add(rec(1, 0, 0, 10));
+    t.add(rec(1, 0, 100, 10));
+    t.add(rec(2, 1, 0, 10));
+    t.add(rec(3, 0, 50, 10));
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_object_layer(t, ss);
+    ASSERT_EQ(rep.objects.size(), 2U);
+    EXPECT_EQ(rep.objects[0].object, 0);
+    EXPECT_EQ(rep.objects[0].transfers, 3U);
+    EXPECT_DOUBLE_EQ(rep.objects[0].transfer_share, 0.75);
+    EXPECT_EQ(rep.objects[0].distinct_clients, 2U);
+    EXPECT_EQ(rep.objects[1].distinct_clients, 1U);
+}
+
+TEST(ObjectLayer, MultiFeedClientFraction) {
+    trace t(10000);
+    t.add(rec(1, 0, 0, 10));
+    t.add(rec(1, 1, 100, 10));  // client 1 uses both feeds
+    t.add(rec(2, 0, 0, 10));
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_object_layer(t, ss);
+    EXPECT_DOUBLE_EQ(rep.multi_feed_client_fraction, 0.5);
+}
+
+TEST(ObjectLayer, SwitchRateWithinSessions) {
+    trace t(10000);
+    // One session with objects 0,1,0: two switches in two pairs.
+    t.add(rec(1, 0, 0, 10));
+    t.add(rec(1, 1, 20, 10));
+    t.add(rec(1, 0, 40, 10));
+    // One single-feed session: one pair, no switch.
+    t.add(rec(2, 0, 0, 10));
+    t.add(rec(2, 0, 30, 10));
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_object_layer(t, ss);
+    EXPECT_DOUBLE_EQ(rep.switch_rate, 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(rep.multi_feed_session_fraction, 0.5);
+}
+
+TEST(ObjectLayer, LengthKsNearZeroForIdenticalFeeds) {
+    // Both feeds draw from the same length distribution.
+    trace t(0);
+    std::uint64_t s = 3;
+    seconds_t clock = 0;
+    for (int i = 0; i < 4000; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        const auto len = static_cast<seconds_t>(1 + (s >> 56));
+        t.add(rec(static_cast<client_id>(i), i % 2 == 0 ? 0 : 1, clock,
+                  len));
+        clock += 100;
+    }
+    t.set_window_length(clock + 1000);
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_object_layer(t, ss);
+    EXPECT_LT(rep.length_ks_between_feeds, 0.08);
+}
+
+TEST(ObjectLayer, WorldTraceFeedsAreInterchangeable) {
+    world::world_config cfg = world::world_config::scaled(0.01);
+    cfg.window = 3 * seconds_per_day;
+    cfg.target_sessions = 5000.0;
+    auto world = world::simulate_world(cfg, 6);
+    sanitize(world.tr);
+    const auto ss = build_sessions(world.tr, 1500);
+    const auto rep = analyze_object_layer(world.tr, ss);
+    ASSERT_EQ(rep.objects.size(), 2U);
+    // Feed 0 is preferred (0.65 preference x 0.8 adherence) but both draw
+    // the same length distribution — the live-media signature.
+    EXPECT_GT(rep.objects[0].transfer_share,
+              rep.objects[1].transfer_share);
+    EXPECT_LT(rep.length_ks_between_feeds, 0.06);
+    EXPECT_GT(rep.switch_rate, 0.05);
+    EXPECT_GT(rep.multi_feed_client_fraction, 0.05);
+}
+
+TEST(ObjectLayer, RejectsEmptyTrace) {
+    trace t(100);
+    session_set ss;
+    EXPECT_THROW(analyze_object_layer(t, ss), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

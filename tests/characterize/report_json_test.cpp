@@ -1,0 +1,86 @@
+#include "characterize/report_json.h"
+
+#include <gtest/gtest.h>
+
+#include "gismo/live_generator.h"
+
+namespace lsm::characterize {
+namespace {
+
+hierarchical_report make_report() {
+    auto cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    trace t = gismo::generate_live_workload(cfg, 11);
+    hierarchical_config hcfg;
+    hcfg.client.acf_max_lag = 50;
+    return characterize_hierarchically(t, hcfg);
+}
+
+// Minimal structural JSON validator: brace/bracket balance, quote
+// pairing outside of numbers, no trailing garbage.
+bool json_balanced(const std::string& s) {
+    int braces = 0, brackets = 0;
+    bool in_string = false;
+    for (char c : s) {
+        if (in_string) {
+            if (c == '"') in_string = false;
+            continue;
+        }
+        switch (c) {
+            case '"': in_string = true; break;
+            case '{': ++braces; break;
+            case '}': --braces; break;
+            case '[': ++brackets; break;
+            case ']': --brackets; break;
+            default: break;
+        }
+        if (braces < 0 || brackets < 0) return false;
+    }
+    return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST(ReportJson, StructurallyValid) {
+    const auto rep = make_report();
+    const std::string json = report_to_json(rep);
+    EXPECT_TRUE(json_balanced(json));
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJson, ContainsAllSections) {
+    const auto rep = make_report();
+    const std::string json = report_to_json(rep);
+    for (const char* key :
+         {"\"summary\"", "\"sanitization\"", "\"client\"", "\"session\"",
+          "\"transfer\"", "\"series\"", "\"mu\"", "\"alpha\"",
+          "\"congestion_bound_fraction\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ReportJson, SeriesOptional) {
+    const auto rep = make_report();
+    report_json_config cfg;
+    cfg.include_series = false;
+    const std::string json = report_to_json(rep, cfg);
+    EXPECT_EQ(json.find("\"series\""), std::string::npos);
+    EXPECT_TRUE(json_balanced(json));
+}
+
+TEST(ReportJson, NumbersAreFinite) {
+    const auto rep = make_report();
+    const std::string json = report_to_json(rep);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ReportJson, TransferCountMatches) {
+    const auto rep = make_report();
+    const std::string json = report_to_json(rep);
+    const std::string expect =
+        "\"transfers\":" + std::to_string(rep.summary.num_transfers);
+    EXPECT_NE(json.find(expect), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

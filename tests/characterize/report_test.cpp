@@ -1,0 +1,95 @@
+#include "characterize/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lsm::characterize {
+namespace {
+
+TEST(Report, PrintCurveThinsLongSeries) {
+    std::vector<stats::dist_point> pts;
+    for (int i = 0; i < 1000; ++i) {
+        pts.push_back({static_cast<double>(i), static_cast<double>(i * 2)});
+    }
+    std::stringstream out;
+    print_curve(out, "test curve", pts, 10);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("test curve"), std::string::npos);
+    EXPECT_NE(s.find("1000 points"), std::string::npos);
+    // Thinning: far fewer rows than points.
+    std::size_t rows = 0;
+    for (char c : s) {
+        if (c == '\n') ++rows;
+    }
+    EXPECT_LE(rows, 15U);
+}
+
+TEST(Report, PrintCurveEmpty) {
+    std::stringstream out;
+    print_curve(out, "empty", {}, 10);
+    EXPECT_NE(out.str().find("0 points"), std::string::npos);
+}
+
+TEST(Report, PrintCurveIncludesLastPointWhenThinned) {
+    std::vector<stats::dist_point> pts;
+    for (int i = 0; i < 107; ++i) {
+        pts.push_back({static_cast<double>(i), 0.0});
+    }
+    std::stringstream out;
+    print_curve(out, "c", pts, 10);
+    EXPECT_NE(out.str().find("106"), std::string::npos);
+}
+
+TEST(Report, TriptychShowsAllThreePanels) {
+    std::vector<double> sample;
+    for (int i = 1; i <= 500; ++i) sample.push_back(static_cast<double>(i));
+    std::stringstream out;
+    print_triptych(out, "lengths", sample, 5);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("frequency"), std::string::npos);
+    EXPECT_NE(s.find("CDF"), std::string::npos);
+    EXPECT_NE(s.find("CCDF"), std::string::npos);
+    EXPECT_NE(s.find("n=500"), std::string::npos);
+}
+
+TEST(Report, TriptychFallsBackToLinearBinsForNonPositive) {
+    std::vector<double> sample = {0.0, 1.0, 2.0, 3.0};
+    std::stringstream out;
+    print_triptych(out, "zeros", sample, 5);
+    EXPECT_NE(out.str().find("linear bins"), std::string::npos);
+}
+
+TEST(Report, DescribeFits) {
+    stats::lognormal_fit lf;
+    lf.mu = 4.384;
+    lf.sigma = 1.427;
+    lf.ks = 0.01;
+    EXPECT_NE(describe(lf).find("4.384"), std::string::npos);
+    EXPECT_NE(describe(lf).find("lognormal"), std::string::npos);
+
+    stats::exponential_fit ef;
+    ef.mean = 203150.0;
+    EXPECT_NE(describe(ef).find("exponential"), std::string::npos);
+
+    stats::zipf_fit zf;
+    zf.alpha = 0.4704;
+    zf.c = 0.00064;
+    EXPECT_NE(describe(zf).find("0.4704"), std::string::npos);
+
+    stats::tail_fit tf;
+    tf.alpha = 2.8;
+    tf.points = 99;
+    EXPECT_NE(describe(tf).find("2.8"), std::string::npos);
+}
+
+TEST(Report, PrintSeries) {
+    std::vector<double> series(100, 1.5);
+    std::stringstream out;
+    print_series(out, "bins", series, 10);
+    EXPECT_NE(out.str().find("100 bins"), std::string::npos);
+    EXPECT_NE(out.str().find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

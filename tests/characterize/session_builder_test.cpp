@@ -1,0 +1,206 @@
+#include "characterize/session_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm::characterize {
+namespace {
+
+log_record rec(client_id c, seconds_t start, seconds_t dur) {
+    log_record r;
+    r.client = c;
+    r.start = start;
+    r.duration = dur;
+    return r;
+}
+
+TEST(SessionBuilder, SingleTransferIsOneSession) {
+    trace t(1000);
+    t.add(rec(1, 100, 50));
+    const auto ss = build_sessions(t, 10);
+    ASSERT_EQ(ss.sessions.size(), 1U);
+    EXPECT_EQ(ss.sessions[0].client, 1U);
+    EXPECT_EQ(ss.sessions[0].start, 100);
+    EXPECT_EQ(ss.sessions[0].end, 150);
+    EXPECT_EQ(ss.sessions[0].num_transfers, 1U);
+    EXPECT_EQ(ss.sessions[0].on_time(), 50);
+}
+
+TEST(SessionBuilder, GapAtMostTimeoutMerges) {
+    trace t(1000);
+    t.add(rec(1, 0, 10));   // ends 10
+    t.add(rec(1, 20, 10));  // gap 10 == timeout -> same session
+    const auto ss = build_sessions(t, 10);
+    ASSERT_EQ(ss.sessions.size(), 1U);
+    EXPECT_EQ(ss.sessions[0].num_transfers, 2U);
+    EXPECT_EQ(ss.sessions[0].on_time(), 30);
+}
+
+TEST(SessionBuilder, GapBeyondTimeoutSplits) {
+    trace t(1000);
+    t.add(rec(1, 0, 10));
+    t.add(rec(1, 21, 10));  // gap 11 > timeout 10 -> new session
+    const auto ss = build_sessions(t, 10);
+    ASSERT_EQ(ss.sessions.size(), 2U);
+    EXPECT_EQ(ss.sessions[0].end, 10);
+    EXPECT_EQ(ss.sessions[1].start, 21);
+}
+
+TEST(SessionBuilder, DifferentClientsNeverMerge) {
+    trace t(1000);
+    t.add(rec(1, 0, 10));
+    t.add(rec(2, 1, 10));
+    const auto ss = build_sessions(t, 1000);
+    EXPECT_EQ(ss.sessions.size(), 2U);
+}
+
+TEST(SessionBuilder, OverlappingTransfersExtendEnd) {
+    trace t(1000);
+    t.add(rec(1, 0, 100));  // ends 100
+    t.add(rec(1, 10, 20));  // nested: ends 30, must not shrink session end
+    t.add(rec(1, 150, 10));  // gap from 100 is 50 <= 60 -> same session
+    const auto ss = build_sessions(t, 60);
+    ASSERT_EQ(ss.sessions.size(), 1U);
+    EXPECT_EQ(ss.sessions[0].end, 160);
+    EXPECT_EQ(ss.sessions[0].num_transfers, 3U);
+}
+
+TEST(SessionBuilder, GapMeasuredFromLatestEnd) {
+    trace t(1000);
+    t.add(rec(1, 0, 100));   // ends 100
+    t.add(rec(1, 10, 5));    // ends 15
+    // Next starts at 140: gap from latest end (100) is 40 <= 50.
+    t.add(rec(1, 140, 5));
+    const auto ss = build_sessions(t, 50);
+    EXPECT_EQ(ss.sessions.size(), 1U);
+}
+
+TEST(SessionBuilder, TransferStartsRecordedAscending) {
+    trace t(1000);
+    t.add(rec(1, 30, 5));
+    t.add(rec(1, 0, 5));
+    t.add(rec(1, 15, 5));
+    const auto ss = build_sessions(t, 100);
+    ASSERT_EQ(ss.sessions.size(), 1U);
+    const auto& starts = ss.sessions[0].transfer_starts;
+    ASSERT_EQ(starts.size(), 3U);
+    EXPECT_EQ(starts[0], 0);
+    EXPECT_EQ(starts[1], 15);
+    EXPECT_EQ(starts[2], 30);
+}
+
+TEST(SessionBuilder, OffTimesOnlyBetweenSameClient) {
+    trace t(100000);
+    t.add(rec(1, 0, 10));
+    t.add(rec(1, 5000, 10));  // gap 4990 > 1500 -> second session
+    t.add(rec(2, 100, 10));
+    const auto ss = build_sessions(t, 1500);
+    const auto offs = ss.off_times();
+    ASSERT_EQ(offs.size(), 1U);
+    EXPECT_EQ(offs[0], 4990);
+}
+
+TEST(SessionBuilder, OffTimesExceedTimeout) {
+    trace t(1000000);
+    for (int i = 0; i < 20; ++i) {
+        t.add(rec(1, i * 10000, 100));
+    }
+    const seconds_t timeout = 1500;
+    const auto ss = build_sessions(t, timeout);
+    for (const seconds_t off : ss.off_times()) {
+        EXPECT_GT(off, timeout);
+    }
+}
+
+TEST(SessionBuilder, ZeroTimeoutSplitsAnyGap) {
+    trace t(1000);
+    t.add(rec(1, 0, 10));
+    t.add(rec(1, 10, 10));  // gap 0: same session even at timeout 0
+    t.add(rec(1, 21, 10));  // gap 1 > 0
+    const auto ss = build_sessions(t, 0);
+    EXPECT_EQ(ss.sessions.size(), 2U);
+}
+
+TEST(SessionBuilder, TransferCountConserved) {
+    trace t(100000);
+    for (int c = 1; c <= 5; ++c) {
+        for (int i = 0; i < 7; ++i) {
+            t.add(rec(static_cast<client_id>(c), c * 37 + i * 997, 13));
+        }
+    }
+    const auto ss = build_sessions(t, 300);
+    std::size_t total = 0;
+    for (const auto& s : ss.sessions) {
+        total += s.num_transfers;
+        EXPECT_EQ(s.num_transfers, s.transfer_starts.size());
+    }
+    EXPECT_EQ(total, t.size());
+}
+
+TEST(SessionBuilder, EmptyTrace) {
+    trace t(100);
+    EXPECT_EQ(count_sessions(t, 10), 0U);
+    const auto ss = build_sessions(t, 10);
+    EXPECT_TRUE(ss.sessions.empty());
+}
+
+TEST(CountSessions, MatchesBuildSessions) {
+    trace t(1000000);
+    // Pseudo-random but deterministic pattern.
+    std::uint64_t s = 99;
+    for (int i = 0; i < 500; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        const auto c = static_cast<client_id>(1 + (s >> 60));
+        const auto start = static_cast<seconds_t>((s >> 20) % 900000);
+        t.add(rec(c, start, static_cast<seconds_t>(s % 500)));
+    }
+    for (seconds_t timeout : {0, 100, 1500, 100000}) {
+        EXPECT_EQ(count_sessions(t, timeout),
+                  build_sessions(t, timeout).sessions.size())
+            << "timeout=" << timeout;
+    }
+}
+
+TEST(SessionCountSweep, MonotoneNonIncreasing) {
+    trace t(1000000);
+    std::uint64_t s = 7;
+    for (int i = 0; i < 300; ++i) {
+        s = s * 2862933555777941757ULL + 3037000493ULL;
+        t.add(rec(1 + (s % 3), static_cast<seconds_t>(s % 500000),
+                  static_cast<seconds_t>(s % 200)));
+    }
+    const std::vector<seconds_t> timeouts = {0, 10, 100, 1000, 10000,
+                                             100000};
+    const auto counts = session_count_sweep(t, timeouts);
+    ASSERT_EQ(counts.size(), timeouts.size());
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+        EXPECT_LE(counts[i], counts[i - 1]);
+    }
+    // Sweep must agree with the one-off counter.
+    for (std::size_t i = 0; i < timeouts.size(); ++i) {
+        EXPECT_EQ(counts[i], count_sessions(t, timeouts[i]));
+    }
+}
+
+TEST(SessionBuilder, OrderByStartSortsGlobally) {
+    trace t(100000);
+    t.add(rec(5, 9000, 10));
+    t.add(rec(1, 100, 10));
+    t.add(rec(3, 4000, 10));
+    const auto ss = build_sessions(t, 10);
+    const auto order = ss.order_by_start();
+    ASSERT_EQ(order.size(), 3U);
+    EXPECT_LT(ss.sessions[order[0]].start, ss.sessions[order[1]].start);
+    EXPECT_LT(ss.sessions[order[1]].start, ss.sessions[order[2]].start);
+}
+
+TEST(SessionBuilder, RejectsNegativeTimeout) {
+    trace t(100);
+    t.add(rec(1, 0, 1));
+    EXPECT_THROW(build_sessions(t, -1), lsm::contract_violation);
+    EXPECT_THROW(count_sessions(t, -1), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

@@ -1,0 +1,188 @@
+#include "characterize/session_layer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+
+namespace lsm::characterize {
+namespace {
+
+log_record rec(client_id c, seconds_t start, seconds_t dur) {
+    log_record r;
+    r.client = c;
+    r.start = start;
+    r.duration = dur;
+    return r;
+}
+
+TEST(SessionLayer, OnTimesUseLogDisplayConvention) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 0, 0));  // zero-length session -> ON time 0 -> display 1
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    ASSERT_EQ(rep.on_times.size(), 1U);
+    EXPECT_DOUBLE_EQ(rep.on_times[0], 1.0);
+}
+
+TEST(SessionLayer, TransfersPerSessionCounts) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 0, 10));
+    t.add(rec(1, 20, 10));
+    t.add(rec(2, 0, 10));
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    ASSERT_EQ(rep.transfers_per_session.size(), 2U);
+    double total = 0.0;
+    for (double n : rep.transfers_per_session) total += n;
+    EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(SessionLayer, IntraSessionInterarrivals) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 0, 5));
+    t.add(rec(1, 100, 5));
+    t.add(rec(1, 250, 5));
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    ASSERT_EQ(rep.intra_session_interarrivals.size(), 2U);
+    EXPECT_DOUBLE_EQ(rep.intra_session_interarrivals[0], 101.0);
+    EXPECT_DOUBLE_EQ(rep.intra_session_interarrivals[1], 151.0);
+}
+
+TEST(SessionLayer, OffTimesAndExponentialFit) {
+    trace t(40 * seconds_per_day);
+    rng r(1);
+    // One client, many sessions with exponential-ish gaps.
+    seconds_t clock = 0;
+    for (int i = 0; i < 400; ++i) {
+        t.add(rec(1, clock, 60));
+        clock += 60 + static_cast<seconds_t>(r.next_exponential(7000.0)) +
+                 1501;
+    }
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    ASSERT_EQ(rep.off_times.size(), 399U);
+    // Every OFF exceeds the timeout by construction of sessionization.
+    for (double off : rep.off_times) EXPECT_GT(off, 1500.0);
+    EXPECT_GT(rep.off_fit.mean, 1500.0);
+}
+
+TEST(SessionLayer, OnTimeByHourHas24Entries) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 2 * seconds_per_hour, 100));
+    t.add(rec(2, 14 * seconds_per_hour, 300));
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    ASSERT_EQ(rep.on_time_by_hour.size(), 24U);
+    EXPECT_DOUBLE_EQ(rep.on_time_by_hour[2], 100.0);
+    EXPECT_DOUBLE_EQ(rep.on_time_by_hour[14], 300.0);
+    EXPECT_DOUBLE_EQ(rep.on_time_by_hour[3], 0.0);
+}
+
+TEST(SessionLayer, LognormalOnFitRecoversPlantedParameters) {
+    // Sessions that are single transfers with lognormal lengths: ON time
+    // marginal is that lognormal (plus the +1 display shift).
+    rng r(2);
+    trace t(0);  // unbounded window
+    seconds_t clock = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto len = static_cast<seconds_t>(
+            r.next_lognormal(5.23553, 1.54432));  // paper Fig 11
+        t.add(rec(static_cast<client_id>(i + 1), clock, len));
+        clock += 10;
+    }
+    t.set_window_length(clock + 10000000);
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    EXPECT_NEAR(rep.on_fit.mu, 5.23553, 0.1);
+    EXPECT_NEAR(rep.on_fit.sigma, 1.54432, 0.1);
+}
+
+TEST(FitValueZipf, ExactPowerLawFrequencies) {
+    // Sample whose value-frequency profile is exactly c * x^-2 over
+    // x = 1..4: counts 1440, 360, 160, 90 (c=1440 of 2050 total).
+    std::vector<double> samples;
+    const int counts[4] = {1440, 360, 160, 90};
+    for (int v = 1; v <= 4; ++v) {
+        for (int i = 0; i < counts[v - 1]; ++i) {
+            samples.push_back(static_cast<double>(v));
+        }
+    }
+    const auto vz = fit_value_zipf(samples);
+    ASSERT_EQ(vz.values.size(), 4U);
+    EXPECT_NEAR(vz.fit.alpha, 2.0, 1e-6);
+    EXPECT_NEAR(vz.fit.r_squared, 1.0, 1e-9);
+    double freq_sum = 0.0;
+    for (double f : vz.frequencies) freq_sum += f;
+    EXPECT_NEAR(freq_sum, 1.0, 1e-12);
+}
+
+TEST(FitValueZipf, RejectsNonPositiveValues) {
+    const std::vector<double> samples = {1.0, 0.0};
+    EXPECT_THROW(fit_value_zipf(samples), lsm::contract_violation);
+}
+
+TEST(SessionLayer, TransferOffTimesWithinSessions) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 0, 10));    // ends 10
+    t.add(rec(1, 40, 10));   // OFF = 30
+    t.add(rec(1, 45, 100));  // overlaps the previous (starts before 50)
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    ASSERT_EQ(rep.transfer_off_times.size(), 1U);
+    EXPECT_DOUBLE_EQ(rep.transfer_off_times[0], 31.0);  // +1 convention
+    EXPECT_DOUBLE_EQ(rep.overlap_fraction, 0.5);  // 1 of 2 pairs overlap
+}
+
+TEST(SessionLayer, TransferOffTimesBoundedByTimeout) {
+    trace t(0);
+    rng r(7);
+    seconds_t clock = 0;
+    for (int i = 0; i < 2000; ++i) {
+        t.add(rec(1, clock, 5));
+        clock += 5 + static_cast<seconds_t>(r.next_exponential(400.0));
+    }
+    t.set_window_length(clock + 1000);
+    const seconds_t timeout = 1500;
+    const auto ss = build_sessions(t, timeout);
+    const auto rep = analyze_session_layer(ss);
+    ASSERT_FALSE(rep.transfer_off_times.empty());
+    for (double off : rep.transfer_off_times) {
+        // OFF times are displayed +1, so the bound is timeout + 1.
+        EXPECT_LE(off, static_cast<double>(timeout + 1));
+        EXPECT_GE(off, 2.0);  // positive gap -> display >= 2
+    }
+}
+
+TEST(SessionLayer, SingleSessionNoOffNoIntra) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 10, 10));
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    EXPECT_TRUE(rep.off_times.empty());
+    EXPECT_TRUE(rep.intra_session_interarrivals.empty());
+}
+
+TEST(SessionLayer, WeakHourDependenceForStationaryLengths) {
+    // Lengths drawn independently of start hour: the max/mean ratio of
+    // the hourly ON profile should be close to 1 (paper Fig 10 argument).
+    rng r(3);
+    trace t(0);
+    for (int i = 0; i < 50000; ++i) {
+        const auto start = static_cast<seconds_t>(
+            r.next_below(seconds_per_day));
+        const auto len =
+            static_cast<seconds_t>(r.next_lognormal(4.4, 1.0));
+        t.add(rec(static_cast<client_id>(i + 1), start, len));
+    }
+    t.set_window_length(2 * seconds_per_day);
+    const auto ss = build_sessions(t, 1500);
+    const auto rep = analyze_session_layer(ss);
+    EXPECT_LT(rep.on_hour_max_over_mean, 1.35);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

@@ -1,0 +1,120 @@
+#include "characterize/stickiness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "world/world_sim.h"
+
+namespace lsm::characterize {
+namespace {
+
+// Builds a trace where client k's log-lengths are N(mu_k, sigma_w) with
+// mu_k ~ N(4.4, sigma_b): the stickiness structure in its pure form.
+trace clustered_trace(double sigma_between, double sigma_within,
+                      int clients, int per_client, std::uint64_t seed) {
+    rng r(seed);
+    trace t(0);
+    seconds_t clock = 0;
+    for (int c = 1; c <= clients; ++c) {
+        const double mu_c = r.next_normal(4.4, sigma_between);
+        for (int i = 0; i < per_client; ++i) {
+            log_record rec;
+            rec.client = static_cast<client_id>(c);
+            rec.start = clock;
+            rec.duration = static_cast<seconds_t>(
+                std::exp(r.next_normal(mu_c, sigma_within)));
+            t.add(rec);
+            clock += 10;
+        }
+    }
+    t.set_window_length(clock + 1000000);
+    return t;
+}
+
+TEST(Stickiness, ClusteredLengthsShowHighBetweenShare) {
+    const trace t = clustered_trace(1.0, 0.5, 500, 20, 1);
+    const auto rep = analyze_stickiness(t);
+    // True between share = 1 / (1 + 0.25) = 0.8.
+    EXPECT_NEAR(rep.between_share, 0.8, 0.05);
+    EXPECT_GT(rep.between_share, 10.0 * rep.sampling_floor_share);
+    EXPECT_NEAR(rep.per_client_mean_sd, 1.0, 0.15);
+}
+
+TEST(Stickiness, IidLengthsCollapseToSamplingFloor) {
+    const trace t = clustered_trace(0.0, 1.0, 500, 20, 2);
+    const auto rep = analyze_stickiness(t);
+    // Floor = (k-1)/N = 499/10000 ~ 0.05.
+    EXPECT_LT(rep.between_share, 3.0 * rep.sampling_floor_share);
+}
+
+TEST(Stickiness, VarianceDecompositionAddsUp) {
+    const trace t = clustered_trace(0.7, 0.9, 200, 30, 3);
+    const auto rep = analyze_stickiness(t);
+    const double total =
+        rep.between_client_variance + rep.within_client_variance;
+    // Total population variance of log-lengths ~ 0.49 + 0.81.
+    EXPECT_NEAR(total, 0.49 + 0.81, 0.15);
+    EXPECT_GT(rep.between_client_variance, 0.0);
+    EXPECT_GT(rep.within_client_variance, 0.0);
+}
+
+TEST(Stickiness, MinTransferFilterApplied) {
+    trace t(100000);
+    // Two heavy clients and one light client (below the threshold).
+    rng r(4);
+    seconds_t clock = 0;
+    for (int c = 1; c <= 2; ++c) {
+        for (int i = 0; i < 10; ++i) {
+            log_record rec;
+            rec.client = static_cast<client_id>(c);
+            rec.start = clock;
+            rec.duration = 100;
+            t.add(rec);
+            clock += 5;
+        }
+    }
+    log_record rec;
+    rec.client = 3;
+    rec.start = clock;
+    rec.duration = 100;
+    t.add(rec);
+    const auto rep = analyze_stickiness(t);
+    EXPECT_EQ(rep.clients_analyzed, 2U);
+    EXPECT_EQ(rep.transfers_analyzed, 20U);
+}
+
+TEST(Stickiness, WorldTraceShowsStickiness) {
+    // The world simulator plants per-client stickiness (sigma 0.5 of the
+    // total 1.43): expected between share ~ 0.5^2/1.43^2 ~ 0.12, well
+    // above the sampling floor.
+    world::world_config cfg = world::world_config::scaled(0.02);
+    cfg.window = 7 * seconds_per_day;
+    auto world = world::simulate_world(cfg, 5);
+    sanitize(world.tr);
+    const auto rep = analyze_stickiness(world.tr);
+    EXPECT_GT(rep.clients_analyzed, 100U);
+    EXPECT_GT(rep.between_share, 2.0 * rep.sampling_floor_share);
+    EXPECT_GT(rep.between_share, 0.06);
+}
+
+TEST(Stickiness, RejectsDegenerateInputs) {
+    trace t(100);
+    log_record rec;
+    rec.client = 1;
+    rec.duration = 10;
+    for (int i = 0; i < 10; ++i) {
+        rec.start = i;
+        t.add(rec);
+    }
+    // Only one qualifying client.
+    EXPECT_THROW(analyze_stickiness(t), lsm::contract_violation);
+    stickiness_config bad;
+    bad.min_transfers_per_client = 1;
+    EXPECT_THROW(analyze_stickiness(t, bad), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

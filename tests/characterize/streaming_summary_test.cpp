@@ -1,0 +1,97 @@
+#include "characterize/streaming_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "characterize/transfer_layer.h"
+#include "core/trace_io.h"
+#include "gismo/live_generator.h"
+
+namespace lsm::characterize {
+namespace {
+
+trace small_trace() {
+    auto cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    return gismo::generate_live_workload(cfg, 13);
+}
+
+TEST(StreamingSummary, MatchesBatchSummary) {
+    const trace t = small_trace();
+    streaming_summary ss;
+    for (const auto& r : t.records()) ss.add(r);
+
+    const trace_summary batch = summarize(t);
+    EXPECT_EQ(ss.transfers(), batch.num_transfers);
+    EXPECT_EQ(ss.distinct_clients(), batch.num_clients);
+    EXPECT_EQ(ss.distinct_ips(), batch.num_ips);
+    EXPECT_EQ(ss.distinct_asns(), batch.num_asns);
+    EXPECT_EQ(ss.distinct_objects(), batch.num_objects);
+    EXPECT_NEAR(ss.total_bytes(), batch.total_bytes,
+                1e-6 * batch.total_bytes);
+}
+
+TEST(StreamingSummary, LogMomentsMatchBatchFit) {
+    const trace t = small_trace();
+    streaming_summary ss;
+    for (const auto& r : t.records()) ss.add(r);
+    const auto tl = analyze_transfer_layer(t);
+    // Streaming log-moments vs MLE fit: same mu; sigma differs only by
+    // the n vs n-1 convention.
+    EXPECT_NEAR(ss.log_length().mean(), tl.length_fit.mu, 1e-9);
+    EXPECT_NEAR(ss.log_length().stddev(), tl.length_fit.sigma, 1e-3);
+    EXPECT_NEAR(ss.congestion_bound_fraction(),
+                tl.congestion_bound_fraction, 1e-12);
+}
+
+TEST(StreamingSummary, InterarrivalMomentsFromSortedInput) {
+    const trace t = small_trace();  // generator output is start-sorted
+    streaming_summary ss;
+    for (const auto& r : t.records()) ss.add(r);
+    EXPECT_EQ(ss.log_interarrival().count(), t.size() - 1);
+    const auto tl = analyze_transfer_layer(t);
+    // analyze_transfer_layer stores log-displayed gaps; compare the mean
+    // of log values.
+    double mean_log = 0.0;
+    for (double g : tl.interarrivals) mean_log += std::log(g);
+    mean_log /= static_cast<double>(tl.interarrivals.size());
+    EXPECT_NEAR(ss.log_interarrival().mean(), mean_log, 1e-9);
+}
+
+TEST(StreamingSummary, CsvStreamEndToEnd) {
+    const trace t = small_trace();
+    std::stringstream csv;
+    write_trace_csv(t, csv);
+    const auto ss = summarize_trace_csv_stream(csv);
+    EXPECT_EQ(ss.transfers(), t.size());
+    EXPECT_EQ(ss.distinct_clients(), summarize(t).num_clients);
+}
+
+TEST(StreamingSummary, EmptyIsWellDefined) {
+    streaming_summary ss;
+    EXPECT_EQ(ss.transfers(), 0U);
+    EXPECT_DOUBLE_EQ(ss.congestion_bound_fraction(), 0.0);
+    EXPECT_EQ(ss.log_interarrival().count(), 0U);
+}
+
+TEST(StreamingCsvReader, SinkReceivesEveryRecord) {
+    const trace t = small_trace();
+    std::stringstream csv;
+    write_trace_csv(t, csv);
+    std::size_t n = 0;
+    const auto header =
+        read_trace_csv_stream(csv, [&n](const log_record&) { ++n; });
+    EXPECT_EQ(n, t.size());
+    EXPECT_EQ(header.window_length, t.window_length());
+    EXPECT_EQ(header.start_day, t.start_day());
+}
+
+TEST(StreamingCsvReader, NullSinkThrows) {
+    std::stringstream csv("lsm-trace-v1,100,0\n");
+    EXPECT_THROW(read_trace_csv_stream(csv, nullptr), trace_io_error);
+}
+
+}  // namespace
+}  // namespace lsm::characterize

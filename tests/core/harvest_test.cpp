@@ -1,0 +1,105 @@
+#include "core/harvest.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+#include "gismo/live_generator.h"
+
+namespace lsm {
+namespace {
+
+log_record rec(client_id c, seconds_t start, seconds_t dur) {
+    log_record r;
+    r.client = c;
+    r.start = start;
+    r.duration = dur;
+    return r;
+}
+
+TEST(Harvest, RecordsGoToEndPeriodHarvest) {
+    trace t(3 * seconds_per_day);
+    t.add(rec(1, 100, 50));                        // ends day 0
+    t.add(rec(2, seconds_per_day - 10, 100));      // spans into day 1
+    t.add(rec(3, 2 * seconds_per_day + 5, 10));    // day 2
+    const auto harvests = harvest_logs(t);
+    ASSERT_EQ(harvests.size(), 3U);
+    EXPECT_EQ(harvests[0].size(), 1U);
+    EXPECT_EQ(harvests[1].size(), 1U);  // the spanning record
+    EXPECT_EQ(harvests[2].size(), 1U);
+    EXPECT_EQ(harvests[1].records()[0].client, 2U);
+    // Timestamps stay global.
+    EXPECT_EQ(harvests[1].records()[0].start, seconds_per_day - 10);
+}
+
+TEST(Harvest, EndExactlyAtBoundaryBelongsToEarlierHarvest) {
+    trace t(2 * seconds_per_day);
+    t.add(rec(1, seconds_per_day - 10, 10));  // ends exactly at midnight
+    const auto harvests = harvest_logs(t);
+    EXPECT_EQ(harvests[0].size(), 1U);
+    EXPECT_EQ(harvests[1].size(), 0U);
+}
+
+TEST(Harvest, OpenTransfersFlushedTruncated) {
+    trace t(seconds_per_day);
+    t.add(rec(1, seconds_per_day - 100, 10000));  // still open at window
+    const auto harvests = harvest_logs(t);
+    ASSERT_EQ(harvests.size(), 1U);
+    ASSERT_EQ(harvests[0].size(), 1U);
+    EXPECT_EQ(harvests[0].records()[0].duration, 100);
+}
+
+TEST(Harvest, OpenTransfersDroppableInstead) {
+    trace t(seconds_per_day);
+    t.add(rec(1, seconds_per_day - 100, 10000));
+    harvest_config cfg;
+    cfg.flush_open_at_end = false;
+    const auto harvests = harvest_logs(t, cfg);
+    EXPECT_EQ(harvests[0].size(), 0U);
+}
+
+TEST(Harvest, HarvestFilesAreEndOrdered) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 0, 500));   // ends 500
+    t.add(rec(2, 400, 10));  // ends 410 — logged first
+    const auto harvests = harvest_logs(t);
+    ASSERT_EQ(harvests[0].size(), 2U);
+    EXPECT_EQ(harvests[0].records()[0].client, 2U);
+    EXPECT_EQ(harvests[0].records()[1].client, 1U);
+}
+
+TEST(Harvest, MergeInvertsSplit) {
+    auto cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 3 * seconds_per_day;
+    const trace original = gismo::generate_live_workload(cfg, 17);
+    const auto harvests = harvest_logs(original);
+    const trace merged = merge_harvests(harvests);
+    ASSERT_EQ(merged.size(), original.size());
+    EXPECT_EQ(merged.window_length(), original.window_length());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged.records()[i].start, original.records()[i].start);
+        EXPECT_EQ(merged.records()[i].client,
+                  original.records()[i].client);
+        EXPECT_EQ(merged.records()[i].duration,
+                  original.records()[i].duration);
+    }
+}
+
+TEST(Harvest, ZeroLengthRecordAtOriginLandsInFirstHarvest) {
+    trace t(seconds_per_day);
+    t.add(rec(1, 0, 0));
+    const auto harvests = harvest_logs(t);
+    EXPECT_EQ(harvests[0].size(), 1U);
+}
+
+TEST(Harvest, RejectsBadInput) {
+    trace t;  // zero window
+    EXPECT_THROW(harvest_logs(t), contract_violation);
+    trace ok(100);
+    harvest_config bad;
+    bad.period = 0;
+    EXPECT_THROW(harvest_logs(ok, bad), contract_violation);
+    EXPECT_THROW(merge_harvests({}), contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm

@@ -1,0 +1,78 @@
+#include "core/log_record.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm {
+namespace {
+
+TEST(CountryCode, MakeAndToString) {
+    const country_code br = make_country("BR");
+    EXPECT_EQ(to_string(br), "BR");
+}
+
+TEST(CountryCode, EqualityAndOrdering) {
+    EXPECT_EQ(make_country("BR"), make_country("BR"));
+    EXPECT_NE(make_country("BR"), make_country("US"));
+    EXPECT_LT(make_country("AR"), make_country("BR"));
+    EXPECT_LT(make_country("BA"), make_country("BR"));
+}
+
+TEST(CountryCode, RejectsWrongLength) {
+    EXPECT_THROW(make_country("BRA"), contract_violation);
+    EXPECT_THROW(make_country("B"), contract_violation);
+}
+
+TEST(LogRecord, EndIsStartPlusDuration) {
+    log_record r;
+    r.start = 100;
+    r.duration = 42;
+    EXPECT_EQ(r.end(), 142);
+}
+
+TEST(LogRecord, ZeroDurationEndEqualsStart) {
+    log_record r;
+    r.start = 7;
+    r.duration = 0;
+    EXPECT_EQ(r.end(), 7);
+}
+
+TEST(LogRecord, BytesFromDurationAndBandwidth) {
+    log_record r;
+    r.duration = 10;
+    r.avg_bandwidth_bps = 56000.0;
+    EXPECT_DOUBLE_EQ(r.bytes(), 10.0 * 56000.0 / 8.0);
+}
+
+TEST(RecordOrdering, ByStartThenClientThenObject) {
+    log_record a, b;
+    a.start = 1;
+    b.start = 2;
+    EXPECT_TRUE(record_start_less(a, b));
+    EXPECT_FALSE(record_start_less(b, a));
+
+    b.start = 1;
+    a.client = 1;
+    b.client = 2;
+    EXPECT_TRUE(record_start_less(a, b));
+
+    b.client = 1;
+    a.object = 0;
+    b.object = 1;
+    EXPECT_TRUE(record_start_less(a, b));
+
+    b.object = 0;
+    EXPECT_FALSE(record_start_less(a, b));
+    EXPECT_FALSE(record_start_less(b, a));
+}
+
+TEST(FormatIpv4, DottedQuad) {
+    EXPECT_EQ(format_ipv4(0x0A000001), "10.0.0.1");
+    EXPECT_EQ(format_ipv4(0xC0A80101), "192.168.1.1");
+    EXPECT_EQ(format_ipv4(0xFFFFFFFF), "255.255.255.255");
+    EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+}
+
+}  // namespace
+}  // namespace lsm

@@ -1,0 +1,214 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm {
+namespace {
+
+TEST(Splitmix64, KnownSequenceFromSeedZero) {
+    // Reference values for splitmix64 seeded with 0.
+    splitmix64 sm(0);
+    EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = r.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, OpenZeroDoubleNeverZero) {
+    rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_GT(r.next_double_open0(), 0.0);
+        EXPECT_LE(r.next_double_open0(), 1.0);
+    }
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+    rng r(9);
+    for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(n), n);
+    }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+    rng r(9);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0U);
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+    rng r(9);
+    EXPECT_THROW(r.next_below(0), contract_violation);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+    rng r(11);
+    const int n = 10, draws = 100000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i) ++counts[r.next_below(n)];
+    for (int c : counts) {
+        EXPECT_NEAR(c, draws / n, 4 * std::sqrt(draws / n));
+    }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+    rng r(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.next_int(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoolProbabilityEdges) {
+    rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.next_bool(0.0));
+        EXPECT_TRUE(r.next_bool(1.0));
+    }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+    rng r(19);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += r.next_exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+    rng r(23);
+    const int n = 200000;
+    double sum = 0.0, ss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.next_normal();
+        sum += x;
+        ss += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalLogMomentsConverge) {
+    rng r(29);
+    const int n = 100000;
+    double sum = 0.0, ss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double lx = std::log(r.next_lognormal(4.4, 1.4));
+        sum += lx;
+        ss += lx * lx;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 4.4, 0.03);
+    EXPECT_NEAR(std::sqrt(ss / n - mean * mean), 1.4, 0.03);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndTail) {
+    rng r(31);
+    const int n = 100000;
+    int above_double = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.next_pareto(2.0, 1.0);
+        EXPECT_GE(x, 1.0);
+        if (x >= 2.0) ++above_double;
+    }
+    // P[X >= 2] = 2^-2 = 0.25.
+    EXPECT_NEAR(above_double / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(Rng, PoissonSmallMeanMatches) {
+    rng r(37);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.next_poisson(3.5));
+    EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanMatches) {
+    rng r(41);
+    const int n = 20000;
+    double sum = 0.0, ss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const auto x = static_cast<double>(r.next_poisson(500.0));
+        sum += x;
+        ss += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 500.0, 1.5);
+    EXPECT_NEAR(ss / n - mean * mean, 500.0, 30.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+    rng r(43);
+    EXPECT_EQ(r.next_poisson(0.0), 0U);
+}
+
+TEST(Rng, SubstreamsAreDeterministicAndIndependent) {
+    rng root(99);
+    rng a1 = root.substream(1);
+    rng a2 = root.substream(1);
+    rng b = root.substream(2);
+    EXPECT_EQ(a1.next_u64(), a2.next_u64());
+    // Substream derivation must not advance the parent.
+    rng root2(99);
+    EXPECT_EQ(root.next_u64(), root2.next_u64());
+    int same = 0;
+    rng a3 = root2.substream(1);
+    for (int i = 0; i < 64; ++i) {
+        if (a3.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+// Chi-squared sanity check over bytes of the generator output.
+TEST(Rng, ByteFrequenciesBalanced) {
+    rng r(47);
+    std::vector<int> counts(256, 0);
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t v = r.next_u64();
+        for (int b = 0; b < 8; ++b) ++counts[(v >> (8 * b)) & 0xFF];
+    }
+    const double expected = draws * 8 / 256.0;
+    double chi2 = 0.0;
+    for (int c : counts) {
+        chi2 += (c - expected) * (c - expected) / expected;
+    }
+    // 255 dof: mean 255, sd ~22.6; 5 sigma ~ 368.
+    EXPECT_LT(chi2, 368.0);
+}
+
+}  // namespace
+}  // namespace lsm

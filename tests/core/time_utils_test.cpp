@@ -1,0 +1,107 @@
+#include "core/time_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm {
+namespace {
+
+TEST(LogDisplay, MapsZeroToOne) { EXPECT_EQ(log_display(0), 1); }
+
+TEST(LogDisplay, ShiftsPositiveValuesByOne) {
+    EXPECT_EQ(log_display(1), 2);
+    EXPECT_EQ(log_display(1499), 1500);
+}
+
+TEST(LogDisplay, RejectsNegative) {
+    EXPECT_THROW(log_display(-1), contract_violation);
+}
+
+TEST(HourOfDay, StartOfTraceIsMidnight) { EXPECT_EQ(hour_of_day(0), 0); }
+
+TEST(HourOfDay, WrapsAcrossDays) {
+    EXPECT_EQ(hour_of_day(seconds_per_day + 3 * seconds_per_hour), 3);
+    EXPECT_EQ(hour_of_day(5 * seconds_per_day - 1), 23);
+}
+
+TEST(MinuteOfDay, FullRange) {
+    EXPECT_EQ(minute_of_day(0), 0);
+    EXPECT_EQ(minute_of_day(seconds_per_day - 1), 1439);
+    EXPECT_EQ(minute_of_day(61), 1);
+}
+
+TEST(SecondOfDay, NegativeTimeWrapsForward) {
+    EXPECT_EQ(second_of_day(-1), seconds_per_day - 1);
+}
+
+TEST(DayOfWeek, TraceStartDayIsRespected) {
+    EXPECT_EQ(day_of_week(0, weekday::sunday), weekday::sunday);
+    EXPECT_EQ(day_of_week(0, weekday::thursday), weekday::thursday);
+}
+
+TEST(DayOfWeek, AdvancesDaily) {
+    EXPECT_EQ(day_of_week(seconds_per_day, weekday::sunday),
+              weekday::monday);
+    EXPECT_EQ(day_of_week(6 * seconds_per_day, weekday::sunday),
+              weekday::saturday);
+    EXPECT_EQ(day_of_week(7 * seconds_per_day, weekday::sunday),
+              weekday::sunday);
+}
+
+TEST(DayOfWeek, WrapsFromSaturday) {
+    EXPECT_EQ(day_of_week(2 * seconds_per_day, weekday::friday),
+              weekday::sunday);
+}
+
+TEST(SecondOfWeek, PhaseZeroAtStartDayMidnight) {
+    EXPECT_EQ(second_of_week(0, weekday::sunday), 0);
+    // A trace starting Thursday: second 0 is 4 days into the Sun-anchored
+    // week.
+    EXPECT_EQ(second_of_week(0, weekday::thursday),
+              4 * seconds_per_day);
+}
+
+TEST(SecondOfWeek, WrapsAtWeekEnd) {
+    EXPECT_EQ(second_of_week(seconds_per_week, weekday::sunday), 0);
+    EXPECT_EQ(second_of_week(seconds_per_week + 5, weekday::sunday), 5);
+}
+
+TEST(WeekdayName, AllSevenNames) {
+    EXPECT_EQ(weekday_name(weekday::sunday), "Sun");
+    EXPECT_EQ(weekday_name(weekday::monday), "Mon");
+    EXPECT_EQ(weekday_name(weekday::tuesday), "Tue");
+    EXPECT_EQ(weekday_name(weekday::wednesday), "Wed");
+    EXPECT_EQ(weekday_name(weekday::thursday), "Thu");
+    EXPECT_EQ(weekday_name(weekday::friday), "Fri");
+    EXPECT_EQ(weekday_name(weekday::saturday), "Sat");
+}
+
+TEST(FormatTraceTime, RendersDaysAndTime) {
+    EXPECT_EQ(format_trace_time(0), "0 00:00:00");
+    EXPECT_EQ(format_trace_time(seconds_per_day + 3661), "1 01:01:01");
+    EXPECT_EQ(format_trace_time(-61), "-0 00:01:01");
+}
+
+// Parameterized consistency sweep: hour/minute/second accessors agree for
+// arbitrary times.
+class TimeConsistency : public ::testing::TestWithParam<seconds_t> {};
+
+TEST_P(TimeConsistency, AccessorsAgree) {
+    const seconds_t t = GetParam();
+    const seconds_t sod = second_of_day(t);
+    EXPECT_GE(sod, 0);
+    EXPECT_LT(sod, seconds_per_day);
+    EXPECT_EQ(hour_of_day(t), sod / seconds_per_hour);
+    EXPECT_EQ(minute_of_day(t), sod / seconds_per_minute);
+    const seconds_t sow = second_of_week(t, weekday::sunday);
+    EXPECT_EQ(sow % seconds_per_day, sod);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimeConsistency,
+    ::testing::Values(0, 1, 59, 60, 3599, 3600, 86399, 86400, 604799,
+                      604800, 2419199, -1, -86401));
+
+}  // namespace
+}  // namespace lsm

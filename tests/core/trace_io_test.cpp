@@ -1,0 +1,133 @@
+#include "core/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lsm {
+namespace {
+
+trace sample_trace() {
+    trace t(1000, weekday::thursday);
+    log_record r;
+    r.client = 42;
+    r.ip = 0x0A000001;
+    r.asn = 28573;
+    r.country = make_country("BR");
+    r.object = 1;
+    r.start = 123;
+    r.duration = 456;
+    r.avg_bandwidth_bps = 56000.5;
+    r.packet_loss = 0.001F;
+    r.server_cpu = 0.05F;
+    r.status = transfer_status::ok;
+    t.add(r);
+    r.client = 7;
+    r.start = 130;
+    r.duration = 0;
+    r.status = transfer_status::rejected;
+    t.add(r);
+    return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+    const trace original = sample_trace();
+    std::stringstream ss;
+    write_trace_csv(original, ss);
+    const trace parsed = read_trace_csv(ss);
+
+    EXPECT_EQ(parsed.window_length(), original.window_length());
+    EXPECT_EQ(parsed.start_day(), original.start_day());
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const auto& a = original.records()[i];
+        const auto& b = parsed.records()[i];
+        EXPECT_EQ(b.client, a.client);
+        EXPECT_EQ(b.ip, a.ip);
+        EXPECT_EQ(b.asn, a.asn);
+        EXPECT_EQ(b.country, a.country);
+        EXPECT_EQ(b.object, a.object);
+        EXPECT_EQ(b.start, a.start);
+        EXPECT_EQ(b.duration, a.duration);
+        EXPECT_NEAR(b.avg_bandwidth_bps, a.avg_bandwidth_bps, 0.1);
+        EXPECT_NEAR(b.packet_loss, a.packet_loss, 1e-6);
+        EXPECT_NEAR(b.server_cpu, a.server_cpu, 1e-6);
+        EXPECT_EQ(b.status, a.status);
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+    trace t(500);
+    std::stringstream ss;
+    write_trace_csv(t, ss);
+    const trace parsed = read_trace_csv(ss);
+    EXPECT_EQ(parsed.size(), 0U);
+    EXPECT_EQ(parsed.window_length(), 500);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+    std::stringstream ss;
+    EXPECT_THROW(read_trace_csv(ss), trace_io_error);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+    std::stringstream ss("not-a-trace,100,0\nheader\n");
+    EXPECT_THROW(read_trace_csv(ss), trace_io_error);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+    std::stringstream ss("lsm-trace-v1,100,0\nwrong,header\n");
+    EXPECT_THROW(read_trace_csv(ss), trace_io_error);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+    std::stringstream ss;
+    write_trace_csv(trace(100), ss);
+    std::string content = ss.str();
+    content += "1,2,3\n";
+    std::stringstream bad(content);
+    EXPECT_THROW(read_trace_csv(bad), trace_io_error);
+}
+
+TEST(TraceIo, RejectsNonNumericField) {
+    std::stringstream ss;
+    write_trace_csv(trace(100), ss);
+    std::string content = ss.str();
+    content += "x,2,3,BR,0,1,1,56000,0,0,200\n";
+    std::stringstream bad(content);
+    EXPECT_THROW(read_trace_csv(bad), trace_io_error);
+}
+
+TEST(TraceIo, RejectsBadCountryLength) {
+    std::stringstream ss;
+    write_trace_csv(trace(100), ss);
+    std::string content = ss.str();
+    content += "1,2,3,BRA,0,1,1,56000,0,0,200\n";
+    std::stringstream bad(content);
+    EXPECT_THROW(read_trace_csv(bad), trace_io_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+    std::stringstream ss;
+    write_trace_csv(sample_trace(), ss);
+    std::string content = ss.str() + "\n\n";
+    std::stringstream ok(content);
+    EXPECT_EQ(read_trace_csv(ok).size(), 2U);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/lsm_io_test.csv";
+    const trace original = sample_trace();
+    write_trace_csv_file(original, path);
+    const trace parsed = read_trace_csv_file(path);
+    EXPECT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed.window_length(), original.window_length());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+    EXPECT_THROW(read_trace_csv_file("/nonexistent/path/x.csv"),
+                 trace_io_error);
+}
+
+}  // namespace
+}  // namespace lsm

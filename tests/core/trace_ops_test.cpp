@@ -1,0 +1,109 @@
+#include "core/trace_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm {
+namespace {
+
+log_record rec(client_id c, object_id obj, seconds_t start,
+               seconds_t dur) {
+    log_record r;
+    r.client = c;
+    r.object = obj;
+    r.start = start;
+    r.duration = dur;
+    return r;
+}
+
+trace sample() {
+    trace t(1000, weekday::thursday);
+    t.add(rec(1, 0, 10, 50));
+    t.add(rec(2, 1, 100, 20));
+    t.add(rec(3, 0, 500, 400));  // ends at 900, inside the window
+    t.sort_by_start();
+    return t;
+}
+
+TEST(SliceTime, RebasesAndTruncates) {
+    const trace t = sample();
+    const trace s = slice_time(t, 50, 600);
+    EXPECT_EQ(s.window_length(), 550);
+    ASSERT_EQ(s.size(), 2U);  // records starting at 100 and 500
+    EXPECT_EQ(s.records()[0].start, 50);   // 100 - 50
+    EXPECT_EQ(s.records()[0].duration, 20);
+    EXPECT_EQ(s.records()[1].start, 450);  // 500 - 50
+    // Truncated at the slice end: 550 - 450 = 100.
+    EXPECT_EQ(s.records()[1].duration, 100);
+}
+
+TEST(SliceTime, KeepsStartDay) {
+    const trace s = slice_time(sample(), 0, 100);
+    EXPECT_EQ(s.start_day(), weekday::thursday);
+}
+
+TEST(SliceTime, RejectsBadRange) {
+    const trace t = sample();
+    EXPECT_THROW(slice_time(t, -1, 10), contract_violation);
+    EXPECT_THROW(slice_time(t, 10, 10), contract_violation);
+}
+
+TEST(FilterObject, KeepsOnlyThatFeed) {
+    const trace f0 = filter_object(sample(), 0);
+    EXPECT_EQ(f0.size(), 2U);
+    for (const auto& r : f0.records()) EXPECT_EQ(r.object, 0);
+    EXPECT_EQ(f0.window_length(), 1000);
+}
+
+TEST(FilterRecords, ArbitraryPredicate) {
+    const trace t = sample();
+    const trace heavy = filter_records(
+        t, [](const log_record& r) { return r.duration > 30; });
+    EXPECT_EQ(heavy.size(), 2U);
+    EXPECT_THROW(filter_records(t, nullptr), contract_violation);
+}
+
+TEST(MergeTraces, ConcatenatesAndSorts) {
+    trace a(100, weekday::sunday);
+    a.add(rec(1, 0, 50, 5));
+    trace b(200, weekday::sunday);
+    b.add(rec(2, 0, 10, 5));
+    const trace m = merge_traces(a, b);
+    EXPECT_EQ(m.size(), 2U);
+    EXPECT_EQ(m.window_length(), 200);
+    EXPECT_TRUE(m.is_sorted_by_start());
+    EXPECT_EQ(m.records()[0].client, 2U);
+}
+
+TEST(MergeTraces, RejectsMismatchedStartDay) {
+    trace a(100, weekday::sunday);
+    trace b(100, weekday::monday);
+    EXPECT_THROW(merge_traces(a, b), contract_violation);
+}
+
+TEST(ShiftTime, PositiveShiftGrowsWindow) {
+    const trace s = shift_time(sample(), 100);
+    EXPECT_EQ(s.window_length(), 1100);
+    EXPECT_EQ(s.records()[0].start, 110);
+}
+
+TEST(ShiftTime, NegativeShiftAllowedUntilZero) {
+    const trace s = shift_time(sample(), -10);
+    EXPECT_EQ(s.records()[0].start, 0);
+    EXPECT_THROW(shift_time(sample(), -11), contract_violation);
+}
+
+TEST(SliceRoundTrip, SliceOfShiftEqualsOriginalSegment) {
+    const trace t = sample();
+    const trace shifted = shift_time(t, 50);
+    const trace back = slice_time(shifted, 50, 1050);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back.records()[i].start, t.records()[i].start);
+        EXPECT_EQ(back.records()[i].duration, t.records()[i].duration);
+    }
+}
+
+}  // namespace
+}  // namespace lsm

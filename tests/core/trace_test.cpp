@@ -1,0 +1,105 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace lsm {
+namespace {
+
+log_record rec(client_id c, seconds_t start, seconds_t dur,
+               double bw = 56000.0) {
+    log_record r;
+    r.client = c;
+    r.start = start;
+    r.duration = dur;
+    r.avg_bandwidth_bps = bw;
+    r.ip = static_cast<ipv4_addr>(c);
+    r.asn = static_cast<as_number>(1000 + c % 3);
+    r.country = make_country("BR");
+    r.object = static_cast<object_id>(c % 2);
+    return r;
+}
+
+TEST(Trace, EmptyByDefault) {
+    trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0U);
+    EXPECT_EQ(t.window_length(), 0);
+}
+
+TEST(Trace, SortByStart) {
+    trace t(100);
+    t.add(rec(1, 50, 1));
+    t.add(rec(2, 10, 1));
+    t.add(rec(3, 30, 1));
+    EXPECT_FALSE(t.is_sorted_by_start());
+    t.sort_by_start();
+    EXPECT_TRUE(t.is_sorted_by_start());
+    EXPECT_EQ(t.records()[0].client, 2U);
+    EXPECT_EQ(t.records()[2].client, 1U);
+}
+
+TEST(Summarize, CountsDistinctEntities) {
+    trace t(1000);
+    t.add(rec(1, 0, 10));
+    t.add(rec(1, 20, 10));
+    t.add(rec(2, 5, 10));
+    t.add(rec(3, 7, 10));
+    const trace_summary s = summarize(t);
+    EXPECT_EQ(s.num_transfers, 4U);
+    EXPECT_EQ(s.num_clients, 3U);
+    EXPECT_EQ(s.num_ips, 3U);
+    EXPECT_EQ(s.num_asns, 3U);  // 1000+1%3: clients 1,2,3 -> asn 1001,1002,1000
+    EXPECT_EQ(s.num_objects, 2U);
+    EXPECT_EQ(s.num_countries, 1U);
+    EXPECT_DOUBLE_EQ(s.total_bytes, 4 * 10 * 56000.0 / 8.0);
+}
+
+TEST(Sanitize, DropsRecordsSpanningPastWindow) {
+    trace t(100);
+    t.add(rec(1, 0, 10));
+    t.add(rec(2, 95, 10));  // ends at 105 > 100
+    t.add(rec(3, 50, 50));  // ends exactly at window: kept
+    const auto rep = sanitize(t);
+    EXPECT_EQ(rep.kept, 2U);
+    EXPECT_EQ(rep.dropped_out_of_window, 1U);
+    EXPECT_EQ(rep.dropped_negative, 0U);
+    EXPECT_EQ(t.size(), 2U);
+}
+
+TEST(Sanitize, DropsRecordsStartingAtOrAfterWindowEnd) {
+    trace t(100);
+    t.add(rec(1, 100, 0));
+    t.add(rec(2, 150, 5));
+    const auto rep = sanitize(t);
+    EXPECT_EQ(rep.kept, 0U);
+    EXPECT_EQ(rep.dropped_out_of_window, 2U);
+}
+
+TEST(Sanitize, DropsNegativeStartOrDuration) {
+    trace t(100);
+    log_record bad1 = rec(1, -5, 10);
+    log_record bad2 = rec(2, 5, -10);
+    t.add(bad1);
+    t.add(bad2);
+    t.add(rec(3, 5, 10));
+    const auto rep = sanitize(t);
+    EXPECT_EQ(rep.dropped_negative, 2U);
+    EXPECT_EQ(rep.kept, 1U);
+}
+
+TEST(Sanitize, UnboundedWindowKeepsEverythingNonNegative) {
+    trace t;  // window 0 = unbounded
+    t.add(rec(1, 1000000, 1000000));
+    const auto rep = sanitize(t);
+    EXPECT_EQ(rep.kept, 1U);
+    EXPECT_EQ(rep.dropped_out_of_window, 0U);
+}
+
+TEST(Sanitize, EmptyTraceIsFine) {
+    trace t(10);
+    const auto rep = sanitize(t);
+    EXPECT_EQ(rep.kept, 0U);
+}
+
+}  // namespace
+}  // namespace lsm

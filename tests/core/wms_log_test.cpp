@@ -1,0 +1,128 @@
+#include "core/wms_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lsm {
+namespace {
+
+trace sample_trace() {
+    trace t(2419200, weekday::sunday);
+    log_record r;
+    r.client = 0x2AULL;
+    r.ip = 0x0A000001;
+    r.asn = 28573;
+    r.country = make_country("BR");
+    r.object = 0;
+    r.start = 1234;
+    r.duration = 56;
+    r.avg_bandwidth_bps = 56000.0;
+    r.packet_loss = 0.001F;
+    r.server_cpu = 0.03F;
+    r.status = transfer_status::ok;
+    t.add(r);
+    r.client = 0xDEADBEEFULL;
+    r.object = 1;
+    r.start = 2000;
+    r.status = transfer_status::rejected;
+    t.add(r);
+    return t;
+}
+
+TEST(WmsLog, RoundTripPreservesEverything) {
+    const trace original = sample_trace();
+    std::stringstream ss;
+    write_wms_log(original, ss);
+    const trace parsed = read_wms_log(ss);
+
+    EXPECT_EQ(parsed.window_length(), original.window_length());
+    EXPECT_EQ(parsed.start_day(), original.start_day());
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const auto& a = original.records()[i];
+        const auto& b = parsed.records()[i];
+        EXPECT_EQ(b.client, a.client);
+        EXPECT_EQ(b.ip, a.ip);
+        EXPECT_EQ(b.asn, a.asn);
+        EXPECT_EQ(b.country, a.country);
+        EXPECT_EQ(b.object, a.object);
+        EXPECT_EQ(b.start, a.start);
+        EXPECT_EQ(b.duration, a.duration);
+        EXPECT_NEAR(b.avg_bandwidth_bps, a.avg_bandwidth_bps, 1.0);
+        EXPECT_NEAR(b.packet_loss, a.packet_loss, 1e-5);
+        EXPECT_NEAR(b.server_cpu, a.server_cpu, 1e-4);
+        EXPECT_EQ(b.status, a.status);
+    }
+}
+
+TEST(WmsLog, OutputLooksLikeW3cLog) {
+    std::stringstream ss;
+    write_wms_log(sample_trace(), ss);
+    const std::string s = ss.str();
+    EXPECT_NE(s.find("#Software: Microsoft Windows Media Services"),
+              std::string::npos);
+    EXPECT_NE(s.find("#Fields: c-ip c-playerid cs-uri-stem"),
+              std::string::npos);
+    EXPECT_NE(s.find("mms://server/feed1"), std::string::npos);
+    EXPECT_NE(s.find("mms://server/feed2"), std::string::npos);
+    EXPECT_NE(s.find("10.0.0.1"), std::string::npos);
+}
+
+TEST(WmsLog, IgnoresUnknownDirectives) {
+    std::stringstream ss;
+    write_wms_log(sample_trace(), ss);
+    std::string content = "#Remark: produced by test\n" + ss.str();
+    std::stringstream in(content);
+    EXPECT_EQ(read_wms_log(in).size(), 2U);
+}
+
+TEST(WmsLog, RejectsRecordBeforeFields) {
+    std::stringstream in(
+        "10.0.0.1 {000000000000002a} mms://server/feed1 1 BR 0 1 56000 "
+        "0 0 200\n");
+    EXPECT_THROW(read_wms_log(in), wms_log_error);
+}
+
+TEST(WmsLog, RejectsUnsupportedFieldLayout) {
+    std::stringstream in("#Fields: c-ip cs-bytes\n");
+    EXPECT_THROW(read_wms_log(in), wms_log_error);
+}
+
+TEST(WmsLog, RejectsMalformedRecords) {
+    std::stringstream base;
+    write_wms_log(trace(100), base);
+    const std::string header = base.str();
+    const char* bad_lines[] = {
+        // wrong field count
+        "10.0.0.1 {000000000000002a} mms://server/feed1 1 BR 0 1 56000\n",
+        // bad IP
+        "10.0.0.999 {000000000000002a} mms://server/feed1 1 BR 0 1 56000 "
+        "0 0 200\n",
+        // bad player id
+        "10.0.0.1 [000000000000002a] mms://server/feed1 1 BR 0 1 56000 0 "
+        "0 200\n",
+        // bad URI
+        "10.0.0.1 {000000000000002a} http://x/feed1 1 BR 0 1 56000 0 0 "
+        "200\n",
+        // bad country
+        "10.0.0.1 {000000000000002a} mms://server/feed1 1 BRA 0 1 56000 "
+        "0 0 200\n",
+    };
+    for (const char* bad : bad_lines) {
+        std::stringstream in(header + bad);
+        EXPECT_THROW(read_wms_log(in), wms_log_error) << bad;
+    }
+}
+
+TEST(WmsLog, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/lsm_wms_test.log";
+    const trace original = sample_trace();
+    write_wms_log_file(original, path);
+    const trace parsed = read_wms_log_file(path);
+    EXPECT_EQ(parsed.size(), original.size());
+    EXPECT_THROW(read_wms_log_file("/nonexistent/x.log"), wms_log_error);
+}
+
+}  // namespace
+}  // namespace lsm

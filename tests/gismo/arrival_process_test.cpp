@@ -1,0 +1,120 @@
+#include "gismo/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.h"
+#include "stats/descriptive.h"
+#include "stats/timeseries.h"
+
+namespace lsm::gismo {
+namespace {
+
+TEST(PoissonArrivals, MeanCountMatchesRate) {
+    rng r(1);
+    const auto arrivals =
+        generate_stationary_poisson(0.5, 100000, r);
+    EXPECT_NEAR(static_cast<double>(arrivals.size()), 50000.0,
+                5.0 * std::sqrt(50000.0));
+}
+
+TEST(PoissonArrivals, SortedWithinWindow) {
+    rng r(2);
+    const auto arrivals = generate_stationary_poisson(1.0, 10000, r);
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        EXPECT_GE(arrivals[i], 0);
+        EXPECT_LT(arrivals[i], 10000);
+        if (i > 0) {
+            EXPECT_GE(arrivals[i], arrivals[i - 1]);
+        }
+    }
+}
+
+TEST(PoissonArrivals, ExponentialInterarrivals) {
+    rng r(3);
+    const auto arrivals = generate_stationary_poisson(0.05, 2000000, r);
+    const auto gaps = interarrival_times(arrivals);
+    // Mean gap ~ 20 s (quantized to seconds, +1 display shift).
+    const auto s = stats::summarize(gaps);
+    EXPECT_NEAR(s.mean, 21.0, 1.0);
+    // CV of the underlying exponential is 1; the +1 display shift scales
+    // it to sd/mean ~ 20/21.
+    EXPECT_NEAR(s.stddev / s.mean, 20.0 / 21.0, 0.05);
+}
+
+TEST(PiecewisePoisson, RatesFollowProfile) {
+    rng r(4);
+    rate_profile profile({2.0, 0.1}, 1000);  // alternating fast/slow
+    const auto arrivals = generate_piecewise_poisson(profile, 100000, r);
+    std::vector<double> counts =
+        stats::bin_event_counts(arrivals, 1000, 100000);
+    double fast = 0.0, slow = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        (i % 2 == 0 ? fast : slow) += counts[i];
+    }
+    EXPECT_NEAR(fast / 50.0, 2000.0, 150.0);
+    EXPECT_NEAR(slow / 50.0, 100.0, 30.0);
+}
+
+TEST(PiecewisePoisson, ZeroRateBinsProduceNoArrivals) {
+    rng r(5);
+    rate_profile profile({1.0, 0.0}, 100);
+    const auto arrivals = generate_piecewise_poisson(profile, 10000, r);
+    for (seconds_t t : arrivals) {
+        EXPECT_LT(t % 200, 100) << "arrival in zero-rate bin at " << t;
+    }
+    EXPECT_GT(arrivals.size(), 0U);
+}
+
+TEST(PiecewisePoisson, DiurnalModulationVisible) {
+    rng r(6);
+    const auto profile = rate_profile::paper_daily(0.5);
+    const auto arrivals =
+        generate_piecewise_poisson(profile, 14 * seconds_per_day, r);
+    const auto counts = stats::bin_event_counts(
+        arrivals, seconds_per_hour, 14 * seconds_per_day);
+    const auto daily = stats::fold_series(counts, 24);
+    EXPECT_LT(daily[5] * 5.0, daily[21]);  // trough vs peak
+}
+
+TEST(PiecewisePoisson, HeavierInterarrivalTailThanStationary) {
+    // The paper's Fig 5 vs Fig 6 argument: diurnal modulation produces
+    // more large interarrivals than a stationary process of equal mean.
+    rng r1(7), r2(8);
+    const auto profile = rate_profile::paper_daily(0.05);
+    const auto pwp =
+        generate_piecewise_poisson(profile, 28 * seconds_per_day, r1);
+    const auto stat = generate_stationary_poisson(
+        profile.mean_rate(), 28 * seconds_per_day, r2);
+    const auto pwp_gaps = interarrival_times(pwp);
+    const auto stat_gaps = interarrival_times(stat);
+    const double pwp_p999 = stats::quantile(pwp_gaps, 0.999);
+    const double stat_p999 = stats::quantile(stat_gaps, 0.999);
+    EXPECT_GT(pwp_p999, 1.5 * stat_p999);
+}
+
+TEST(InterarrivalTimes, AppliesDisplayConvention) {
+    const std::vector<seconds_t> arrivals = {5, 5, 7};
+    const auto gaps = interarrival_times(arrivals);
+    ASSERT_EQ(gaps.size(), 2U);
+    EXPECT_DOUBLE_EQ(gaps[0], 1.0);  // zero gap -> 1
+    EXPECT_DOUBLE_EQ(gaps[1], 3.0);
+}
+
+TEST(InterarrivalTimes, FewerThanTwoArrivals) {
+    EXPECT_TRUE(interarrival_times({}).empty());
+    EXPECT_TRUE(interarrival_times({42}).empty());
+}
+
+TEST(ArrivalProcess, RejectsBadArguments) {
+    rng r(9);
+    EXPECT_THROW(generate_stationary_poisson(0.0, 100, r),
+                 lsm::contract_violation);
+    EXPECT_THROW(
+        generate_piecewise_poisson(rate_profile::constant(1.0), 0, r),
+        lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

@@ -1,0 +1,113 @@
+#include "gismo/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lsm::gismo {
+namespace {
+
+TEST(ConfigIo, RoundTripPreservesEverything) {
+    live_config cfg = live_config::scaled(0.2);
+    cfg.window = 7 * seconds_per_day;
+    cfg.start_day = weekday::thursday;
+    cfg.stationary_arrivals = true;
+    cfg.interest = interest_model::uniform;
+    cfg.interest_alpha = 0.9;
+    cfg.num_clients = 12345;
+    cfg.transfers_per_session_alpha = 3.1;
+    cfg.max_transfers_per_session = 500;
+    cfg.gap_mu = 5.1;
+    cfg.gap_sigma = 1.1;
+    cfg.length_mu = 4.2;
+    cfg.length_sigma = 1.3;
+    cfg.num_objects = 5;
+    cfg.annotate_network = false;
+
+    std::stringstream ss;
+    write_live_config(cfg, ss);
+    const live_config back = read_live_config(ss);
+
+    EXPECT_EQ(back.window, cfg.window);
+    EXPECT_EQ(back.start_day, cfg.start_day);
+    EXPECT_EQ(back.stationary_arrivals, cfg.stationary_arrivals);
+    EXPECT_EQ(back.interest, cfg.interest);
+    EXPECT_DOUBLE_EQ(back.interest_alpha, cfg.interest_alpha);
+    EXPECT_EQ(back.num_clients, cfg.num_clients);
+    EXPECT_DOUBLE_EQ(back.transfers_per_session_alpha,
+                     cfg.transfers_per_session_alpha);
+    EXPECT_EQ(back.max_transfers_per_session,
+              cfg.max_transfers_per_session);
+    EXPECT_DOUBLE_EQ(back.gap_mu, cfg.gap_mu);
+    EXPECT_DOUBLE_EQ(back.gap_sigma, cfg.gap_sigma);
+    EXPECT_DOUBLE_EQ(back.length_mu, cfg.length_mu);
+    EXPECT_DOUBLE_EQ(back.length_sigma, cfg.length_sigma);
+    EXPECT_EQ(back.num_objects, cfg.num_objects);
+    EXPECT_EQ(back.annotate_network, cfg.annotate_network);
+    EXPECT_EQ(back.arrivals.bin(), cfg.arrivals.bin());
+    ASSERT_EQ(back.arrivals.rates().size(), cfg.arrivals.rates().size());
+    for (std::size_t i = 0; i < cfg.arrivals.rates().size(); ++i) {
+        EXPECT_NEAR(back.arrivals.rates()[i], cfg.arrivals.rates()[i],
+                    1e-12);
+    }
+}
+
+TEST(ConfigIo, RoundTripProducesIdenticalWorkload) {
+    live_config cfg = live_config::scaled(0.01);
+    cfg.window = 2 * seconds_per_day;
+    std::stringstream ss;
+    write_live_config(cfg, ss);
+    const live_config back = read_live_config(ss);
+    const trace a = generate_live_workload(cfg, 7);
+    const trace b = generate_live_workload(back, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.records()[i].start, b.records()[i].start);
+        EXPECT_EQ(a.records()[i].client, b.records()[i].client);
+    }
+}
+
+TEST(ConfigIo, MissingKeysKeepDefaults) {
+    std::stringstream ss("interest_alpha = 0.8\n");
+    const live_config cfg = read_live_config(ss);
+    EXPECT_DOUBLE_EQ(cfg.interest_alpha, 0.8);
+    const live_config defaults = live_config::paper_defaults();
+    EXPECT_EQ(cfg.window, defaults.window);
+    EXPECT_DOUBLE_EQ(cfg.gap_mu, defaults.gap_mu);
+}
+
+TEST(ConfigIo, CommentsAndBlanksIgnored) {
+    std::stringstream ss("# a comment\n\n  gap_mu = 5.5\n");
+    EXPECT_DOUBLE_EQ(read_live_config(ss).gap_mu, 5.5);
+}
+
+TEST(ConfigIo, UnknownKeyThrows) {
+    std::stringstream ss("gap_muu = 5.5\n");
+    EXPECT_THROW(read_live_config(ss), config_io_error);
+}
+
+TEST(ConfigIo, MalformedLinesThrow) {
+    std::stringstream no_eq("gap_mu 5.5\n");
+    EXPECT_THROW(read_live_config(no_eq), config_io_error);
+    std::stringstream bad_num("gap_mu = abc\n");
+    EXPECT_THROW(read_live_config(bad_num), config_io_error);
+    std::stringstream bad_day("start_day = 9\n");
+    EXPECT_THROW(read_live_config(bad_day), config_io_error);
+    std::stringstream bad_model("interest_model = zipfian\n");
+    EXPECT_THROW(read_live_config(bad_model), config_io_error);
+    std::stringstream empty_rates("rates = \n");
+    EXPECT_THROW(read_live_config(empty_rates), config_io_error);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/lsm_cfg_test.txt";
+    const live_config cfg = live_config::scaled(0.1);
+    write_live_config_file(cfg, path);
+    const live_config back = read_live_config_file(path);
+    EXPECT_EQ(back.num_clients, cfg.num_clients);
+    EXPECT_THROW(read_live_config_file("/nonexistent/cfg.txt"),
+                 config_io_error);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

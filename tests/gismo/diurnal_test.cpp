@@ -1,0 +1,103 @@
+#include "gismo/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm::gismo {
+namespace {
+
+TEST(RateProfile, PiecewiseLookup) {
+    rate_profile p({1.0, 2.0, 3.0}, 10);
+    EXPECT_DOUBLE_EQ(p.rate_at(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.rate_at(9), 1.0);
+    EXPECT_DOUBLE_EQ(p.rate_at(10), 2.0);
+    EXPECT_DOUBLE_EQ(p.rate_at(29), 3.0);
+}
+
+TEST(RateProfile, PeriodicWrapping) {
+    rate_profile p({1.0, 2.0}, 10);
+    EXPECT_EQ(p.period(), 20);
+    EXPECT_DOUBLE_EQ(p.rate_at(20), 1.0);
+    EXPECT_DOUBLE_EQ(p.rate_at(35), 2.0);
+    EXPECT_DOUBLE_EQ(p.rate_at(-5), 2.0);  // negative wraps forward
+}
+
+TEST(RateProfile, MeanRate) {
+    rate_profile p({1.0, 3.0}, 10);
+    EXPECT_DOUBLE_EQ(p.mean_rate(), 2.0);
+}
+
+TEST(RateProfile, ScaledMultipliesRates) {
+    rate_profile p({1.0, 3.0}, 10);
+    const auto q = p.scaled(2.5);
+    EXPECT_DOUBLE_EQ(q.rate_at(0), 2.5);
+    EXPECT_DOUBLE_EQ(q.rate_at(10), 7.5);
+    EXPECT_EQ(q.period(), p.period());
+}
+
+TEST(RateProfile, PaperDailyHasTargetMeanAndShape) {
+    const auto p = rate_profile::paper_daily(0.62);
+    EXPECT_EQ(p.period(), seconds_per_day);
+    EXPECT_NEAR(p.mean_rate(), 0.62, 1e-9);
+    // Trough (5am) far below peak (9pm) — Fig 4 right.
+    EXPECT_LT(p.rate_at(5 * seconds_per_hour) * 5.0,
+              p.rate_at(21 * seconds_per_hour));
+}
+
+TEST(RateProfile, PaperWeeklyShape) {
+    const auto p = rate_profile::paper_weekly(0.62);
+    EXPECT_EQ(p.period(), seconds_per_week);
+    EXPECT_NEAR(p.mean_rate(), 0.62, 1e-9);
+    // Same hour on Sunday (day 0) vs Monday (day 1): weekend higher.
+    const seconds_t hour14 = 14 * seconds_per_hour;
+    EXPECT_GT(p.rate_at(hour14), p.rate_at(seconds_per_day + hour14));
+    // Diurnal structure preserved within each day.
+    EXPECT_LT(p.rate_at(5 * seconds_per_hour) * 5.0,
+              p.rate_at(21 * seconds_per_hour));
+}
+
+TEST(RateProfile, ConstantProfile) {
+    const auto p = rate_profile::constant(0.5);
+    EXPECT_DOUBLE_EQ(p.rate_at(0), 0.5);
+    EXPECT_DOUBLE_EQ(p.rate_at(123456), 0.5);
+    EXPECT_DOUBLE_EQ(p.mean_rate(), 0.5);
+}
+
+TEST(RateProfile, FromArrivalsRecoversRates) {
+    // 2 events/s in phase bin 0, 0 in bin 1, over 10 periods.
+    std::vector<seconds_t> starts;
+    const seconds_t period = 20, bin = 10, horizon = 200;
+    for (seconds_t p0 = 0; p0 < horizon; p0 += period) {
+        for (seconds_t s = 0; s < 10; ++s) {
+            starts.push_back(p0 + s);
+            starts.push_back(p0 + s);  // 2 per second
+        }
+    }
+    const auto p = rate_profile::from_arrivals(starts, period, bin, horizon);
+    EXPECT_NEAR(p.rate_at(5), 2.0, 1e-9);
+    EXPECT_NEAR(p.rate_at(15), 0.0, 1e-9);
+}
+
+TEST(RateProfile, FromArrivalsHandlesPartialLastPeriod) {
+    // Horizon of 1.5 periods: phase bin 0 observed twice, bin 1 once.
+    std::vector<seconds_t> starts = {0, 20};  // one event in each bin-0 pass
+    const auto p = rate_profile::from_arrivals(starts, 20, 10, 30);
+    EXPECT_NEAR(p.rate_at(0), 2.0 / 20.0, 1e-9);
+    EXPECT_NEAR(p.rate_at(10), 0.0, 1e-9);
+}
+
+TEST(RateProfile, RejectsBadArguments) {
+    EXPECT_THROW(rate_profile({}, 10), lsm::contract_violation);
+    EXPECT_THROW(rate_profile({1.0}, 0), lsm::contract_violation);
+    EXPECT_THROW(rate_profile({-1.0}, 10), lsm::contract_violation);
+    EXPECT_THROW(rate_profile::paper_daily(0.0), lsm::contract_violation);
+    EXPECT_THROW(rate_profile({1.0}, 10).scaled(0.0),
+                 lsm::contract_violation);
+    std::vector<seconds_t> starts = {0};
+    EXPECT_THROW(rate_profile::from_arrivals(starts, 25, 10, 100),
+                 lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

@@ -1,0 +1,79 @@
+#include "gismo/interest.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.h"
+#include "stats/fitting.h"
+
+namespace lsm::gismo {
+namespace {
+
+TEST(ZipfSelector, IdsInRange) {
+    zipf_client_selector sel(0.4704, 1000);
+    rng r(1);
+    for (int i = 0; i < 10000; ++i) {
+        const client_id id = sel.select(r);
+        EXPECT_GE(id, 1U);
+        EXPECT_LE(id, 1000U);
+    }
+    EXPECT_EQ(sel.num_clients(), 1000U);
+}
+
+TEST(ZipfSelector, LowRanksDominat) {
+    zipf_client_selector sel(1.0, 10000);
+    rng r(2);
+    std::vector<int> counts(10001, 0);
+    for (int i = 0; i < 200000; ++i) ++counts[sel.select(r)];
+    EXPECT_GT(counts[1], 20 * std::max(1, counts[5000]));
+}
+
+TEST(ZipfSelector, RankProfileRefitsNearAlpha) {
+    zipf_client_selector sel(0.7194, 2000);  // paper transfer profile
+    rng r(3);
+    std::vector<std::uint64_t> counts(2000, 0);
+    for (int i = 0; i < 500000; ++i) ++counts[sel.select(r) - 1];
+    std::vector<std::uint64_t> nonzero;
+    for (auto c : counts) {
+        if (c > 0) nonzero.push_back(c);
+    }
+    const auto profile = stats::rank_frequency_profile(nonzero);
+    const auto fit = stats::fit_zipf_loglog(profile);
+    EXPECT_NEAR(fit.alpha, 0.7194, 0.12);
+}
+
+TEST(UniformSelector, RoughlyFlat) {
+    uniform_client_selector sel(100);
+    rng r(4);
+    std::vector<int> counts(101, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const client_id id = sel.select(r);
+        ASSERT_GE(id, 1U);
+        ASSERT_LE(id, 100U);
+        ++counts[id];
+    }
+    for (int k = 1; k <= 100; ++k) {
+        EXPECT_NEAR(counts[k], n / 100, 5 * 32);  // ~5 sigma
+    }
+}
+
+TEST(Selectors, PolymorphicUse) {
+    const zipf_client_selector zipf(0.5, 10);
+    const uniform_client_selector uni(10);
+    const client_selector* sels[] = {&zipf, &uni};
+    rng r(5);
+    for (const client_selector* s : sels) {
+        EXPECT_EQ(s->num_clients(), 10U);
+        EXPECT_GE(s->select(r), 1U);
+    }
+}
+
+TEST(Selectors, RejectEmptyPopulation) {
+    EXPECT_THROW(zipf_client_selector(1.0, 0), lsm::contract_violation);
+    EXPECT_THROW(uniform_client_selector(0), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

@@ -1,0 +1,187 @@
+#include "gismo/live_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/contracts.h"
+#include "stats/timeseries.h"
+
+namespace lsm::gismo {
+namespace {
+
+live_config tiny(seconds_t days = 2) {
+    live_config cfg = live_config::scaled(0.01);
+    cfg.window = days * seconds_per_day;
+    return cfg;
+}
+
+TEST(LiveGenerator, DeterministicForSeed) {
+    const trace a = generate_live_workload(tiny(), 1);
+    const trace b = generate_live_workload(tiny(), 1);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.records()[i].client, b.records()[i].client);
+        EXPECT_EQ(a.records()[i].start, b.records()[i].start);
+        EXPECT_EQ(a.records()[i].duration, b.records()[i].duration);
+        EXPECT_DOUBLE_EQ(a.records()[i].avg_bandwidth_bps,
+                         b.records()[i].avg_bandwidth_bps);
+    }
+}
+
+TEST(LiveGenerator, SeedsDiffer) {
+    const trace a = generate_live_workload(tiny(), 1);
+    const trace b = generate_live_workload(tiny(), 2);
+    EXPECT_NE(a.size(), b.size());
+}
+
+TEST(LiveGenerator, SortedAndWindowed) {
+    const trace t = generate_live_workload(tiny(), 3);
+    EXPECT_TRUE(t.is_sorted_by_start());
+    EXPECT_EQ(t.window_length(), 2 * seconds_per_day);
+    for (const auto& r : t.records()) {
+        EXPECT_GE(r.start, 0);
+        EXPECT_LT(r.start, t.window_length());
+        EXPECT_LE(r.end(), t.window_length());  // truncated at harvest
+    }
+}
+
+TEST(LiveGenerator, SessionVolumeTracksRate) {
+    live_config cfg = tiny(7);
+    const trace t = generate_live_workload(cfg, 4);
+    // Transfers ~= sessions * mean transfers/session (~1.6 for Zipf 2.7).
+    const double expected_sessions =
+        cfg.arrivals.mean_rate() * static_cast<double>(cfg.window);
+    EXPECT_GT(static_cast<double>(t.size()), expected_sessions);
+    EXPECT_LT(static_cast<double>(t.size()), expected_sessions * 3.0);
+}
+
+TEST(LiveGenerator, ObjectsWithinConfiguredCount) {
+    live_config cfg = tiny();
+    cfg.num_objects = 2;
+    const trace t = generate_live_workload(cfg, 5);
+    bool saw[2] = {false, false};
+    for (const auto& r : t.records()) {
+        ASSERT_LT(r.object, 2);
+        saw[r.object] = true;
+    }
+    EXPECT_TRUE(saw[0]);
+    EXPECT_TRUE(saw[1]);
+}
+
+TEST(LiveGenerator, ZipfInterestConcentratesLowIds) {
+    live_config cfg = tiny(7);
+    const trace t = generate_live_workload(cfg, 6);
+    std::unordered_map<client_id, int> counts;
+    for (const auto& r : t.records()) ++counts[r.client];
+    // Rank-1 client must be among the busiest.
+    int max_count = 0;
+    for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+    EXPECT_GE(counts[1], max_count / 4);
+}
+
+TEST(LiveGenerator, UniformInterestSpreadsClients) {
+    live_config cfg = tiny(7);
+    cfg.interest = interest_model::uniform;
+    cfg.max_transfers_per_session = 1;  // one transfer == one session
+    const trace t = generate_live_workload(cfg, 7);
+    std::unordered_map<client_id, int> counts;
+    for (const auto& r : t.records()) ++counts[r.client];
+    int max_count = 0;
+    for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+    // ~4k sessions over ~9k clients: a uniform draw should never hand one
+    // client more than a handful of sessions.
+    EXPECT_LE(max_count, 8);
+}
+
+TEST(LiveGenerator, StationaryAblationFlattensDiurnal) {
+    live_config pwp_cfg = tiny(14);
+    live_config stat_cfg = pwp_cfg;
+    stat_cfg.stationary_arrivals = true;
+    const trace pwp = generate_live_workload(pwp_cfg, 8);
+    const trace stat = generate_live_workload(stat_cfg, 8);
+
+    auto daily_ratio = [](const trace& t) {
+        std::vector<seconds_t> starts;
+        for (const auto& r : t.records()) starts.push_back(r.start);
+        const auto counts = stats::bin_event_counts(
+            starts, seconds_per_hour, t.window_length());
+        const auto daily = stats::fold_series(counts, 24);
+        double mx = 0.0, mn = 1e18;
+        for (double v : daily) {
+            mx = std::max(mx, v);
+            mn = std::min(mn, v);
+        }
+        return mx / std::max(mn, 1.0);
+    };
+    EXPECT_GT(daily_ratio(pwp), 3.0);
+    EXPECT_LT(daily_ratio(stat), 2.0);
+}
+
+TEST(LiveGenerator, NetworkAnnotationsOptional) {
+    live_config cfg = tiny();
+    cfg.annotate_network = false;
+    const trace t = generate_live_workload(cfg, 9);
+    for (const auto& r : t.records()) {
+        EXPECT_EQ(r.asn, 64512U);
+        EXPECT_DOUBLE_EQ(r.avg_bandwidth_bps, 56000.0);
+    }
+}
+
+TEST(LiveGenerator, NetworkAnnotationsDiverse) {
+    live_config cfg = tiny(4);
+    const trace t = generate_live_workload(cfg, 10);
+    const auto s = summarize(t);
+    EXPECT_GT(s.num_asns, 10U);
+    EXPECT_GT(s.num_countries, 2U);
+}
+
+TEST(LiveGenerator, SameClientSameNetworkAttributes) {
+    live_config cfg = tiny(7);
+    const trace t = generate_live_workload(cfg, 11);
+    std::unordered_map<client_id, as_number> asn_of;
+    for (const auto& r : t.records()) {
+        auto [it, inserted] = asn_of.emplace(r.client, r.asn);
+        if (!inserted) {
+            EXPECT_EQ(it->second, r.asn);
+        }
+    }
+}
+
+TEST(LiveGenerator, WeeklyProfileDrivesWeekendBump) {
+    live_config cfg = tiny(14);
+    cfg.arrivals = rate_profile::paper_weekly(cfg.arrivals.mean_rate());
+    const trace t = generate_live_workload(cfg, 15);
+    // Count transfers on Sundays+Saturdays vs Tuesdays+Wednesdays.
+    double weekend = 0.0, midweek = 0.0;
+    for (const auto& r : t.records()) {
+        const weekday d = day_of_week(r.start, cfg.start_day);
+        if (d == weekday::sunday || d == weekday::saturday) {
+            weekend += 1.0;
+        } else if (d == weekday::tuesday || d == weekday::wednesday) {
+            midweek += 1.0;
+        }
+    }
+    // Weekend factor ~1.165 vs midweek ~0.97 -> ratio ~1.2.
+    EXPECT_GT(weekend / midweek, 1.08);
+}
+
+TEST(LiveGenerator, ScaledConfigValidation) {
+    EXPECT_THROW(live_config::scaled(0.0), lsm::contract_violation);
+    EXPECT_THROW(live_config::scaled(2.0), lsm::contract_violation);
+    const auto cfg = live_config::paper_defaults();
+    EXPECT_NEAR(cfg.arrivals.mean_rate() * 28.0 * 86400.0, 1500000.0, 1.0);
+}
+
+TEST(LiveGenerator, RejectsBadConfig) {
+    live_config cfg = tiny();
+    cfg.window = 0;
+    EXPECT_THROW(generate_live_workload(cfg, 1), lsm::contract_violation);
+    live_config cfg2 = tiny();
+    cfg2.num_objects = 0;
+    EXPECT_THROW(generate_live_workload(cfg2, 1), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

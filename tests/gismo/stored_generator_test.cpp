@@ -1,0 +1,175 @@
+#include "gismo/stored_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/contracts.h"
+
+namespace lsm::gismo {
+namespace {
+
+stored_config tiny() {
+    stored_config cfg;
+    cfg.window = 2 * seconds_per_day;
+    cfg.arrivals = rate_profile::constant(0.05);
+    cfg.num_objects = 200;
+    return cfg;
+}
+
+TEST(StoredGenerator, Deterministic) {
+    const trace a = generate_stored_workload(tiny(), 1);
+    const trace b = generate_stored_workload(tiny(), 1);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.records()[i].start, b.records()[i].start);
+        EXPECT_EQ(a.records()[i].object, b.records()[i].object);
+    }
+}
+
+TEST(StoredGenerator, CatalogIsStableForSeed) {
+    const auto c1 = stored_object_catalog(tiny(), 7);
+    const auto c2 = stored_object_catalog(tiny(), 7);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(c1.size(), 200U);
+    for (seconds_t len : c1) EXPECT_GE(len, 1);
+}
+
+TEST(StoredGenerator, PopularityIsObjectSkewed) {
+    // The duality: stored workloads concentrate on popular OBJECTS.
+    const trace t = generate_stored_workload(tiny(), 2);
+    std::unordered_map<object_id, int> per_object;
+    std::unordered_map<client_id, int> per_client;
+    for (const auto& r : t.records()) {
+        ++per_object[r.object];
+        ++per_client[r.client];
+    }
+    int obj_max = 0, cli_max = 0;
+    for (const auto& [o, c] : per_object) obj_max = std::max(obj_max, c);
+    for (const auto& [u, c] : per_client) cli_max = std::max(cli_max, c);
+    const double obj_share =
+        static_cast<double>(obj_max) / static_cast<double>(t.size());
+    const double cli_share =
+        static_cast<double>(cli_max) / static_cast<double>(t.size());
+    EXPECT_GT(obj_share, 5.0 * cli_share);
+}
+
+TEST(StoredGenerator, TransferLengthsBoundedByObjectLength) {
+    stored_config cfg = tiny();
+    cfg.vcr_interaction_probability = 0.0;  // one transfer per request
+    const auto catalog = stored_object_catalog(cfg, 3);
+    const trace t = generate_stored_workload(cfg, 3);
+    for (const auto& r : t.records()) {
+        EXPECT_LE(r.duration, catalog[r.object])
+            << "transfer longer than its object";
+    }
+}
+
+TEST(StoredGenerator, PartialAccessesShortenTransfers) {
+    stored_config all_partial = tiny();
+    all_partial.partial_access_probability = 1.0;
+    all_partial.vcr_interaction_probability = 0.0;
+    stored_config no_partial = tiny();
+    no_partial.partial_access_probability = 0.0;
+    no_partial.vcr_interaction_probability = 0.0;
+    const auto catalog = stored_object_catalog(all_partial, 4);
+    const trace tp = generate_stored_workload(all_partial, 4);
+    const trace tf = generate_stored_workload(no_partial, 4);
+    // Full accesses equal the object length; partials are strictly less
+    // (up to the 0.95 cap and rounding).
+    double partial_ratio_sum = 0.0;
+    for (const auto& r : tp.records()) {
+        partial_ratio_sum += static_cast<double>(r.duration) /
+                             static_cast<double>(catalog[r.object]);
+    }
+    EXPECT_LT(partial_ratio_sum / static_cast<double>(tp.size()), 0.7);
+    for (const auto& r : tf.records()) {
+        if (r.end() < tf.window_length()) {
+            EXPECT_EQ(r.duration, catalog[r.object]);
+        }
+    }
+}
+
+TEST(StoredGenerator, VcrSplitsIntoSegments) {
+    stored_config cfg = tiny();
+    cfg.vcr_interaction_probability = 1.0;
+    cfg.partial_access_probability = 0.0;
+    cfg.max_vcr_segments = 4;
+    const trace t = generate_stored_workload(cfg, 5);
+    // With forced VCR the number of records exceeds the session count.
+    stored_config no_vcr = cfg;
+    no_vcr.vcr_interaction_probability = 0.0;
+    const trace t0 = generate_stored_workload(no_vcr, 5);
+    EXPECT_GT(t.size(), t0.size());
+}
+
+TEST(StoredGenerator, TwoZipfPopularityFlattensHead) {
+    // Concatenated law with a flat head (alpha 0.2 up to rank 100) and a
+    // steep tail (alpha 2): compared to a single Zipf(1), rank 1 loses
+    // share and mid-head ranks gain it.
+    stored_config one = tiny();
+    one.popularity_alpha = 1.0;
+    stored_config two = tiny();
+    two.popularity_alpha = 0.2;
+    two.popularity_tail_alpha = 2.0;
+    two.popularity_break = 100;
+    two.arrivals = rate_profile::constant(0.2);
+    one.arrivals = rate_profile::constant(0.2);
+
+    auto share_rank1 = [](const trace& t) {
+        std::unordered_map<object_id, int> counts;
+        int max_count = 0;
+        for (const auto& r : t.records()) {
+            max_count = std::max(max_count, ++counts[r.object]);
+        }
+        return static_cast<double>(max_count) /
+               static_cast<double>(t.size());
+    };
+    const double s1 = share_rank1(generate_stored_workload(one, 8));
+    const double s2 = share_rank1(generate_stored_workload(two, 8));
+    EXPECT_GT(s1, 2.0 * s2);
+
+    // A steep second regime with the same head starves ranks beyond the
+    // break (object id == popularity rank - 1).
+    stored_config steep_tail = tiny();
+    steep_tail.popularity_alpha = 1.0;
+    steep_tail.popularity_tail_alpha = 4.0;
+    steep_tail.popularity_break = 100;
+    steep_tail.arrivals = rate_profile::constant(0.2);
+    auto tail_share = [](const trace& t, object_id break_rank) {
+        std::size_t tail = 0;
+        for (const auto& r : t.records()) {
+            if (r.object >= break_rank) ++tail;
+        }
+        return static_cast<double>(tail) /
+               static_cast<double>(t.size());
+    };
+    const double t1 =
+        tail_share(generate_stored_workload(one, 9), 100);
+    const double t2 =
+        tail_share(generate_stored_workload(steep_tail, 9), 100);
+    EXPECT_GT(t1, 1.8 * t2);
+}
+
+TEST(StoredGenerator, RecordsSortedAndWindowed) {
+    const trace t = generate_stored_workload(tiny(), 6);
+    EXPECT_TRUE(t.is_sorted_by_start());
+    for (const auto& r : t.records()) {
+        EXPECT_LT(r.start, t.window_length());
+        EXPECT_LE(r.end(), t.window_length());
+    }
+}
+
+TEST(StoredGenerator, RejectsBadConfig) {
+    stored_config cfg = tiny();
+    cfg.num_objects = 0;
+    EXPECT_THROW(generate_stored_workload(cfg, 1),
+                 lsm::contract_violation);
+    stored_config cfg2 = tiny();
+    cfg2.partial_access_probability = 1.5;
+    EXPECT_THROW(generate_stored_workload(cfg2, 1),
+                 lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

@@ -1,0 +1,72 @@
+#include "gismo/trace_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "characterize/compare.h"
+#include "core/contracts.h"
+#include "world/world_sim.h"
+
+namespace lsm::gismo {
+namespace {
+
+TEST(TraceFit, RecoversGeneratorParameters) {
+    // generate -> fit must approximately invert.
+    live_config truth = live_config::scaled(0.05);
+    truth.window = 7 * seconds_per_day;
+    const trace t = generate_live_workload(truth, 31);
+    const live_config fitted = fit_live_config(t);
+
+    EXPECT_EQ(fitted.window, truth.window);
+    EXPECT_EQ(fitted.num_objects, truth.num_objects);
+    EXPECT_NEAR(fitted.gap_mu, truth.gap_mu, 0.4);
+    EXPECT_NEAR(fitted.gap_sigma, truth.gap_sigma, 0.25);
+    EXPECT_NEAR(fitted.length_mu, truth.length_mu, 0.1);
+    EXPECT_NEAR(fitted.length_sigma, truth.length_sigma, 0.1);
+    EXPECT_NEAR(fitted.interest_alpha, truth.interest_alpha, 0.15);
+    EXPECT_NEAR(fitted.arrivals.mean_rate(), truth.arrivals.mean_rate(),
+                truth.arrivals.mean_rate() * 0.15);
+    // Diurnal shape carried over: trough far below peak.
+    EXPECT_LT(fitted.arrivals.rate_at(5 * seconds_per_hour) * 3.0,
+              fitted.arrivals.rate_at(21 * seconds_per_hour));
+}
+
+TEST(TraceFit, FittedConfigReproducesWorldWorkload) {
+    // The full §6 loop: measure the world, fit, regenerate, compare.
+    world::world_config wcfg = world::world_config::scaled(0.03);
+    wcfg.window = 7 * seconds_per_day;
+    auto world = world::simulate_world(wcfg, 32);
+    sanitize(world.tr);
+
+    const live_config fitted = fit_live_config(world.tr);
+    const trace synth = generate_live_workload(fitted, 33);
+    ASSERT_GT(synth.size(), world.tr.size() / 2);
+    const auto rep =
+        characterize::compare_workloads(world.tr, synth);
+    EXPECT_GE(rep.matched, rep.dimensions.size() - 2)
+        << characterize::format_comparison(rep);
+}
+
+TEST(TraceFit, UniverseFactorScalesClients) {
+    live_config truth = live_config::scaled(0.01);
+    truth.window = 2 * seconds_per_day;
+    const trace t = generate_live_workload(truth, 34);
+    trace_fit_options opts;
+    opts.client_universe_factor = 2.0;
+    const live_config a = fit_live_config(t, opts);
+    opts.client_universe_factor = 1.0;
+    const live_config b = fit_live_config(t, opts);
+    EXPECT_EQ(a.num_clients, 2 * b.num_clients);
+}
+
+TEST(TraceFit, RejectsDegenerateInput) {
+    trace empty(seconds_per_day);
+    EXPECT_THROW(fit_live_config(empty), lsm::contract_violation);
+    trace short_window(100);
+    log_record r;
+    r.duration = 1;
+    short_window.add(r);
+    EXPECT_THROW(fit_live_config(short_window), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

@@ -1,0 +1,83 @@
+#include "gismo/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::gismo {
+namespace {
+
+TEST(Closure, ReportsAllTableTwoRows) {
+    live_config cfg = live_config::scaled(0.01);
+    cfg.window = 3 * seconds_per_day;
+    const auto rep = validate_closure(cfg, 1);
+    ASSERT_EQ(rep.rows.size(), 8U);
+    EXPECT_GT(rep.sessions, 0U);
+    EXPECT_GT(rep.transfers, rep.sessions / 2);
+}
+
+TEST(Closure, LognormalRowsCloseToInputs) {
+    live_config cfg = live_config::scaled(0.02);
+    cfg.window = 7 * seconds_per_day;
+    const auto rep = validate_closure(cfg, 2);
+    for (const auto& row : rep.rows) {
+        if (row.variable.find("lognormal") == std::string::npos) continue;
+        EXPECT_LT(std::abs(row.rel_error()), 0.15)
+            << row.variable << ": in=" << row.input
+            << " out=" << row.refitted;
+    }
+}
+
+TEST(Closure, ArrivalRateRecovered) {
+    live_config cfg = live_config::scaled(0.02);
+    cfg.window = 7 * seconds_per_day;
+    const auto rep = validate_closure(cfg, 3);
+    for (const auto& row : rep.rows) {
+        if (row.variable.find("arrival rate") == std::string::npos) continue;
+        // Sessionization merges a few adjacent arrivals of heavy clients,
+        // so the measured rate sits slightly under the input.
+        EXPECT_GT(row.refitted, row.input * 0.8);
+        EXPECT_LT(row.refitted, row.input * 1.05);
+    }
+}
+
+TEST(Closure, ZipfRowsInBallpark) {
+    live_config cfg = live_config::scaled(0.02);
+    cfg.window = 7 * seconds_per_day;
+    const auto rep = validate_closure(cfg, 4);
+    for (const auto& row : rep.rows) {
+        if (row.variable.find("Zipf") == std::string::npos) continue;
+        // Log-log refits of sampled Zipf data carry known bias; require
+        // the right order of magnitude and sign.
+        EXPECT_GT(row.refitted, row.input * 0.5) << row.variable;
+        EXPECT_LT(row.refitted, row.input * 2.0) << row.variable;
+    }
+}
+
+TEST(Closure, DeterministicForSeed) {
+    live_config cfg = live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    const auto a = validate_closure(cfg, 5);
+    const auto b = validate_closure(cfg, 5);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.rows[i].refitted, b.rows[i].refitted);
+    }
+}
+
+TEST(Closure, RejectsBadTimeout) {
+    live_config cfg = live_config::scaled(0.005);
+    EXPECT_THROW(validate_closure(cfg, 1, 0), lsm::contract_violation);
+}
+
+TEST(ClosureRow, RelErrorDefinition) {
+    closure_row row{"x", 2.0, 2.5};
+    EXPECT_DOUBLE_EQ(row.rel_error(), 0.25);
+    closure_row zero{"y", 0.0, 1.0};
+    EXPECT_DOUBLE_EQ(zero.rel_error(), 0.0);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

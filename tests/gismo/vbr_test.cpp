@@ -1,0 +1,102 @@
+#include "gismo/vbr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::gismo {
+namespace {
+
+TEST(Vbr, LengthAndPositivity) {
+    rng r(1);
+    const auto series = generate_vbr_series(vbr_config{}, 1000, r);
+    ASSERT_EQ(series.size(), 1000U);
+    for (double x : series) EXPECT_GT(x, 0.0);
+}
+
+TEST(Vbr, MeanNearConfigured) {
+    rng r(2);
+    vbr_config cfg;
+    cfg.mean_bps = 250000.0;
+    const auto series = generate_vbr_series(cfg, 16384, r);
+    double sum = 0.0;
+    for (double x : series) sum += x;
+    EXPECT_NEAR(sum / static_cast<double>(series.size()), 250000.0,
+                250000.0 * 0.05);
+}
+
+TEST(Vbr, FloorRespected) {
+    rng r(3);
+    vbr_config cfg;
+    cfg.cv = 2.0;  // extreme variability to exercise the floor
+    cfg.floor_fraction = 0.1;
+    const auto series = generate_vbr_series(cfg, 8192, r);
+    for (double x : series) EXPECT_GE(x, cfg.mean_bps * 0.1 - 1e-9);
+}
+
+TEST(Vbr, ZeroCvIsConstant) {
+    rng r(4);
+    vbr_config cfg;
+    cfg.cv = 0.0;
+    const auto series = generate_vbr_series(cfg, 100, r);
+    for (double x : series) EXPECT_DOUBLE_EQ(x, cfg.mean_bps);
+}
+
+TEST(Vbr, SingleSecondSeries) {
+    rng r(5);
+    const auto series = generate_vbr_series(vbr_config{}, 1, r);
+    ASSERT_EQ(series.size(), 1U);
+    EXPECT_DOUBLE_EQ(series[0], vbr_config{}.mean_bps);
+}
+
+TEST(Vbr, HurstEstimateTracksTarget) {
+    rng r(6);
+    vbr_config high;
+    high.hurst = 0.9;
+    high.floor_fraction = 0.0;
+    vbr_config low;
+    low.hurst = 0.55;
+    low.floor_fraction = 0.0;
+    const auto hs = generate_vbr_series(high, 65536, r);
+    const auto ls = generate_vbr_series(low, 65536, r);
+    const double h_high = estimate_hurst_aggvar(hs);
+    const double h_low = estimate_hurst_aggvar(ls);
+    EXPECT_GT(h_high, h_low + 0.1);
+    EXPECT_GT(h_high, 0.7);
+    EXPECT_LT(h_low, 0.75);
+}
+
+TEST(Vbr, WhiteNoiseHurstNearHalf) {
+    // iid noise has H = 0.5; the estimator must not report LRD.
+    std::vector<double> noise;
+    std::uint64_t s = 1;
+    for (int i = 0; i < 32768; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        noise.push_back(static_cast<double>(s >> 40));
+    }
+    EXPECT_NEAR(estimate_hurst_aggvar(noise), 0.5, 0.07);
+}
+
+TEST(Vbr, EstimatorRejectsShortSeries) {
+    const std::vector<double> series(32, 1.0);
+    EXPECT_THROW(estimate_hurst_aggvar(series), lsm::contract_violation);
+}
+
+TEST(Vbr, RejectsBadConfig) {
+    rng r(7);
+    vbr_config cfg;
+    cfg.hurst = 0.5;
+    EXPECT_THROW(generate_vbr_series(cfg, 100, r),
+                 lsm::contract_violation);
+    vbr_config cfg2;
+    cfg2.mean_bps = 0.0;
+    EXPECT_THROW(generate_vbr_series(cfg2, 100, r),
+                 lsm::contract_violation);
+    EXPECT_THROW(generate_vbr_series(vbr_config{}, 0, r),
+                 lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::gismo

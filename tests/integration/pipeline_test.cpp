@@ -1,0 +1,158 @@
+// Integration tests: the full pipelines users run —
+// world-sim -> CSV -> characterize, gismo -> characterize closure,
+// gismo -> server replay — plus the live-vs-stored duality experiment.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+
+#include "characterize/client_layer.h"
+#include "characterize/report.h"
+#include "characterize/session_builder.h"
+#include "characterize/session_layer.h"
+#include "characterize/transfer_layer.h"
+#include "core/trace_io.h"
+#include "gismo/live_generator.h"
+#include "gismo/stored_generator.h"
+#include "sim/replay.h"
+#include "world/world_sim.h"
+
+namespace lsm {
+namespace {
+
+TEST(Pipeline, WorldTraceThroughFullCharacterization) {
+    world::world_config cfg = world::world_config::scaled(0.01);
+    cfg.window = 7 * seconds_per_day;
+    cfg.target_sessions = 8000.0;
+    auto res = world::simulate_world(cfg, 11);
+    sanitize(res.tr);
+    ASSERT_FALSE(res.tr.empty());
+
+    const auto ss = characterize::build_sessions(res.tr, 1500);
+    characterize::client_layer_config ccfg;
+    ccfg.acf_max_lag = 2000;
+    const auto cl = characterize::analyze_client_layer(res.tr, ss, ccfg);
+    const auto sl = characterize::analyze_session_layer(ss);
+    const auto tl = characterize::analyze_transfer_layer(res.tr);
+
+    // The qualitative paper findings hold on the world trace:
+    // lognormal-ish lengths near the paper parameters,
+    EXPECT_NEAR(tl.length_fit.mu, 4.38, 0.4);
+    EXPECT_NEAR(tl.length_fit.sigma, 1.43, 0.3);
+    // skewed interest,
+    EXPECT_GT(cl.session_interest_fit.alpha, 0.2);
+    // more transfers than sessions,
+    EXPECT_GT(cl.total_transfers, cl.total_sessions);
+    // ~10% congestion-bound bandwidth,
+    EXPECT_NEAR(tl.congestion_bound_fraction, 0.10, 0.05);
+    // and a weak ON-vs-hour dependence (loose bound: at this tiny scale
+    // the deep-trough hours average only a handful of sessions).
+    EXPECT_LT(sl.on_hour_max_over_mean, 4.0);
+}
+
+TEST(Pipeline, CsvRoundTripPreservesCharacterization) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    const trace original = gismo::generate_live_workload(cfg, 12);
+
+    std::stringstream ss;
+    write_trace_csv(original, ss);
+    const trace parsed = read_trace_csv(ss);
+
+    const auto tl_a = characterize::analyze_transfer_layer(original);
+    const auto tl_b = characterize::analyze_transfer_layer(parsed);
+    EXPECT_DOUBLE_EQ(tl_a.length_fit.mu, tl_b.length_fit.mu);
+    EXPECT_DOUBLE_EQ(tl_a.length_fit.sigma, tl_b.length_fit.sigma);
+    EXPECT_DOUBLE_EQ(tl_a.congestion_bound_fraction,
+                     tl_b.congestion_bound_fraction);
+}
+
+TEST(Pipeline, LiveVsStoredDuality) {
+    // Live: transfer-length variability is client stickiness; lengths do
+    // NOT correlate with objects. Stored: lengths are bounded by and
+    // correlated with per-object sizes.
+    gismo::live_config lcfg = gismo::live_config::scaled(0.005);
+    lcfg.window = 2 * seconds_per_day;
+    const trace live = gismo::generate_live_workload(lcfg, 13);
+
+    gismo::stored_config scfg;
+    scfg.window = 2 * seconds_per_day;
+    scfg.arrivals = gismo::rate_profile::constant(0.05);
+    scfg.num_objects = 100;
+    scfg.vcr_interaction_probability = 0.0;
+    const trace stored = gismo::generate_stored_workload(scfg, 13);
+    const auto catalog = gismo::stored_object_catalog(scfg, 13);
+
+    // Stored: per-object mean transfer length tracks the object length.
+    std::unordered_map<object_id, std::pair<double, int>> per_obj;
+    for (const auto& r : stored.records()) {
+        auto& [sum, n] = per_obj[r.object];
+        sum += static_cast<double>(r.duration);
+        ++n;
+    }
+    int tracked = 0, total_obj = 0;
+    for (const auto& [obj, acc] : per_obj) {
+        if (acc.second < 5) continue;
+        ++total_obj;
+        const double mean_len = acc.first / acc.second;
+        if (mean_len <= static_cast<double>(catalog[obj])) ++tracked;
+    }
+    ASSERT_GT(total_obj, 5);
+    EXPECT_EQ(tracked, total_obj);  // never exceeds the object length
+
+    // Live: both objects see the same length distribution (no size
+    // structure) — compare means across the two feeds.
+    double sum0 = 0.0, sum1 = 0.0;
+    int n0 = 0, n1 = 0;
+    for (const auto& r : live.records()) {
+        if (r.object == 0) {
+            sum0 += static_cast<double>(r.duration);
+            ++n0;
+        } else {
+            sum1 += static_cast<double>(r.duration);
+            ++n1;
+        }
+    }
+    ASSERT_GT(n0, 100);
+    ASSERT_GT(n1, 100);
+    const double m0 = sum0 / n0, m1 = sum1 / n1;
+    EXPECT_LT(std::abs(m0 - m1) / std::max(m0, m1), 0.25);
+}
+
+TEST(Pipeline, GeneratedWorkloadServedUnderAdmissionControl) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    const trace t = gismo::generate_live_workload(cfg, 14);
+
+    const auto base = sim::replay_trace(t, sim::server_config{});
+    ASSERT_GT(base.peak_concurrency, 2U);
+
+    sim::server_config half;
+    half.policy = sim::admission_policy::reject_at_capacity;
+    half.max_concurrent_streams = base.peak_concurrency / 2;
+    const auto limited = sim::replay_trace(t, half);
+    EXPECT_GT(limited.rejected, 0U);
+    EXPECT_GT(limited.denied_live_seconds, 0.0);
+    EXPECT_EQ(limited.admitted + limited.rejected, t.size());
+}
+
+TEST(Pipeline, FullReportPrintsWithoutCrashing) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    trace t = gismo::generate_live_workload(cfg, 15);
+    sanitize(t);
+    const auto ss = characterize::build_sessions(t, 1500);
+    characterize::client_layer_config ccfg;
+    ccfg.acf_max_lag = 500;
+    const auto cl = characterize::analyze_client_layer(t, ss, ccfg);
+    const auto sl = characterize::analyze_session_layer(ss);
+    const auto tl = characterize::analyze_transfer_layer(t);
+    std::stringstream out;
+    characterize::print_full_report(out, t, cl, sl, tl);
+    EXPECT_NE(out.str().find("Table 1"), std::string::npos);
+    EXPECT_NE(out.str().find("Client layer"), std::string::npos);
+    EXPECT_NE(out.str().find("Transfer layer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsm

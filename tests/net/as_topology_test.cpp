@@ -1,0 +1,95 @@
+#include "net/as_topology.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/contracts.h"
+
+namespace lsm::net {
+namespace {
+
+TEST(AsTopology, BuildsRequestedNumberOfAses) {
+    rng r(1);
+    as_topology_config cfg;
+    cfg.num_ases = 200;
+    as_topology topo(cfg, r);
+    EXPECT_EQ(topo.num_ases(), 200U);
+}
+
+TEST(AsTopology, CoversAllElevenCountries) {
+    rng r(2);
+    as_topology topo(as_topology_config{}, r);
+    EXPECT_EQ(topo.num_countries(), 11U);  // paper: 11 countries
+}
+
+TEST(AsTopology, WeightsNormalized) {
+    rng r(3);
+    as_topology topo(as_topology_config{}, r);
+    double total = 0.0;
+    for (const auto& a : topo.ases()) total += a.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AsTopology, AsnsAreUnique) {
+    rng r(4);
+    as_topology topo(as_topology_config{}, r);
+    std::set<as_number> asns;
+    for (const auto& a : topo.ases()) asns.insert(a.asn);
+    EXPECT_EQ(asns.size(), topo.num_ases());
+}
+
+TEST(AsTopology, BrazilDominatesSampling) {
+    rng build(5), sample(6);
+    as_topology topo(as_topology_config{}, build);
+    std::map<std::string, int> by_country;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const auto& a = topo.as_at(topo.sample_as_index(sample));
+        ++by_country[to_string(a.country)];
+    }
+    EXPECT_GT(by_country["BR"], n * 85 / 100);
+    EXPECT_GT(by_country["US"], 0);
+}
+
+TEST(AsTopology, SamplingIsZipfSkewed) {
+    rng build(7), sample(8);
+    as_topology topo(as_topology_config{}, build);
+    std::vector<int> counts(topo.num_ases(), 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) ++counts[topo.sample_as_index(sample)];
+    // The most popular AS should command a large multiple of the median.
+    std::vector<int> sorted = counts;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    EXPECT_GT(sorted[0], 50 * std::max(1, sorted[sorted.size() / 2]));
+}
+
+TEST(AsTopology, SmallCountryConfigurationsWork) {
+    rng r(9);
+    as_topology_config cfg;
+    cfg.num_ases = 3;
+    cfg.country_shares = {{"BR", 0.5}, {"US", 0.3}, {"AR", 0.2}};
+    as_topology topo(cfg, r);
+    EXPECT_EQ(topo.num_ases(), 3U);
+    EXPECT_EQ(topo.num_countries(), 3U);
+}
+
+TEST(AsTopology, RejectsFewerAsesThanCountries) {
+    rng r(10);
+    as_topology_config cfg;
+    cfg.num_ases = 5;  // fewer than the 11 default countries
+    EXPECT_THROW(as_topology(cfg, r), lsm::contract_violation);
+}
+
+TEST(AsTopology, RejectsBadShares) {
+    rng r(11);
+    as_topology_config cfg;
+    cfg.country_shares = {{"BR", 0.0}};
+    EXPECT_THROW(as_topology(cfg, r), lsm::contract_violation);
+    cfg.country_shares = {{"BRA", 1.0}};
+    EXPECT_THROW(as_topology(cfg, r), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::net

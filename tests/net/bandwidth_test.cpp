@@ -1,0 +1,137 @@
+#include "net/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/contracts.h"
+
+namespace lsm::net {
+namespace {
+
+TEST(AccessClass, NominalRatesAreOrdered) {
+    double prev = 0.0;
+    for (std::size_t i = 0; i < num_access_classes; ++i) {
+        const double rate = nominal_rate_bps(static_cast<access_class>(i));
+        EXPECT_GT(rate, prev);
+        prev = rate;
+    }
+}
+
+TEST(AccessClass, NamesExist) {
+    for (std::size_t i = 0; i < num_access_classes; ++i) {
+        EXPECT_NE(access_class_name(static_cast<access_class>(i)),
+                  std::string("?"));
+    }
+}
+
+TEST(BandwidthModel, ClassMixRespected) {
+    bandwidth_config cfg;
+    cfg.class_mix = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    bandwidth_model bw(cfg);
+    rng r(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(bw.sample_class(r), access_class::modem_28k);
+    }
+}
+
+TEST(BandwidthModel, AllClassesReachableWithDefaultMix) {
+    bandwidth_model bw(bandwidth_config{});
+    rng r(2);
+    std::map<access_class, int> seen;
+    for (int i = 0; i < 50000; ++i) ++seen[bw.sample_class(r)];
+    EXPECT_EQ(seen.size(), num_access_classes);
+}
+
+TEST(BandwidthModel, CongestionFractionMatchesConfig) {
+    bandwidth_config cfg;
+    cfg.congestion_probability = 0.10;  // paper: ~10% of transfers
+    bandwidth_model bw(cfg);
+    rng r(3);
+    int congested = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (bw.sample_transfer_bandwidth(access_class::modem_56k, r)
+                .congestion_bound) {
+            ++congested;
+        }
+    }
+    EXPECT_NEAR(congested / static_cast<double>(n), 0.10, 0.01);
+}
+
+TEST(BandwidthModel, ClientBoundNearNominal) {
+    bandwidth_config cfg;
+    cfg.congestion_probability = 0.0;
+    bandwidth_model bw(cfg);
+    rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        const auto d =
+            bw.sample_transfer_bandwidth(access_class::dsl_256k, r);
+        EXPECT_FALSE(d.congestion_bound);
+        EXPECT_GE(d.bps, 0.88 * 256000.0);
+        EXPECT_LE(d.bps, 256000.0);
+    }
+}
+
+TEST(BandwidthModel, CongestionBoundWellBelowNominal) {
+    bandwidth_config cfg;
+    cfg.congestion_probability = 1.0;
+    bandwidth_model bw(cfg);
+    rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto d =
+            bw.sample_transfer_bandwidth(access_class::cable_1m, r);
+        EXPECT_TRUE(d.congestion_bound);
+        EXPECT_LE(d.bps, 0.5 * 1000000.0);
+        EXPECT_GE(d.bps, 100.0);
+    }
+}
+
+TEST(BandwidthModel, BimodalDistributionEmerges) {
+    // The two modes of Fig 20: congestion mass well under the slowest
+    // access rate, client-bound mass at the access rates.
+    bandwidth_model bw(bandwidth_config{});
+    rng r(6);
+    int low = 0, high = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const auto c = bw.sample_class(r);
+        const auto d = bw.sample_transfer_bandwidth(c, r);
+        if (d.bps < 25000.0) {
+            ++low;
+        } else if (d.bps >= 0.8 * nominal_rate_bps(c)) {
+            ++high;
+        }
+    }
+    EXPECT_NEAR(low / static_cast<double>(n), 0.09, 0.03);
+    EXPECT_GT(high / static_cast<double>(n), 0.85);
+}
+
+TEST(BandwidthModel, PacketLossHigherUnderCongestion) {
+    bandwidth_model bw(bandwidth_config{});
+    rng r(7);
+    double loss_ok = 0.0, loss_cong = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        loss_ok += bw.sample_packet_loss(false, r);
+        loss_cong += bw.sample_packet_loss(true, r);
+    }
+    EXPECT_LT(loss_ok / n, 0.01);
+    EXPECT_GT(loss_cong / n, 0.03);
+}
+
+TEST(BandwidthModel, RejectsBadConfig) {
+    bandwidth_config cfg;
+    cfg.class_mix = {1.0};  // wrong size
+    EXPECT_THROW(bandwidth_model{cfg}, lsm::contract_violation);
+    bandwidth_config cfg2;
+    cfg2.congestion_probability = 1.5;
+    EXPECT_THROW(bandwidth_model{cfg2}, lsm::contract_violation);
+    bandwidth_config cfg3;
+    cfg3.utilization_lo = 0.9;
+    cfg3.utilization_hi = 0.8;
+    EXPECT_THROW(bandwidth_model{cfg3}, lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::net

@@ -1,0 +1,79 @@
+#include "net/ip_space.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/contracts.h"
+
+namespace lsm::net {
+namespace {
+
+TEST(IpSpace, PoolSizesTrackClientMass) {
+    ip_space_config cfg;
+    cfg.addresses_per_client = 0.5;
+    const std::vector<double> clients = {1000.0, 10.0, 0.0};
+    ip_space ips(cfg, clients);
+    EXPECT_EQ(ips.pool_size(0), 500U);
+    EXPECT_EQ(ips.pool_size(1), 5U);
+    EXPECT_EQ(ips.pool_size(2), 1U);  // min pool size
+}
+
+TEST(IpSpace, PoolsCappedAtSlash16) {
+    ip_space_config cfg;
+    cfg.addresses_per_client = 1.0;
+    const std::vector<double> clients = {1e7};
+    ip_space ips(cfg, clients);
+    EXPECT_EQ(ips.pool_size(0), 65536U);
+}
+
+TEST(IpSpace, AddressesStayInOwnPool) {
+    ip_space_config cfg;
+    const std::vector<double> clients = {100.0, 100.0};
+    ip_space ips(cfg, clients);
+    rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        const ipv4_addr a0 = ips.sample_address(0, r);
+        const ipv4_addr a1 = ips.sample_address(1, r);
+        // Pools are /16-aligned and non-overlapping.
+        EXPECT_NE(a0 >> 16, a1 >> 16);
+    }
+}
+
+TEST(IpSpace, SharingEmergesFromSmallPools) {
+    ip_space_config cfg;
+    cfg.addresses_per_client = 0.1;  // heavy NAT
+    const std::vector<double> clients = {100.0};
+    ip_space ips(cfg, clients);
+    rng r(2);
+    std::set<ipv4_addr> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(ips.sample_address(0, r));
+    EXPECT_LE(seen.size(), 10U);  // at most the pool size
+}
+
+TEST(IpSpace, TotalAddressesSumsPools) {
+    ip_space_config cfg;
+    cfg.addresses_per_client = 1.0;
+    const std::vector<double> clients = {10.0, 20.0};
+    ip_space ips(cfg, clients);
+    EXPECT_EQ(ips.total_addresses(), 30U);
+}
+
+TEST(IpSpace, RejectsBadConfig) {
+    ip_space_config cfg;
+    cfg.addresses_per_client = 0.0;
+    EXPECT_THROW(ip_space(cfg, {1.0}), lsm::contract_violation);
+    EXPECT_THROW(ip_space(ip_space_config{}, {}), lsm::contract_violation);
+    EXPECT_THROW(ip_space(ip_space_config{}, {-1.0}),
+                 lsm::contract_violation);
+}
+
+TEST(IpSpace, OutOfRangeAsIndexThrows) {
+    ip_space ips(ip_space_config{}, {1.0});
+    rng r(3);
+    EXPECT_THROW(ips.sample_address(1, r), lsm::contract_violation);
+    EXPECT_THROW(ips.pool_size(5), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::net

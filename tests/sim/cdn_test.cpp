@@ -1,0 +1,145 @@
+#include "sim/cdn.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/contracts.h"
+#include "gismo/live_generator.h"
+
+namespace lsm::sim {
+namespace {
+
+log_record rec(client_id c, as_number asn, object_id obj, seconds_t start,
+               seconds_t dur, double bw = 300000.0) {
+    log_record r;
+    r.client = c;
+    r.asn = asn;
+    r.object = obj;
+    r.start = start;
+    r.duration = dur;
+    r.avg_bandwidth_bps = bw;
+    return r;
+}
+
+TEST(Cdn, SingleEdgeGetsEverything) {
+    trace t(1000);
+    t.add(rec(1, 100, 0, 0, 100));
+    t.add(rec(2, 200, 0, 0, 100));
+    cdn_config cfg;
+    cfg.num_edges = 1;
+    const auto rep = simulate_cdn(t, cfg);
+    ASSERT_EQ(rep.edges.size(), 1U);
+    EXPECT_EQ(rep.edges[0].transfers, 2U);
+    EXPECT_EQ(rep.edges[0].peak_concurrency, 2U);
+    EXPECT_DOUBLE_EQ(rep.load_imbalance, 1.0);
+}
+
+TEST(Cdn, SameAsAlwaysSameEdge) {
+    trace t(1000);
+    for (int i = 0; i < 20; ++i) {
+        t.add(rec(static_cast<client_id>(i), 777, 0, i * 10, 5));
+    }
+    cdn_config cfg;
+    cfg.num_edges = 8;
+    const auto rep = simulate_cdn(t, cfg);
+    int edges_with_traffic = 0;
+    for (const auto& e : rep.edges) {
+        if (e.transfers > 0) ++edges_with_traffic;
+    }
+    EXPECT_EQ(edges_with_traffic, 1);
+}
+
+TEST(Cdn, FanoutFactorCountsAudiencePerFeedCopy) {
+    // 10 clients watch the same object at the same time on one edge:
+    // origin sends one copy; clients get 10 copies.
+    trace t(1000);
+    for (int i = 0; i < 10; ++i) {
+        t.add(rec(static_cast<client_id>(i), 42, 0, 0, 100, 300000.0));
+    }
+    cdn_config cfg;
+    cfg.num_edges = 4;
+    cfg.feed_rate_bps = 300000.0;
+    const auto rep = simulate_cdn(t, cfg);
+    EXPECT_DOUBLE_EQ(rep.fanout_factor, 10.0);
+}
+
+TEST(Cdn, EveryEdgeWithAudiencePullsItsOwnFeed) {
+    // Two ASes that map to different edges, same object, same time:
+    // the origin pays twice.
+    trace t(1000);
+    // Find two ASNs on different edges by probing.
+    cdn_config cfg;
+    cfg.num_edges = 4;
+    as_number a = 1, b = 2;
+    {
+        trace probe(10);
+        probe.add(rec(1, a, 0, 0, 1));
+        bool found = false;
+        for (b = 2; b < 200 && !found; ++b) {
+            trace p2(10);
+            p2.add(rec(1, a, 0, 0, 1));
+            p2.add(rec(2, b, 0, 0, 1));
+            const auto rep = simulate_cdn(p2, cfg);
+            int used = 0;
+            for (const auto& e : rep.edges) {
+                if (e.transfers > 0) ++used;
+            }
+            if (used == 2) found = true;
+        }
+        --b;
+        ASSERT_TRUE(found);
+    }
+    trace t2(1000);
+    t2.add(rec(1, a, 0, 0, 100, 300000.0));
+    t2.add(rec(2, b, 0, 0, 100, 300000.0));
+    const auto rep = simulate_cdn(t2, cfg);
+    // Two feed copies of 100 s at 300 kbps.
+    EXPECT_DOUBLE_EQ(rep.origin_bytes, 2 * 100 * 300000.0 / 8.0);
+    EXPECT_DOUBLE_EQ(rep.fanout_factor, 1.0);
+}
+
+TEST(Cdn, FeedSubscriptionSecondsPerObject) {
+    trace t(1000);
+    t.add(rec(1, 42, 0, 0, 100));
+    t.add(rec(1, 42, 1, 50, 100));  // second object, overlapping
+    cdn_config cfg;
+    cfg.num_edges = 1;
+    const auto rep = simulate_cdn(t, cfg);
+    EXPECT_EQ(rep.edges[0].feed_subscription_seconds, 200);
+}
+
+TEST(Cdn, GeneratedWorkloadBalancesAcrossEdges) {
+    auto gcfg = gismo::live_config::scaled(0.05);
+    gcfg.window = 2 * seconds_per_day;
+    const trace t = gismo::generate_live_workload(gcfg, 3);
+    cdn_config cfg;
+    cfg.num_edges = 4;
+    // Provision the feed rate below the aggregate client demand per
+    // edge, as a real deployment would (feeds are one encode, clients
+    // are many): fan-out leverage should then exceed 1.
+    cfg.feed_rate_bps = 100000.0;
+    const auto rep = simulate_cdn(t, cfg);
+    std::size_t used = 0;
+    for (const auto& e : rep.edges) {
+        if (e.transfers > 0) ++used;
+    }
+    EXPECT_EQ(used, 4U);
+    // Zipf AS weights make perfect balance impossible, but hashing
+    // should keep the hottest edge under ~4x the mean.
+    EXPECT_LT(rep.load_imbalance, 4.0);
+    EXPECT_GT(rep.fanout_factor, 1.0);
+}
+
+TEST(Cdn, RejectsBadInput) {
+    trace empty(100);
+    EXPECT_THROW(simulate_cdn(empty), lsm::contract_violation);
+    trace t(100);
+    t.add(rec(1, 1, 0, 0, 10));
+    cdn_config bad;
+    bad.num_edges = 0;
+    EXPECT_THROW(simulate_cdn(t, bad), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,110 @@
+#include "sim/closed_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm::sim {
+namespace {
+
+log_record rec(client_id c, seconds_t start, seconds_t dur) {
+    log_record r;
+    r.client = c;
+    r.start = start;
+    r.duration = dur;
+    r.avg_bandwidth_bps = 56000.0;
+    return r;
+}
+
+trace overload_trace() {
+    // 20 simultaneous 100 s requests against capacity 5 at t=0; nothing
+    // afterwards, so stored retries eventually drain.
+    trace t(100000);
+    for (int c = 0; c < 20; ++c) {
+        t.add(rec(static_cast<client_id>(c), 0, 100));
+    }
+    return t;
+}
+
+closed_loop_config capped(content_kind kind) {
+    closed_loop_config cfg;
+    cfg.kind = kind;
+    cfg.server.policy = admission_policy::reject_at_capacity;
+    cfg.server.max_concurrent_streams = 5;
+    cfg.retry_backoff_mean = 120.0;
+    cfg.max_retries = 20;
+    return cfg;
+}
+
+TEST(ClosedLoop, LiveLosesRejectedValue) {
+    const auto res = run_closed_loop(overload_trace(), capped(
+        content_kind::live));
+    EXPECT_EQ(res.requests, 20U);
+    EXPECT_EQ(res.served_first_try, 5U);
+    EXPECT_EQ(res.lost, 15U);
+    EXPECT_EQ(res.served_after_retry, 0U);
+    EXPECT_DOUBLE_EQ(res.delivered_fraction, 0.25);
+}
+
+TEST(ClosedLoop, StoredRecoversThroughRetries) {
+    const auto res = run_closed_loop(overload_trace(), capped(
+        content_kind::stored));
+    EXPECT_EQ(res.served_first_try, 5U);
+    EXPECT_GT(res.served_after_retry, 10U);
+    EXPECT_GT(res.total_retries, 0U);
+    EXPECT_GT(res.delivered_fraction, 0.8);
+}
+
+TEST(ClosedLoop, UncappedServerDeliversEverythingFirstTry) {
+    closed_loop_config cfg;
+    cfg.kind = content_kind::live;
+    const auto res = run_closed_loop(overload_trace(), cfg);
+    EXPECT_EQ(res.served_first_try, 20U);
+    EXPECT_EQ(res.lost, 0U);
+    EXPECT_DOUBLE_EQ(res.delivered_fraction, 1.0);
+}
+
+TEST(ClosedLoop, RetryBudgetExhaustionLosesStoredRequests) {
+    // Permanent overload: background requests keep the server full
+    // forever, so stored retries eventually give up.
+    trace t(100000);
+    for (int i = 0; i < 2000; ++i) {
+        t.add(rec(static_cast<client_id>(10000 + i), i * 50, 10000));
+    }
+    auto cfg = capped(content_kind::stored);
+    cfg.server.max_concurrent_streams = 2;
+    cfg.max_retries = 3;
+    const auto res = run_closed_loop(t, cfg);
+    EXPECT_GT(res.lost, 0U);
+    EXPECT_LT(res.delivered_fraction, 0.9);
+}
+
+TEST(ClosedLoop, DeliveredPlusLostAccountsForAllRequests) {
+    const auto res = run_closed_loop(overload_trace(), capped(
+        content_kind::stored));
+    EXPECT_EQ(res.served_first_try + res.served_after_retry + res.lost,
+              res.requests);
+}
+
+TEST(ClosedLoop, DeterministicForSeed) {
+    const auto a = run_closed_loop(overload_trace(), capped(
+        content_kind::stored));
+    const auto b = run_closed_loop(overload_trace(), capped(
+        content_kind::stored));
+    EXPECT_EQ(a.served_after_retry, b.served_after_retry);
+    EXPECT_EQ(a.total_retries, b.total_retries);
+}
+
+TEST(ClosedLoop, RejectsBadConfig) {
+    trace t(0);  // zero window
+    EXPECT_THROW(run_closed_loop(t, closed_loop_config{}),
+                 lsm::contract_violation);
+    trace ok(100);
+    ok.add(rec(1, 0, 10));
+    closed_loop_config bad;
+    bad.retry_backoff_mean = 0.0;
+    EXPECT_THROW(run_closed_loop(ok, bad), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::sim

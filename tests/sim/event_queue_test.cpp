@@ -1,0 +1,106 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::sim {
+namespace {
+
+TEST(Simulator, StartsAtZeroAndEmpty) {
+    simulator s;
+    EXPECT_EQ(s.now(), 0);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+    simulator s;
+    std::vector<int> order;
+    s.schedule_at(30, [&] { order.push_back(3); });
+    s.schedule_at(10, [&] { order.push_back(1); });
+    s.schedule_at(20, [&] { order.push_back(2); });
+    EXPECT_EQ(s.run_all(), 3U);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+    simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        s.schedule_at(5, [&order, i] { order.push_back(i); });
+    }
+    s.run_all();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    simulator s;
+    std::vector<int> fired;
+    s.schedule_at(10, [&] { fired.push_back(10); });
+    s.schedule_at(20, [&] { fired.push_back(20); });
+    s.schedule_at(30, [&] { fired.push_back(30); });
+    EXPECT_EQ(s.run_until(20), 2U);  // inclusive boundary
+    EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+    EXPECT_EQ(s.now(), 20);
+    EXPECT_EQ(s.pending(), 1U);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+    simulator s;
+    s.run_until(100);
+    EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, EventsMayScheduleFurtherEvents) {
+    simulator s;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        ++chain;
+        if (chain < 5) s.schedule_in(10, step);
+    };
+    s.schedule_at(0, step);
+    s.run_all();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Simulator, ScheduleInUsesCurrentTime) {
+    simulator s;
+    seconds_t observed = -1;
+    s.schedule_at(15, [&] {
+        s.schedule_in(5, [&] { observed = s.now(); });
+    });
+    s.run_all();
+    EXPECT_EQ(observed, 20);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+    simulator s;
+    s.schedule_at(10, [] {});
+    s.run_all();
+    EXPECT_THROW(s.schedule_at(5, [] {}), lsm::contract_violation);
+    EXPECT_THROW(s.schedule_in(-1, [] {}), lsm::contract_violation);
+}
+
+TEST(Simulator, RejectsNullAction) {
+    simulator s;
+    EXPECT_THROW(s.schedule_at(1, nullptr), lsm::contract_violation);
+}
+
+TEST(Simulator, InterleavedRunUntilCalls) {
+    simulator s;
+    int count = 0;
+    for (seconds_t t = 0; t < 100; t += 10) {
+        s.schedule_at(t, [&] { ++count; });
+    }
+    s.run_until(45);
+    EXPECT_EQ(count, 5);
+    s.run_until(100);
+    EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,108 @@
+#include "sim/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/contracts.h"
+
+namespace lsm::sim {
+namespace {
+
+gismo::live_config small_cfg() {
+    auto cfg = gismo::live_config::scaled(0.01);
+    cfg.window = 2 * seconds_per_day;
+    return cfg;
+}
+
+TEST(Feedback, UnconstrainedEqualsPlainGenerator) {
+    const auto cfg = small_cfg();
+    const auto res =
+        generate_under_feedback(cfg, server_config{}, 21);
+    const trace plain = gismo::generate_live_workload(cfg, 21);
+    ASSERT_EQ(res.tr.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(res.tr.records()[i].start, plain.records()[i].start);
+        EXPECT_EQ(res.tr.records()[i].client, plain.records()[i].client);
+        EXPECT_EQ(res.tr.records()[i].duration,
+                  plain.records()[i].duration);
+    }
+    EXPECT_EQ(res.rejected_transfers, 0U);
+    EXPECT_EQ(res.abandoned_transfers, 0U);
+    EXPECT_EQ(res.admitted_transfers, res.planned_transfers);
+}
+
+TEST(Feedback, CapacityConstraintRejectsAndAbandons) {
+    const auto cfg = small_cfg();
+    server_config sc;
+    sc.policy = admission_policy::reject_at_capacity;
+    sc.max_concurrent_streams = 3;  // far below peak
+    const auto res = generate_under_feedback(cfg, sc, 22);
+    EXPECT_GT(res.rejected_transfers, 0U);
+    EXPECT_GT(res.sessions_touched_by_rejection, 0U);
+    EXPECT_EQ(res.planned_transfers, res.admitted_transfers +
+                                         res.rejected_transfers +
+                                         res.abandoned_transfers);
+    EXPECT_LT(res.tr.size(), res.planned_transfers);
+}
+
+TEST(Feedback, AbandonedSessionsEmitNothingAfterRejection) {
+    const auto cfg = small_cfg();
+    server_config sc;
+    sc.policy = admission_policy::reject_at_capacity;
+    sc.max_concurrent_streams = 3;
+    const auto res = generate_under_feedback(cfg, sc, 23);
+    // Rebuild the session membership from the plan and verify no
+    // emitted record postdates its session's first rejection.
+    const auto plan = gismo::generate_live_plan(cfg, 23);
+    // Map (session, start, client) triples of emitted records.
+    std::size_t emitted_idx = 0;
+    std::unordered_set<std::uint64_t> dead;
+    for (const auto& item : plan) {
+        const bool emitted =
+            emitted_idx < res.tr.size() &&
+            res.tr.records()[emitted_idx].start == item.record.start &&
+            res.tr.records()[emitted_idx].client == item.record.client &&
+            res.tr.records()[emitted_idx].object == item.record.object;
+        if (dead.contains(item.session)) {
+            // Once dead, never emitted. (The same (start, client, object)
+            // may coincide with another session's record, so only check
+            // the bookkeeping count below.)
+            continue;
+        }
+        if (emitted) {
+            ++emitted_idx;
+        } else {
+            dead.insert(item.session);
+        }
+    }
+    EXPECT_EQ(emitted_idx, res.tr.size());
+    EXPECT_EQ(dead.size(), res.sessions_touched_by_rejection);
+}
+
+TEST(Feedback, TighterCapacityLosesMore) {
+    const auto cfg = small_cfg();
+    std::size_t prev = static_cast<std::size_t>(-1);
+    for (std::uint32_t cap : {50U, 10U, 2U}) {
+        server_config sc;
+        sc.policy = admission_policy::reject_at_capacity;
+        sc.max_concurrent_streams = cap;
+        const auto res = generate_under_feedback(cfg, sc, 24);
+        EXPECT_LT(res.tr.size(), prev);
+        prev = res.tr.size();
+    }
+}
+
+TEST(Feedback, DeterministicForSeed) {
+    const auto cfg = small_cfg();
+    server_config sc;
+    sc.policy = admission_policy::reject_at_capacity;
+    sc.max_concurrent_streams = 5;
+    const auto a = generate_under_feedback(cfg, sc, 25);
+    const auto b = generate_under_feedback(cfg, sc, 25);
+    EXPECT_EQ(a.tr.size(), b.tr.size());
+    EXPECT_EQ(a.rejected_transfers, b.rejected_transfers);
+}
+
+}  // namespace
+}  // namespace lsm::sim

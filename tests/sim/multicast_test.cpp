@@ -1,0 +1,112 @@
+#include "sim/multicast.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+#include "gismo/live_generator.h"
+
+namespace lsm::sim {
+namespace {
+
+log_record rec(client_id c, object_id obj, seconds_t start, seconds_t dur,
+               double bw = 300000.0) {
+    log_record r;
+    r.client = c;
+    r.object = obj;
+    r.start = start;
+    r.duration = dur;
+    r.avg_bandwidth_bps = bw;
+    return r;
+}
+
+TEST(Multicast, SingleViewerNoSavings) {
+    trace t(1000);
+    t.add(rec(1, 0, 0, 100));
+    multicast_config cfg;
+    cfg.stream_rate_bps = 300000.0;
+    const auto rep = analyze_multicast_savings(t, cfg);
+    EXPECT_DOUBLE_EQ(rep.unicast_bytes, 100 * 300000.0 / 8.0);
+    EXPECT_DOUBLE_EQ(rep.multicast_bytes, 100 * 300000.0 / 8.0);
+    EXPECT_DOUBLE_EQ(rep.savings_factor, 1.0);
+    ASSERT_EQ(rep.covered_seconds_per_object.size(), 1U);
+    EXPECT_EQ(rep.covered_seconds_per_object[0], 100);
+}
+
+TEST(Multicast, TenIdenticalViewersSaveTenfold) {
+    trace t(1000);
+    for (int c = 1; c <= 10; ++c) {
+        t.add(rec(static_cast<client_id>(c), 0, 0, 100));
+    }
+    const auto rep = analyze_multicast_savings(t);
+    EXPECT_DOUBLE_EQ(rep.savings_factor, 10.0);
+    EXPECT_DOUBLE_EQ(rep.mean_audience_while_covered, 10.0);
+}
+
+TEST(Multicast, DisjointViewersNoOverlapNoSavings) {
+    trace t(1000);
+    t.add(rec(1, 0, 0, 100));
+    t.add(rec(2, 0, 200, 100));
+    const auto rep = analyze_multicast_savings(t);
+    EXPECT_DOUBLE_EQ(rep.savings_factor, 1.0);
+    EXPECT_EQ(rep.covered_seconds_per_object[0], 200);
+}
+
+TEST(Multicast, PerObjectStreamsCharged) {
+    trace t(1000);
+    t.add(rec(1, 0, 0, 100));
+    t.add(rec(2, 1, 0, 100));  // second object needs its own stream
+    const auto rep = analyze_multicast_savings(t);
+    EXPECT_EQ(rep.covered_seconds_per_object.size(), 2U);
+    EXPECT_DOUBLE_EQ(rep.savings_factor, 1.0);
+}
+
+TEST(Multicast, MixedBandwidthsUseActualUnicastBytes) {
+    trace t(1000);
+    t.add(rec(1, 0, 0, 100, 56000.0));   // modem viewer
+    t.add(rec(2, 0, 0, 100, 600000.0));  // broadband viewer
+    multicast_config cfg;
+    cfg.stream_rate_bps = 300000.0;
+    const auto rep = analyze_multicast_savings(t, cfg);
+    EXPECT_DOUBLE_EQ(rep.unicast_bytes, 100 * (56000.0 + 600000.0) / 8.0);
+    EXPECT_DOUBLE_EQ(rep.multicast_bytes, 100 * 300000.0 / 8.0);
+    EXPECT_NEAR(rep.savings_factor, 656.0 / 300.0, 1e-9);
+}
+
+TEST(Multicast, TimelineReflectsAudienceSwings) {
+    trace t(3600);
+    // 20 viewers in the first 900 s bin, 1 viewer in the third.
+    for (int c = 0; c < 20; ++c) {
+        t.add(rec(static_cast<client_id>(c), 0, 0, 900, 300000.0));
+    }
+    t.add(rec(99, 0, 1800, 900, 300000.0));
+    const auto rep = analyze_multicast_savings(t);
+    ASSERT_GE(rep.savings_timeline.size(), 3U);
+    EXPECT_NEAR(rep.savings_timeline[0], 20.0, 1e-9);
+    EXPECT_NEAR(rep.savings_timeline[2], 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(rep.savings_timeline[1], 0.0);
+}
+
+TEST(Multicast, GeneratedWorkloadSavesDuringPeaks) {
+    auto cfg = gismo::live_config::scaled(0.02);
+    cfg.window = 2 * seconds_per_day;
+    const trace t = gismo::generate_live_workload(cfg, 9);
+    const auto rep = analyze_multicast_savings(t);
+    // A shared live feed with a concurrent audience must save.
+    EXPECT_GT(rep.mean_audience_while_covered, 1.0);
+    EXPECT_GT(rep.unicast_bytes, 0.0);
+}
+
+TEST(Multicast, RejectsBadInput) {
+    trace empty(100);
+    EXPECT_THROW(analyze_multicast_savings(empty),
+                 lsm::contract_violation);
+    trace t(100);
+    t.add(rec(1, 0, 0, 10));
+    multicast_config bad;
+    bad.stream_rate_bps = 0.0;
+    EXPECT_THROW(analyze_multicast_savings(t, bad),
+                 lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,146 @@
+#include "sim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+#include "gismo/live_generator.h"
+
+namespace lsm::sim {
+namespace {
+
+log_record rec(client_id c, seconds_t start, seconds_t dur,
+               double bw = 56000.0) {
+    log_record r;
+    r.client = c;
+    r.start = start;
+    r.duration = dur;
+    r.avg_bandwidth_bps = bw;
+    return r;
+}
+
+TEST(Replay, AllAdmittedAllCompleted) {
+    trace t(100);
+    t.add(rec(1, 0, 10));
+    t.add(rec(2, 5, 20));
+    t.add(rec(3, 50, 10));
+    const auto res = replay_trace(t, server_config{}, 10);
+    EXPECT_EQ(res.admitted, 3U);
+    EXPECT_EQ(res.completed, 3U);
+    EXPECT_EQ(res.rejected, 0U);
+    EXPECT_EQ(res.peak_concurrency, 2U);
+    EXPECT_DOUBLE_EQ(res.denied_live_seconds, 0.0);
+}
+
+TEST(Replay, ConservationAdmittedPlusRejectedEqualsTotal) {
+    trace t(1000);
+    for (int i = 0; i < 50; ++i) {
+        t.add(rec(static_cast<client_id>(i), i * 5, 100));
+    }
+    server_config cfg;
+    cfg.policy = admission_policy::reject_at_capacity;
+    cfg.max_concurrent_streams = 10;
+    const auto res = replay_trace(t, cfg, 100);
+    EXPECT_EQ(res.admitted + res.rejected, 50U);
+    EXPECT_EQ(res.completed, res.admitted);
+    EXPECT_GT(res.rejected, 0U);
+    EXPECT_LE(res.peak_concurrency, 10U);
+}
+
+TEST(Replay, DeniedLiveSecondsSumRejectedDurations) {
+    trace t(100);
+    t.add(rec(1, 0, 50));
+    t.add(rec(2, 1, 30));  // rejected under cap 1
+    server_config cfg;
+    cfg.policy = admission_policy::reject_at_capacity;
+    cfg.max_concurrent_streams = 1;
+    const auto res = replay_trace(t, cfg, 10);
+    EXPECT_EQ(res.rejected, 1U);
+    EXPECT_DOUBLE_EQ(res.denied_live_seconds, 30.0);
+}
+
+TEST(Replay, BytesDeliveredMatchesAdmittedRecords) {
+    trace t(100);
+    t.add(rec(1, 0, 10, 8000.0));   // 10 KB... 10*8000/8 = 10000 bytes
+    t.add(rec(2, 20, 10, 16000.0));  // 20000 bytes
+    const auto res = replay_trace(t, server_config{});
+    EXPECT_DOUBLE_EQ(res.total_bytes_delivered, 30000.0);
+}
+
+TEST(Replay, CapacityFreedAfterDepartures) {
+    trace t(100);
+    t.add(rec(1, 0, 5));
+    t.add(rec(2, 10, 5));  // starts after the first ends
+    server_config cfg;
+    cfg.policy = admission_policy::reject_at_capacity;
+    cfg.max_concurrent_streams = 1;
+    const auto res = replay_trace(t, cfg, 10);
+    EXPECT_EQ(res.admitted, 2U);
+    EXPECT_EQ(res.rejected, 0U);
+}
+
+TEST(Replay, DepartureAtSameSecondFreesSlotBeforeArrival) {
+    // End is exclusive: a transfer over [0, 10) has left by t=10.
+    trace t(100);
+    t.add(rec(1, 0, 10));
+    t.add(rec(2, 10, 10));
+    server_config cfg;
+    cfg.policy = admission_policy::reject_at_capacity;
+    cfg.max_concurrent_streams = 1;
+    const auto res = replay_trace(t, cfg, 10);
+    EXPECT_EQ(res.admitted, 2U);
+}
+
+TEST(Replay, CpuTimelineHasExpectedBins) {
+    trace t(1000);
+    t.add(rec(1, 0, 100));
+    const auto res = replay_trace(t, server_config{}, 100);
+    EXPECT_EQ(res.cpu_timeline.size(), 10U);
+}
+
+TEST(Replay, LightLoadStaysBelowTenPercentCpu) {
+    // The paper's sanity property (§2.4): a well-provisioned server runs
+    // under 10% CPU essentially always.
+    trace t(10000);
+    for (int i = 0; i < 100; ++i) {
+        t.add(rec(static_cast<client_id>(i), i * 100, 50));
+    }
+    const auto res = replay_trace(t, server_config{}, 1000);
+    EXPECT_GT(res.fraction_time_cpu_below_10pct, 0.999);
+}
+
+TEST(Replay, EmptyTrace) {
+    trace t(100);
+    const auto res = replay_trace(t, server_config{}, 10);
+    EXPECT_EQ(res.admitted, 0U);
+    EXPECT_EQ(res.completed, 0U);
+    EXPECT_DOUBLE_EQ(res.fraction_time_cpu_below_10pct, 1.0);
+}
+
+TEST(Replay, RejectsNonPositiveBinWidth) {
+    trace t(100);
+    EXPECT_THROW(replay_trace(t, server_config{}, 0),
+                 lsm::contract_violation);
+}
+
+TEST(Replay, UnsortedInputHandled) {
+    trace t(100);
+    t.add(rec(2, 50, 10));
+    t.add(rec(1, 0, 10));
+    const auto res = replay_trace(t, server_config{});
+    EXPECT_EQ(res.admitted, 2U);
+    EXPECT_EQ(res.peak_concurrency, 1U);
+}
+
+TEST(Replay, GeneratedWorkloadServesCleanly) {
+    auto cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    const trace t = gismo::generate_live_workload(cfg, 5);
+    ASSERT_GT(t.size(), 100U);
+    const auto res = replay_trace(t, server_config{});
+    EXPECT_EQ(res.admitted, t.size());
+    EXPECT_EQ(res.completed, t.size());
+    EXPECT_GT(res.peak_concurrency, 0U);
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,117 @@
+#include "sim/streaming_server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm::sim {
+namespace {
+
+TEST(StreamingServer, AdmitAllNeverRejects) {
+    streaming_server s{server_config{}};
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(s.try_admit(0, 56000.0));
+    }
+    EXPECT_EQ(s.concurrency(), 1000U);
+}
+
+TEST(StreamingServer, FinishDecrementsConcurrency) {
+    streaming_server s{server_config{}};
+    s.try_admit(0, 100.0);
+    s.try_admit(0, 200.0);
+    EXPECT_EQ(s.concurrency(), 2U);
+    s.finish(100.0);
+    EXPECT_EQ(s.concurrency(), 1U);
+    EXPECT_DOUBLE_EQ(s.used_bandwidth_bps(), 200.0);
+}
+
+TEST(StreamingServer, FinishWithoutAdmitThrows) {
+    streaming_server s{server_config{}};
+    EXPECT_THROW(s.finish(1.0), lsm::contract_violation);
+}
+
+TEST(StreamingServer, StreamCapEnforced) {
+    server_config cfg;
+    cfg.policy = admission_policy::reject_at_capacity;
+    cfg.max_concurrent_streams = 2;
+    streaming_server s{cfg};
+    EXPECT_TRUE(s.try_admit(0, 1.0));
+    EXPECT_TRUE(s.try_admit(0, 1.0));
+    EXPECT_FALSE(s.try_admit(0, 1.0));
+    s.finish(1.0);
+    EXPECT_TRUE(s.try_admit(1, 1.0));
+}
+
+TEST(StreamingServer, ZeroCapMeansUnlimitedUnderCapPolicy) {
+    server_config cfg;
+    cfg.policy = admission_policy::reject_at_capacity;
+    cfg.max_concurrent_streams = 0;
+    streaming_server s{cfg};
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.try_admit(0, 1.0));
+}
+
+TEST(StreamingServer, NicCapacityEnforcedRegardlessOfPolicy) {
+    server_config cfg;
+    cfg.nic_capacity_bps = 100000.0;
+    streaming_server s{cfg};
+    EXPECT_TRUE(s.try_admit(0, 60000.0));
+    EXPECT_FALSE(s.try_admit(0, 60000.0));  // would exceed NIC
+    EXPECT_TRUE(s.try_admit(0, 40000.0));
+}
+
+TEST(StreamingServer, CpuLoadModelLinearInStreams) {
+    server_config cfg;
+    cfg.cpu_per_stream = 0.001;
+    cfg.cpu_per_arrival = 0.0;
+    streaming_server s{cfg};
+    for (int i = 0; i < 100; ++i) s.try_admit(0, 1.0);
+    EXPECT_NEAR(s.cpu_load(), 0.1, 1e-9);
+}
+
+TEST(StreamingServer, CpuLoadCountsArrivalBurstPerSecond) {
+    server_config cfg;
+    cfg.cpu_per_stream = 0.0;
+    cfg.cpu_per_arrival = 0.01;
+    streaming_server s{cfg};
+    for (int i = 0; i < 10; ++i) s.try_admit(5, 1.0);
+    EXPECT_NEAR(s.cpu_load(), 0.1, 1e-9);
+    // New second resets the arrival burst counter.
+    s.try_admit(6, 1.0);
+    EXPECT_NEAR(s.cpu_load(), 0.01, 1e-9);
+}
+
+TEST(StreamingServer, CpuLoadSaturatesAtOne) {
+    server_config cfg;
+    cfg.cpu_per_stream = 1.0;
+    streaming_server s{cfg};
+    s.try_admit(0, 1.0);
+    s.try_admit(0, 1.0);
+    EXPECT_DOUBLE_EQ(s.cpu_load(), 1.0);
+}
+
+TEST(StreamingServer, CpuThresholdPolicyRejects) {
+    server_config cfg;
+    cfg.policy = admission_policy::reject_at_cpu_threshold;
+    cfg.cpu_reject_threshold = 0.05;
+    cfg.cpu_per_stream = 0.01;
+    cfg.cpu_per_arrival = 0.0;
+    streaming_server s{cfg};
+    // Admits until load reaches 0.05 (5 streams), then rejects.
+    int admitted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (s.try_admit(0, 1.0)) ++admitted;
+    }
+    EXPECT_EQ(admitted, 5);
+}
+
+TEST(StreamingServer, RejectsInvalidConfig) {
+    server_config cfg;
+    cfg.cpu_reject_threshold = 0.0;
+    EXPECT_THROW(streaming_server{cfg}, lsm::contract_violation);
+    server_config cfg2;
+    cfg2.cpu_per_stream = -1.0;
+    EXPECT_THROW(streaming_server{cfg2}, lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::sim

@@ -1,0 +1,85 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "stats/descriptive.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+    rng r(1);
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) xs.push_back(r.next_exponential(10.0));
+    const auto res = bootstrap_ci(
+        xs, [](std::span<const double> s) { return mean(s); });
+    EXPECT_NEAR(res.point, 10.0, 1.0);
+    EXPECT_LT(res.lower, res.point);
+    EXPECT_GT(res.upper, res.point);
+    EXPECT_LE(res.lower, 10.5);
+    EXPECT_GE(res.upper, 9.5);
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize) {
+    rng r(2);
+    std::vector<double> small, large;
+    for (int i = 0; i < 100; ++i) small.push_back(r.next_normal(0, 1));
+    for (int i = 0; i < 10000; ++i) large.push_back(r.next_normal(0, 1));
+    auto statistic = [](std::span<const double> s) { return mean(s); };
+    const auto rs = bootstrap_ci(small, statistic);
+    const auto rl = bootstrap_ci(large, statistic);
+    EXPECT_GT(rs.half_width(), 3.0 * rl.half_width());
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    auto statistic = [](std::span<const double> s) { return mean(s); };
+    const auto a = bootstrap_ci(xs, statistic);
+    const auto b = bootstrap_ci(xs, statistic);
+    EXPECT_DOUBLE_EQ(a.lower, b.lower);
+    EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, DegenerateSampleZeroWidth) {
+    std::vector<double> xs(50, 7.0);
+    const auto res = bootstrap_ci(
+        xs, [](std::span<const double> s) { return mean(s); });
+    EXPECT_DOUBLE_EQ(res.point, 7.0);
+    EXPECT_DOUBLE_EQ(res.lower, 7.0);
+    EXPECT_DOUBLE_EQ(res.upper, 7.0);
+    EXPECT_DOUBLE_EQ(res.stderr_est, 0.0);
+}
+
+TEST(Bootstrap, RelativeHalfWidth) {
+    rng r(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) xs.push_back(r.next_exponential(100.0));
+    const auto res = bootstrap_ci(
+        xs, [](std::span<const double> s) { return mean(s); });
+    // Relative precision of a 5000-sample exponential mean: ~ +-2.8%.
+    EXPECT_LT(res.relative_half_width(), 0.06);
+    EXPECT_GT(res.relative_half_width(), 0.005);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+    std::vector<double> xs = {1.0};
+    auto statistic = [](std::span<const double> s) { return mean(s); };
+    bootstrap_config bad;
+    bad.resamples = 5;
+    EXPECT_THROW(bootstrap_ci(xs, statistic, bad),
+                 lsm::contract_violation);
+    bootstrap_config bad2;
+    bad2.confidence = 1.0;
+    EXPECT_THROW(bootstrap_ci(xs, statistic, bad2),
+                 lsm::contract_violation);
+    std::vector<double> empty;
+    EXPECT_THROW(bootstrap_ci(empty, statistic),
+                 lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::stats

@@ -1,0 +1,149 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(Mean, SimpleValues) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Mean, SingleValue) {
+    const std::vector<double> xs = {7.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 7.0);
+}
+
+TEST(Mean, EmptyThrows) {
+    const std::vector<double> xs;
+    EXPECT_THROW(mean(xs), lsm::contract_violation);
+}
+
+TEST(Variance, KnownValue) {
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    // Population variance is 4; sample (n-1) variance is 32/7.
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Variance, FewerThanTwoIsZero) {
+    const std::vector<double> xs = {3.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Quantile, MedianOfOddAndEven) {
+    const std::vector<double> odd = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(odd, 0.5), 2.0);
+    const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(even, 0.5), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinMax) {
+    const std::vector<double> xs = {5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+    const std::vector<double> xs = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(QuantileSorted, MatchesUnsortedPath) {
+    const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+    for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(sorted, q));
+    }
+}
+
+TEST(Quantile, OutOfRangeThrows) {
+    const std::vector<double> xs = {1.0};
+    EXPECT_THROW(quantile(xs, -0.1), lsm::contract_violation);
+    EXPECT_THROW(quantile(xs, 1.1), lsm::contract_violation);
+}
+
+TEST(CoefficientOfVariation, ExponentialLikeSample) {
+    const std::vector<double> xs = {1.0, 1.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(PearsonCorrelation, PerfectAndInverse) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+    const std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, IndependentNearZero) {
+    std::vector<double> xs, ys;
+    std::uint64_t s = 9;
+    for (int i = 0; i < 5000; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        xs.push_back(static_cast<double>(s >> 40));
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        ys.push_back(static_cast<double>(s >> 40));
+    }
+    EXPECT_NEAR(pearson_correlation(xs, ys), 0.0, 0.05);
+}
+
+TEST(PearsonCorrelation, RejectsDegenerate) {
+    const std::vector<double> xs = {1.0, 1.0};
+    const std::vector<double> ys = {1.0, 2.0};
+    EXPECT_THROW(pearson_correlation(xs, ys), lsm::contract_violation);
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW(pearson_correlation(one, one), lsm::contract_violation);
+}
+
+TEST(SpearmanCorrelation, MonotoneNonlinearIsOne) {
+    std::vector<double> xs, ys;
+    for (int i = 1; i <= 100; ++i) {
+        xs.push_back(static_cast<double>(i));
+        ys.push_back(static_cast<double>(i) * static_cast<double>(i));
+    }
+    EXPECT_NEAR(spearman_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(SpearmanCorrelation, TiesHandled) {
+    const std::vector<double> xs = {1.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys = {1.0, 1.0, 2.0, 3.0};
+    EXPECT_NEAR(spearman_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(SpearmanCorrelation, RobustToOutliers) {
+    // One huge outlier wrecks Pearson but not Spearman.
+    std::vector<double> xs, ys;
+    for (int i = 1; i <= 50; ++i) {
+        xs.push_back(static_cast<double>(i));
+        ys.push_back(static_cast<double>(51 - i));
+    }
+    xs.push_back(1e9);
+    ys.push_back(1e9);
+    EXPECT_LT(spearman_correlation(xs, ys), -0.8);
+    EXPECT_GT(pearson_correlation(xs, ys), 0.9);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0,
+                                    6.0, 7.0, 8.0, 9.0, 10.0};
+    const summary s = summarize(xs);
+    EXPECT_EQ(s.count, 10U);
+    EXPECT_DOUBLE_EQ(s.mean, 5.5);
+    EXPECT_DOUBLE_EQ(s.sum, 55.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.5);
+    EXPECT_NEAR(s.variance, 55.0 / 6.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.p25, 3.25);
+    EXPECT_DOUBLE_EQ(s.p75, 7.75);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_LE(s.p99, s.max);
+}
+
+}  // namespace
+}  // namespace lsm::stats

@@ -1,0 +1,205 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+    for (double p : {0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-6);
+    }
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+    EXPECT_THROW(normal_quantile(0.0), lsm::contract_violation);
+    EXPECT_THROW(normal_quantile(1.0), lsm::contract_violation);
+}
+
+// ---------------------------------------------------------------- lognormal
+
+TEST(Lognormal, MedianAndMean) {
+    lognormal_dist d(4.384, 1.427);
+    EXPECT_NEAR(d.median(), std::exp(4.384), 1e-9);
+    EXPECT_NEAR(d.mean(), std::exp(4.384 + 0.5 * 1.427 * 1.427), 1e-6);
+}
+
+TEST(Lognormal, CdfQuantileRoundTrip) {
+    lognormal_dist d(5.236, 1.544);  // paper Fig 11 parameters
+    for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+        EXPECT_NEAR(d.cdf(d.quantile(q)), q, 1e-6);
+    }
+}
+
+TEST(Lognormal, PdfIntegratesToOneApprox) {
+    lognormal_dist d(1.0, 0.5);
+    double integral = 0.0;
+    const double dx = 0.01;
+    for (double x = dx / 2; x < 60.0; x += dx) integral += d.pdf(x) * dx;
+    EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(Lognormal, ZeroAndNegativeSupport) {
+    lognormal_dist d(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.ccdf(-1.0), 1.0);
+}
+
+TEST(Lognormal, SampleMatchesCdf) {
+    lognormal_dist d(4.9, 1.32);  // paper Fig 14 parameters
+    rng r(3);
+    const int n = 50000;
+    int below_median = 0;
+    for (int i = 0; i < n; ++i) {
+        if (d.sample(r) <= d.median()) ++below_median;
+    }
+    EXPECT_NEAR(below_median / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(Lognormal, RejectsBadSigma) {
+    EXPECT_THROW(lognormal_dist(0.0, 0.0), lsm::contract_violation);
+    EXPECT_THROW(lognormal_dist(0.0, -1.0), lsm::contract_violation);
+}
+
+// -------------------------------------------------------------- exponential
+
+TEST(Exponential, PaperOffTimeParameters) {
+    exponential_dist d(203150.0);  // paper Fig 12
+    EXPECT_NEAR(d.rate(), 1.0 / 203150.0, 1e-15);
+    EXPECT_NEAR(d.cdf(203150.0), 1.0 - std::exp(-1.0), 1e-9);
+    EXPECT_NEAR(d.ccdf(203150.0), std::exp(-1.0), 1e-9);
+}
+
+TEST(Exponential, QuantileRoundTrip) {
+    exponential_dist d(10.0);
+    for (double q : {0.0, 0.3, 0.9, 0.999}) {
+        EXPECT_NEAR(d.cdf(d.quantile(q)), q, 1e-9);
+    }
+}
+
+TEST(Exponential, Memoryless) {
+    exponential_dist d(5.0);
+    // P[X >= s + t] = P[X >= s] * P[X >= t].
+    EXPECT_NEAR(d.ccdf(7.0), d.ccdf(3.0) * d.ccdf(4.0), 1e-12);
+}
+
+TEST(Exponential, NegativeSupport) {
+    exponential_dist d(1.0);
+    EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+}
+
+// ------------------------------------------------------------------- pareto
+
+TEST(Pareto, CcdfDefinition) {
+    pareto_dist d(2.8, 1.0);  // paper Fig 17 fast-regime exponent
+    EXPECT_DOUBLE_EQ(d.ccdf(1.0), 1.0);
+    EXPECT_NEAR(d.ccdf(2.0), std::pow(0.5, 2.8), 1e-12);
+}
+
+TEST(Pareto, MeanFiniteness) {
+    EXPECT_TRUE(std::isinf(pareto_dist(1.0, 1.0).mean()));
+    EXPECT_TRUE(std::isinf(pareto_dist(0.5, 1.0).mean()));
+    EXPECT_NEAR(pareto_dist(2.0, 1.0).mean(), 2.0, 1e-12);
+}
+
+TEST(Pareto, QuantileRoundTrip) {
+    pareto_dist d(1.5, 2.0);
+    for (double q : {0.0, 0.5, 0.99}) {
+        EXPECT_NEAR(d.cdf(d.quantile(q)), q, 1e-9);
+    }
+}
+
+// --------------------------------------------------------------------- zipf
+
+TEST(Zipf, PmfNormalized) {
+    zipf_dist d(0.4704, 1000);  // paper Fig 7 interest profile
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= 1000; ++k) sum += d.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfRatioFollowsPowerLaw) {
+    zipf_dist d(2.7042, 100);  // paper Fig 13 transfers/session
+    EXPECT_NEAR(d.pmf(1) / d.pmf(2), std::pow(2.0, 2.7042), 1e-9);
+    EXPECT_NEAR(d.pmf(2) / d.pmf(4), std::pow(2.0, 2.7042), 1e-9);
+}
+
+TEST(Zipf, CdfEndsAtOne) {
+    zipf_dist d(1.0, 50);
+    EXPECT_DOUBLE_EQ(d.cdf(50), 1.0);
+    EXPECT_NEAR(d.cdf(1), d.pmf(1), 1e-12);
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+    zipf_dist d(1.2, 20);
+    rng r(8);
+    const int n = 200000;
+    std::vector<int> counts(21, 0);
+    for (int i = 0; i < n; ++i) ++counts[d.sample(r)];
+    for (std::uint64_t k = 1; k <= 20; ++k) {
+        const double expect = d.pmf(k) * n;
+        EXPECT_NEAR(counts[k], expect, 5 * std::sqrt(expect) + 5);
+    }
+}
+
+TEST(Zipf, MeanMatchesAnalytic) {
+    zipf_dist d(2.7042, 4000);
+    rng r(9);
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(r));
+    EXPECT_NEAR(sum / n, d.mean(), 0.05);
+}
+
+TEST(Zipf, SingleRankDegenerate) {
+    zipf_dist d(1.0, 1);
+    rng r(10);
+    EXPECT_EQ(d.sample(r), 1U);
+    EXPECT_DOUBLE_EQ(d.pmf(1), 1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+    EXPECT_THROW(zipf_dist(0.0, 10), lsm::contract_violation);
+    EXPECT_THROW(zipf_dist(1.0, 0), lsm::contract_violation);
+}
+
+// Parameterized sweep: sampling from any Zipf stays within support and the
+// empirical head probability matches the pmf.
+class ZipfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweep, HeadProbabilityMatches) {
+    const double alpha = GetParam();
+    zipf_dist d(alpha, 500);
+    rng r(static_cast<std::uint64_t>(alpha * 1000));
+    const int n = 50000;
+    int rank1 = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto k = d.sample(r);
+        ASSERT_GE(k, 1U);
+        ASSERT_LE(k, 500U);
+        if (k == 1) ++rank1;
+    }
+    EXPECT_NEAR(rank1 / static_cast<double>(n), d.pmf(1),
+                5 * std::sqrt(d.pmf(1) / n) + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfSweep,
+                         ::testing::Values(0.4704, 0.7194, 1.0, 2.0,
+                                           2.7042));
+
+}  // namespace
+}  // namespace lsm::stats

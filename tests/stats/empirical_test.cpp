@@ -1,0 +1,124 @@
+#include "stats/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(Empirical, BasicAccessors) {
+    const std::vector<double> xs = {3.0, 1.0, 2.0};
+    empirical_distribution ed(xs);
+    EXPECT_EQ(ed.size(), 3U);
+    EXPECT_DOUBLE_EQ(ed.min(), 1.0);
+    EXPECT_DOUBLE_EQ(ed.max(), 3.0);
+    EXPECT_DOUBLE_EQ(ed.mean(), 2.0);
+}
+
+TEST(Empirical, CdfSteps) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    empirical_distribution ed(xs);
+    EXPECT_DOUBLE_EQ(ed.cdf(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(ed.cdf(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(ed.cdf(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(ed.cdf(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(ed.cdf(100.0), 1.0);
+}
+
+TEST(Empirical, CcdfIsGreaterOrEqual) {
+    // Paper convention: CCDF = P[X >= x], so ccdf(min) == 1.
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    empirical_distribution ed(xs);
+    EXPECT_DOUBLE_EQ(ed.ccdf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(ed.ccdf(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(ed.ccdf(4.0), 0.25);
+    EXPECT_DOUBLE_EQ(ed.ccdf(4.1), 0.0);
+}
+
+TEST(Empirical, CdfPlusStrictCcdfIsOne) {
+    const std::vector<double> xs = {1.0, 1.0, 2.0, 5.0, 5.0, 9.0};
+    empirical_distribution ed(xs);
+    for (double x : {0.5, 1.0, 2.0, 3.0, 5.0, 9.0, 10.0}) {
+        // ccdf counts >= x, cdf counts <= x: they overlap at ties of x.
+        const double ties =
+            ed.cdf(x) - (x > ed.min() ? ed.cdf(x - 1e-9) : 0.0);
+        EXPECT_NEAR(ed.cdf(x) + ed.ccdf(x) - ties, 1.0, 1e-12);
+    }
+}
+
+TEST(Empirical, QuantileInverseOfCdf) {
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+    empirical_distribution ed(xs);
+    EXPECT_DOUBLE_EQ(ed.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ed.quantile(1.0), 100.0);
+    EXPECT_NEAR(ed.quantile(0.5), 50.5, 1e-12);
+}
+
+TEST(Empirical, CdfPointsOnePerDistinctValue) {
+    const std::vector<double> xs = {1.0, 1.0, 2.0, 2.0, 2.0, 3.0};
+    empirical_distribution ed(xs);
+    const auto pts = ed.cdf_points();
+    ASSERT_EQ(pts.size(), 3U);
+    EXPECT_DOUBLE_EQ(pts[0].x, 1.0);
+    EXPECT_NEAR(pts[0].y, 2.0 / 6.0, 1e-12);
+    EXPECT_DOUBLE_EQ(pts[1].x, 2.0);
+    EXPECT_NEAR(pts[1].y, 5.0 / 6.0, 1e-12);
+    EXPECT_DOUBLE_EQ(pts[2].y, 1.0);
+}
+
+TEST(Empirical, CcdfPointsMatchCcdfFunction) {
+    const std::vector<double> xs = {1.0, 1.0, 2.0, 5.0};
+    empirical_distribution ed(xs);
+    for (const auto& p : ed.ccdf_points()) {
+        EXPECT_DOUBLE_EQ(p.y, ed.ccdf(p.x));
+    }
+}
+
+TEST(Empirical, CdfPointsMonotone) {
+    rng r(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) xs.push_back(r.next_lognormal(4.0, 1.5));
+    empirical_distribution ed(xs);
+    const auto cdf_pts = ed.cdf_points();
+    for (std::size_t i = 1; i < cdf_pts.size(); ++i) {
+        EXPECT_GT(cdf_pts[i].x, cdf_pts[i - 1].x);
+        EXPECT_GE(cdf_pts[i].y, cdf_pts[i - 1].y);
+    }
+    const auto ccdf_pts = ed.ccdf_points();
+    for (std::size_t i = 1; i < ccdf_pts.size(); ++i) {
+        EXPECT_GT(ccdf_pts[i].x, ccdf_pts[i - 1].x);
+        EXPECT_LE(ccdf_pts[i].y, ccdf_pts[i - 1].y);
+    }
+    EXPECT_DOUBLE_EQ(ccdf_pts.front().y, 1.0);
+}
+
+TEST(Empirical, FrequencyPointsSumToOne) {
+    rng r(6);
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) xs.push_back(r.next_lognormal(2.0, 1.0));
+    empirical_distribution ed(xs);
+    double sum = 0.0;
+    for (const auto& p : ed.frequency_points_log(40)) sum += p.y;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    sum = 0.0;
+    for (const auto& p : ed.frequency_points_linear(40)) sum += p.y;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Empirical, DegenerateSingleValueSample) {
+    const std::vector<double> xs = {5.0, 5.0, 5.0};
+    empirical_distribution ed(xs);
+    EXPECT_DOUBLE_EQ(ed.cdf(5.0), 1.0);
+    EXPECT_DOUBLE_EQ(ed.ccdf(5.0), 1.0);
+    const auto freq = ed.frequency_points_log(10);
+    double sum = 0.0;
+    for (const auto& p : freq) sum += p.y;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lsm::stats

@@ -1,0 +1,131 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(LinearHistogram, BinEdgesCoverRange) {
+    auto h = histogram::linear(0.0, 10.0, 5);
+    ASSERT_EQ(h.bins().size(), 5U);
+    EXPECT_DOUBLE_EQ(h.bins().front().lower, 0.0);
+    EXPECT_DOUBLE_EQ(h.bins().back().upper, 10.0);
+    for (std::size_t i = 1; i < h.bins().size(); ++i) {
+        EXPECT_DOUBLE_EQ(h.bins()[i].lower, h.bins()[i - 1].upper);
+    }
+}
+
+TEST(LinearHistogram, CountsLandInCorrectBins) {
+    auto h = histogram::linear(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(10.0);  // upper edge -> last bin
+    EXPECT_EQ(h.bins()[0].count, 1U);
+    EXPECT_EQ(h.bins()[1].count, 1U);
+    EXPECT_EQ(h.bins()[4].count, 2U);
+    EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(LinearHistogram, UnderOverflowTracked) {
+    auto h = histogram::linear(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(11.0);
+    EXPECT_EQ(h.underflow(), 1U);
+    EXPECT_EQ(h.overflow(), 1U);
+    EXPECT_EQ(h.total(), 0U);
+}
+
+TEST(LinearHistogram, FrequenciesSumToOne) {
+    auto h = histogram::linear(0.0, 1.0, 10);
+    for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+    h.finalize();
+    double sum = 0.0;
+    for (const auto& b : h.bins()) sum += b.frequency;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LogHistogram, EdgesAreGeometric) {
+    auto h = histogram::logarithmic(1.0, 1000.0, 3);
+    ASSERT_EQ(h.bins().size(), 3U);
+    EXPECT_DOUBLE_EQ(h.bins()[0].lower, 1.0);
+    EXPECT_NEAR(h.bins()[0].upper, 10.0, 1e-9);
+    EXPECT_NEAR(h.bins()[1].upper, 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(h.bins()[2].upper, 1000.0);
+}
+
+TEST(LogHistogram, CountsLandInCorrectBins) {
+    auto h = histogram::logarithmic(1.0, 1000.0, 3);
+    h.add(2.0);
+    h.add(50.0);
+    h.add(500.0);
+    h.add(1000.0);  // upper edge -> last bin
+    EXPECT_EQ(h.bins()[0].count, 1U);
+    EXPECT_EQ(h.bins()[1].count, 1U);
+    EXPECT_EQ(h.bins()[2].count, 2U);
+}
+
+TEST(LogHistogram, RequiresPositiveLowerBound) {
+    EXPECT_THROW(histogram::logarithmic(0.0, 10.0, 5),
+                 lsm::contract_violation);
+}
+
+TEST(HistogramBin, LogCenterIsGeometricMean) {
+    histogram_bin b;
+    b.lower = 10.0;
+    b.upper = 1000.0;
+    EXPECT_NEAR(b.log_center(), 100.0, 1e-9);
+}
+
+TEST(HistogramBin, LinearCenterIsMidpoint) {
+    histogram_bin b;
+    b.lower = 2.0;
+    b.upper = 4.0;
+    EXPECT_DOUBLE_EQ(b.center(), 3.0);
+}
+
+TEST(Histogram, AddAllMatchesIndividualAdds) {
+    const std::vector<double> xs = {1.5, 2.5, 3.5, 7.9};
+    auto a = histogram::linear(0.0, 10.0, 10);
+    auto b = histogram::linear(0.0, 10.0, 10);
+    a.add_all(xs);
+    for (double x : xs) b.add(x);
+    for (std::size_t i = 0; i < a.bins().size(); ++i) {
+        EXPECT_EQ(a.bins()[i].count, b.bins()[i].count);
+    }
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+    EXPECT_THROW(histogram::linear(5.0, 5.0, 3), lsm::contract_violation);
+    EXPECT_THROW(histogram::linear(0.0, 1.0, 0), lsm::contract_violation);
+}
+
+// Property: every added in-range value is counted exactly once.
+class HistogramConservation
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramConservation, TotalEqualsInRangeAdds) {
+    const std::size_t nbins = GetParam();
+    auto h = histogram::logarithmic(1.0, 1e6, nbins);
+    std::size_t in_range = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = std::pow(10.0, (i % 80) / 10.0);  // 1 .. 1e7.9
+        h.add(x);
+        if (x >= 1.0 && x <= 1e6) ++in_range;
+    }
+    std::size_t binned = 0;
+    for (const auto& b : h.bins()) binned += b.count;
+    EXPECT_EQ(binned, h.total());
+    EXPECT_EQ(h.total(), in_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistogramConservation,
+                         ::testing::Values(1, 2, 7, 32, 100));
+
+}  // namespace
+}  // namespace lsm::stats

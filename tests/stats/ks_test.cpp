@@ -1,0 +1,172 @@
+#include "stats/ks.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "stats/distributions.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(KsDistance, PerfectFitIsSmall) {
+    rng r(1);
+    exponential_dist d(5.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) xs.push_back(d.sample(r));
+    const double ks = ks_distance(xs, [&](double x) { return d.cdf(x); });
+    EXPECT_LT(ks, 0.015);
+}
+
+TEST(KsDistance, WrongModelIsLarge) {
+    rng r(2);
+    exponential_dist truth(5.0);
+    exponential_dist wrong(50.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(r));
+    const double ks =
+        ks_distance(xs, [&](double x) { return wrong.cdf(x); });
+    EXPECT_GT(ks, 0.5);
+}
+
+TEST(KsDistance, SinglePointExtremes) {
+    const std::vector<double> xs = {0.5};
+    // Model CDF that puts the point at its median -> distance 0.5.
+    const double ks = ks_distance(xs, [](double) { return 0.5; });
+    EXPECT_DOUBLE_EQ(ks, 0.5);
+}
+
+TEST(KsDistance, EmptySampleThrows) {
+    const std::vector<double> xs;
+    EXPECT_THROW(ks_distance(xs, [](double) { return 0.0; }),
+                 lsm::contract_violation);
+}
+
+TEST(KsTwoSample, IdenticalSamplesZero) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(ks_distance_two_sample(xs, xs), 0.0);
+}
+
+TEST(KsTwoSample, DisjointSamplesOne) {
+    const std::vector<double> a = {1.0, 2.0};
+    const std::vector<double> b = {10.0, 20.0};
+    EXPECT_DOUBLE_EQ(ks_distance_two_sample(a, b), 1.0);
+}
+
+TEST(KsTwoSample, SameDistributionSmall) {
+    rng r(3);
+    lognormal_dist d(4.9, 1.32);
+    std::vector<double> a, b;
+    for (int i = 0; i < 20000; ++i) {
+        a.push_back(d.sample(r));
+        b.push_back(d.sample(r));
+    }
+    EXPECT_LT(ks_distance_two_sample(a, b), 0.02);
+}
+
+TEST(KsTwoSample, DifferentSizesWork) {
+    rng r(4);
+    exponential_dist d(1.0);
+    std::vector<double> a, b;
+    for (int i = 0; i < 10000; ++i) a.push_back(d.sample(r));
+    for (int i = 0; i < 500; ++i) b.push_back(d.sample(r));
+    EXPECT_LT(ks_distance_two_sample(a, b), 0.1);
+}
+
+TEST(AndersonDarling, SmallForCorrectModel) {
+    rng r(8);
+    lognormal_dist d(4.4, 1.4);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) xs.push_back(d.sample(r));
+    const double a2 =
+        anderson_darling(xs, [&](double x) { return d.cdf(x); });
+    // Null distribution of A^2 has mean 1; the 1% critical value is 3.9.
+    EXPECT_LT(a2, 3.9);
+}
+
+TEST(AndersonDarling, LargeForWrongModel) {
+    rng r(9);
+    lognormal_dist truth(4.4, 1.4);
+    lognormal_dist wrong(4.4, 0.7);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) xs.push_back(truth.sample(r));
+    const double a2 =
+        anderson_darling(xs, [&](double x) { return wrong.cdf(x); });
+    EXPECT_GT(a2, 100.0);
+}
+
+TEST(AndersonDarling, MoreTailSensitiveThanKs) {
+    // Same body, contaminated tail: 2% of mass moved far right. AD reacts
+    // proportionally harder than KS does.
+    rng r(10);
+    exponential_dist d(1.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) {
+        double x = d.sample(r);
+        if (r.next_bool(0.02)) x = 10.0 + d.sample(r) * 20.0;
+        xs.push_back(x);
+    }
+    const double a2 =
+        anderson_darling(xs, [&](double x) { return d.cdf(x); });
+    const double ks = ks_distance(xs, [&](double x) { return d.cdf(x); });
+    // KS barely moves (2% shift), AD explodes on the log-tail terms.
+    EXPECT_LT(ks, 0.05);
+    EXPECT_GT(a2, 20.0);
+}
+
+TEST(AndersonDarling, EmptySampleThrows) {
+    std::vector<double> xs;
+    EXPECT_THROW(anderson_darling(xs, [](double) { return 0.5; }),
+                 lsm::contract_violation);
+}
+
+TEST(KsPvalue, UniformUnderNull) {
+    // For a correct model, p-values across repeated samples are roughly
+    // uniform: their mean is near 0.5.
+    rng r(6);
+    exponential_dist d(1.0);
+    double sum = 0.0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> xs;
+        for (int i = 0; i < 300; ++i) xs.push_back(d.sample(r));
+        const double dist =
+            ks_distance(xs, [&](double x) { return d.cdf(x); });
+        sum += ks_pvalue(dist, xs.size());
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.1);
+}
+
+TEST(KsPvalue, TinyForWrongModel) {
+    rng r(7);
+    exponential_dist truth(1.0);
+    exponential_dist wrong(3.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) xs.push_back(truth.sample(r));
+    const double d =
+        ks_distance(xs, [&](double x) { return wrong.cdf(x); });
+    EXPECT_LT(ks_pvalue(d, xs.size()), 1e-6);
+}
+
+TEST(KsPvalue, EdgeValues) {
+    EXPECT_DOUBLE_EQ(ks_pvalue(0.0, 100), 1.0);
+    EXPECT_LT(ks_pvalue(1.0, 100), 1e-10);
+    EXPECT_THROW(ks_pvalue(0.5, 0), lsm::contract_violation);
+    EXPECT_THROW(ks_pvalue(1.5, 10), lsm::contract_violation);
+}
+
+TEST(KsTwoSample, SymmetricInArguments) {
+    rng r(5);
+    std::vector<double> a, b;
+    for (int i = 0; i < 1000; ++i) {
+        a.push_back(r.next_exponential(1.0));
+        b.push_back(r.next_exponential(2.0));
+    }
+    EXPECT_DOUBLE_EQ(ks_distance_two_sample(a, b),
+                     ks_distance_two_sample(b, a));
+}
+
+}  // namespace
+}  // namespace lsm::stats

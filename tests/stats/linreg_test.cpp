@@ -1,0 +1,83 @@
+#include "stats/linreg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(LinearRegression, ExactLine) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys = {3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+    const auto r = linear_regression(xs, ys);
+    EXPECT_NEAR(r.slope, 2.0, 1e-12);
+    EXPECT_NEAR(r.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(r.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearRegression, NegativeSlope) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0};
+    const std::vector<double> ys = {4.0, 2.0, 0.0};
+    const auto r = linear_regression(xs, ys);
+    EXPECT_NEAR(r.slope, -2.0, 1e-12);
+    EXPECT_NEAR(r.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearRegression, FlatLineHasZeroSlopePerfectFit) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    const std::vector<double> ys = {5.0, 5.0, 5.0};
+    const auto r = linear_regression(xs, ys);
+    EXPECT_NEAR(r.slope, 0.0, 1e-12);
+    EXPECT_NEAR(r.r_squared, 1.0, 1e-12);  // zero residual variance
+}
+
+TEST(LinearRegression, NoisyDataRSquaredBelowOne) {
+    rng rand(4);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(static_cast<double>(i));
+        ys.push_back(3.0 * i + 10.0 + rand.next_normal(0.0, 50.0));
+    }
+    const auto r = linear_regression(xs, ys);
+    EXPECT_NEAR(r.slope, 3.0, 0.1);
+    EXPECT_LT(r.r_squared, 1.0);
+    EXPECT_GT(r.r_squared, 0.9);
+}
+
+TEST(LinearRegression, RejectsMismatchedOrTiny) {
+    const std::vector<double> a = {1.0, 2.0};
+    const std::vector<double> b = {1.0};
+    EXPECT_THROW(linear_regression(a, b), lsm::contract_violation);
+    EXPECT_THROW(linear_regression(b, b), lsm::contract_violation);
+}
+
+TEST(LinearRegression, RejectsZeroXVariance) {
+    const std::vector<double> xs = {2.0, 2.0, 2.0};
+    const std::vector<double> ys = {1.0, 2.0, 3.0};
+    EXPECT_THROW(linear_regression(xs, ys), lsm::contract_violation);
+}
+
+TEST(LoglogRegression, PowerLawIsLinearInLogSpace) {
+    std::vector<double> xs, ys;
+    for (int k = 1; k <= 100; ++k) {
+        xs.push_back(static_cast<double>(k));
+        ys.push_back(7.0 * std::pow(static_cast<double>(k), -1.5));
+    }
+    const auto r = loglog_regression(xs, ys);
+    EXPECT_NEAR(r.slope, -1.5, 1e-9);
+    EXPECT_NEAR(std::pow(10.0, r.intercept), 7.0, 1e-6);
+}
+
+TEST(LoglogRegression, RejectsNonPositive) {
+    const std::vector<double> xs = {1.0, 2.0};
+    const std::vector<double> ys = {1.0, 0.0};
+    EXPECT_THROW(loglog_regression(xs, ys), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::stats

@@ -1,0 +1,89 @@
+#include "stats/streaming_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "stats/descriptive.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(StreamingStats, MatchesBatchComputation) {
+    rng r(1);
+    std::vector<double> xs;
+    streaming_stats ss;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = r.next_lognormal(4.4, 1.4);
+        xs.push_back(x);
+        ss.add(x);
+    }
+    const summary batch = summarize(xs);
+    EXPECT_EQ(ss.count(), batch.count);
+    EXPECT_NEAR(ss.mean(), batch.mean, 1e-9 * batch.mean);
+    EXPECT_NEAR(ss.variance(), batch.variance, 1e-6 * batch.variance);
+    EXPECT_DOUBLE_EQ(ss.min(), batch.min);
+    EXPECT_DOUBLE_EQ(ss.max(), batch.max);
+    EXPECT_NEAR(ss.sum(), batch.sum, 1e-6 * batch.sum);
+}
+
+TEST(StreamingStats, SingleValue) {
+    streaming_stats ss;
+    ss.add(5.0);
+    EXPECT_EQ(ss.count(), 1U);
+    EXPECT_DOUBLE_EQ(ss.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(ss.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(ss.min(), 5.0);
+    EXPECT_DOUBLE_EQ(ss.max(), 5.0);
+}
+
+TEST(StreamingStats, EmptyAccessorsThrow) {
+    streaming_stats ss;
+    EXPECT_EQ(ss.count(), 0U);
+    EXPECT_THROW(ss.mean(), lsm::contract_violation);
+    EXPECT_THROW(ss.min(), lsm::contract_violation);
+}
+
+TEST(StreamingStats, MergeEquivalentToSequential) {
+    rng r(2);
+    streaming_stats whole, a, b;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = r.next_normal(10.0, 3.0);
+        whole.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+    streaming_stats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2U);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    streaming_stats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2U);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StreamingStats, NumericallyStableForLargeOffsets) {
+    // Classic catastrophic-cancellation scenario: tiny variance around a
+    // huge mean.
+    streaming_stats ss;
+    for (int i = 0; i < 1000; ++i) {
+        ss.add(1e12 + (i % 2 == 0 ? 1.0 : -1.0));
+    }
+    EXPECT_NEAR(ss.variance(), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lsm::stats

@@ -1,0 +1,70 @@
+#include "stats/tail_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+
+namespace lsm::stats {
+namespace {
+
+TEST(TailCompare, LognormalDataPrefersLognormal) {
+    rng r(1);
+    std::vector<double> xs;
+    for (int i = 0; i < 50000; ++i) {
+        xs.push_back(r.next_lognormal(4.38, 1.43));  // paper Fig 19
+    }
+    const auto cmp = compare_tail_models(xs);
+    EXPECT_EQ(cmp.winner, tail_family::lognormal);
+    EXPECT_LT(cmp.ks_lognormal, 0.02);
+    EXPECT_LT(cmp.ks_lognormal_tail, cmp.ks_pareto_tail);
+}
+
+TEST(TailCompare, ParetoDataPrefersPareto) {
+    rng r(2);
+    std::vector<double> xs;
+    for (int i = 0; i < 50000; ++i) xs.push_back(r.next_pareto(1.2, 1.0));
+    const auto cmp = compare_tail_models(xs);
+    EXPECT_EQ(cmp.winner, tail_family::pareto);
+    EXPECT_NEAR(cmp.pareto_alpha, 1.2, 0.15);
+    EXPECT_LT(cmp.ks_pareto_tail, cmp.ks_lognormal_tail);
+}
+
+TEST(TailCompare, XminIsTailQuantile) {
+    rng r(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 10000; ++i) xs.push_back(r.next_lognormal(0, 1));
+    const auto cmp = compare_tail_models(xs, 0.10);
+    // xmin should sit near the 90th percentile of a standard lognormal
+    // (exp(1.2816) ~ 3.6).
+    EXPECT_NEAR(cmp.pareto_xmin, 3.6, 0.5);
+}
+
+TEST(TailCompare, TailFractionChangesScope) {
+    rng r(4);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) xs.push_back(r.next_lognormal(1, 1));
+    const auto narrow = compare_tail_models(xs, 0.05);
+    const auto wide = compare_tail_models(xs, 0.4);
+    EXPECT_GT(narrow.pareto_xmin, wide.pareto_xmin);
+}
+
+TEST(TailCompare, RejectsTinySampleAndBadFraction) {
+    std::vector<double> xs(10, 1.0);
+    EXPECT_THROW(compare_tail_models(xs), lsm::contract_violation);
+    rng r(5);
+    std::vector<double> big;
+    for (int i = 0; i < 100; ++i) big.push_back(r.next_lognormal(0, 1));
+    EXPECT_THROW(compare_tail_models(big, 0.0), lsm::contract_violation);
+    EXPECT_THROW(compare_tail_models(big, 0.6), lsm::contract_violation);
+}
+
+TEST(TailCompare, ToStringNames) {
+    EXPECT_STREQ(to_string(tail_family::lognormal), "lognormal");
+    EXPECT_STREQ(to_string(tail_family::pareto), "pareto");
+}
+
+}  // namespace
+}  // namespace lsm::stats

@@ -1,0 +1,212 @@
+#include "world/behavior.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace lsm::world {
+namespace {
+
+client_attributes neutral_attrs() {
+    client_attributes a;
+    a.stickiness_log = 0.0;
+    a.preferred_feed = 0;
+    return a;
+}
+
+TEST(Behavior, SigmaSplitPreservesMarginal) {
+    behavior_config cfg;
+    const double stickiness = 0.5;
+    behavior_model m(cfg, stickiness);
+    EXPECT_NEAR(m.population_length_sigma() * m.population_length_sigma() +
+                    stickiness * stickiness,
+                cfg.length_sigma * cfg.length_sigma, 1e-12);
+}
+
+TEST(Behavior, PlanAlwaysHasAtLeastOneTransfer) {
+    behavior_model m(behavior_config{}, 0.5);
+    rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto plan = m.plan_session(100, neutral_attrs(), 1.0, r);
+        EXPECT_GE(plan.size(), 1U);
+        EXPECT_EQ(plan.front().start, 100);
+    }
+}
+
+TEST(Behavior, TransferStartsNonDecreasingWithinPrimaryChain) {
+    behavior_model m(behavior_config{}, 0.5);
+    rng r(2);
+    for (int i = 0; i < 200; ++i) {
+        const auto plan = m.plan_session(0, neutral_attrs(), 1.0, r);
+        for (const auto& tr : plan) {
+            EXPECT_GE(tr.start, 0);
+            EXPECT_GE(tr.duration, 0);
+        }
+    }
+}
+
+TEST(Behavior, MarginalLengthMatchesConfiguredLognormal) {
+    // With stickiness 0 the transfer-length marginal is exactly the
+    // configured lognormal; check log-moments over many single-client
+    // sessions.
+    behavior_config cfg;
+    cfg.length_activity_exponent = 0.0;
+    behavior_model m(cfg, 0.0);
+    rng r(3);
+    double sum = 0.0, ss = 0.0;
+    int n = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const auto plan = m.plan_session(0, neutral_attrs(), 1.0, r);
+        for (const auto& tr : plan) {
+            // +1 to undo the floor quantization for moment estimation.
+            const double lx = std::log(static_cast<double>(tr.duration) + 1);
+            sum += lx;
+            ss += lx * lx;
+            ++n;
+        }
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, cfg.length_mu, 0.15);
+    EXPECT_NEAR(std::sqrt(ss / n - mean * mean), cfg.length_sigma, 0.1);
+}
+
+TEST(Behavior, StickyClientGetsLongerTransfers) {
+    behavior_config cfg;
+    cfg.overlap_probability = 0.0;
+    behavior_model m(cfg, 0.5);
+    rng r(4);
+    client_attributes sticky = neutral_attrs();
+    sticky.stickiness_log = 1.0;
+    client_attributes flighty = neutral_attrs();
+    flighty.stickiness_log = -1.0;
+    double sticky_total = 0.0, flighty_total = 0.0;
+    int sn = 0, fn = 0;
+    for (int i = 0; i < 5000; ++i) {
+        for (const auto& tr : m.plan_session(0, sticky, 1.0, r)) {
+            sticky_total += static_cast<double>(tr.duration);
+            ++sn;
+        }
+        for (const auto& tr : m.plan_session(0, flighty, 1.0, r)) {
+            flighty_total += static_cast<double>(tr.duration);
+            ++fn;
+        }
+    }
+    EXPECT_GT(sticky_total / sn, 3.0 * flighty_total / fn);
+}
+
+TEST(Behavior, PreferredFeedDominates) {
+    behavior_config cfg;
+    cfg.preferred_feed_probability = 0.8;
+    cfg.overlap_probability = 0.0;
+    behavior_model m(cfg, 0.0);
+    rng r(5);
+    client_attributes a = neutral_attrs();
+    a.preferred_feed = 1;
+    int preferred = 0, total = 0;
+    for (int i = 0; i < 5000; ++i) {
+        for (const auto& tr : m.plan_session(0, a, 1.0, r)) {
+            if (tr.object == 1) ++preferred;
+            ++total;
+        }
+    }
+    EXPECT_NEAR(preferred / static_cast<double>(total), 0.8, 0.03);
+}
+
+TEST(Behavior, OverlapTransfersUseOtherFeed) {
+    behavior_config cfg;
+    cfg.overlap_probability = 1.0;
+    cfg.preferred_feed_probability = 1.0;
+    behavior_model m(cfg, 0.0);
+    rng r(6);
+    client_attributes a = neutral_attrs();
+    a.preferred_feed = 0;
+    bool saw_overlap = false;
+    for (int i = 0; i < 200 && !saw_overlap; ++i) {
+        const auto plan = m.plan_session(0, a, 1.0, r);
+        for (std::size_t j = 1; j < plan.size(); ++j) {
+            if (plan[j].object == 1 && plan[j].start > plan[j - 1].start &&
+                plan[j].start <
+                    plan[j - 1].start + plan[j - 1].duration) {
+                saw_overlap = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_overlap);
+}
+
+TEST(Behavior, ActivityStretchesLengths) {
+    behavior_config cfg;
+    cfg.length_activity_exponent = 0.5;  // exaggerate for the test
+    cfg.overlap_probability = 0.0;
+    behavior_model m(cfg, 0.0);
+    rng r(7);
+    double lo = 0.0, hi = 0.0;
+    int ln = 0, hn = 0;
+    for (int i = 0; i < 20000; ++i) {
+        for (const auto& tr : m.plan_session(0, neutral_attrs(), 0.2, r)) {
+            lo += static_cast<double>(tr.duration);
+            ++ln;
+        }
+        for (const auto& tr : m.plan_session(0, neutral_attrs(), 5.0, r)) {
+            hi += static_cast<double>(tr.duration);
+            ++hn;
+        }
+    }
+    EXPECT_GT(hi / hn, 2.0 * lo / ln);
+}
+
+TEST(Behavior, QosFeedbackOnlyTouchesCongestedTransfers) {
+    behavior_config cfg;
+    cfg.qos_abort_probability = 1.0;
+    behavior_model m(cfg, 0.0);
+    rng r(9);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(m.apply_qos_feedback(1000, false, r), 1000);
+    }
+    // Congested + always-abort: strictly shortened, within [lo, hi].
+    for (int i = 0; i < 200; ++i) {
+        const seconds_t kept = m.apply_qos_feedback(1000, true, r);
+        EXPECT_GE(kept, static_cast<seconds_t>(
+                            1000 * cfg.qos_abort_keep_lo) - 1);
+        EXPECT_LE(kept, static_cast<seconds_t>(
+                            1000 * cfg.qos_abort_keep_hi) + 1);
+    }
+}
+
+TEST(Behavior, QosFeedbackWeakByDefault) {
+    behavior_model m(behavior_config{}, 0.0);  // default 15% abort
+    rng r(10);
+    int shortened = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        if (m.apply_qos_feedback(1000, true, r) < 1000) ++shortened;
+    }
+    EXPECT_NEAR(shortened / static_cast<double>(n), 0.15, 0.02);
+}
+
+TEST(Behavior, QosFeedbackPreservesTinyTransfers) {
+    behavior_config cfg;
+    cfg.qos_abort_probability = 1.0;
+    behavior_model m(cfg, 0.0);
+    rng r(11);
+    EXPECT_EQ(m.apply_qos_feedback(1, true, r), 1);
+    EXPECT_EQ(m.apply_qos_feedback(0, true, r), 0);
+}
+
+TEST(Behavior, RejectsStickinessExceedingMarginalSigma) {
+    behavior_config cfg;
+    EXPECT_THROW(behavior_model(cfg, cfg.length_sigma + 0.1),
+                 lsm::contract_violation);
+}
+
+TEST(Behavior, RejectsNegativeArrival) {
+    behavior_model m(behavior_config{}, 0.0);
+    rng r(8);
+    EXPECT_THROW(m.plan_session(-1, neutral_attrs(), 1.0, r),
+                 lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::world

@@ -1,0 +1,126 @@
+#include "world/population.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/contracts.h"
+
+namespace lsm::world {
+namespace {
+
+struct fixture {
+    rng build{1};
+    net::as_topology topo{net::as_topology_config{}, build};
+    net::ip_space ips{net::ip_space_config{},
+                      std::vector<double>(topo.num_ases(), 100.0)};
+    net::bandwidth_model bw{net::bandwidth_config{}};
+};
+
+TEST(Population, InterestSamplingSkewed) {
+    fixture f;
+    population_config cfg;
+    cfg.num_clients = 10000;
+    population pop(cfg, f.topo, f.ips, f.bw, rng(2));
+    rng r(3);
+    std::map<client_id, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[pop.sample_client(r)];
+    // Client 1 (rank 1) must be sampled far more than a mid-rank client.
+    EXPECT_GT(counts[1], 10 * std::max(1, counts[5000]));
+}
+
+TEST(Population, ClientIdsInRange) {
+    fixture f;
+    population_config cfg;
+    cfg.num_clients = 100;
+    population pop(cfg, f.topo, f.ips, f.bw, rng(2));
+    rng r(4);
+    for (int i = 0; i < 10000; ++i) {
+        const client_id id = pop.sample_client(r);
+        EXPECT_GE(id, 1U);
+        EXPECT_LE(id, 100U);
+    }
+}
+
+TEST(Population, AttributesAreDeterministic) {
+    fixture f;
+    population pop(population_config{}, f.topo, f.ips, f.bw, rng(5));
+    const auto a = pop.attributes(12345);
+    const auto b = pop.attributes(12345);
+    EXPECT_EQ(a.as_index, b.as_index);
+    EXPECT_EQ(a.access, b.access);
+    EXPECT_DOUBLE_EQ(a.stickiness_log, b.stickiness_log);
+    EXPECT_EQ(a.preferred_feed, b.preferred_feed);
+    EXPECT_EQ(a.home_ip, b.home_ip);
+}
+
+TEST(Population, AttributesVaryAcrossClients) {
+    fixture f;
+    population pop(population_config{}, f.topo, f.ips, f.bw, rng(5));
+    int distinct_as = 0;
+    const auto first = pop.attributes(1);
+    for (client_id id = 2; id <= 50; ++id) {
+        if (pop.attributes(id).as_index != first.as_index) ++distinct_as;
+    }
+    EXPECT_GT(distinct_as, 0);
+}
+
+TEST(Population, StickinessHasConfiguredSpread) {
+    fixture f;
+    population_config cfg;
+    cfg.stickiness_sigma = 0.5;
+    population pop(cfg, f.topo, f.ips, f.bw, rng(6));
+    double sum = 0.0, ss = 0.0;
+    const int n = 20000;
+    for (client_id id = 1; id <= n; ++id) {
+        const double s = pop.attributes(id).stickiness_log;
+        sum += s;
+        ss += s * s;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(std::sqrt(ss / n - mean * mean), 0.5, 0.02);
+}
+
+TEST(Population, FeedPreferenceFractionRespected) {
+    fixture f;
+    population_config cfg;
+    cfg.feed0_preference_fraction = 0.65;
+    population pop(cfg, f.topo, f.ips, f.bw, rng(7));
+    int feed0 = 0;
+    const int n = 20000;
+    for (client_id id = 1; id <= n; ++id) {
+        if (pop.attributes(id).preferred_feed == 0) ++feed0;
+    }
+    EXPECT_NEAR(feed0 / static_cast<double>(n), 0.65, 0.02);
+}
+
+TEST(Population, SessionIpMostlyHome) {
+    fixture f;
+    population_config cfg;
+    cfg.home_ip_probability = 0.7;
+    population pop(cfg, f.topo, f.ips, f.bw, rng(8));
+    const auto attrs = pop.attributes(1);
+    rng srng(9);
+    int home = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        if (pop.session_ip(1, attrs, srng) == attrs.home_ip) ++home;
+    }
+    // Random pool draws can also hit the home address, so >= 0.7.
+    EXPECT_GT(home / static_cast<double>(n), 0.65);
+}
+
+TEST(Population, RejectsOutOfRangeId) {
+    fixture f;
+    population_config cfg;
+    cfg.num_clients = 10;
+    population pop(cfg, f.topo, f.ips, f.bw, rng(10));
+    EXPECT_THROW(pop.attributes(0), lsm::contract_violation);
+    EXPECT_THROW(pop.attributes(11), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::world

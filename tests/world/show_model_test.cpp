@@ -1,0 +1,170 @@
+#include "world/show_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.h"
+
+namespace lsm::world {
+namespace {
+
+show_model default_model(std::uint64_t seed = 1) {
+    return show_model(show_config{}, rng(seed));
+}
+
+TEST(ShowModel, TroughLowerThanPeak) {
+    const auto m = default_model();
+    // 6am Sunday vs 9pm Sunday.
+    const double trough =
+        m.deterministic_multiplier(6 * seconds_per_hour);
+    const double peak =
+        m.deterministic_multiplier(21 * seconds_per_hour);
+    EXPECT_LT(trough, peak / 5.0);
+}
+
+TEST(ShowModel, WeekendHigherThanWeekday) {
+    const auto m = default_model();
+    // Same hour (2pm), Sunday (day 0) vs Monday (day 1).
+    const double sun = m.deterministic_multiplier(14 * seconds_per_hour);
+    const double mon = m.deterministic_multiplier(
+        seconds_per_day + 14 * seconds_per_hour);
+    EXPECT_GT(sun, mon);
+}
+
+TEST(ShowModel, EventBoostApplies) {
+    const auto m = default_model();
+    // Default events include Tuesday 20:30-22:00 with boost 2.1.
+    // Trace starts Sunday, so Tuesday is day 2.
+    const seconds_t during =
+        2 * seconds_per_day + 21 * seconds_per_hour;
+    const seconds_t before =
+        2 * seconds_per_day + 19 * seconds_per_hour;
+    const double ratio = m.deterministic_multiplier(during) /
+                         m.deterministic_multiplier(before);
+    // 21:00/19:00 hourly ratio is 2.45/1.70; the event boost multiplies
+    // a further 2.1x.
+    EXPECT_GT(ratio, 2.0);
+}
+
+TEST(ShowModel, NoiseIsDeterministicPerBin) {
+    const auto m = default_model(7);
+    EXPECT_DOUBLE_EQ(m.multiplier(100), m.multiplier(100));
+    EXPECT_DOUBLE_EQ(m.multiplier(100), m.multiplier(101));  // same bin
+}
+
+TEST(ShowModel, NoiseVariesAcrossBins) {
+    const auto m = default_model(7);
+    // Same phase, different noise bins (one week apart): deterministic
+    // parts are equal, so any difference comes from noise.
+    const double a = m.multiplier(13 * seconds_per_hour);
+    const double b = m.multiplier(seconds_per_week + 13 * seconds_per_hour);
+    EXPECT_NE(a, b);
+}
+
+TEST(ShowModel, SameSeedSameModel) {
+    const auto a = default_model(42);
+    const auto b = default_model(42);
+    for (seconds_t t = 0; t < seconds_per_day; t += 3600) {
+        EXPECT_DOUBLE_EQ(a.multiplier(t), b.multiplier(t));
+    }
+}
+
+TEST(ShowModel, MeanMultiplierIsPositiveAndModest) {
+    const auto m = default_model();
+    EXPECT_GT(m.mean_deterministic_multiplier(), 0.3);
+    EXPECT_LT(m.mean_deterministic_multiplier(), 3.0);
+}
+
+TEST(ShowModel, ZeroNoiseSigmaGivesDeterministicMultiplier) {
+    show_config cfg;
+    cfg.noise_sigma = 0.0;
+    cfg.dead_air_probability = 0.0;
+    const show_model m(cfg, rng(1));
+    for (seconds_t t = 0; t < seconds_per_day; t += 7200) {
+        EXPECT_DOUBLE_EQ(m.multiplier(t), m.deterministic_multiplier(t));
+    }
+}
+
+TEST(ShowModel, DeadAirFactorIsOneOrAttenuating) {
+    const auto m = default_model(11);
+    int dead_blocks = 0;
+    const int blocks = 2000;
+    for (int b = 0; b < blocks; ++b) {
+        const seconds_t t = static_cast<seconds_t>(b) * 900 * 8;
+        const double f = m.dead_air_factor(t);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LE(f, 1.0);
+        if (f < 1.0) {
+            ++dead_blocks;
+            EXPECT_GE(f, show_config{}.dead_air_lo * 0.999);
+            EXPECT_LE(f, show_config{}.dead_air_hi * 1.001);
+        }
+    }
+    // ~3% of blocks are dead spells.
+    EXPECT_NEAR(dead_blocks / static_cast<double>(blocks), 0.03, 0.015);
+}
+
+TEST(ShowModel, DeadAirConstantWithinSpell) {
+    const auto m = default_model(12);
+    // Find a dead spell and check every bin inside shares its factor.
+    for (seconds_t block = 0; block < 5000; ++block) {
+        const seconds_t t0 = block * 8 * 900;
+        const double f = m.dead_air_factor(t0);
+        if (f < 1.0) {
+            for (int bin = 1; bin < 8; ++bin) {
+                EXPECT_DOUBLE_EQ(m.dead_air_factor(t0 + bin * 900), f);
+            }
+            return;
+        }
+    }
+    FAIL() << "no dead spell found in 5000 blocks";
+}
+
+TEST(ShowModel, DeadAirDisablable) {
+    show_config cfg;
+    cfg.dead_air_probability = 0.0;
+    const show_model m(cfg, rng(13));
+    for (seconds_t t = 0; t < 28 * seconds_per_day;
+         t += 8 * 900) {
+        EXPECT_DOUBLE_EQ(m.dead_air_factor(t), 1.0);
+    }
+}
+
+TEST(ShowModel, EventsOnlyOnTheirWeekday) {
+    const auto m = default_model(14);
+    // Tuesday 21:00 boosted; Wednesday 21:00 (same clock time) not.
+    const seconds_t tue = 2 * seconds_per_day + 21 * seconds_per_hour;
+    const seconds_t wed = 3 * seconds_per_day + 21 * seconds_per_hour;
+    const double hourly_21 = show_config{}.hourly[21];
+    const double tue_mult = m.deterministic_multiplier(tue) /
+                            show_config{}.daily[2] / hourly_21;
+    const double wed_mult = m.deterministic_multiplier(wed) /
+                            show_config{}.daily[3] / hourly_21;
+    EXPECT_NEAR(tue_mult, 2.1, 1e-9);  // the event boost
+    EXPECT_NEAR(wed_mult, 1.0, 1e-9);
+}
+
+TEST(ShowModel, RejectsMalformedConfig) {
+    show_config bad;
+    bad.hourly.resize(23);
+    EXPECT_THROW(show_model(bad, rng(1)), lsm::contract_violation);
+    show_config bad2;
+    bad2.daily = {1.0};
+    EXPECT_THROW(show_model(bad2, rng(1)), lsm::contract_violation);
+    show_config bad3;
+    bad3.hourly[0] = 0.0;
+    EXPECT_THROW(show_model(bad3, rng(1)), lsm::contract_violation);
+}
+
+TEST(ShowModel, StartDayShiftsWeeklyPattern) {
+    show_config thu;
+    thu.start_day = weekday::thursday;
+    const show_model m_thu(thu, rng(1));
+    const show_model m_sun(show_config{}, rng(1));
+    // At t=0 both are midnight, but different weekdays -> potentially
+    // different daily multiplier (Sunday 1.15 vs Thursday 0.98).
+    EXPECT_NE(m_thu.deterministic_multiplier(12 * seconds_per_hour),
+              m_sun.deterministic_multiplier(12 * seconds_per_hour));
+}
+
+}  // namespace
+}  // namespace lsm::world

@@ -1,0 +1,140 @@
+#include "world/world_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/contracts.h"
+#include "stats/timeseries.h"
+
+namespace lsm::world {
+namespace {
+
+world_config tiny_config() {
+    world_config cfg = world_config::scaled(0.01);
+    cfg.window = 3 * seconds_per_day;
+    cfg.target_sessions = 3000.0;
+    return cfg;
+}
+
+TEST(WorldSim, DeterministicForSameSeed) {
+    const auto a = simulate_world(tiny_config(), 42);
+    const auto b = simulate_world(tiny_config(), 42);
+    ASSERT_EQ(a.tr.size(), b.tr.size());
+    for (std::size_t i = 0; i < a.tr.size(); ++i) {
+        EXPECT_EQ(a.tr.records()[i].client, b.tr.records()[i].client);
+        EXPECT_EQ(a.tr.records()[i].start, b.tr.records()[i].start);
+        EXPECT_EQ(a.tr.records()[i].duration, b.tr.records()[i].duration);
+    }
+    EXPECT_EQ(a.truth.sessions_generated, b.truth.sessions_generated);
+}
+
+TEST(WorldSim, DifferentSeedsDiffer) {
+    const auto a = simulate_world(tiny_config(), 1);
+    const auto b = simulate_world(tiny_config(), 2);
+    EXPECT_NE(a.tr.size(), b.tr.size());
+}
+
+TEST(WorldSim, SessionCountNearTarget) {
+    const auto cfg = tiny_config();
+    const auto res = simulate_world(cfg, 7);
+    // Noise multipliers make this stochastic; 35% tolerance.
+    EXPECT_NEAR(static_cast<double>(res.truth.sessions_generated),
+                cfg.target_sessions, cfg.target_sessions * 0.35);
+}
+
+TEST(WorldSim, TraceSortedAndWindowed) {
+    const auto res = simulate_world(tiny_config(), 3);
+    EXPECT_TRUE(res.tr.is_sorted_by_start());
+    for (const auto& r : res.tr.records()) {
+        EXPECT_GE(r.start, 0);
+        EXPECT_LT(r.start, res.tr.window_length());
+    }
+}
+
+TEST(WorldSim, TwoLiveObjects) {
+    const auto res = simulate_world(tiny_config(), 4);
+    const auto s = summarize(res.tr);
+    EXPECT_EQ(s.num_objects, 2U);
+}
+
+TEST(WorldSim, CorruptRecordsSpanPastWindowAndSanitizeAway) {
+    world_config cfg = tiny_config();
+    cfg.corrupt_fraction = 0.01;
+    auto res = simulate_world(cfg, 5);
+    EXPECT_GT(res.truth.corrupted_records, 0U);
+    const auto rep = sanitize(res.tr);
+    EXPECT_EQ(rep.dropped_out_of_window, res.truth.corrupted_records);
+    for (const auto& r : res.tr.records()) {
+        EXPECT_LE(r.end(), res.tr.window_length());
+    }
+}
+
+TEST(WorldSim, ZeroCorruptFractionKeepsEverything) {
+    world_config cfg = tiny_config();
+    cfg.corrupt_fraction = 0.0;
+    auto res = simulate_world(cfg, 6);
+    const std::size_t before = res.tr.size();
+    const auto rep = sanitize(res.tr);
+    EXPECT_EQ(rep.kept, before);
+}
+
+TEST(WorldSim, DiurnalShapeEmerges) {
+    world_config cfg = world_config::scaled(0.02);
+    cfg.window = 7 * seconds_per_day;
+    cfg.target_sessions = 40000.0;
+    const auto res = simulate_world(cfg, 8);
+    std::vector<seconds_t> starts;
+    for (const auto& r : res.tr.records()) starts.push_back(r.start);
+    const auto counts =
+        stats::bin_event_counts(starts, seconds_per_hour, cfg.window);
+    const auto daily = stats::fold_series(counts, 24);
+    // Trough (4am-7am mean) well below evening peak (8pm-11pm mean).
+    const double trough = (daily[4] + daily[5] + daily[6]) / 3.0;
+    const double peak = (daily[20] + daily[21] + daily[22]) / 3.0;
+    EXPECT_LT(trough * 4.0, peak);
+}
+
+TEST(WorldSim, ServerCpuFieldPopulatedAndSane) {
+    const auto res = simulate_world(tiny_config(), 9);
+    bool any_positive = false;
+    for (const auto& r : res.tr.records()) {
+        EXPECT_GE(r.server_cpu, 0.0F);
+        EXPECT_LE(r.server_cpu, 1.0F);
+        any_positive |= r.server_cpu > 0.0F;
+    }
+    EXPECT_TRUE(any_positive);
+}
+
+TEST(WorldSim, BandwidthAnnotationsPresent) {
+    const auto res = simulate_world(tiny_config(), 10);
+    for (const auto& r : res.tr.records()) {
+        EXPECT_GT(r.avg_bandwidth_bps, 0.0);
+        EXPECT_GE(r.packet_loss, 0.0F);
+        EXPECT_LE(r.packet_loss, 1.0F);
+    }
+}
+
+TEST(WorldSim, MultipleCountriesAndAses) {
+    world_config cfg = world_config::scaled(0.02);
+    cfg.window = 2 * seconds_per_day;
+    cfg.target_sessions = 10000.0;
+    const auto res = simulate_world(cfg, 11);
+    const auto s = summarize(res.tr);
+    EXPECT_GT(s.num_asns, 20U);
+    EXPECT_GT(s.num_countries, 3U);
+    EXPECT_LT(s.num_ips, s.num_clients * 2);
+}
+
+TEST(WorldSim, ScaledConfigValidation) {
+    EXPECT_THROW(world_config::scaled(0.0), lsm::contract_violation);
+    EXPECT_THROW(world_config::scaled(1.5), lsm::contract_violation);
+    const auto full = world_config::paper_scale();
+    EXPECT_DOUBLE_EQ(full.target_sessions, 1500000.0);
+    const auto half = world_config::scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.target_sessions, 750000.0);
+    EXPECT_EQ(half.pop.num_clients, 450000U);
+}
+
+}  // namespace
+}  // namespace lsm::world
