@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cdn.dir/bench_ablation_cdn.cpp.o"
+  "CMakeFiles/bench_ablation_cdn.dir/bench_ablation_cdn.cpp.o.d"
+  "bench_ablation_cdn"
+  "bench_ablation_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

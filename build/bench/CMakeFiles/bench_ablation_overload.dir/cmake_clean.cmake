@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overload.dir/bench_ablation_overload.cpp.o"
+  "CMakeFiles/bench_ablation_overload.dir/bench_ablation_overload.cpp.o.d"
+  "bench_ablation_overload"
+  "bench_ablation_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

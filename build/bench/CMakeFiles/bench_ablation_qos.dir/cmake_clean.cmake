@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qos.dir/bench_ablation_qos.cpp.o"
+  "CMakeFiles/bench_ablation_qos.dir/bench_ablation_qos.cpp.o.d"
+  "bench_ablation_qos"
+  "bench_ablation_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stickiness.dir/bench_ablation_stickiness.cpp.o"
+  "CMakeFiles/bench_ablation_stickiness.dir/bench_ablation_stickiness.cpp.o.d"
+  "bench_ablation_stickiness"
+  "bench_ablation_stickiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stickiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tailshape.dir/bench_ablation_tailshape.cpp.o"
+  "CMakeFiles/bench_ablation_tailshape.dir/bench_ablation_tailshape.cpp.o.d"
+  "bench_ablation_tailshape"
+  "bench_ablation_tailshape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tailshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vbr.dir/bench_ablation_vbr.cpp.o"
+  "CMakeFiles/bench_ablation_vbr.dir/bench_ablation_vbr.cpp.o.d"
+  "bench_ablation_vbr"
+  "bench_ablation_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pwp_experiment.dir/bench_fig06_pwp_experiment.cpp.o"
+  "CMakeFiles/bench_fig06_pwp_experiment.dir/bench_fig06_pwp_experiment.cpp.o.d"
+  "bench_fig06_pwp_experiment"
+  "bench_fig06_pwp_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pwp_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_autocorrelation.dir/bench_fig08_autocorrelation.cpp.o"
+  "CMakeFiles/bench_fig08_autocorrelation.dir/bench_fig08_autocorrelation.cpp.o.d"
+  "bench_fig08_autocorrelation"
+  "bench_fig08_autocorrelation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_autocorrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_sessions_vs_timeout.
+# This may be replaced when dependencies are built.

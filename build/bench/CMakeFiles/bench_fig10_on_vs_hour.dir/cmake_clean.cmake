@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_on_vs_hour.dir/bench_fig10_on_vs_hour.cpp.o"
+  "CMakeFiles/bench_fig10_on_vs_hour.dir/bench_fig10_on_vs_hour.cpp.o.d"
+  "bench_fig10_on_vs_hour"
+  "bench_fig10_on_vs_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_on_vs_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

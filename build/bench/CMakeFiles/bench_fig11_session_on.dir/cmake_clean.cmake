@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_session_on.dir/bench_fig11_session_on.cpp.o"
+  "CMakeFiles/bench_fig11_session_on.dir/bench_fig11_session_on.cpp.o.d"
+  "bench_fig11_session_on"
+  "bench_fig11_session_on.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_session_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

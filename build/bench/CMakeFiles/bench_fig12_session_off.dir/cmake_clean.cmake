@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_session_off.dir/bench_fig12_session_off.cpp.o"
+  "CMakeFiles/bench_fig12_session_off.dir/bench_fig12_session_off.cpp.o.d"
+  "bench_fig12_session_off"
+  "bench_fig12_session_off.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_session_off.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_transfer_temporal.dir/bench_fig16_transfer_temporal.cpp.o"
+  "CMakeFiles/bench_fig16_transfer_temporal.dir/bench_fig16_transfer_temporal.cpp.o.d"
+  "bench_fig16_transfer_temporal"
+  "bench_fig16_transfer_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_transfer_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec24_sanitization.dir/bench_sec24_sanitization.cpp.o"
+  "CMakeFiles/bench_sec24_sanitization.dir/bench_sec24_sanitization.cpp.o.d"
+  "bench_sec24_sanitization"
+  "bench_sec24_sanitization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec24_sanitization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

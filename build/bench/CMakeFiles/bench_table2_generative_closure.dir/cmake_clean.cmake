@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_generative_closure.dir/bench_table2_generative_closure.cpp.o"
+  "CMakeFiles/bench_table2_generative_closure.dir/bench_table2_generative_closure.cpp.o.d"
+  "bench_table2_generative_closure"
+  "bench_table2_generative_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_generative_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_figures.dir/dump_figures.cpp.o"
+  "CMakeFiles/dump_figures.dir/dump_figures.cpp.o.d"
+  "dump_figures"
+  "dump_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

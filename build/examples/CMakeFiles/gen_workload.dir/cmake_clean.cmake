@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_workload.dir/gen_workload.cpp.o"
+  "CMakeFiles/gen_workload.dir/gen_workload.cpp.o.d"
+  "gen_workload"
+  "gen_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soccer_broadcast.dir/soccer_broadcast.cpp.o"
+  "CMakeFiles/soccer_broadcast.dir/soccer_broadcast.cpp.o.d"
+  "soccer_broadcast"
+  "soccer_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soccer_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_compare.cpp" "examples/CMakeFiles/workload_compare.dir/workload_compare.cpp.o" "gcc" "examples/CMakeFiles/workload_compare.dir/workload_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gismo/CMakeFiles/lsm_gismo.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/lsm_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/characterize/CMakeFiles/lsm_characterize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

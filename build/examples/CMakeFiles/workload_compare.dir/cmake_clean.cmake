@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_compare.dir/workload_compare.cpp.o"
+  "CMakeFiles/workload_compare.dir/workload_compare.cpp.o.d"
+  "workload_compare"
+  "workload_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "0.005" "1")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planning "/root/repo/build/examples/capacity_planning" "0.005" "1")
+set_tests_properties(example_capacity_planning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_soccer_broadcast "/root/repo/build/examples/soccer_broadcast" "1")
+set_tests_properties(example_soccer_broadcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workload_compare "/root/repo/build/examples/workload_compare" "0.01" "1")
+set_tests_properties(example_workload_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gen_and_characterize "/usr/bin/cmake" "-DGEN=/root/repo/build/examples/gen_workload" "-DCHAR=/root/repo/build/examples/characterize_trace" "-P" "/root/repo/examples/smoke_gen_characterize.cmake")
+set_tests_properties(example_gen_and_characterize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dump_figures "/root/repo/build/examples/dump_figures" "/root/repo/build/examples/figs" "0.005")
+set_tests_properties(example_dump_figures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_flash_crowd "/root/repo/build/examples/flash_crowd" "2.0" "1")
+set_tests_properties(example_flash_crowd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")

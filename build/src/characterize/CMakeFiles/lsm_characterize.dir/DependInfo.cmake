@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/characterize/arrival_test.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/arrival_test.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/arrival_test.cpp.o.d"
+  "/root/repo/src/characterize/client_layer.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/client_layer.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/client_layer.cpp.o.d"
+  "/root/repo/src/characterize/compare.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/compare.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/compare.cpp.o.d"
+  "/root/repo/src/characterize/hierarchical.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/hierarchical.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/characterize/object_layer.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/object_layer.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/object_layer.cpp.o.d"
+  "/root/repo/src/characterize/report.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/report.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/report.cpp.o.d"
+  "/root/repo/src/characterize/report_json.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/report_json.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/report_json.cpp.o.d"
+  "/root/repo/src/characterize/session_builder.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/session_builder.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/session_builder.cpp.o.d"
+  "/root/repo/src/characterize/session_layer.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/session_layer.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/session_layer.cpp.o.d"
+  "/root/repo/src/characterize/stickiness.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/stickiness.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/stickiness.cpp.o.d"
+  "/root/repo/src/characterize/streaming_summary.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/streaming_summary.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/streaming_summary.cpp.o.d"
+  "/root/repo/src/characterize/transfer_layer.cpp" "src/characterize/CMakeFiles/lsm_characterize.dir/transfer_layer.cpp.o" "gcc" "src/characterize/CMakeFiles/lsm_characterize.dir/transfer_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_characterize.dir/arrival_test.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/arrival_test.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/client_layer.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/client_layer.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/compare.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/compare.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/hierarchical.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/object_layer.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/object_layer.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/report.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/report.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/report_json.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/report_json.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/session_builder.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/session_builder.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/session_layer.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/session_layer.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/stickiness.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/stickiness.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/streaming_summary.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/streaming_summary.cpp.o.d"
+  "CMakeFiles/lsm_characterize.dir/transfer_layer.cpp.o"
+  "CMakeFiles/lsm_characterize.dir/transfer_layer.cpp.o.d"
+  "liblsm_characterize.a"
+  "liblsm_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/harvest.cpp" "src/core/CMakeFiles/lsm_core.dir/harvest.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/harvest.cpp.o.d"
+  "/root/repo/src/core/log_record.cpp" "src/core/CMakeFiles/lsm_core.dir/log_record.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/log_record.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/lsm_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/time_utils.cpp" "src/core/CMakeFiles/lsm_core.dir/time_utils.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/time_utils.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/lsm_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/lsm_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/trace_io.cpp.o.d"
+  "/root/repo/src/core/trace_ops.cpp" "src/core/CMakeFiles/lsm_core.dir/trace_ops.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/trace_ops.cpp.o.d"
+  "/root/repo/src/core/wms_log.cpp" "src/core/CMakeFiles/lsm_core.dir/wms_log.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/wms_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_core.dir/harvest.cpp.o"
+  "CMakeFiles/lsm_core.dir/harvest.cpp.o.d"
+  "CMakeFiles/lsm_core.dir/log_record.cpp.o"
+  "CMakeFiles/lsm_core.dir/log_record.cpp.o.d"
+  "CMakeFiles/lsm_core.dir/rng.cpp.o"
+  "CMakeFiles/lsm_core.dir/rng.cpp.o.d"
+  "CMakeFiles/lsm_core.dir/time_utils.cpp.o"
+  "CMakeFiles/lsm_core.dir/time_utils.cpp.o.d"
+  "CMakeFiles/lsm_core.dir/trace.cpp.o"
+  "CMakeFiles/lsm_core.dir/trace.cpp.o.d"
+  "CMakeFiles/lsm_core.dir/trace_io.cpp.o"
+  "CMakeFiles/lsm_core.dir/trace_io.cpp.o.d"
+  "CMakeFiles/lsm_core.dir/trace_ops.cpp.o"
+  "CMakeFiles/lsm_core.dir/trace_ops.cpp.o.d"
+  "CMakeFiles/lsm_core.dir/wms_log.cpp.o"
+  "CMakeFiles/lsm_core.dir/wms_log.cpp.o.d"
+  "liblsm_core.a"
+  "liblsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gismo/arrival_process.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/arrival_process.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/arrival_process.cpp.o.d"
+  "/root/repo/src/gismo/config_io.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/config_io.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/config_io.cpp.o.d"
+  "/root/repo/src/gismo/diurnal.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/diurnal.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/diurnal.cpp.o.d"
+  "/root/repo/src/gismo/interest.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/interest.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/interest.cpp.o.d"
+  "/root/repo/src/gismo/live_generator.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/live_generator.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/live_generator.cpp.o.d"
+  "/root/repo/src/gismo/stored_generator.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/stored_generator.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/stored_generator.cpp.o.d"
+  "/root/repo/src/gismo/trace_fit.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/trace_fit.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/trace_fit.cpp.o.d"
+  "/root/repo/src/gismo/validate.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/validate.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/validate.cpp.o.d"
+  "/root/repo/src/gismo/vbr.cpp" "src/gismo/CMakeFiles/lsm_gismo.dir/vbr.cpp.o" "gcc" "src/gismo/CMakeFiles/lsm_gismo.dir/vbr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/characterize/CMakeFiles/lsm_characterize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

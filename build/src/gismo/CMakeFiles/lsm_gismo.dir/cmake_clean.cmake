@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_gismo.dir/arrival_process.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/arrival_process.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/config_io.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/config_io.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/diurnal.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/diurnal.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/interest.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/interest.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/live_generator.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/live_generator.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/stored_generator.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/stored_generator.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/trace_fit.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/trace_fit.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/validate.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/validate.cpp.o.d"
+  "CMakeFiles/lsm_gismo.dir/vbr.cpp.o"
+  "CMakeFiles/lsm_gismo.dir/vbr.cpp.o.d"
+  "liblsm_gismo.a"
+  "liblsm_gismo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_gismo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

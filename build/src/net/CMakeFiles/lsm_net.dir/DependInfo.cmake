@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_topology.cpp" "src/net/CMakeFiles/lsm_net.dir/as_topology.cpp.o" "gcc" "src/net/CMakeFiles/lsm_net.dir/as_topology.cpp.o.d"
+  "/root/repo/src/net/bandwidth.cpp" "src/net/CMakeFiles/lsm_net.dir/bandwidth.cpp.o" "gcc" "src/net/CMakeFiles/lsm_net.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/net/ip_space.cpp" "src/net/CMakeFiles/lsm_net.dir/ip_space.cpp.o" "gcc" "src/net/CMakeFiles/lsm_net.dir/ip_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

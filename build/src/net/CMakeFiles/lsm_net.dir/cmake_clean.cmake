@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_net.dir/as_topology.cpp.o"
+  "CMakeFiles/lsm_net.dir/as_topology.cpp.o.d"
+  "CMakeFiles/lsm_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/lsm_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/lsm_net.dir/ip_space.cpp.o"
+  "CMakeFiles/lsm_net.dir/ip_space.cpp.o.d"
+  "liblsm_net.a"
+  "liblsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsm_net.a"
+)

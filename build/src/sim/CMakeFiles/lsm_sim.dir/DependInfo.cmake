@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cdn.cpp" "src/sim/CMakeFiles/lsm_sim.dir/cdn.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/cdn.cpp.o.d"
+  "/root/repo/src/sim/closed_loop.cpp" "src/sim/CMakeFiles/lsm_sim.dir/closed_loop.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/closed_loop.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/lsm_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/feedback.cpp" "src/sim/CMakeFiles/lsm_sim.dir/feedback.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/feedback.cpp.o.d"
+  "/root/repo/src/sim/multicast.cpp" "src/sim/CMakeFiles/lsm_sim.dir/multicast.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/multicast.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/sim/CMakeFiles/lsm_sim.dir/replay.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/replay.cpp.o.d"
+  "/root/repo/src/sim/streaming_server.cpp" "src/sim/CMakeFiles/lsm_sim.dir/streaming_server.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/streaming_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_sim.dir/cdn.cpp.o"
+  "CMakeFiles/lsm_sim.dir/cdn.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/closed_loop.cpp.o"
+  "CMakeFiles/lsm_sim.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/lsm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/feedback.cpp.o"
+  "CMakeFiles/lsm_sim.dir/feedback.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/multicast.cpp.o"
+  "CMakeFiles/lsm_sim.dir/multicast.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/replay.cpp.o"
+  "CMakeFiles/lsm_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/streaming_server.cpp.o"
+  "CMakeFiles/lsm_sim.dir/streaming_server.cpp.o.d"
+  "liblsm_sim.a"
+  "liblsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

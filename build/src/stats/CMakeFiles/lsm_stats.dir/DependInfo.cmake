@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/lsm_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/lsm_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/lsm_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/lsm_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/fitting.cpp" "src/stats/CMakeFiles/lsm_stats.dir/fitting.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/fitting.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/lsm_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/lsm_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/linreg.cpp" "src/stats/CMakeFiles/lsm_stats.dir/linreg.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/linreg.cpp.o.d"
+  "/root/repo/src/stats/streaming_stats.cpp" "src/stats/CMakeFiles/lsm_stats.dir/streaming_stats.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/streaming_stats.cpp.o.d"
+  "/root/repo/src/stats/tail_compare.cpp" "src/stats/CMakeFiles/lsm_stats.dir/tail_compare.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/tail_compare.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/lsm_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/lsm_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/lsm_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/lsm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/distributions.cpp.o"
+  "CMakeFiles/lsm_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/empirical.cpp.o"
+  "CMakeFiles/lsm_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/fitting.cpp.o"
+  "CMakeFiles/lsm_stats.dir/fitting.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/histogram.cpp.o"
+  "CMakeFiles/lsm_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/ks.cpp.o"
+  "CMakeFiles/lsm_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/linreg.cpp.o"
+  "CMakeFiles/lsm_stats.dir/linreg.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/streaming_stats.cpp.o"
+  "CMakeFiles/lsm_stats.dir/streaming_stats.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/tail_compare.cpp.o"
+  "CMakeFiles/lsm_stats.dir/tail_compare.cpp.o.d"
+  "CMakeFiles/lsm_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/lsm_stats.dir/timeseries.cpp.o.d"
+  "liblsm_stats.a"
+  "liblsm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

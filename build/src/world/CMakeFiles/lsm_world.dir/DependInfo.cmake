@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/behavior.cpp" "src/world/CMakeFiles/lsm_world.dir/behavior.cpp.o" "gcc" "src/world/CMakeFiles/lsm_world.dir/behavior.cpp.o.d"
+  "/root/repo/src/world/population.cpp" "src/world/CMakeFiles/lsm_world.dir/population.cpp.o" "gcc" "src/world/CMakeFiles/lsm_world.dir/population.cpp.o.d"
+  "/root/repo/src/world/show_model.cpp" "src/world/CMakeFiles/lsm_world.dir/show_model.cpp.o" "gcc" "src/world/CMakeFiles/lsm_world.dir/show_model.cpp.o.d"
+  "/root/repo/src/world/world_sim.cpp" "src/world/CMakeFiles/lsm_world.dir/world_sim.cpp.o" "gcc" "src/world/CMakeFiles/lsm_world.dir/world_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

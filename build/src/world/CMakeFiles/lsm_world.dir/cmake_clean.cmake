@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_world.dir/behavior.cpp.o"
+  "CMakeFiles/lsm_world.dir/behavior.cpp.o.d"
+  "CMakeFiles/lsm_world.dir/population.cpp.o"
+  "CMakeFiles/lsm_world.dir/population.cpp.o.d"
+  "CMakeFiles/lsm_world.dir/show_model.cpp.o"
+  "CMakeFiles/lsm_world.dir/show_model.cpp.o.d"
+  "CMakeFiles/lsm_world.dir/world_sim.cpp.o"
+  "CMakeFiles/lsm_world.dir/world_sim.cpp.o.d"
+  "liblsm_world.a"
+  "liblsm_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

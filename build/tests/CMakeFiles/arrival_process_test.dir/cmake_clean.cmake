@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_process_test.dir/gismo/arrival_process_test.cpp.o"
+  "CMakeFiles/arrival_process_test.dir/gismo/arrival_process_test.cpp.o.d"
+  "arrival_process_test"
+  "arrival_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_topology_test.dir/net/as_topology_test.cpp.o"
+  "CMakeFiles/as_topology_test.dir/net/as_topology_test.cpp.o.d"
+  "as_topology_test"
+  "as_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_layer_test.dir/characterize/client_layer_test.cpp.o"
+  "CMakeFiles/client_layer_test.dir/characterize/client_layer_test.cpp.o.d"
+  "client_layer_test"
+  "client_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

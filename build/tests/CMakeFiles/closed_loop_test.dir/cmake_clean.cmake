@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_loop_test.dir/sim/closed_loop_test.cpp.o"
+  "CMakeFiles/closed_loop_test.dir/sim/closed_loop_test.cpp.o.d"
+  "closed_loop_test"
+  "closed_loop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

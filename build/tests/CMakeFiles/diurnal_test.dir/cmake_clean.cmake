@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_test.dir/gismo/diurnal_test.cpp.o"
+  "CMakeFiles/diurnal_test.dir/gismo/diurnal_test.cpp.o.d"
+  "diurnal_test"
+  "diurnal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_test.dir/stats/empirical_test.cpp.o"
+  "CMakeFiles/empirical_test.dir/stats/empirical_test.cpp.o.d"
+  "empirical_test"
+  "empirical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_test.dir/core/harvest_test.cpp.o"
+  "CMakeFiles/harvest_test.dir/core/harvest_test.cpp.o.d"
+  "harvest_test"
+  "harvest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_space_test.dir/net/ip_space_test.cpp.o"
+  "CMakeFiles/ip_space_test.dir/net/ip_space_test.cpp.o.d"
+  "ip_space_test"
+  "ip_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

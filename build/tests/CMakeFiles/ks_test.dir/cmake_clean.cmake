@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_test.dir/stats/ks_test.cpp.o"
+  "CMakeFiles/ks_test.dir/stats/ks_test.cpp.o.d"
+  "ks_test"
+  "ks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

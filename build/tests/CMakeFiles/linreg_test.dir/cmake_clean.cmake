@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linreg_test.dir/stats/linreg_test.cpp.o"
+  "CMakeFiles/linreg_test.dir/stats/linreg_test.cpp.o.d"
+  "linreg_test"
+  "linreg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linreg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_generator_test.dir/gismo/live_generator_test.cpp.o"
+  "CMakeFiles/live_generator_test.dir/gismo/live_generator_test.cpp.o.d"
+  "live_generator_test"
+  "live_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_layer_test.dir/characterize/object_layer_test.cpp.o"
+  "CMakeFiles/object_layer_test.dir/characterize/object_layer_test.cpp.o.d"
+  "object_layer_test"
+  "object_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

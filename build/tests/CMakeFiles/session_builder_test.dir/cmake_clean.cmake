@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_builder_test.dir/characterize/session_builder_test.cpp.o"
+  "CMakeFiles/session_builder_test.dir/characterize/session_builder_test.cpp.o.d"
+  "session_builder_test"
+  "session_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_layer_test.dir/characterize/session_layer_test.cpp.o"
+  "CMakeFiles/session_layer_test.dir/characterize/session_layer_test.cpp.o.d"
+  "session_layer_test"
+  "session_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/show_model_test.dir/world/show_model_test.cpp.o"
+  "CMakeFiles/show_model_test.dir/world/show_model_test.cpp.o.d"
+  "show_model_test"
+  "show_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/show_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stickiness_test.dir/characterize/stickiness_test.cpp.o"
+  "CMakeFiles/stickiness_test.dir/characterize/stickiness_test.cpp.o.d"
+  "stickiness_test"
+  "stickiness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stickiness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

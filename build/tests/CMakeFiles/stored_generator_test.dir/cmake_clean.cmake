@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stored_generator_test.dir/gismo/stored_generator_test.cpp.o"
+  "CMakeFiles/stored_generator_test.dir/gismo/stored_generator_test.cpp.o.d"
+  "stored_generator_test"
+  "stored_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stored_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_server_test.dir/sim/streaming_server_test.cpp.o"
+  "CMakeFiles/streaming_server_test.dir/sim/streaming_server_test.cpp.o.d"
+  "streaming_server_test"
+  "streaming_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_stats_test.dir/stats/streaming_stats_test.cpp.o"
+  "CMakeFiles/streaming_stats_test.dir/stats/streaming_stats_test.cpp.o.d"
+  "streaming_stats_test"
+  "streaming_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

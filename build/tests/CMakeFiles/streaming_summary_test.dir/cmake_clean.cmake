@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_summary_test.dir/characterize/streaming_summary_test.cpp.o"
+  "CMakeFiles/streaming_summary_test.dir/characterize/streaming_summary_test.cpp.o.d"
+  "streaming_summary_test"
+  "streaming_summary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

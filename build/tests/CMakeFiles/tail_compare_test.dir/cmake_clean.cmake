@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_compare_test.dir/stats/tail_compare_test.cpp.o"
+  "CMakeFiles/tail_compare_test.dir/stats/tail_compare_test.cpp.o.d"
+  "tail_compare_test"
+  "tail_compare_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_utils_test.dir/core/time_utils_test.cpp.o"
+  "CMakeFiles/time_utils_test.dir/core/time_utils_test.cpp.o.d"
+  "time_utils_test"
+  "time_utils_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_fit_test.dir/gismo/trace_fit_test.cpp.o"
+  "CMakeFiles/trace_fit_test.dir/gismo/trace_fit_test.cpp.o.d"
+  "trace_fit_test"
+  "trace_fit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_ops_test.dir/core/trace_ops_test.cpp.o"
+  "CMakeFiles/trace_ops_test.dir/core/trace_ops_test.cpp.o.d"
+  "trace_ops_test"
+  "trace_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

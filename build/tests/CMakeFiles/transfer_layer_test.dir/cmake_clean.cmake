@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_layer_test.dir/characterize/transfer_layer_test.cpp.o"
+  "CMakeFiles/transfer_layer_test.dir/characterize/transfer_layer_test.cpp.o.d"
+  "transfer_layer_test"
+  "transfer_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wms_log_test.dir/core/wms_log_test.cpp.o"
+  "CMakeFiles/wms_log_test.dir/core/wms_log_test.cpp.o.d"
+  "wms_log_test"
+  "wms_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wms_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_sim_test.dir/world/world_sim_test.cpp.o"
+  "CMakeFiles/world_sim_test.dir/world/world_sim_test.cpp.o.d"
+  "world_sim_test"
+  "world_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
