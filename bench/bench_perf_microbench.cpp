@@ -3,6 +3,8 @@
 // hot paths of the library.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "characterize/session_builder.h"
 #include "characterize/transfer_layer.h"
 #include "core/rng.h"
@@ -12,6 +14,7 @@
 #include "gismo/vbr.h"
 #include "stats/fitting.h"
 #include "stats/timeseries.h"
+#include "world/world_sim.h"
 
 namespace {
 
@@ -134,6 +137,82 @@ void BM_SessionCountSweep(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SessionCountSweep)->Unit(benchmark::kMillisecond);
+
+// --- Parallel scaling rows -------------------------------------------
+// One row per thread count (1/2/4/8) so BENCH_*.json captures the speedup
+// trajectory of the sharded pipeline. Output is identical across rows by
+// construction (see DESIGN.md, "Parallel execution model"); only the wall
+// clock should move.
+
+void BM_WorldSimThreads(benchmark::State& state) {
+    world::world_config cfg = world::world_config::scaled(0.02);
+    cfg.window = 2 * seconds_per_day;
+    cfg.target_sessions = 30000.0;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto res = world::simulate_world(cfg, 17);
+        benchmark::DoNotOptimize(res.tr.records().data());
+        state.counters["transfers/s"] = benchmark::Counter(
+            static_cast<double>(res.tr.size()),
+            benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_WorldSimThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateLiveWorkloadThreads(benchmark::State& state) {
+    gismo::live_config cfg = gismo::live_config::scaled(0.25);
+    cfg.window = 2 * seconds_per_day;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const trace t = gismo::generate_live_workload(cfg, 18);
+        benchmark::DoNotOptimize(t.records().data());
+        state.counters["transfers/s"] = benchmark::Counter(
+            static_cast<double>(t.size()), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_GenerateLiveWorkloadThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Trace for the end-to-end characterization scaling rows. Sized by the
+/// LSM_BENCH_RECORDS env knob (default 250k transfers; the acceptance-
+/// scale run uses LSM_BENCH_RECORDS=1000000 for a ~1M-record trace).
+const trace& scaling_trace() {
+    static const trace t = [] {
+        double records = 250000.0;
+        if (const char* env = std::getenv("LSM_BENCH_RECORDS")) {
+            records = std::max(1000.0, std::atof(env));
+        }
+        gismo::live_config cfg = gismo::live_config::paper_defaults();
+        // mean rate * mean transfers/session (~1.7 for Zipf 2.7042).
+        const double records_per_second =
+            cfg.arrivals.mean_rate() * 1.7;
+        cfg.window = std::min<seconds_t>(
+            28 * seconds_per_day,
+            static_cast<seconds_t>(records / records_per_second));
+        return gismo::generate_live_workload(cfg, 19);
+    }();
+    return t;
+}
+
+void BM_FullCharacterizationThreads(benchmark::State& state) {
+    const trace& t = scaling_trace();
+    for (auto _ : state) {
+        trace copy = t;
+        characterize::hierarchical_config hcfg;
+        hcfg.client.acf_max_lag = 200;
+        hcfg.threads = static_cast<unsigned>(state.range(0));
+        auto rep = characterize::characterize_hierarchically(copy, hcfg);
+        benchmark::DoNotOptimize(rep.transfer.length_fit.mu);
+        state.counters["records/s"] = benchmark::Counter(
+            static_cast<double>(t.size()), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_FullCharacterizationThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_VbrSeries(benchmark::State& state) {
     rng r(10);

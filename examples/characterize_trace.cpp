@@ -18,26 +18,41 @@
 #include "characterize/session_builder.h"
 #include "characterize/session_layer.h"
 #include "characterize/transfer_layer.h"
+#include "core/parallel.h"
 #include "core/trace_io.h"
 #include "world/world_sim.h"
 
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::cerr << "usage: " << argv[0]
-                  << " [--json] <trace.csv> [session_timeout] | --demo\n";
+                  << " [--json] [--threads N] <trace.csv>"
+                  << " [session_timeout] | --demo\n";
         return 1;
     }
     lsm::seconds_t timeout = lsm::characterize::default_session_timeout;
 
     bool json = false;
+    unsigned threads = 0;  // 0 = hardware concurrency
     int argi = 1;
-    if (std::string(argv[argi]) == "--json") {
-        json = true;
-        ++argi;
-        if (argi >= argc) {
-            std::cerr << "--json requires a trace path\n";
-            return 1;
+    while (argi < argc) {
+        const std::string flag = argv[argi];
+        if (flag == "--json") {
+            json = true;
+            ++argi;
+        } else if (flag == "--threads") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--threads requires a count\n";
+                return 1;
+            }
+            threads = static_cast<unsigned>(std::atoi(argv[argi + 1]));
+            argi += 2;
+        } else {
+            break;
         }
+    }
+    if (argi >= argc) {
+        std::cerr << "missing trace path (or --demo)\n";
+        return 1;
     }
     // Shift remaining positional arguments.
     argv += argi - 1;
@@ -48,8 +63,9 @@ int main(int argc, char** argv) {
     if (arg == "--demo") {
         const std::string path = "demo_trace.csv";
         std::cout << "Simulating a demo world trace -> " << path << "\n";
-        auto world = lsm::world::simulate_world(
-            lsm::world::world_config::scaled(0.02), 7);
+        auto demo_cfg = lsm::world::world_config::scaled(0.02);
+        demo_cfg.threads = threads;
+        auto world = lsm::world::simulate_world(demo_cfg, 7);
         lsm::write_trace_csv_file(world.tr, path);
         tr = std::move(world.tr);
     } else {
@@ -69,6 +85,7 @@ int main(int argc, char** argv) {
     if (json) {
         lsm::characterize::hierarchical_config hcfg;
         hcfg.session_timeout = timeout;
+        hcfg.threads = threads;
         try {
             const auto rep =
                 lsm::characterize::characterize_hierarchically(tr, hcfg);
@@ -90,7 +107,9 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    const auto sessions = lsm::characterize::build_sessions(tr, timeout);
+    lsm::thread_pool pool(threads);
+    const auto sessions =
+        lsm::characterize::build_sessions(tr, timeout, pool);
     const auto cl = lsm::characterize::analyze_client_layer(tr, sessions);
     const auto sl = lsm::characterize::analyze_session_layer(sessions);
     const auto tl = lsm::characterize::analyze_transfer_layer(tr);

@@ -15,6 +15,8 @@
 //   objects=2
 //   stationary=0         1 = stationary-Poisson ablation
 //   uniform_interest=0   1 = uniform-identity ablation
+//   threads=0            worker threads (0 = hardware concurrency);
+//                        output is identical for any value
 //   config=<path>        load a saved recipe first (gismo/config_io.h);
 //                        other keys then override it
 //   save_config=<path>   write the effective recipe back out
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
     cfg.num_objects =
         static_cast<std::uint16_t>(get(kv, "objects", cfg.num_objects));
     cfg.stationary_arrivals = get(kv, "stationary", 0) != 0;
+    cfg.threads = static_cast<unsigned>(get(kv, "threads", cfg.threads));
     if (get(kv, "uniform_interest", 0) != 0) {
         cfg.interest = lsm::gismo::interest_model::uniform;
     }

@@ -1,23 +1,31 @@
 #include "characterize/hierarchical.h"
 
 #include "core/contracts.h"
+#include "core/parallel.h"
 
 namespace lsm::characterize {
 
 hierarchical_report characterize_hierarchically(
     trace& t, const hierarchical_config& cfg) {
+    LSM_EXPECTS(!t.empty());
     hierarchical_report rep;
     if (cfg.sanitize_first) {
         rep.sanitization = sanitize(t);
+        if (t.empty()) throw sanitization_emptied_trace(rep.sanitization);
     } else {
         rep.sanitization.kept = t.size();
     }
-    LSM_EXPECTS(!t.empty());
+    thread_pool pool(cfg.threads);
     rep.summary = summarize(t);
-    rep.sessions = build_sessions(t, cfg.session_timeout);
-    rep.client = analyze_client_layer(t, rep.sessions, cfg.client);
-    rep.session = analyze_session_layer(rep.sessions, cfg.session);
-    rep.transfer = analyze_transfer_layer(t, cfg.transfer);
+    rep.sessions = build_sessions(t, cfg.session_timeout, pool);
+    // The three layer analyses only read `t` and the finished session set,
+    // so they run concurrently; each one is internally sequential, which
+    // keeps its floating-point reductions bit-identical for any pool size.
+    parallel_invoke(
+        pool,
+        [&] { rep.client = analyze_client_layer(t, rep.sessions, cfg.client); },
+        [&] { rep.session = analyze_session_layer(rep.sessions, cfg.session); },
+        [&] { rep.transfer = analyze_transfer_layer(t, cfg.transfer); });
     return rep;
 }
 

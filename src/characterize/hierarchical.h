@@ -3,6 +3,9 @@
 // bundle the paper's Sections 3-5 correspond to.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 #include "characterize/client_layer.h"
 #include "characterize/session_builder.h"
 #include "characterize/session_layer.h"
@@ -11,6 +14,22 @@
 
 namespace lsm::characterize {
 
+/// Thrown when sanitization drops every record of the input trace: the
+/// pipeline has nothing to characterize, and the caller (not a contract
+/// check) must decide what that means for its data source.
+class sanitization_emptied_trace : public std::runtime_error {
+public:
+    explicit sanitization_emptied_trace(const sanitize_report& rep)
+        : std::runtime_error(
+              "sanitization dropped every record (" +
+              std::to_string(rep.dropped_out_of_window) +
+              " out-of-window, " + std::to_string(rep.dropped_negative) +
+              " negative); nothing left to characterize"),
+          report(rep) {}
+
+    sanitize_report report;
+};
+
 struct hierarchical_config {
     seconds_t session_timeout = default_session_timeout;
     client_layer_config client{};
@@ -18,6 +37,10 @@ struct hierarchical_config {
     transfer_layer_config transfer{};
     /// Run sanitize() on the input first (recommended for raw logs).
     bool sanitize_first = true;
+    /// Worker threads: sessionization is sharded by client and the three
+    /// layer analyses run concurrently. 0 = hardware_concurrency. The
+    /// report is identical for every value.
+    unsigned threads = 0;
 };
 
 struct hierarchical_report {
@@ -30,7 +53,8 @@ struct hierarchical_report {
 };
 
 /// Runs the full pipeline on `t` (modified in place if sanitizing).
-/// Requires a trace that is non-empty after sanitization.
+/// Requires a non-empty input trace; throws sanitization_emptied_trace if
+/// sanitization removes every record.
 hierarchical_report characterize_hierarchically(
     trace& t, const hierarchical_config& cfg = {});
 

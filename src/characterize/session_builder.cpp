@@ -1,6 +1,7 @@
 #include "characterize/session_builder.h"
 
 #include <algorithm>
+#include <iterator>
 #include <numeric>
 #include <tuple>
 
@@ -10,18 +11,68 @@ namespace lsm::characterize {
 
 namespace {
 
-/// Indices of trace records sorted by (client, start, end): the per-client
+/// Orders record indices by (client, start, duration): the per-client
 /// timeline the sessionizer walks.
-std::vector<std::uint32_t> client_timeline_order(const trace& t) {
-    LSM_EXPECTS(t.size() < 0xFFFFFFFFULL);
-    std::vector<std::uint32_t> idx(t.size());
-    std::iota(idx.begin(), idx.end(), 0U);
+void sort_client_timeline(const trace& t, std::vector<std::uint32_t>& idx) {
     const auto& recs = t.records();
     std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
         return std::tuple(recs[a].client, recs[a].start, recs[a].duration) <
                std::tuple(recs[b].client, recs[b].start, recs[b].duration);
     });
+}
+
+/// Indices of trace records sorted by (client, start, end).
+std::vector<std::uint32_t> client_timeline_order(const trace& t) {
+    LSM_EXPECTS(t.size() < 0xFFFFFFFFULL);
+    std::vector<std::uint32_t> idx(t.size());
+    std::iota(idx.begin(), idx.end(), 0U);
+    sort_client_timeline(t, idx);
     return idx;
+}
+
+/// The sessionizer walk over a (client, start, duration)-ordered index
+/// slice; appends the sessions it closes to `out`.
+void sessionize_ordered(const trace& t,
+                        const std::vector<std::uint32_t>& order,
+                        seconds_t timeout, std::vector<session>& out) {
+    const auto& recs = t.records();
+    session current;
+    bool open = false;
+    auto flush = [&]() {
+        if (open) out.push_back(std::move(current));
+        open = false;
+    };
+
+    for (std::uint32_t i : order) {
+        const log_record& r = recs[i];
+        const bool new_session =
+            !open || r.client != current.client ||
+            r.start - current.end > timeout;
+        if (new_session) {
+            flush();
+            current = session{};
+            current.client = r.client;
+            current.start = r.start;
+            current.end = r.end();
+            open = true;
+        } else {
+            current.end = std::max(current.end, r.end());
+        }
+        ++current.num_transfers;
+        current.transfer_starts.push_back(r.start);
+        current.transfer_ends.push_back(r.end());
+        current.transfer_objects.push_back(r.object);
+    }
+    flush();
+}
+
+/// Shard assignment for a client id: a splitmix64-style finalizer so that
+/// dense id ranges spread evenly across shards.
+std::size_t client_shard(client_id id, std::size_t nshards) {
+    std::uint64_t z = id + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>((z ^ (z >> 31)) % nshards);
 }
 
 }  // namespace
@@ -54,36 +105,55 @@ session_set build_sessions(const trace& t, seconds_t timeout) {
     if (t.empty()) return out;
 
     const auto order = client_timeline_order(t);
+    sessionize_ordered(t, order, timeout, out.sessions);
+    LSM_ENSURES(!out.sessions.empty());
+    return out;
+}
+
+session_set build_sessions(const trace& t, seconds_t timeout,
+                           thread_pool& pool) {
+    LSM_EXPECTS(timeout >= 0);
+    const std::size_t nshards = pool.size();
+    if (nshards <= 1 || t.size() < 2) return build_sessions(t, timeout);
+    LSM_EXPECTS(t.size() < 0xFFFFFFFFULL);
+
+    session_set out;
+    out.timeout = timeout;
+
+    // Partition record indices by hash(client): every record of a client
+    // lands in the same shard, so each shard sees complete timelines and
+    // sessionizes them independently of the others.
     const auto& recs = t.records();
-
-    session current;
-    bool open = false;
-    auto flush = [&]() {
-        if (open) out.sessions.push_back(std::move(current));
-        open = false;
-    };
-
-    for (std::uint32_t i : order) {
-        const log_record& r = recs[i];
-        const bool new_session =
-            !open || r.client != current.client ||
-            r.start - current.end > timeout;
-        if (new_session) {
-            flush();
-            current = session{};
-            current.client = r.client;
-            current.start = r.start;
-            current.end = r.end();
-            open = true;
-        } else {
-            current.end = std::max(current.end, r.end());
-        }
-        ++current.num_transfers;
-        current.transfer_starts.push_back(r.start);
-        current.transfer_ends.push_back(r.end());
-        current.transfer_objects.push_back(r.object);
+    std::vector<std::vector<std::uint32_t>> shard_idx(nshards);
+    for (auto& v : shard_idx) v.reserve(t.size() / nshards + 1);
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(t.size());
+         ++i) {
+        shard_idx[client_shard(recs[i].client, nshards)].push_back(i);
     }
-    flush();
+
+    std::vector<std::vector<session>> shard_sessions(nshards);
+    pool.run_shards(nshards, [&](std::size_t shard) {
+        sort_client_timeline(t, shard_idx[shard]);
+        sessionize_ordered(t, shard_idx[shard], timeout,
+                           shard_sessions[shard]);
+    });
+
+    // Merge back into the canonical (client, start) order. Starts within
+    // a client are strictly increasing and distinct, so this comparator is
+    // a total order and the merged output equals the sequential build for
+    // any shard count.
+    std::size_t total = 0;
+    for (const auto& v : shard_sessions) total += v.size();
+    out.sessions.reserve(total);
+    for (auto& v : shard_sessions) {
+        std::move(v.begin(), v.end(), std::back_inserter(out.sessions));
+    }
+    std::sort(out.sessions.begin(), out.sessions.end(),
+              [](const session& a, const session& b) {
+                  return std::tuple(a.client, a.start) <
+                         std::tuple(b.client, b.start);
+              });
+    LSM_ENSURES(out.sessions.size() == total);
     LSM_ENSURES(!out.sessions.empty());
     return out;
 }

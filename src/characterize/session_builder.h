@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/trace.h"
 
 namespace lsm::characterize {
@@ -51,6 +52,14 @@ struct session_set {
 /// the gap between a transfer's start and the latest end of all earlier
 /// transfers of the same client exceeds `timeout`. Requires timeout >= 0.
 session_set build_sessions(const trace& t, seconds_t timeout);
+
+/// Parallel flavor: shards the trace by hash(client_id) across the pool —
+/// a client's whole timeline lands in one shard, so each shard sessionizes
+/// independently — then merges shard outputs back into the canonical
+/// (client, start) order. The result is identical to the sequential
+/// overload for every pool size.
+session_set build_sessions(const trace& t, seconds_t timeout,
+                           thread_pool& pool);
 
 /// Counts sessions without materializing them — used for the Fig 9 sweep
 /// of session count versus T_o.

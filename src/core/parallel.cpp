@@ -1,0 +1,111 @@
+#include "core/parallel.h"
+
+#include <memory>
+
+namespace lsm {
+
+namespace {
+thread_local bool tl_pool_worker = false;
+}  // namespace
+
+unsigned default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1U : hw;
+}
+
+unsigned resolve_thread_count(unsigned requested) {
+    return requested == 0 ? default_thread_count() : requested;
+}
+
+thread_pool::thread_pool(unsigned num_threads)
+    : size_(resolve_thread_count(num_threads)) {
+    workers_.reserve(size_ - 1);
+    for (unsigned i = 0; i + 1 < size_; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+bool thread_pool::on_worker_thread() { return tl_pool_worker; }
+
+void thread_pool::worker_loop() {
+    tl_pool_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void thread_pool::run_shards(std::size_t nshards,
+                             const std::function<void(std::size_t)>& fn) {
+    if (nshards == 0) return;
+    if (workers_.empty() || nshards == 1 || on_worker_thread()) {
+        for (std::size_t shard = 0; shard < nshards; ++shard) fn(shard);
+        return;
+    }
+
+    struct batch_state {
+        std::mutex m;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::vector<std::exception_ptr> errors;
+    };
+    auto state = std::make_shared<batch_state>();
+    state->remaining = nshards;
+    state->errors.resize(nshards);
+
+    {
+        std::lock_guard lock(mutex_);
+        for (std::size_t shard = 0; shard < nshards; ++shard) {
+            queue_.emplace_back([state, &fn, shard] {
+                try {
+                    fn(shard);
+                } catch (...) {
+                    state->errors[shard] = std::current_exception();
+                }
+                std::lock_guard batch_lock(state->m);
+                if (--state->remaining == 0) state->done.notify_all();
+            });
+        }
+    }
+    wake_.notify_all();
+
+    // The calling thread helps drain the queue instead of blocking, so a
+    // pool of size N applies N lanes of compute to the batch.
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::lock_guard lock(mutex_);
+            if (!queue_.empty()) {
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+        }
+        if (!task) break;
+        task();
+    }
+    {
+        std::unique_lock lock(state->m);
+        state->done.wait(lock, [&] { return state->remaining == 0; });
+    }
+    for (const std::exception_ptr& e : state->errors) {
+        if (e) std::rethrow_exception(e);
+    }
+}
+
+}  // namespace lsm

@@ -1,0 +1,154 @@
+// Parallel execution substrate: a fixed-size thread pool plus deterministic
+// sharded helpers (parallel_for over index ranges, map-reduce over shards).
+//
+// Design rules that every user of this header relies on:
+//   * Work is decomposed into shards whose boundaries depend only on the
+//     problem size and shard count — never on timing — and per-shard
+//     results are combined in shard order (or by a deterministic merge),
+//     so pipeline output is identical for any thread count.
+//   * A pool of size 1 spawns no threads and runs everything inline.
+//   * Helpers called from inside a pool worker run inline instead of
+//     re-submitting (nested parallelism cannot deadlock the fixed pool).
+//   * Exceptions thrown by shard bodies are captured and the one from the
+//     lowest-numbered shard is rethrown on the calling thread.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm {
+
+/// Number of threads used when a config asks for "auto" (threads == 0):
+/// std::thread::hardware_concurrency(), at least 1.
+unsigned default_thread_count();
+
+/// Maps a config's `threads` field to an actual count: 0 -> auto.
+unsigned resolve_thread_count(unsigned requested);
+
+/// Fixed-size thread pool. `num_threads` counts total execution lanes:
+/// a pool of size N runs shard batches on N-1 workers plus the calling
+/// thread's wait loop, and a pool of size 1 has no workers at all.
+class thread_pool {
+public:
+    /// num_threads == 0 means default_thread_count().
+    explicit thread_pool(unsigned num_threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Execution lanes (>= 1). Shard helpers use this as their default
+    /// shard count.
+    unsigned size() const { return size_; }
+
+    /// True when the calling thread is one of this process's pool workers
+    /// (any pool). Shard helpers use it to run nested work inline.
+    static bool on_worker_thread();
+
+    /// Runs fn(shard) for every shard in [0, nshards), blocking until all
+    /// shards finish. Shards run concurrently (and in no particular
+    /// order), so `fn` must only touch shard-private or read-only state.
+    /// If any shard throws, the exception from the lowest-numbered
+    /// throwing shard is rethrown here after all shards complete.
+    /// Runs inline when the pool has no workers, when nshards <= 1, or
+    /// when called from a pool worker.
+    void run_shards(std::size_t nshards,
+                    const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    unsigned size_ = 1;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/// Splits [0, n) into `nshards` contiguous chunks; returns the half-open
+/// bounds of chunk `shard`. Chunk sizes differ by at most one and depend
+/// only on (n, nshards, shard).
+inline std::pair<std::size_t, std::size_t> shard_bounds(std::size_t n,
+                                                        std::size_t nshards,
+                                                        std::size_t shard) {
+    LSM_EXPECTS(nshards > 0 && shard < nshards);
+    const std::size_t base = n / nshards;
+    const std::size_t extra = n % nshards;
+    const std::size_t begin =
+        shard * base + std::min<std::size_t>(shard, extra);
+    return {begin, begin + base + (shard < extra ? 1 : 0)};
+}
+
+/// Runs fn(i) for every i in [begin, end), partitioned into one contiguous
+/// chunk per pool lane. Deterministic decomposition; see run_shards for
+/// the concurrency and exception rules.
+template <typename Fn>
+void parallel_for(thread_pool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t nshards =
+        std::min<std::size_t>(pool.size(), n);
+    pool.run_shards(nshards, [&](std::size_t shard) {
+        const auto [lo, hi] = shard_bounds(n, nshards, shard);
+        for (std::size_t i = lo; i < hi; ++i) fn(begin + i);
+    });
+}
+
+/// Runs fn(chunk_begin, chunk_end) once per shard over [begin, end) —
+/// the chunked flavor for bodies that keep per-shard accumulators.
+template <typename Fn>
+void parallel_for_chunks(thread_pool& pool, std::size_t begin,
+                         std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t nshards =
+        std::min<std::size_t>(pool.size(), n);
+    pool.run_shards(nshards, [&](std::size_t shard) {
+        const auto [lo, hi] = shard_bounds(n, nshards, shard);
+        fn(begin + lo, begin + hi);
+    });
+}
+
+/// Sharded map-reduce over [0, n): `map(shard, chunk_begin, chunk_end)`
+/// produces one R per shard; `reduce(acc, r)` folds them IN SHARD ORDER
+/// on the calling thread, so the reduction is deterministic even when R
+/// combination does not commute.
+template <typename R, typename Map, typename Reduce>
+R map_reduce_shards(thread_pool& pool, std::size_t n, R init, Map&& map,
+                    Reduce&& reduce) {
+    if (n == 0) return init;
+    const std::size_t nshards =
+        std::min<std::size_t>(pool.size(), n);
+    std::vector<R> partial(nshards);
+    pool.run_shards(nshards, [&](std::size_t shard) {
+        const auto [lo, hi] = shard_bounds(n, nshards, shard);
+        partial[shard] = map(shard, lo, hi);
+    });
+    R acc = std::move(init);
+    for (R& r : partial) acc = reduce(std::move(acc), std::move(r));
+    return acc;
+}
+
+/// Runs the given callables concurrently on the pool and waits for all of
+/// them; exceptions follow the run_shards rule (lowest task index wins).
+template <typename... Fns>
+void parallel_invoke(thread_pool& pool, Fns&&... fns) {
+    std::function<void()> tasks[] = {
+        std::function<void()>(std::forward<Fns>(fns))...};
+    constexpr std::size_t n = sizeof...(Fns);
+    pool.run_shards(n, [&](std::size_t i) { tasks[i](); });
+}
+
+}  // namespace lsm

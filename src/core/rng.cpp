@@ -132,4 +132,13 @@ rng rng::substream(std::uint64_t key) const {
     return rng(derived);
 }
 
+rng rng::stream(std::uint64_t stream_id) const {
+    // Same double-mix construction as substream() but keyed by a different
+    // odd constant (from the MurmurHash3 finalizer family), so stream(i)
+    // and substream(i) never alias for the same parent seed.
+    splitmix64 sm(seed_ ^ (0xff51afd7ed558ccdULL * (stream_id + 1)));
+    std::uint64_t derived = sm.next() ^ rotl(sm.next(), 31) ^ stream_id;
+    return rng(derived);
+}
+
 }  // namespace lsm

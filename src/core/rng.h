@@ -92,6 +92,14 @@ public:
     /// substream. Does not advance this generator.
     rng substream(std::uint64_t key) const;
 
+    /// Counter-based stream derivation for sharded parallel work: maps a
+    /// dense stream id (shard index, session index, ...) to an independent
+    /// generator. Deterministic in (this stream's seed, stream_id) and
+    /// decorrelated from substream() keys, so a module can hand substream
+    /// keys to its sequential phases and stream ids to its sharded phase
+    /// without collisions. Does not advance this generator.
+    rng stream(std::uint64_t stream_id) const;
+
 private:
     std::array<std::uint64_t, 4> s_{};
     std::uint64_t seed_;

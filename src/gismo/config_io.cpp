@@ -49,6 +49,7 @@ void write_live_config(const live_config& cfg, std::ostream& out) {
     out << "length_mu = " << cfg.length_mu << "\n";
     out << "length_sigma = " << cfg.length_sigma << "\n";
     out << "num_objects = " << cfg.num_objects << "\n";
+    out << "threads = " << cfg.threads << "\n";
     out << "annotate_network = " << (cfg.annotate_network ? 1 : 0) << "\n";
     out << "rate_bin = " << cfg.arrivals.bin() << "\n";
     out << "rates =";
@@ -129,6 +130,8 @@ live_config read_live_config(std::istream& in) {
         } else if (key == "num_objects") {
             cfg.num_objects =
                 static_cast<std::uint16_t>(to_double(value, key));
+        } else if (key == "threads") {
+            cfg.threads = static_cast<unsigned>(to_double(value, key));
         } else if (key == "annotate_network") {
             cfg.annotate_network = to_double(value, key) != 0.0;
         } else if (key == "rate_bin") {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <vector>
 
 #include "core/contracts.h"
+#include "core/parallel.h"
 #include "gismo/arrival_process.h"
 #include "gismo/interest.h"
 #include "stats/distributions.h"
@@ -107,11 +109,11 @@ std::vector<planned_item> generate_live_plan(const live_config& cfg,
     rng root(seed);
     rng arrivals_rng = root.substream(11);
     rng identity_rng = root.substream(12);
-    rng body_rng = root.substream(13);
+    rng body_root = root.substream(13);
     rng net_attr_root = root.substream(14);
     rng topo_rng = root.substream(15);
 
-    // Row 1-2: session arrival instants.
+    // Row 1-2: session arrival instants (a single serial gap chain).
     std::vector<seconds_t> arrivals;
     if (cfg.stationary_arrivals) {
         arrivals = generate_stationary_poisson(cfg.arrivals.mean_rate(),
@@ -122,8 +124,12 @@ std::vector<planned_item> generate_live_plan(const live_config& cfg,
                                        arrivals_rng);
     }
 
-    // Row 3: client identities.
+    // Row 3: client identities, drawn serially in arrival order.
     auto selector = make_selector(cfg);
+    std::vector<client_id> whos(arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        whos[i] = selector->select(identity_rng);
+    }
 
     // Row 4: transfers per session.
     stats::zipf_dist transfers_per_session(cfg.transfers_per_session_alpha,
@@ -132,60 +138,83 @@ std::vector<planned_item> generate_live_plan(const live_config& cfg,
     std::optional<net_context> net_ctx;
     if (cfg.annotate_network) net_ctx.emplace(cfg, topo_rng);
 
-    std::vector<planned_item> out;
-    out.reserve(arrivals.size() * 2);
-    std::uint64_t session_index = 0;
+    // Rows 4-6 per session, sharded: session i draws everything from
+    // body_root.stream(i), so its transfers do not depend on how sessions
+    // are split across workers, and concatenating the per-shard vectors in
+    // shard order reproduces arrival order — the plan is identical for any
+    // thread count.
+    thread_pool pool(resolve_thread_count(cfg.threads));
+    const std::size_t nshards = std::min<std::size_t>(
+        pool.size(), std::max<std::size_t>(arrivals.size(), 1));
+    std::vector<std::vector<planned_item>> shard_items(nshards);
 
-    for (seconds_t arrival : arrivals) {
-        const client_id who = selector->select(identity_rng);
+    pool.run_shards(nshards, [&](std::size_t shard) {
+        const auto [lo, hi] = shard_bounds(arrivals.size(), nshards, shard);
+        auto& items = shard_items[shard];
+        items.reserve((hi - lo) * 2);
+        for (std::size_t session_index = lo; session_index < hi;
+             ++session_index) {
+            const seconds_t arrival = arrivals[session_index];
+            const client_id who = whos[session_index];
+            rng srng = body_root.stream(session_index);
 
-        client_net cn;
-        if (net_ctx) {
-            cn = derive_client_net(*net_ctx, net_attr_root, who);
-        } else {
-            cn.asn = 64512;  // single private-use AS
-            cn.country = make_country("BR");
-            cn.ip = 0x0A000001;
-        }
-
-        const std::uint64_t n = transfers_per_session.sample(body_rng);
-        seconds_t start = arrival;
-        for (std::uint64_t i = 0; i < n; ++i) {
-            log_record rec;
-            rec.client = who;
-            rec.ip = cn.ip;
-            rec.asn = cn.asn;
-            rec.country = cn.country;
-            rec.object = static_cast<object_id>(
-                body_rng.next_below(cfg.num_objects));
-            rec.start = start;
-            // Row 6: transfer length.
-            rec.duration = static_cast<seconds_t>(
-                body_rng.next_lognormal(cfg.length_mu, cfg.length_sigma));
+            client_net cn;
             if (net_ctx) {
-                const auto draw = net_ctx->bw.sample_transfer_bandwidth(
-                    cn.access, body_rng);
-                rec.avg_bandwidth_bps = draw.bps;
-                rec.packet_loss = net_ctx->bw.sample_packet_loss(
-                    draw.congestion_bound, body_rng);
+                cn = derive_client_net(*net_ctx, net_attr_root, who);
             } else {
-                rec.avg_bandwidth_bps = 56000.0;
+                cn.asn = 64512;  // single private-use AS
+                cn.country = make_country("BR");
+                cn.ip = 0x0A000001;
             }
-            if (rec.start < cfg.window) {
-                rec.duration = std::min(rec.duration,
-                                        cfg.window - rec.start);
-                out.push_back({session_index, rec});
-            }
-            // Row 5: next transfer start within the session.
-            if (i + 1 < n) {
-                const double gap =
-                    body_rng.next_lognormal(cfg.gap_mu, cfg.gap_sigma);
-                start += std::max<seconds_t>(1,
-                                             static_cast<seconds_t>(gap));
+
+            const std::uint64_t n = transfers_per_session.sample(srng);
+            seconds_t start = arrival;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                log_record rec;
+                rec.client = who;
+                rec.ip = cn.ip;
+                rec.asn = cn.asn;
+                rec.country = cn.country;
+                rec.object = static_cast<object_id>(
+                    srng.next_below(cfg.num_objects));
+                rec.start = start;
+                // Row 6: transfer length.
+                rec.duration = static_cast<seconds_t>(
+                    srng.next_lognormal(cfg.length_mu, cfg.length_sigma));
+                if (net_ctx) {
+                    const auto draw = net_ctx->bw.sample_transfer_bandwidth(
+                        cn.access, srng);
+                    rec.avg_bandwidth_bps = draw.bps;
+                    rec.packet_loss = net_ctx->bw.sample_packet_loss(
+                        draw.congestion_bound, srng);
+                } else {
+                    rec.avg_bandwidth_bps = 56000.0;
+                }
+                if (rec.start < cfg.window) {
+                    rec.duration = std::min(rec.duration,
+                                            cfg.window - rec.start);
+                    items.push_back({session_index, rec});
+                }
+                // Row 5: next transfer start within the session.
+                if (i + 1 < n) {
+                    const double gap =
+                        srng.next_lognormal(cfg.gap_mu, cfg.gap_sigma);
+                    start += std::max<seconds_t>(
+                        1, static_cast<seconds_t>(gap));
+                }
             }
         }
-        ++session_index;
+    });
+
+    std::vector<planned_item> out;
+    std::size_t total = 0;
+    for (const auto& items : shard_items) total += items.size();
+    out.reserve(total);
+    for (auto& items : shard_items) {
+        std::move(items.begin(), items.end(), std::back_inserter(out));
     }
+    // Within a session starts are strictly increasing, so (record order,
+    // session) is a strict total order and this sort is deterministic.
     std::sort(out.begin(), out.end(),
               [](const planned_item& a, const planned_item& b) {
                   if (record_start_less(a.record, b.record)) return true;

@@ -62,6 +62,12 @@ struct live_config {
     /// Number of live objects (feeds); transfers choose uniformly.
     std::uint16_t num_objects = 2;
 
+    /// Worker threads for the sharded session-expansion phase.
+    /// 0 = hardware_concurrency. Each session draws from its own
+    /// counter-based RNG stream, so the generated trace is identical for
+    /// every value (see DESIGN.md, "Parallel execution model").
+    unsigned threads = 0;
+
     /// Optional network annotation (AS/IP/bandwidth log fields). When
     /// disabled the records carry a single synthetic AS and nominal
     /// bandwidth — workload timing is unaffected.

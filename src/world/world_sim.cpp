@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/contracts.h"
+#include "core/parallel.h"
 
 namespace lsm::world {
 
@@ -30,7 +31,7 @@ namespace {
 // Fills the server_cpu field of every record from the reconstructed
 // concurrency at its start second — the load the server reported when the
 // entry was generated.
-void fill_server_cpu(trace& tr, double cpu_per_stream) {
+void fill_server_cpu(trace& tr, double cpu_per_stream, thread_pool& pool) {
     const seconds_t horizon = tr.window_length();
     if (horizon <= 0) return;
     std::vector<std::int32_t> diff(static_cast<std::size_t>(horizon) + 1, 0);
@@ -47,12 +48,24 @@ void fill_server_cpu(trace& tr, double cpu_per_stream) {
         load[static_cast<std::size_t>(s)] = static_cast<float>(
             std::min(1.0, cpu_per_stream * static_cast<double>(running)));
     }
-    for (log_record& r : tr.records()) {
+    auto& recs = tr.records();
+    parallel_for(pool, 0, recs.size(), [&](std::size_t i) {
+        log_record& r = recs[i];
         if (r.start >= 0 && r.start < horizon) {
             r.server_cpu = load[static_cast<std::size_t>(r.start)];
         }
-    }
+    });
 }
+
+/// One session arrival drawn by the sequential phase: everything the
+/// sharded body phase needs to expand it into transfers.
+struct session_seed {
+    seconds_t arrival = 0;
+    client_id who = 0;
+    /// 1-based counter in arrival order; also the session's RNG substream
+    /// key, so the expansion is independent of sharding.
+    std::uint64_t counter = 0;
+};
 
 }  // namespace
 
@@ -89,13 +102,12 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
         cfg.target_sessions /
         (static_cast<double>(cfg.window) * show.mean_deterministic_multiplier());
 
-    world_result out;
-    out.tr = trace(cfg.window, cfg.start_day);
-    out.tr.reserve(static_cast<std::size_t>(cfg.target_sessions * 2.0));
-
-    // Non-homogeneous Poisson arrivals: piecewise-constant rate per show
-    // noise bin (the bin is where the show model's stochastic interest
-    // lives; within a bin the process is honestly Poisson).
+    // Phase 1 (sequential): draw every session arrival and its client
+    // identity. Both streams are inherently serial (the arrival process is
+    // one exponential-gap chain), but they are a small fraction of the
+    // work; the expensive per-session expansion below is sharded.
+    std::vector<session_seed> seeds;
+    seeds.reserve(static_cast<std::size_t>(cfg.target_sessions * 1.5));
     const seconds_t bin = cfg.show.noise_bin;
     std::uint64_t session_counter = 0;
     for (seconds_t bin_start = 0; bin_start < cfg.window;
@@ -109,15 +121,40 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
         while (true) {
             t += arrivals_rng.next_exponential(1.0 / rate);
             if (t >= bin_end) break;
-            const auto arrival = static_cast<seconds_t>(t);
+            session_seed s;
+            s.arrival = static_cast<seconds_t>(t);
+            s.who = pop.sample_client(identity_rng);
+            s.counter = ++session_counter;
+            seeds.push_back(s);
+        }
+    }
 
-            const client_id who = pop.sample_client(identity_rng);
-            const client_attributes attrs = pop.attributes(who);
-            rng srng = session_rng_root.substream(++session_counter);
-            const ipv4_addr ip = pop.session_ip(who, attrs, srng);
-            const double activity = show.deterministic_multiplier(arrival);
+    // Phase 2 (sharded): expand each session into transfers. Every
+    // session's randomness comes from its own counter-keyed substream, so
+    // the records each shard emits are independent of the shard layout;
+    // per-shard vectors concatenated in shard order reproduce the serial
+    // generation order exactly — the trace is byte-identical for any
+    // thread count.
+    thread_pool pool(resolve_thread_count(cfg.threads));
+    const std::size_t nshards =
+        std::min<std::size_t>(pool.size(), std::max<std::size_t>(
+                                               seeds.size(), 1));
+    std::vector<std::vector<log_record>> shard_records(nshards);
+    std::vector<std::uint64_t> shard_transfers(nshards, 0);
 
-            auto plan = behavior.plan_session(arrival, attrs, activity, srng);
+    pool.run_shards(nshards, [&](std::size_t shard) {
+        const auto [lo, hi] = shard_bounds(seeds.size(), nshards, shard);
+        auto& records = shard_records[shard];
+        records.reserve((hi - lo) * 2);
+        for (std::size_t si = lo; si < hi; ++si) {
+            const session_seed& s = seeds[si];
+            const client_attributes attrs = pop.attributes(s.who);
+            rng srng = session_rng_root.substream(s.counter);
+            const ipv4_addr ip = pop.session_ip(s.who, attrs, srng);
+            const double activity = show.deterministic_multiplier(s.arrival);
+
+            auto plan =
+                behavior.plan_session(s.arrival, attrs, activity, srng);
             bool first_of_session = true;
             for (const planned_transfer& ptr : plan) {
                 // Object-driven thinning: a viewer does not start another
@@ -131,7 +168,7 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
                 }
                 first_of_session = false;
                 log_record rec;
-                rec.client = who;
+                rec.client = s.who;
                 rec.ip = ip;
                 rec.asn = topo.as_at(attrs.as_index).asn;
                 rec.country = topo.as_at(attrs.as_index).country;
@@ -153,17 +190,30 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
                     // truncated at the final midnight harvest.
                     rec.duration =
                         std::min(rec.duration, cfg.window - rec.start);
-                    out.tr.add(rec);
-                    ++out.truth.transfers_generated;
+                    records.push_back(rec);
+                    ++shard_transfers[shard];
                 }
             }
-            ++out.truth.sessions_generated;
         }
+    });
+
+    world_result out;
+    out.tr = trace(cfg.window, cfg.start_day);
+    out.truth.sessions_generated = seeds.size();
+    std::size_t total_records = 0;
+    for (const auto& records : shard_records) {
+        total_records += records.size();
+    }
+    out.tr.reserve(total_records);
+    for (std::size_t shard = 0; shard < nshards; ++shard) {
+        for (const log_record& rec : shard_records[shard]) out.tr.add(rec);
+        out.truth.transfers_generated += shard_transfers[shard];
     }
 
     // Corrupt a small fraction of records to span past the window (§2.4:
     // "request/response activities that span durations longer than the
-    // 28-day period", attributed to multi-harvest accesses).
+    // 28-day period", attributed to multi-harvest accesses). Serial: the
+    // corruption stream walks records in generation order.
     for (log_record& r : out.tr.records()) {
         if (corrupt_rng.next_bool(cfg.corrupt_fraction)) {
             r.duration = cfg.window + static_cast<seconds_t>(
@@ -174,7 +224,7 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
     }
 
     out.tr.sort_by_start();
-    fill_server_cpu(out.tr, cfg.cpu_per_stream);
+    fill_server_cpu(out.tr, cfg.cpu_per_stream, pool);
     return out;
 }
 

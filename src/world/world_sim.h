@@ -41,6 +41,10 @@ struct world_config {
     double corrupt_fraction = 0.0001;
     /// CPU-load model used to fill the server_cpu log field.
     double cpu_per_stream = 0.000020;
+    /// Worker threads for the sharded session-expansion phase.
+    /// 0 = hardware_concurrency. The emitted trace is byte-identical for
+    /// every value (see DESIGN.md, "Parallel execution model").
+    unsigned threads = 0;
 
     /// Full paper-scale configuration (~1.5M sessions, 900k clients).
     static world_config paper_scale();

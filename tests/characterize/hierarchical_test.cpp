@@ -57,13 +57,54 @@ TEST(Hierarchical, SkipSanitizeOption) {
     EXPECT_EQ(rep.sanitization.dropped_out_of_window, 0U);
 }
 
-TEST(Hierarchical, EmptyAfterSanitizeThrows) {
+TEST(Hierarchical, EmptyAfterSanitizeThrowsDedicatedError) {
     trace t(100);
-    log_record r;
-    r.start = 200;  // outside window
-    r.duration = 1;
-    t.add(r);
+    log_record spans_past;
+    spans_past.start = 200;  // outside window
+    spans_past.duration = 1;
+    t.add(spans_past);
+    log_record negative;
+    negative.start = 5;
+    negative.duration = -3;
+    t.add(negative);
+    try {
+        characterize_hierarchically(t);
+        FAIL() << "expected sanitization_emptied_trace";
+    } catch (const sanitization_emptied_trace& e) {
+        EXPECT_EQ(e.report.kept, 0U);
+        EXPECT_EQ(e.report.dropped_out_of_window, 1U);
+        EXPECT_EQ(e.report.dropped_negative, 1U);
+    }
+}
+
+TEST(Hierarchical, EmptyInputViolatesPrecondition) {
+    // The precondition fires before sanitization ever runs.
+    trace t(100);
     EXPECT_THROW(characterize_hierarchically(t), lsm::contract_violation);
+}
+
+TEST(Hierarchical, SurvivorsAfterSanitizeCharacterizeFine) {
+    // Regression guard: one good record next to garbage must not trip the
+    // old post-sanitize contract check path.
+    trace t(10000);
+    log_record bad;
+    bad.start = 50000;
+    bad.duration = 1;
+    t.add(bad);
+    for (int i = 0; i < 6; ++i) {
+        log_record good;
+        good.client = static_cast<client_id>(1 + i % 3);
+        good.start = 10 + 900 * i;
+        good.duration = 30 + 10 * i;
+        good.avg_bandwidth_bps = 56000.0;
+        t.add(good);
+    }
+    hierarchical_config hcfg;
+    hcfg.client.acf_max_lag = 5;
+    const auto rep = characterize_hierarchically(t, hcfg);
+    EXPECT_EQ(rep.sanitization.kept, 6U);
+    EXPECT_EQ(rep.sanitization.dropped_out_of_window, 1U);
+    EXPECT_EQ(rep.sessions.sessions.size(), 6U);
 }
 
 }  // namespace
