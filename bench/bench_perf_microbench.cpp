@@ -1,9 +1,16 @@
 // Performance microbenchmarks (google-benchmark): throughput of the
 // generator, the sessionizer, the fitting routines, and the RNG — the
 // hot paths of the library.
+//
+// When LSM_BENCH_JSON names a path, every run (including the 1/2/4/8-
+// thread scaling rows) is also written there as one JSON document
+// (schema "lsm-bench-v1"), for CI artifacts and regression tracking.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "characterize/session_builder.h"
 #include "characterize/transfer_layer.h"
@@ -225,6 +232,84 @@ void BM_VbrSeries(benchmark::State& state) {
 }
 BENCHMARK(BM_VbrSeries)->Arg(4096)->Arg(65536);
 
+/// Console reporter that additionally captures every run, so main() can
+/// dump the whole session as machine-readable JSON next to the normal
+/// console table.
+class capturing_reporter : public benchmark::ConsoleReporter {
+public:
+    struct captured_run {
+        std::string name;
+        double real_time = 0.0;  // per iteration, in `time_unit`
+        double cpu_time = 0.0;
+        std::string time_unit;
+        std::int64_t iterations = 0;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    void ReportRuns(const std::vector<Run>& reports) override {
+        for (const Run& run : reports) {
+            if (run.error_occurred) continue;
+            captured_run c;
+            c.name = run.benchmark_name();
+            c.real_time = run.GetAdjustedRealTime();
+            c.cpu_time = run.GetAdjustedCPUTime();
+            c.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+            c.iterations = run.iterations;
+            for (const auto& [cname, counter] : run.counters) {
+                c.counters.emplace_back(cname, counter.value);
+            }
+            runs_.push_back(std::move(c));
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    const std::vector<captured_run>& runs() const { return runs_; }
+
+private:
+    std::vector<captured_run> runs_;
+};
+
+void write_runs_json(const std::vector<capturing_reporter::captured_run>&
+                         runs,
+                     const char* path) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for bench JSON\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"lsm-bench-v1\",\n");
+    std::fprintf(f, "  \"bench\": \"perf_microbench\",\n  \"rows\": [");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto& r = runs[i];
+        std::fprintf(f,
+                     "%s\n    {\"name\": \"%s\", \"real_time\": %.10g, "
+                     "\"cpu_time\": %.10g, \"time_unit\": \"%s\", "
+                     "\"iterations\": %lld",
+                     i == 0 ? "" : ",", r.name.c_str(), r.real_time,
+                     r.cpu_time, r.time_unit.c_str(),
+                     static_cast<long long>(r.iterations));
+        std::fprintf(f, ", \"counters\": {");
+        for (std::size_t j = 0; j < r.counters.size(); ++j) {
+            std::fprintf(f, "%s\"%s\": %.10g", j == 0 ? "" : ", ",
+                         r.counters[j].first.c_str(),
+                         r.counters[j].second);
+        }
+        std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    capturing_reporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (const char* path = std::getenv("LSM_BENCH_JSON")) {
+        write_runs_json(reporter.runs(), path);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,7 +9,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/trace.h"
@@ -17,6 +19,100 @@
 #include "world/world_sim.h"
 
 namespace lsm::bench {
+
+/// Machine-readable mirror of the console output: when the environment
+/// variable LSM_BENCH_JSON names a path, every print_title / print_row /
+/// print_verdict call below is also recorded here, and the collected rows
+/// are written to that path as one JSON document when the process exits
+/// (schema "lsm-bench-v1"). Unset, the recorder is inert.
+class json_recorder {
+public:
+    static json_recorder& instance() {
+        static json_recorder r;
+        return r;
+    }
+
+    void set_title(const std::string& bench, const std::string& paper_item,
+                   const std::string& claim) {
+        bench_ = bench;
+        paper_item_ = paper_item;
+        claim_ = claim;
+    }
+
+    void add_row(const std::string& name, double paper, double measured,
+                 const std::string& unit) {
+        rows_.push_back({name, unit, paper, measured});
+    }
+
+    void add_verdict(bool ok, const std::string& what) {
+        verdicts_.emplace_back(what, ok);
+    }
+
+    json_recorder(const json_recorder&) = delete;
+    json_recorder& operator=(const json_recorder&) = delete;
+
+    ~json_recorder() {
+        if (path_.empty()) return;
+        std::FILE* f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) return;
+        std::fprintf(f, "{\n  \"schema\": \"lsm-bench-v1\",\n");
+        std::fprintf(f, "  \"bench\": \"%s\",\n", escape(bench_).c_str());
+        std::fprintf(f, "  \"paper_item\": \"%s\",\n",
+                     escape(paper_item_).c_str());
+        std::fprintf(f, "  \"claim\": \"%s\",\n", escape(claim_).c_str());
+        std::fprintf(f, "  \"rows\": [");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            const row& r = rows_[i];
+            std::fprintf(f,
+                         "%s\n    {\"name\": \"%s\", \"paper\": %.10g, "
+                         "\"measured\": %.10g, \"unit\": \"%s\"}",
+                         i == 0 ? "" : ",", escape(r.name).c_str(), r.paper,
+                         r.measured, escape(r.unit).c_str());
+        }
+        std::fprintf(f, "\n  ],\n  \"verdicts\": [");
+        for (std::size_t i = 0; i < verdicts_.size(); ++i) {
+            std::fprintf(f, "%s\n    {\"what\": \"%s\", \"ok\": %s}",
+                         i == 0 ? "" : ",",
+                         escape(verdicts_[i].first).c_str(),
+                         verdicts_[i].second ? "true" : "false");
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+    }
+
+private:
+    json_recorder() {
+        if (const char* env = std::getenv("LSM_BENCH_JSON")) path_ = env;
+    }
+
+    static std::string escape(const std::string& s) {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\') out.push_back('\\');
+            if (c == '\n') {
+                out += "\\n";
+            } else {
+                out.push_back(c);
+            }
+        }
+        return out;
+    }
+
+    struct row {
+        std::string name;
+        std::string unit;
+        double paper = 0.0;
+        double measured = 0.0;
+    };
+
+    std::string path_;
+    std::string bench_;
+    std::string paper_item_;
+    std::string claim_;
+    std::vector<row> rows_;
+    std::vector<std::pair<std::string, bool>> verdicts_;
+};
 
 /// Default scale for benches: ~15% of the paper's traffic volume — large
 /// enough for stable fits, small enough to run in about a second.
@@ -35,6 +131,7 @@ inline trace make_world_trace(double scale = default_scale,
 inline void print_title(const std::string& bench,
                         const std::string& paper_item,
                         const std::string& claim) {
+    json_recorder::instance().set_title(bench, paper_item, claim);
     std::printf("==================================================\n");
     std::printf("%s — %s\n", bench.c_str(), paper_item.c_str());
     std::printf("paper: %s\n", claim.c_str());
@@ -43,6 +140,7 @@ inline void print_title(const std::string& bench,
 
 inline void print_row(const char* name, double paper, double measured,
                       const char* unit = "") {
+    json_recorder::instance().add_row(name, paper, measured, unit);
     const double ratio = paper != 0.0 ? measured / paper : 0.0;
     std::printf("  %-38s paper=%12.5g  measured=%12.5g %s (x%.2f)\n", name,
                 paper, measured, unit, ratio);
@@ -59,6 +157,7 @@ inline bool within_factor(double measured, double paper, double factor) {
 }
 
 inline void print_verdict(bool ok, const std::string& what) {
+    json_recorder::instance().add_verdict(ok, what);
     std::printf("  [%s] %s\n", ok ? "SHAPE OK" : "SHAPE DEVIATES",
                 what.c_str());
 }

@@ -4,6 +4,7 @@
 //   $ ./characterize_trace <trace.csv> [session_timeout_seconds]
 //   $ ./characterize_trace --demo          # world-sim a demo trace first
 //   $ ./characterize_trace --json <trace.csv>   # machine-readable output
+//   $ ./characterize_trace --metrics-out m.json <trace.csv>  # obs dump
 //
 // The trace format is the library's CSV (see core/trace_io.h); use
 // write_trace_csv_file() or the --demo flag to produce one.
@@ -20,19 +21,21 @@
 #include "characterize/transfer_layer.h"
 #include "core/parallel.h"
 #include "core/trace_io.h"
+#include "obs/metrics.h"
 #include "world/world_sim.h"
 
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::cerr << "usage: " << argv[0]
-                  << " [--json] [--threads N] <trace.csv>"
-                  << " [session_timeout] | --demo\n";
+                  << " [--json] [--threads N] [--metrics-out m.json]"
+                  << " <trace.csv> [session_timeout] | --demo\n";
         return 1;
     }
     lsm::seconds_t timeout = lsm::characterize::default_session_timeout;
 
     bool json = false;
     unsigned threads = 0;  // 0 = hardware concurrency
+    std::string metrics_out;
     int argi = 1;
     while (argi < argc) {
         const std::string flag = argv[argi];
@@ -46,6 +49,13 @@ int main(int argc, char** argv) {
             }
             threads = static_cast<unsigned>(std::atoi(argv[argi + 1]));
             argi += 2;
+        } else if (flag == "--metrics-out") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--metrics-out requires a path\n";
+                return 1;
+            }
+            metrics_out = argv[argi + 1];
+            argi += 2;
         } else {
             break;
         }
@@ -58,6 +68,16 @@ int main(int argc, char** argv) {
     argv += argi - 1;
     argc -= argi - 1;
 
+    // One registry for the whole run; every instrumented layer the tool
+    // touches records into it, and it is dumped once at exit.
+    lsm::obs::registry reg;
+    lsm::obs::registry* metrics = metrics_out.empty() ? nullptr : &reg;
+    auto dump_metrics = [&]() {
+        if (metrics == nullptr) return;
+        reg.write_json_file(metrics_out);
+        std::cerr << "metrics written to " << metrics_out << "\n";
+    };
+
     lsm::trace tr;
     const std::string arg = argv[1];
     if (arg == "--demo") {
@@ -65,6 +85,7 @@ int main(int argc, char** argv) {
         std::cout << "Simulating a demo world trace -> " << path << "\n";
         auto demo_cfg = lsm::world::world_config::scaled(0.02);
         demo_cfg.threads = threads;
+        demo_cfg.metrics = metrics;
         auto world = lsm::world::simulate_world(demo_cfg, 7);
         lsm::write_trace_csv_file(world.tr, path);
         tr = std::move(world.tr);
@@ -86,6 +107,7 @@ int main(int argc, char** argv) {
         lsm::characterize::hierarchical_config hcfg;
         hcfg.session_timeout = timeout;
         hcfg.threads = threads;
+        hcfg.metrics = metrics;
         try {
             const auto rep =
                 lsm::characterize::characterize_hierarchically(tr, hcfg);
@@ -95,10 +117,17 @@ int main(int argc, char** argv) {
             std::cerr << "characterization failed: " << e.what() << "\n";
             return 1;
         }
+        dump_metrics();
         return 0;
     }
 
     const auto sr = lsm::sanitize(tr);
+    lsm::obs::add_counter(metrics, "characterize/sanitize/kept", sr.kept);
+    lsm::obs::add_counter(metrics,
+                          "characterize/sanitize/dropped_out_of_window",
+                          sr.dropped_out_of_window);
+    lsm::obs::add_counter(metrics, "characterize/sanitize/dropped_negative",
+                          sr.dropped_negative);
     std::cout << "Sanitization: kept " << sr.kept << ", dropped "
               << sr.dropped_out_of_window << " out-of-window, "
               << sr.dropped_negative << " malformed\n\n";
@@ -109,7 +138,7 @@ int main(int argc, char** argv) {
 
     lsm::thread_pool pool(threads);
     const auto sessions =
-        lsm::characterize::build_sessions(tr, timeout, pool);
+        lsm::characterize::build_sessions(tr, timeout, pool, metrics);
     const auto cl = lsm::characterize::analyze_client_layer(tr, sessions);
     const auto sl = lsm::characterize::analyze_session_layer(sessions);
     const auto tl = lsm::characterize::analyze_transfer_layer(tr);
@@ -121,5 +150,6 @@ int main(int argc, char** argv) {
     std::cout << "\n== Transfer length distribution (Fig 19) ==\n";
     lsm::characterize::print_triptych(std::cout, "transfer lengths (s)",
                                       tl.lengths, 15);
+    dump_metrics();
     return 0;
 }

@@ -20,6 +20,7 @@
 //   config=<path>        load a saved recipe first (gismo/config_io.h);
 //                        other keys then override it
 //   save_config=<path>   write the effective recipe back out
+//   metrics_out=<path>   dump generator metrics (obs/metrics.h) as JSON
 //
 // Example: a heavier-tailed, single-feed workload for a week:
 //   $ ./gen_workload week.csv scale=0.05 days=7 objects=1 length_sigma=1.8
@@ -31,6 +32,7 @@
 #include "core/trace_io.h"
 #include "gismo/config_io.h"
 #include "gismo/live_generator.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -111,6 +113,9 @@ int main(int argc, char** argv) {
         }
     }
 
+    lsm::obs::registry reg;
+    if (kv.count("metrics_out") != 0) cfg.metrics = &reg;
+
     std::cout << "Generating " << cfg.window / lsm::seconds_per_day
               << " days at scale " << scale << " (seed " << seed
               << ")...\n";
@@ -120,6 +125,15 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
         std::cerr << "write failed: " << e.what() << "\n";
         return 1;
+    }
+    if (auto it = kv.find("metrics_out"); it != kv.end()) {
+        try {
+            reg.write_json_file(it->second);
+            std::cout << "Metrics written to " << it->second << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "metrics write failed: " << e.what() << "\n";
+            return 1;
+        }
     }
     std::cout << "Wrote " << tr.size() << " transfers to " << argv[1]
               << "\nCharacterize it with: ./characterize_trace " << argv[1]

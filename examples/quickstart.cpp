@@ -2,12 +2,13 @@
 // paper's Table 2 generative model, then characterize it hierarchically
 // and print the findings.
 //
-//   $ ./quickstart [scale] [seed]
+//   $ ./quickstart [--metrics-out m.json] [scale] [seed]
 //
 // scale in (0, 1] shrinks the workload (default 0.05 — a few days'
 // traffic in a couple of seconds); seed defaults to 42.
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "characterize/client_layer.h"
 #include "characterize/report.h"
@@ -15,8 +16,15 @@
 #include "characterize/session_layer.h"
 #include "characterize/transfer_layer.h"
 #include "gismo/live_generator.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv) {
+    std::string metrics_out;
+    if (argc > 2 && std::string(argv[1]) == "--metrics-out") {
+        metrics_out = argv[2];
+        argv += 2;
+        argc -= 2;
+    }
     const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
     const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                                         : 42;
@@ -25,9 +33,11 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    lsm::obs::registry reg;
     std::cout << "Generating live workload (scale=" << scale
               << ", seed=" << seed << ")...\n";
     lsm::gismo::live_config cfg = lsm::gismo::live_config::scaled(scale);
+    if (!metrics_out.empty()) cfg.metrics = &reg;
     lsm::trace tr = lsm::gismo::generate_live_workload(cfg, seed);
     std::cout << "  " << tr.size() << " transfers generated over "
               << tr.window_length() / lsm::seconds_per_day << " days\n\n";
@@ -40,5 +50,9 @@ int main(int argc, char** argv) {
     const auto tl = lsm::characterize::analyze_transfer_layer(tr);
 
     lsm::characterize::print_full_report(std::cout, tr, cl, sl, tl);
+    if (!metrics_out.empty()) {
+        reg.write_json_file(metrics_out);
+        std::cout << "\nMetrics written to " << metrics_out << "\n";
+    }
     return 0;
 }

@@ -2,30 +2,60 @@
 
 #include "core/contracts.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
 
 namespace lsm::characterize {
 
 hierarchical_report characterize_hierarchically(
     trace& t, const hierarchical_config& cfg) {
     LSM_EXPECTS(!t.empty());
+    obs::registry* metrics = cfg.metrics;
+    obs::scoped_timer t_all(metrics, "characterize");
+    obs::add_counter(metrics, "characterize/records_in", t.size());
+
     hierarchical_report rep;
     if (cfg.sanitize_first) {
+        obs::scoped_timer t_san(metrics, "sanitize");
         rep.sanitization = sanitize(t);
         if (t.empty()) throw sanitization_emptied_trace(rep.sanitization);
     } else {
         rep.sanitization.kept = t.size();
     }
+    if (metrics != nullptr) {
+        metrics->get_counter("characterize/sanitize/kept")
+            .add(rep.sanitization.kept);
+        metrics->get_counter("characterize/sanitize/dropped_out_of_window")
+            .add(rep.sanitization.dropped_out_of_window);
+        metrics->get_counter("characterize/sanitize/dropped_negative")
+            .add(rep.sanitization.dropped_negative);
+    }
+
     thread_pool pool(cfg.threads);
-    rep.summary = summarize(t);
-    rep.sessions = build_sessions(t, cfg.session_timeout, pool);
+    {
+        obs::scoped_timer t_sum(metrics, "summary");
+        rep.summary = summarize(t);
+    }
+    rep.sessions = build_sessions(t, cfg.session_timeout, pool, metrics);
     // The three layer analyses only read `t` and the finished session set,
     // so they run concurrently; each one is internally sequential, which
     // keeps its floating-point reductions bit-identical for any pool size.
+    // Their spans use absolute paths because the lambdas may run on pool
+    // workers, where no parent span is open on the thread.
+    obs::scoped_timer t_layers(metrics, "layers");
     parallel_invoke(
         pool,
-        [&] { rep.client = analyze_client_layer(t, rep.sessions, cfg.client); },
-        [&] { rep.session = analyze_session_layer(rep.sessions, cfg.session); },
-        [&] { rep.transfer = analyze_transfer_layer(t, cfg.transfer); });
+        [&] {
+            obs::scoped_timer t_cl(metrics, "characterize/layers/client");
+            rep.client = analyze_client_layer(t, rep.sessions, cfg.client);
+        },
+        [&] {
+            obs::scoped_timer t_sl(metrics, "characterize/layers/session");
+            rep.session = analyze_session_layer(rep.sessions, cfg.session);
+        },
+        [&] {
+            obs::scoped_timer t_tl(metrics, "characterize/layers/transfer");
+            rep.transfer = analyze_transfer_layer(t, cfg.transfer);
+        });
     return rep;
 }
 

@@ -11,6 +11,7 @@
 #include "characterize/session_layer.h"
 #include "characterize/transfer_layer.h"
 #include "core/trace.h"
+#include "obs/fwd.h"
 
 namespace lsm::characterize {
 
@@ -41,6 +42,10 @@ struct hierarchical_config {
     /// layer analyses run concurrently. 0 = hardware_concurrency. The
     /// report is identical for every value.
     unsigned threads = 0;
+    /// Optional metrics sink (`characterize/...` counters, histograms,
+    /// and phase spans). Default-off; the report is identical with or
+    /// without it (see DESIGN.md, "Observability").
+    obs::registry* metrics = nullptr;
 };
 
 struct hierarchical_report {

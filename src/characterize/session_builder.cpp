@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "core/contracts.h"
+#include "obs/metrics.h"
 
 namespace lsm::characterize {
 
@@ -111,12 +112,24 @@ session_set build_sessions(const trace& t, seconds_t timeout) {
 }
 
 session_set build_sessions(const trace& t, seconds_t timeout,
-                           thread_pool& pool) {
+                           thread_pool& pool, obs::registry* metrics) {
     LSM_EXPECTS(timeout >= 0);
     const std::size_t nshards = pool.size();
-    if (nshards <= 1 || t.size() < 2) return build_sessions(t, timeout);
+    if (nshards <= 1 || t.size() < 2) {
+        obs::scoped_timer t_seq(metrics, "characterize/sessionize");
+        // The whole trace is one shard here, so the shard-size histogram
+        // stays comparable across thread counts.
+        obs::observe(metrics, "characterize/sessionize/shard_records",
+                     obs::histogram::exponential_bounds(1024.0, 4.0, 10),
+                     static_cast<double>(t.size()));
+        session_set out = build_sessions(t, timeout);
+        obs::add_counter(metrics, "characterize/sessionize/sessions_built",
+                         out.sessions.size());
+        return out;
+    }
     LSM_EXPECTS(t.size() < 0xFFFFFFFFULL);
 
+    obs::scoped_timer t_all(metrics, "characterize/sessionize");
     session_set out;
     out.timeout = timeout;
 
@@ -125,23 +138,38 @@ session_set build_sessions(const trace& t, seconds_t timeout,
     // sessionizes them independently of the others.
     const auto& recs = t.records();
     std::vector<std::vector<std::uint32_t>> shard_idx(nshards);
-    for (auto& v : shard_idx) v.reserve(t.size() / nshards + 1);
-    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(t.size());
-         ++i) {
-        shard_idx[client_shard(recs[i].client, nshards)].push_back(i);
+    {
+        obs::scoped_timer t_part(metrics, "partition");
+        for (auto& v : shard_idx) v.reserve(t.size() / nshards + 1);
+        for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(t.size());
+             ++i) {
+            shard_idx[client_shard(recs[i].client, nshards)].push_back(i);
+        }
+    }
+    if (metrics != nullptr) {
+        auto& h = metrics->get_histogram(
+            "characterize/sessionize/shard_records",
+            obs::histogram::exponential_bounds(1024.0, 4.0, 10));
+        for (const auto& v : shard_idx) {
+            h.observe(static_cast<double>(v.size()));
+        }
     }
 
     std::vector<std::vector<session>> shard_sessions(nshards);
-    pool.run_shards(nshards, [&](std::size_t shard) {
-        sort_client_timeline(t, shard_idx[shard]);
-        sessionize_ordered(t, shard_idx[shard], timeout,
-                           shard_sessions[shard]);
-    });
+    {
+        obs::scoped_timer t_shards(metrics, "shards");
+        pool.run_shards(nshards, [&](std::size_t shard) {
+            sort_client_timeline(t, shard_idx[shard]);
+            sessionize_ordered(t, shard_idx[shard], timeout,
+                               shard_sessions[shard]);
+        });
+    }
 
     // Merge back into the canonical (client, start) order. Starts within
     // a client are strictly increasing and distinct, so this comparator is
     // a total order and the merged output equals the sequential build for
     // any shard count.
+    obs::scoped_timer t_merge(metrics, "merge");
     std::size_t total = 0;
     for (const auto& v : shard_sessions) total += v.size();
     out.sessions.reserve(total);
@@ -155,6 +183,8 @@ session_set build_sessions(const trace& t, seconds_t timeout,
               });
     LSM_ENSURES(out.sessions.size() == total);
     LSM_ENSURES(!out.sessions.empty());
+    obs::add_counter(metrics, "characterize/sessionize/sessions_built",
+                     out.sessions.size());
     return out;
 }
 

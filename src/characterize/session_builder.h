@@ -12,6 +12,7 @@
 
 #include "core/parallel.h"
 #include "core/trace.h"
+#include "obs/fwd.h"
 
 namespace lsm::characterize {
 
@@ -57,9 +58,11 @@ session_set build_sessions(const trace& t, seconds_t timeout);
 /// a client's whole timeline lands in one shard, so each shard sessionizes
 /// independently — then merges shard outputs back into the canonical
 /// (client, start) order. The result is identical to the sequential
-/// overload for every pool size.
+/// overload for every pool size. With a metrics registry the phases are
+/// timed under `characterize/sessionize/...` and shard sizes recorded.
 session_set build_sessions(const trace& t, seconds_t timeout,
-                           thread_pool& pool);
+                           thread_pool& pool,
+                           obs::registry* metrics = nullptr);
 
 /// Counts sessions without materializing them — used for the Fig 9 sweep
 /// of session count versus T_o.

@@ -8,6 +8,7 @@
 #include "core/contracts.h"
 #include "core/parallel.h"
 #include "gismo/arrival_process.h"
+#include "obs/metrics.h"
 #include "gismo/interest.h"
 #include "stats/distributions.h"
 
@@ -106,6 +107,7 @@ std::vector<planned_item> generate_live_plan(const live_config& cfg,
     LSM_EXPECTS(cfg.num_objects >= 1);
     LSM_EXPECTS(cfg.gap_sigma > 0.0 && cfg.length_sigma > 0.0);
 
+    obs::scoped_timer t_gismo(cfg.metrics, "gismo");
     rng root(seed);
     rng arrivals_rng = root.substream(11);
     rng identity_rng = root.substream(12);
@@ -115,20 +117,25 @@ std::vector<planned_item> generate_live_plan(const live_config& cfg,
 
     // Row 1-2: session arrival instants (a single serial gap chain).
     std::vector<seconds_t> arrivals;
-    if (cfg.stationary_arrivals) {
-        arrivals = generate_stationary_poisson(cfg.arrivals.mean_rate(),
-                                               cfg.window, arrivals_rng);
-    } else {
-        arrivals =
-            generate_piecewise_poisson(cfg.arrivals, cfg.window,
-                                       arrivals_rng);
+    {
+        obs::scoped_timer t_arrivals(cfg.metrics, "arrivals");
+        if (cfg.stationary_arrivals) {
+            arrivals = generate_stationary_poisson(
+                cfg.arrivals.mean_rate(), cfg.window, arrivals_rng);
+        } else {
+            arrivals = generate_piecewise_poisson(cfg.arrivals, cfg.window,
+                                                  arrivals_rng);
+        }
     }
 
     // Row 3: client identities, drawn serially in arrival order.
     auto selector = make_selector(cfg);
     std::vector<client_id> whos(arrivals.size());
-    for (std::size_t i = 0; i < arrivals.size(); ++i) {
-        whos[i] = selector->select(identity_rng);
+    {
+        obs::scoped_timer t_identity(cfg.metrics, "identity");
+        for (std::size_t i = 0; i < arrivals.size(); ++i) {
+            whos[i] = selector->select(identity_rng);
+        }
     }
 
     // Row 4: transfers per session.
@@ -148,79 +155,106 @@ std::vector<planned_item> generate_live_plan(const live_config& cfg,
         pool.size(), std::max<std::size_t>(arrivals.size(), 1));
     std::vector<std::vector<planned_item>> shard_items(nshards);
 
-    pool.run_shards(nshards, [&](std::size_t shard) {
-        const auto [lo, hi] = shard_bounds(arrivals.size(), nshards, shard);
-        auto& items = shard_items[shard];
-        items.reserve((hi - lo) * 2);
-        for (std::size_t session_index = lo; session_index < hi;
-             ++session_index) {
-            const seconds_t arrival = arrivals[session_index];
-            const client_id who = whos[session_index];
-            rng srng = body_root.stream(session_index);
+    {
+        obs::scoped_timer t_expand(cfg.metrics, "expand");
+        pool.run_shards(nshards, [&](std::size_t shard) {
+            const auto [lo, hi] = shard_bounds(arrivals.size(), nshards, shard);
+            auto& items = shard_items[shard];
+            items.reserve((hi - lo) * 2);
+            for (std::size_t session_index = lo; session_index < hi;
+                 ++session_index) {
+                const seconds_t arrival = arrivals[session_index];
+                const client_id who = whos[session_index];
+                rng srng = body_root.stream(session_index);
 
-            client_net cn;
-            if (net_ctx) {
-                cn = derive_client_net(*net_ctx, net_attr_root, who);
-            } else {
-                cn.asn = 64512;  // single private-use AS
-                cn.country = make_country("BR");
-                cn.ip = 0x0A000001;
-            }
-
-            const std::uint64_t n = transfers_per_session.sample(srng);
-            seconds_t start = arrival;
-            for (std::uint64_t i = 0; i < n; ++i) {
-                log_record rec;
-                rec.client = who;
-                rec.ip = cn.ip;
-                rec.asn = cn.asn;
-                rec.country = cn.country;
-                rec.object = static_cast<object_id>(
-                    srng.next_below(cfg.num_objects));
-                rec.start = start;
-                // Row 6: transfer length.
-                rec.duration = static_cast<seconds_t>(
-                    srng.next_lognormal(cfg.length_mu, cfg.length_sigma));
+                client_net cn;
                 if (net_ctx) {
-                    const auto draw = net_ctx->bw.sample_transfer_bandwidth(
-                        cn.access, srng);
-                    rec.avg_bandwidth_bps = draw.bps;
-                    rec.packet_loss = net_ctx->bw.sample_packet_loss(
-                        draw.congestion_bound, srng);
+                    cn = derive_client_net(*net_ctx, net_attr_root, who);
                 } else {
-                    rec.avg_bandwidth_bps = 56000.0;
+                    cn.asn = 64512;  // single private-use AS
+                    cn.country = make_country("BR");
+                    cn.ip = 0x0A000001;
                 }
-                if (rec.start < cfg.window) {
-                    rec.duration = std::min(rec.duration,
-                                            cfg.window - rec.start);
-                    items.push_back({session_index, rec});
-                }
-                // Row 5: next transfer start within the session.
-                if (i + 1 < n) {
-                    const double gap =
-                        srng.next_lognormal(cfg.gap_mu, cfg.gap_sigma);
-                    start += std::max<seconds_t>(
-                        1, static_cast<seconds_t>(gap));
+
+                const std::uint64_t n = transfers_per_session.sample(srng);
+                seconds_t start = arrival;
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    log_record rec;
+                    rec.client = who;
+                    rec.ip = cn.ip;
+                    rec.asn = cn.asn;
+                    rec.country = cn.country;
+                    rec.object = static_cast<object_id>(
+                        srng.next_below(cfg.num_objects));
+                    rec.start = start;
+                    // Row 6: transfer length.
+                    rec.duration = static_cast<seconds_t>(
+                        srng.next_lognormal(cfg.length_mu, cfg.length_sigma));
+                    if (net_ctx) {
+                        const auto draw = net_ctx->bw.sample_transfer_bandwidth(
+                            cn.access, srng);
+                        rec.avg_bandwidth_bps = draw.bps;
+                        rec.packet_loss = net_ctx->bw.sample_packet_loss(
+                            draw.congestion_bound, srng);
+                    } else {
+                        rec.avg_bandwidth_bps = 56000.0;
+                    }
+                    if (rec.start < cfg.window) {
+                        rec.duration = std::min(rec.duration,
+                                                cfg.window - rec.start);
+                        items.push_back({session_index, rec});
+                    }
+                    // Row 5: next transfer start within the session.
+                    if (i + 1 < n) {
+                        const double gap =
+                            srng.next_lognormal(cfg.gap_mu, cfg.gap_sigma);
+                        start += std::max<seconds_t>(
+                            1, static_cast<seconds_t>(gap));
+                    }
                 }
             }
+        });
+    }
+
+    if (cfg.metrics != nullptr) {
+        auto& h = cfg.metrics->get_histogram(
+            "gismo/expand/shard_items",
+            obs::histogram::exponential_bounds(1024.0, 4.0, 10));
+        for (const auto& items : shard_items) {
+            h.observe(static_cast<double>(items.size()));
         }
-    });
+    }
 
     std::vector<planned_item> out;
-    std::size_t total = 0;
-    for (const auto& items : shard_items) total += items.size();
-    out.reserve(total);
-    for (auto& items : shard_items) {
-        std::move(items.begin(), items.end(), std::back_inserter(out));
+    {
+        obs::scoped_timer t_merge(cfg.metrics, "merge_sort");
+        std::size_t total = 0;
+        for (const auto& items : shard_items) total += items.size();
+        out.reserve(total);
+        for (auto& items : shard_items) {
+            std::move(items.begin(), items.end(), std::back_inserter(out));
+        }
+        // Within a session starts are strictly increasing, so (record
+        // order, session) is a strict total order and this sort is
+        // deterministic.
+        std::sort(out.begin(), out.end(),
+                  [](const planned_item& a, const planned_item& b) {
+                      if (record_start_less(a.record, b.record)) return true;
+                      if (record_start_less(b.record, a.record)) return false;
+                      return a.session < b.session;
+                  });
     }
-    // Within a session starts are strictly increasing, so (record order,
-    // session) is a strict total order and this sort is deterministic.
-    std::sort(out.begin(), out.end(),
-              [](const planned_item& a, const planned_item& b) {
-                  if (record_start_less(a.record, b.record)) return true;
-                  if (record_start_less(b.record, a.record)) return false;
-                  return a.session < b.session;
-              });
+    if (cfg.metrics != nullptr) {
+        cfg.metrics->get_counter("gismo/sessions_generated")
+            .add(arrivals.size());
+        cfg.metrics->get_counter("gismo/transfers_generated")
+            .add(out.size());
+        // RNG streams drawn this run: five serial substreams off the root,
+        // one body stream per session, and (when annotating) one derived
+        // client-net substream per session expansion.
+        cfg.metrics->get_counter("gismo/rng_streams")
+            .add(5 + arrivals.size() * (net_ctx ? 2 : 1));
+    }
     return out;
 }
 

@@ -23,6 +23,7 @@
 #include "net/as_topology.h"
 #include "net/bandwidth.h"
 #include "net/ip_space.h"
+#include "obs/fwd.h"
 
 namespace lsm::gismo {
 
@@ -67,6 +68,11 @@ struct live_config {
     /// counter-based RNG stream, so the generated trace is identical for
     /// every value (see DESIGN.md, "Parallel execution model").
     unsigned threads = 0;
+
+    /// Optional metrics sink (`gismo/...` counters, histograms, and
+    /// phase spans). Default-off; the generated trace is identical with
+    /// or without it (see DESIGN.md, "Observability").
+    obs::registry* metrics = nullptr;
 
     /// Optional network annotation (AS/IP/bandwidth log fields). When
     /// disabled the records carry a single synthetic AS and nominal

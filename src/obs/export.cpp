@@ -1,0 +1,207 @@
+// Exporters for the metrics registry: a self-contained JSON document and
+// a flat Prometheus-style text exposition. Both are snapshots — they read
+// the instruments with relaxed atomics while writers may still be
+// running, which is exactly the live-scrape semantics Prometheus has.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view s) {
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(ch));
+                    out << buf;
+                } else {
+                    out << ch;
+                }
+        }
+    }
+}
+
+void write_number(std::ostream& out, double x) {
+    if (!std::isfinite(x)) {
+        out << '0';
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", x);
+    out << buf;
+}
+
+void write_histogram_json(std::ostream& out, const histogram& h) {
+    out << "{\"count\":" << h.total_count() << ",\"sum\":";
+    write_number(out, h.sum());
+    out << ",\"buckets\":[";
+    const auto& bounds = h.bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "{\"le\":";
+        if (i < bounds.size()) {
+            write_number(out, bounds[i]);
+        } else {
+            out << "\"+inf\"";
+        }
+        out << ",\"count\":" << h.bucket_count(i) << '}';
+    }
+    out << "]}";
+}
+
+void write_span_json(std::ostream& out, const span_node& node) {
+    out << "{\"name\":\"";
+    write_escaped(out, node.name());
+    out << "\",\"wall_ns\":" << node.total_ns()
+        << ",\"count\":" << node.count() << ",\"children\":[";
+    const auto children = node.children();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out << ',';
+        write_span_json(out, *children[i]);
+    }
+    out << "]}";
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; label values are freer,
+/// so the hierarchical name travels in a label and this only guards the
+/// quoting.
+void write_label_value(std::ostream& out, std::string_view s) {
+    for (const char ch : s) {
+        if (ch == '"' || ch == '\\') out << '\\';
+        out << ch;
+    }
+}
+
+void write_span_prometheus(std::ostream& out, const span_node& node) {
+    if (node.parent() != nullptr) {
+        const std::string path = node.path();
+        out << "lsm_span_wall_seconds{path=\"";
+        write_label_value(out, path);
+        out << "\"} ";
+        write_number(out,
+                     static_cast<double>(node.total_ns()) * 1e-9);
+        out << '\n';
+        out << "lsm_span_count{path=\"";
+        write_label_value(out, path);
+        out << "\"} " << node.count() << '\n';
+    }
+    for (const span_node* c : node.children()) {
+        write_span_prometheus(out, *c);
+    }
+}
+
+}  // namespace
+
+void registry::write_json(std::ostream& out) const {
+    out << "{\"schema\":\"lsm-metrics-v1\",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters()) {
+        if (!first) out << ',';
+        first = false;
+        out << '"';
+        write_escaped(out, name);
+        out << "\":" << c->value();
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges()) {
+        if (!first) out << ',';
+        first = false;
+        out << '"';
+        write_escaped(out, name);
+        out << "\":{\"value\":" << g->value()
+            << ",\"max\":" << g->max_value() << '}';
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms()) {
+        if (!first) out << ',';
+        first = false;
+        out << '"';
+        write_escaped(out, name);
+        out << "\":";
+        write_histogram_json(out, *h);
+    }
+    out << "},\"spans\":";
+    write_span_json(out, root_span());
+    out << '}';
+}
+
+void registry::write_prometheus(std::ostream& out) const {
+    out << "# TYPE lsm_counter counter\n";
+    for (const auto& [name, c] : counters()) {
+        out << "lsm_counter{name=\"";
+        write_label_value(out, name);
+        out << "\"} " << c->value() << '\n';
+    }
+    out << "# TYPE lsm_gauge gauge\n";
+    for (const auto& [name, g] : gauges()) {
+        out << "lsm_gauge{name=\"";
+        write_label_value(out, name);
+        out << "\"} " << g->value() << '\n';
+        out << "lsm_gauge_max{name=\"";
+        write_label_value(out, name);
+        out << "\"} " << g->max_value() << '\n';
+    }
+    out << "# TYPE lsm_histogram histogram\n";
+    for (const auto& [name, h] : histograms()) {
+        const auto& bounds = h->bounds();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= bounds.size(); ++i) {
+            cumulative += h->bucket_count(i);
+            out << "lsm_histogram_bucket{name=\"";
+            write_label_value(out, name);
+            out << "\",le=\"";
+            if (i < bounds.size()) {
+                write_number(out, bounds[i]);
+            } else {
+                out << "+Inf";
+            }
+            out << "\"} " << cumulative << '\n';
+        }
+        out << "lsm_histogram_sum{name=\"";
+        write_label_value(out, name);
+        out << "\"} ";
+        write_number(out, h->sum());
+        out << '\n';
+        out << "lsm_histogram_count{name=\"";
+        write_label_value(out, name);
+        out << "\"} " << h->total_count() << '\n';
+    }
+    out << "# TYPE lsm_span_wall_seconds gauge\n";
+    write_span_prometheus(out, root_span());
+}
+
+void registry::write_json_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("cannot open metrics output: " + path);
+    }
+    write_json(out);
+    out << '\n';
+    if (!out) throw std::runtime_error("metrics write failed: " + path);
+}
+
+void registry::write_prometheus_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("cannot open metrics output: " + path);
+    }
+    write_prometheus(out);
+    if (!out) throw std::runtime_error("metrics write failed: " + path);
+}
+
+}  // namespace lsm::obs

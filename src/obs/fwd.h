@@ -1,0 +1,16 @@
+// Forward declarations for the observability subsystem, so that config
+// structs can carry an `obs::registry*` without pulling the full
+// obs/metrics.h header (and its <atomic>/<mutex> includes) into every
+// translation unit that touches a config.
+#pragma once
+
+namespace lsm::obs {
+
+class counter;
+class gauge;
+class histogram;
+class registry;
+class scoped_timer;
+class span_node;
+
+}  // namespace lsm::obs

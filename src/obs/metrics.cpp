@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace lsm::obs {
+
+namespace detail {
+
+unsigned thread_slot() {
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+namespace {
+
+/// The calling thread's innermost open span (set by scoped_timer).
+/// One slot per thread is enough: a scoped_timer checks that the saved
+/// node belongs to its own registry before nesting under it, so
+/// interleaved timers from two registries fall back to absolute paths
+/// rather than cross-linking trees.
+thread_local span_node* tl_current_span = nullptr;
+
+}  // namespace
+
+}  // namespace detail
+
+// ---- histogram -------------------------------------------------------
+
+histogram::histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+    LSM_EXPECTS(!bounds_.empty());
+    LSM_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void histogram::observe(double x) noexcept {
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    counts_[idx].fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t histogram::total_count() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        total += counts_[i].load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::vector<double> histogram::exponential_bounds(double first,
+                                                  double factor,
+                                                  std::size_t count) {
+    LSM_EXPECTS(first > 0.0 && factor > 1.0 && count >= 1);
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double b = first;
+    for (std::size_t i = 0; i < count; ++i) {
+        bounds.push_back(b);
+        b *= factor;
+    }
+    return bounds;
+}
+
+std::vector<double> histogram::linear_bounds(double first, double step,
+                                             std::size_t count) {
+    LSM_EXPECTS(step > 0.0 && count >= 1);
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        bounds.push_back(first + step * static_cast<double>(i));
+    }
+    return bounds;
+}
+
+// ---- span tree -------------------------------------------------------
+
+span_node& span_node::child(std::string_view segment) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& c : children_) {
+        if (c->name() == segment) return *c;
+    }
+    children_.push_back(std::make_unique<span_node>(
+        std::string(segment), this, owner_));
+    return *children_.back();
+}
+
+std::vector<const span_node*> span_node::children() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const span_node*> out;
+    out.reserve(children_.size());
+    for (const auto& c : children_) out.push_back(c.get());
+    return out;
+}
+
+std::string span_node::path() const {
+    if (parent_ == nullptr) return "";
+    const std::string prefix = parent_->path();
+    return prefix.empty() ? name_ : prefix + "/" + name_;
+}
+
+// ---- registry --------------------------------------------------------
+
+registry::registry() : root_("", nullptr, this) {}
+
+counter& registry::get_counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(std::string(name), std::make_unique<counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+gauge& registry::get_gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(std::string(name), std::make_unique<gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+histogram& registry::get_histogram(std::string_view name,
+                                   std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<histogram>(std::move(bounds)))
+                 .first;
+    }
+    return *it->second;
+}
+
+span_node& registry::span_at(std::string_view path) {
+    span_node* node = &root_;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        const std::size_t slash = path.find('/', pos);
+        const std::string_view segment =
+            slash == std::string_view::npos
+                ? path.substr(pos)
+                : path.substr(pos, slash - pos);
+        if (!segment.empty()) node = &node->child(segment);
+        if (slash == std::string_view::npos) break;
+        pos = slash + 1;
+    }
+    return *node;
+}
+
+std::vector<std::pair<std::string, const counter*>> registry::counters()
+    const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, const counter*>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+    return out;
+}
+
+std::vector<std::pair<std::string, const gauge*>> registry::gauges()
+    const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, const gauge*>> out;
+    out.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+    return out;
+}
+
+std::vector<std::pair<std::string, const histogram*>>
+registry::histograms() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, const histogram*>> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        out.emplace_back(name, h.get());
+    }
+    return out;
+}
+
+// ---- scoped_timer ----------------------------------------------------
+
+scoped_timer::scoped_timer(registry* reg, std::string_view name) noexcept
+    : saved_current_(detail::tl_current_span) {
+    if (reg == nullptr) return;
+    try {
+        if (name.find('/') != std::string_view::npos) {
+            node_ = &reg->span_at(name);
+        } else if (saved_current_ != nullptr &&
+                   saved_current_->owner() == reg) {
+            node_ = &saved_current_->child(name);
+        } else {
+            node_ = &reg->root_span().child(name);
+        }
+    } catch (...) {
+        // Registration is allocation; a timer must never propagate out
+        // of an instrumentation site. Stay disabled on failure.
+        node_ = nullptr;
+        return;
+    }
+    detail::tl_current_span = node_;
+    start_ = std::chrono::steady_clock::now();
+}
+
+scoped_timer::~scoped_timer() {
+    if (node_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    node_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    detail::tl_current_span = saved_current_;
+}
+
+}  // namespace lsm::obs

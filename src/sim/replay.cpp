@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/contracts.h"
+#include "obs/metrics.h"
 
 namespace lsm::sim {
 
@@ -18,8 +19,15 @@ namespace lsm::sim {
 serve_result replay_trace(const trace& t, const server_config& cfg,
                           seconds_t cpu_bin_width) {
     LSM_EXPECTS(cpu_bin_width > 0);
+    obs::scoped_timer t_replay(cfg.metrics, "sim/replay");
     streaming_server server(cfg);
     serve_result result;
+    // Resolved once so the per-transfer loop never touches the registry
+    // map (null when metrics are off).
+    obs::gauge* m_queue_depth =
+        cfg.metrics != nullptr
+            ? &cfg.metrics->get_gauge("sim/replay/event_queue_depth")
+            : nullptr;
 
     std::vector<const log_record*> by_start;
     by_start.reserve(t.size());
@@ -94,6 +102,10 @@ serve_result replay_trace(const trace& t, const server_config& cfg,
         result.peak_cpu = std::max(result.peak_cpu, server.cpu_load());
         result.total_bytes_delivered += rec->bytes();
         departures.emplace(rec->end(), rec->avg_bandwidth_bps);
+        if (m_queue_depth != nullptr) {
+            m_queue_depth->record_max(
+                static_cast<std::int64_t>(departures.size()));
+        }
     }
     sample_cpu_until(horizon);
     drain_departures_until(horizon == 0 ? 0 : horizon);
@@ -114,6 +126,8 @@ serve_result replay_trace(const trace& t, const server_config& cfg,
         seconds_sampled > 0 ? static_cast<double>(seconds_below_10) /
                                   static_cast<double>(seconds_sampled)
                             : 1.0;
+    obs::add_counter(cfg.metrics, "sim/replay/transfers_completed",
+                     result.completed);
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/contracts.h"
+#include "obs/metrics.h"
 
 namespace lsm::sim {
 
@@ -11,6 +12,12 @@ streaming_server::streaming_server(const server_config& cfg) : cfg_(cfg) {
                 cfg.cpu_reject_threshold <= 1.0);
     LSM_EXPECTS(cfg.cpu_per_stream >= 0.0 && cfg.cpu_per_arrival >= 0.0);
     LSM_EXPECTS(cfg.nic_capacity_bps >= 0.0);
+    if (cfg_.metrics != nullptr) {
+        m_admitted_ = &cfg_.metrics->get_counter("sim/server/admitted");
+        m_rejected_ = &cfg_.metrics->get_counter("sim/server/rejected");
+        m_concurrency_ =
+            &cfg_.metrics->get_gauge("sim/server/concurrent_streams");
+    }
 }
 
 double streaming_server::cpu_load() const {
@@ -34,19 +41,29 @@ bool streaming_server::try_admit(seconds_t now, double bandwidth_bps) {
         case admission_policy::reject_at_capacity:
             if (cfg_.max_concurrent_streams != 0 &&
                 concurrency_ >= cfg_.max_concurrent_streams) {
+                if (m_rejected_ != nullptr) m_rejected_->add();
                 return false;
             }
             break;
         case admission_policy::reject_at_cpu_threshold:
-            if (cpu_load() >= cfg_.cpu_reject_threshold) return false;
+            if (cpu_load() >= cfg_.cpu_reject_threshold) {
+                if (m_rejected_ != nullptr) m_rejected_->add();
+                return false;
+            }
             break;
     }
     if (cfg_.nic_capacity_bps > 0.0 &&
         used_bandwidth_bps_ + bandwidth_bps > cfg_.nic_capacity_bps) {
+        if (m_rejected_ != nullptr) m_rejected_->add();
         return false;
     }
     ++concurrency_;
     used_bandwidth_bps_ += bandwidth_bps;
+    if (m_admitted_ != nullptr) {
+        m_admitted_->add();
+        m_concurrency_->set(concurrency_);
+        m_concurrency_->record_max(concurrency_);
+    }
     return true;
 }
 
@@ -54,6 +71,7 @@ void streaming_server::finish(double bandwidth_bps) {
     LSM_EXPECTS(concurrency_ > 0);
     --concurrency_;
     used_bandwidth_bps_ = std::max(0.0, used_bandwidth_bps_ - bandwidth_bps);
+    if (m_concurrency_ != nullptr) m_concurrency_->set(concurrency_);
 }
 
 }  // namespace lsm::sim

@@ -13,6 +13,7 @@
 
 #include "core/log_record.h"
 #include "core/time_utils.h"
+#include "obs/fwd.h"
 
 namespace lsm::sim {
 
@@ -38,6 +39,10 @@ struct server_config {
     /// regime (thousands of streams, <10% CPU) holds at full provisioning.
     double cpu_per_stream = 0.000020;
     double cpu_per_arrival = 0.0005;
+    /// Optional metrics sink (`sim/server/...` and `sim/replay/...`
+    /// counters and gauges). Default-off; the serve_result is identical
+    /// with or without it (see DESIGN.md, "Observability").
+    obs::registry* metrics = nullptr;
 };
 
 /// Outcome of replaying a workload through the server.
@@ -86,6 +91,11 @@ private:
     double used_bandwidth_bps_ = 0.0;
     seconds_t current_second_ = -1;
     std::uint32_t arrivals_this_second_ = 0;
+    // Metric handles resolved once at construction so the per-event hot
+    // path never touches the registry map (null when metrics are off).
+    obs::counter* m_admitted_ = nullptr;
+    obs::counter* m_rejected_ = nullptr;
+    obs::gauge* m_concurrency_ = nullptr;
 };
 
 }  // namespace lsm::sim

@@ -6,6 +6,7 @@
 
 #include "core/contracts.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
 
 namespace lsm::world {
 
@@ -74,6 +75,7 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
     LSM_EXPECTS(cfg.target_sessions > 0.0);
     LSM_EXPECTS(cfg.corrupt_fraction >= 0.0 && cfg.corrupt_fraction < 1.0);
 
+    obs::scoped_timer t_world(cfg.metrics, "world");
     rng root(seed);
     rng arrivals_rng = root.substream(1);
     rng identity_rng = root.substream(2);
@@ -108,24 +110,29 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
     // work; the expensive per-session expansion below is sharded.
     std::vector<session_seed> seeds;
     seeds.reserve(static_cast<std::size_t>(cfg.target_sessions * 1.5));
-    const seconds_t bin = cfg.show.noise_bin;
-    std::uint64_t session_counter = 0;
-    for (seconds_t bin_start = 0; bin_start < cfg.window;
-         bin_start += bin) {
-        const seconds_t bin_len = std::min(bin, cfg.window - bin_start);
-        // Evaluate the modulated rate mid-bin.
-        const double rate =
-            base_rate * show.multiplier(bin_start + bin_len / 2);
-        double t = static_cast<double>(bin_start);
-        const double bin_end = static_cast<double>(bin_start + bin_len);
-        while (true) {
-            t += arrivals_rng.next_exponential(1.0 / rate);
-            if (t >= bin_end) break;
-            session_seed s;
-            s.arrival = static_cast<seconds_t>(t);
-            s.who = pop.sample_client(identity_rng);
-            s.counter = ++session_counter;
-            seeds.push_back(s);
+    {
+        obs::scoped_timer t_arrivals(cfg.metrics, "arrivals");
+        const seconds_t bin = cfg.show.noise_bin;
+        std::uint64_t session_counter = 0;
+        for (seconds_t bin_start = 0; bin_start < cfg.window;
+             bin_start += bin) {
+            const seconds_t bin_len =
+                std::min(bin, cfg.window - bin_start);
+            // Evaluate the modulated rate mid-bin.
+            const double rate =
+                base_rate * show.multiplier(bin_start + bin_len / 2);
+            double t = static_cast<double>(bin_start);
+            const double bin_end =
+                static_cast<double>(bin_start + bin_len);
+            while (true) {
+                t += arrivals_rng.next_exponential(1.0 / rate);
+                if (t >= bin_end) break;
+                session_seed s;
+                s.arrival = static_cast<seconds_t>(t);
+                s.who = pop.sample_client(identity_rng);
+                s.counter = ++session_counter;
+                seeds.push_back(s);
+            }
         }
     }
 
@@ -142,89 +149,123 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
     std::vector<std::vector<log_record>> shard_records(nshards);
     std::vector<std::uint64_t> shard_transfers(nshards, 0);
 
-    pool.run_shards(nshards, [&](std::size_t shard) {
-        const auto [lo, hi] = shard_bounds(seeds.size(), nshards, shard);
-        auto& records = shard_records[shard];
-        records.reserve((hi - lo) * 2);
-        for (std::size_t si = lo; si < hi; ++si) {
-            const session_seed& s = seeds[si];
-            const client_attributes attrs = pop.attributes(s.who);
-            rng srng = session_rng_root.substream(s.counter);
-            const ipv4_addr ip = pop.session_ip(s.who, attrs, srng);
-            const double activity = show.deterministic_multiplier(s.arrival);
+    {
+        obs::scoped_timer t_expand(cfg.metrics, "expand");
+        pool.run_shards(nshards, [&](std::size_t shard) {
+            const auto [lo, hi] = shard_bounds(seeds.size(), nshards, shard);
+            auto& records = shard_records[shard];
+            records.reserve((hi - lo) * 2);
+            for (std::size_t si = lo; si < hi; ++si) {
+                const session_seed& s = seeds[si];
+                const client_attributes attrs = pop.attributes(s.who);
+                rng srng = session_rng_root.substream(s.counter);
+                const ipv4_addr ip = pop.session_ip(s.who, attrs, srng);
+                const double activity = show.deterministic_multiplier(s.arrival);
 
-            auto plan =
-                behavior.plan_session(s.arrival, attrs, activity, srng);
-            bool first_of_session = true;
-            for (const planned_transfer& ptr : plan) {
-                // Object-driven thinning: a viewer does not start another
-                // view of a dead feed. The session's first transfer is
-                // kept (its arrival was already rate-suppressed).
-                if (!first_of_session) {
-                    const double factor = show.dead_air_factor(ptr.start);
-                    if (factor < 1.0 && srng.next_double() >= factor) {
-                        continue;
+                auto plan =
+                    behavior.plan_session(s.arrival, attrs, activity, srng);
+                bool first_of_session = true;
+                for (const planned_transfer& ptr : plan) {
+                    // Object-driven thinning: a viewer does not start another
+                    // view of a dead feed. The session's first transfer is
+                    // kept (its arrival was already rate-suppressed).
+                    if (!first_of_session) {
+                        const double factor = show.dead_air_factor(ptr.start);
+                        if (factor < 1.0 && srng.next_double() >= factor) {
+                            continue;
+                        }
+                    }
+                    first_of_session = false;
+                    log_record rec;
+                    rec.client = s.who;
+                    rec.ip = ip;
+                    rec.asn = topo.as_at(attrs.as_index).asn;
+                    rec.country = topo.as_at(attrs.as_index).country;
+                    rec.object = ptr.object;
+                    rec.start = ptr.start;
+                    rec.duration = ptr.duration;
+                    const auto draw =
+                        bw.sample_transfer_bandwidth(attrs.access, srng);
+                    rec.avg_bandwidth_bps = draw.bps;
+                    rec.packet_loss =
+                        bw.sample_packet_loss(draw.congestion_bound, srng);
+                    // QoS feedback: congested viewers sometimes give up early
+                    // (weakly, for live content — §1).
+                    rec.duration = behavior.apply_qos_feedback(
+                        rec.duration, draw.congestion_bound, srng);
+                    rec.status = transfer_status::ok;
+                    if (rec.start < cfg.window) {
+                        // Transfers running past the end of the window are
+                        // truncated at the final midnight harvest.
+                        rec.duration =
+                            std::min(rec.duration, cfg.window - rec.start);
+                        records.push_back(rec);
+                        ++shard_transfers[shard];
                     }
                 }
-                first_of_session = false;
-                log_record rec;
-                rec.client = s.who;
-                rec.ip = ip;
-                rec.asn = topo.as_at(attrs.as_index).asn;
-                rec.country = topo.as_at(attrs.as_index).country;
-                rec.object = ptr.object;
-                rec.start = ptr.start;
-                rec.duration = ptr.duration;
-                const auto draw =
-                    bw.sample_transfer_bandwidth(attrs.access, srng);
-                rec.avg_bandwidth_bps = draw.bps;
-                rec.packet_loss =
-                    bw.sample_packet_loss(draw.congestion_bound, srng);
-                // QoS feedback: congested viewers sometimes give up early
-                // (weakly, for live content — §1).
-                rec.duration = behavior.apply_qos_feedback(
-                    rec.duration, draw.congestion_bound, srng);
-                rec.status = transfer_status::ok;
-                if (rec.start < cfg.window) {
-                    // Transfers running past the end of the window are
-                    // truncated at the final midnight harvest.
-                    rec.duration =
-                        std::min(rec.duration, cfg.window - rec.start);
-                    records.push_back(rec);
-                    ++shard_transfers[shard];
-                }
             }
-        }
-    });
+        });
+    }
 
     world_result out;
     out.tr = trace(cfg.window, cfg.start_day);
     out.truth.sessions_generated = seeds.size();
-    std::size_t total_records = 0;
-    for (const auto& records : shard_records) {
-        total_records += records.size();
-    }
-    out.tr.reserve(total_records);
-    for (std::size_t shard = 0; shard < nshards; ++shard) {
-        for (const log_record& rec : shard_records[shard]) out.tr.add(rec);
-        out.truth.transfers_generated += shard_transfers[shard];
+    {
+        obs::scoped_timer t_merge(cfg.metrics, "merge");
+        std::size_t total_records = 0;
+        for (const auto& records : shard_records) {
+            total_records += records.size();
+        }
+        out.tr.reserve(total_records);
+        for (std::size_t shard = 0; shard < nshards; ++shard) {
+            for (const log_record& rec : shard_records[shard]) {
+                out.tr.add(rec);
+            }
+            out.truth.transfers_generated += shard_transfers[shard];
+        }
     }
 
     // Corrupt a small fraction of records to span past the window (§2.4:
     // "request/response activities that span durations longer than the
     // 28-day period", attributed to multi-harvest accesses). Serial: the
     // corruption stream walks records in generation order.
-    for (log_record& r : out.tr.records()) {
-        if (corrupt_rng.next_bool(cfg.corrupt_fraction)) {
-            r.duration = cfg.window + static_cast<seconds_t>(
-                                          corrupt_rng.next_below(
-                                              seconds_per_day * 7));
-            ++out.truth.corrupted_records;
+    {
+        obs::scoped_timer t_corrupt(cfg.metrics, "corrupt");
+        for (log_record& r : out.tr.records()) {
+            if (corrupt_rng.next_bool(cfg.corrupt_fraction)) {
+                r.duration = cfg.window + static_cast<seconds_t>(
+                                              corrupt_rng.next_below(
+                                                  seconds_per_day * 7));
+                ++out.truth.corrupted_records;
+            }
         }
     }
 
-    out.tr.sort_by_start();
-    fill_server_cpu(out.tr, cfg.cpu_per_stream, pool);
+    {
+        obs::scoped_timer t_sort(cfg.metrics, "sort");
+        out.tr.sort_by_start();
+    }
+    {
+        obs::scoped_timer t_cpu(cfg.metrics, "server_cpu");
+        fill_server_cpu(out.tr, cfg.cpu_per_stream, pool);
+    }
+
+    if (cfg.metrics != nullptr) {
+        cfg.metrics->get_counter("world/sessions_expanded")
+            .add(out.truth.sessions_generated);
+        cfg.metrics->get_counter("world/transfers_generated")
+            .add(out.truth.transfers_generated);
+        cfg.metrics->get_counter("world/records_emitted")
+            .add(out.tr.size());
+        cfg.metrics->get_counter("world/records_corrupted")
+            .add(out.truth.corrupted_records);
+        auto& shard_hist = cfg.metrics->get_histogram(
+            "world/expand/shard_records",
+            obs::histogram::exponential_bounds(1024.0, 4.0, 10));
+        for (const auto& records : shard_records) {
+            shard_hist.observe(static_cast<double>(records.size()));
+        }
+    }
     return out;
 }
 

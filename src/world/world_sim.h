@@ -14,6 +14,7 @@
 
 #include "core/trace.h"
 #include "net/as_topology.h"
+#include "obs/fwd.h"
 #include "net/bandwidth.h"
 #include "net/ip_space.h"
 #include "world/behavior.h"
@@ -45,6 +46,10 @@ struct world_config {
     /// 0 = hardware_concurrency. The emitted trace is byte-identical for
     /// every value (see DESIGN.md, "Parallel execution model").
     unsigned threads = 0;
+    /// Optional metrics sink (`world/...` counters, histograms, and
+    /// phase spans). Default-off; the simulation output is identical
+    /// with or without it (see DESIGN.md, "Observability").
+    obs::registry* metrics = nullptr;
 
     /// Full paper-scale configuration (~1.5M sessions, 900k clients).
     static world_config paper_scale();

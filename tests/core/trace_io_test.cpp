@@ -115,6 +115,62 @@ TEST(TraceIo, SkipsBlankLines) {
     EXPECT_EQ(read_trace_csv(ok).size(), 2U);
 }
 
+// --- read_trace_csv_stream error paths --------------------------------
+
+TEST(TraceIoStream, RejectsMalformedMagicLine) {
+    std::stringstream two_fields("lsm-trace-v1,100\n");
+    EXPECT_THROW(
+        read_trace_csv_stream(two_fields, [](const log_record&) {}),
+        trace_io_error);
+    std::stringstream wrong_magic("lsm-trace-v9,100,0\nheader\n");
+    EXPECT_THROW(
+        read_trace_csv_stream(wrong_magic, [](const log_record&) {}),
+        trace_io_error);
+    std::stringstream garbage("\xff\xfe not a csv at all");
+    EXPECT_THROW(read_trace_csv_stream(garbage, [](const log_record&) {}),
+                 trace_io_error);
+}
+
+TEST(TraceIoStream, HeaderOnlyInputYieldsNoRecords) {
+    std::stringstream ss;
+    write_trace_csv(trace(250, weekday::friday), ss);
+    std::size_t seen = 0;
+    const auto header =
+        read_trace_csv_stream(ss, [&](const log_record&) { ++seen; });
+    EXPECT_EQ(seen, 0U);
+    EXPECT_EQ(header.window_length, 250);
+    EXPECT_EQ(header.start_day, weekday::friday);
+}
+
+TEST(TraceIoStream, MagicWithoutHeaderLineThrows) {
+    std::stringstream ss("lsm-trace-v1,100,0\n");
+    EXPECT_THROW(read_trace_csv_stream(ss, [](const log_record&) {}),
+                 trace_io_error);
+}
+
+TEST(TraceIoStream, TruncatedRecordMidStreamThrows) {
+    std::stringstream ss;
+    write_trace_csv(sample_trace(), ss);
+    // Cut the last record off at its final comma: the line loses its last
+    // field and no longer has 11 of them.
+    std::string content = ss.str();
+    content.resize(content.rfind(','));
+    std::stringstream truncated(content);
+    std::size_t seen = 0;
+    EXPECT_THROW(
+        read_trace_csv_stream(truncated,
+                              [&](const log_record&) { ++seen; }),
+        trace_io_error);
+    // Records before the truncation point were already delivered.
+    EXPECT_EQ(seen, 1U);
+}
+
+TEST(TraceIoStream, NullSinkThrows) {
+    std::stringstream ss;
+    write_trace_csv(sample_trace(), ss);
+    EXPECT_THROW(read_trace_csv_stream(ss, nullptr), trace_io_error);
+}
+
 TEST(TraceIo, FileRoundTrip) {
     const std::string path = ::testing::TempDir() + "/lsm_io_test.csv";
     const trace original = sample_trace();

@@ -11,9 +11,11 @@
 #include "characterize/session_builder.h"
 #include "characterize/session_layer.h"
 #include "characterize/transfer_layer.h"
+#include "characterize/hierarchical.h"
 #include "core/trace_io.h"
 #include "gismo/live_generator.h"
 #include "gismo/stored_generator.h"
+#include "obs/metrics.h"
 #include "sim/replay.h"
 #include "world/world_sim.h"
 
@@ -152,6 +154,80 @@ TEST(Pipeline, FullReportPrintsWithoutCrashing) {
     EXPECT_NE(out.str().find("Table 1"), std::string::npos);
     EXPECT_NE(out.str().find("Client layer"), std::string::npos);
     EXPECT_NE(out.str().find("Transfer layer"), std::string::npos);
+}
+
+TEST(Pipeline, MetricsRegistryObservesEveryLayer) {
+    // One registry threaded through world -> characterize -> gismo ->
+    // replay; the recorded counters must agree with the returned results.
+    obs::registry reg;
+
+    world::world_config wcfg = world::world_config::scaled(0.01);
+    wcfg.window = 2 * seconds_per_day;
+    wcfg.target_sessions = 4000.0;
+    wcfg.metrics = &reg;
+    auto res = world::simulate_world(wcfg, 21);
+    EXPECT_EQ(reg.get_counter("world/records_emitted").value(),
+              res.tr.size());
+    EXPECT_EQ(reg.span_at("world").count(), 1U);
+    EXPECT_GT(reg.span_at("world/expand").total_ns(), 0U);
+
+    characterize::hierarchical_config hcfg;
+    hcfg.client.acf_max_lag = 200;
+    hcfg.metrics = &reg;
+    const auto rep = characterize::characterize_hierarchically(res.tr, hcfg);
+    EXPECT_EQ(reg.get_counter("characterize/sanitize/kept").value(),
+              rep.sanitization.kept);
+    EXPECT_EQ(
+        reg.get_counter("characterize/sessionize/sessions_built").value(),
+        rep.sessions.sessions.size());
+    EXPECT_EQ(reg.span_at("characterize/layers/client").count(), 1U);
+    EXPECT_GT(reg.get_histogram("characterize/sessionize/shard_records", {})
+                  .total_count(),
+              0U);
+
+    gismo::live_config gcfg = gismo::live_config::scaled(0.005);
+    gcfg.window = seconds_per_day;
+    gcfg.metrics = &reg;
+    const trace lt = gismo::generate_live_workload(gcfg, 22);
+    EXPECT_EQ(reg.get_counter("gismo/transfers_generated").value(),
+              lt.size());
+    EXPECT_GT(reg.get_counter("gismo/sessions_generated").value(), 0U);
+    EXPECT_GT(reg.get_counter("gismo/rng_streams").value(), 0U);
+
+    sim::server_config scfg;
+    scfg.metrics = &reg;
+    const auto served = sim::replay_trace(lt, scfg);
+    EXPECT_EQ(reg.get_counter("sim/server/admitted").value(),
+              served.admitted);
+    EXPECT_EQ(reg.get_counter("sim/server/rejected").value(),
+              served.rejected);
+    EXPECT_EQ(reg.get_gauge("sim/server/concurrent_streams").max_value(),
+              served.peak_concurrency);
+    EXPECT_GE(reg.get_gauge("sim/replay/event_queue_depth").max_value(),
+              static_cast<std::int64_t>(served.peak_concurrency));
+    EXPECT_EQ(reg.get_counter("sim/replay/transfers_completed").value(),
+              served.completed);
+
+    // The whole run exports as one well-formed document.
+    std::stringstream json;
+    reg.write_json(json);
+    EXPECT_NE(json.str().find("lsm-metrics-v1"), std::string::npos);
+}
+
+TEST(Pipeline, MetricsDoNotChangeResults) {
+    // Instrumented and disabled runs must be byte-identical.
+    gismo::live_config cfg = gismo::live_config::scaled(0.005);
+    cfg.window = seconds_per_day;
+    const trace plain = gismo::generate_live_workload(cfg, 23);
+    obs::registry reg;
+    cfg.metrics = &reg;
+    const trace instrumented = gismo::generate_live_workload(cfg, 23);
+
+    std::stringstream a;
+    std::stringstream b;
+    write_trace_csv(plain, a);
+    write_trace_csv(instrumented, b);
+    EXPECT_EQ(a.str(), b.str());
 }
 
 }  // namespace

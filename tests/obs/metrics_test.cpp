@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace lsm::obs {
+namespace {
+
+// --- counter ----------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+    counter c;
+    EXPECT_EQ(c.value(), 0U);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42U);
+}
+
+TEST(Counter, ConcurrentAddsFromPoolWorkersAreExact) {
+    // Four explicit pool lanes regardless of the host's core count, so
+    // the striped hot path is genuinely exercised under TSan.
+    thread_pool pool(4);
+    counter c;
+    constexpr std::size_t k_iters = 100000;
+    parallel_for(pool, 0, k_iters, [&](std::size_t) { c.add(); });
+    EXPECT_EQ(c.value(), k_iters);
+}
+
+// --- gauge ------------------------------------------------------------
+
+TEST(Gauge, TracksLevelAndHighWaterMark) {
+    gauge g;
+    g.set(5);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3);
+    EXPECT_EQ(g.max_value(), 5);
+    g.add(10);
+    EXPECT_EQ(g.value(), 13);
+    EXPECT_EQ(g.max_value(), 13);
+    g.record_max(100);
+    EXPECT_EQ(g.value(), 13);
+    EXPECT_EQ(g.max_value(), 100);
+}
+
+TEST(Gauge, ConcurrentRecordMaxKeepsTheMaximum) {
+    thread_pool pool(4);
+    gauge g;
+    constexpr std::size_t k_iters = 50000;
+    parallel_for(pool, 0, k_iters, [&](std::size_t i) {
+        g.record_max(static_cast<std::int64_t>(i));
+    });
+    EXPECT_EQ(g.max_value(), static_cast<std::int64_t>(k_iters - 1));
+}
+
+// --- histogram --------------------------------------------------------
+
+TEST(Histogram, BucketsByUpperBoundWithOverflow) {
+    histogram h({1.0, 10.0, 100.0});
+    h.observe(0.5);    // <= 1
+    h.observe(1.0);    // <= 1 (bounds are inclusive)
+    h.observe(7.0);    // <= 10
+    h.observe(100.0);  // <= 100
+    h.observe(1e9);    // overflow
+    EXPECT_EQ(h.bucket_count(0), 2U);
+    EXPECT_EQ(h.bucket_count(1), 1U);
+    EXPECT_EQ(h.bucket_count(2), 1U);
+    EXPECT_EQ(h.bucket_count(3), 1U);  // overflow bucket
+    EXPECT_EQ(h.total_count(), 5U);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e9);
+}
+
+TEST(Histogram, BoundFactories) {
+    const auto exp = histogram::exponential_bounds(1.0, 2.0, 4);
+    EXPECT_EQ(exp, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+    const auto lin = histogram::linear_bounds(10.0, 5.0, 3);
+    EXPECT_EQ(lin, (std::vector<double>{10.0, 15.0, 20.0}));
+}
+
+TEST(Histogram, ConcurrentObservesAreExact) {
+    thread_pool pool(4);
+    histogram h(histogram::exponential_bounds(1.0, 2.0, 10));
+    constexpr std::size_t k_iters = 50000;
+    parallel_for(pool, 0, k_iters, [&](std::size_t i) {
+        h.observe(static_cast<double>(i % 1000));
+    });
+    EXPECT_EQ(h.total_count(), k_iters);
+}
+
+// --- registry ---------------------------------------------------------
+
+TEST(Registry, InstrumentReferencesAreStable) {
+    registry reg;
+    counter& a = reg.get_counter("world/records_emitted");
+    counter& b = reg.get_counter("world/records_emitted");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3U);
+}
+
+TEST(Registry, FirstHistogramRegistrationFixesBounds) {
+    registry reg;
+    histogram& a = reg.get_histogram("x/h", {1.0, 2.0});
+    histogram& b = reg.get_histogram("x/h", {99.0});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, ConcurrentRegistrationOfSameNameIsSafe) {
+    registry reg;
+    thread_pool pool(4);
+    parallel_for(pool, 0, 1000, [&](std::size_t) {
+        reg.get_counter("contested/name").add();
+    });
+    ASSERT_EQ(reg.counters().size(), 1U);
+    EXPECT_EQ(reg.get_counter("contested/name").value(), 1000U);
+}
+
+TEST(Registry, SnapshotsAreSortedByName) {
+    registry reg;
+    reg.get_counter("b");
+    reg.get_counter("a");
+    reg.get_gauge("z");
+    const auto cs = reg.counters();
+    ASSERT_EQ(cs.size(), 2U);
+    EXPECT_EQ(cs[0].first, "a");
+    EXPECT_EQ(cs[1].first, "b");
+    EXPECT_EQ(reg.gauges().at(0).first, "z");
+}
+
+// --- span tree / scoped_timer ----------------------------------------
+
+TEST(ScopedTimer, BareNamesNestUnderTheEnclosingSpan) {
+    registry reg;
+    {
+        scoped_timer outer(&reg, "world");
+        { scoped_timer inner(&reg, "expand"); }
+        { scoped_timer inner(&reg, "expand"); }
+    }
+    span_node& world = reg.span_at("world");
+    EXPECT_EQ(world.count(), 1U);
+    span_node& expand = reg.span_at("world/expand");
+    EXPECT_EQ(expand.count(), 2U);
+    EXPECT_EQ(expand.path(), "world/expand");
+    EXPECT_GE(world.total_ns(), expand.total_ns());
+}
+
+TEST(ScopedTimer, SlashPathsResolveAbsolutely) {
+    registry reg;
+    {
+        scoped_timer outer(&reg, "characterize");
+        // Absolute path ignores the open span; this is the pool-worker
+        // escape hatch.
+        scoped_timer abs(&reg, "characterize/layers/client");
+    }
+    EXPECT_EQ(reg.span_at("characterize/layers/client").count(), 1U);
+    // No nested characterize/characterize/... node was created.
+    EXPECT_EQ(reg.span_at("characterize").children().size(), 1U);
+}
+
+TEST(ScopedTimer, NestingFollowsThreadsNotScopes) {
+    registry reg;
+    scoped_timer outer(&reg, "outer");
+    std::thread([&reg] {
+        // On a fresh thread there is no open span, so a bare name lands
+        // at the root, not under "outer".
+        scoped_timer t(&reg, "elsewhere");
+    }).join();
+    EXPECT_EQ(reg.span_at("elsewhere").count(), 1U);
+    EXPECT_EQ(reg.span_at("outer").children().size(), 0U);
+}
+
+TEST(ScopedTimer, NullRegistryIsANoOp) {
+    scoped_timer t(nullptr, "anything");
+    EXPECT_EQ(t.node(), nullptr);
+}
+
+TEST(NullSafeHelpers, AcceptNullRegistry) {
+    add_counter(nullptr, "x");
+    set_gauge(nullptr, "x", 1);
+    record_gauge_max(nullptr, "x", 1);
+    observe(nullptr, "x", {1.0}, 0.5);  // no crash, no effect
+}
+
+TEST(SpanTree, ConcurrentChildCreationIsSafe) {
+    registry reg;
+    thread_pool pool(4);
+    parallel_for(pool, 0, 200, [&](std::size_t i) {
+        scoped_timer t(&reg,
+                       "root/child" + std::to_string(i % 8));
+    });
+    EXPECT_EQ(reg.span_at("root").children().size(), 8U);
+    std::uint64_t total = 0;
+    for (const span_node* c : reg.span_at("root").children()) {
+        total += c->count();
+    }
+    EXPECT_EQ(total, 200U);
+}
+
+// --- exporters --------------------------------------------------------
+
+TEST(Exporters, JsonContainsEveryInstrumentKind) {
+    registry reg;
+    reg.get_counter("world/records_emitted").add(7);
+    reg.get_gauge("sim/server/concurrent_streams").set(3);
+    reg.get_histogram("x/h", {1.0, 2.0}).observe(1.5);
+    { scoped_timer t(&reg, "world"); }
+
+    std::ostringstream out;
+    reg.write_json(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"schema\":\"lsm-metrics-v1\""), std::string::npos);
+    EXPECT_NE(s.find("\"world/records_emitted\":7"), std::string::npos);
+    EXPECT_NE(s.find("sim/server/concurrent_streams"), std::string::npos);
+    EXPECT_NE(s.find("\"x/h\""), std::string::npos);
+    EXPECT_NE(s.find("\"spans\""), std::string::npos);
+    EXPECT_NE(s.find("\"world\""), std::string::npos);
+}
+
+TEST(Exporters, PrometheusTextShape) {
+    registry reg;
+    reg.get_counter("a/b").add(2);
+    reg.get_gauge("g").set(-1);
+    reg.get_histogram("h", {1.0}).observe(0.5);
+    { scoped_timer t(&reg, "phase"); }
+
+    std::ostringstream out;
+    reg.write_prometheus(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("lsm_counter{name=\"a/b\"} 2"), std::string::npos);
+    EXPECT_NE(s.find("lsm_gauge{name=\"g\"} -1"), std::string::npos);
+    EXPECT_NE(s.find("le=\"+Inf\""), std::string::npos);
+    EXPECT_NE(s.find("lsm_span_wall_seconds{path=\"phase\"}"),
+              std::string::npos);
+}
+
+TEST(Exporters, FileWriterFailureThrows) {
+    registry reg;
+    EXPECT_THROW(reg.write_json_file("/nonexistent/dir/m.json"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lsm::obs
