@@ -9,12 +9,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "characterize/session_builder.h"
 #include "characterize/transfer_layer.h"
+#include "core/parallel.h"
 #include "core/rng.h"
+#include "core/trace_io.h"
+#include "core/trace_io_bin.h"
 #include "characterize/hierarchical.h"
 #include "gismo/arrival_process.h"
 #include "gismo/live_generator.h"
@@ -220,6 +224,81 @@ void BM_FullCharacterizationThreads(benchmark::State& state) {
 BENCHMARK(BM_FullCharacterizationThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// --- Ingest rows -----------------------------------------------------
+// Decode throughput of the two trace encodings over the scaling trace,
+// serialized once up front; each row reports MB/s and records/s.
+
+const std::string& scaling_trace_csv() {
+    static const std::string buf = [] {
+        std::ostringstream ss;
+        write_trace_csv(scaling_trace(), ss);
+        return std::move(ss).str();
+    }();
+    return buf;
+}
+
+const std::string& scaling_trace_bin() {
+    static const std::string buf = [] {
+        std::ostringstream ss;
+        write_trace_bin(scaling_trace(), ss);
+        return std::move(ss).str();
+    }();
+    return buf;
+}
+
+void set_ingest_counters(benchmark::State& state, std::size_t bytes,
+                         std::size_t records) {
+    state.counters["MB/s"] = benchmark::Counter(
+        static_cast<double>(bytes) / 1e6, benchmark::Counter::kIsRate);
+    state.counters["records/s"] = benchmark::Counter(
+        static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+
+void BM_ReadTraceCsv(benchmark::State& state) {
+    const std::string& buf = scaling_trace_csv();
+    for (auto _ : state) {
+        const trace t = read_trace_csv_buffer(buf);
+        benchmark::DoNotOptimize(t.records().data());
+        set_ingest_counters(state, buf.size(), t.size());
+    }
+}
+BENCHMARK(BM_ReadTraceCsv)->Unit(benchmark::kMillisecond);
+
+void BM_ReadTraceCsvThreads(benchmark::State& state) {
+    const std::string& buf = scaling_trace_csv();
+    thread_pool pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        const trace t = read_trace_csv_buffer(buf, &pool);
+        benchmark::DoNotOptimize(t.records().data());
+        set_ingest_counters(state, buf.size(), t.size());
+    }
+}
+BENCHMARK(BM_ReadTraceCsvThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReadTraceBin(benchmark::State& state) {
+    const std::string& buf = scaling_trace_bin();
+    for (auto _ : state) {
+        const trace t = read_trace_bin_buffer(buf);
+        benchmark::DoNotOptimize(t.records().data());
+        set_ingest_counters(state, buf.size(), t.size());
+    }
+}
+BENCHMARK(BM_ReadTraceBin)->Unit(benchmark::kMillisecond);
+
+void BM_WriteTraceBin(benchmark::State& state) {
+    const trace& t = scaling_trace();
+    for (auto _ : state) {
+        std::ostringstream ss;
+        write_trace_bin(t, ss);
+        const std::string buf = std::move(ss).str();
+        benchmark::DoNotOptimize(buf.data());
+        set_ingest_counters(state, buf.size(), t.size());
+    }
+}
+BENCHMARK(BM_WriteTraceBin)->Unit(benchmark::kMillisecond);
 
 void BM_VbrSeries(benchmark::State& state) {
     rng r(10);

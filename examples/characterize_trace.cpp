@@ -1,13 +1,15 @@
 // Full hierarchical characterization of a trace file — the paper's
 // Sections 3-5 as a command-line tool.
 //
-//   $ ./characterize_trace <trace.csv> [session_timeout_seconds]
+//   $ ./characterize_trace <trace.csv|trace.bin> [session_timeout_seconds]
 //   $ ./characterize_trace --demo          # world-sim a demo trace first
-//   $ ./characterize_trace --json <trace.csv>   # machine-readable output
-//   $ ./characterize_trace --metrics-out m.json <trace.csv>  # obs dump
+//   $ ./characterize_trace --json <trace>       # machine-readable output
+//   $ ./characterize_trace --metrics-out m.json <trace>      # obs dump
+//   $ ./characterize_trace --trace-format bin --demo  # binary demo trace
 //
-// The trace format is the library's CSV (see core/trace_io.h); use
-// write_trace_csv_file() or the --demo flag to produce one.
+// Input traces may be the library's CSV or the binary columnar format
+// (core/trace_io_bin.h); the reader sniffs the leading bytes, so both
+// work without a flag. --trace-format picks the format --demo writes.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -21,6 +23,7 @@
 #include "characterize/transfer_layer.h"
 #include "core/parallel.h"
 #include "core/trace_io.h"
+#include "core/trace_io_bin.h"
 #include "obs/metrics.h"
 #include "world/world_sim.h"
 
@@ -28,7 +31,8 @@ int main(int argc, char** argv) {
     if (argc < 2) {
         std::cerr << "usage: " << argv[0]
                   << " [--json] [--threads N] [--metrics-out m.json]"
-                  << " <trace.csv> [session_timeout] | --demo\n";
+                  << " [--trace-format csv|bin]"
+                  << " <trace-file> [session_timeout] | --demo\n";
         return 1;
     }
     lsm::seconds_t timeout = lsm::characterize::default_session_timeout;
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
     bool json = false;
     unsigned threads = 0;  // 0 = hardware concurrency
     std::string metrics_out;
+    lsm::trace_format demo_format = lsm::trace_format::csv;
     int argi = 1;
     while (argi < argc) {
         const std::string flag = argv[argi];
@@ -55,6 +60,18 @@ int main(int argc, char** argv) {
                 return 1;
             }
             metrics_out = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--trace-format") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--trace-format requires csv or bin\n";
+                return 1;
+            }
+            try {
+                demo_format = lsm::parse_trace_format(argv[argi + 1]);
+            } catch (const std::exception& e) {
+                std::cerr << e.what() << "\n";
+                return 1;
+            }
             argi += 2;
         } else {
             break;
@@ -78,20 +95,25 @@ int main(int argc, char** argv) {
         std::cerr << "metrics written to " << metrics_out << "\n";
     };
 
+    // Built before the read so CSV ingest can decode on the pool.
+    lsm::thread_pool pool(threads);
+
     lsm::trace tr;
     const std::string arg = argv[1];
     if (arg == "--demo") {
-        const std::string path = "demo_trace.csv";
+        const std::string path = demo_format == lsm::trace_format::bin
+                                     ? "demo_trace.bin"
+                                     : "demo_trace.csv";
         std::cout << "Simulating a demo world trace -> " << path << "\n";
         auto demo_cfg = lsm::world::world_config::scaled(0.02);
         demo_cfg.threads = threads;
         demo_cfg.metrics = metrics;
         auto world = lsm::world::simulate_world(demo_cfg, 7);
-        lsm::write_trace_csv_file(world.tr, path);
+        lsm::write_trace_file(world.tr, path, demo_format);
         tr = std::move(world.tr);
     } else {
         try {
-            tr = lsm::read_trace_csv_file(arg);
+            tr = lsm::read_trace_auto_file(arg, &pool, metrics);
         } catch (const std::exception& e) {
             std::cerr << "failed to read trace: " << e.what() << "\n";
             return 1;
@@ -136,7 +158,6 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    lsm::thread_pool pool(threads);
     const auto sessions =
         lsm::characterize::build_sessions(tr, timeout, pool, metrics);
     const auto cl = lsm::characterize::analyze_client_layer(tr, sessions);

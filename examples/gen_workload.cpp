@@ -17,6 +17,8 @@
 //   uniform_interest=0   1 = uniform-identity ablation
 //   threads=0            worker threads (0 = hardware concurrency);
 //                        output is identical for any value
+//   trace_format=csv     output encoding: csv (interchange) or bin
+//                        (binary columnar, core/trace_io_bin.h)
 //   config=<path>        load a saved recipe first (gismo/config_io.h);
 //                        other keys then override it
 //   save_config=<path>   write the effective recipe back out
@@ -30,6 +32,7 @@
 #include <string>
 
 #include "core/trace_io.h"
+#include "core/trace_io_bin.h"
 #include "gismo/config_io.h"
 #include "gismo/live_generator.h"
 #include "obs/metrics.h"
@@ -102,6 +105,15 @@ int main(int argc, char** argv) {
         cfg.interest = lsm::gismo::interest_model::uniform;
     }
     const auto seed = static_cast<std::uint64_t>(get(kv, "seed", 42));
+    lsm::trace_format out_format = lsm::trace_format::csv;
+    if (auto it = kv.find("trace_format"); it != kv.end()) {
+        try {
+            out_format = lsm::parse_trace_format(it->second);
+        } catch (const std::exception& e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+    }
 
     if (auto it = kv.find("save_config"); it != kv.end()) {
         try {
@@ -121,7 +133,7 @@ int main(int argc, char** argv) {
               << ")...\n";
     const lsm::trace tr = lsm::gismo::generate_live_workload(cfg, seed);
     try {
-        lsm::write_trace_csv_file(tr, argv[1]);
+        lsm::write_trace_file(tr, argv[1], out_format);
     } catch (const std::exception& e) {
         std::cerr << "write failed: " << e.what() << "\n";
         return 1;

@@ -2,10 +2,12 @@
 // paper's Table 2 generative model, then characterize it hierarchically
 // and print the findings.
 //
-//   $ ./quickstart [--metrics-out m.json] [scale] [seed]
+//   $ ./quickstart [--metrics-out m.json] [--trace-out t.csv]
+//                  [--trace-format csv|bin] [scale] [seed]
 //
 // scale in (0, 1] shrinks the workload (default 0.05 — a few days'
-// traffic in a couple of seconds); seed defaults to 42.
+// traffic in a couple of seconds); seed defaults to 42. --trace-out
+// also saves the generated trace, in the --trace-format encoding.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -15,13 +17,30 @@
 #include "characterize/session_builder.h"
 #include "characterize/session_layer.h"
 #include "characterize/transfer_layer.h"
+#include "core/trace_io_bin.h"
 #include "gismo/live_generator.h"
 #include "obs/metrics.h"
 
 int main(int argc, char** argv) {
     std::string metrics_out;
-    if (argc > 2 && std::string(argv[1]) == "--metrics-out") {
-        metrics_out = argv[2];
+    std::string trace_out;
+    lsm::trace_format trace_out_format = lsm::trace_format::csv;
+    while (argc > 2) {
+        const std::string flag = argv[1];
+        if (flag == "--metrics-out") {
+            metrics_out = argv[2];
+        } else if (flag == "--trace-out") {
+            trace_out = argv[2];
+        } else if (flag == "--trace-format") {
+            try {
+                trace_out_format = lsm::parse_trace_format(argv[2]);
+            } catch (const std::exception& e) {
+                std::cerr << e.what() << "\n";
+                return 1;
+            }
+        } else {
+            break;
+        }
         argv += 2;
         argc -= 2;
     }
@@ -41,6 +60,15 @@ int main(int argc, char** argv) {
     lsm::trace tr = lsm::gismo::generate_live_workload(cfg, seed);
     std::cout << "  " << tr.size() << " transfers generated over "
               << tr.window_length() / lsm::seconds_per_day << " days\n\n";
+    if (!trace_out.empty()) {
+        try {
+            lsm::write_trace_file(tr, trace_out, trace_out_format);
+            std::cout << "  trace saved to " << trace_out << "\n\n";
+        } catch (const std::exception& e) {
+            std::cerr << "trace write failed: " << e.what() << "\n";
+            return 1;
+        }
+    }
 
     lsm::sanitize(tr);
     const auto sessions = lsm::characterize::build_sessions(

@@ -1,0 +1,25 @@
+# Round-trips a generated CSV trace through the binary format and back,
+# failing unless the re-exported CSV is byte-identical to the original.
+execute_process(COMMAND ${GEN} roundtrip_in.csv scale=0.005 days=2
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "gen_workload failed: ${rc1}")
+endif()
+execute_process(COMMAND ${CONVERT} roundtrip_in.csv roundtrip.bin
+                        --format bin
+                RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "csv -> bin conversion failed: ${rc2}")
+endif()
+execute_process(COMMAND ${CONVERT} roundtrip.bin roundtrip_out.csv
+                        --format csv
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "bin -> csv conversion failed: ${rc3}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        roundtrip_in.csv roundtrip_out.csv
+                RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "re-exported CSV differs from the original")
+endif()

@@ -1,10 +1,10 @@
 #include "characterize/client_layer.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
 
 #include "core/contracts.h"
+#include "core/radix_sort.h"
 #include "stats/timeseries.h"
 
 namespace lsm::characterize {
@@ -60,44 +60,87 @@ client_layer_report analyze_client_layer(const trace& t,
             static_cast<double>(log_display(b.start - a.start)));
     }
 
-    // --- Interest profiles (Fig 7).
-    std::unordered_map<client_id, std::uint64_t> transfers_per_client;
-    for (const log_record& r : t.records()) ++transfers_per_client[r.client];
-    std::unordered_map<client_id, std::uint64_t> sessions_per_client;
-    for (const session& s : sessions.sessions) ++sessions_per_client[s.client];
-    rep.distinct_clients = transfers_per_client.size();
-
+    // --- Interest profiles (Fig 7). Per-client counts come from run
+    // lengths in sorted key order rather than hash tables; the profile
+    // only depends on the multiset of counts (rank_frequency_profile
+    // sorts internally), so the ordering change is invisible.
     std::vector<std::uint64_t> tcounts;
-    tcounts.reserve(transfers_per_client.size());
-    for (const auto& [id, c] : transfers_per_client) tcounts.push_back(c);
+    {
+        std::vector<std::uint64_t> clients;
+        clients.reserve(t.size());
+        for (const log_record& r : t.records()) clients.push_back(r.client);
+        radix_sort_u64(clients);
+        for (std::size_t i = 0; i < clients.size();) {
+            std::size_t j = i;
+            while (j < clients.size() && clients[j] == clients[i]) ++j;
+            tcounts.push_back(j - i);
+            i = j;
+        }
+    }
+    rep.distinct_clients = tcounts.size();
     rep.transfer_interest_profile = stats::rank_frequency_profile(tcounts);
     rep.transfer_interest_fit =
         stats::fit_zipf_loglog(rep.transfer_interest_profile);
 
+    // Sessions arrive (client, start)-sorted, so per-client session
+    // counts are plain run lengths.
     std::vector<std::uint64_t> scounts;
-    scounts.reserve(sessions_per_client.size());
-    for (const auto& [id, c] : sessions_per_client) scounts.push_back(c);
+    for (std::size_t i = 0; i < sessions.sessions.size();) {
+        std::size_t j = i;
+        while (j < sessions.sessions.size() &&
+               sessions.sessions[j].client == sessions.sessions[i].client) {
+            ++j;
+        }
+        scounts.push_back(j - i);
+        i = j;
+    }
     rep.session_interest_profile = stats::rank_frequency_profile(scounts);
     rep.session_interest_fit =
         stats::fit_zipf_loglog(rep.session_interest_profile);
 
-    // --- Fig 2: AS and country diversity.
-    struct as_acc {
-        std::uint64_t transfers = 0;
-        std::unordered_set<ipv4_addr> ips;
-    };
-    std::unordered_map<as_number, as_acc> by_as;
-    std::map<std::string, std::uint64_t> by_country;
-    for (const log_record& r : t.records()) {
-        auto& acc = by_as[r.asn];
-        ++acc.transfers;
-        acc.ips.insert(r.ip);
-        ++by_country[to_string(r.country)];
+    // --- Fig 2: AS and country diversity. (asn, ip) pairs pack into one
+    // 64-bit key, so one radix sort yields, per AS run, both the transfer
+    // count (run length) and the distinct-IP count (sub-runs).
+    {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(t.size());
+        for (const log_record& r : t.records()) {
+            keys.push_back((static_cast<std::uint64_t>(r.asn) << 32) | r.ip);
+        }
+        radix_sort_u64(keys);
+        for (std::size_t i = 0; i < keys.size();) {
+            const std::uint64_t asn = keys[i] >> 32;
+            std::size_t j = i;
+            std::size_t distinct_ips = 0;
+            while (j < keys.size() && (keys[j] >> 32) == asn) {
+                std::size_t k = j;
+                while (k < keys.size() && keys[k] == keys[j]) ++k;
+                ++distinct_ips;
+                j = k;
+            }
+            rep.as_by_transfers.push_back({static_cast<as_number>(asn),
+                                           j - i, distinct_ips});
+            i = j;
+        }
     }
-    rep.as_by_transfers.reserve(by_as.size());
-    for (const auto& [asn, acc] : by_as) {
-        rep.as_by_transfers.push_back(
-            {asn, acc.transfers, acc.ips.size()});
+    // Country codes pack into a u16 whose ascending numeric order equals
+    // the codes' lexicographic order, so a flat count array replaces the
+    // ordered map without reordering the output.
+    {
+        std::vector<std::uint64_t> by_country(65536, 0);
+        for (const log_record& r : t.records()) {
+            const auto packed = static_cast<std::uint16_t>(
+                (static_cast<unsigned char>(r.country.c[0]) << 8) |
+                static_cast<unsigned char>(r.country.c[1]));
+            ++by_country[packed];
+        }
+        for (std::size_t packed = 0; packed < by_country.size(); ++packed) {
+            if (by_country[packed] == 0) continue;
+            country_code cc;
+            cc.c[0] = static_cast<char>(packed >> 8);
+            cc.c[1] = static_cast<char>(packed & 0xFF);
+            rep.countries.push_back({to_string(cc), by_country[packed]});
+        }
     }
     std::sort(rep.as_by_transfers.begin(), rep.as_by_transfers.end(),
               [](const as_profile& a, const as_profile& b) {
@@ -105,8 +148,6 @@ client_layer_report analyze_client_layer(const trace& t,
                       return a.transfers > b.transfers;
                   return a.asn < b.asn;
               });
-    rep.countries.reserve(by_country.size());
-    for (const auto& [cc, n] : by_country) rep.countries.push_back({cc, n});
     std::sort(rep.countries.begin(), rep.countries.end(),
               [](const country_profile& a, const country_profile& b) {
                   if (a.transfers != b.transfers)

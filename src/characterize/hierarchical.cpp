@@ -33,7 +33,7 @@ hierarchical_report characterize_hierarchically(
     thread_pool pool(cfg.threads);
     {
         obs::scoped_timer t_sum(metrics, "summary");
-        rep.summary = summarize(t);
+        rep.summary = summarize(t, pool);
     }
     rep.sessions = build_sessions(t, cfg.session_timeout, pool, metrics);
     // The three layer analyses only read `t` and the finished session set,

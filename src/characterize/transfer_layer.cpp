@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/contracts.h"
+#include "core/radix_sort.h"
 #include "stats/timeseries.h"
 
 namespace lsm::characterize {
@@ -40,7 +41,7 @@ transfer_layer_report analyze_transfer_layer(
     std::vector<seconds_t> starts;
     starts.reserve(t.size());
     for (const log_record& r : t.records()) starts.push_back(r.start);
-    std::sort(starts.begin(), starts.end());
+    radix_sort_i64(starts);
     std::vector<seconds_t> gap_times;  // time of the earlier event
     std::vector<double> gap_values;
     rep.interarrivals.reserve(starts.size());

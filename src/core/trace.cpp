@@ -1,9 +1,12 @@
 #include "core/trace.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <bit>
+#include <cstdint>
 
 #include "core/contracts.h"
+#include "core/parallel.h"
+#include "core/radix_sort.h"
 
 namespace lsm {
 
@@ -26,29 +29,106 @@ bool trace::is_sorted_by_start() const {
                           record_start_less);
 }
 
+namespace {
+
+/// Distinct values in a gathered key column, via radix sort + run count.
+/// Cheaper than hashing every record: a few linear byte passes (constant
+/// planes skipped), no per-element probe chains.
+std::size_t distinct_count(std::vector<std::uint64_t>& keys) {
+    if (keys.empty()) return 0;
+    radix_sort_u64(keys);
+    std::size_t n = 1;
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        n += keys[i] != keys[i - 1] ? 1 : 0;
+    }
+    return n;
+}
+
+/// A 65536-entry bitmap sized for the u16-keyed columns (object ids and
+/// packed two-letter country codes).
+struct u16_bitmap {
+    std::uint64_t words[1024] = {};
+
+    void set(std::uint16_t v) { words[v >> 6] |= 1ULL << (v & 63); }
+    std::size_t count() const {
+        std::size_t n = 0;
+        for (std::uint64_t w : words) n += std::popcount(w);
+        return n;
+    }
+};
+
+std::uint16_t pack_country(country_code cc) {
+    return static_cast<std::uint16_t>(
+        (static_cast<unsigned char>(cc.c[0]) << 8) |
+        static_cast<unsigned char>(cc.c[1]));
+}
+
+std::size_t distinct_clients(const std::vector<log_record>& recs) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(recs.size());
+    for (const log_record& r : recs) keys.push_back(r.client);
+    return distinct_count(keys);
+}
+
+std::size_t distinct_ips(const std::vector<log_record>& recs) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(recs.size());
+    for (const log_record& r : recs) keys.push_back(r.ip);
+    return distinct_count(keys);
+}
+
+std::size_t distinct_asns(const std::vector<log_record>& recs) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(recs.size());
+    for (const log_record& r : recs) keys.push_back(r.asn);
+    return distinct_count(keys);
+}
+
+/// Objects, countries, and byte totals in one serial pass. Bytes are
+/// summed in record order on purpose: FP addition does not associate, and
+/// every caller (including the pooled overload) must produce the same
+/// total for the pipeline's thread-count-invariance guarantee to hold.
+void scan_small_columns(const std::vector<log_record>& recs,
+                        trace_summary& s) {
+    u16_bitmap objects;
+    u16_bitmap countries;
+    double total_bytes = 0.0;
+    for (const log_record& r : recs) {
+        objects.set(r.object);
+        countries.set(pack_country(r.country));
+        total_bytes += r.bytes();
+    }
+    s.num_objects = objects.count();
+    s.num_countries = countries.count();
+    s.total_bytes = total_bytes;
+}
+
+}  // namespace
+
 trace_summary summarize(const trace& t) {
     trace_summary s;
     s.window_length = t.window_length();
-    std::unordered_set<object_id> objects;
-    std::unordered_set<as_number> asns;
-    std::unordered_set<ipv4_addr> ips;
-    std::unordered_set<client_id> clients;
-    std::unordered_set<std::uint16_t> countries;
-    for (const log_record& r : t.records()) {
-        objects.insert(r.object);
-        asns.insert(r.asn);
-        ips.insert(r.ip);
-        clients.insert(r.client);
-        countries.insert(static_cast<std::uint16_t>(
-            (static_cast<unsigned char>(r.country.c[0]) << 8) |
-            static_cast<unsigned char>(r.country.c[1])));
-        s.total_bytes += r.bytes();
-    }
-    s.num_objects = objects.size();
-    s.num_asns = asns.size();
-    s.num_ips = ips.size();
-    s.num_clients = clients.size();
-    s.num_countries = countries.size();
+    const auto& recs = t.records();
+    s.num_clients = distinct_clients(recs);
+    s.num_ips = distinct_ips(recs);
+    s.num_asns = distinct_asns(recs);
+    scan_small_columns(recs, s);
+    s.num_transfers = t.size();
+    return s;
+}
+
+trace_summary summarize(const trace& t, thread_pool& pool) {
+    trace_summary s;
+    s.window_length = t.window_length();
+    const auto& recs = t.records();
+    // Four independent column scans; each task writes its own fields, and
+    // scan_small_columns keeps its serial in-order byte sum, so the result
+    // matches the sequential overload exactly.
+    parallel_invoke(
+        pool, [&] { s.num_clients = distinct_clients(recs); },
+        [&] { s.num_ips = distinct_ips(recs); },
+        [&] { s.num_asns = distinct_asns(recs); },
+        [&] { scan_small_columns(recs, s); });
     s.num_transfers = t.size();
     return s;
 }

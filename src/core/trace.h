@@ -13,6 +13,8 @@
 
 namespace lsm {
 
+class thread_pool;
+
 class trace {
 public:
     trace() = default;
@@ -61,6 +63,11 @@ struct trace_summary {
 };
 
 trace_summary summarize(const trace& t);
+
+/// Pooled flavor: computes the per-column distinct counts concurrently.
+/// Byte totals are still accumulated serially in record order, so the
+/// result is identical to the sequential overload for every pool size.
+trace_summary summarize(const trace& t, thread_pool& pool);
 
 /// Result of sanitizing a trace (§2.4).
 struct sanitize_report {

@@ -3,13 +3,15 @@
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <string_view>
+#include <locale>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <vector>
+
+#include "core/parallel.h"
 
 namespace lsm {
 
@@ -36,7 +38,7 @@ std::vector<std::string_view> split_csv(std::string_view line) {
 }
 
 template <typename T>
-T parse_int(std::string_view s, int line_no, const char* field) {
+T parse_int(std::string_view s, std::int64_t line_no, const char* field) {
     T value{};
     auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
     if (ec != std::errc{} || ptr != s.data() + s.size()) {
@@ -47,25 +49,104 @@ T parse_int(std::string_view s, int line_no, const char* field) {
     return value;
 }
 
-double parse_double(std::string_view s, int line_no, const char* field) {
-    // std::from_chars for double is not universally available; strtod on a
-    // bounded copy is portable and the fields are short.
-    char buf[64];
-    if (s.size() >= sizeof buf) {
-        throw trace_io_error("line " + std::to_string(line_no) +
-                             ": oversized numeric field '" +
-                             std::string(field) + "'");
-    }
-    std::memcpy(buf, s.data(), s.size());
-    buf[s.size()] = '\0';
-    char* end = nullptr;
-    double value = std::strtod(buf, &end);
-    if (end != buf + s.size()) {
+double parse_double(std::string_view s, std::int64_t line_no,
+                    const char* field) {
+    // std::from_chars is locale-independent; strtod honors LC_NUMERIC and
+    // would mis-parse every decimal point under a comma-decimal locale.
+#if defined(__cpp_lib_to_chars)
+    double value{};
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
         throw trace_io_error("line " + std::to_string(line_no) +
                              ": bad numeric field '" + std::string(field) +
                              "': '" + std::string(s) + "'");
     }
     return value;
+#else
+    // Portable fallback: stream extraction pinned to the classic locale.
+    std::istringstream in{std::string(s)};
+    in.imbue(std::locale::classic());
+    double value{};
+    in >> value;
+    if (!in || in.peek() != std::istringstream::traits_type::eof()) {
+        throw trace_io_error("line " + std::to_string(line_no) +
+                             ": bad numeric field '" + std::string(field) +
+                             "': '" + std::string(s) + "'");
+    }
+    return value;
+#endif
+}
+
+/// Splits `line` on every comma into at most 11 field views; returns the
+/// total field count (which may exceed 11). No allocation.
+int scan_fields(std::string_view line, std::string_view fields[11]) {
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    int nf = 0;
+    while (true) {
+        const char* comma = static_cast<const char*>(
+            std::memchr(p, ',', static_cast<std::size_t>(end - p)));
+        if (comma == nullptr) {
+            if (nf < 11) {
+                fields[nf] =
+                    std::string_view(p, static_cast<std::size_t>(end - p));
+            }
+            ++nf;
+            break;
+        }
+        if (nf < 11) {
+            fields[nf] =
+                std::string_view(p, static_cast<std::size_t>(comma - p));
+        }
+        ++nf;
+        p = comma + 1;
+    }
+    return nf;
+}
+
+/// Decodes one record line (no trailing newline) into `r`. Shared by the
+/// serial and parallel readers so their semantics — accepted syntax and
+/// error messages alike — cannot drift apart.
+void parse_record_line(std::string_view line, std::int64_t line_no,
+                       log_record& r) {
+    std::string_view f[11];
+    const int nf = scan_fields(line, f);
+    if (nf != 11) {
+        throw trace_io_error("line " + std::to_string(line_no) +
+                             ": expected 11 fields, got " +
+                             std::to_string(nf));
+    }
+    r.client = parse_int<client_id>(f[0], line_no, "client");
+    r.ip = parse_int<ipv4_addr>(f[1], line_no, "ip");
+    r.asn = parse_int<as_number>(f[2], line_no, "asn");
+    if (f[3].size() != 2) {
+        throw trace_io_error("line " + std::to_string(line_no) +
+                             ": country must be two letters");
+    }
+    r.country.c[0] = f[3][0];
+    r.country.c[1] = f[3][1];
+    r.object = parse_int<object_id>(f[4], line_no, "object");
+    r.start = parse_int<seconds_t>(f[5], line_no, "start");
+    r.duration = parse_int<seconds_t>(f[6], line_no, "duration");
+    r.avg_bandwidth_bps = parse_double(f[7], line_no, "bandwidth_bps");
+    r.packet_loss = static_cast<float>(parse_double(f[8], line_no, "loss"));
+    r.server_cpu = static_cast<float>(parse_double(f[9], line_no, "cpu"));
+    r.status = static_cast<transfer_status>(
+        parse_int<std::uint16_t>(f[10], line_no, "status"));
+}
+
+trace_csv_header parse_magic_line(std::string_view line) {
+    auto magic_fields = split_csv(line);
+    if (magic_fields.size() != 3 || magic_fields[0] != k_magic) {
+        throw trace_io_error("bad magic line: '" + std::string(line) + "'");
+    }
+    trace_csv_header header;
+    header.window_length =
+        parse_int<seconds_t>(magic_fields[1], 1, "window");
+    header.start_day =
+        static_cast<weekday>(parse_int<int>(magic_fields[2], 1,
+                                            "start_day"));
+    return header;
 }
 
 }  // namespace
@@ -76,15 +157,35 @@ void write_trace_csv(const trace& t, std::ostream& out) {
     out << k_header << '\n';
     char buf[256];
     for (const log_record& r : t.records()) {
-        std::snprintf(buf, sizeof buf,
-                      "%" PRIu64 ",%u,%u,%c%c,%u,%" PRId64 ",%" PRId64
-                      ",%.6g,%.6g,%.6g,%u\n",
-                      r.client, r.ip, r.asn, r.country.c[0], r.country.c[1],
-                      static_cast<unsigned>(r.object), r.start, r.duration,
-                      r.avg_bandwidth_bps, static_cast<double>(r.packet_loss),
-                      static_cast<double>(r.server_cpu),
-                      static_cast<unsigned>(r.status));
-        out << buf;
+        char* p = buf;
+        char* const end = buf + sizeof buf;
+        p += std::snprintf(p, static_cast<std::size_t>(end - p),
+                           "%" PRIu64 ",%u,%u,%c%c,%u,%" PRId64 ",%" PRId64
+                           ",",
+                           r.client, r.ip, r.asn, r.country.c[0],
+                           r.country.c[1], static_cast<unsigned>(r.object),
+                           r.start, r.duration);
+        // The floating-point fields go through to_chars, which is
+        // specified as printf %.6g in the "C" locale — identical bytes to
+        // the old snprintf path, but immune to LC_NUMERIC (a comma-
+        // decimal locale must not change what we write).
+        const auto put_g6 = [&](double v) {
+#if defined(__cpp_lib_to_chars)
+            const auto res = std::to_chars(p, end, v,
+                                           std::chars_format::general, 6);
+            p = res.ptr;
+#else
+            p += std::snprintf(p, static_cast<std::size_t>(end - p),
+                               "%.6g", v);
+#endif
+            *p++ = ',';
+        };
+        put_g6(r.avg_bandwidth_bps);
+        put_g6(static_cast<double>(r.packet_loss));
+        put_g6(static_cast<double>(r.server_cpu));
+        p += std::snprintf(p, static_cast<std::size_t>(end - p), "%u\n",
+                           static_cast<unsigned>(r.status));
+        out.write(buf, p - buf);
     }
 }
 
@@ -101,46 +202,16 @@ trace_csv_header read_trace_csv_stream(
     std::string line;
     if (!std::getline(in, line))
         throw trace_io_error("empty input: missing magic line");
-    auto magic_fields = split_csv(line);
-    if (magic_fields.size() != 3 || magic_fields[0] != k_magic)
-        throw trace_io_error("bad magic line: '" + line + "'");
-    trace_csv_header header;
-    header.window_length = parse_int<seconds_t>(magic_fields[1], 1,
-                                                "window");
-    header.start_day = static_cast<weekday>(
-        parse_int<int>(magic_fields[2], 1, "start_day"));
+    const trace_csv_header header = parse_magic_line(line);
     if (!std::getline(in, line) || line != k_header)
         throw trace_io_error("missing or bad column header line");
 
-    int line_no = 2;
+    std::int64_t line_no = 2;
+    log_record r;
     while (std::getline(in, line)) {
         ++line_no;
         if (line.empty()) continue;
-        auto f = split_csv(line);
-        if (f.size() != 11) {
-            throw trace_io_error("line " + std::to_string(line_no) +
-                                 ": expected 11 fields, got " +
-                                 std::to_string(f.size()));
-        }
-        log_record r;
-        r.client = parse_int<client_id>(f[0], line_no, "client");
-        r.ip = parse_int<ipv4_addr>(f[1], line_no, "ip");
-        r.asn = parse_int<as_number>(f[2], line_no, "asn");
-        if (f[3].size() != 2) {
-            throw trace_io_error("line " + std::to_string(line_no) +
-                                 ": country must be two letters");
-        }
-        r.country.c[0] = f[3][0];
-        r.country.c[1] = f[3][1];
-        r.object = parse_int<object_id>(f[4], line_no, "object");
-        r.start = parse_int<seconds_t>(f[5], line_no, "start");
-        r.duration = parse_int<seconds_t>(f[6], line_no, "duration");
-        r.avg_bandwidth_bps = parse_double(f[7], line_no, "bandwidth_bps");
-        r.packet_loss =
-            static_cast<float>(parse_double(f[8], line_no, "loss"));
-        r.server_cpu = static_cast<float>(parse_double(f[9], line_no, "cpu"));
-        r.status = static_cast<transfer_status>(
-            parse_int<std::uint16_t>(f[10], line_no, "status"));
+        parse_record_line(line, line_no, r);
         sink(r);
     }
     return header;
@@ -159,6 +230,141 @@ trace read_trace_csv_file(const std::string& path) {
     std::ifstream in(path);
     if (!in) throw trace_io_error("cannot open for reading: " + path);
     return read_trace_csv(in);
+}
+
+namespace {
+
+/// Per-chunk output of the parallel decoder.
+struct csv_chunk {
+    std::string_view body;       ///< whole lines, split at '\n' boundaries
+    std::int64_t first_line = 0; ///< 1-based file line number of body[0]
+    std::vector<log_record> records;
+};
+
+/// Decodes every line of one chunk. Throws trace_io_error with the exact
+/// file line number on malformed input, like the serial reader.
+void decode_chunk(csv_chunk& chunk) {
+    const char* p = chunk.body.data();
+    const char* const end = p + chunk.body.size();
+    // Lines average ~45 bytes in this format; a mild underestimate just
+    // costs one vector growth step.
+    chunk.records.reserve(chunk.body.size() / 40 + 1);
+    std::int64_t line_no = chunk.first_line;
+    log_record r;
+    while (p < end) {
+        const char* nl = static_cast<const char*>(
+            std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+        const char* line_end = nl == nullptr ? end : nl;
+        if (line_end != p) {
+            parse_record_line(
+                std::string_view(p,
+                                 static_cast<std::size_t>(line_end - p)),
+                line_no, r);
+            chunk.records.push_back(r);
+        }
+        ++line_no;
+        if (nl == nullptr) break;
+        p = nl + 1;
+    }
+}
+
+}  // namespace
+
+trace read_trace_csv_buffer(std::string_view buf, thread_pool* pool) {
+    // Header: magic line and column-header line, exactly as the stream
+    // reader sees them via getline.
+    const std::size_t nl1 = buf.find('\n');
+    if (buf.empty())
+        throw trace_io_error("empty input: missing magic line");
+    const trace_csv_header header = parse_magic_line(
+        buf.substr(0, nl1 == std::string_view::npos ? buf.size() : nl1));
+    if (nl1 == std::string_view::npos)
+        throw trace_io_error("missing or bad column header line");
+    const std::size_t nl2 = buf.find('\n', nl1 + 1);
+    std::string_view header_line;
+    std::string_view body;
+    if (nl2 == std::string_view::npos) {
+        // A file may end at the header line with no trailing newline;
+        // getline-based reading accepts that, so this reader must too.
+        header_line = buf.substr(nl1 + 1);
+    } else {
+        header_line = buf.substr(nl1 + 1, nl2 - nl1 - 1);
+        body = buf.substr(nl2 + 1);
+    }
+    if (header_line != k_header)
+        throw trace_io_error("missing or bad column header line");
+
+    // Chunk boundaries: nominal equal-byte splits advanced to the next
+    // newline, so every chunk holds whole lines. The decomposition
+    // depends only on (size, lanes), never on timing.
+    const std::size_t lanes = pool != nullptr ? pool->size() : 1;
+    std::vector<csv_chunk> chunks;
+    chunks.reserve(lanes);
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < lanes && begin < body.size(); ++i) {
+        std::size_t end = body.size();
+        if (i + 1 < lanes) {
+            std::size_t nominal = (body.size() * (i + 1)) / lanes;
+            if (nominal < begin) nominal = begin;
+            const std::size_t nl = body.find('\n', nominal);
+            end = nl == std::string_view::npos ? body.size() : nl + 1;
+        }
+        csv_chunk c;
+        c.body = body.substr(begin, end - begin);
+        chunks.push_back(std::move(c));
+        begin = end;
+    }
+
+    // Line numbering: chunk i starts at 3 (first body line) plus the
+    // newlines in every earlier chunk. Counting is a cheap memchr sweep,
+    // parallel across chunks, and gives the decoder exact file line
+    // numbers so error messages match the serial reader byte for byte.
+    std::vector<std::int64_t> newline_counts(chunks.size(), 0);
+    auto count_newlines = [&](std::size_t i) {
+        const char* p = chunks[i].body.data();
+        const char* const end = p + chunks[i].body.size();
+        std::int64_t n = 0;
+        while (p < end) {
+            const char* nl = static_cast<const char*>(
+                std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+            if (nl == nullptr) break;
+            ++n;
+            p = nl + 1;
+        }
+        newline_counts[i] = n;
+    };
+    if (pool != nullptr && chunks.size() > 1) {
+        pool->run_shards(chunks.size(), count_newlines);
+    } else {
+        for (std::size_t i = 0; i < chunks.size(); ++i) count_newlines(i);
+    }
+    std::int64_t first = 3;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        chunks[i].first_line = first;
+        first += newline_counts[i];
+    }
+
+    // Decode. run_shards rethrows the exception from the lowest-numbered
+    // failing shard, i.e. the earliest malformed line in the file — the
+    // same line the serial reader would have reported.
+    if (pool != nullptr && chunks.size() > 1) {
+        pool->run_shards(chunks.size(),
+                         [&](std::size_t i) { decode_chunk(chunks[i]); });
+    } else {
+        for (csv_chunk& c : chunks) decode_chunk(c);
+    }
+
+    trace t;
+    t.set_window_length(header.window_length);
+    t.set_start_day(header.start_day);
+    std::size_t total = 0;
+    for (const csv_chunk& c : chunks) total += c.records.size();
+    t.reserve(total);
+    auto& recs = t.records();
+    for (csv_chunk& c : chunks) {
+        recs.insert(recs.end(), c.records.begin(), c.records.end());
+    }
+    return t;
 }
 
 }  // namespace lsm

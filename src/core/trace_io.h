@@ -9,16 +9,30 @@
 //   client,ip,asn,country,object,start,duration,bandwidth_bps,loss,cpu,status
 //   42,3232235777,28573,BR,0,1234,56,56000,0.001,0.03,200
 //   ...
+//
+// Numeric fields are parsed locale-independently (std::from_chars), so a
+// process running under a comma-decimal LC_NUMERIC locale reads and
+// writes the same bytes as one under "C".
+//
+// Readers come in three flavors: a streaming reader (constant memory,
+// record sink callback), a materializing reader over a stream, and a
+// buffer reader that can decode newline-split chunks on a thread pool —
+// its output (records, order, and error line numbers) is byte-identical
+// to the serial reader for every pool size. For the binary columnar
+// format and format auto-detection see core/trace_io_bin.h.
 #pragma once
 
 #include <functional>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/trace.h"
 
 namespace lsm {
+
+class thread_pool;
 
 /// Thrown on malformed input.
 class trace_io_error : public std::runtime_error {
@@ -32,6 +46,15 @@ void write_trace_csv_file(const trace& t, const std::string& path);
 
 trace read_trace_csv(std::istream& in);
 trace read_trace_csv_file(const std::string& path);
+
+/// Parses a whole in-memory CSV image. With a pool, the record body is
+/// split at newline boundaries into one chunk per pool lane and the
+/// chunks are decoded concurrently with a zero-allocation field scanner,
+/// then spliced back in order; the resulting trace — and, on malformed
+/// input, the reported line number — is identical to the serial reader
+/// for every pool size (including nullptr).
+trace read_trace_csv_buffer(std::string_view buf,
+                            thread_pool* pool = nullptr);
 
 /// Trace-level metadata from the CSV magic line.
 struct trace_csv_header {

@@ -1,0 +1,397 @@
+#include "core/trace_io_bin.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "core/parallel.h"
+#include "obs/metrics.h"
+
+namespace lsm {
+
+// The format stores native little-endian column payloads so loading is a
+// bulk copy; a big-endian port would need byte-swapping scatter loops.
+static_assert(std::endian::native == std::endian::little,
+              "lsm-trace-bin-v1 I/O assumes a little-endian host");
+static_assert(sizeof(double) == 8 && sizeof(float) == 4,
+              "lsm-trace-bin-v1 assumes IEEE-754 float sizes");
+
+namespace {
+
+constexpr std::uint32_t k_version = 1;
+constexpr std::uint32_t k_num_columns = 11;
+constexpr std::size_t k_header_bytes = 48;
+constexpr std::size_t k_block_header_bytes = 24;
+
+/// Per-record payload bytes across all columns; used to sanity-bound the
+/// declared record count against the actual buffer size.
+constexpr std::size_t k_bytes_per_record = 8 + 4 + 4 + 2 + 2 + 8 + 8 + 8 +
+                                           4 + 4 + 2;
+
+constexpr const char* k_column_names[k_num_columns] = {
+    "client", "ip",       "asn",  "country", "object", "start",
+    "duration", "bandwidth", "loss", "cpu",     "status"};
+
+/// FNV-1a-64 over the payload taken as little-endian 64-bit words, the
+/// final partial word zero-padded. Word-wise rather than byte-wise so
+/// verification runs one multiply per 8 bytes — checksumming must not
+/// dominate a format whose whole point is bulk-copy decoding.
+std::uint64_t fnv1a64_words(const char* data, std::size_t n) {
+    std::uint64_t h = 14695981039346656037ULL;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, data + i, 8);
+        h = (h ^ w) * 1099511628211ULL;
+    }
+    if (i < n) {
+        std::uint64_t w = 0;
+        std::memcpy(&w, data + i, n - i);
+        h = (h ^ w) * 1099511628211ULL;
+    }
+    return h;
+}
+
+void put_bytes(std::string& out, const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+}
+
+template <typename T>
+void put_scalar(std::string& out, T v) {
+    put_bytes(out, &v, sizeof v);
+}
+
+template <typename T>
+T get_scalar(const char* p) {
+    T v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+/// Gathers one column of the record array into a contiguous buffer.
+template <typename T, typename Get>
+void gather_column(const std::vector<log_record>& recs, std::string& buf,
+                   Get get) {
+    buf.clear();
+    buf.reserve(recs.size() * sizeof(T));
+    for (const log_record& r : recs) {
+        const T v = get(r);
+        put_bytes(buf, &v, sizeof v);
+    }
+}
+
+struct country_bytes {
+    char c[2];
+};
+
+/// Builds the payload buffer for column `col`.
+void gather(const std::vector<log_record>& recs, std::uint32_t col,
+            std::string& buf) {
+    switch (col) {
+        case 0:
+            gather_column<std::uint64_t>(
+                recs, buf, [](const log_record& r) { return r.client; });
+            return;
+        case 1:
+            gather_column<std::uint32_t>(
+                recs, buf, [](const log_record& r) { return r.ip; });
+            return;
+        case 2:
+            gather_column<std::uint32_t>(
+                recs, buf, [](const log_record& r) { return r.asn; });
+            return;
+        case 3:
+            gather_column<country_bytes>(recs, buf, [](const log_record& r) {
+                return country_bytes{{r.country.c[0], r.country.c[1]}};
+            });
+            return;
+        case 4:
+            gather_column<std::uint16_t>(
+                recs, buf, [](const log_record& r) { return r.object; });
+            return;
+        case 5:
+            gather_column<std::int64_t>(
+                recs, buf, [](const log_record& r) { return r.start; });
+            return;
+        case 6:
+            gather_column<std::int64_t>(
+                recs, buf, [](const log_record& r) { return r.duration; });
+            return;
+        case 7:
+            gather_column<double>(recs, buf, [](const log_record& r) {
+                return r.avg_bandwidth_bps;
+            });
+            return;
+        case 8:
+            gather_column<float>(
+                recs, buf,
+                [](const log_record& r) { return r.packet_loss; });
+            return;
+        case 9:
+            gather_column<float>(
+                recs, buf, [](const log_record& r) { return r.server_cpu; });
+            return;
+        case 10:
+            gather_column<std::uint16_t>(
+                recs, buf, [](const log_record& r) {
+                    return static_cast<std::uint16_t>(r.status);
+                });
+            return;
+        default:
+            break;
+    }
+    throw trace_io_error("internal: unknown column id");
+}
+
+std::uint32_t column_elem_size(std::uint32_t col) {
+    switch (col) {
+        case 0: return 8;
+        case 1: case 2: return 4;
+        case 3: case 4: return 2;
+        case 5: case 6: case 7: return 8;
+        case 8: case 9: return 4;
+        case 10: return 2;
+        default: break;
+    }
+    throw trace_io_error("internal: unknown column id");
+}
+
+std::string slurp_stream(std::istream& in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return std::move(ss).str();
+}
+
+std::string slurp_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw trace_io_error("cannot open for reading: " + path);
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0) throw trace_io_error("cannot determine size: " + path);
+    in.seekg(0, std::ios::beg);
+    std::string buf(static_cast<std::size_t>(size), '\0');
+    if (size > 0) in.read(buf.data(), size);
+    if (!in) throw trace_io_error("read failed: " + path);
+    return buf;
+}
+
+}  // namespace
+
+bool buffer_is_trace_bin(std::string_view prefix) {
+    return prefix.size() >= k_trace_bin_magic.size() &&
+           prefix.substr(0, k_trace_bin_magic.size()) == k_trace_bin_magic;
+}
+
+void write_trace_bin(const trace& t, std::ostream& out) {
+    const auto& recs = t.records();
+    std::string header;
+    header.reserve(k_header_bytes);
+    header.append(k_trace_bin_magic);
+    put_scalar<std::uint32_t>(header, k_version);
+    put_scalar<std::uint32_t>(header, k_num_columns);
+    put_scalar<std::int64_t>(header, t.window_length());
+    put_scalar<std::uint32_t>(header,
+                              static_cast<std::uint32_t>(t.start_day()));
+    put_scalar<std::uint32_t>(header, 0);  // flags, reserved
+    put_scalar<std::uint64_t>(header, recs.size());
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+
+    std::string payload;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        gather(recs, col, payload);
+        std::string block;
+        block.reserve(k_block_header_bytes);
+        put_scalar<std::uint32_t>(block, col);
+        put_scalar<std::uint32_t>(block, column_elem_size(col));
+        put_scalar<std::uint64_t>(block, payload.size());
+        put_scalar<std::uint64_t>(
+            block, fnv1a64_words(payload.data(), payload.size()));
+        out.write(block.data(), static_cast<std::streamsize>(block.size()));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+    }
+}
+
+void write_trace_bin_file(const trace& t, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw trace_io_error("cannot open for writing: " + path);
+    write_trace_bin(t, out);
+    if (!out) throw trace_io_error("write failed: " + path);
+}
+
+trace read_trace_bin_buffer(std::string_view buf) {
+    if (buf.size() < k_header_bytes) {
+        throw trace_io_error("binary trace: truncated header (" +
+                             std::to_string(buf.size()) + " bytes)");
+    }
+    if (!buffer_is_trace_bin(buf)) {
+        throw trace_io_error("binary trace: bad magic");
+    }
+    const char* p = buf.data() + k_trace_bin_magic.size();
+    const auto version = get_scalar<std::uint32_t>(p);
+    if (version != k_version) {
+        throw trace_io_error("binary trace: unsupported version " +
+                             std::to_string(version));
+    }
+    const auto columns = get_scalar<std::uint32_t>(p + 4);
+    if (columns != k_num_columns) {
+        throw trace_io_error("binary trace: expected " +
+                             std::to_string(k_num_columns) +
+                             " columns, got " + std::to_string(columns));
+    }
+    const auto window = get_scalar<std::int64_t>(p + 8);
+    if (window < 0) {
+        throw trace_io_error("binary trace: negative window length");
+    }
+    const auto start_day = get_scalar<std::uint32_t>(p + 16);
+    if (start_day > 6) {
+        throw trace_io_error("binary trace: bad start day " +
+                             std::to_string(start_day));
+    }
+    const auto num_records = get_scalar<std::uint64_t>(p + 24);
+    // A record count the buffer cannot possibly hold is corruption; catch
+    // it before sizing any allocation by it.
+    if (num_records > buf.size() / k_bytes_per_record + 1) {
+        throw trace_io_error(
+            "binary trace: record count " + std::to_string(num_records) +
+            " exceeds file capacity");
+    }
+
+    trace t;
+    t.set_window_length(window);
+    t.set_start_day(static_cast<weekday>(start_day));
+    auto& recs = t.records();
+    recs.resize(static_cast<std::size_t>(num_records));
+
+    // Phase 1: validate every block header and checksum, remembering the
+    // payload base of each column.
+    const char* col_base[k_num_columns] = {};
+    std::size_t off = k_header_bytes;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        if (buf.size() - off < k_block_header_bytes) {
+            throw trace_io_error("binary trace: truncated block header for "
+                                 "column '" +
+                                 std::string(k_column_names[col]) + "'");
+        }
+        const char* bh = buf.data() + off;
+        const auto col_id = get_scalar<std::uint32_t>(bh);
+        const auto elem_size = get_scalar<std::uint32_t>(bh + 4);
+        const auto payload_bytes = get_scalar<std::uint64_t>(bh + 8);
+        const auto checksum = get_scalar<std::uint64_t>(bh + 16);
+        if (col_id != col) {
+            throw trace_io_error("binary trace: expected column " +
+                                 std::to_string(col) + ", found " +
+                                 std::to_string(col_id));
+        }
+        if (elem_size != column_elem_size(col)) {
+            throw trace_io_error("binary trace: column '" +
+                                 std::string(k_column_names[col]) +
+                                 "' has element size " +
+                                 std::to_string(elem_size) + ", expected " +
+                                 std::to_string(column_elem_size(col)));
+        }
+        if (payload_bytes != num_records * elem_size) {
+            throw trace_io_error("binary trace: column '" +
+                                 std::string(k_column_names[col]) +
+                                 "' payload size mismatch");
+        }
+        off += k_block_header_bytes;
+        if (buf.size() - off < payload_bytes) {
+            throw trace_io_error("binary trace: truncated payload for "
+                                 "column '" +
+                                 std::string(k_column_names[col]) + "'");
+        }
+        const char* payload = buf.data() + off;
+        if (fnv1a64_words(payload,
+                          static_cast<std::size_t>(payload_bytes)) !=
+            checksum) {
+            throw trace_io_error("binary trace: checksum mismatch in "
+                                 "column '" +
+                                 std::string(k_column_names[col]) + "'");
+        }
+        col_base[col] = payload;
+        off += static_cast<std::size_t>(payload_bytes);
+    }
+    if (off != buf.size()) {
+        throw trace_io_error("binary trace: " +
+                             std::to_string(buf.size() - off) +
+                             " trailing bytes after last column");
+    }
+
+    // Phase 2: fill records record-major — eleven sequential column
+    // cursors feeding one sequential write stream, one pass over the
+    // record array instead of eleven strided ones.
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        log_record& r = recs[i];
+        r.client = get_scalar<std::uint64_t>(col_base[0] + i * 8);
+        r.ip = get_scalar<std::uint32_t>(col_base[1] + i * 4);
+        r.asn = get_scalar<std::uint32_t>(col_base[2] + i * 4);
+        const auto cc = get_scalar<country_bytes>(col_base[3] + i * 2);
+        r.country.c[0] = cc.c[0];
+        r.country.c[1] = cc.c[1];
+        r.object = get_scalar<std::uint16_t>(col_base[4] + i * 2);
+        r.start = get_scalar<std::int64_t>(col_base[5] + i * 8);
+        r.duration = get_scalar<std::int64_t>(col_base[6] + i * 8);
+        r.avg_bandwidth_bps = get_scalar<double>(col_base[7] + i * 8);
+        r.packet_loss = get_scalar<float>(col_base[8] + i * 4);
+        r.server_cpu = get_scalar<float>(col_base[9] + i * 4);
+        r.status = static_cast<transfer_status>(
+            get_scalar<std::uint16_t>(col_base[10] + i * 2));
+    }
+    return t;
+}
+
+trace read_trace_bin(std::istream& in) {
+    return read_trace_bin_buffer(slurp_stream(in));
+}
+
+trace read_trace_bin_file(const std::string& path) {
+    return read_trace_bin_buffer(slurp_file(path));
+}
+
+trace_format parse_trace_format(std::string_view name) {
+    if (name == "csv") return trace_format::csv;
+    if (name == "bin") return trace_format::bin;
+    throw trace_io_error("unknown trace format '" + std::string(name) +
+                         "' (expected csv or bin)");
+}
+
+void write_trace_file(const trace& t, const std::string& path,
+                      trace_format format) {
+    if (format == trace_format::bin) {
+        write_trace_bin_file(t, path);
+    } else {
+        write_trace_csv_file(t, path);
+    }
+}
+
+trace read_trace_auto_file(const std::string& path, thread_pool* pool,
+                           obs::registry* metrics) {
+    obs::scoped_timer t_all(metrics, "ingest");
+    std::string buf;
+    {
+        obs::scoped_timer t_slurp(metrics, "slurp");
+        buf = slurp_file(path);
+    }
+    obs::add_counter(metrics, "ingest/bytes_read", buf.size());
+    trace t;
+    {
+        obs::scoped_timer t_decode(metrics, "decode");
+        if (buffer_is_trace_bin(buf)) {
+            obs::add_counter(metrics, "ingest/binary_files");
+            t = read_trace_bin_buffer(buf);
+        } else {
+            obs::add_counter(metrics, "ingest/csv_files");
+            t = read_trace_csv_buffer(buf, pool);
+        }
+    }
+    obs::add_counter(metrics, "ingest/records_read", t.size());
+    return t;
+}
+
+}  // namespace lsm

@@ -1,0 +1,83 @@
+// Binary columnar serialization of traces: the `lsm-trace-bin-v1` format.
+//
+// The CSV format (core/trace_io.h) is the interchange format; this one is
+// the fast path for large traces — loading is a whole-file slurp plus one
+// bulk copy per column, with no per-field parsing. Layout (all integers
+// little-endian):
+//
+//   offset  size  field
+//   0       16    magic "lsm-trace-bin-v1" (no NUL)
+//   16      4     u32 version (1)
+//   20      4     u32 column count (11)
+//   24      8     i64 window_length seconds
+//   32      4     u32 start_day (weekday, 0..6)
+//   36      4     u32 flags (0, reserved)
+//   40      8     u64 record count
+//
+// followed by one block per column, in column-id order:
+//
+//   u32 column_id, u32 element_size, u64 payload_bytes,
+//   u64 checksum, payload (element_size * record_count bytes)
+//
+// The checksum is FNV-1a-64 computed over the payload taken as
+// little-endian 64-bit words (final partial word zero-padded), so
+// verification costs one multiply per 8 payload bytes.
+//
+// Columns: 0 client u64, 1 ip u32, 2 asn u32, 3 country char[2],
+// 4 object u16, 5 start i64, 6 duration i64, 7 bandwidth f64,
+// 8 loss f32, 9 cpu f32, 10 status u16.
+//
+// The 16-byte magic shares its "lsm-trace-" prefix with the CSV magic
+// line, so the first bytes of any trace file identify the format:
+// read_trace_auto_file() dispatches on it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/trace.h"
+#include "core/trace_io.h"
+#include "obs/fwd.h"
+
+namespace lsm {
+
+class thread_pool;
+
+inline constexpr std::string_view k_trace_bin_magic = "lsm-trace-bin-v1";
+
+/// True when `prefix` (the first bytes of a file or buffer) identifies
+/// the binary trace format. Needs at least 16 bytes to say yes.
+bool buffer_is_trace_bin(std::string_view prefix);
+
+void write_trace_bin(const trace& t, std::ostream& out);
+void write_trace_bin_file(const trace& t, const std::string& path);
+
+/// Parses a whole in-memory image of a binary trace file. Throws
+/// trace_io_error on any structural problem (bad magic/version, short or
+/// oversized buffer, column mismatch, checksum failure).
+trace read_trace_bin_buffer(std::string_view buf);
+
+trace read_trace_bin(std::istream& in);
+trace read_trace_bin_file(const std::string& path);
+
+/// On-disk trace encodings the tools can read and write.
+enum class trace_format { csv, bin };
+
+/// Parses "csv" or "bin"; throws trace_io_error otherwise.
+trace_format parse_trace_format(std::string_view name);
+
+/// Writes `t` to `path` in the requested format.
+void write_trace_file(const trace& t, const std::string& path,
+                      trace_format format);
+
+/// Reads a trace file of either format, sniffing the leading bytes to
+/// dispatch. CSV decoding uses `pool` (when given) to parse newline-split
+/// chunks concurrently — output is byte-identical to the serial reader
+/// for every pool size. With `metrics`, the phases are timed under
+/// `ingest/...` and byte/record counters recorded.
+trace read_trace_auto_file(const std::string& path,
+                           thread_pool* pool = nullptr,
+                           obs::registry* metrics = nullptr);
+
+}  // namespace lsm

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/contracts.h"
+#include "core/parallel.h"
 
 namespace lsm::characterize {
 namespace {
@@ -200,6 +204,96 @@ TEST(SessionBuilder, RejectsNegativeTimeout) {
     t.add(rec(1, 0, 1));
     EXPECT_THROW(build_sessions(t, -1), lsm::contract_violation);
     EXPECT_THROW(count_sessions(t, -1), lsm::contract_violation);
+}
+
+/// The naive per-timeout walk the sweep's gap-list shortcut must equal.
+std::vector<std::uint64_t> naive_sweep(
+    const trace& t, const std::vector<seconds_t>& timeouts) {
+    std::vector<std::uint64_t> counts;
+    for (seconds_t timeout : timeouts) {
+        counts.push_back(count_sessions(t, timeout));
+    }
+    return counts;
+}
+
+TEST(SessionCountSweep, GapListEqualsNaiveLoopOnOverlappingTimelines) {
+    // Heavily overlapping transfers: a later transfer can start before an
+    // earlier one ends, so gaps go negative and the running-end maximum
+    // matters.
+    trace t(1000000);
+    std::uint64_t s = 31;
+    for (int i = 0; i < 800; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        t.add(rec(1 + (s % 7), static_cast<seconds_t>(s % 100000),
+                  static_cast<seconds_t>(s % 30000)));
+    }
+    const std::vector<seconds_t> timeouts = {0,   1,    10,   100,  500,
+                                             1500, 5000, 20000, 1000000};
+    EXPECT_EQ(session_count_sweep(t, timeouts), naive_sweep(t, timeouts));
+}
+
+TEST(SessionCountSweep, GapListEqualsNaiveLoopOnZeroDurations) {
+    trace t(1000000);
+    std::uint64_t s = 77;
+    for (int i = 0; i < 400; ++i) {
+        s = s * 2862933555777941757ULL + 3037000493ULL;
+        // All durations zero: every record is an instant.
+        t.add(rec(1 + (s % 5), static_cast<seconds_t>(s % 50000), 0));
+    }
+    const std::vector<seconds_t> timeouts = {0, 5, 50, 500, 5000, 50000};
+    EXPECT_EQ(session_count_sweep(t, timeouts), naive_sweep(t, timeouts));
+}
+
+TEST(SessionCountSweep, NegativeDurationsFallBackToNaiveWalk) {
+    // Negative durations break the gap-list invariant (a session reset
+    // can lower the running end), so the sweep must take the per-timeout
+    // walk; either way it has to agree with count_sessions.
+    trace t(1000000);
+    t.add(rec(1, 100, -50));
+    t.add(rec(1, 120, 10));
+    t.add(rec(1, 500, -200));
+    t.add(rec(1, 550, 5));
+    t.add(rec(2, 90, -10));
+    t.add(rec(2, 300, 20));
+    const std::vector<seconds_t> timeouts = {0, 10, 100, 400, 1000};
+    EXPECT_EQ(session_count_sweep(t, timeouts), naive_sweep(t, timeouts));
+}
+
+TEST(SessionCountSweep, SingleClientSingleRecord) {
+    trace t(1000);
+    t.add(rec(9, 10, 5));
+    const std::vector<seconds_t> timeouts = {0, 100};
+    EXPECT_EQ(session_count_sweep(t, timeouts),
+              (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(SessionBuilder, ParallelMergeMatchesSequentialAcrossPoolSizes) {
+    trace t(1000000);
+    std::uint64_t s = 55;
+    for (int i = 0; i < 1200; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        t.add(rec(1 + (s % 40), static_cast<seconds_t>(s % 400000),
+                  static_cast<seconds_t>(s % 2000)));
+    }
+    const auto sequential = build_sessions(t, 1500);
+    for (unsigned threads : {1U, 2U, 3U, 8U}) {
+        thread_pool pool(threads);
+        const auto parallel = build_sessions(t, 1500, pool);
+        ASSERT_EQ(parallel.sessions.size(), sequential.sessions.size())
+            << "threads=" << threads;
+        for (std::size_t i = 0; i < parallel.sessions.size(); ++i) {
+            ASSERT_EQ(parallel.sessions[i].client,
+                      sequential.sessions[i].client);
+            ASSERT_EQ(parallel.sessions[i].start,
+                      sequential.sessions[i].start);
+            ASSERT_EQ(parallel.sessions[i].end,
+                      sequential.sessions[i].end);
+            ASSERT_EQ(parallel.sessions[i].num_transfers,
+                      sequential.sessions[i].num_transfers);
+            ASSERT_EQ(parallel.sessions[i].transfer_starts,
+                      sequential.sessions[i].transfer_starts);
+        }
+    }
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+#include "core/trace_io_bin.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/trace_io.h"
+
+namespace lsm {
+namespace {
+
+log_record make_record(rng& r) {
+    log_record rec;
+    rec.client = r.next_u64();
+    rec.ip = static_cast<ipv4_addr>(r.next_u64());
+    rec.asn = static_cast<as_number>(r.next_u64() % 70000);
+    const char letters[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    rec.country.c[0] = letters[r.next_u64() % 26];
+    rec.country.c[1] = letters[r.next_u64() % 26];
+    rec.object = static_cast<object_id>(r.next_u64() % 4);
+    rec.start = static_cast<seconds_t>(r.next_u64() % 1000000);
+    rec.duration = static_cast<seconds_t>(r.next_u64() % 10000);
+    rec.avg_bandwidth_bps = r.next_double() * 1e6;
+    rec.packet_loss = static_cast<float>(r.next_double());
+    rec.server_cpu = static_cast<float>(r.next_double());
+    rec.status = (r.next_u64() % 10 == 0) ? transfer_status::rejected
+                                          : transfer_status::ok;
+    return rec;
+}
+
+trace random_trace(std::uint64_t seed, std::size_t n) {
+    rng r(seed);
+    trace t(2000000, weekday::wednesday);
+    for (std::size_t i = 0; i < n; ++i) t.add(make_record(r));
+    return t;
+}
+
+std::string to_bin(const trace& t) {
+    std::ostringstream ss;
+    write_trace_bin(t, ss);
+    return std::move(ss).str();
+}
+
+std::string to_csv(const trace& t) {
+    std::ostringstream ss;
+    write_trace_csv(t, ss);
+    return std::move(ss).str();
+}
+
+void expect_identical(const trace& a, const trace& b) {
+    EXPECT_EQ(a.window_length(), b.window_length());
+    EXPECT_EQ(a.start_day(), b.start_day());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto& x = a.records()[i];
+        const auto& y = b.records()[i];
+        ASSERT_EQ(x.client, y.client) << "record " << i;
+        ASSERT_EQ(x.ip, y.ip) << "record " << i;
+        ASSERT_EQ(x.asn, y.asn) << "record " << i;
+        ASSERT_EQ(x.country, y.country) << "record " << i;
+        ASSERT_EQ(x.object, y.object) << "record " << i;
+        ASSERT_EQ(x.start, y.start) << "record " << i;
+        ASSERT_EQ(x.duration, y.duration) << "record " << i;
+        // Binary stores the exact bits, so no tolerance is needed.
+        ASSERT_EQ(x.avg_bandwidth_bps, y.avg_bandwidth_bps)
+            << "record " << i;
+        ASSERT_EQ(x.packet_loss, y.packet_loss) << "record " << i;
+        ASSERT_EQ(x.server_cpu, y.server_cpu) << "record " << i;
+        ASSERT_EQ(x.status, y.status) << "record " << i;
+    }
+}
+
+TEST(TraceIoBin, RoundTripIsBitExact) {
+    const trace original = random_trace(11, 500);
+    const trace parsed = read_trace_bin_buffer(to_bin(original));
+    expect_identical(original, parsed);
+}
+
+TEST(TraceIoBin, RandomizedCsvBinCsvIsByteIdentical) {
+    // CSV -> bin -> CSV must reproduce the first CSV image byte for byte
+    // (the %.6g print/parse/print cycle is stable), which is what lets CI
+    // diff the demo trace after a format round trip.
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+        const trace original = random_trace(seed, 300);
+        const std::string csv1 = to_csv(original);
+        const trace from_csv = read_trace_csv_buffer(csv1);
+        const trace from_bin = read_trace_bin_buffer(to_bin(from_csv));
+        EXPECT_EQ(to_csv(from_bin), csv1) << "seed " << seed;
+    }
+}
+
+TEST(TraceIoBin, ExtremeValuesSurvive) {
+    trace t(100, weekday::saturday);
+    log_record r;
+    r.client = std::numeric_limits<std::uint64_t>::max();
+    r.ip = std::numeric_limits<std::uint32_t>::max();
+    r.asn = std::numeric_limits<std::uint32_t>::max();
+    r.country = make_country("ZZ");
+    r.object = std::numeric_limits<std::uint16_t>::max();
+    r.start = 0;
+    r.duration = 0;  // zero-length transfer
+    r.avg_bandwidth_bps = 0.0;
+    r.packet_loss = 1.0F;
+    r.server_cpu = 0.0F;
+    r.status = transfer_status::rejected;
+    t.add(r);
+    const trace parsed = read_trace_bin_buffer(to_bin(t));
+    expect_identical(t, parsed);
+}
+
+TEST(TraceIoBin, EmptyTraceRoundTrips) {
+    trace t(777, weekday::monday);
+    const trace parsed = read_trace_bin_buffer(to_bin(t));
+    EXPECT_EQ(parsed.size(), 0U);
+    EXPECT_EQ(parsed.window_length(), 777);
+    EXPECT_EQ(parsed.start_day(), weekday::monday);
+}
+
+TEST(TraceIoBin, SingleRecordRoundTrips) {
+    const trace t = random_trace(9, 1);
+    expect_identical(t, read_trace_bin_buffer(to_bin(t)));
+}
+
+TEST(TraceIoBin, DetectsFormatByMagic) {
+    const trace t = random_trace(5, 10);
+    EXPECT_TRUE(buffer_is_trace_bin(to_bin(t)));
+    EXPECT_FALSE(buffer_is_trace_bin(to_csv(t)));
+    EXPECT_FALSE(buffer_is_trace_bin(""));
+    EXPECT_FALSE(buffer_is_trace_bin("lsm-trace-bin"));  // short prefix
+}
+
+TEST(TraceIoBin, AutoReadDispatchesOnLeadingBytes) {
+    const trace t = random_trace(6, 50);
+    const std::string dir = ::testing::TempDir();
+    const std::string csv_path = dir + "/auto_test.csv";
+    const std::string bin_path = dir + "/auto_test.bin";
+    write_trace_file(t, csv_path, trace_format::csv);
+    write_trace_file(t, bin_path, trace_format::bin);
+    expect_identical(t, read_trace_auto_file(bin_path));
+    thread_pool pool(2);
+    const trace from_csv = read_trace_auto_file(csv_path, &pool);
+    EXPECT_EQ(from_csv.size(), t.size());
+}
+
+TEST(TraceIoBin, ParseTraceFormat) {
+    EXPECT_EQ(parse_trace_format("csv"), trace_format::csv);
+    EXPECT_EQ(parse_trace_format("bin"), trace_format::bin);
+    EXPECT_THROW(parse_trace_format("parquet"), trace_io_error);
+    EXPECT_THROW(parse_trace_format(""), trace_io_error);
+}
+
+// --- Corruption and truncation ----------------------------------------
+
+TEST(TraceIoBin, RejectsTruncatedHeader) {
+    const std::string buf = to_bin(random_trace(7, 20));
+    for (std::size_t keep : {0UL, 5UL, 16UL, 47UL}) {
+        EXPECT_THROW(read_trace_bin_buffer(buf.substr(0, keep)),
+                     trace_io_error)
+            << "kept " << keep << " bytes";
+    }
+}
+
+TEST(TraceIoBin, RejectsTruncatedPayload) {
+    const std::string buf = to_bin(random_trace(7, 20));
+    // Any cut inside the column blocks must be caught, either as a short
+    // block header or as a short payload.
+    for (std::size_t keep = 48; keep < buf.size(); keep += 97) {
+        EXPECT_THROW(read_trace_bin_buffer(buf.substr(0, keep)),
+                     trace_io_error)
+            << "kept " << keep << " of " << buf.size();
+    }
+}
+
+TEST(TraceIoBin, RejectsBadMagic) {
+    std::string buf = to_bin(random_trace(7, 5));
+    buf[0] = 'X';
+    EXPECT_THROW(read_trace_bin_buffer(buf), trace_io_error);
+}
+
+TEST(TraceIoBin, RejectsWrongVersion) {
+    std::string buf = to_bin(random_trace(7, 5));
+    buf[16] = 9;  // u32 version little-endian low byte
+    EXPECT_THROW(read_trace_bin_buffer(buf), trace_io_error);
+}
+
+TEST(TraceIoBin, RejectsWrongColumnCount) {
+    std::string buf = to_bin(random_trace(7, 5));
+    buf[20] = 7;  // u32 column count low byte
+    EXPECT_THROW(read_trace_bin_buffer(buf), trace_io_error);
+}
+
+TEST(TraceIoBin, RejectsBadStartDay) {
+    std::string buf = to_bin(random_trace(7, 5));
+    buf[32] = 42;  // u32 start_day low byte
+    EXPECT_THROW(read_trace_bin_buffer(buf), trace_io_error);
+}
+
+TEST(TraceIoBin, RejectsOversizedRecordCount) {
+    std::string buf = to_bin(random_trace(7, 5));
+    buf[46] = '\x7f';  // high bytes of the u64 record count at offset 40
+    EXPECT_THROW(read_trace_bin_buffer(buf), trace_io_error);
+}
+
+TEST(TraceIoBin, RejectsCorruptedPayloadByte) {
+    std::string buf = to_bin(random_trace(7, 50));
+    // Flip one byte inside the first column payload (header 48 + block
+    // header 24 puts payload at 72).
+    buf[100] = static_cast<char>(buf[100] ^ 0x40);
+    EXPECT_THROW(
+        {
+            try {
+                read_trace_bin_buffer(buf);
+            } catch (const trace_io_error& e) {
+                EXPECT_NE(std::string(e.what()).find("checksum"),
+                          std::string::npos)
+                    << e.what();
+                throw;
+            }
+        },
+        trace_io_error);
+}
+
+TEST(TraceIoBin, RejectsTrailingBytes) {
+    std::string buf = to_bin(random_trace(7, 5));
+    buf += "extra";
+    EXPECT_THROW(read_trace_bin_buffer(buf), trace_io_error);
+}
+
+TEST(TraceIoBin, MissingFileThrows) {
+    EXPECT_THROW(read_trace_bin_file("/nonexistent/x.bin"), trace_io_error);
+    EXPECT_THROW(read_trace_auto_file("/nonexistent/x.bin"),
+                 trace_io_error);
+}
+
+}  // namespace
+}  // namespace lsm

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <sstream>
+#include <string>
+
+#include "core/parallel.h"
 
 namespace lsm {
 namespace {
@@ -183,6 +187,160 @@ TEST(TraceIo, FileRoundTrip) {
 TEST(TraceIo, MissingFileThrows) {
     EXPECT_THROW(read_trace_csv_file("/nonexistent/path/x.csv"),
                  trace_io_error);
+}
+
+// --- Locale independence ----------------------------------------------
+
+/// RAII guard: switches LC_NUMERIC to a comma-decimal locale if one is
+/// installed, restoring the previous locale on destruction.
+class comma_locale_guard {
+public:
+    comma_locale_guard() {
+        const char* prev = std::setlocale(LC_NUMERIC, nullptr);
+        if (prev != nullptr) saved_ = prev;
+        for (const char* name :
+             {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR", "C.UTF-8@eu"}) {
+            if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+                // Only accept locales that actually use a comma decimal.
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%.1f", 1.5);
+                if (buf[1] == ',') {
+                    active_ = true;
+                    return;
+                }
+            }
+        }
+        std::setlocale(LC_NUMERIC, saved_.c_str());
+    }
+    ~comma_locale_guard() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+    bool active() const { return active_; }
+
+private:
+    std::string saved_ = "C";
+    bool active_ = false;
+};
+
+TEST(TraceIoLocale, CommaDecimalLocaleDoesNotChangeIo) {
+    // Regression: parse_double used to go through strtod and the writer
+    // through %.6g, both of which honor LC_NUMERIC — under a comma-
+    // decimal locale the same trace produced (and required) different
+    // bytes. Both paths must be locale-independent.
+    const trace original = sample_trace();
+    std::stringstream reference;
+    write_trace_csv(original, reference);
+
+    comma_locale_guard guard;
+    if (!guard.active()) {
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+    std::stringstream under_locale;
+    write_trace_csv(original, under_locale);
+    EXPECT_EQ(under_locale.str(), reference.str());
+
+    const trace parsed = read_trace_csv_buffer(reference.str());
+    ASSERT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed.records()[0].avg_bandwidth_bps,
+              original.records()[0].avg_bandwidth_bps);
+    EXPECT_EQ(parsed.records()[0].packet_loss,
+              original.records()[0].packet_loss);
+}
+
+// --- Parallel buffer reader -------------------------------------------
+
+std::string synthetic_csv(std::size_t records) {
+    trace t(1000000, weekday::tuesday);
+    std::uint64_t s = 13;
+    for (std::size_t i = 0; i < records; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        log_record r;
+        r.client = s >> 40;
+        r.ip = static_cast<ipv4_addr>(s);
+        r.asn = static_cast<as_number>(s % 65000);
+        r.country = make_country(s % 2 == 0 ? "BR" : "US");
+        r.object = static_cast<object_id>(s % 3);
+        r.start = static_cast<seconds_t>(s % 900000);
+        r.duration = static_cast<seconds_t>(s % 4000);
+        r.avg_bandwidth_bps = static_cast<double>(s % 100000) + 0.25;
+        r.packet_loss = static_cast<float>(s % 100) / 100.0F;
+        r.server_cpu = static_cast<float>(s % 97) / 97.0F;
+        r.status = transfer_status::ok;
+        t.add(r);
+    }
+    std::stringstream ss;
+    write_trace_csv(t, ss);
+    return ss.str();
+}
+
+void expect_traces_equal(const trace& a, const trace& b) {
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.window_length(), b.window_length());
+    EXPECT_EQ(a.start_day(), b.start_day());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto& x = a.records()[i];
+        const auto& y = b.records()[i];
+        ASSERT_EQ(x.client, y.client) << "record " << i;
+        ASSERT_EQ(x.start, y.start) << "record " << i;
+        ASSERT_EQ(x.duration, y.duration) << "record " << i;
+        ASSERT_EQ(x.avg_bandwidth_bps, y.avg_bandwidth_bps)
+            << "record " << i;
+    }
+}
+
+TEST(TraceIoParallel, BufferReaderMatchesSerialForEveryPoolSize) {
+    const std::string csv = synthetic_csv(997);
+    const trace serial = read_trace_csv_buffer(csv);
+    std::stringstream ss(csv);
+    expect_traces_equal(serial, read_trace_csv(ss));
+    for (unsigned threads : {1U, 2U, 8U}) {
+        thread_pool pool(threads);
+        const trace parallel = read_trace_csv_buffer(csv, &pool);
+        expect_traces_equal(serial, parallel);
+    }
+}
+
+TEST(TraceIoParallel, ReportsSameErrorLineForEveryPoolSize) {
+    // Corrupt one record deep in the body; every pool size must report
+    // the exact same line number as the serial reader.
+    std::string csv = synthetic_csv(500);
+    // Replace the client field of the 300th record (line 302: magic,
+    // header, then 1-based record lines) with a non-numeric token.
+    std::size_t pos = 0;
+    for (int newline = 0; newline < 301; ++newline) {
+        pos = csv.find('\n', pos) + 1;
+    }
+    csv.replace(pos, csv.find(',', pos) - pos, "bogus");
+
+    std::string serial_error;
+    try {
+        read_trace_csv_buffer(csv);
+        FAIL() << "expected trace_io_error";
+    } catch (const trace_io_error& e) {
+        serial_error = e.what();
+    }
+    EXPECT_NE(serial_error.find("line 302"), std::string::npos)
+        << serial_error;
+
+    for (unsigned threads : {1U, 2U, 8U}) {
+        thread_pool pool(threads);
+        try {
+            read_trace_csv_buffer(csv, &pool);
+            FAIL() << "expected trace_io_error at " << threads
+                   << " threads";
+        } catch (const trace_io_error& e) {
+            EXPECT_EQ(std::string(e.what()), serial_error)
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST(TraceIoParallel, HeaderOnlyBufferWithoutTrailingNewline) {
+    const std::string csv =
+        "lsm-trace-v1,100,0\n"
+        "client,ip,asn,country,object,start,duration,bandwidth_bps,loss,"
+        "cpu,status";
+    const trace t = read_trace_csv_buffer(csv);
+    EXPECT_EQ(t.size(), 0U);
+    EXPECT_EQ(t.window_length(), 100);
 }
 
 }  // namespace
