@@ -23,6 +23,7 @@
 #include "gismo/arrival_process.h"
 #include "gismo/live_generator.h"
 #include "gismo/vbr.h"
+#include "obs/trace_event.h"
 #include "stats/fitting.h"
 #include "stats/timeseries.h"
 #include "world/world_sim.h"
@@ -310,6 +311,29 @@ void BM_VbrSeries(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_VbrSeries)->Arg(4096)->Arg(65536);
+
+void BM_TracerOverhead(benchmark::State& state) {
+    // Cost of the ambient execution tracer on the pool's shard slices:
+    // Arg(0) runs untraced (one relaxed atomic load per slice site),
+    // Arg(1) installs a global tracer so every shard records a B/E
+    // pair. The delta between the rows is the per-run tracing cost.
+    const bool traced = state.range(0) != 0;
+    thread_pool pool(2);
+    for (auto _ : state) {
+        obs::tracer t;
+        obs::global_tracer_guard guard(traced ? &t : nullptr);
+        pool.run_shards(64, [](std::size_t shard) {
+            volatile std::uint64_t sink = shard;
+            for (int i = 0; i < 200; ++i) {
+                sink = sink + static_cast<std::uint64_t>(i);
+            }
+        });
+        benchmark::DoNotOptimize(t.recorded());
+    }
+    state.counters["shards/s"] =
+        benchmark::Counter(64.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TracerOverhead)->Arg(0)->Arg(1);
 
 /// Console reporter that additionally captures every run, so main() can
 /// dump the whole session as machine-readable JSON next to the normal

@@ -5,6 +5,8 @@
 //   $ ./characterize_trace --demo          # world-sim a demo trace first
 //   $ ./characterize_trace --json <trace>       # machine-readable output
 //   $ ./characterize_trace --metrics-out m.json <trace>      # obs dump
+//   $ ./characterize_trace --trace-out t.json <trace>  # execution trace
+//   $ ./characterize_trace --series-out s.csv --demo   # sim-time series
 //   $ ./characterize_trace --trace-format bin --demo  # binary demo trace
 //
 // Input traces may be the library's CSV or the binary columnar format
@@ -25,12 +27,14 @@
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
 #include "obs/metrics.h"
+#include "obs/trace_event.h"
 #include "world/world_sim.h"
 
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::cerr << "usage: " << argv[0]
                   << " [--json] [--threads N] [--metrics-out m.json]"
+                  << " [--trace-out t.json] [--series-out s.csv]"
                   << " [--trace-format csv|bin]"
                   << " <trace-file> [session_timeout] | --demo\n";
         return 1;
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
     bool json = false;
     unsigned threads = 0;  // 0 = hardware concurrency
     std::string metrics_out;
+    std::string trace_out;
+    std::string series_out;
     lsm::trace_format demo_format = lsm::trace_format::csv;
     int argi = 1;
     while (argi < argc) {
@@ -60,6 +66,20 @@ int main(int argc, char** argv) {
                 return 1;
             }
             metrics_out = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--trace-out") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--trace-out requires a path\n";
+                return 1;
+            }
+            trace_out = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--series-out") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--series-out requires a path\n";
+                return 1;
+            }
+            series_out = argv[argi + 1];
             argi += 2;
         } else if (flag == "--trace-format") {
             if (argi + 1 >= argc) {
@@ -88,11 +108,27 @@ int main(int argc, char** argv) {
     // One registry for the whole run; every instrumented layer the tool
     // touches records into it, and it is dumped once at exit.
     lsm::obs::registry reg;
-    lsm::obs::registry* metrics = metrics_out.empty() ? nullptr : &reg;
+    lsm::obs::registry* metrics =
+        metrics_out.empty() && series_out.empty() ? nullptr : &reg;
+    // The execution tracer is ambient: installing it lights up every
+    // scoped_timer span and pool shard without any config plumbing.
+    lsm::obs::tracer exec_tracer;
+    lsm::obs::global_tracer_guard tracer_guard(
+        trace_out.empty() ? nullptr : &exec_tracer);
     auto dump_metrics = [&]() {
-        if (metrics == nullptr) return;
-        reg.write_json_file(metrics_out);
-        std::cerr << "metrics written to " << metrics_out << "\n";
+        if (!metrics_out.empty()) {
+            reg.write_json_file(metrics_out);
+            std::cerr << "metrics written to " << metrics_out << "\n";
+        }
+        if (!series_out.empty()) {
+            reg.write_series_csv_file(series_out);
+            std::cerr << "series written to " << series_out << "\n";
+        }
+        if (!trace_out.empty()) {
+            exec_tracer.write_json_file(trace_out);
+            std::cerr << "execution trace written to " << trace_out
+                      << "\n";
+        }
     };
 
     // Built before the read so CSV ingest can decode on the pool.

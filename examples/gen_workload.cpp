@@ -23,6 +23,8 @@
 //                        other keys then override it
 //   save_config=<path>   write the effective recipe back out
 //   metrics_out=<path>   dump generator metrics (obs/metrics.h) as JSON
+//   trace_out=<path>     dump the execution trace (Chrome trace-event
+//                        JSON, obs/trace_event.h; open in Perfetto)
 //
 // Example: a heavier-tailed, single-feed workload for a week:
 //   $ ./gen_workload week.csv scale=0.05 days=7 objects=1 length_sigma=1.8
@@ -36,6 +38,7 @@
 #include "gismo/config_io.h"
 #include "gismo/live_generator.h"
 #include "obs/metrics.h"
+#include "obs/trace_event.h"
 
 namespace {
 
@@ -127,6 +130,9 @@ int main(int argc, char** argv) {
 
     lsm::obs::registry reg;
     if (kv.count("metrics_out") != 0) cfg.metrics = &reg;
+    lsm::obs::tracer exec_tracer;
+    lsm::obs::global_tracer_guard tracer_guard(
+        kv.count("trace_out") != 0 ? &exec_tracer : nullptr);
 
     std::cout << "Generating " << cfg.window / lsm::seconds_per_day
               << " days at scale " << scale << " (seed " << seed
@@ -144,6 +150,16 @@ int main(int argc, char** argv) {
             std::cout << "Metrics written to " << it->second << "\n";
         } catch (const std::exception& e) {
             std::cerr << "metrics write failed: " << e.what() << "\n";
+            return 1;
+        }
+    }
+    if (auto it = kv.find("trace_out"); it != kv.end()) {
+        try {
+            exec_tracer.write_json_file(it->second);
+            std::cout << "Execution trace written to " << it->second
+                      << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "trace write failed: " << e.what() << "\n";
             return 1;
         }
     }

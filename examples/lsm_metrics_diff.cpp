@@ -1,0 +1,85 @@
+// Metrics-diff regression gate: compares two lsm-metrics-v1 or
+// lsm-bench-v1 JSON documents (either side may be either schema),
+// prints a per-metric delta table, and exits nonzero when a time-valued
+// metric regresses beyond the threshold.
+//
+//   $ ./lsm_metrics_diff base.json test.json
+//   $ ./lsm_metrics_diff --threshold 0.10 base.json test.json
+//   $ ./lsm_metrics_diff --report-only BENCH_perf.json ci.json
+//
+// Flags:
+//   --threshold F     fractional slowdown that fails the gate
+//                     (default 0.25 = +25%)
+//   --min-time-ms F   time metrics with a baseline below this never
+//                     gate (default 1ms — sub-millisecond spans are
+//                     timer noise)
+//   --report-only     print the table but always exit 0 (CI smoke mode
+//                     for runs on shared, noisy hardware)
+//
+// Exit codes: 0 = no regression (or --report-only), 1 = regression
+// beyond threshold, 2 = usage or input error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/json_min.h"
+#include "obs/metrics_diff.h"
+
+int main(int argc, char** argv) {
+    lsm::obs::diff_options opts;
+    bool report_only = false;
+    std::string base_path;
+    std::string test_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--threshold" && i + 1 < argc) {
+            opts.threshold = std::atof(argv[++i]);
+            if (opts.threshold <= 0.0) {
+                std::cerr << "--threshold must be positive\n";
+                return 2;
+            }
+        } else if (flag == "--min-time-ms" && i + 1 < argc) {
+            opts.min_time_ns = std::atof(argv[++i]) * 1e6;
+            if (opts.min_time_ns < 0.0) {
+                std::cerr << "--min-time-ms must be non-negative\n";
+                return 2;
+            }
+        } else if (flag == "--report-only") {
+            report_only = true;
+        } else if (base_path.empty()) {
+            base_path = flag;
+        } else if (test_path.empty()) {
+            test_path = flag;
+        } else {
+            std::cerr << "unexpected argument: " << flag << "\n";
+            return 2;
+        }
+    }
+    if (base_path.empty() || test_path.empty()) {
+        std::cerr << "usage: " << argv[0]
+                  << " [--threshold F] [--min-time-ms F] [--report-only]"
+                  << " <base.json> <test.json>\n";
+        return 2;
+    }
+
+    try {
+        const lsm::obs::json_value base =
+            lsm::obs::parse_json_file(base_path);
+        const lsm::obs::json_value test =
+            lsm::obs::parse_json_file(test_path);
+        const lsm::obs::diff_result result =
+            lsm::obs::diff_metrics(base, test, opts);
+        lsm::obs::print_diff(std::cout, result, opts);
+        if (result.regressions > 0) {
+            if (report_only) {
+                std::cout << "(report-only: not failing)\n";
+                return 0;
+            }
+            return 1;
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "metrics diff failed: " << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}

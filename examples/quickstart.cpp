@@ -2,12 +2,15 @@
 // paper's Table 2 generative model, then characterize it hierarchically
 // and print the findings.
 //
-//   $ ./quickstart [--metrics-out m.json] [--trace-out t.csv]
-//                  [--trace-format csv|bin] [scale] [seed]
+//   $ ./quickstart [--metrics-out m.json] [--trace-out t.json]
+//                  [--save-trace t.csv] [--trace-format csv|bin]
+//                  [scale] [seed]
 //
 // scale in (0, 1] shrinks the workload (default 0.05 — a few days'
-// traffic in a couple of seconds); seed defaults to 42. --trace-out
-// also saves the generated trace, in the --trace-format encoding.
+// traffic in a couple of seconds); seed defaults to 42. --save-trace
+// writes the generated *workload* trace in the --trace-format encoding;
+// --trace-out writes the *execution* trace (Chrome trace-event JSON,
+// open in https://ui.perfetto.dev).
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -20,20 +23,24 @@
 #include "core/trace_io_bin.h"
 #include "gismo/live_generator.h"
 #include "obs/metrics.h"
+#include "obs/trace_event.h"
 
 int main(int argc, char** argv) {
     std::string metrics_out;
+    std::string save_trace;
     std::string trace_out;
-    lsm::trace_format trace_out_format = lsm::trace_format::csv;
+    lsm::trace_format save_trace_format = lsm::trace_format::csv;
     while (argc > 2) {
         const std::string flag = argv[1];
         if (flag == "--metrics-out") {
             metrics_out = argv[2];
+        } else if (flag == "--save-trace") {
+            save_trace = argv[2];
         } else if (flag == "--trace-out") {
             trace_out = argv[2];
         } else if (flag == "--trace-format") {
             try {
-                trace_out_format = lsm::parse_trace_format(argv[2]);
+                save_trace_format = lsm::parse_trace_format(argv[2]);
             } catch (const std::exception& e) {
                 std::cerr << e.what() << "\n";
                 return 1;
@@ -53,6 +60,9 @@ int main(int argc, char** argv) {
     }
 
     lsm::obs::registry reg;
+    lsm::obs::tracer exec_tracer;
+    lsm::obs::global_tracer_guard tracer_guard(
+        trace_out.empty() ? nullptr : &exec_tracer);
     std::cout << "Generating live workload (scale=" << scale
               << ", seed=" << seed << ")...\n";
     lsm::gismo::live_config cfg = lsm::gismo::live_config::scaled(scale);
@@ -60,10 +70,10 @@ int main(int argc, char** argv) {
     lsm::trace tr = lsm::gismo::generate_live_workload(cfg, seed);
     std::cout << "  " << tr.size() << " transfers generated over "
               << tr.window_length() / lsm::seconds_per_day << " days\n\n";
-    if (!trace_out.empty()) {
+    if (!save_trace.empty()) {
         try {
-            lsm::write_trace_file(tr, trace_out, trace_out_format);
-            std::cout << "  trace saved to " << trace_out << "\n\n";
+            lsm::write_trace_file(tr, save_trace, save_trace_format);
+            std::cout << "  trace saved to " << save_trace << "\n\n";
         } catch (const std::exception& e) {
             std::cerr << "trace write failed: " << e.what() << "\n";
             return 1;
@@ -81,6 +91,11 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
         reg.write_json_file(metrics_out);
         std::cout << "\nMetrics written to " << metrics_out << "\n";
+    }
+    if (!trace_out.empty()) {
+        exec_tracer.write_json_file(trace_out);
+        std::cout << "\nExecution trace written to " << trace_out
+                  << "\n";
     }
     return 0;
 }

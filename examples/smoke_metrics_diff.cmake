@@ -1,0 +1,46 @@
+# End-to-end smoke of the observability tooling: generate a trace with
+# an execution trace + metrics dump, self-compare the metrics (must pass
+# the gate), then verify the gate fails against a synthetically
+# regressed baseline.
+execute_process(COMMAND ${GEN} diff_smoke.csv scale=0.005 days=2
+                        trace_out=diff_smoke_trace.json
+                        metrics_out=diff_smoke_metrics.json
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "gen_workload failed: ${rc1}")
+endif()
+foreach(out diff_smoke_trace.json diff_smoke_metrics.json)
+  if(NOT EXISTS ${out})
+    message(FATAL_ERROR "expected output missing: ${out}")
+  endif()
+endforeach()
+execute_process(COMMAND ${DIFF} diff_smoke_metrics.json
+                        diff_smoke_metrics.json
+                RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "self-compare should exit 0, got: ${rc2}")
+endif()
+# A synthetic 10x slowdown on one span; the gate must fail...
+file(WRITE diff_smoke_base.json
+  "{\"schema\":\"lsm-metrics-v1\",\"counters\":{},\"gauges\":{},"
+  "\"histograms\":{},\"spans\":{\"name\":\"\",\"wall_ns\":0,\"count\":0,"
+  "\"children\":[{\"name\":\"gismo\",\"wall_ns\":1000000,\"count\":1,"
+  "\"children\":[]}]}}")
+file(WRITE diff_smoke_slow.json
+  "{\"schema\":\"lsm-metrics-v1\",\"counters\":{},\"gauges\":{},"
+  "\"histograms\":{},\"spans\":{\"name\":\"\",\"wall_ns\":0,\"count\":0,"
+  "\"children\":[{\"name\":\"gismo\",\"wall_ns\":10000000,\"count\":1,"
+  "\"children\":[]}]}}")
+execute_process(COMMAND ${DIFF} diff_smoke_base.json
+                        diff_smoke_slow.json
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 1)
+  message(FATAL_ERROR "regressed compare should exit 1, got: ${rc3}")
+endif()
+# ...unless report-only mode is on.
+execute_process(COMMAND ${DIFF} --report-only diff_smoke_base.json
+                        diff_smoke_slow.json
+                RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "report-only should exit 0, got: ${rc4}")
+endif()

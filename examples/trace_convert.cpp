@@ -3,11 +3,13 @@
 // in the requested one.
 //
 //   $ ./trace_convert <in> <out> [--format csv|bin] [--threads N]
+//                     [--metrics-out m.json]
 //
 // Round-tripping is lossless in both directions: CSV -> bin -> CSV
 // reproduces the original file byte for byte (the CI pipeline checks
 // exactly that on the demo trace), and bin -> CSV -> bin preserves every
 // record. CSV decoding runs on a thread pool when --threads > 1.
+// --metrics-out dumps read/convert/write spans and record counters.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -15,17 +17,20 @@
 #include "core/parallel.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv) {
     if (argc < 3) {
         std::cerr << "usage: " << argv[0]
-                  << " <in> <out> [--format csv|bin] [--threads N]\n";
+                  << " <in> <out> [--format csv|bin] [--threads N]"
+                  << " [--metrics-out m.json]\n";
         return 1;
     }
     const std::string in_path = argv[1];
     const std::string out_path = argv[2];
     lsm::trace_format format = lsm::trace_format::bin;
     unsigned threads = 0;  // 0 = hardware concurrency
+    std::string metrics_out;
     for (int i = 3; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--format" && i + 1 < argc) {
@@ -37,16 +42,29 @@ int main(int argc, char** argv) {
             }
         } else if (flag == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (flag == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
         } else {
             std::cerr << "unknown or incomplete flag: " << flag << "\n";
             return 1;
         }
     }
 
+    lsm::obs::registry reg;
+    lsm::obs::registry* metrics = metrics_out.empty() ? nullptr : &reg;
     try {
         lsm::thread_pool pool(threads);
-        const lsm::trace tr = lsm::read_trace_auto_file(in_path, &pool);
-        lsm::write_trace_file(tr, out_path, format);
+        lsm::obs::scoped_timer t_all(metrics, "convert");
+        lsm::trace tr;
+        {
+            lsm::obs::scoped_timer t_read(metrics, "read");
+            tr = lsm::read_trace_auto_file(in_path, &pool, metrics);
+        }
+        {
+            lsm::obs::scoped_timer t_write(metrics, "write");
+            lsm::write_trace_file(tr, out_path, format);
+        }
+        lsm::obs::add_counter(metrics, "convert/records", tr.size());
         std::cout << "Wrote " << tr.size() << " records to " << out_path
                   << " ("
                   << (format == lsm::trace_format::bin ? "binary" : "csv")
@@ -54,6 +72,15 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
         std::cerr << "conversion failed: " << e.what() << "\n";
         return 1;
+    }
+    if (metrics != nullptr) {
+        try {
+            reg.write_json_file(metrics_out);
+            std::cout << "Metrics written to " << metrics_out << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "metrics write failed: " << e.what() << "\n";
+            return 1;
+        }
     }
     return 0;
 }

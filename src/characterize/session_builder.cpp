@@ -8,6 +8,7 @@
 #include "core/contracts.h"
 #include "core/radix_sort.h"
 #include "obs/metrics.h"
+#include "obs/trace_event.h"
 
 namespace lsm::characterize {
 
@@ -187,6 +188,15 @@ session_set build_sessions(const trace& t, seconds_t timeout,
         }
     }
 
+    // Flow arrows from each shard's slice to the merge that consumes
+    // it, so trace viewers show the cross-thread hand-off. Ids are
+    // allocated up front; a dropped start zeroes its id so the finish
+    // is skipped.
+    obs::tracer* const tracer = obs::tracer::global();
+    std::vector<std::uint64_t> flow_ids(
+        tracer != nullptr ? nshards : std::size_t{0}, 0);
+    for (std::uint64_t& id : flow_ids) id = tracer->new_flow_id();
+
     std::vector<std::vector<session>> shard_sessions(nshards);
     {
         obs::scoped_timer t_shards(metrics, "shards");
@@ -194,6 +204,11 @@ session_set build_sessions(const trace& t, seconds_t timeout,
             sort_client_timeline(t, shard_idx[shard]);
             sessionize_ordered(t, shard_idx[shard], timeout,
                                shard_sessions[shard]);
+            if (tracer != nullptr &&
+                !tracer->flow_start("sessionize shard->merge",
+                                    flow_ids[shard])) {
+                flow_ids[shard] = 0;
+            }
         });
     }
 
@@ -204,6 +219,13 @@ session_set build_sessions(const trace& t, seconds_t timeout,
     // merge of the shard heads reproduces the sequential build exactly,
     // in linear time instead of a full re-sort.
     obs::scoped_timer t_merge(metrics, "merge");
+    if (tracer != nullptr) {
+        for (std::uint64_t id : flow_ids) {
+            if (id != 0) {
+                tracer->flow_finish("sessionize shard->merge", id);
+            }
+        }
+    }
     std::size_t total = 0;
     for (const auto& v : shard_sessions) total += v.size();
     out.sessions.reserve(total);

@@ -1,11 +1,29 @@
 #include "core/parallel.h"
 
+#include <cstdio>
 #include <memory>
+
+#include "obs/trace_event.h"
 
 namespace lsm {
 
 namespace {
 thread_local bool tl_pool_worker = false;
+
+/// Runs one shard, wrapped in a trace slice when the ambient tracer is
+/// installed. The disabled cost is one relaxed atomic load per shard.
+void run_traced_shard(const std::function<void(std::size_t)>& fn,
+                      std::size_t shard) {
+    obs::tracer* tr = obs::tracer::global();
+    if (tr == nullptr) {
+        fn(shard);
+        return;
+    }
+    char args[40];
+    std::snprintf(args, sizeof args, "{\"shard\":%zu}", shard);
+    obs::scoped_slice slice(tr, "pool/shard", args);
+    fn(shard);
+}
 }  // namespace
 
 unsigned default_thread_count() {
@@ -55,7 +73,9 @@ void thread_pool::run_shards(std::size_t nshards,
                              const std::function<void(std::size_t)>& fn) {
     if (nshards == 0) return;
     if (workers_.empty() || nshards == 1 || on_worker_thread()) {
-        for (std::size_t shard = 0; shard < nshards; ++shard) fn(shard);
+        for (std::size_t shard = 0; shard < nshards; ++shard) {
+            run_traced_shard(fn, shard);
+        }
         return;
     }
 
@@ -74,7 +94,7 @@ void thread_pool::run_shards(std::size_t nshards,
         for (std::size_t shard = 0; shard < nshards; ++shard) {
             queue_.emplace_back([state, &fn, shard] {
                 try {
-                    fn(shard);
+                    run_traced_shard(fn, shard);
                 } catch (...) {
                     state->errors[shard] = std::current_exception();
                 }

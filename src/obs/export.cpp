@@ -9,6 +9,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace lsm::obs {
 
@@ -47,6 +48,12 @@ void write_number(std::ostream& out, double x) {
 void write_histogram_json(std::ostream& out, const histogram& h) {
     out << "{\"count\":" << h.total_count() << ",\"sum\":";
     write_number(out, h.sum());
+    out << ",\"p50\":";
+    write_number(out, h.quantile(0.50));
+    out << ",\"p90\":";
+    write_number(out, h.quantile(0.90));
+    out << ",\"p99\":";
+    write_number(out, h.quantile(0.99));
     out << ",\"buckets\":[";
     const auto& bounds = h.bounds();
     for (std::size_t i = 0; i <= bounds.size(); ++i) {
@@ -80,8 +87,14 @@ void write_span_json(std::ostream& out, const span_node& node) {
 /// quoting.
 void write_label_value(std::ostream& out, std::string_view s) {
     for (const char ch : s) {
-        if (ch == '"' || ch == '\\') out << '\\';
-        out << ch;
+        // The exposition format's three label-value escapes; a raw
+        // newline would end the sample line mid-value.
+        switch (ch) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            default: out << ch;
+        }
     }
 }
 
@@ -134,6 +147,28 @@ void registry::write_json(std::ostream& out) const {
         write_escaped(out, name);
         out << "\":";
         write_histogram_json(out, *h);
+    }
+    out << "},\"series\":{";
+    first = true;
+    for (const auto& [name, s] : series()) {
+        if (!first) out << ',';
+        first = false;
+        out << '"';
+        write_escaped(out, name);
+        out << "\":{\"bucket_width\":" << s->bucket_width()
+            << ",\"buckets\":[";
+        for (std::size_t i = 0; i < s->num_buckets(); ++i) {
+            const time_series::bucket& b = s->at(i);
+            if (i > 0) out << ',';
+            out << "{\"t\":"
+                << s->bucket_width() * static_cast<seconds_t>(i)
+                << ",\"count\":" << b.count << ",\"sum\":";
+            write_number(out, b.sum);
+            out << ",\"max\":";
+            write_number(out, b.max);
+            out << '}';
+        }
+        out << "]}";
     }
     out << "},\"spans\":";
     write_span_json(out, root_span());

@@ -12,5 +12,7 @@ class histogram;
 class registry;
 class scoped_timer;
 class span_node;
+class time_series;
+class tracer;
 
 }  // namespace lsm::obs

@@ -1,0 +1,298 @@
+#include "obs/json_min.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace lsm::obs {
+
+namespace {
+
+class parser {
+public:
+    explicit parser(std::string_view text) : text_(text) {}
+
+    json_value parse_document() {
+        json_value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("json parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    json_value parse_value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return json_value::make_string(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return json_value::make_bool(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return json_value::make_bool(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return json_value{};
+            default: return parse_number();
+        }
+    }
+
+    json_value parse_object() {
+        expect('{');
+        json_object members;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return json_value::make_object(std::move(members));
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            // Duplicate keys: last one wins, like every lenient reader.
+            members[std::move(key)] = parse_value();
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') break;
+            if (c != ',') fail("expected ',' or '}'");
+        }
+        return json_value::make_object(std::move(members));
+    }
+
+    json_value parse_array() {
+        expect('[');
+        json_array items;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return json_value::make_array(std::move(items));
+        }
+        while (true) {
+            items.push_back(parse_value());
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == ']') break;
+            if (c != ',') fail("expected ',' or ']'");
+        }
+        return json_value::make_array(std::move(items));
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') break;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': out += parse_unicode_escape(); break;
+                default: fail("bad escape");
+            }
+        }
+        return out;
+    }
+
+    /// Decodes \uXXXX to UTF-8. Surrogate pairs are not recombined —
+    /// our own emitters only escape control characters, which are BMP.
+    std::string parse_unicode_escape() {
+        if (pos_ + 4 > text_.size()) fail("short \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') {
+                code += static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                code += static_cast<unsigned>(c - 'a') + 10;
+            } else if (c >= 'A' && c <= 'F') {
+                code += static_cast<unsigned>(c - 'A') + 10;
+            } else {
+                fail("bad \\u escape");
+            }
+        }
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    json_value parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                    0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double x = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) fail("bad number");
+        return json_value::make_number(x);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_value::as_bool() const {
+    if (kind_ != kind::boolean) {
+        throw std::runtime_error("json value is not a boolean");
+    }
+    return bool_;
+}
+
+double json_value::as_number() const {
+    if (kind_ != kind::number) {
+        throw std::runtime_error("json value is not a number");
+    }
+    return number_;
+}
+
+const std::string& json_value::as_string() const {
+    if (kind_ != kind::string) {
+        throw std::runtime_error("json value is not a string");
+    }
+    return string_;
+}
+
+const json_array& json_value::as_array() const {
+    if (kind_ != kind::array) {
+        throw std::runtime_error("json value is not an array");
+    }
+    return *array_;
+}
+
+const json_object& json_value::as_object() const {
+    if (kind_ != kind::object) {
+        throw std::runtime_error("json value is not an object");
+    }
+    return *object_;
+}
+
+const json_value* json_value::find(std::string_view key) const {
+    if (kind_ != kind::object) return nullptr;
+    const auto it = object_->find(std::string(key));
+    return it == object_->end() ? nullptr : &it->second;
+}
+
+double json_value::number_or(std::string_view key,
+                             double fallback) const {
+    const json_value* v = find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+json_value json_value::make_bool(bool b) {
+    json_value v;
+    v.kind_ = kind::boolean;
+    v.bool_ = b;
+    return v;
+}
+
+json_value json_value::make_number(double x) {
+    json_value v;
+    v.kind_ = kind::number;
+    v.number_ = x;
+    return v;
+}
+
+json_value json_value::make_string(std::string s) {
+    json_value v;
+    v.kind_ = kind::string;
+    v.string_ = std::move(s);
+    return v;
+}
+
+json_value json_value::make_array(json_array a) {
+    json_value v;
+    v.kind_ = kind::array;
+    v.array_ = std::make_shared<json_array>(std::move(a));
+    return v;
+}
+
+json_value json_value::make_object(json_object o) {
+    json_value v;
+    v.kind_ = kind::object;
+    v.object_ = std::make_shared<json_object>(std::move(o));
+    return v;
+}
+
+json_value parse_json(std::string_view text) {
+    return parser(text).parse_document();
+}
+
+json_value parse_json_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) throw std::runtime_error("read failed: " + path);
+    return parse_json(buf.str());
+}
+
+}  // namespace lsm::obs

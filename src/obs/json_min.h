@@ -1,0 +1,78 @@
+// Minimal JSON reader for the observability tooling: just enough to
+// load the documents this repo itself emits (lsm-metrics-v1,
+// lsm-bench-v1, Chrome traceEvents) back into a tree — the metrics-diff
+// gate and the trace-validity tests are consumers of our own output, so
+// a dependency-free ~200-line recursive-descent parser beats vendoring
+// a JSON library the container doesn't have.
+//
+// Scope: full JSON grammar (objects, arrays, strings with \uXXXX
+// escapes, numbers, true/false/null), numbers held as double (fine for
+// the nanosecond spans and bucket counts we diff; 2^53 ns is ~104
+// days). Not a validator of anything beyond well-formedness and not
+// remotely fast — do not put it on a pipeline hot path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsm::obs {
+
+class json_value;
+using json_object = std::map<std::string, json_value>;
+using json_array = std::vector<json_value>;
+
+class json_value {
+public:
+    enum class kind { null, boolean, number, string, array, object };
+
+    json_value() = default;
+
+    kind type() const { return kind_; }
+    bool is_null() const { return kind_ == kind::null; }
+    bool is_object() const { return kind_ == kind::object; }
+    bool is_array() const { return kind_ == kind::array; }
+    bool is_string() const { return kind_ == kind::string; }
+    bool is_number() const { return kind_ == kind::number; }
+    bool is_bool() const { return kind_ == kind::boolean; }
+
+    /// Typed accessors; throw std::runtime_error on kind mismatch.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const json_array& as_array() const;
+    const json_object& as_object() const;
+
+    /// Object member lookup; returns nullptr when absent or when this
+    /// value is not an object.
+    const json_value* find(std::string_view key) const;
+    /// find() + as_number() with a fallback for absent members.
+    double number_or(std::string_view key, double fallback) const;
+
+    static json_value make_bool(bool b);
+    static json_value make_number(double x);
+    static json_value make_string(std::string s);
+    static json_value make_array(json_array a);
+    static json_value make_object(json_object o);
+
+private:
+    kind kind_ = kind::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::shared_ptr<json_array> array_;
+    std::shared_ptr<json_object> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+/// Throws std::runtime_error with a character offset on malformed
+/// input.
+json_value parse_json(std::string_view text);
+
+/// Reads and parses a whole file; throws on open/read/parse failure.
+json_value parse_json_file(const std::string& path);
+
+}  // namespace lsm::obs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/timeseries.h"
+#include "obs/trace_event.h"
+
 namespace lsm::obs {
 
 namespace detail {
@@ -54,6 +57,33 @@ std::uint64_t histogram::total_count() const noexcept {
         total += counts_[i].load(std::memory_order_relaxed);
     }
     return total;
+}
+
+double histogram::quantile(double q) const noexcept {
+    const std::uint64_t total = total_count();
+    if (total == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        const std::uint64_t in_bucket =
+            counts_[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0) continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += in_bucket;
+        if (static_cast<double>(cumulative) >= rank) {
+            const double lower =
+                i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+            const double upper = bounds_[i];
+            const double frac =
+                (rank - before) / static_cast<double>(in_bucket);
+            return lower + (upper - lower) * frac;
+        }
+    }
+    // Rank lands in the overflow bucket: saturate at the highest bound,
+    // the histogram_quantile convention for +Inf.
+    return bounds_.back();
 }
 
 std::vector<double> histogram::exponential_bounds(double first,
@@ -111,6 +141,8 @@ std::string span_node::path() const {
 
 registry::registry() : root_("", nullptr, this) {}
 
+registry::~registry() = default;
+
 counter& registry::get_counter(std::string_view name) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = counters_.find(name);
@@ -140,6 +172,19 @@ histogram& registry::get_histogram(std::string_view name,
         it = histograms_
                  .emplace(std::string(name),
                           std::make_unique<histogram>(std::move(bounds)))
+                 .first;
+    }
+    return *it->second;
+}
+
+time_series& registry::get_time_series(std::string_view name,
+                                       std::int64_t bucket_width) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+        it = series_
+                 .emplace(std::string(name),
+                          std::make_unique<time_series>(bucket_width))
                  .first;
     }
     return *it->second;
@@ -190,10 +235,25 @@ registry::histograms() const {
     return out;
 }
 
+std::vector<std::pair<std::string, const time_series*>>
+registry::series() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, const time_series*>> out;
+    out.reserve(series_.size());
+    for (const auto& [name, s] : series_) out.emplace_back(name, s.get());
+    return out;
+}
+
 // ---- scoped_timer ----------------------------------------------------
 
 scoped_timer::scoped_timer(registry* reg, std::string_view name) noexcept
     : saved_current_(detail::tl_current_span) {
+    // The tracer hook is independent of the registry: a run traced
+    // without metrics still records slices.
+    if (tracer* tr = tracer::global();
+        tr != nullptr && tr->begin_slice(name)) {
+        tracer_ = tr;
+    }
     if (reg == nullptr) return;
     try {
         if (name.find('/') != std::string_view::npos) {
@@ -215,6 +275,7 @@ scoped_timer::scoped_timer(registry* reg, std::string_view name) noexcept
 }
 
 scoped_timer::~scoped_timer() {
+    if (tracer_ != nullptr) tracer_->end_slice();
     if (node_ == nullptr) return;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     node_->record(static_cast<std::uint64_t>(

@@ -50,6 +50,8 @@
 namespace lsm::obs {
 
 class registry;
+class time_series;
+class tracer;
 
 namespace detail {
 /// Dense per-thread slot used to pick a counter stripe. Threads get
@@ -142,6 +144,14 @@ public:
         return sum_.load(std::memory_order_relaxed);
     }
 
+    /// Quantile estimate by linear interpolation inside the bucket that
+    /// contains rank q * total_count(), the Prometheus
+    /// histogram_quantile convention: the first bucket interpolates
+    /// from min(0, bounds[0]), and a rank landing in the overflow
+    /// bucket saturates at the highest bound. Returns 0 on an empty
+    /// histogram. q must be in [0, 1].
+    double quantile(double q) const noexcept;
+
     /// Geometric bucket bounds: first, first*factor, ... (count bounds).
     /// Requires first > 0, factor > 1, count >= 1.
     static std::vector<double> exponential_bounds(double first,
@@ -209,6 +219,9 @@ private:
 class registry {
 public:
     registry();
+    // Out of line: the time-series map's deleter needs the complete
+    // type, which only obs/timeseries.h provides.
+    ~registry();
     registry(const registry&) = delete;
     registry& operator=(const registry&) = delete;
 
@@ -218,6 +231,12 @@ public:
     /// same name return the existing histogram and ignore `bounds`.
     histogram& get_histogram(std::string_view name,
                              std::vector<double> bounds);
+    /// Sim-time series (obs/timeseries.h). First registration fixes the
+    /// bucket width; later calls return the existing series and ignore
+    /// `bucket_width`. The returned series is single-writer — record
+    /// into it from serial phases only.
+    time_series& get_time_series(std::string_view name,
+                                 std::int64_t bucket_width);
 
     span_node& root_span() { return root_; }
     const span_node& root_span() const { return root_; }
@@ -230,6 +249,8 @@ public:
     std::vector<std::pair<std::string, const gauge*>> gauges() const;
     std::vector<std::pair<std::string, const histogram*>> histograms()
         const;
+    std::vector<std::pair<std::string, const time_series*>> series()
+        const;
 
     /// Exporters. JSON is one self-contained object:
     ///   {"schema":"lsm-metrics-v1","counters":{...},"gauges":{...},
@@ -240,6 +261,11 @@ public:
     void write_prometheus(std::ostream& out) const;
     void write_json_file(const std::string& path) const;
     void write_prometheus_file(const std::string& path) const;
+    /// Flat CSV dump of every registered time series, one row per
+    /// bucket (including empty buckets, so the rows plot directly):
+    ///   series,bucket_width_s,bucket_start_s,count,sum,mean,max
+    void write_series_csv(std::ostream& out) const;
+    void write_series_csv_file(const std::string& path) const;
 
 private:
     mutable std::mutex mutex_;
@@ -248,6 +274,8 @@ private:
     std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_;
     std::map<std::string, std::unique_ptr<histogram>, std::less<>>
         histograms_;
+    std::map<std::string, std::unique_ptr<time_series>, std::less<>>
+        series_;
     span_node root_;
 };
 
@@ -255,6 +283,11 @@ private:
 /// mode every config defaults to). A bare segment name nests under the
 /// calling thread's innermost open span of the same registry; a
 /// slash-separated path is resolved absolutely from the root.
+///
+/// When an ambient tracer is installed (obs/trace_event.h), every
+/// scoped_timer additionally emits a Chrome-trace slice named after the
+/// span — independent of the registry, so a run traced without metrics
+/// still lights up.
 class scoped_timer {
 public:
     scoped_timer(registry* reg, std::string_view name) noexcept;
@@ -269,6 +302,7 @@ public:
 private:
     span_node* node_ = nullptr;
     span_node* saved_current_ = nullptr;
+    tracer* tracer_ = nullptr;  // non-null iff a slice was recorded
     std::chrono::steady_clock::time_point start_{};
 };
 

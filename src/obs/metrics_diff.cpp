@@ -1,0 +1,217 @@
+#include "obs/metrics_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+namespace lsm::obs {
+
+namespace {
+
+double time_unit_to_ns(const std::string& unit) {
+    if (unit == "ns") return 1.0;
+    if (unit == "us") return 1e3;
+    if (unit == "ms") return 1e6;
+    if (unit == "s") return 1e9;
+    throw std::runtime_error("unknown time_unit: " + unit);
+}
+
+void flatten_span(const json_value& node, const std::string& prefix,
+                  std::vector<flat_metric>& out) {
+    const json_value* name = node.find("name");
+    std::string path = prefix;
+    if (name != nullptr && name->is_string() &&
+        !name->as_string().empty()) {
+        if (!path.empty()) path += '/';
+        path += name->as_string();
+    }
+    if (!path.empty()) {
+        out.push_back({"span/" + path, node.number_or("wall_ns", 0.0),
+                       true});
+        out.push_back({"span/" + path + "/count",
+                       node.number_or("count", 0.0), false});
+    }
+    if (const json_value* children = node.find("children");
+        children != nullptr && children->is_array()) {
+        for (const json_value& c : children->as_array()) {
+            flatten_span(c, path, out);
+        }
+    }
+}
+
+void flatten_metrics_v1(const json_value& doc,
+                        std::vector<flat_metric>& out) {
+    if (const json_value* counters = doc.find("counters");
+        counters != nullptr && counters->is_object()) {
+        for (const auto& [name, v] : counters->as_object()) {
+            if (v.is_number()) {
+                out.push_back({"counter/" + name, v.as_number(), false});
+            }
+        }
+    }
+    if (const json_value* gauges = doc.find("gauges");
+        gauges != nullptr && gauges->is_object()) {
+        for (const auto& [name, v] : gauges->as_object()) {
+            out.push_back({"gauge/" + name, v.number_or("value", 0.0),
+                           false});
+            out.push_back({"gauge/" + name + "/max",
+                           v.number_or("max", 0.0), false});
+        }
+    }
+    if (const json_value* hists = doc.find("histograms");
+        hists != nullptr && hists->is_object()) {
+        for (const auto& [name, v] : hists->as_object()) {
+            out.push_back({"hist/" + name + "/count",
+                           v.number_or("count", 0.0), false});
+            out.push_back({"hist/" + name + "/sum",
+                           v.number_or("sum", 0.0), false});
+            for (const char* p : {"p50", "p90", "p99"}) {
+                if (v.find(p) != nullptr) {
+                    out.push_back({"hist/" + name + "/" + p,
+                                   v.number_or(p, 0.0), false});
+                }
+            }
+        }
+    }
+    if (const json_value* spans = doc.find("spans");
+        spans != nullptr && spans->is_object()) {
+        flatten_span(*spans, "", out);
+    }
+}
+
+void flatten_bench_v1(const json_value& doc,
+                      std::vector<flat_metric>& out) {
+    const json_value* rows = doc.find("rows");
+    if (rows == nullptr || !rows->is_array()) return;
+    for (const json_value& row : rows->as_array()) {
+        const json_value* name = row.find("name");
+        if (name == nullptr || !name->is_string()) continue;
+        const json_value* unit = row.find("time_unit");
+        const double scale =
+            unit != nullptr && unit->is_string()
+                ? time_unit_to_ns(unit->as_string())
+                : 1.0;
+        const std::string base = "bench/" + name->as_string();
+        out.push_back({base + "/real_time",
+                       row.number_or("real_time", 0.0) * scale, true});
+        out.push_back({base + "/cpu_time",
+                       row.number_or("cpu_time", 0.0) * scale, true});
+        if (const json_value* counters = row.find("counters");
+            counters != nullptr && counters->is_object()) {
+            for (const auto& [cname, v] : counters->as_object()) {
+                if (v.is_number()) {
+                    out.push_back({base + "/" + cname, v.as_number(),
+                                   false});
+                }
+            }
+        }
+    }
+}
+
+void format_value(std::ostream& out, const diff_row& row, double v) {
+    char buf[48];
+    if (row.time_valued) {
+        std::snprintf(buf, sizeof buf, "%12.3fms", v / 1e6);
+    } else {
+        std::snprintf(buf, sizeof buf, "%14.6g", v);
+    }
+    out << buf;
+}
+
+}  // namespace
+
+std::vector<flat_metric> flatten_metrics(const json_value& doc) {
+    const json_value* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string()) {
+        throw std::runtime_error("document has no \"schema\" member");
+    }
+    std::vector<flat_metric> out;
+    if (schema->as_string() == "lsm-metrics-v1") {
+        flatten_metrics_v1(doc, out);
+    } else if (schema->as_string() == "lsm-bench-v1") {
+        flatten_bench_v1(doc, out);
+    } else {
+        throw std::runtime_error("unknown schema: " +
+                                 schema->as_string());
+    }
+    return out;
+}
+
+diff_result diff_metrics(const json_value& base, const json_value& test,
+                         const diff_options& opts) {
+    std::map<std::string, flat_metric> base_by_name;
+    for (flat_metric& m : flatten_metrics(base)) {
+        base_by_name.emplace(m.name, std::move(m));
+    }
+    std::map<std::string, flat_metric> test_by_name;
+    for (flat_metric& m : flatten_metrics(test)) {
+        test_by_name.emplace(m.name, std::move(m));
+    }
+
+    diff_result result;
+    for (const auto& [name, b] : base_by_name) {
+        const auto it = test_by_name.find(name);
+        if (it == test_by_name.end()) {
+            result.only_base.push_back(name);
+            continue;
+        }
+        diff_row row;
+        row.name = name;
+        row.base = b.value;
+        row.test = it->second.value;
+        row.time_valued = b.time_valued;
+        if (row.time_valued && row.base >= opts.min_time_ns &&
+            row.test > row.base * (1.0 + opts.threshold)) {
+            row.regressed = true;
+            ++result.regressions;
+        }
+        result.rows.push_back(std::move(row));
+    }
+    for (const auto& [name, t] : test_by_name) {
+        if (base_by_name.find(name) == base_by_name.end()) {
+            result.only_test.push_back(name);
+        }
+    }
+    return result;
+}
+
+void print_diff(std::ostream& out, const diff_result& result,
+                const diff_options& opts) {
+    out << "metric";
+    for (std::size_t i = 6; i < 44; ++i) out << ' ';
+    out << "        base         test   delta\n";
+    for (const diff_row& row : result.rows) {
+        out << (row.regressed ? "! " : "  ") << row.name;
+        for (std::size_t i = row.name.size(); i < 42; ++i) out << ' ';
+        format_value(out, row, row.base);
+        out << ' ';
+        format_value(out, row, row.test);
+        char delta[32];
+        if (row.base != 0.0) {
+            std::snprintf(delta, sizeof delta, " %+7.1f%%",
+                          (row.test - row.base) / std::abs(row.base) *
+                              100.0);
+            out << delta;
+        } else if (row.test != 0.0) {
+            out << "     new";
+        }
+        out << '\n';
+    }
+    if (!result.only_base.empty()) {
+        out << "only in base (" << result.only_base.size() << "):";
+        for (const std::string& n : result.only_base) out << ' ' << n;
+        out << '\n';
+    }
+    if (!result.only_test.empty()) {
+        out << "only in test (" << result.only_test.size() << "):";
+        for (const std::string& n : result.only_test) out << ' ' << n;
+        out << '\n';
+    }
+    out << result.regressions << " regression(s) beyond +"
+        << opts.threshold * 100.0 << "% (time metrics with base >= "
+        << opts.min_time_ns / 1e6 << "ms)\n";
+}
+
+}  // namespace lsm::obs

@@ -1,0 +1,72 @@
+// Metrics diffing: the library behind the `lsm_metrics_diff` regression
+// gate. Flattens two lsm-metrics-v1 or lsm-bench-v1 JSON documents
+// (either side may be either schema) into named scalars, pairs them by
+// name, and flags regressions.
+//
+// Regression rule: only *time-valued* metrics gate — span wall times
+// from lsm-metrics-v1 and real/cpu times from lsm-bench-v1, all
+// normalized to nanoseconds. A metric regresses when its baseline is at
+// least `min_time_ns` (sub-millisecond spans are timer noise, not
+// signal) and the new value exceeds the baseline by more than
+// `threshold` (fractional, default +25%). Counters, gauges, histogram
+// shapes, and bench throughput counters are reported in the delta
+// table for eyeballing but never fail the gate: they measure workload
+// shape, which the determinism suite pins exactly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json_min.h"
+
+namespace lsm::obs {
+
+struct diff_options {
+    /// Fractional slowdown beyond which a time metric regresses.
+    double threshold = 0.25;
+    /// Time metrics with a baseline below this never gate.
+    double min_time_ns = 1e6;
+};
+
+struct diff_row {
+    std::string name;
+    double base = 0.0;
+    double test = 0.0;
+    /// Nanosecond-valued (and thus eligible to gate).
+    bool time_valued = false;
+    bool regressed = false;
+};
+
+struct diff_result {
+    /// Name-paired metrics, sorted by name.
+    std::vector<diff_row> rows;
+    std::size_t regressions = 0;
+    /// Names present on only one side (never gate; renames and new
+    /// benches are routine).
+    std::vector<std::string> only_base;
+    std::vector<std::string> only_test;
+};
+
+/// One flattened scalar extracted from a document. Exposed for tests.
+struct flat_metric {
+    std::string name;
+    double value = 0.0;
+    bool time_valued = false;
+};
+
+/// Flattens a parsed lsm-metrics-v1 or lsm-bench-v1 document (detected
+/// via its "schema" member). Throws std::runtime_error on an unknown
+/// schema.
+std::vector<flat_metric> flatten_metrics(const json_value& doc);
+
+diff_result diff_metrics(const json_value& base, const json_value& test,
+                         const diff_options& opts);
+
+/// Human-readable delta table (regressed rows marked, one-sided names
+/// summarized).
+void print_diff(std::ostream& out, const diff_result& result,
+                const diff_options& opts);
+
+}  // namespace lsm::obs

@@ -1,0 +1,57 @@
+// CSV export for the registry's sim-time series. Lives here rather than
+// export.cpp so the time-series file pair owns everything about the
+// format; the JSON exporter's "series" section stays in export.cpp with
+// the rest of the lsm-metrics-v1 document.
+#include "obs/timeseries.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+
+namespace {
+
+void write_double(std::ostream& out, double x) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", x);
+    out << buf;
+}
+
+}  // namespace
+
+void registry::write_series_csv(std::ostream& out) const {
+    out << "series,bucket_width_s,bucket_start_s,count,sum,mean,max\n";
+    for (const auto& [name, s] : series()) {
+        const seconds_t width = s->bucket_width();
+        for (std::size_t i = 0; i < s->num_buckets(); ++i) {
+            const time_series::bucket& b = s->at(i);
+            out << name << ',' << width << ','
+                << width * static_cast<seconds_t>(i) << ',' << b.count
+                << ',';
+            write_double(out, b.sum);
+            out << ',';
+            write_double(out,
+                         b.count == 0
+                             ? 0.0
+                             : b.sum / static_cast<double>(b.count));
+            out << ',';
+            write_double(out, b.max);
+            out << '\n';
+        }
+    }
+}
+
+void registry::write_series_csv_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("cannot open series output: " + path);
+    }
+    write_series_csv(out);
+    if (!out) throw std::runtime_error("series write failed: " + path);
+}
+
+}  // namespace lsm::obs

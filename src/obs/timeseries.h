@@ -1,0 +1,68 @@
+// Sim-time telemetry series: fixed-interval bucketed aggregates of a
+// value against *simulated* time (seconds since trace start), the lens
+// the paper's temporal figures use — concurrent streams over the day
+// (Figs 3/15), diurnal arrival profiles (Figs 4/10/16), per-interval
+// admitted/rejected rates and emitted bandwidth.
+//
+// Each record(t, v) lands in bucket t / bucket_width and updates that
+// bucket's count/sum/max. Interpretation is the caller's: counter-style
+// series record(t, 1) per event and read the per-bucket `count` as a
+// rate; gauge-style series record the current level and read `max` (or
+// sum/count as the event-weighted mean).
+//
+// Unlike the registry's counters/gauges/histograms, a time_series is
+// NOT thread-safe: buckets grow with the time axis, and growth under
+// concurrent writers would need locking on a hot path. Every current
+// recording site is a serial phase (replay sweep, world-sim arrival
+// and merge loops); sharded phases must keep per-shard series or
+// record after their merge. Reading while another thread writes is a
+// race — export after the pipeline completes (the registry exporters
+// are only called then).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/time_utils.h"
+
+namespace lsm::obs {
+
+class time_series {
+public:
+    struct bucket {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double max = 0.0;
+    };
+
+    explicit time_series(seconds_t bucket_width)
+        : bucket_width_(bucket_width) {
+        LSM_EXPECTS(bucket_width > 0);
+    }
+
+    /// Records `value` at sim-time `t`; negative times clamp into the
+    /// first bucket (pre-sanitization traces may carry them).
+    void record(seconds_t t, double value) {
+        const auto idx = t <= 0 ? std::size_t{0}
+                                : static_cast<std::size_t>(
+                                      t / bucket_width_);
+        if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+        bucket& b = buckets_[idx];
+        if (b.count == 0 || value > b.max) b.max = value;
+        b.sum += value;
+        ++b.count;
+    }
+
+    seconds_t bucket_width() const { return bucket_width_; }
+    /// Buckets [0, num_buckets()) cover sim-time [0, num_buckets() *
+    /// bucket_width()); trailing all-zero buckets are never created.
+    std::size_t num_buckets() const { return buckets_.size(); }
+    const bucket& at(std::size_t i) const { return buckets_[i]; }
+
+private:
+    seconds_t bucket_width_;
+    std::vector<bucket> buckets_;
+};
+
+}  // namespace lsm::obs

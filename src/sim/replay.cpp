@@ -6,6 +6,7 @@
 
 #include "core/contracts.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace lsm::sim {
 
@@ -27,6 +28,21 @@ serve_result replay_trace(const trace& t, const server_config& cfg,
     obs::gauge* m_queue_depth =
         cfg.metrics != nullptr
             ? &cfg.metrics->get_gauge("sim/replay/event_queue_depth")
+            : nullptr;
+    // Sim-time series, sampled at arrivals (single-writer: this sweep
+    // is serial). Bandwidth is recorded as the emitted bits of each
+    // admitted transfer, so per-bucket `sum` is bits begun per bucket.
+    obs::time_series* s_queue_depth =
+        cfg.metrics != nullptr
+            ? &cfg.metrics->get_time_series(
+                  "sim/replay/event_queue_depth_series",
+                  cfg.series_bucket_width)
+            : nullptr;
+    obs::time_series* s_emitted_bits =
+        cfg.metrics != nullptr
+            ? &cfg.metrics->get_time_series(
+                  "sim/replay/emitted_bits_per_bucket",
+                  cfg.series_bucket_width)
             : nullptr;
 
     std::vector<const log_record*> by_start;
@@ -105,6 +121,11 @@ serve_result replay_trace(const trace& t, const server_config& cfg,
         if (m_queue_depth != nullptr) {
             m_queue_depth->record_max(
                 static_cast<std::int64_t>(departures.size()));
+            s_queue_depth->record(
+                rec->start, static_cast<double>(departures.size()));
+            s_emitted_bits->record(
+                rec->start, rec->avg_bandwidth_bps *
+                                static_cast<double>(rec->duration));
         }
     }
     sample_cpu_until(horizon);

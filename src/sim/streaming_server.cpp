@@ -4,6 +4,7 @@
 
 #include "core/contracts.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace lsm::sim {
 
@@ -12,11 +13,19 @@ streaming_server::streaming_server(const server_config& cfg) : cfg_(cfg) {
                 cfg.cpu_reject_threshold <= 1.0);
     LSM_EXPECTS(cfg.cpu_per_stream >= 0.0 && cfg.cpu_per_arrival >= 0.0);
     LSM_EXPECTS(cfg.nic_capacity_bps >= 0.0);
+    LSM_EXPECTS(cfg.series_bucket_width > 0);
     if (cfg_.metrics != nullptr) {
         m_admitted_ = &cfg_.metrics->get_counter("sim/server/admitted");
         m_rejected_ = &cfg_.metrics->get_counter("sim/server/rejected");
         m_concurrency_ =
             &cfg_.metrics->get_gauge("sim/server/concurrent_streams");
+        const seconds_t w = cfg_.series_bucket_width;
+        s_admitted_ = &cfg_.metrics->get_time_series(
+            "sim/server/admitted_per_bucket", w);
+        s_rejected_ = &cfg_.metrics->get_time_series(
+            "sim/server/rejected_per_bucket", w);
+        s_concurrency_ = &cfg_.metrics->get_time_series(
+            "sim/server/concurrent_streams_series", w);
     }
 }
 
@@ -41,20 +50,20 @@ bool streaming_server::try_admit(seconds_t now, double bandwidth_bps) {
         case admission_policy::reject_at_capacity:
             if (cfg_.max_concurrent_streams != 0 &&
                 concurrency_ >= cfg_.max_concurrent_streams) {
-                if (m_rejected_ != nullptr) m_rejected_->add();
+                record_rejected(now);
                 return false;
             }
             break;
         case admission_policy::reject_at_cpu_threshold:
             if (cpu_load() >= cfg_.cpu_reject_threshold) {
-                if (m_rejected_ != nullptr) m_rejected_->add();
+                record_rejected(now);
                 return false;
             }
             break;
     }
     if (cfg_.nic_capacity_bps > 0.0 &&
         used_bandwidth_bps_ + bandwidth_bps > cfg_.nic_capacity_bps) {
-        if (m_rejected_ != nullptr) m_rejected_->add();
+        record_rejected(now);
         return false;
     }
     ++concurrency_;
@@ -63,8 +72,18 @@ bool streaming_server::try_admit(seconds_t now, double bandwidth_bps) {
         m_admitted_->add();
         m_concurrency_->set(concurrency_);
         m_concurrency_->record_max(concurrency_);
+        s_admitted_->record(now, 1.0);
+        // Sampled at arrivals, so per-bucket `max` is the bucket's peak
+        // concurrency (concurrency only rises at an arrival).
+        s_concurrency_->record(now, static_cast<double>(concurrency_));
     }
     return true;
+}
+
+void streaming_server::record_rejected(seconds_t now) {
+    if (m_rejected_ == nullptr) return;
+    m_rejected_->add();
+    s_rejected_->record(now, 1.0);
 }
 
 void streaming_server::finish(double bandwidth_bps) {

@@ -43,6 +43,10 @@ struct server_config {
     /// counters and gauges). Default-off; the serve_result is identical
     /// with or without it (see DESIGN.md, "Observability").
     obs::registry* metrics = nullptr;
+    /// Bucket width of the sim-time telemetry series the server records
+    /// when `metrics` is set (`sim/server/admitted_per_bucket`,
+    /// `rejected_per_bucket`, `concurrent_streams_series`).
+    seconds_t series_bucket_width = 60;
 };
 
 /// Outcome of replaying a workload through the server.
@@ -86,6 +90,8 @@ public:
     const server_config& config() const { return cfg_; }
 
 private:
+    void record_rejected(seconds_t now);
+
     server_config cfg_;
     std::uint32_t concurrency_ = 0;
     double used_bandwidth_bps_ = 0.0;
@@ -96,6 +102,11 @@ private:
     obs::counter* m_admitted_ = nullptr;
     obs::counter* m_rejected_ = nullptr;
     obs::gauge* m_concurrency_ = nullptr;
+    // Sim-time series (obs/timeseries.h); safe because the replay sweep
+    // drives one server from one thread.
+    obs::time_series* s_admitted_ = nullptr;
+    obs::time_series* s_rejected_ = nullptr;
+    obs::time_series* s_concurrency_ = nullptr;
 };
 
 }  // namespace lsm::sim

@@ -7,6 +7,7 @@
 #include "core/contracts.h"
 #include "core/parallel.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace lsm::world {
 
@@ -112,6 +113,15 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
     seeds.reserve(static_cast<std::size_t>(cfg.target_sessions * 1.5));
     {
         obs::scoped_timer t_arrivals(cfg.metrics, "arrivals");
+        // Hourly arrival series — the diurnal profile of Figs. 4/10/16
+        // as first-class telemetry. This loop is serial, the only
+        // writer the series needs.
+        obs::time_series* s_arrivals =
+            cfg.metrics != nullptr
+                ? &cfg.metrics->get_time_series(
+                      "world/session_arrivals_per_hour",
+                      seconds_per_hour)
+                : nullptr;
         const seconds_t bin = cfg.show.noise_bin;
         std::uint64_t session_counter = 0;
         for (seconds_t bin_start = 0; bin_start < cfg.window;
@@ -131,6 +141,9 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
                 s.arrival = static_cast<seconds_t>(t);
                 s.who = pop.sample_client(identity_rng);
                 s.counter = ++session_counter;
+                if (s_arrivals != nullptr) {
+                    s_arrivals->record(s.arrival, 1.0);
+                }
                 seeds.push_back(s);
             }
         }
@@ -212,6 +225,14 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
     out.truth.sessions_generated = seeds.size();
     {
         obs::scoped_timer t_merge(cfg.metrics, "merge");
+        // Hourly emitted-bandwidth series (bits started per hour),
+        // recorded in this serial merge so the sharded expansion never
+        // writes it.
+        obs::time_series* s_emitted =
+            cfg.metrics != nullptr
+                ? &cfg.metrics->get_time_series(
+                      "world/emitted_bits_per_hour", seconds_per_hour)
+                : nullptr;
         std::size_t total_records = 0;
         for (const auto& records : shard_records) {
             total_records += records.size();
@@ -219,6 +240,12 @@ world_result simulate_world(const world_config& cfg, std::uint64_t seed) {
         out.tr.reserve(total_records);
         for (std::size_t shard = 0; shard < nshards; ++shard) {
             for (const log_record& rec : shard_records[shard]) {
+                if (s_emitted != nullptr) {
+                    s_emitted->record(
+                        rec.start,
+                        rec.avg_bandwidth_bps *
+                            static_cast<double>(rec.duration));
+                }
                 out.tr.add(rec);
             }
             out.truth.transfers_generated += shard_transfers[shard];

@@ -4,10 +4,16 @@
 // 1, 2, and 8 threads on the same seed and assert byte-level equality.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "characterize/hierarchical.h"
+#include "characterize/report_json.h"
+#include "core/trace_io.h"
 #include "gismo/live_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace_event.h"
 #include "world/world_sim.h"
 
 namespace lsm {
@@ -149,6 +155,59 @@ TEST(Determinism, CharacterizationReportIdenticalAcrossThreadCounts) {
                   rep.transfer.length_fit.sigma);
         EXPECT_EQ(base.transfer.congestion_bound_fraction,
                   rep.transfer.congestion_bound_fraction);
+    }
+}
+
+TEST(Determinism, ObservabilityHooksDoNotPerturbOutputs) {
+    // Metrics, time-series sampling, and execution tracing are strictly
+    // observers: with a registry and an ambient tracer installed, the
+    // world-sim trace and the characterization report must stay
+    // byte-identical to the instrumentation-free run at every thread
+    // count.
+    world::world_config wcfg = world::world_config::scaled(0.01);
+    wcfg.window = 2 * seconds_per_day;
+    wcfg.target_sessions = 2000.0;
+    wcfg.threads = 1;
+    const auto plain = world::simulate_world(wcfg, 42);
+    ASSERT_GT(plain.tr.size(), 100U);
+    std::ostringstream plain_csv;
+    write_trace_csv(plain.tr, plain_csv);
+
+    characterize::hierarchical_config hcfg;
+    hcfg.client.acf_max_lag = 100;
+    hcfg.threads = 1;
+    trace plain_trace = plain.tr;
+    const auto plain_rep =
+        characterize::characterize_hierarchically(plain_trace, hcfg);
+    std::ostringstream plain_json;
+    characterize::write_report_json(plain_rep, plain_json);
+
+    for (unsigned threads : {1U, 2U, 8U}) {
+        SCOPED_TRACE(threads);
+        obs::registry reg;
+        obs::tracer exec_tracer;
+        obs::global_tracer_guard guard(&exec_tracer);
+
+        world::world_config wc = wcfg;
+        wc.threads = threads;
+        wc.metrics = &reg;
+        const auto res = world::simulate_world(wc, 42);
+        std::ostringstream csv;
+        write_trace_csv(res.tr, csv);
+        EXPECT_EQ(plain_csv.str(), csv.str());
+
+        characterize::hierarchical_config hc = hcfg;
+        hc.threads = threads;
+        hc.metrics = &reg;
+        trace tn = res.tr;
+        const auto rep = characterize::characterize_hierarchically(tn, hc);
+        std::ostringstream json;
+        characterize::write_report_json(rep, json);
+        EXPECT_EQ(plain_json.str(), json.str());
+
+        // The hooks must actually have observed the run.
+        EXPECT_GT(exec_tracer.recorded(), 0U);
+        EXPECT_FALSE(reg.series().empty());
     }
 }
 

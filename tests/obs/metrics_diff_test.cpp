@@ -1,0 +1,197 @@
+#include "obs/metrics_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json_min.h"
+
+namespace lsm::obs {
+namespace {
+
+// --- json_min ---------------------------------------------------------
+
+TEST(JsonMin, ParsesScalarsArraysAndNesting) {
+    const json_value v = parse_json(
+        R"({"a":1.5,"b":[1,2,3],"c":{"d":true,"e":null},"f":"x"})");
+    EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+    EXPECT_EQ(v.find("b")->as_array().size(), 3U);
+    EXPECT_TRUE(v.find("c")->find("d")->as_bool());
+    EXPECT_TRUE(v.find("c")->find("e")->is_null());
+    EXPECT_EQ(v.find("f")->as_string(), "x");
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonMin, DecodesStringEscapes) {
+    const json_value v =
+        parse_json(R"("q\"b\\s\nn\ttAu")");
+    EXPECT_EQ(v.as_string(), "q\"b\\s\nn\ttAu");
+}
+
+TEST(JsonMin, ParsesNegativeAndExponentNumbers) {
+    EXPECT_DOUBLE_EQ(parse_json("-2.5e3").as_number(), -2500.0);
+}
+
+TEST(JsonMin, RejectsMalformedInput) {
+    EXPECT_THROW(parse_json("{"), std::runtime_error);
+    EXPECT_THROW(parse_json(R"({"a":1} x)"), std::runtime_error);
+    EXPECT_THROW(parse_json(R"({"a" 1})"), std::runtime_error);
+    EXPECT_THROW(parse_json(""), std::runtime_error);
+}
+
+// --- flatten ----------------------------------------------------------
+
+std::string metrics_doc(double sessionize_ns) {
+    std::ostringstream out;
+    out << R"({"schema":"lsm-metrics-v1",)"
+        << R"("counters":{"world/records":100},)"
+        << R"("gauges":{"sim/depth":{"value":2,"max":9}},)"
+        << R"("histograms":{"lat":{"count":4,"sum":10,"p50":2.5,)"
+        << R"("buckets":[{"le":5,"count":4},{"le":"+inf","count":0}]}},)"
+        << R"("spans":{"name":"","wall_ns":0,"count":0,"children":[)"
+        << R"({"name":"characterize","wall_ns":50000000,"count":1,)"
+        << R"("children":[{"name":"sessionize","wall_ns":)"
+        << sessionize_ns << R"(,"count":1,"children":[]}]}]}})";
+    return out.str();
+}
+
+TEST(MetricsDiff, FlattensMetricsDocumentIncludingSpanPaths) {
+    const auto flat = flatten_metrics(parse_json(metrics_doc(2e7)));
+    double sessionize = -1.0;
+    bool sessionize_is_time = false;
+    double counter_v = -1.0;
+    for (const flat_metric& m : flat) {
+        if (m.name == "span/characterize/sessionize") {
+            sessionize = m.value;
+            sessionize_is_time = m.time_valued;
+        }
+        if (m.name == "counter/world/records") counter_v = m.value;
+    }
+    EXPECT_DOUBLE_EQ(sessionize, 2e7);
+    EXPECT_TRUE(sessionize_is_time);
+    EXPECT_DOUBLE_EQ(counter_v, 100.0);
+}
+
+TEST(MetricsDiff, FlattensBenchDocumentWithTimeUnitScaling) {
+    const json_value doc = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_X","real_time":2.0,"cpu_time":1.5,)"
+        R"("time_unit":"ms","iterations":10,)"
+        R"("counters":{"records/s":5000}}]})");
+    const auto flat = flatten_metrics(doc);
+    double real_ns = -1.0;
+    double rate = -1.0;
+    bool rate_is_time = true;
+    for (const flat_metric& m : flat) {
+        if (m.name == "bench/BM_X/real_time") {
+            real_ns = m.value;
+            EXPECT_TRUE(m.time_valued);
+        }
+        if (m.name == "bench/BM_X/records/s") {
+            rate = m.value;
+            rate_is_time = m.time_valued;
+        }
+    }
+    EXPECT_DOUBLE_EQ(real_ns, 2e6);  // 2 ms -> ns
+    EXPECT_DOUBLE_EQ(rate, 5000.0);
+    EXPECT_FALSE(rate_is_time);
+}
+
+TEST(MetricsDiff, UnknownSchemaThrows) {
+    EXPECT_THROW(flatten_metrics(parse_json(R"({"schema":"nope"})")),
+                 std::runtime_error);
+    EXPECT_THROW(flatten_metrics(parse_json(R"({"rows":[]})")),
+                 std::runtime_error);
+}
+
+// --- diff gate --------------------------------------------------------
+
+TEST(MetricsDiff, SelfCompareHasNoRegressions) {
+    const json_value doc = parse_json(metrics_doc(2e7));
+    const diff_result r = diff_metrics(doc, doc, diff_options{});
+    EXPECT_EQ(r.regressions, 0U);
+    EXPECT_TRUE(r.only_base.empty());
+    EXPECT_TRUE(r.only_test.empty());
+    for (const diff_row& row : r.rows) EXPECT_FALSE(row.regressed);
+}
+
+TEST(MetricsDiff, FlagsSpanRegressionBeyondThreshold) {
+    const json_value base = parse_json(metrics_doc(2e7));
+    const json_value slow = parse_json(metrics_doc(3e7));  // +50%
+    const diff_result r = diff_metrics(base, slow, diff_options{});
+    EXPECT_EQ(r.regressions, 1U);
+    bool flagged = false;
+    for (const diff_row& row : r.rows) {
+        if (row.name == "span/characterize/sessionize") {
+            flagged = row.regressed;
+        }
+    }
+    EXPECT_TRUE(flagged);
+}
+
+TEST(MetricsDiff, SlowdownWithinThresholdPasses) {
+    const json_value base = parse_json(metrics_doc(2e7));
+    const json_value ok = parse_json(metrics_doc(2.4e7));  // +20%
+    EXPECT_EQ(diff_metrics(base, ok, diff_options{}).regressions, 0U);
+}
+
+TEST(MetricsDiff, TinyBaselinesNeverGate) {
+    // 0.5ms -> 5ms is a 10x slowdown but below min_time_ns; noise.
+    const json_value base = parse_json(metrics_doc(5e5));
+    const json_value slow = parse_json(metrics_doc(5e6));
+    EXPECT_EQ(diff_metrics(base, slow, diff_options{}).regressions, 0U);
+}
+
+TEST(MetricsDiff, NonTimeMetricsNeverGate) {
+    json_value base = parse_json(
+        R"({"schema":"lsm-metrics-v1","counters":{"n":100},)"
+        R"("gauges":{},"histograms":{},)"
+        R"("spans":{"name":"","wall_ns":0,"count":0,"children":[]}})");
+    json_value test = parse_json(
+        R"({"schema":"lsm-metrics-v1","counters":{"n":100000},)"
+        R"("gauges":{},"histograms":{},)"
+        R"("spans":{"name":"","wall_ns":0,"count":0,"children":[]}})");
+    EXPECT_EQ(diff_metrics(base, test, diff_options{}).regressions, 0U);
+}
+
+TEST(MetricsDiff, OneSidedNamesAreReportedNotGated) {
+    const json_value base = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_Old","real_time":5,"cpu_time":5,)"
+        R"("time_unit":"ms","counters":{}}]})");
+    const json_value test = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_New","real_time":9,"cpu_time":9,)"
+        R"("time_unit":"ms","counters":{}}]})");
+    const diff_result r = diff_metrics(base, test, diff_options{});
+    EXPECT_EQ(r.regressions, 0U);
+    EXPECT_EQ(r.only_base.size(), 2U);
+    EXPECT_EQ(r.only_test.size(), 2U);
+}
+
+TEST(MetricsDiff, MixedSchemasCompareSharedSpanNames) {
+    // metrics-v1 vs bench-v1 share no names; diff is empty but valid.
+    const json_value a = parse_json(metrics_doc(2e7));
+    const json_value b = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[]})");
+    const diff_result r = diff_metrics(a, b, diff_options{});
+    EXPECT_TRUE(r.rows.empty());
+    EXPECT_EQ(r.regressions, 0U);
+}
+
+TEST(MetricsDiff, PrintDiffMarksRegressedRows) {
+    const json_value base = parse_json(metrics_doc(2e7));
+    const json_value slow = parse_json(metrics_doc(3e7));
+    const diff_result r = diff_metrics(base, slow, diff_options{});
+    std::ostringstream out;
+    print_diff(out, r, diff_options{});
+    const std::string text = out.str();
+    EXPECT_NE(text.find("! span/characterize/sessionize"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("1 regression(s)"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace lsm::obs

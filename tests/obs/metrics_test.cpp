@@ -75,6 +75,43 @@ TEST(Histogram, BucketsByUpperBoundWithOverflow) {
     EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e9);
 }
 
+TEST(Histogram, QuantileMatchesExactQuantilesOfUniformInput) {
+    // 1..100 into unit-width buckets: every bucket holds one value and
+    // interpolation is exact, so estimates equal exact quantiles.
+    histogram h(histogram::linear_bounds(1.0, 1.0, 100));
+    for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.90), 90.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideCoarseBuckets) {
+    // 200 observations spread evenly over (0, 100]: with one coarse
+    // (0,100] bucket the interpolated median is the bucket midpoint.
+    histogram h({100.0, 1000.0});
+    for (int i = 1; i <= 200; ++i) h.observe(i * 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+    // The first bucket's lower edge is min(0, bounds[0]) = 0.
+    EXPECT_DOUBLE_EQ(h.quantile(0.1), 10.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+    histogram empty({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    // Ranks in the overflow bucket saturate at the highest bound.
+    histogram h({1.0, 2.0});
+    h.observe(100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+
+    // Out-of-range q clamps.
+    histogram one({10.0});
+    one.observe(5.0);
+    EXPECT_DOUBLE_EQ(one.quantile(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(one.quantile(2.0), 10.0);
+}
+
 TEST(Histogram, BoundFactories) {
     const auto exp = histogram::exponential_bounds(1.0, 2.0, 4);
     EXPECT_EQ(exp, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
@@ -237,6 +274,46 @@ TEST(Exporters, PrometheusTextShape) {
     EXPECT_NE(s.find("le=\"+Inf\""), std::string::npos);
     EXPECT_NE(s.find("lsm_span_wall_seconds{path=\"phase\"}"),
               std::string::npos);
+}
+
+TEST(Exporters, JsonEscapesHostileMetricNames) {
+    registry reg;
+    reg.get_counter("bad\"name\\with\nnewline\tand\ttabs").add(1);
+
+    std::ostringstream out;
+    reg.write_json(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"bad\\\"name\\\\with\\nnewline\\tand\\ttabs\":1"),
+              std::string::npos)
+        << s;
+    // No raw newline may survive inside the document.
+    EXPECT_EQ(s.find('\n'), std::string::npos);
+}
+
+TEST(Exporters, PrometheusEscapesHostileLabelValues) {
+    registry reg;
+    reg.get_counter("bad\"name\\with\nnewline").add(3);
+    { scoped_timer t(&reg, "sp\"an\\x\ny"); }
+
+    std::ostringstream out;
+    reg.write_prometheus(out);
+    const std::string s = out.str();
+    // Label values escape ", \, and newline per the exposition format.
+    EXPECT_NE(
+        s.find("lsm_counter{name=\"bad\\\"name\\\\with\\nnewline\"} 3"),
+        std::string::npos)
+        << s;
+    EXPECT_NE(s.find("lsm_span_wall_seconds{path=\"sp\\\"an\\\\x\\ny\""),
+              std::string::npos)
+        << s;
+    // Every line is a comment or a complete sample — a raw newline in a
+    // label would produce a line without a value.
+    std::istringstream lines(s);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        EXPECT_NE(line.find("} "), std::string::npos) << line;
+    }
 }
 
 TEST(Exporters, FileWriterFailureThrows) {

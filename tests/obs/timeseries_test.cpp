@@ -1,0 +1,94 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+namespace {
+
+TEST(TimeSeries, BucketsByFixedWidth) {
+    time_series s(60);
+    s.record(0, 2.0);
+    s.record(59, 4.0);
+    s.record(60, 1.0);
+    s.record(185, 7.0);
+
+    ASSERT_EQ(s.num_buckets(), 4U);  // bucket 3 covers [180, 240)
+    EXPECT_EQ(s.at(0).count, 2U);
+    EXPECT_DOUBLE_EQ(s.at(0).sum, 6.0);
+    EXPECT_DOUBLE_EQ(s.at(0).max, 4.0);
+    EXPECT_EQ(s.at(1).count, 1U);
+    EXPECT_EQ(s.at(2).count, 0U);  // gap bucket exists but stays empty
+    EXPECT_EQ(s.at(3).count, 1U);
+    EXPECT_DOUBLE_EQ(s.at(3).max, 7.0);
+}
+
+TEST(TimeSeries, NegativeTimesClampIntoFirstBucket) {
+    time_series s(10);
+    s.record(-5, 3.0);
+    ASSERT_EQ(s.num_buckets(), 1U);
+    EXPECT_EQ(s.at(0).count, 1U);
+    EXPECT_DOUBLE_EQ(s.at(0).sum, 3.0);
+}
+
+TEST(TimeSeries, MaxTracksNegativeValuesCorrectly) {
+    // First value initializes max even when negative, so an all-negative
+    // bucket reports its true maximum, not zero.
+    time_series s(10);
+    s.record(0, -5.0);
+    s.record(1, -2.0);
+    EXPECT_DOUBLE_EQ(s.at(0).max, -2.0);
+}
+
+TEST(TimeSeries, RegistryReturnsSameSeriesAndIgnoresLaterWidth) {
+    registry reg;
+    time_series& a = reg.get_time_series("world/arrivals", 3600);
+    time_series& b = reg.get_time_series("world/arrivals", 60);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.bucket_width(), 3600);
+    ASSERT_EQ(reg.series().size(), 1U);
+    EXPECT_EQ(reg.series()[0].first, "world/arrivals");
+}
+
+TEST(TimeSeries, CsvDumpListsEveryBucketWithMean) {
+    registry reg;
+    time_series& s = reg.get_time_series("sim/admitted", 60);
+    s.record(30, 1.0);
+    s.record(45, 3.0);
+    s.record(130, 5.0);
+
+    std::ostringstream out;
+    reg.write_series_csv(out);
+    const std::string csv = out.str();
+    EXPECT_EQ(csv,
+              "series,bucket_width_s,bucket_start_s,count,sum,mean,max\n"
+              "sim/admitted,60,0,2,4,2,3\n"
+              "sim/admitted,60,60,0,0,0,0\n"
+              "sim/admitted,60,120,1,5,5,5\n");
+}
+
+TEST(TimeSeries, JsonExporterEmitsSeriesSection) {
+    registry reg;
+    time_series& s = reg.get_time_series("world/arrivals", 3600);
+    s.record(0, 1.0);
+    s.record(3600, 1.0);
+    s.record(3601, 1.0);
+
+    std::ostringstream out;
+    reg.write_json(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"series\":{\"world/arrivals\":"
+                        "{\"bucket_width\":3600,\"buckets\":["),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("{\"t\":3600,\"count\":2,\"sum\":2,\"max\":1}"),
+              std::string::npos)
+        << json;
+}
+
+}  // namespace
+}  // namespace lsm::obs
