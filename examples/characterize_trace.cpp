@@ -23,10 +23,12 @@
 #include "characterize/session_builder.h"
 #include "characterize/session_layer.h"
 #include "characterize/transfer_layer.h"
+#include "core/ingest.h"
 #include "core/parallel.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 #include "obs/trace_event.h"
 #include "world/world_sim.h"
 
@@ -36,6 +38,8 @@ int main(int argc, char** argv) {
                   << " [--json] [--threads N] [--metrics-out m.json]"
                   << " [--trace-out t.json] [--series-out s.csv]"
                   << " [--trace-format csv|bin]"
+                  << " [--on-error strict|skip|quarantine] [--max-errors N]"
+                  << " [--quarantine-out q.txt]"
                   << " <trace-file> [session_timeout] | --demo\n";
         return 1;
     }
@@ -46,6 +50,9 @@ int main(int argc, char** argv) {
     std::string metrics_out;
     std::string trace_out;
     std::string series_out;
+    std::string quarantine_out;
+    lsm::ingest_options iopts;
+    bool on_error_set = false;
     lsm::trace_format demo_format = lsm::trace_format::csv;
     int argi = 1;
     while (argi < argc) {
@@ -93,6 +100,34 @@ int main(int argc, char** argv) {
                 return 1;
             }
             argi += 2;
+        } else if (flag == "--on-error") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--on-error requires strict, skip, or "
+                             "quarantine\n";
+                return 1;
+            }
+            try {
+                iopts.on_error = lsm::parse_on_error_policy(argv[argi + 1]);
+            } catch (const std::exception& e) {
+                std::cerr << e.what() << "\n";
+                return 1;
+            }
+            on_error_set = true;
+            argi += 2;
+        } else if (flag == "--max-errors") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--max-errors requires a count\n";
+                return 1;
+            }
+            iopts.max_errors = std::strtoull(argv[argi + 1], nullptr, 10);
+            argi += 2;
+        } else if (flag == "--quarantine-out") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--quarantine-out requires a path\n";
+                return 1;
+            }
+            quarantine_out = argv[argi + 1];
+            argi += 2;
         } else {
             break;
         }
@@ -100,6 +135,10 @@ int main(int argc, char** argv) {
     if (argi >= argc) {
         std::cerr << "missing trace path (or --demo)\n";
         return 1;
+    }
+    // Asking for a quarantine file implies the quarantine policy.
+    if (!quarantine_out.empty() && !on_error_set) {
+        iopts.on_error = lsm::on_error_policy::quarantine;
     }
     // Shift remaining positional arguments.
     argv += argi - 1;
@@ -115,17 +154,28 @@ int main(int argc, char** argv) {
     lsm::obs::tracer exec_tracer;
     lsm::obs::global_tracer_guard tracer_guard(
         trace_out.empty() ? nullptr : &exec_tracer);
+    // Observability sinks are auxiliary: an unwritable path must not
+    // fail a run whose analysis succeeded, so each write degrades to a
+    // warning.
     auto dump_metrics = [&]() {
-        if (!metrics_out.empty()) {
-            reg.write_json_file(metrics_out);
+        if (!metrics_out.empty() &&
+            lsm::obs::try_write_sink(
+                "metrics", metrics_out,
+                [&] { reg.write_json_file(metrics_out); }, std::cerr)) {
             std::cerr << "metrics written to " << metrics_out << "\n";
         }
-        if (!series_out.empty()) {
-            reg.write_series_csv_file(series_out);
+        if (!series_out.empty() &&
+            lsm::obs::try_write_sink(
+                "series", series_out,
+                [&] { reg.write_series_csv_file(series_out); },
+                std::cerr)) {
             std::cerr << "series written to " << series_out << "\n";
         }
-        if (!trace_out.empty()) {
-            exec_tracer.write_json_file(trace_out);
+        if (!trace_out.empty() &&
+            lsm::obs::try_write_sink(
+                "execution trace", trace_out,
+                [&] { exec_tracer.write_json_file(trace_out); },
+                std::cerr)) {
             std::cerr << "execution trace written to " << trace_out
                       << "\n";
         }
@@ -135,6 +185,7 @@ int main(int argc, char** argv) {
     lsm::thread_pool pool(threads);
 
     lsm::trace tr;
+    lsm::ingest_report ingest_rep;
     const std::string arg = argv[1];
     if (arg == "--demo") {
         const std::string path = demo_format == lsm::trace_format::bin
@@ -149,16 +200,29 @@ int main(int argc, char** argv) {
         tr = std::move(world.tr);
     } else {
         try {
-            tr = lsm::read_trace_auto_file(arg, &pool, metrics);
+            tr = lsm::read_trace_auto_file(arg, &pool, metrics, iopts,
+                                           &ingest_rep);
         } catch (const std::exception& e) {
             std::cerr << "failed to read trace: " << e.what() << "\n";
             return 1;
+        }
+        if (iopts.on_error != lsm::on_error_policy::strict &&
+            !ingest_rep.clean()) {
+            std::cerr << "ingest: " << ingest_rep.summary() << "\n";
         }
         if (argc > 2) timeout = std::atoll(argv[2]);
         if (timeout <= 0) {
             std::cerr << "session timeout must be positive\n";
             return 1;
         }
+    }
+    if (!quarantine_out.empty() &&
+        lsm::obs::try_write_sink(
+            "quarantine", quarantine_out,
+            [&] { lsm::write_quarantine_file(ingest_rep, quarantine_out); },
+            std::cerr)) {
+        std::cerr << "quarantine written to " << quarantine_out << " ("
+                  << ingest_rep.quarantine.size() << " bytes)\n";
     }
 
     if (json) {

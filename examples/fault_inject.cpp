@@ -1,0 +1,87 @@
+// Deterministic log corruptor: applies a seeded fault plan to a file so
+// ingest recovery can be exercised (and any failure replayed) from a
+// single echoed seed. This is the driver the CI fuzz-lite job uses:
+// generate a trace, corrupt it, recover it under --on-error quarantine,
+// and check the pieces add back up.
+//
+//   $ ./fault_inject <in> <out> [seed=N] [count=K]
+//                    [kinds=bit_flip,truncate_tail,...]
+//                    [protect_prefix_lines=N]
+//
+// Kinds (default: all): bit_flip, truncate_tail, splice_lines,
+// duplicate_line, reorder_lines, crlf_line, nul_bytes, locale_commas.
+// The applied plan is printed to stderr, one fault per line.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/fault.h"
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::cerr << "usage: " << argv[0]
+                  << " <in> <out> [seed=N] [count=K] [kinds=a,b,...]"
+                  << " [protect_prefix_lines=N]\n";
+        return 1;
+    }
+    const std::string in_path = argv[1];
+    const std::string out_path = argv[2];
+    std::uint64_t seed = 1;
+    lsm::fault_config cfg;
+    cfg.count = 4;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            std::cerr << "expected key=value, got: " << arg << "\n";
+            return 1;
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string val = arg.substr(eq + 1);
+        if (key == "seed") {
+            seed = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (key == "count") {
+            cfg.count =
+                static_cast<std::uint32_t>(std::strtoul(val.c_str(),
+                                                        nullptr, 10));
+        } else if (key == "protect_prefix_lines") {
+            cfg.protect_prefix_lines =
+                static_cast<std::uint32_t>(std::strtoul(val.c_str(),
+                                                        nullptr, 10));
+        } else if (key == "kinds") {
+            try {
+                std::size_t start = 0;
+                while (start <= val.size()) {
+                    const std::size_t comma = val.find(',', start);
+                    const std::string name = val.substr(
+                        start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+                    if (!name.empty()) {
+                        cfg.kinds.push_back(lsm::parse_fault_kind(name));
+                    }
+                    if (comma == std::string::npos) break;
+                    start = comma + 1;
+                }
+            } catch (const std::exception& e) {
+                std::cerr << e.what() << "\n";
+                return 1;
+            }
+        } else {
+            std::cerr << "unknown key: " << key << "\n";
+            return 1;
+        }
+    }
+
+    try {
+        const auto plan =
+            lsm::inject_faults_file(in_path, out_path, seed, cfg);
+        std::cerr << "seed=" << seed << " applied " << plan.size()
+                  << " fault(s):\n"
+                  << lsm::describe(plan);
+        std::cout << "Wrote corrupted copy to " << out_path << "\n";
+    } catch (const std::exception& e) {
+        std::cerr << "fault injection failed: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

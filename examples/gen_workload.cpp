@@ -25,19 +25,32 @@
 //   metrics_out=<path>   dump generator metrics (obs/metrics.h) as JSON
 //   trace_out=<path>     dump the execution trace (Chrome trace-event
 //                        JSON, obs/trace_event.h; open in Perfetto)
+//   on_error=strict      ingest policy for the config= load: skip and
+//                        quarantine warn and fall back to the scaled
+//                        defaults when the recipe is unreadable
+//   max_errors=N         error cap for the ingest policy
+//   quarantine_out=<path> retain the rejected recipe bytes (implies
+//                        on_error=quarantine)
+//
+// The generated trace is this tool's primary output, so its write stays
+// fatal; metrics/trace/quarantine sinks warn and continue.
 //
 // Example: a heavier-tailed, single-feed workload for a week:
 //   $ ./gen_workload week.csv scale=0.05 days=7 objects=1 length_sigma=1.8
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "core/ingest.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
 #include "gismo/config_io.h"
 #include "gismo/live_generator.h"
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 #include "obs/trace_event.h"
 
 namespace {
@@ -82,13 +95,50 @@ int main(int argc, char** argv) {
         std::cerr << "scale must be in (0, 1]\n";
         return 1;
     }
+    lsm::ingest_options iopts;
+    if (auto it = kv.find("on_error"); it != kv.end()) {
+        try {
+            iopts.on_error = lsm::parse_on_error_policy(it->second);
+        } catch (const std::exception& e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+    } else if (kv.count("quarantine_out") != 0) {
+        // Asking for a quarantine file implies the quarantine policy.
+        iopts.on_error = lsm::on_error_policy::quarantine;
+    }
+    if (auto it = kv.find("max_errors"); it != kv.end()) {
+        iopts.max_errors = std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    lsm::ingest_report ingest_rep;
     lsm::gismo::live_config cfg = lsm::gismo::live_config::scaled(scale);
     if (auto it = kv.find("config"); it != kv.end()) {
         try {
             cfg = lsm::gismo::read_live_config_file(it->second);
         } catch (const std::exception& e) {
-            std::cerr << "config load failed: " << e.what() << "\n";
-            return 1;
+            if (iopts.on_error == lsm::on_error_policy::strict) {
+                std::cerr << "config load failed: " << e.what() << "\n";
+                return 1;
+            }
+            // Recipe files are file-granularity inputs: an unreadable
+            // one rejects whole, and the run proceeds on the scaled
+            // defaults.
+            std::cerr << "warning: config load failed: " << e.what()
+                      << "; falling back to scale=" << scale
+                      << " defaults\n";
+            ingest_rep.file = it->second;
+            ingest_rep.add_error(iopts, 0, "bad_config", e.what());
+            std::ifstream raw(it->second, std::ios::binary);
+            std::ostringstream ss;
+            if (raw) ss << raw.rdbuf();
+            ingest_rep.reject_bytes(iopts, std::move(ss).str());
+            try {
+                ingest_rep.enforce_cap(iopts);
+            } catch (const std::exception& cap) {
+                std::cerr << cap.what() << "\n";
+                return 1;
+            }
         }
     }
     cfg.window = static_cast<lsm::seconds_t>(get(kv, "days", 28)) *
@@ -144,23 +194,30 @@ int main(int argc, char** argv) {
         std::cerr << "write failed: " << e.what() << "\n";
         return 1;
     }
+    // Auxiliary sinks degrade to warnings — the trace already landed.
     if (auto it = kv.find("metrics_out"); it != kv.end()) {
-        try {
-            reg.write_json_file(it->second);
+        if (lsm::obs::try_write_sink(
+                "metrics", it->second,
+                [&] { reg.write_json_file(it->second); }, std::cerr)) {
             std::cout << "Metrics written to " << it->second << "\n";
-        } catch (const std::exception& e) {
-            std::cerr << "metrics write failed: " << e.what() << "\n";
-            return 1;
         }
     }
     if (auto it = kv.find("trace_out"); it != kv.end()) {
-        try {
-            exec_tracer.write_json_file(it->second);
+        if (lsm::obs::try_write_sink(
+                "execution trace", it->second,
+                [&] { exec_tracer.write_json_file(it->second); },
+                std::cerr)) {
             std::cout << "Execution trace written to " << it->second
                       << "\n";
-        } catch (const std::exception& e) {
-            std::cerr << "trace write failed: " << e.what() << "\n";
-            return 1;
+        }
+    }
+    if (auto it = kv.find("quarantine_out"); it != kv.end()) {
+        if (lsm::obs::try_write_sink(
+                "quarantine", it->second,
+                [&] { lsm::write_quarantine_file(ingest_rep, it->second); },
+                std::cerr)) {
+            std::cout << "Quarantine written to " << it->second << " ("
+                      << ingest_rep.quarantine.size() << " bytes)\n";
         }
     }
     std::cout << "Wrote " << tr.size() << " transfers to " << argv[1]

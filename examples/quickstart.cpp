@@ -4,13 +4,17 @@
 //
 //   $ ./quickstart [--metrics-out m.json] [--trace-out t.json]
 //                  [--save-trace t.csv] [--trace-format csv|bin]
+//                  [--on-error strict|skip|quarantine] [--max-errors N]
+//                  [--quarantine-out q.txt]
 //                  [scale] [seed]
 //
 // scale in (0, 1] shrinks the workload (default 0.05 — a few days'
 // traffic in a couple of seconds); seed defaults to 42. --save-trace
 // writes the generated *workload* trace in the --trace-format encoding;
 // --trace-out writes the *execution* trace (Chrome trace-event JSON,
-// open in https://ui.perfetto.dev).
+// open in https://ui.perfetto.dev). The ingest flags apply to a
+// read-back verification of the --save-trace file: the characterization
+// itself runs on the in-memory trace, so its output is unchanged.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -20,15 +24,20 @@
 #include "characterize/session_builder.h"
 #include "characterize/session_layer.h"
 #include "characterize/transfer_layer.h"
+#include "core/ingest.h"
 #include "core/trace_io_bin.h"
 #include "gismo/live_generator.h"
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 #include "obs/trace_event.h"
 
 int main(int argc, char** argv) {
     std::string metrics_out;
     std::string save_trace;
     std::string trace_out;
+    std::string quarantine_out;
+    lsm::ingest_options iopts;
+    bool on_error_set = false;
     lsm::trace_format save_trace_format = lsm::trace_format::csv;
     while (argc > 2) {
         const std::string flag = argv[1];
@@ -45,11 +54,27 @@ int main(int argc, char** argv) {
                 std::cerr << e.what() << "\n";
                 return 1;
             }
+        } else if (flag == "--on-error") {
+            try {
+                iopts.on_error = lsm::parse_on_error_policy(argv[2]);
+            } catch (const std::exception& e) {
+                std::cerr << e.what() << "\n";
+                return 1;
+            }
+            on_error_set = true;
+        } else if (flag == "--max-errors") {
+            iopts.max_errors = std::strtoull(argv[2], nullptr, 10);
+        } else if (flag == "--quarantine-out") {
+            quarantine_out = argv[2];
         } else {
             break;
         }
         argv += 2;
         argc -= 2;
+    }
+    // Asking for a quarantine file implies the quarantine policy.
+    if (!quarantine_out.empty() && !on_error_set) {
+        iopts.on_error = lsm::on_error_policy::quarantine;
     }
     const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
     const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
@@ -78,6 +103,32 @@ int main(int argc, char** argv) {
             std::cerr << "trace write failed: " << e.what() << "\n";
             return 1;
         }
+        // Read-back verification under the requested ingest policy: a
+        // freshly written trace must recover completely.
+        lsm::ingest_report verify_rep;
+        try {
+            const lsm::trace back = lsm::read_trace_auto_file(
+                save_trace, nullptr, nullptr, iopts, &verify_rep);
+            if (back.size() != tr.size() || !verify_rep.clean()) {
+                std::cerr << "  read-back verification: "
+                          << verify_rep.summary() << "\n";
+            }
+        } catch (const std::exception& e) {
+            std::cerr << "read-back verification failed: " << e.what()
+                      << "\n";
+            return 1;
+        }
+        if (!quarantine_out.empty() &&
+            lsm::obs::try_write_sink(
+                "quarantine", quarantine_out,
+                [&] {
+                    lsm::write_quarantine_file(verify_rep, quarantine_out);
+                },
+                std::cerr)) {
+            std::cout << "  quarantine written to " << quarantine_out
+                      << " (" << verify_rep.quarantine.size()
+                      << " bytes)\n\n";
+        }
     }
 
     lsm::sanitize(tr);
@@ -88,12 +139,18 @@ int main(int argc, char** argv) {
     const auto tl = lsm::characterize::analyze_transfer_layer(tr);
 
     lsm::characterize::print_full_report(std::cout, tr, cl, sl, tl);
-    if (!metrics_out.empty()) {
-        reg.write_json_file(metrics_out);
+    // Observability sinks are auxiliary; an unwritable path warns
+    // instead of failing the run.
+    if (!metrics_out.empty() &&
+        lsm::obs::try_write_sink(
+            "metrics", metrics_out,
+            [&] { reg.write_json_file(metrics_out); }, std::cerr)) {
         std::cout << "\nMetrics written to " << metrics_out << "\n";
     }
-    if (!trace_out.empty()) {
-        exec_tracer.write_json_file(trace_out);
+    if (!trace_out.empty() &&
+        lsm::obs::try_write_sink(
+            "execution trace", trace_out,
+            [&] { exec_tracer.write_json_file(trace_out); }, std::cerr)) {
         std::cout << "\nExecution trace written to " << trace_out
                   << "\n";
     }

@@ -1,0 +1,38 @@
+# Corruption harness: generate a trace, corrupt it with a seeded fault
+# plan (shielding the two header lines), then recover it under the
+# quarantine policy. The run must succeed, produce a quarantine file,
+# and the unwritable-sink path must warn instead of failing.
+if(NOT DEFINED SEED)
+  set(SEED 1)
+endif()
+message(STATUS "fuzz-lite seed=${SEED}")
+execute_process(COMMAND ${GEN} fuzz_in.csv scale=0.005 days=2
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "gen_workload failed: ${rc1}")
+endif()
+execute_process(COMMAND ${INJECT} fuzz_in.csv fuzz_bad.csv seed=${SEED}
+                        count=6 protect_prefix_lines=2
+                RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "fault_inject failed: ${rc2}")
+endif()
+execute_process(COMMAND ${CHAR} --on-error quarantine
+                        --quarantine-out fuzz_quarantine.txt fuzz_bad.csv
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR
+          "characterize_trace failed on corrupted input (seed=${SEED}): ${rc3}")
+endif()
+if(NOT EXISTS fuzz_quarantine.txt)
+  message(FATAL_ERROR "quarantine file was not written (seed=${SEED})")
+endif()
+# Graceful sink degradation: an unwritable metrics path must warn, not
+# fail the run.
+execute_process(COMMAND ${CHAR} --on-error skip
+                        --metrics-out /nonexistent-dir/m.json fuzz_bad.csv
+                RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR
+          "unwritable --metrics-out must degrade to a warning (seed=${SEED}): ${rc4}")
+endif()

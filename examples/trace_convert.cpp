@@ -4,26 +4,35 @@
 //
 //   $ ./trace_convert <in> <out> [--format csv|bin] [--threads N]
 //                     [--metrics-out m.json]
+//                     [--on-error strict|skip|quarantine] [--max-errors N]
+//                     [--quarantine-out q.txt]
 //
 // Round-tripping is lossless in both directions: CSV -> bin -> CSV
 // reproduces the original file byte for byte (the CI pipeline checks
 // exactly that on the demo trace), and bin -> CSV -> bin preserves every
 // record. CSV decoding runs on a thread pool when --threads > 1.
 // --metrics-out dumps read/convert/write spans and record counters.
+// Under --on-error skip/quarantine a damaged input converts its
+// recoverable records instead of failing; --quarantine-out retains the
+// rejected raw bytes (and implies the quarantine policy).
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "core/ingest.h"
 #include "core/parallel.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 
 int main(int argc, char** argv) {
     if (argc < 3) {
         std::cerr << "usage: " << argv[0]
                   << " <in> <out> [--format csv|bin] [--threads N]"
-                  << " [--metrics-out m.json]\n";
+                  << " [--metrics-out m.json]"
+                  << " [--on-error strict|skip|quarantine]"
+                  << " [--max-errors N] [--quarantine-out q.txt]\n";
         return 1;
     }
     const std::string in_path = argv[1];
@@ -31,6 +40,9 @@ int main(int argc, char** argv) {
     lsm::trace_format format = lsm::trace_format::bin;
     unsigned threads = 0;  // 0 = hardware concurrency
     std::string metrics_out;
+    std::string quarantine_out;
+    lsm::ingest_options iopts;
+    bool on_error_set = false;
     for (int i = 3; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--format" && i + 1 < argc) {
@@ -44,21 +56,43 @@ int main(int argc, char** argv) {
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (flag == "--metrics-out" && i + 1 < argc) {
             metrics_out = argv[++i];
+        } else if (flag == "--on-error" && i + 1 < argc) {
+            try {
+                iopts.on_error = lsm::parse_on_error_policy(argv[++i]);
+            } catch (const std::exception& e) {
+                std::cerr << e.what() << "\n";
+                return 1;
+            }
+            on_error_set = true;
+        } else if (flag == "--max-errors" && i + 1 < argc) {
+            iopts.max_errors = std::strtoull(argv[++i], nullptr, 10);
+        } else if (flag == "--quarantine-out" && i + 1 < argc) {
+            quarantine_out = argv[++i];
         } else {
             std::cerr << "unknown or incomplete flag: " << flag << "\n";
             return 1;
         }
     }
+    // Asking for a quarantine file implies the quarantine policy.
+    if (!quarantine_out.empty() && !on_error_set) {
+        iopts.on_error = lsm::on_error_policy::quarantine;
+    }
 
     lsm::obs::registry reg;
     lsm::obs::registry* metrics = metrics_out.empty() ? nullptr : &reg;
+    lsm::ingest_report ingest_rep;
     try {
         lsm::thread_pool pool(threads);
         lsm::obs::scoped_timer t_all(metrics, "convert");
         lsm::trace tr;
         {
             lsm::obs::scoped_timer t_read(metrics, "read");
-            tr = lsm::read_trace_auto_file(in_path, &pool, metrics);
+            tr = lsm::read_trace_auto_file(in_path, &pool, metrics, iopts,
+                                           &ingest_rep);
+        }
+        if (iopts.on_error != lsm::on_error_policy::strict &&
+            !ingest_rep.clean()) {
+            std::cerr << "ingest: " << ingest_rep.summary() << "\n";
         }
         {
             lsm::obs::scoped_timer t_write(metrics, "write");
@@ -73,14 +107,20 @@ int main(int argc, char** argv) {
         std::cerr << "conversion failed: " << e.what() << "\n";
         return 1;
     }
-    if (metrics != nullptr) {
-        try {
-            reg.write_json_file(metrics_out);
-            std::cout << "Metrics written to " << metrics_out << "\n";
-        } catch (const std::exception& e) {
-            std::cerr << "metrics write failed: " << e.what() << "\n";
-            return 1;
-        }
+    // Auxiliary sinks degrade to warnings: the conversion itself landed.
+    if (!quarantine_out.empty() &&
+        lsm::obs::try_write_sink(
+            "quarantine", quarantine_out,
+            [&] { lsm::write_quarantine_file(ingest_rep, quarantine_out); },
+            std::cerr)) {
+        std::cout << "Quarantine written to " << quarantine_out << " ("
+                  << ingest_rep.quarantine.size() << " bytes)\n";
+    }
+    if (metrics != nullptr &&
+        lsm::obs::try_write_sink(
+            "metrics", metrics_out,
+            [&] { reg.write_json_file(metrics_out); }, std::cerr)) {
+        std::cout << "Metrics written to " << metrics_out << "\n";
     }
     return 0;
 }

@@ -1,0 +1,263 @@
+#include "core/fault.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/ingest.h"
+#include "core/rng.h"
+
+namespace lsm {
+
+namespace {
+
+/// Byte offset just past the Nth line terminator — the first byte faults
+/// are allowed to touch.
+std::size_t protected_prefix_end(const std::string& data,
+                                 std::uint32_t lines) {
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        const std::size_t nl = data.find('\n', off);
+        if (nl == std::string::npos) return data.size();
+        off = nl + 1;
+    }
+    return off;
+}
+
+struct line_span {
+    std::size_t begin;
+    std::size_t end;  ///< one past the last content byte, excluding '\n'
+    bool terminated;
+};
+
+std::vector<line_span> lines_from(const std::string& data,
+                                  std::size_t from) {
+    std::vector<line_span> out;
+    std::size_t i = from;
+    while (i < data.size()) {
+        const std::size_t nl = data.find('\n', i);
+        if (nl == std::string::npos) {
+            out.push_back({i, data.size(), false});
+            break;
+        }
+        out.push_back({i, nl, true});
+        i = nl + 1;
+    }
+    return out;
+}
+
+std::string offset_detail(const char* what, std::size_t off) {
+    return std::string(what) + " at offset " + std::to_string(off);
+}
+
+/// Tries to apply one fault of `kind`; returns false when the buffer has
+/// no applicable target (e.g. no '.' left for locale_commas).
+bool apply_fault(fault_kind kind, std::string& data, std::size_t guard,
+                 rng& r, applied_fault& out) {
+    out.kind = kind;
+    switch (kind) {
+        case fault_kind::bit_flip: {
+            if (guard >= data.size()) return false;
+            const std::size_t off =
+                guard + static_cast<std::size_t>(
+                            r.next_below(data.size() - guard));
+            const int bit = static_cast<int>(r.next_below(8));
+            data[off] = static_cast<char>(
+                static_cast<unsigned char>(data[off]) ^ (1u << bit));
+            out.offset = off;
+            out.detail = "flip bit " + std::to_string(bit) + " of byte" +
+                         offset_detail("", off);
+            return true;
+        }
+        case fault_kind::truncate_tail: {
+            if (guard >= data.size()) return false;
+            const std::uint64_t max_cut =
+                std::min<std::uint64_t>(data.size() - guard, 256);
+            const std::size_t cut =
+                static_cast<std::size_t>(1 + r.next_below(max_cut));
+            data.resize(data.size() - cut);
+            out.offset = data.size();
+            out.detail = "truncate " + std::to_string(cut) +
+                         " tail bytes" + offset_detail("", data.size());
+            return true;
+        }
+        case fault_kind::splice_lines: {
+            std::vector<std::size_t> nls;
+            for (std::size_t i = guard; i < data.size(); ++i) {
+                if (data[i] == '\n' && i + 1 < data.size()) nls.push_back(i);
+            }
+            if (nls.empty()) return false;
+            const std::size_t off =
+                nls[static_cast<std::size_t>(r.next_below(nls.size()))];
+            data.erase(off, 1);
+            out.offset = off;
+            out.detail = offset_detail("splice lines", off);
+            return true;
+        }
+        case fault_kind::duplicate_line: {
+            const auto ls = lines_from(data, guard);
+            if (ls.empty()) return false;
+            const line_span l =
+                ls[static_cast<std::size_t>(r.next_below(ls.size()))];
+            std::string copy =
+                data.substr(l.begin, l.end - l.begin) + '\n';
+            const std::size_t at = l.terminated ? l.end + 1 : l.end;
+            if (!l.terminated) copy.insert(copy.begin(), '\n');
+            data.insert(at, copy);
+            out.offset = l.begin;
+            out.detail = offset_detail("duplicate line", l.begin);
+            return true;
+        }
+        case fault_kind::reorder_lines: {
+            const auto ls = lines_from(data, guard);
+            if (ls.size() < 2) return false;
+            const std::size_t i =
+                static_cast<std::size_t>(r.next_below(ls.size() - 1));
+            const line_span a = ls[i];
+            const line_span b = ls[i + 1];
+            const std::string sa = data.substr(a.begin, a.end - a.begin);
+            const std::string sb = data.substr(b.begin, b.end - b.begin);
+            std::string swapped = sb + '\n' + sa;
+            if (b.terminated) swapped += '\n';
+            data.replace(a.begin,
+                         (b.terminated ? b.end + 1 : b.end) - a.begin,
+                         swapped);
+            out.offset = a.begin;
+            out.detail = offset_detail("swap adjacent lines", a.begin);
+            return true;
+        }
+        case fault_kind::crlf_line: {
+            std::vector<std::size_t> nls;
+            for (std::size_t i = guard; i < data.size(); ++i) {
+                if (data[i] == '\n' &&
+                    (i == 0 || data[i - 1] != '\r')) {
+                    nls.push_back(i);
+                }
+            }
+            if (nls.empty()) return false;
+            const std::size_t off =
+                nls[static_cast<std::size_t>(r.next_below(nls.size()))];
+            data.insert(off, 1, '\r');
+            out.offset = off;
+            out.detail = offset_detail("LF -> CRLF", off);
+            return true;
+        }
+        case fault_kind::nul_bytes: {
+            if (guard > data.size()) return false;
+            const std::size_t off =
+                guard + static_cast<std::size_t>(
+                            r.next_below(data.size() - guard + 1));
+            const std::size_t n =
+                static_cast<std::size_t>(1 + r.next_below(4));
+            data.insert(off, n, '\0');
+            out.offset = off;
+            out.detail = "insert " + std::to_string(n) + " NUL bytes" +
+                         offset_detail("", off);
+            return true;
+        }
+        case fault_kind::locale_commas: {
+            std::vector<std::size_t> dots;
+            for (std::size_t i = guard; i < data.size(); ++i) {
+                if (data[i] == '.') dots.push_back(i);
+            }
+            if (dots.empty()) return false;
+            const std::size_t off =
+                dots[static_cast<std::size_t>(r.next_below(dots.size()))];
+            data[off] = ',';
+            out.offset = off;
+            out.detail = offset_detail("'.' -> ','", off);
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+fault_kind parse_fault_kind(std::string_view name) {
+    for (const fault_kind k : all_fault_kinds()) {
+        if (name == to_string(k)) return k;
+    }
+    throw ingest_error("unknown fault kind '" + std::string(name) + "'");
+}
+
+std::string_view to_string(fault_kind kind) {
+    switch (kind) {
+        case fault_kind::bit_flip: return "bit_flip";
+        case fault_kind::truncate_tail: return "truncate_tail";
+        case fault_kind::splice_lines: return "splice_lines";
+        case fault_kind::duplicate_line: return "duplicate_line";
+        case fault_kind::reorder_lines: return "reorder_lines";
+        case fault_kind::crlf_line: return "crlf_line";
+        case fault_kind::nul_bytes: return "nul_bytes";
+        case fault_kind::locale_commas: return "locale_commas";
+    }
+    return "?";
+}
+
+const std::vector<fault_kind>& all_fault_kinds() {
+    static const std::vector<fault_kind> kinds = {
+        fault_kind::bit_flip,       fault_kind::truncate_tail,
+        fault_kind::splice_lines,   fault_kind::duplicate_line,
+        fault_kind::reorder_lines,  fault_kind::crlf_line,
+        fault_kind::nul_bytes,      fault_kind::locale_commas,
+    };
+    return kinds;
+}
+
+corruption_result inject_faults(std::string_view input, std::uint64_t seed,
+                                const fault_config& cfg) {
+    corruption_result out;
+    out.data.assign(input);
+    const std::vector<fault_kind>& kinds =
+        cfg.kinds.empty() ? all_fault_kinds() : cfg.kinds;
+    rng r(seed);
+    for (std::uint32_t i = 0; i < cfg.count; ++i) {
+        // The guard moves as mutations change the line structure, so
+        // recompute it per fault; a few draws may be inapplicable (no
+        // target left), in which case another kind gets a chance.
+        bool applied = false;
+        for (int attempt = 0; attempt < 32 && !applied; ++attempt) {
+            const fault_kind k = kinds[static_cast<std::size_t>(
+                r.next_below(kinds.size()))];
+            const std::size_t guard =
+                protected_prefix_end(out.data, cfg.protect_prefix_lines);
+            applied_fault f;
+            if (apply_fault(k, out.data, guard, r, f)) {
+                out.plan.push_back(std::move(f));
+                applied = true;
+            }
+        }
+        if (!applied) break;  // buffer exhausted of targets
+    }
+    return out;
+}
+
+std::vector<applied_fault> inject_faults_file(const std::string& in_path,
+                                              const std::string& out_path,
+                                              std::uint64_t seed,
+                                              const fault_config& cfg) {
+    std::ifstream in(in_path, std::ios::binary);
+    if (!in) throw ingest_error("cannot open for reading: " + in_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) throw ingest_error("read failed: " + in_path);
+    const corruption_result res =
+        inject_faults(std::move(ss).str(), seed, cfg);
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw ingest_error("cannot open for writing: " + out_path);
+    out.write(res.data.data(),
+              static_cast<std::streamsize>(res.data.size()));
+    if (!out) throw ingest_error("write failed: " + out_path);
+    return res.plan;
+}
+
+std::string describe(const std::vector<applied_fault>& plan) {
+    std::ostringstream os;
+    for (const applied_fault& f : plan) {
+        os << to_string(f.kind) << ": " << f.detail << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace lsm

@@ -1,0 +1,79 @@
+// Deterministic fault injection for ingest-recovery testing.
+//
+// Real media-server logs arrive damaged in boring, recurring ways:
+// mid-write truncation, interleaved writes splicing two lines, editor
+// round-trips adding CRLF, NUL runs from sparse-file recovery, and
+// comma decimal points from locale-confused tooling. This module turns
+// a seed into a reproducible mutation plan over those fault kinds and
+// applies it to a buffer, so corruption tests (and the CI fuzz-lite
+// job) can hammer the readers with realistic damage and still replay
+// any failure from its echoed seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsm {
+
+/// One kind of realistic log damage.
+enum class fault_kind : std::uint8_t {
+    bit_flip,        ///< flip one bit of one byte
+    truncate_tail,   ///< drop bytes from the end (mid-write crash)
+    splice_lines,    ///< remove a newline, joining two records
+    duplicate_line,  ///< repeat a record line (replayed write)
+    reorder_lines,   ///< swap two adjacent lines (interleaved writers)
+    crlf_line,       ///< turn one line's LF into CRLF (editor round-trip)
+    nul_bytes,       ///< insert a short NUL run (sparse-file recovery)
+    locale_commas,   ///< turn a '.' into ',' (locale-confused tooling)
+};
+
+/// Parses a fault kind by its enumerator name ("bit_flip", ...); throws
+/// ingest_error otherwise.
+fault_kind parse_fault_kind(std::string_view name);
+std::string_view to_string(fault_kind kind);
+
+/// Every fault kind, in declaration order.
+const std::vector<fault_kind>& all_fault_kinds();
+
+struct fault_config {
+    /// How many faults to apply. Fewer may land when the buffer runs out
+    /// of applicable targets; the plan records what actually happened.
+    std::uint32_t count = 1;
+    /// Never damage the first N lines (shield a header).
+    std::uint32_t protect_prefix_lines = 0;
+    /// Kinds to draw from; empty means all kinds.
+    std::vector<fault_kind> kinds;
+};
+
+/// One fault that actually landed: where and what.
+struct applied_fault {
+    fault_kind kind;
+    std::uint64_t offset = 0;  ///< byte offset in the buffer as mutated
+    std::string detail;
+};
+
+struct corruption_result {
+    std::string data;                 ///< the corrupted buffer
+    std::vector<applied_fault> plan;  ///< faults applied, in order
+};
+
+/// Applies `cfg.count` seeded faults to a copy of `input`. Faults are
+/// drawn and applied sequentially against the evolving buffer, so the
+/// output is a pure function of (input, seed, cfg) — the same triple
+/// always reproduces the same corruption.
+corruption_result inject_faults(std::string_view input, std::uint64_t seed,
+                                const fault_config& cfg);
+
+/// Reads `in_path`, corrupts it, writes the result to `out_path`.
+/// Returns the applied plan. Throws ingest_error on I/O failure.
+std::vector<applied_fault> inject_faults_file(const std::string& in_path,
+                                              const std::string& out_path,
+                                              std::uint64_t seed,
+                                              const fault_config& cfg);
+
+/// Human-readable plan, one fault per line.
+std::string describe(const std::vector<applied_fault>& plan);
+
+}  // namespace lsm

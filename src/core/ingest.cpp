@@ -1,0 +1,128 @@
+#include "core/ingest.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace lsm {
+
+on_error_policy parse_on_error_policy(std::string_view name) {
+    if (name == "strict") return on_error_policy::strict;
+    if (name == "skip") return on_error_policy::skip;
+    if (name == "quarantine") return on_error_policy::quarantine;
+    throw ingest_error("unknown on-error policy '" + std::string(name) +
+                       "' (expected strict, skip, or quarantine)");
+}
+
+std::string_view to_string(on_error_policy policy) {
+    switch (policy) {
+        case on_error_policy::strict: return "strict";
+        case on_error_policy::skip: return "skip";
+        case on_error_policy::quarantine: return "quarantine";
+    }
+    return "?";
+}
+
+void ingest_report::add_error(const ingest_options& opts, std::int64_t line,
+                              const char* category, std::string message) {
+    ++errors_total;
+    ++errors_by_category[category];
+    if (samples.size() < opts.max_samples) {
+        samples.push_back(
+            ingest_error_sample{line, category, std::move(message)});
+    }
+}
+
+void ingest_report::reject_bytes(const ingest_options& opts,
+                                 std::string_view bytes,
+                                 std::uint64_t lines) {
+    lines_rejected += lines;
+    bytes_rejected += bytes.size();
+    if (opts.on_error == on_error_policy::quarantine) {
+        quarantine.append(bytes);
+    }
+}
+
+void ingest_report::merge_tail(ingest_report&& tail,
+                               const ingest_options& opts) {
+    records_recovered += tail.records_recovered;
+    errors_total += tail.errors_total;
+    lines_rejected += tail.lines_rejected;
+    bytes_rejected += tail.bytes_rejected;
+    salvaged_tail = salvaged_tail || tail.salvaged_tail;
+    salvaged_records += tail.salvaged_records;
+    records_lost += tail.records_lost;
+    for (auto& [category, count] : tail.errors_by_category) {
+        errors_by_category[category] += count;
+    }
+    for (auto& sample : tail.samples) {
+        if (samples.size() >= opts.max_samples) break;
+        samples.push_back(std::move(sample));
+    }
+    quarantine.append(tail.quarantine);
+}
+
+void ingest_report::enforce_cap(const ingest_options& opts) const {
+    if (errors_total <= opts.max_errors) return;
+    std::ostringstream os;
+    os << "too many ingest errors: " << errors_total
+       << " exceed max_errors=" << opts.max_errors;
+    if (!file.empty()) os << " in " << file;
+    if (!samples.empty()) {
+        os << " (first: " << samples.front().message << ")";
+    }
+    throw ingest_error(os.str());
+}
+
+std::string ingest_report::summary() const {
+    std::ostringstream os;
+    os << "recovered " << records_recovered << " records";
+    if (lines_rejected > 0) os << ", rejected " << lines_rejected << " lines";
+    if (records_lost > 0) os << ", lost " << records_lost << " records";
+    if (salvaged_tail) {
+        os << ", salvaged " << salvaged_records
+           << " records from a truncated tail";
+    }
+    if (!errors_by_category.empty()) {
+        os << " (";
+        bool first = true;
+        for (const auto& [category, count] : errors_by_category) {
+            if (!first) os << ", ";
+            first = false;
+            os << category << " " << count;
+        }
+        os << ")";
+    }
+    return os.str();
+}
+
+void write_quarantine_file(const ingest_report& report,
+                           const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        throw ingest_error("cannot open quarantine output: " + path);
+    }
+    out.write(report.quarantine.data(),
+              static_cast<std::streamsize>(report.quarantine.size()));
+    if (!out) throw ingest_error("quarantine write failed: " + path);
+}
+
+void publish_ingest_report(obs::registry* reg,
+                           const ingest_report& report) {
+    if (reg == nullptr) return;
+    obs::add_counter(reg, "ingest/errors", report.errors_total);
+    obs::add_counter(reg, "ingest/lines_rejected", report.lines_rejected);
+    obs::add_counter(reg, "ingest/bytes_rejected", report.bytes_rejected);
+    obs::add_counter(reg, "ingest/records_recovered",
+                     report.records_recovered);
+    obs::add_counter(reg, "ingest/salvaged_records",
+                     report.salvaged_records);
+    obs::add_counter(reg, "ingest/records_lost", report.records_lost);
+    for (const auto& [category, count] : report.errors_by_category) {
+        obs::add_counter(reg, std::string("ingest/errors/") + category,
+                         count);
+    }
+}
+
+}  // namespace lsm

@@ -1,0 +1,141 @@
+// Policy-driven ingest recovery.
+//
+// The paper's input is 28 days of raw media-server logs; real logs of
+// that scale are dirty — truncated tails, spliced lines, stray bytes,
+// duplicated records. Every reader in this library therefore accepts an
+// `ingest_options` describing what to do with malformed input:
+//
+//   * strict     — throw on the first error (the default; all existing
+//                  behavior and outputs are unchanged);
+//   * skip       — drop each unparseable unit (a line for the text
+//                  formats, a damaged region for the binary format),
+//                  count it, and keep going;
+//   * quarantine — like skip, but additionally retain the rejected raw
+//                  bytes so that the recovered records plus the
+//                  quarantine exactly partition the input.
+//
+// Recovery fills an `ingest_report`: per-category error counts, the
+// first-N error samples (file/line/message), rejection totals, and the
+// quarantine bytes. A `max_errors` cap bounds how much damage a run will
+// tolerate; the cap is evaluated after the whole input is scanned, so
+// skip/quarantine decisions — and the report — are identical for every
+// thread count (the parallel CSV reader merges per-chunk reports in
+// chunk order, extending its lowest-shard error discipline).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/fwd.h"
+
+namespace lsm {
+
+/// What a reader does with a malformed input unit.
+enum class on_error_policy : std::uint8_t { strict, skip, quarantine };
+
+/// Parses "strict", "skip", or "quarantine"; throws ingest_error
+/// otherwise.
+on_error_policy parse_on_error_policy(std::string_view name);
+std::string_view to_string(on_error_policy policy);
+
+/// Thrown for ingest-layer failures that are not format errors: an
+/// unknown policy name, or a recovery run whose error count exceeds the
+/// configured cap.
+class ingest_error : public std::runtime_error {
+public:
+    explicit ingest_error(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+/// Mixin carried by the record-level parse exceptions so recovery mode
+/// can aggregate errors by a stable category slug (e.g. "field_count",
+/// "bad_field") instead of matching message strings. The pointer must
+/// reference a string literal.
+struct with_error_category {
+    explicit with_error_category(const char* c) noexcept : category(c) {}
+    const char* category;
+};
+
+struct ingest_options {
+    on_error_policy on_error = on_error_policy::strict;
+    /// Recovery runs tolerating more than this many errors throw
+    /// ingest_error. Evaluated once per input after the full scan, so
+    /// the outcome does not depend on thread count.
+    std::uint64_t max_errors = std::numeric_limits<std::uint64_t>::max();
+    /// How many error samples the report retains (always the first N in
+    /// input order).
+    std::size_t max_samples = 10;
+};
+
+/// One retained error: where it happened and what the parser said.
+struct ingest_error_sample {
+    std::int64_t line = 0;  ///< 1-based input line; 0 when not line-based
+    std::string category;
+    std::string message;
+};
+
+/// Outcome of one recovery-mode read. `quarantine` holds the raw
+/// rejected bytes in input order (only under the quarantine policy);
+/// writing them next to the recovered records reconstructs every input
+/// byte the reader looked at.
+struct ingest_report {
+    std::string file;  ///< input path when known, else empty
+    std::uint64_t records_recovered = 0;
+    std::uint64_t errors_total = 0;
+    std::uint64_t lines_rejected = 0;
+    std::uint64_t bytes_rejected = 0;
+    /// Binary salvage: a truncated tail was detected and the longest
+    /// valid prefix decoded.
+    bool salvaged_tail = false;
+    std::uint64_t salvaged_records = 0;
+    /// Records the input declared but recovery could not reconstruct.
+    std::uint64_t records_lost = 0;
+    std::map<std::string, std::uint64_t> errors_by_category;
+    std::vector<ingest_error_sample> samples;  ///< first max_samples
+    std::string quarantine;  ///< raw rejected bytes, input order
+
+    bool clean() const { return errors_total == 0; }
+
+    /// Counts one error and retains a sample if under the cap.
+    void add_error(const ingest_options& opts, std::int64_t line,
+                   const char* category, std::string message);
+
+    /// Counts a rejected input unit; retains the bytes under the
+    /// quarantine policy.
+    void reject_bytes(const ingest_options& opts, std::string_view bytes,
+                      std::uint64_t lines = 1);
+
+    /// Appends `tail` (a later chunk of the same input) in input order,
+    /// re-capping samples; used by the parallel CSV reader's in-order
+    /// merge.
+    void merge_tail(ingest_report&& tail, const ingest_options& opts);
+
+    /// Throws ingest_error when errors_total exceeds opts.max_errors.
+    /// Readers call this once per input after the full scan.
+    void enforce_cap(const ingest_options& opts) const;
+
+    /// One-line human summary, e.g.
+    ///   "recovered 9972 records, rejected 28 lines (bad_field 20,
+    ///    field_count 8)".
+    std::string summary() const;
+};
+
+/// Writes the quarantine bytes to `path`. Throws ingest_error when the
+/// path cannot be opened or written (callers that must not abort wrap
+/// this in obs::try_write_sink).
+void write_quarantine_file(const ingest_report& report,
+                           const std::string& path);
+
+/// Publishes the report into the metrics registry (no-op on nullptr):
+/// ingest/errors, ingest/lines_rejected, ingest/bytes_rejected,
+/// ingest/records_recovered, ingest/salvaged_records,
+/// ingest/records_lost, and one ingest/errors/<category> counter per
+/// observed category.
+void publish_ingest_report(obs::registry* reg, const ingest_report& report);
+
+}  // namespace lsm

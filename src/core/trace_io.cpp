@@ -42,9 +42,11 @@ T parse_int(std::string_view s, std::int64_t line_no, const char* field) {
     T value{};
     auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
     if (ec != std::errc{} || ptr != s.data() + s.size()) {
-        throw trace_io_error("line " + std::to_string(line_no) +
-                             ": bad integer field '" + std::string(field) +
-                             "': '" + std::string(s) + "'");
+        throw trace_record_error("line " + std::to_string(line_no) +
+                                     ": bad integer field '" +
+                                     std::string(field) + "': '" +
+                                     std::string(s) + "'",
+                                 "bad_field");
     }
     return value;
 }
@@ -57,9 +59,11 @@ double parse_double(std::string_view s, std::int64_t line_no,
     double value{};
     auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
     if (ec != std::errc{} || ptr != s.data() + s.size()) {
-        throw trace_io_error("line " + std::to_string(line_no) +
-                             ": bad numeric field '" + std::string(field) +
-                             "': '" + std::string(s) + "'");
+        throw trace_record_error("line " + std::to_string(line_no) +
+                                     ": bad numeric field '" +
+                                     std::string(field) + "': '" +
+                                     std::string(s) + "'",
+                                 "bad_field");
     }
     return value;
 #else
@@ -69,9 +73,11 @@ double parse_double(std::string_view s, std::int64_t line_no,
     double value{};
     in >> value;
     if (!in || in.peek() != std::istringstream::traits_type::eof()) {
-        throw trace_io_error("line " + std::to_string(line_no) +
-                             ": bad numeric field '" + std::string(field) +
-                             "': '" + std::string(s) + "'");
+        throw trace_record_error("line " + std::to_string(line_no) +
+                                     ": bad numeric field '" +
+                                     std::string(field) + "': '" +
+                                     std::string(s) + "'",
+                                 "bad_field");
     }
     return value;
 #endif
@@ -112,16 +118,18 @@ void parse_record_line(std::string_view line, std::int64_t line_no,
     std::string_view f[11];
     const int nf = scan_fields(line, f);
     if (nf != 11) {
-        throw trace_io_error("line " + std::to_string(line_no) +
-                             ": expected 11 fields, got " +
-                             std::to_string(nf));
+        throw trace_record_error("line " + std::to_string(line_no) +
+                                     ": expected 11 fields, got " +
+                                     std::to_string(nf),
+                                 "field_count");
     }
     r.client = parse_int<client_id>(f[0], line_no, "client");
     r.ip = parse_int<ipv4_addr>(f[1], line_no, "ip");
     r.asn = parse_int<as_number>(f[2], line_no, "asn");
     if (f[3].size() != 2) {
-        throw trace_io_error("line " + std::to_string(line_no) +
-                             ": country must be two letters");
+        throw trace_record_error("line " + std::to_string(line_no) +
+                                     ": country must be two letters",
+                                 "bad_country");
     }
     r.country.c[0] = f[3][0];
     r.country.c[1] = f[3][1];
@@ -133,6 +141,18 @@ void parse_record_line(std::string_view line, std::int64_t line_no,
     r.server_cpu = static_cast<float>(parse_double(f[9], line_no, "cpu"));
     r.status = static_cast<transfer_status>(
         parse_int<std::uint16_t>(f[10], line_no, "status"));
+}
+
+const char* error_category(const trace_io_error& e) {
+    const auto* cat = dynamic_cast<const with_error_category*>(&e);
+    return cat != nullptr ? cat->category : "other";
+}
+
+/// Wraps a parse-phase error with the file path so multi-file runs can
+/// tell which input broke. Open/size errors already carry the path.
+[[noreturn]] void rethrow_with_path(const std::string& path,
+                                    const trace_io_error& e) {
+    throw trace_io_error(path + ": " + e.what());
 }
 
 trace_csv_header parse_magic_line(std::string_view line) {
@@ -198,6 +218,12 @@ void write_trace_csv_file(const trace& t, const std::string& path) {
 
 trace_csv_header read_trace_csv_stream(
     std::istream& in, const std::function<void(const log_record&)>& sink) {
+    return read_trace_csv_stream(in, sink, ingest_options{}, nullptr);
+}
+
+trace_csv_header read_trace_csv_stream(
+    std::istream& in, const std::function<void(const log_record&)>& sink,
+    const ingest_options& opts, ingest_report* report) {
     if (sink == nullptr) throw trace_io_error("null record sink");
     std::string line;
     if (!std::getline(in, line))
@@ -206,30 +232,63 @@ trace_csv_header read_trace_csv_stream(
     if (!std::getline(in, line) || line != k_header)
         throw trace_io_error("missing or bad column header line");
 
+    ingest_report local;
+    ingest_report& rep = report != nullptr ? *report : local;
     std::int64_t line_no = 2;
     log_record r;
     while (std::getline(in, line)) {
         ++line_no;
         if (line.empty()) continue;
-        parse_record_line(line, line_no, r);
+        try {
+            parse_record_line(line, line_no, r);
+        } catch (const trace_io_error& e) {
+            if (opts.on_error == on_error_policy::strict) throw;
+            rep.add_error(opts, line_no, error_category(e), e.what());
+            // getline consumed the terminator unless this was an
+            // unterminated final line; quarantine what the input held.
+            if (!in.eof()) {
+                rep.reject_bytes(opts, line + '\n');
+            } else {
+                rep.reject_bytes(opts, line);
+            }
+            continue;
+        }
+        ++rep.records_recovered;
         sink(r);
     }
+    rep.enforce_cap(opts);
     return header;
 }
 
 trace read_trace_csv(std::istream& in) {
+    return read_trace_csv(in, ingest_options{}, nullptr);
+}
+
+trace read_trace_csv(std::istream& in, const ingest_options& opts,
+                     ingest_report* report) {
     trace t;
     const trace_csv_header header = read_trace_csv_stream(
-        in, [&t](const log_record& r) { t.add(r); });
+        in, [&t](const log_record& r) { t.add(r); }, opts, report);
     t.set_window_length(header.window_length);
     t.set_start_day(header.start_day);
     return t;
 }
 
 trace read_trace_csv_file(const std::string& path) {
+    return read_trace_csv_file(path, ingest_options{}, nullptr);
+}
+
+trace read_trace_csv_file(const std::string& path,
+                          const ingest_options& opts,
+                          ingest_report* report) {
     std::ifstream in(path);
     if (!in) throw trace_io_error("cannot open for reading: " + path);
-    return read_trace_csv(in);
+    if (report != nullptr) report->file = path;
+    try {
+        return read_trace_csv(in, opts, report);
+    } catch (const trace_io_error& e) {
+        rethrow_with_path(path, e);
+    }
 }
 
 namespace {
@@ -239,11 +298,15 @@ struct csv_chunk {
     std::string_view body;       ///< whole lines, split at '\n' boundaries
     std::int64_t first_line = 0; ///< 1-based file line number of body[0]
     std::vector<log_record> records;
+    ingest_report report;        ///< recovery mode only
 };
 
-/// Decodes every line of one chunk. Throws trace_io_error with the exact
-/// file line number on malformed input, like the serial reader.
-void decode_chunk(csv_chunk& chunk) {
+/// Decodes every line of one chunk. In strict mode, throws
+/// trace_io_error with the exact file line number on malformed input,
+/// like the serial reader; in recovery mode, rejects bad lines into the
+/// chunk-local report (merged in chunk order afterwards, so the result
+/// is identical for every pool size).
+void decode_chunk(csv_chunk& chunk, const ingest_options& opts) {
     const char* p = chunk.body.data();
     const char* const end = p + chunk.body.size();
     // Lines average ~45 bytes in this format; a mild underestimate just
@@ -256,21 +319,39 @@ void decode_chunk(csv_chunk& chunk) {
             std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
         const char* line_end = nl == nullptr ? end : nl;
         if (line_end != p) {
-            parse_record_line(
-                std::string_view(p,
-                                 static_cast<std::size_t>(line_end - p)),
-                line_no, r);
-            chunk.records.push_back(r);
+            const std::string_view line(
+                p, static_cast<std::size_t>(line_end - p));
+            try {
+                parse_record_line(line, line_no, r);
+                chunk.records.push_back(r);
+            } catch (const trace_io_error& e) {
+                if (opts.on_error == on_error_policy::strict) throw;
+                chunk.report.add_error(opts, line_no, error_category(e),
+                                       e.what());
+                // Quarantine the line with its terminator as the input
+                // held it (the final line may be unterminated).
+                chunk.report.reject_bytes(
+                    opts, std::string_view(
+                              p, static_cast<std::size_t>(
+                                     (nl == nullptr ? end : nl + 1) - p)));
+            }
         }
         ++line_no;
         if (nl == nullptr) break;
         p = nl + 1;
     }
+    chunk.report.records_recovered = chunk.records.size();
 }
 
 }  // namespace
 
 trace read_trace_csv_buffer(std::string_view buf, thread_pool* pool) {
+    return read_trace_csv_buffer(buf, pool, ingest_options{}, nullptr);
+}
+
+trace read_trace_csv_buffer(std::string_view buf, thread_pool* pool,
+                            const ingest_options& opts,
+                            ingest_report* report) {
     // Header: magic line and column-header line, exactly as the stream
     // reader sees them via getline.
     const std::size_t nl1 = buf.find('\n');
@@ -346,13 +427,27 @@ trace read_trace_csv_buffer(std::string_view buf, thread_pool* pool) {
 
     // Decode. run_shards rethrows the exception from the lowest-numbered
     // failing shard, i.e. the earliest malformed line in the file — the
-    // same line the serial reader would have reported.
+    // same line the serial reader would have reported. In recovery mode
+    // no shard throws; each collects its rejects locally.
     if (pool != nullptr && chunks.size() > 1) {
-        pool->run_shards(chunks.size(),
-                         [&](std::size_t i) { decode_chunk(chunks[i]); });
+        pool->run_shards(chunks.size(), [&](std::size_t i) {
+            decode_chunk(chunks[i], opts);
+        });
     } else {
-        for (csv_chunk& c : chunks) decode_chunk(c);
+        for (csv_chunk& c : chunks) decode_chunk(c, opts);
     }
+
+    // Merge the chunk reports in chunk order — input order — so error
+    // samples, counts, and quarantine bytes are independent of the lane
+    // count. The cap is enforced only after the whole file is scanned,
+    // for the same reason.
+    ingest_report merged;
+    if (report != nullptr) merged.file = std::move(report->file);
+    for (csv_chunk& c : chunks) {
+        merged.merge_tail(std::move(c.report), opts);
+    }
+    merged.enforce_cap(opts);
+    if (report != nullptr) *report = std::move(merged);
 
     trace t;
     t.set_window_length(header.window_length);

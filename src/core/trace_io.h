@@ -28,6 +28,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/ingest.h"
 #include "core/trace.h"
 
 namespace lsm {
@@ -41,11 +42,31 @@ public:
         : std::runtime_error(what_arg) {}
 };
 
+/// Record-level flavor of trace_io_error: carries the stable category
+/// slug the ingest recovery layer aggregates by. Strict-mode callers
+/// catch it as a plain trace_io_error.
+class trace_record_error : public trace_io_error,
+                           public with_error_category {
+public:
+    trace_record_error(const std::string& what_arg, const char* category)
+        : trace_io_error(what_arg), with_error_category(category) {}
+};
+
 void write_trace_csv(const trace& t, std::ostream& out);
 void write_trace_csv_file(const trace& t, const std::string& path);
 
 trace read_trace_csv(std::istream& in);
+/// Recovery-aware overload: under a non-strict policy, malformed record
+/// lines are rejected into `report` (when given) instead of aborting the
+/// read. Header errors are always fatal — without the magic and column
+/// header nothing downstream can be trusted.
+trace read_trace_csv(std::istream& in, const ingest_options& opts,
+                     ingest_report* report = nullptr);
+/// File-level errors (both overloads) carry the path in their message.
 trace read_trace_csv_file(const std::string& path);
+trace read_trace_csv_file(const std::string& path,
+                          const ingest_options& opts,
+                          ingest_report* report = nullptr);
 
 /// Parses a whole in-memory CSV image. With a pool, the record body is
 /// split at newline boundaries into one chunk per pool lane and the
@@ -55,6 +76,13 @@ trace read_trace_csv_file(const std::string& path);
 /// for every pool size (including nullptr).
 trace read_trace_csv_buffer(std::string_view buf,
                             thread_pool* pool = nullptr);
+/// Recovery-aware overload. Rejected lines, error counts, and samples
+/// are merged from the per-chunk decoders in chunk order, so the
+/// recovered trace AND the quarantine bytes are byte-identical for
+/// every pool size.
+trace read_trace_csv_buffer(std::string_view buf, thread_pool* pool,
+                            const ingest_options& opts,
+                            ingest_report* report = nullptr);
 
 /// Trace-level metadata from the CSV magic line.
 struct trace_csv_header {
@@ -67,5 +95,9 @@ struct trace_csv_header {
 /// any size. Returns the header.
 trace_csv_header read_trace_csv_stream(
     std::istream& in, const std::function<void(const log_record&)>& sink);
+/// Recovery-aware overload of the streaming reader.
+trace_csv_header read_trace_csv_stream(
+    std::istream& in, const std::function<void(const log_record&)>& sink,
+    const ingest_options& opts, ingest_report* report = nullptr);
 
 }  // namespace lsm

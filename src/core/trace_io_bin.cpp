@@ -1,5 +1,6 @@
 #include "core/trace_io_bin.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -225,6 +226,15 @@ void write_trace_bin_file(const trace& t, const std::string& path) {
 }
 
 trace read_trace_bin_buffer(std::string_view buf) {
+    return read_trace_bin_buffer(buf, ingest_options{});
+}
+
+trace read_trace_bin_buffer(std::string_view buf,
+                            const ingest_options& opts,
+                            ingest_report* report) {
+    ingest_report local;
+    ingest_report& rep = report != nullptr ? *report : local;
+    const bool strict = opts.on_error == on_error_policy::strict;
     if (buf.size() < k_header_bytes) {
         throw trace_io_error("binary trace: truncated header (" +
                              std::to_string(buf.size()) + " bytes)");
@@ -266,62 +276,119 @@ trace read_trace_bin_buffer(std::string_view buf) {
     t.set_window_length(window);
     t.set_start_day(static_cast<weekday>(start_day));
     auto& recs = t.records();
-    recs.resize(static_cast<std::size_t>(num_records));
 
     // Phase 1: validate every block header and checksum, remembering the
-    // payload base of each column.
+    // payload base of each column. Under a non-strict policy each column
+    // also gets an availability count: damage degrades the column instead
+    // of aborting the read.
     const char* col_base[k_num_columns] = {};
+    std::uint64_t col_avail[k_num_columns] = {};
     std::size_t off = k_header_bytes;
+    bool tail_stopped = false;
     for (std::uint32_t col = 0; col < k_num_columns; ++col) {
         if (buf.size() - off < k_block_header_bytes) {
-            throw trace_io_error("binary trace: truncated block header for "
-                                 "column '" +
-                                 std::string(k_column_names[col]) + "'");
+            const std::string msg = "binary trace: truncated block header "
+                                    "for column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) throw trace_io_error(msg);
+            rep.add_error(opts, -1, "truncated", msg);
+            rep.salvaged_tail = true;
+            rep.reject_bytes(opts, buf.substr(off), 0);
+            tail_stopped = true;
+            break;
         }
         const char* bh = buf.data() + off;
         const auto col_id = get_scalar<std::uint32_t>(bh);
         const auto elem_size = get_scalar<std::uint32_t>(bh + 4);
         const auto payload_bytes = get_scalar<std::uint64_t>(bh + 8);
         const auto checksum = get_scalar<std::uint64_t>(bh + 16);
+        std::string block_err;
         if (col_id != col) {
-            throw trace_io_error("binary trace: expected column " +
-                                 std::to_string(col) + ", found " +
-                                 std::to_string(col_id));
+            block_err = "binary trace: expected column " +
+                        std::to_string(col) + ", found " +
+                        std::to_string(col_id);
+        } else if (elem_size != column_elem_size(col)) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' has element size " + std::to_string(elem_size) +
+                        ", expected " +
+                        std::to_string(column_elem_size(col));
+        } else if (payload_bytes != num_records * elem_size) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' payload size mismatch";
         }
-        if (elem_size != column_elem_size(col)) {
-            throw trace_io_error("binary trace: column '" +
-                                 std::string(k_column_names[col]) +
-                                 "' has element size " +
-                                 std::to_string(elem_size) + ", expected " +
-                                 std::to_string(column_elem_size(col)));
-        }
-        if (payload_bytes != num_records * elem_size) {
-            throw trace_io_error("binary trace: column '" +
-                                 std::string(k_column_names[col]) +
-                                 "' payload size mismatch");
+        if (!block_err.empty()) {
+            // A lying block header poisons every subsequent offset; the
+            // walk cannot continue safely.
+            if (strict) throw trace_io_error(block_err);
+            rep.add_error(opts, -1, "bad_block", std::move(block_err));
+            rep.salvaged_tail = true;
+            rep.reject_bytes(opts, buf.substr(off), 0);
+            tail_stopped = true;
+            break;
         }
         off += k_block_header_bytes;
         if (buf.size() - off < payload_bytes) {
-            throw trace_io_error("binary trace: truncated payload for "
-                                 "column '" +
-                                 std::string(k_column_names[col]) + "'");
+            const std::size_t have = buf.size() - off;
+            const std::string msg = "binary trace: truncated payload for "
+                                    "column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) throw trace_io_error(msg);
+            // Keep whole trailing elements, necessarily unverified: the
+            // checksum covers the full payload we no longer have.
+            col_avail[col] = have / elem_size;
+            col_base[col] = buf.data() + off;
+            rep.add_error(opts, -1, "truncated",
+                          msg + " (have " + std::to_string(have) + " of " +
+                              std::to_string(payload_bytes) + " bytes)");
+            rep.salvaged_tail = true;
+            rep.reject_bytes(
+                opts, buf.substr(off + col_avail[col] * elem_size), 0);
+            tail_stopped = true;
+            break;
         }
         const char* payload = buf.data() + off;
         if (fnv1a64_words(payload,
                           static_cast<std::size_t>(payload_bytes)) !=
             checksum) {
-            throw trace_io_error("binary trace: checksum mismatch in "
-                                 "column '" +
-                                 std::string(k_column_names[col]) + "'");
+            const std::string msg = "binary trace: checksum mismatch in "
+                                    "column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) throw trace_io_error(msg);
+            rep.add_error(opts, -1, "checksum", msg);
+            rep.reject_bytes(opts,
+                             buf.substr(off, static_cast<std::size_t>(
+                                                 payload_bytes)),
+                             0);
+        } else {
+            col_base[col] = payload;
+            col_avail[col] = num_records;
         }
-        col_base[col] = payload;
         off += static_cast<std::size_t>(payload_bytes);
     }
-    if (off != buf.size()) {
-        throw trace_io_error("binary trace: " +
-                             std::to_string(buf.size() - off) +
-                             " trailing bytes after last column");
+    if (!tail_stopped && off != buf.size()) {
+        const std::string msg = "binary trace: " +
+                                std::to_string(buf.size() - off) +
+                                " trailing bytes after last column";
+        if (strict) throw trace_io_error(msg);
+        rep.add_error(opts, -1, "trailing_bytes", msg);
+        rep.reject_bytes(opts, buf.substr(off), 0);
     }
+
+    // The salvageable record count is bounded by the least-available
+    // column: a record missing any column cannot be reconstructed.
+    std::uint64_t salvage = num_records;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        salvage = std::min(salvage, col_avail[col]);
+    }
+    if (salvage < num_records) {
+        rep.salvaged_records += salvage;
+        rep.records_lost += num_records - salvage;
+    }
+    rep.records_recovered += salvage;
+    rep.enforce_cap(opts);
+    recs.resize(static_cast<std::size_t>(salvage));
 
     // Phase 2: fill records record-major — eleven sequential column
     // cursors feeding one sequential write stream, one pass over the
@@ -372,6 +439,13 @@ void write_trace_file(const trace& t, const std::string& path,
 
 trace read_trace_auto_file(const std::string& path, thread_pool* pool,
                            obs::registry* metrics) {
+    return read_trace_auto_file(path, pool, metrics, ingest_options{});
+}
+
+trace read_trace_auto_file(const std::string& path, thread_pool* pool,
+                           obs::registry* metrics,
+                           const ingest_options& opts,
+                           ingest_report* report) {
     obs::scoped_timer t_all(metrics, "ingest");
     std::string buf;
     {
@@ -379,18 +453,39 @@ trace read_trace_auto_file(const std::string& path, thread_pool* pool,
         buf = slurp_file(path);
     }
     obs::add_counter(metrics, "ingest/bytes_read", buf.size());
+    // Shorter than either format's magic: neither decoder could ever
+    // accept it, so say that plainly instead of surfacing a confusing
+    // header-parse error from the CSV fallback.
+    if (buf.size() < k_trace_bin_magic.size()) {
+        throw trace_io_error("empty or unrecognized trace file: " + path +
+                             " (" + std::to_string(buf.size()) + " bytes)");
+    }
+    ingest_report local;
+    ingest_report& rep = report != nullptr ? *report : local;
+    rep.file = path;
     trace t;
     {
         obs::scoped_timer t_decode(metrics, "decode");
-        if (buffer_is_trace_bin(buf)) {
-            obs::add_counter(metrics, "ingest/binary_files");
-            t = read_trace_bin_buffer(buf);
-        } else {
-            obs::add_counter(metrics, "ingest/csv_files");
-            t = read_trace_csv_buffer(buf, pool);
+        try {
+            if (buffer_is_trace_bin(buf)) {
+                obs::add_counter(metrics, "ingest/binary_files");
+                t = read_trace_bin_buffer(buf, opts, &rep);
+            } else {
+                obs::add_counter(metrics, "ingest/csv_files");
+                t = read_trace_csv_buffer(buf, pool, opts, &rep);
+            }
+        } catch (const trace_record_error& e) {
+            throw trace_record_error(path + ": " + e.what(), e.category);
+        } catch (const trace_io_error& e) {
+            throw trace_io_error(path + ": " + e.what());
         }
     }
     obs::add_counter(metrics, "ingest/records_read", t.size());
+    // Clean strict runs keep their metrics output byte-identical: the
+    // ingest/* recovery counters appear only when a policy asked for them.
+    if (opts.on_error != on_error_policy::strict) {
+        publish_ingest_report(metrics, rep);
+    }
     return t;
 }
 

@@ -57,6 +57,28 @@ void write_trace_bin_file(const trace& t, const std::string& path);
 /// trace_io_error on any structural problem (bad magic/version, short or
 /// oversized buffer, column mismatch, checksum failure).
 trace read_trace_bin_buffer(std::string_view buf);
+/// Recovery-aware overload. The 48-byte file header is always fatal —
+/// without it nothing can be trusted — but under a non-strict policy
+/// block-level damage degrades instead of aborting:
+///
+///   - a checksum-failing column contributes zero usable records
+///     (category "checksum"); its payload is quarantined and the walk
+///     continues, since the block header still gives the offsets;
+///   - a truncated block header/payload ends the walk (category
+///     "truncated", salvaged_tail set); whole trailing elements of the
+///     partial column are kept unverified;
+///   - trailing garbage after the last column is quarantined (category
+///     "trailing_bytes") without losing records.
+///
+/// The salvaged record count is the MINIMUM availability across all 11
+/// columns: the columnar layout stores whole columns contiguously, so
+/// tail truncation destroys trailing *columns*, not trailing records —
+/// salvage recovers records only when the damage is confined to the
+/// final column block or to trailing garbage. records_lost counts the
+/// remainder honestly.
+trace read_trace_bin_buffer(std::string_view buf,
+                            const ingest_options& opts,
+                            ingest_report* report = nullptr);
 
 trace read_trace_bin(std::istream& in);
 trace read_trace_bin_file(const std::string& path);
@@ -79,5 +101,15 @@ void write_trace_file(const trace& t, const std::string& path,
 trace read_trace_auto_file(const std::string& path,
                            thread_pool* pool = nullptr,
                            obs::registry* metrics = nullptr);
+/// Recovery-aware overload: threads the ingest policy through whichever
+/// decoder the sniff selects and fills `report` (when given). Files too
+/// short to carry either magic fail with "empty or unrecognized trace
+/// file"; parse errors carry the path. Under a non-strict policy the
+/// report's counters are also published to `metrics` as `ingest/...`
+/// counters (clean strict runs keep their metrics output unchanged).
+trace read_trace_auto_file(const std::string& path, thread_pool* pool,
+                           obs::registry* metrics,
+                           const ingest_options& opts,
+                           ingest_report* report = nullptr);
 
 }  // namespace lsm

@@ -41,9 +41,10 @@ T parse_uint(std::string_view s, int line_no, const char* field) {
     T value{};
     auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
     if (ec != std::errc{} || ptr != s.data() + s.size()) {
-        throw wms_log_error("line " + std::to_string(line_no) +
-                            ": bad field " + field + ": '" +
-                            std::string(s) + "'");
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": bad field " + field + ": '" +
+                                   std::string(s) + "'",
+                               "bad_field");
     }
     return value;
 }
@@ -51,17 +52,19 @@ T parse_uint(std::string_view s, int line_no, const char* field) {
 double parse_num(std::string_view s, int line_no, const char* field) {
     char buf[64];
     if (s.size() >= sizeof buf) {
-        throw wms_log_error("line " + std::to_string(line_no) +
-                            ": oversized field " + field);
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": oversized field " + field,
+                               "bad_field");
     }
     std::memcpy(buf, s.data(), s.size());
     buf[s.size()] = '\0';
     char* end = nullptr;
     const double v = std::strtod(buf, &end);
     if (end != buf + s.size()) {
-        throw wms_log_error("line " + std::to_string(line_no) +
-                            ": bad field " + field + ": '" +
-                            std::string(s) + "'");
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": bad field " + field + ": '" +
+                                   std::string(s) + "'",
+                               "bad_field");
     }
     return v;
 }
@@ -70,17 +73,84 @@ ipv4_addr parse_ip(std::string_view s, int line_no) {
     unsigned a = 0, b = 0, c = 0, d = 0;
     char buf[32];
     if (s.size() >= sizeof buf) {
-        throw wms_log_error("line " + std::to_string(line_no) +
-                            ": bad c-ip");
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": bad c-ip",
+                               "bad_ip");
     }
     std::memcpy(buf, s.data(), s.size());
     buf[s.size()] = '\0';
     if (std::sscanf(buf, "%u.%u.%u.%u", &a, &b, &c, &d) != 4 || a > 255 ||
         b > 255 || c > 255 || d > 255) {
-        throw wms_log_error("line " + std::to_string(line_no) +
-                            ": bad c-ip: '" + std::string(s) + "'");
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": bad c-ip: '" + std::string(s) + "'",
+                               "bad_ip");
     }
     return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+const char* wms_error_category(const wms_log_error& e) {
+    const auto* cat = dynamic_cast<const with_error_category*>(&e);
+    return cat != nullptr ? cat->category : "other";
+}
+
+/// Parses one record line (already whitespace-split). Throws
+/// wms_record_error; shared by the strict and recovery read paths.
+log_record parse_wms_record(const std::vector<std::string_view>& f,
+                            int line_no) {
+    if (f.size() != 11) {
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": expected 11 fields, got " +
+                                   std::to_string(f.size()),
+                               "field_count");
+    }
+    log_record r;
+    r.ip = parse_ip(f[0], line_no);
+    // Player id token: {<16 hex digits>}.
+    if (f[1].size() != 18 || f[1].front() != '{' || f[1].back() != '}') {
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": bad c-playerid",
+                               "bad_playerid");
+    }
+    {
+        const std::string_view hex = f[1].substr(1, 16);
+        std::uint64_t id = 0;
+        auto [ptr, ec] =
+            std::from_chars(hex.data(), hex.data() + hex.size(), id, 16);
+        if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
+            throw wms_record_error("line " + std::to_string(line_no) +
+                                       ": bad c-playerid hex",
+                                   "bad_playerid");
+        }
+        r.client = id;
+    }
+    // Stream URI: mms://server/feed<N>.
+    constexpr std::string_view prefix = "mms://server/feed";
+    if (f[2].rfind(prefix, 0) != 0) {
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": bad cs-uri-stem",
+                               "bad_uri");
+    }
+    r.object = static_cast<object_id>(
+        parse_uint<unsigned>(f[2].substr(prefix.size()), line_no,
+                             "cs-uri-stem") -
+        1);
+    r.asn = parse_uint<as_number>(f[3], line_no, "x-asnum");
+    if (f[4].size() != 2) {
+        throw wms_record_error("line " + std::to_string(line_no) +
+                                   ": bad c-country",
+                               "bad_country");
+    }
+    r.country.c[0] = f[4][0];
+    r.country.c[1] = f[4][1];
+    r.start = parse_uint<seconds_t>(f[5], line_no, "x-start");
+    r.duration = parse_uint<seconds_t>(f[6], line_no, "x-duration");
+    r.avg_bandwidth_bps = parse_num(f[7], line_no, "avg-bandwidth");
+    r.packet_loss = static_cast<float>(parse_num(f[8], line_no, "c-rate"));
+    r.server_cpu =
+        static_cast<float>(parse_num(f[9], line_no, "s-cpu-util") / 100.0);
+    r.status = static_cast<transfer_status>(
+        parse_uint<std::uint16_t>(f[10], line_no, "sc-status"));
+    return r;
 }
 
 }  // namespace
@@ -115,6 +185,14 @@ void write_wms_log_file(const trace& t, const std::string& path) {
 }
 
 trace read_wms_log(std::istream& in) {
+    return read_wms_log(in, ingest_options{});
+}
+
+trace read_wms_log(std::istream& in, const ingest_options& opts,
+                   ingest_report* report) {
+    ingest_report local;
+    ingest_report& rep = report != nullptr ? *report : local;
+    const bool strict = opts.on_error == on_error_policy::strict;
     trace t;
     std::string line;
     int line_no = 0;
@@ -122,93 +200,69 @@ trace read_wms_log(std::istream& in) {
     while (std::getline(in, line)) {
         ++line_no;
         if (line.empty()) continue;
-        if (line[0] == '#') {
-            if (line.rfind("#Date: window=", 0) == 0) {
-                // "#Date: window=<W> start-day=<D>"
-                const auto parts = split_ws(line);
-                for (const auto& p : parts) {
-                    if (p.rfind("window=", 0) == 0) {
-                        t.set_window_length(parse_uint<seconds_t>(
-                            p.substr(7), line_no, "window"));
-                    } else if (p.rfind("start-day=", 0) == 0) {
-                        t.set_start_day(static_cast<weekday>(parse_uint<int>(
-                            p.substr(10), line_no, "start-day")));
+        try {
+            if (line[0] == '#') {
+                if (line.rfind("#Date: window=", 0) == 0) {
+                    // "#Date: window=<W> start-day=<D>"
+                    const auto parts = split_ws(line);
+                    for (const auto& p : parts) {
+                        if (p.rfind("window=", 0) == 0) {
+                            t.set_window_length(parse_uint<seconds_t>(
+                                p.substr(7), line_no, "window"));
+                        } else if (p.rfind("start-day=", 0) == 0) {
+                            t.set_start_day(
+                                static_cast<weekday>(parse_uint<int>(
+                                    p.substr(10), line_no, "start-day")));
+                        }
                     }
+                } else if (line.rfind("#Fields:", 0) == 0) {
+                    if (line != k_fields) {
+                        throw wms_record_error(
+                            "unsupported #Fields layout at line " +
+                                std::to_string(line_no),
+                            "bad_directive");
+                    }
+                    fields_seen = true;
                 }
-            } else if (line.rfind("#Fields:", 0) == 0) {
-                if (line != k_fields) {
-                    throw wms_log_error(
-                        "unsupported #Fields layout at line " +
-                        std::to_string(line_no));
-                }
-                fields_seen = true;
+                continue;
             }
-            continue;
-        }
-        if (!fields_seen) {
-            throw wms_log_error("record before #Fields at line " +
-                                std::to_string(line_no));
-        }
-        const auto f = split_ws(line);
-        if (f.size() != 11) {
-            throw wms_log_error("line " + std::to_string(line_no) +
-                                ": expected 11 fields, got " +
-                                std::to_string(f.size()));
-        }
-        log_record r;
-        r.ip = parse_ip(f[0], line_no);
-        // Player id token: {<16 hex digits>}.
-        if (f[1].size() != 18 || f[1].front() != '{' ||
-            f[1].back() != '}') {
-            throw wms_log_error("line " + std::to_string(line_no) +
-                                ": bad c-playerid");
-        }
-        {
-            const std::string_view hex = f[1].substr(1, 16);
-            std::uint64_t id = 0;
-            auto [ptr, ec] =
-                std::from_chars(hex.data(), hex.data() + hex.size(), id, 16);
-            if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
-                throw wms_log_error("line " + std::to_string(line_no) +
-                                    ": bad c-playerid hex");
+            if (!fields_seen) {
+                throw wms_record_error("record before #Fields at line " +
+                                           std::to_string(line_no),
+                                       "no_fields");
             }
-            r.client = id;
+            t.add(parse_wms_record(split_ws(line), line_no));
+            ++rep.records_recovered;
+        } catch (const wms_log_error& e) {
+            if (strict) throw;
+            rep.add_error(opts, line_no, wms_error_category(e), e.what());
+            // Keep the original terminator: getline stripped '\n' unless
+            // the final line was unterminated.
+            std::string raw = line;
+            if (!in.eof()) raw += '\n';
+            rep.reject_bytes(opts, raw);
         }
-        // Stream URI: mms://server/feed<N>.
-        constexpr std::string_view prefix = "mms://server/feed";
-        if (f[2].rfind(prefix, 0) != 0) {
-            throw wms_log_error("line " + std::to_string(line_no) +
-                                ": bad cs-uri-stem");
-        }
-        r.object = static_cast<object_id>(
-            parse_uint<unsigned>(f[2].substr(prefix.size()), line_no,
-                                 "cs-uri-stem") -
-            1);
-        r.asn = parse_uint<as_number>(f[3], line_no, "x-asnum");
-        if (f[4].size() != 2) {
-            throw wms_log_error("line " + std::to_string(line_no) +
-                                ": bad c-country");
-        }
-        r.country.c[0] = f[4][0];
-        r.country.c[1] = f[4][1];
-        r.start = parse_uint<seconds_t>(f[5], line_no, "x-start");
-        r.duration = parse_uint<seconds_t>(f[6], line_no, "x-duration");
-        r.avg_bandwidth_bps = parse_num(f[7], line_no, "avg-bandwidth");
-        r.packet_loss =
-            static_cast<float>(parse_num(f[8], line_no, "c-rate"));
-        r.server_cpu = static_cast<float>(
-            parse_num(f[9], line_no, "s-cpu-util") / 100.0);
-        r.status = static_cast<transfer_status>(
-            parse_uint<std::uint16_t>(f[10], line_no, "sc-status"));
-        t.add(r);
     }
+    rep.enforce_cap(opts);
     return t;
 }
 
 trace read_wms_log_file(const std::string& path) {
+    return read_wms_log_file(path, ingest_options{});
+}
+
+trace read_wms_log_file(const std::string& path, const ingest_options& opts,
+                        ingest_report* report) {
     std::ifstream in(path);
     if (!in) throw wms_log_error("cannot open for reading: " + path);
-    return read_wms_log(in);
+    if (report != nullptr) report->file = path;
+    try {
+        return read_wms_log(in, opts, report);
+    } catch (const wms_record_error& e) {
+        throw wms_record_error(path + ": " + e.what(), e.category);
+    } catch (const wms_log_error& e) {
+        throw wms_log_error(path + ": " + e.what());
+    }
 }
 
 }  // namespace lsm

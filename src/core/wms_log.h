@@ -25,6 +25,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/ingest.h"
 #include "core/trace.h"
 
 namespace lsm {
@@ -35,6 +36,14 @@ public:
         : std::runtime_error(what_arg) {}
 };
 
+/// Record-level flavor of wms_log_error carrying the category slug the
+/// ingest recovery layer aggregates by.
+class wms_record_error : public wms_log_error, public with_error_category {
+public:
+    wms_record_error(const std::string& what_arg, const char* category)
+        : wms_log_error(what_arg), with_error_category(category) {}
+};
+
 void write_wms_log(const trace& t, std::ostream& out);
 void write_wms_log_file(const trace& t, const std::string& path);
 
@@ -42,6 +51,16 @@ void write_wms_log_file(const trace& t, const std::string& path);
 /// Unknown `#` directive lines are ignored; record lines must carry
 /// exactly the declared fields.
 trace read_wms_log(std::istream& in);
+/// Recovery-aware overload: under a non-strict policy, malformed record
+/// and directive lines are rejected into `report` instead of aborting
+/// (records appearing before a supported `#Fields:` directive reject
+/// with category "no_fields").
+trace read_wms_log(std::istream& in, const ingest_options& opts,
+                   ingest_report* report = nullptr);
+/// File-level errors (both overloads) carry the path in their message.
 trace read_wms_log_file(const std::string& path);
+trace read_wms_log_file(const std::string& path,
+                        const ingest_options& opts,
+                        ingest_report* report = nullptr);
 
 }  // namespace lsm

@@ -1,0 +1,20 @@
+#include "obs/sinks.h"
+
+#include <exception>
+#include <ostream>
+
+namespace lsm::obs {
+
+bool try_write_sink(const std::string& what, const std::string& path,
+                    const std::function<void()>& write, std::ostream& err) {
+    try {
+        write();
+        return true;
+    } catch (const std::exception& e) {
+        err << "warning: cannot write " << what << " to " << path << ": "
+            << e.what() << "\n";
+        return false;
+    }
+}
+
+}  // namespace lsm::obs

@@ -1,0 +1,26 @@
+// Graceful degradation for observability sinks.
+//
+// Metrics JSON, Prometheus text, trace events, time series, and
+// quarantine files are all *auxiliary* outputs: a characterization run
+// whose analysis succeeded should not die because /nonexistent/dir was
+// passed to --metrics-out. try_write_sink() runs a sink writer, turns
+// any failure into a one-line warning on `err`, and reports whether the
+// write landed — callers keep going either way. Primary outputs (the
+// trace a tool exists to produce) stay fatal; only side-channel sinks
+// route through here.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace lsm::obs {
+
+/// Invokes `write` (which should produce the sink at `path`); on any
+/// std::exception, prints "warning: cannot write <what> to <path>: ..."
+/// to `err` and returns false instead of propagating. Returns true when
+/// the write succeeded.
+bool try_write_sink(const std::string& what, const std::string& path,
+                    const std::function<void()>& write, std::ostream& err);
+
+}  // namespace lsm::obs

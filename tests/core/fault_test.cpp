@@ -1,0 +1,152 @@
+#include "core/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ingest.h"
+
+namespace lsm {
+namespace {
+
+std::string sample_text() {
+    std::string s;
+    for (int i = 0; i < 20; ++i) {
+        s += "line " + std::to_string(i) + " value 3.14\n";
+    }
+    return s;
+}
+
+fault_config only(fault_kind k, std::uint32_t count = 1) {
+    fault_config cfg;
+    cfg.count = count;
+    cfg.kinds = {k};
+    return cfg;
+}
+
+TEST(Fault, SameSeedSameCorruption) {
+    const std::string input = sample_text();
+    fault_config cfg;
+    cfg.count = 8;
+    const auto a = inject_faults(input, 1234, cfg);
+    const auto b = inject_faults(input, 1234, cfg);
+    ASSERT_EQ(a.plan.size(), b.plan.size());
+    EXPECT_EQ(a.data, b.data);
+    for (std::size_t i = 0; i < a.plan.size(); ++i) {
+        EXPECT_EQ(a.plan[i].kind, b.plan[i].kind);
+        EXPECT_EQ(a.plan[i].offset, b.plan[i].offset);
+        EXPECT_EQ(a.plan[i].detail, b.plan[i].detail);
+    }
+}
+
+TEST(Fault, DifferentSeedsDiverge) {
+    const std::string input = sample_text();
+    fault_config cfg;
+    cfg.count = 8;
+    int distinct = 0;
+    const std::string base = inject_faults(input, 1, cfg).data;
+    for (std::uint64_t seed = 2; seed < 8; ++seed) {
+        if (inject_faults(input, seed, cfg).data != base) ++distinct;
+    }
+    EXPECT_GT(distinct, 0);
+}
+
+TEST(Fault, PlanRecordsWhatWasApplied) {
+    const auto res =
+        inject_faults(sample_text(), 7, only(fault_kind::bit_flip, 3));
+    ASSERT_EQ(res.plan.size(), 3U);
+    for (const auto& f : res.plan) {
+        EXPECT_EQ(f.kind, fault_kind::bit_flip);
+        EXPECT_FALSE(f.detail.empty());
+    }
+    const std::string desc = describe(res.plan);
+    EXPECT_NE(desc.find("bit_flip"), std::string::npos);
+}
+
+TEST(Fault, ProtectedPrefixIsNeverTouched) {
+    const std::string input = sample_text();
+    // The first two lines span up to the second '\n'.
+    const std::size_t guard = input.find('\n', input.find('\n') + 1) + 1;
+    const std::string prefix = input.substr(0, guard);
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        fault_config cfg;
+        cfg.count = 6;
+        cfg.protect_prefix_lines = 2;
+        const auto res = inject_faults(input, seed, cfg);
+        ASSERT_GE(res.data.size(), prefix.size()) << "seed " << seed;
+        EXPECT_EQ(res.data.substr(0, prefix.size()), prefix)
+            << "seed " << seed;
+    }
+}
+
+TEST(Fault, EachKindApplies) {
+    const std::string input = sample_text();
+    for (const fault_kind k : all_fault_kinds()) {
+        const auto res = inject_faults(input, 99, only(k));
+        ASSERT_EQ(res.plan.size(), 1U) << to_string(k);
+        EXPECT_EQ(res.plan[0].kind, k);
+        EXPECT_NE(res.data, input) << to_string(k);
+    }
+}
+
+TEST(Fault, KindSpecificEffects) {
+    const std::string input = sample_text();
+    const auto trunc =
+        inject_faults(input, 3, only(fault_kind::truncate_tail));
+    EXPECT_LT(trunc.data.size(), input.size());
+
+    const auto dup =
+        inject_faults(input, 3, only(fault_kind::duplicate_line));
+    EXPECT_GT(dup.data.size(), input.size());
+
+    const auto nul = inject_faults(input, 3, only(fault_kind::nul_bytes));
+    EXPECT_NE(nul.data.find('\0'), std::string::npos);
+
+    const auto crlf = inject_faults(input, 3, only(fault_kind::crlf_line));
+    EXPECT_NE(crlf.data.find("\r\n"), std::string::npos);
+
+    const auto comma =
+        inject_faults(input, 3, only(fault_kind::locale_commas));
+    EXPECT_NE(comma.data.find("3,14"), std::string::npos);
+
+    const auto splice =
+        inject_faults(input, 3, only(fault_kind::splice_lines));
+    EXPECT_EQ(splice.data.size(), input.size() - 1);
+
+    // Reorder preserves the multiset of lines.
+    const auto reorder =
+        inject_faults(input, 3, only(fault_kind::reorder_lines));
+    EXPECT_EQ(reorder.data.size(), input.size());
+    EXPECT_NE(reorder.data, input);
+}
+
+TEST(Fault, ExhaustedTargetsStopCleanly) {
+    // No '.' anywhere: locale_commas can never land.
+    const auto res =
+        inject_faults("abc\ndef\n", 5, only(fault_kind::locale_commas, 3));
+    EXPECT_TRUE(res.plan.empty());
+    EXPECT_EQ(res.data, "abc\ndef\n");
+}
+
+TEST(Fault, ParseKindNames) {
+    EXPECT_EQ(parse_fault_kind("bit_flip"), fault_kind::bit_flip);
+    EXPECT_EQ(parse_fault_kind("locale_commas"), fault_kind::locale_commas);
+    EXPECT_THROW(parse_fault_kind("gamma_ray"), ingest_error);
+}
+
+TEST(Fault, EmptyInputStartsWithAnInsertion) {
+    fault_config cfg;
+    cfg.count = 4;
+    const auto res = inject_faults("", 1, cfg);
+    if (res.plan.empty()) {
+        EXPECT_TRUE(res.data.empty());
+    } else {
+        // Only an insertion can land on an empty buffer; later faults in
+        // the same plan may then hit the freshly inserted bytes.
+        EXPECT_EQ(res.plan.front().kind, fault_kind::nul_bytes);
+        EXPECT_FALSE(res.data.empty());
+    }
+}
+
+}  // namespace
+}  // namespace lsm

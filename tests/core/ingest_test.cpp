@@ -1,0 +1,276 @@
+#include "core/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/parallel.h"
+#include "core/trace_io.h"
+#include "core/wms_log.h"
+#include "obs/metrics.h"
+
+namespace lsm {
+namespace {
+
+constexpr const char* k_csv_header =
+    "lsm-trace-v1,1000,0\n"
+    "client,ip,asn,country,object,start,duration,bandwidth_bps,loss,cpu,"
+    "status\n";
+
+constexpr const char* k_good_line =
+    "42,167772161,28573,BR,0,123,456,56000,0.001,0.05,200\n";
+
+std::string csv_with(const std::string& body) {
+    return std::string(k_csv_header) + body;
+}
+
+ingest_options recover(on_error_policy p) {
+    ingest_options o;
+    o.on_error = p;
+    return o;
+}
+
+TEST(IngestPolicy, ParsesAllNames) {
+    EXPECT_EQ(parse_on_error_policy("strict"), on_error_policy::strict);
+    EXPECT_EQ(parse_on_error_policy("skip"), on_error_policy::skip);
+    EXPECT_EQ(parse_on_error_policy("quarantine"),
+              on_error_policy::quarantine);
+    EXPECT_THROW(parse_on_error_policy("lenient"), ingest_error);
+    EXPECT_EQ(to_string(on_error_policy::skip), "skip");
+}
+
+TEST(IngestPolicy, DefaultIsStrict) {
+    EXPECT_EQ(ingest_options{}.on_error, on_error_policy::strict);
+}
+
+TEST(IngestReport, SkipDropsBadLinesAndCounts) {
+    const std::string csv = csv_with(std::string(k_good_line) +
+                                     "not,a,record\n" + k_good_line);
+    std::istringstream in(csv);
+    ingest_report rep;
+    const trace t =
+        read_trace_csv(in, recover(on_error_policy::skip), &rep);
+    EXPECT_EQ(t.size(), 2U);
+    EXPECT_EQ(rep.records_recovered, 2U);
+    EXPECT_EQ(rep.errors_total, 1U);
+    EXPECT_EQ(rep.lines_rejected, 1U);
+    EXPECT_EQ(rep.errors_by_category.at("field_count"), 1U);
+    // skip retains no bytes; quarantine does.
+    EXPECT_TRUE(rep.quarantine.empty());
+    EXPECT_EQ(rep.bytes_rejected, std::string("not,a,record\n").size());
+}
+
+TEST(IngestReport, QuarantineRetainsRejectedBytesVerbatim) {
+    const std::string bad1 = "not,a,record\n";
+    const std::string bad2 =
+        "x,167772161,28573,BR,0,123,456,56000,0.001,0.05,200\n";
+    const std::string csv =
+        csv_with(bad1 + std::string(k_good_line) + bad2);
+    std::istringstream in(csv);
+    ingest_report rep;
+    const trace t =
+        read_trace_csv(in, recover(on_error_policy::quarantine), &rep);
+    EXPECT_EQ(t.size(), 1U);
+    EXPECT_EQ(rep.quarantine, bad1 + bad2);
+    EXPECT_EQ(rep.errors_by_category.at("bad_field"), 1U);
+}
+
+TEST(IngestReport, UnterminatedFinalLineQuarantinesWithoutNewline) {
+    const std::string csv = csv_with(std::string(k_good_line) + "garbage");
+    std::istringstream in(csv);
+    ingest_report rep;
+    read_trace_csv(in, recover(on_error_policy::quarantine), &rep);
+    EXPECT_EQ(rep.quarantine, "garbage");
+}
+
+TEST(IngestReport, StrictStillThrowsOnFirstError) {
+    std::istringstream in(csv_with("not,a,record\n"));
+    EXPECT_THROW(read_trace_csv(in, recover(on_error_policy::strict)),
+                 trace_io_error);
+}
+
+TEST(IngestReport, HeaderErrorsAreFatalUnderEveryPolicy) {
+    for (const auto p : {on_error_policy::strict, on_error_policy::skip,
+                         on_error_policy::quarantine}) {
+        std::istringstream in("not-a-trace,1,0\nheader\n");
+        EXPECT_THROW(read_trace_csv(in, recover(p)), trace_io_error);
+    }
+}
+
+TEST(IngestReport, MaxErrorsCapThrowsAfterFullScan) {
+    ingest_options opts = recover(on_error_policy::skip);
+    opts.max_errors = 1;
+    std::istringstream in(
+        csv_with("bad,line\n" + std::string(k_good_line) + "worse\n"));
+    try {
+        read_trace_csv(in, opts);
+        FAIL() << "expected ingest_error";
+    } catch (const ingest_error& e) {
+        // Both errors were counted: the cap fires once after the scan,
+        // not at the first breach, so the count is thread-invariant.
+        EXPECT_NE(std::string(e.what()).find("2 exceed max_errors=1"),
+                  std::string::npos);
+    }
+}
+
+TEST(IngestReport, SampleRetentionIsCapped) {
+    ingest_options opts = recover(on_error_policy::skip);
+    opts.max_samples = 2;
+    std::string body;
+    for (int i = 0; i < 5; ++i) body += "bad\n";
+    std::istringstream in(csv_with(body));
+    ingest_report rep;
+    read_trace_csv(in, opts, &rep);
+    EXPECT_EQ(rep.errors_total, 5U);
+    ASSERT_EQ(rep.samples.size(), 2U);
+    EXPECT_EQ(rep.samples[0].line, 3);  // first body line of the file
+    EXPECT_EQ(rep.samples[1].line, 4);
+}
+
+TEST(IngestReport, MergeTailSumsInInputOrder) {
+    const ingest_options opts = recover(on_error_policy::quarantine);
+    ingest_report head;
+    head.add_error(opts, 3, "bad_field", "first");
+    head.reject_bytes(opts, "aaa\n");
+    head.records_recovered = 10;
+    ingest_report tail;
+    tail.add_error(opts, 9, "bad_field", "second");
+    tail.reject_bytes(opts, "bbb\n");
+    tail.records_recovered = 5;
+    head.merge_tail(std::move(tail), opts);
+    EXPECT_EQ(head.records_recovered, 15U);
+    EXPECT_EQ(head.errors_total, 2U);
+    EXPECT_EQ(head.errors_by_category.at("bad_field"), 2U);
+    EXPECT_EQ(head.quarantine, "aaa\nbbb\n");
+    ASSERT_EQ(head.samples.size(), 2U);
+    EXPECT_EQ(head.samples[0].message, "first");
+    EXPECT_EQ(head.samples[1].message, "second");
+}
+
+TEST(IngestReport, SummaryNamesCategories) {
+    const ingest_options opts = recover(on_error_policy::skip);
+    ingest_report rep;
+    rep.records_recovered = 9;
+    rep.add_error(opts, 1, "bad_field", "x");
+    rep.reject_bytes(opts, "x\n");
+    const std::string s = rep.summary();
+    EXPECT_NE(s.find("recovered 9 records"), std::string::npos);
+    EXPECT_NE(s.find("rejected 1 lines"), std::string::npos);
+    EXPECT_NE(s.find("bad_field 1"), std::string::npos);
+}
+
+TEST(IngestReport, QuarantineFileWriteRoundTrips) {
+    ingest_report rep;
+    rep.quarantine = std::string("bad line one\nbad\0line\ntwo\n", 26);
+    const std::string path = "ingest_test_quarantine.txt";
+    write_quarantine_file(rep, path);
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), rep.quarantine);
+    std::remove(path.c_str());
+    EXPECT_THROW(write_quarantine_file(rep, "/nonexistent-dir/q.txt"),
+                 ingest_error);
+}
+
+TEST(IngestReport, PublishAddsCounters) {
+    const ingest_options opts = recover(on_error_policy::skip);
+    ingest_report rep;
+    rep.records_recovered = 4;
+    rep.add_error(opts, 1, "bad_field", "x");
+    rep.add_error(opts, 2, "checksum", "y");
+    rep.reject_bytes(opts, "xx\n");
+    obs::registry reg;
+    publish_ingest_report(&reg, rep);
+    EXPECT_EQ(reg.get_counter("ingest/errors").value(), 2U);
+    EXPECT_EQ(reg.get_counter("ingest/records_recovered").value(), 4U);
+    EXPECT_EQ(reg.get_counter("ingest/errors/bad_field").value(), 1U);
+    EXPECT_EQ(reg.get_counter("ingest/errors/checksum").value(), 1U);
+    publish_ingest_report(nullptr, rep);  // null registry is a no-op
+}
+
+TEST(IngestWms, RecoversAroundBadRecordLines) {
+    trace t(1000, weekday::monday);
+    log_record r;
+    r.client = 1;
+    r.ip = 0x0A000001;
+    r.asn = 7;
+    r.country = make_country("BR");
+    r.object = 0;
+    r.start = 10;
+    r.duration = 5;
+    r.avg_bandwidth_bps = 56000;
+    r.packet_loss = 0.001F;
+    r.server_cpu = 0.05F;
+    r.status = transfer_status::ok;
+    t.add(r);
+    r.start = 20;
+    t.add(r);
+    std::ostringstream out;
+    write_wms_log(t, out);
+    std::string log = out.str();
+    // Damage the first record line: break its IP.
+    const auto pos = log.find("10.0.0.1");
+    ASSERT_NE(pos, std::string::npos);
+    log.replace(pos, 8, "10.0.0.X");
+
+    std::istringstream strict_in(log);
+    EXPECT_THROW(read_wms_log(strict_in), wms_log_error);
+
+    std::istringstream in(log);
+    ingest_report rep;
+    const trace got =
+        read_wms_log(in, recover(on_error_policy::quarantine), &rep);
+    EXPECT_EQ(got.size(), 1U);
+    EXPECT_EQ(got.records()[0].start, 20);
+    EXPECT_EQ(rep.errors_by_category.at("bad_ip"), 1U);
+    EXPECT_EQ(rep.quarantine.substr(0, 8), "10.0.0.X");
+}
+
+TEST(IngestWms, RecordsBeforeFieldsRejectAsNoFields) {
+    const std::string log =
+        "#Software: x\n"
+        "1.2.3.4 {0000000000000001} mms://server/feed1 7 BR 1 2 3 0 5 200\n";
+    std::istringstream in(log);
+    ingest_report rep;
+    const trace got =
+        read_wms_log(in, recover(on_error_policy::skip), &rep);
+    EXPECT_EQ(got.size(), 0U);
+    EXPECT_EQ(rep.errors_by_category.at("no_fields"), 1U);
+}
+
+TEST(IngestWms, UnsupportedFieldsDirectiveRecoverable) {
+    const std::string log = "#Fields: c-ip only\n";
+    std::istringstream strict_in(log);
+    EXPECT_THROW(read_wms_log(strict_in), wms_log_error);
+    std::istringstream in(log);
+    ingest_report rep;
+    read_wms_log(in, recover(on_error_policy::skip), &rep);
+    EXPECT_EQ(rep.errors_by_category.at("bad_directive"), 1U);
+}
+
+TEST(IngestParallel, BufferReaderMergesChunkReportsInOrder) {
+    std::string body;
+    for (int i = 0; i < 200; ++i) {
+        body += k_good_line;
+        if (i % 50 == 10) body += "bad line " + std::to_string(i) + "\n";
+    }
+    const std::string csv = csv_with(body);
+    thread_pool pool(4);
+    ingest_report rep;
+    const trace t = read_trace_csv_buffer(
+        csv, &pool, recover(on_error_policy::quarantine), &rep);
+    EXPECT_EQ(t.size(), 200U);
+    EXPECT_EQ(rep.errors_total, 4U);
+    EXPECT_EQ(rep.quarantine,
+              "bad line 10\nbad line 60\nbad line 110\nbad line 160\n");
+    // Samples arrive in input order despite parallel decoding.
+    ASSERT_GE(rep.samples.size(), 2U);
+    EXPECT_LT(rep.samples[0].line, rep.samples[1].line);
+}
+
+}  // namespace
+}  // namespace lsm

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -235,6 +236,147 @@ TEST(TraceIoBin, MissingFileThrows) {
     EXPECT_THROW(read_trace_bin_file("/nonexistent/x.bin"), trace_io_error);
     EXPECT_THROW(read_trace_auto_file("/nonexistent/x.bin"),
                  trace_io_error);
+}
+
+// --- Recovery and tail salvage ----------------------------------------
+
+ingest_options quarantine_opts() {
+    ingest_options o;
+    o.on_error = on_error_policy::quarantine;
+    return o;
+}
+
+TEST(TraceIoBin, SalvagesTailTruncatedFinalColumn) {
+    const trace original = random_trace(7, 20);
+    std::string buf = to_bin(original);
+    // The final column (status, u16) holds the last 40 payload bytes;
+    // cutting 5 leaves 35 -> 17 whole elements, so 17 records survive.
+    buf.resize(buf.size() - 5);
+    ingest_report rep;
+    const trace got = read_trace_bin_buffer(buf, quarantine_opts(), &rep);
+    trace expect_t(original.window_length(), original.start_day());
+    for (std::size_t i = 0; i < 17; ++i) {
+        expect_t.add(original.records()[i]);
+    }
+    expect_identical(expect_t, got);
+    EXPECT_TRUE(rep.salvaged_tail);
+    EXPECT_EQ(rep.salvaged_records, 17U);
+    EXPECT_EQ(rep.records_lost, 3U);
+    EXPECT_EQ(rep.errors_by_category.at("truncated"), 1U);
+    // The dangling half-element is quarantined.
+    EXPECT_EQ(rep.quarantine.size(), 1U);
+}
+
+TEST(TraceIoBin, TruncationInsideEarlierColumnLosesAllRecords) {
+    // Columnar layout: cutting mid-file destroys every later COLUMN, so
+    // no record survives (each would miss fields). The report says so
+    // honestly instead of inventing partial records. The cut lands in
+    // the bandwidth column but keeps enough bytes to pass the header's
+    // record-count capacity check (which stays fatal under any policy).
+    const std::string buf = to_bin(random_trace(7, 20));
+    ingest_report rep;
+    const trace got =
+        read_trace_bin_buffer(buf.substr(0, 1100), quarantine_opts(), &rep);
+    EXPECT_EQ(got.size(), 0U);
+    EXPECT_TRUE(rep.salvaged_tail);
+    EXPECT_EQ(rep.records_lost, 20U);
+    EXPECT_EQ(rep.errors_by_category.at("truncated"), 1U);
+}
+
+TEST(TraceIoBin, ChecksumFailingColumnLosesItsRecordsNotTheRead) {
+    std::string buf = to_bin(random_trace(7, 50));
+    buf[100] = static_cast<char>(buf[100] ^ 0x40);  // first column payload
+    ingest_report rep;
+    const trace got = read_trace_bin_buffer(buf, quarantine_opts(), &rep);
+    // A record missing any column cannot be reconstructed; with the
+    // client column dead, salvage is zero — but the read completes and
+    // reports instead of throwing.
+    EXPECT_EQ(got.size(), 0U);
+    EXPECT_EQ(rep.records_lost, 50U);
+    EXPECT_EQ(rep.errors_by_category.at("checksum"), 1U);
+    // The damaged payload (50 u64 clients) is quarantined whole.
+    EXPECT_EQ(rep.quarantine.size(), 400U);
+}
+
+TEST(TraceIoBin, TrailingBytesQuarantinedWithoutRecordLoss) {
+    const trace original = random_trace(7, 5);
+    std::string buf = to_bin(original);
+    buf += "extra";
+    ingest_report rep;
+    const trace got = read_trace_bin_buffer(buf, quarantine_opts(), &rep);
+    expect_identical(original, got);
+    EXPECT_FALSE(rep.salvaged_tail);
+    EXPECT_EQ(rep.records_lost, 0U);
+    EXPECT_EQ(rep.quarantine, "extra");
+    EXPECT_EQ(rep.errors_by_category.at("trailing_bytes"), 1U);
+}
+
+TEST(TraceIoBin, HeaderDamageFatalUnderEveryPolicy) {
+    std::string buf = to_bin(random_trace(7, 5));
+    buf[0] = 'X';
+    ingest_options opts;
+    opts.on_error = on_error_policy::skip;
+    EXPECT_THROW(read_trace_bin_buffer(buf, opts), trace_io_error);
+    EXPECT_THROW(read_trace_bin_buffer(std::string_view("short"), opts),
+                 trace_io_error);
+}
+
+TEST(TraceIoBin, RecoveryRespectsMaxErrorsCap) {
+    std::string buf = to_bin(random_trace(7, 20));
+    buf[100] = static_cast<char>(buf[100] ^ 0x40);
+    buf += "junk";
+    ingest_options opts;
+    opts.on_error = on_error_policy::skip;
+    opts.max_errors = 1;
+    EXPECT_THROW(read_trace_bin_buffer(buf, opts), ingest_error);
+}
+
+TEST(TraceIoBin, AutoReadEmptyOrShortFileSaysSo) {
+    const std::string dir = ::testing::TempDir();
+    for (const std::string& content : {std::string(), std::string("x,y")}) {
+        const std::string path = dir + "/short_trace_" +
+                                 std::to_string(content.size()) + ".csv";
+        std::ofstream(path, std::ios::binary) << content;
+        try {
+            read_trace_auto_file(path);
+            FAIL() << "expected trace_io_error for " << content.size()
+                   << "-byte file";
+        } catch (const trace_io_error& e) {
+            EXPECT_NE(std::string(e.what())
+                          .find("empty or unrecognized trace file"),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(TraceIoBin, AutoReadCarriesPathAndReportThroughRecovery) {
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/damaged_trace.bin";
+    const trace original = random_trace(9, 8);
+    std::string buf = to_bin(original);
+    buf += "tail garbage";
+    std::ofstream(path, std::ios::binary) << buf;
+
+    // Strict: the error names the file.
+    try {
+        read_trace_auto_file(path);
+        FAIL() << "expected trace_io_error";
+    } catch (const trace_io_error& e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << e.what();
+    }
+
+    // Quarantine: recovery succeeds, the report names the file.
+    ingest_report rep;
+    const trace got =
+        read_trace_auto_file(path, nullptr, nullptr, quarantine_opts(),
+                             &rep);
+    expect_identical(original, got);
+    EXPECT_EQ(rep.file, path);
+    EXPECT_EQ(rep.quarantine, "tail garbage");
 }
 
 }  // namespace

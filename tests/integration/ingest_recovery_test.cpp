@@ -1,0 +1,229 @@
+// Randomized corruption recovery: inject seeded faults into a CSV
+// trace body (header shielded) and check that skip/quarantine recovery
+//
+//   * recovers exactly the records an independent per-line oracle says
+//     are parseable,
+//   * quarantines exactly the remaining bytes (the partition property:
+//     recovered lines + quarantined lines + empty lines account for
+//     every body line), and
+//   * produces byte-identical recovered traces and quarantines at 1, 2,
+//     and 8 threads.
+//
+// Failures echo the seed; rerun a single seed with LSM_FUZZ_SEED=<n>.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/ingest.h"
+#include "core/parallel.h"
+#include "core/trace_io.h"
+
+namespace lsm {
+namespace {
+
+trace synthetic_trace(std::size_t n) {
+    trace t(7 * 86400, weekday::monday);
+    for (std::size_t i = 0; i < n; ++i) {
+        log_record r;
+        r.client = 1 + i % 37;
+        r.ip = 0x0A000000 + static_cast<std::uint32_t>(i * 131 % 9001);
+        r.asn = 100 + static_cast<as_number>(i % 53);
+        r.country = make_country(i % 3 == 0 ? "BR" : "US");
+        r.object = static_cast<object_id>(i % 2);
+        r.start = static_cast<seconds_t>(i * 97 % (7 * 86400));
+        r.duration = static_cast<seconds_t>(1 + i * 13 % 900);
+        r.avg_bandwidth_bps = 20000.0 + 1000.0 * static_cast<double>(i % 8);
+        r.packet_loss = 0.001F * static_cast<float>(i % 5);
+        r.server_cpu = 0.01F * static_cast<float>(i % 90);
+        r.status = i % 11 == 0 ? transfer_status::rejected
+                               : transfer_status::ok;
+        t.add(r);
+    }
+    return t;
+}
+
+std::string to_csv(const trace& t) {
+    std::ostringstream os;
+    write_trace_csv(t, os);
+    return os.str();
+}
+
+/// Offset just past the Nth newline.
+std::size_t after_lines(const std::string& s, int n) {
+    std::size_t off = 0;
+    for (int i = 0; i < n; ++i) off = s.find('\n', off) + 1;
+    return off;
+}
+
+struct oracle_result {
+    std::vector<log_record> records;
+    std::string quarantine;
+    std::uint64_t rejected_lines = 0;
+    std::uint64_t empty_lines = 0;
+    std::uint64_t body_lines = 0;
+};
+
+/// Ground truth by construction: parse every body line of the corrupted
+/// buffer independently through the strict serial reader. Any line the
+/// strict reader accepts must be recovered; everything else must land in
+/// quarantine with its original terminator.
+oracle_result line_oracle(const std::string& header,
+                          const std::string& body) {
+    oracle_result out;
+    std::size_t i = 0;
+    while (i < body.size()) {
+        const std::size_t nl = body.find('\n', i);
+        const bool terminated = nl != std::string::npos;
+        const std::string line =
+            body.substr(i, (terminated ? nl : body.size()) - i);
+        i = terminated ? nl + 1 : body.size();
+        if (line.empty()) {
+            ++out.empty_lines;
+            continue;
+        }
+        ++out.body_lines;
+        std::istringstream ss(header + line + "\n");
+        try {
+            const trace one = read_trace_csv(ss);
+            if (one.size() == 1) {
+                out.records.push_back(one.records()[0]);
+                continue;
+            }
+        } catch (const trace_io_error&) {
+        }
+        ++out.rejected_lines;
+        out.quarantine += line;
+        if (terminated) out.quarantine += '\n';
+    }
+    return out;
+}
+
+TEST(IngestRecovery, RandomizedCorruptionMatchesOracleAtEveryThreadCount) {
+    const std::string clean = to_csv(synthetic_trace(120));
+    const std::size_t body_start = after_lines(clean, 2);
+    const std::string header = clean.substr(0, body_start);
+
+    std::uint64_t base_seed = 0xC0FFEE;
+    int num_seeds = 24;
+    if (const char* env = std::getenv("LSM_FUZZ_SEED")) {
+        base_seed = std::strtoull(env, nullptr, 10);
+        num_seeds = 1;
+    }
+    std::cout << "[ fuzz ] base seed " << base_seed << " (" << num_seeds
+              << " seed(s); rerun one with LSM_FUZZ_SEED=<n>)\n";
+
+    thread_pool pool1(1);
+    thread_pool pool2(2);
+    thread_pool pool8(8);
+
+    for (int s = 0; s < num_seeds; ++s) {
+        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
+        fault_config fcfg;
+        fcfg.count = 1 + static_cast<std::uint32_t>(seed % 7);
+        fcfg.protect_prefix_lines = 2;
+        const corruption_result bad = inject_faults(clean, seed, fcfg);
+        ASSERT_FALSE(bad.plan.empty()) << "seed " << seed;
+        const std::string scenario =
+            "seed " + std::to_string(seed) + "\n" + describe(bad.plan);
+
+        const oracle_result expect = line_oracle(
+            header, bad.data.substr(
+                        std::min(body_start, bad.data.size())));
+
+        ingest_options opts;
+        opts.on_error = on_error_policy::quarantine;
+
+        ingest_report serial_rep;
+        const trace serial = read_trace_csv_buffer(bad.data, nullptr, opts,
+                                                   &serial_rep);
+
+        // Every unaffected record recovered, nothing else: the reader
+        // must agree with the per-line oracle record for record.
+        ASSERT_EQ(serial.size(), expect.records.size()) << scenario;
+        trace oracle_trace(serial.window_length(), serial.start_day());
+        for (const log_record& r : expect.records) oracle_trace.add(r);
+        EXPECT_EQ(to_csv(serial), to_csv(oracle_trace)) << scenario;
+
+        // Partition property: recovered + rejected + empty covers every
+        // body line, and the quarantine is exactly the rejected bytes.
+        EXPECT_EQ(serial_rep.records_recovered + serial_rep.lines_rejected,
+                  expect.body_lines)
+            << scenario;
+        EXPECT_EQ(serial_rep.lines_rejected, expect.rejected_lines)
+            << scenario;
+        EXPECT_EQ(serial_rep.quarantine, expect.quarantine) << scenario;
+        EXPECT_EQ(serial_rep.bytes_rejected, expect.quarantine.size())
+            << scenario;
+
+        // Thread-count invariance: byte-identical trace AND quarantine
+        // at 1, 2, and 8 threads.
+        for (thread_pool* pool : {&pool1, &pool2, &pool8}) {
+            ingest_report rep;
+            const trace got =
+                read_trace_csv_buffer(bad.data, pool, opts, &rep);
+            EXPECT_EQ(to_csv(got), to_csv(serial))
+                << scenario << "threads=" << pool->size();
+            EXPECT_EQ(rep.quarantine, serial_rep.quarantine)
+                << scenario << "threads=" << pool->size();
+            EXPECT_EQ(rep.errors_total, serial_rep.errors_total)
+                << scenario << "threads=" << pool->size();
+            EXPECT_EQ(rep.lines_rejected, serial_rep.lines_rejected)
+                << scenario << "threads=" << pool->size();
+        }
+
+        // skip recovers the same records as quarantine, just without
+        // retaining bytes.
+        ingest_options skip_opts;
+        skip_opts.on_error = on_error_policy::skip;
+        ingest_report skip_rep;
+        const trace skipped =
+            read_trace_csv_buffer(bad.data, &pool2, skip_opts, &skip_rep);
+        EXPECT_EQ(to_csv(skipped), to_csv(serial)) << scenario;
+        EXPECT_TRUE(skip_rep.quarantine.empty()) << scenario;
+        EXPECT_EQ(skip_rep.errors_total, serial_rep.errors_total)
+            << scenario;
+    }
+}
+
+TEST(IngestRecovery, StreamAndBufferReadersAgree) {
+    const std::string clean = to_csv(synthetic_trace(60));
+    fault_config fcfg;
+    fcfg.count = 4;
+    fcfg.protect_prefix_lines = 2;
+    const corruption_result bad = inject_faults(clean, 77, fcfg);
+
+    ingest_options opts;
+    opts.on_error = on_error_policy::quarantine;
+    ingest_report buf_rep;
+    const trace from_buffer =
+        read_trace_csv_buffer(bad.data, nullptr, opts, &buf_rep);
+
+    std::istringstream in(bad.data);
+    ingest_report stream_rep;
+    const trace from_stream = read_trace_csv(in, opts, &stream_rep);
+
+    EXPECT_EQ(to_csv(from_buffer), to_csv(from_stream));
+    EXPECT_EQ(buf_rep.quarantine, stream_rep.quarantine);
+    EXPECT_EQ(buf_rep.errors_total, stream_rep.errors_total);
+    EXPECT_EQ(buf_rep.lines_rejected, stream_rep.lines_rejected);
+}
+
+TEST(IngestRecovery, CleanInputReportsClean) {
+    const std::string clean = to_csv(synthetic_trace(30));
+    ingest_options opts;
+    opts.on_error = on_error_policy::quarantine;
+    ingest_report rep;
+    const trace t = read_trace_csv_buffer(clean, nullptr, opts, &rep);
+    EXPECT_EQ(t.size(), 30U);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_TRUE(rep.quarantine.empty());
+    EXPECT_EQ(rep.records_recovered, 30U);
+}
+
+}  // namespace
+}  // namespace lsm

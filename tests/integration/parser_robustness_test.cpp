@@ -3,6 +3,7 @@
 // never a crash, never a silently wrong trace.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -102,6 +103,39 @@ TEST(ParserRobustness, TruncatedValidFilesThrowOrDegrade) {
             EXPECT_LE(parsed.size(), t.size());
         } catch (const trace_io_error&) {
         }
+    }
+}
+
+TEST(ParserRobustness, FileLevelErrorsNameTheOffendingFile) {
+    // Multi-file ingest runs need to know WHICH input broke: parse
+    // errors surfaced through the *_file readers carry the path.
+    const std::string dir = ::testing::TempDir();
+
+    const std::string csv_path = dir + "/robustness_bad.csv";
+    std::ofstream(csv_path) << "lsm-trace-v1,1000,0\n"
+                            << "client,ip,asn,country,object,start,duration,"
+                               "bandwidth_bps,loss,cpu,status\n"
+                            << "not,a,record\n";
+    try {
+        read_trace_csv_file(csv_path);
+        FAIL() << "expected trace_io_error";
+    } catch (const trace_io_error& e) {
+        EXPECT_NE(std::string(e.what()).find(csv_path), std::string::npos)
+            << e.what();
+    }
+
+    const std::string wms_path = dir + "/robustness_bad.log";
+    std::ofstream(wms_path)
+        << "#Fields: c-ip c-playerid cs-uri-stem x-asnum c-country x-start "
+           "x-duration avg-bandwidth c-rate s-cpu-util sc-status\n"
+        << "10.0.0.X {0000000000000001} mms://server/feed1 7 BR 1 2 3 0 5 "
+           "200\n";
+    try {
+        read_wms_log_file(wms_path);
+        FAIL() << "expected wms_log_error";
+    } catch (const wms_log_error& e) {
+        EXPECT_NE(std::string(e.what()).find(wms_path), std::string::npos)
+            << e.what();
     }
 }
 

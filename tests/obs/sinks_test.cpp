@@ -1,0 +1,57 @@
+#include "obs/sinks.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+namespace {
+
+TEST(Sinks, SuccessfulWriteReturnsTrueAndStaysQuiet) {
+    std::ostringstream err;
+    bool ran = false;
+    EXPECT_TRUE(try_write_sink(
+        "metrics", "ok.json", [&] { ran = true; }, err));
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(err.str().empty());
+}
+
+TEST(Sinks, FailureWarnsAndReturnsFalse) {
+    std::ostringstream err;
+    EXPECT_FALSE(try_write_sink(
+        "metrics", "/nonexistent-dir/m.json",
+        [] { throw std::runtime_error("cannot open"); }, err));
+    const std::string msg = err.str();
+    EXPECT_NE(msg.find("warning: cannot write metrics"), std::string::npos);
+    EXPECT_NE(msg.find("/nonexistent-dir/m.json"), std::string::npos);
+    EXPECT_NE(msg.find("cannot open"), std::string::npos);
+}
+
+TEST(Sinks, RegistryWriterDegradesOnUnwritablePath) {
+    registry reg;
+    reg.get_counter("a").add(1);
+    std::ostringstream err;
+    EXPECT_FALSE(try_write_sink(
+        "metrics", "/nonexistent-dir/m.json",
+        [&] { reg.write_json_file("/nonexistent-dir/m.json"); }, err));
+    EXPECT_NE(err.str().find("warning:"), std::string::npos);
+
+    // And the same closure succeeds against a writable path.
+    const std::string ok_path = "sinks_test_metrics.json";
+    std::ostringstream err2;
+    EXPECT_TRUE(try_write_sink(
+        "metrics", ok_path, [&] { reg.write_json_file(ok_path); }, err2));
+    std::ifstream in(ok_path);
+    EXPECT_TRUE(in.good());
+    in.close();
+    std::remove(ok_path.c_str());
+}
+
+}  // namespace
+}  // namespace lsm::obs
