@@ -8,13 +8,26 @@
 //   $ ./characterize_trace --trace-out t.json <trace>  # execution trace
 //   $ ./characterize_trace --series-out s.csv --demo   # sim-time series
 //   $ ./characterize_trace --trace-format bin --demo  # binary demo trace
+//   $ ./characterize_trace --sessions-only --sessions-out s.csv
+//         --max-resident-records 100000 <trace.bin>   # out-of-core
 //
 // Input traces may be the library's CSV or the binary columnar format
 // (core/trace_io_bin.h); the reader sniffs the leading bytes, so both
 // work without a flag. --trace-format picks the format --demo writes.
+//
+// --max-resident-records N caps the sessionizer's working set: when
+// N > 0 sessionization runs through the spill-and-merge pipeline
+// (characterize/session_spill.h) and, for binary inputs under
+// --sessions-only, the trace itself is streamed chunk by chunk so peak
+// memory stays near N records regardless of file size. The session
+// output is byte-identical to the uncapped run for every N and thread
+// count — the CI memory-cap gate diffs exactly that.
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "characterize/client_layer.h"
 #include "characterize/hierarchical.h"
@@ -22,6 +35,7 @@
 #include "characterize/report_json.h"
 #include "characterize/session_builder.h"
 #include "characterize/session_layer.h"
+#include "characterize/session_spill.h"
 #include "characterize/transfer_layer.h"
 #include "core/ingest.h"
 #include "core/parallel.h"
@@ -40,6 +54,8 @@ int main(int argc, char** argv) {
                   << " [--trace-format csv|bin]"
                   << " [--on-error strict|skip|quarantine] [--max-errors N]"
                   << " [--quarantine-out q.txt]"
+                  << " [--max-resident-records N] [--spill-dir DIR]"
+                  << " [--sessions-out s.csv] [--sessions-only]"
                   << " <trace-file> [session_timeout] | --demo\n";
         return 1;
     }
@@ -51,6 +67,10 @@ int main(int argc, char** argv) {
     std::string trace_out;
     std::string series_out;
     std::string quarantine_out;
+    std::string sessions_out;
+    std::string spill_dir;
+    std::size_t max_resident = 0;
+    bool sessions_only = false;
     lsm::ingest_options iopts;
     bool on_error_set = false;
     lsm::trace_format demo_format = lsm::trace_format::csv;
@@ -128,6 +148,30 @@ int main(int argc, char** argv) {
             }
             quarantine_out = argv[argi + 1];
             argi += 2;
+        } else if (flag == "--max-resident-records") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--max-resident-records requires a count\n";
+                return 1;
+            }
+            max_resident = std::strtoull(argv[argi + 1], nullptr, 10);
+            argi += 2;
+        } else if (flag == "--spill-dir") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--spill-dir requires a path\n";
+                return 1;
+            }
+            spill_dir = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--sessions-out") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--sessions-out requires a path\n";
+                return 1;
+            }
+            sessions_out = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--sessions-only") {
+            sessions_only = true;
+            ++argi;
         } else {
             break;
         }
@@ -184,6 +228,114 @@ int main(int argc, char** argv) {
     // Built before the read so CSV ingest can decode on the pool.
     lsm::thread_pool pool(threads);
 
+    // --sessions-only: sessionize and emit the session CSV, skipping the
+    // layer analyses. With a binary input and a resident budget the trace
+    // is never materialized — records stream straight from the file into
+    // the spill pipeline — so this is the path whose peak memory the CI
+    // memory-cap gate pins under ulimit -v.
+    if (sessions_only) {
+        if (sessions_out.empty()) {
+            std::cerr << "--sessions-only requires --sessions-out\n";
+            return 1;
+        }
+        const std::string path = argv[1];
+        if (path == "--demo") {
+            std::cerr << "--sessions-only requires a trace file\n";
+            return 1;
+        }
+        if (argc > 2) timeout = std::atoll(argv[2]);
+        if (timeout <= 0) {
+            std::cerr << "session timeout must be positive\n";
+            return 1;
+        }
+        bool is_bin = false;
+        {
+            std::ifstream probe(path, std::ios::binary);
+            char head[16] = {};
+            probe.read(head, sizeof head);
+            is_bin = probe.gcount() == sizeof head &&
+                     lsm::buffer_is_trace_bin({head, sizeof head});
+        }
+        lsm::ingest_report srep;
+        try {
+            std::ofstream out(sessions_out);
+            if (!out) {
+                std::cerr << "cannot open " << sessions_out << "\n";
+                return 1;
+            }
+            lsm::characterize::spill_options sopts;
+            sopts.timeout = timeout;
+            sopts.max_resident_records = max_resident;
+            sopts.spill_dir = spill_dir;
+            sopts.metrics = metrics;
+            std::uint64_t emitted = 0;
+            lsm::characterize::write_sessions_csv_header(out, timeout);
+            if (is_bin && max_resident > 0) {
+                // Streamed: bounded reader + per-chunk sanitize. The
+                // sanitize predicate is per-record, so applying it chunk
+                // by chunk drops exactly the records sanitize() would.
+                lsm::trace_bin_reader reader(path, iopts, &srep);
+                if (iopts.on_error != lsm::on_error_policy::strict &&
+                    !srep.clean()) {
+                    std::cerr << "ingest: " << srep.summary() << "\n";
+                }
+                const lsm::seconds_t window = reader.window_length();
+                lsm::characterize::record_source source =
+                    [&](std::vector<lsm::log_record>& recs,
+                        std::size_t max) {
+                        std::size_t got;
+                        do {
+                            got = reader.read_chunk(recs, max);
+                            std::erase_if(
+                                recs, [&](const lsm::log_record& r) {
+                                    return r.start < 0 || r.duration < 0 ||
+                                           (window > 0 &&
+                                            (r.start >= window ||
+                                             r.end() > window));
+                                });
+                        } while (got > 0 && recs.empty());
+                        return recs.size();
+                    };
+                lsm::characterize::sessionize_spill(
+                    source, sopts, pool,
+                    [&](const lsm::characterize::session& s) {
+                        lsm::characterize::write_session_csv_row(out, s);
+                        ++emitted;
+                    });
+            } else {
+                lsm::trace str = lsm::read_trace_auto_file(
+                    path, &pool, metrics, iopts, &srep);
+                if (iopts.on_error != lsm::on_error_policy::strict &&
+                    !srep.clean()) {
+                    std::cerr << "ingest: " << srep.summary() << "\n";
+                }
+                lsm::sanitize(str);
+                const auto sessions =
+                    max_resident > 0
+                        ? lsm::characterize::build_sessions_spill(
+                              str, sopts, pool)
+                        : lsm::characterize::build_sessions(
+                              str, timeout, pool, metrics);
+                for (const auto& s : sessions.sessions) {
+                    lsm::characterize::write_session_csv_row(out, s);
+                }
+                emitted = sessions.sessions.size();
+            }
+            out.flush();
+            if (!out) {
+                std::cerr << "write failed: " << sessions_out << "\n";
+                return 1;
+            }
+            std::cerr << "sessions written to " << sessions_out << " ("
+                      << emitted << " sessions)\n";
+        } catch (const std::exception& e) {
+            std::cerr << "sessionization failed: " << e.what() << "\n";
+            return 1;
+        }
+        dump_metrics();
+        return 0;
+    }
+
     lsm::trace tr;
     lsm::ingest_report ingest_rep;
     const std::string arg = argv[1];
@@ -229,12 +381,20 @@ int main(int argc, char** argv) {
         lsm::characterize::hierarchical_config hcfg;
         hcfg.session_timeout = timeout;
         hcfg.threads = threads;
+        hcfg.max_resident_records = max_resident;
+        hcfg.spill_dir = spill_dir;
         hcfg.metrics = metrics;
         try {
             const auto rep =
                 lsm::characterize::characterize_hierarchically(tr, hcfg);
             lsm::characterize::write_report_json(rep, std::cout);
             std::cout << "\n";
+            if (!sessions_out.empty()) {
+                lsm::characterize::write_sessions_csv_file(rep.sessions,
+                                                           sessions_out);
+                std::cerr << "sessions written to " << sessions_out
+                          << "\n";
+            }
         } catch (const std::exception& e) {
             std::cerr << "characterization failed: " << e.what() << "\n";
             return 1;
@@ -258,8 +418,22 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    const auto sessions =
-        lsm::characterize::build_sessions(tr, timeout, pool, metrics);
+    lsm::characterize::session_set sessions;
+    if (max_resident > 0) {
+        lsm::characterize::spill_options sopts;
+        sopts.timeout = timeout;
+        sopts.max_resident_records = max_resident;
+        sopts.spill_dir = spill_dir;
+        sopts.metrics = metrics;
+        sessions = lsm::characterize::build_sessions_spill(tr, sopts, pool);
+    } else {
+        sessions = lsm::characterize::build_sessions(tr, timeout, pool,
+                                                     metrics);
+    }
+    if (!sessions_out.empty()) {
+        lsm::characterize::write_sessions_csv_file(sessions, sessions_out);
+        std::cerr << "sessions written to " << sessions_out << "\n";
+    }
     const auto cl = lsm::characterize::analyze_client_layer(tr, sessions);
     const auto sl = lsm::characterize::analyze_session_layer(sessions);
     const auto tl = lsm::characterize::analyze_transfer_layer(tr);

@@ -2,8 +2,8 @@
 // bytes identify CSV vs binary — no input flag needed) and rewrites it
 // in the requested one.
 //
-//   $ ./trace_convert <in> <out> [--format csv|bin] [--threads N]
-//                     [--metrics-out m.json]
+//   $ ./trace_convert <in> <out> [--format csv|bin] [--compress]
+//                     [--threads N] [--metrics-out m.json]
 //                     [--on-error strict|skip|quarantine] [--max-errors N]
 //                     [--quarantine-out q.txt]
 //
@@ -14,7 +14,9 @@
 // --metrics-out dumps read/convert/write spans and record counters.
 // Under --on-error skip/quarantine a damaged input converts its
 // recoverable records instead of failing; --quarantine-out retains the
-// rejected raw bytes (and implies the quarantine policy).
+// rejected raw bytes (and implies the quarantine policy). --compress
+// writes the varint-coded lsm-trace-bin-v2 layout instead of v1 (binary
+// output only; readers sniff the version, so no decode flag exists).
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -29,8 +31,8 @@
 int main(int argc, char** argv) {
     if (argc < 3) {
         std::cerr << "usage: " << argv[0]
-                  << " <in> <out> [--format csv|bin] [--threads N]"
-                  << " [--metrics-out m.json]"
+                  << " <in> <out> [--format csv|bin] [--compress]"
+                  << " [--threads N] [--metrics-out m.json]"
                   << " [--on-error strict|skip|quarantine]"
                   << " [--max-errors N] [--quarantine-out q.txt]\n";
         return 1;
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
     const std::string in_path = argv[1];
     const std::string out_path = argv[2];
     lsm::trace_format format = lsm::trace_format::bin;
+    lsm::trace_bin_write_options wopts;
     unsigned threads = 0;  // 0 = hardware concurrency
     std::string metrics_out;
     std::string quarantine_out;
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
                 std::cerr << e.what() << "\n";
                 return 1;
             }
+        } else if (flag == "--compress") {
+            wopts.compress = true;
         } else if (flag == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (flag == "--metrics-out" && i + 1 < argc) {
@@ -77,6 +82,10 @@ int main(int argc, char** argv) {
     if (!quarantine_out.empty() && !on_error_set) {
         iopts.on_error = lsm::on_error_policy::quarantine;
     }
+    if (wopts.compress && format != lsm::trace_format::bin) {
+        std::cerr << "--compress requires --format bin\n";
+        return 1;
+    }
 
     lsm::obs::registry reg;
     lsm::obs::registry* metrics = metrics_out.empty() ? nullptr : &reg;
@@ -96,7 +105,7 @@ int main(int argc, char** argv) {
         }
         {
             lsm::obs::scoped_timer t_write(metrics, "write");
-            lsm::write_trace_file(tr, out_path, format);
+            lsm::write_trace_file(tr, out_path, format, wopts);
         }
         lsm::obs::add_counter(metrics, "convert/records", tr.size());
         std::cout << "Wrote " << tr.size() << " records to " << out_path

@@ -1,5 +1,6 @@
 #include "characterize/hierarchical.h"
 
+#include "characterize/session_spill.h"
 #include "core/contracts.h"
 #include "core/parallel.h"
 #include "obs/metrics.h"
@@ -35,7 +36,17 @@ hierarchical_report characterize_hierarchically(
         obs::scoped_timer t_sum(metrics, "summary");
         rep.summary = summarize(t, pool);
     }
-    rep.sessions = build_sessions(t, cfg.session_timeout, pool, metrics);
+    if (cfg.max_resident_records > 0) {
+        spill_options sopts;
+        sopts.timeout = cfg.session_timeout;
+        sopts.max_resident_records = cfg.max_resident_records;
+        sopts.spill_dir = cfg.spill_dir;
+        sopts.metrics = metrics;
+        rep.sessions = build_sessions_spill(t, sopts, pool);
+    } else {
+        rep.sessions = build_sessions(t, cfg.session_timeout, pool,
+                                      metrics);
+    }
     // The three layer analyses only read `t` and the finished session set,
     // so they run concurrently; each one is internally sequential, which
     // keeps its floating-point reductions bit-identical for any pool size.

@@ -42,6 +42,15 @@ struct hierarchical_config {
     /// layer analyses run concurrently. 0 = hardware_concurrency. The
     /// report is identical for every value.
     unsigned threads = 0;
+    /// Out-of-core budget: when > 0, sessionization runs through the
+    /// spill-and-merge pipeline (characterize/session_spill.h) holding
+    /// at most this many records of sessionizer working set at once.
+    /// 0 keeps the in-memory sessionizer. The session set is identical
+    /// for every value.
+    std::size_t max_resident_records = 0;
+    /// Directory for spill run files (empty = system temp directory);
+    /// only consulted when max_resident_records > 0.
+    std::string spill_dir;
     /// Optional metrics sink (`characterize/...` counters, histograms,
     /// and phase spans). Default-off; the report is identical with or
     /// without it (see DESIGN.md, "Observability").

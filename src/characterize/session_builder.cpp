@@ -1,9 +1,13 @@
 #include "characterize/session_builder.h"
 
 #include <algorithm>
+#include <fstream>
 #include <iterator>
 #include <numeric>
+#include <ostream>
 #include <tuple>
+
+#include "core/trace_io.h"
 
 #include "core/contracts.h"
 #include "core/radix_sort.h"
@@ -267,6 +271,50 @@ session_set build_sessions(const trace& t, seconds_t timeout,
     obs::add_counter(metrics, "characterize/sessionize/sessions_built",
                      out.sessions.size());
     return out;
+}
+
+namespace {
+
+/// Joins a numeric list with ';' — the in-row list separator of the
+/// session CSV (',' separates columns).
+template <typename T>
+void write_joined(std::ostream& out, const std::vector<T>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) out << ';';
+        out << v[i];
+    }
+}
+
+}  // namespace
+
+void write_sessions_csv_header(std::ostream& out, seconds_t timeout) {
+    out << "lsm-sessions-v1,timeout=" << timeout << '\n'
+        << "client,start,end,num_transfers,transfer_starts,"
+           "transfer_ends,transfer_objects\n";
+}
+
+void write_session_csv_row(std::ostream& out, const session& s) {
+    out << s.client << ',' << s.start << ',' << s.end << ','
+        << s.num_transfers << ',';
+    write_joined(out, s.transfer_starts);
+    out << ',';
+    write_joined(out, s.transfer_ends);
+    out << ',';
+    write_joined(out, s.transfer_objects);
+    out << '\n';
+}
+
+void write_sessions_csv(const session_set& s, std::ostream& out) {
+    write_sessions_csv_header(out, s.timeout);
+    for (const session& x : s.sessions) write_session_csv_row(out, x);
+}
+
+void write_sessions_csv_file(const session_set& s,
+                             const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw trace_io_error("cannot open for writing: " + path);
+    write_sessions_csv(s, out);
+    if (!out) throw trace_io_error("write failed: " + path);
 }
 
 std::uint64_t count_sessions(const trace& t, seconds_t timeout) {

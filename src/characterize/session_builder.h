@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/parallel.h"
@@ -63,6 +65,22 @@ session_set build_sessions(const trace& t, seconds_t timeout);
 session_set build_sessions(const trace& t, seconds_t timeout,
                            thread_pool& pool,
                            obs::registry* metrics = nullptr);
+
+/// Writes the two-line session CSV preamble: a `lsm-sessions-v1` magic
+/// line carrying the timeout, then the column header. The format is the
+/// session-level interchange the out-of-core pipeline emits; both the
+/// in-memory and the spill paths produce byte-identical files for the
+/// same input (the CI memory-cap gate diffs them).
+void write_sessions_csv_header(std::ostream& out, seconds_t timeout);
+
+/// Writes one session row: client, start, end, num_transfers, then the
+/// three per-transfer lists joined with ';'.
+void write_session_csv_row(std::ostream& out, const session& s);
+
+/// Whole-set convenience: header plus one row per session in set order.
+void write_sessions_csv(const session_set& s, std::ostream& out);
+void write_sessions_csv_file(const session_set& s,
+                             const std::string& path);
 
 /// Counts sessions without materializing them — used for the Fig 9 sweep
 /// of session count versus T_o.

@@ -1,0 +1,108 @@
+#include "core/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LSM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define LSM_HAVE_MMAP 0
+#endif
+
+namespace lsm {
+
+namespace {
+
+void set_error(std::string* error, const std::string& msg) {
+    if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+#if LSM_HAVE_MMAP
+
+mmap_file mmap_file::map(const std::string& path, std::string* error,
+                         std::int64_t test_truncate_to, bool* shrunk_out) {
+    mmap_file out;
+    if (shrunk_out != nullptr) *shrunk_out = false;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        set_error(error, "cannot open for mapping: " + path + " (" +
+                             std::strerror(errno) + ")");
+        return out;
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+        set_error(error, "cannot stat: " + path);
+        ::close(fd);
+        return out;
+    }
+    if (!S_ISREG(st.st_mode)) {
+        set_error(error, "not a regular file: " + path);
+        ::close(fd);
+        return out;
+    }
+    if (st.st_size <= 0) {
+        set_error(error, "empty file: " + path);
+        ::close(fd);
+        return out;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (test_truncate_to >= 0) {
+        // Test seam: shrink the file inside the stat-to-map window to
+        // reproduce the truncation race deterministically.
+        (void)::truncate(path.c_str(), test_truncate_to);
+    }
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+        set_error(error, "mmap failed: " + path + " (" +
+                             std::strerror(errno) + ")");
+        ::close(fd);
+        return out;
+    }
+    // Re-probe the descriptor: a file that shrank since the first fstat
+    // leaves the mapping's tail unbacked, and the first touch past EOF
+    // would SIGBUS. Refuse the mapping instead.
+    struct stat st2 {};
+    const bool shrunk = ::fstat(fd, &st2) != 0 ||
+                        static_cast<std::size_t>(st2.st_size) < size;
+    ::close(fd);
+    if (shrunk) {
+        ::munmap(p, size);
+        if (shrunk_out != nullptr) *shrunk_out = true;
+        set_error(error,
+                  "file shrank while mapping (concurrent truncation): " +
+                      path);
+        return out;
+    }
+    out.data_ = static_cast<const char*>(p);
+    out.size_ = size;
+    return out;
+}
+
+void mmap_file::reset() {
+    if (data_ != nullptr) {
+        ::munmap(const_cast<char*>(data_), size_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+}
+
+#else  // !LSM_HAVE_MMAP
+
+mmap_file mmap_file::map(const std::string& path, std::string* error,
+                         std::int64_t, bool* shrunk_out) {
+    if (shrunk_out != nullptr) *shrunk_out = false;
+    set_error(error, "mmap unavailable on this platform: " + path);
+    return {};
+}
+
+void mmap_file::reset() {}
+
+#endif
+
+}  // namespace lsm

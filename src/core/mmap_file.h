@@ -1,0 +1,75 @@
+// Read-only whole-file memory mapping.
+//
+// The binary trace reader wants the file bytes addressable without a
+// slurp copy: validation walks the mapped region and the zero-copy
+// trace_view serves column spans straight out of it. This wrapper owns
+// one POSIX mapping (or nothing, on platforms/files where mapping is
+// not possible — callers fall back to a read() slurp).
+//
+// TOCTOU discipline: the size is taken by fstat on the open descriptor,
+// the mapping is created with that size, and the descriptor is fstat'ed
+// AGAIN after the map. A file that shrank in between would otherwise
+// hand out a mapping whose tail faults (SIGBUS) on first touch; map()
+// detects the shrink and reports failure instead, so readers surface a
+// clean "unrecognized trace file" error rather than crashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lsm {
+
+class mmap_file {
+public:
+    mmap_file() = default;
+    ~mmap_file() { reset(); }
+
+    mmap_file(mmap_file&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0)) {}
+    mmap_file& operator=(mmap_file&& other) noexcept {
+        if (this != &other) {
+            reset();
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+    mmap_file(const mmap_file&) = delete;
+    mmap_file& operator=(const mmap_file&) = delete;
+
+    /// Maps `path` read-only. Returns an unmapped object (valid() ==
+    /// false, with `error` describing why when non-null) for anything
+    /// that cannot or should not be mapped: open failure, a non-regular
+    /// file (pipe, device), an empty file, an unsupported platform, or
+    /// a file observed to shrink between the size probe and the map
+    /// (the TOCTOU window above). Never throws; callers decide whether
+    /// fallback or failure is appropriate.
+    ///
+    /// `test_truncate_to` is a deterministic test seam: when >= 0 the
+    /// file is truncated to that many bytes after the size probe and
+    /// before the map, reproducing the shrink race in-process.
+    /// `shrunk` (when non-null) is set true only for the shrink case,
+    /// so callers can distinguish "don't map, fall back" from "the file
+    /// is being truncated under us, reject it".
+    static mmap_file map(const std::string& path,
+                         std::string* error = nullptr,
+                         std::int64_t test_truncate_to = -1,
+                         bool* shrunk = nullptr);
+
+    bool valid() const { return data_ != nullptr; }
+    const char* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    std::string_view view() const { return {data_, size_}; }
+
+private:
+    void reset();
+
+    const char* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace lsm

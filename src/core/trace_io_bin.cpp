@@ -5,11 +5,14 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "core/mmap_file.h"
 #include "core/parallel.h"
+#include "core/varint.h"
 #include "obs/metrics.h"
 
 namespace lsm {
@@ -21,38 +24,62 @@ static_assert(std::endian::native == std::endian::little,
 static_assert(sizeof(double) == 8 && sizeof(float) == 4,
               "lsm-trace-bin-v1 assumes IEEE-754 float sizes");
 
+namespace detail {
+std::int64_t mmap_test_truncate_to = -1;
+}  // namespace detail
+
 namespace {
 
 constexpr std::uint32_t k_version = 1;
+constexpr std::uint32_t k_version_v2 = 2;
 constexpr std::uint32_t k_num_columns = 11;
 constexpr std::size_t k_header_bytes = 48;
 constexpr std::size_t k_block_header_bytes = 24;
+constexpr std::size_t k_block_header_bytes_v2 = 32;
 
 /// Per-record payload bytes across all columns; used to sanity-bound the
 /// declared record count against the actual buffer size.
 constexpr std::size_t k_bytes_per_record = 8 + 4 + 4 + 2 + 2 + 8 + 8 + 8 +
                                            4 + 4 + 2;
+/// The v2 floor: the seven varint-coded columns are at least one byte
+/// per record, the four always-raw ones (country, bandwidth, loss, cpu)
+/// keep their fixed widths.
+constexpr std::size_t k_min_bytes_per_record_v2 = 7 + 2 + 8 + 4 + 4;
+
+constexpr std::uint32_t k_encoding_raw = 0;
+constexpr std::uint32_t k_encoding_varint = 1;
 
 constexpr const char* k_column_names[k_num_columns] = {
     "client", "ip",       "asn",  "country", "object", "start",
     "duration", "bandwidth", "loss", "cpu",     "status"};
 
+/// Columns the v2 writer delta+zigzag+varint codes: the integer ids and
+/// timestamps. country is two raw chars and the float columns carry
+/// incompressible mantissa noise, so they always stay raw.
+constexpr bool column_compressible(std::uint32_t col) {
+    return col == 0 || col == 1 || col == 2 || col == 4 || col == 5 ||
+           col == 6 || col == 10;
+}
+
 /// FNV-1a-64 over the payload taken as little-endian 64-bit words, the
 /// final partial word zero-padded. Word-wise rather than byte-wise so
 /// verification runs one multiply per 8 bytes — checksumming must not
 /// dominate a format whose whole point is bulk-copy decoding.
+constexpr std::uint64_t k_fnv_offset = 14695981039346656037ULL;
+constexpr std::uint64_t k_fnv_prime = 1099511628211ULL;
+
 std::uint64_t fnv1a64_words(const char* data, std::size_t n) {
-    std::uint64_t h = 14695981039346656037ULL;
+    std::uint64_t h = k_fnv_offset;
     std::size_t i = 0;
     for (; i + 8 <= n; i += 8) {
         std::uint64_t w;
         std::memcpy(&w, data + i, 8);
-        h = (h ^ w) * 1099511628211ULL;
+        h = (h ^ w) * k_fnv_prime;
     }
     if (i < n) {
         std::uint64_t w = 0;
         std::memcpy(&w, data + i, n - i);
-        h = (h ^ w) * 1099511628211ULL;
+        h = (h ^ w) * k_fnv_prime;
     }
     return h;
 }
@@ -161,6 +188,57 @@ std::uint32_t column_elem_size(std::uint32_t col) {
     throw trace_io_error("internal: unknown column id");
 }
 
+/// Delta + zigzag + varint codes a raw column payload. Elements are
+/// zero-extended to 64 bits and deltas taken mod 2^64, which roundtrips
+/// exactly for every element width after decode truncates back.
+std::string encode_varint_column(const char* raw, std::uint64_t count,
+                                 std::uint32_t elem) {
+    std::string coded;
+    coded.reserve(static_cast<std::size_t>(count) + 16);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t v = 0;
+        std::memcpy(&v, raw + i * elem, elem);
+        const std::uint64_t delta = v - prev;
+        put_varint(coded,
+                   zigzag_encode(static_cast<std::int64_t>(delta)));
+        prev = v;
+    }
+    return coded;
+}
+
+/// Decodes up to `max_count` elements of a varint-coded payload into a
+/// raw little-endian column buffer. Returns how many decoded; sets
+/// `clean` when exactly max_count elements consumed exactly [p, p+n),
+/// and `consumed` to the bytes of complete varints (where the longest
+/// decodable prefix ends).
+std::uint64_t decode_varint_column(const char* p, std::size_t n,
+                                   std::uint64_t max_count,
+                                   std::uint32_t elem, std::string& out,
+                                   bool* clean,
+                                   std::size_t* consumed_out = nullptr) {
+    out.clear();
+    out.reserve(static_cast<std::size_t>(max_count) * elem);
+    const char* cur = p;
+    const char* end = p + n;
+    std::uint64_t prev = 0;
+    std::uint64_t decoded = 0;
+    while (decoded < max_count) {
+        std::uint64_t z;
+        const std::size_t used = get_varint(cur, end, z);
+        if (used == 0) break;
+        cur += used;
+        prev += static_cast<std::uint64_t>(zigzag_decode(z));
+        out.append(reinterpret_cast<const char*>(&prev), elem);
+        ++decoded;
+    }
+    if (clean != nullptr) *clean = decoded == max_count && cur == end;
+    if (consumed_out != nullptr) {
+        *consumed_out = static_cast<std::size_t>(cur - p);
+    }
+    return decoded;
+}
+
 std::string slurp_stream(std::istream& in) {
     std::ostringstream ss;
     ss << in.rdbuf();
@@ -180,11 +258,327 @@ std::string slurp_file(const std::string& path) {
     return buf;
 }
 
+constexpr std::size_t k_no_offset = static_cast<std::size_t>(-1);
+
+/// Outcome of the shared v1/v2 header + block walk: where each column's
+/// raw payload lives (an offset into the source buffer, or an index
+/// into `owned` for decoded v2 columns), how many elements of it are
+/// usable, and the min-over-columns salvage count. The walk performs
+/// ALL validation and recovery bookkeeping; callers only consume.
+struct bin_columns {
+    std::uint32_t version = k_version;
+    std::int64_t window = 0;
+    std::uint32_t start_day = 0;
+    std::uint64_t num_records = 0;
+    std::uint64_t salvage = 0;
+    std::size_t buf_off[k_num_columns];
+    int owned_idx[k_num_columns];
+    std::uint64_t avail[k_num_columns];
+    std::vector<std::string> owned;
+
+    bin_columns() {
+        for (std::uint32_t c = 0; c < k_num_columns; ++c) {
+            buf_off[c] = k_no_offset;
+            owned_idx[c] = -1;
+            avail[c] = 0;
+        }
+    }
+
+    const char* base(std::string_view buf, std::uint32_t col) const {
+        if (owned_idx[col] >= 0) {
+            return owned[static_cast<std::size_t>(owned_idx[col])].data();
+        }
+        if (buf_off[col] == k_no_offset) return nullptr;
+        return buf.data() + buf_off[col];
+    }
+};
+
+bin_columns parse_bin_columns(std::string_view buf,
+                              const ingest_options& opts,
+                              ingest_report& rep) {
+    const bool strict = opts.on_error == on_error_policy::strict;
+    if (buf.size() < k_header_bytes) {
+        throw trace_io_error("binary trace: truncated header (" +
+                             std::to_string(buf.size()) + " bytes)");
+    }
+    if (!buffer_is_trace_bin(buf)) {
+        throw trace_io_error("binary trace: bad magic");
+    }
+    bin_columns out;
+    const bool v2 = buf.substr(0, k_trace_bin_magic_v2.size()) ==
+                    k_trace_bin_magic_v2;
+    const char* p = buf.data() + k_trace_bin_magic.size();
+    const auto version = get_scalar<std::uint32_t>(p);
+    if (version != (v2 ? k_version_v2 : k_version)) {
+        throw trace_io_error("binary trace: unsupported version " +
+                             std::to_string(version));
+    }
+    out.version = version;
+    const auto columns = get_scalar<std::uint32_t>(p + 4);
+    if (columns != k_num_columns) {
+        throw trace_io_error("binary trace: expected " +
+                             std::to_string(k_num_columns) +
+                             " columns, got " + std::to_string(columns));
+    }
+    const auto window = get_scalar<std::int64_t>(p + 8);
+    if (window < 0) {
+        throw trace_io_error("binary trace: negative window length");
+    }
+    out.window = window;
+    const auto start_day = get_scalar<std::uint32_t>(p + 16);
+    if (start_day > 6) {
+        throw trace_io_error("binary trace: bad start day " +
+                             std::to_string(start_day));
+    }
+    out.start_day = start_day;
+    const auto num_records = get_scalar<std::uint64_t>(p + 24);
+    // A record count the buffer cannot possibly hold is corruption; catch
+    // it before sizing any allocation by it.
+    const std::size_t min_bpr =
+        v2 ? k_min_bytes_per_record_v2 : k_bytes_per_record;
+    if (num_records > buf.size() / min_bpr + 1) {
+        throw trace_io_error(
+            "binary trace: record count " + std::to_string(num_records) +
+            " exceeds file capacity");
+    }
+    out.num_records = num_records;
+    const std::size_t bh_bytes =
+        v2 ? k_block_header_bytes_v2 : k_block_header_bytes;
+
+    // Walk every block header and checksum, remembering where each
+    // column's raw payload lives. Under a non-strict policy each column
+    // also gets an availability count: damage degrades the column
+    // instead of aborting the read.
+    std::size_t off = k_header_bytes;
+    bool tail_stopped = false;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        if (buf.size() - off < bh_bytes) {
+            const std::string msg = "binary trace: truncated block header "
+                                    "for column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) throw trace_io_error(msg);
+            rep.add_error(opts, -1, "truncated", msg);
+            rep.salvaged_tail = true;
+            rep.reject_bytes(opts, buf.substr(off), 0);
+            tail_stopped = true;
+            break;
+        }
+        const char* bh = buf.data() + off;
+        const auto col_id = get_scalar<std::uint32_t>(bh);
+        const auto elem_size = get_scalar<std::uint32_t>(bh + 4);
+        const auto encoding =
+            v2 ? get_scalar<std::uint32_t>(bh + 8) : k_encoding_raw;
+        const auto payload_bytes =
+            get_scalar<std::uint64_t>(bh + (v2 ? 16 : 8));
+        const auto checksum =
+            get_scalar<std::uint64_t>(bh + (v2 ? 24 : 16));
+        std::string block_err;
+        if (col_id != col) {
+            block_err = "binary trace: expected column " +
+                        std::to_string(col) + ", found " +
+                        std::to_string(col_id);
+        } else if (elem_size != column_elem_size(col)) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' has element size " + std::to_string(elem_size) +
+                        ", expected " +
+                        std::to_string(column_elem_size(col));
+        } else if (encoding > k_encoding_varint) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' has unknown encoding " +
+                        std::to_string(encoding);
+        } else if (encoding == k_encoding_varint &&
+                   !column_compressible(col)) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' unexpectedly varint-coded";
+        } else if (encoding == k_encoding_raw &&
+                   payload_bytes != num_records * elem_size) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' payload size mismatch";
+        } else if (encoding == k_encoding_varint &&
+                   payload_bytes > num_records * k_max_varint_bytes) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' varint payload implausibly large";
+        }
+        if (!block_err.empty()) {
+            // A lying block header poisons every subsequent offset; the
+            // walk cannot continue safely.
+            if (strict) throw trace_io_error(block_err);
+            rep.add_error(opts, -1, "bad_block", std::move(block_err));
+            rep.salvaged_tail = true;
+            rep.reject_bytes(opts, buf.substr(off), 0);
+            tail_stopped = true;
+            break;
+        }
+        off += bh_bytes;
+        if (buf.size() - off < payload_bytes) {
+            const std::size_t have = buf.size() - off;
+            const std::string msg = "binary trace: truncated payload for "
+                                    "column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) throw trace_io_error(msg);
+            // Keep whole trailing elements, necessarily unverified: the
+            // checksum covers the full payload we no longer have.
+            std::size_t kept_bytes = 0;
+            if (encoding == k_encoding_raw) {
+                out.avail[col] = have / elem_size;
+                out.buf_off[col] = off;
+                kept_bytes =
+                    static_cast<std::size_t>(out.avail[col]) * elem_size;
+            } else {
+                out.owned.emplace_back();
+                bool clean = false;
+                out.avail[col] = decode_varint_column(
+                    buf.data() + off, have, num_records, elem_size,
+                    out.owned.back(), &clean, &kept_bytes);
+                out.owned_idx[col] =
+                    static_cast<int>(out.owned.size()) - 1;
+            }
+            rep.add_error(opts, -1, "truncated",
+                          msg + " (have " + std::to_string(have) + " of " +
+                              std::to_string(payload_bytes) + " bytes)");
+            rep.salvaged_tail = true;
+            rep.reject_bytes(opts, buf.substr(off + kept_bytes), 0);
+            tail_stopped = true;
+            break;
+        }
+        const char* payload = buf.data() + off;
+        if (fnv1a64_words(payload,
+                          static_cast<std::size_t>(payload_bytes)) !=
+            checksum) {
+            const std::string msg = "binary trace: checksum mismatch in "
+                                    "column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) throw trace_io_error(msg);
+            rep.add_error(opts, -1, "checksum", msg);
+            rep.reject_bytes(opts,
+                             buf.substr(off, static_cast<std::size_t>(
+                                                 payload_bytes)),
+                             0);
+        } else if (encoding == k_encoding_varint) {
+            out.owned.emplace_back();
+            bool clean = false;
+            std::size_t consumed = 0;
+            const std::uint64_t decoded = decode_varint_column(
+                payload, static_cast<std::size_t>(payload_bytes),
+                num_records, elem_size, out.owned.back(), &clean,
+                &consumed);
+            out.owned_idx[col] = static_cast<int>(out.owned.size()) - 1;
+            if (clean) {
+                out.avail[col] = num_records;
+            } else {
+                // The checksum passed, so these are the bytes as
+                // written — a varint stream that does not decode to the
+                // declared count. Keep the longest decodable prefix.
+                const std::string msg =
+                    "binary trace: malformed varint stream in column '" +
+                    std::string(k_column_names[col]) + "'";
+                if (strict) throw trace_io_error(msg);
+                out.avail[col] = decoded;
+                rep.add_error(opts, -1, "varint", msg);
+                rep.reject_bytes(
+                    opts,
+                    buf.substr(off + consumed,
+                               static_cast<std::size_t>(payload_bytes) -
+                                   consumed),
+                    0);
+            }
+        } else {
+            out.buf_off[col] = off;
+            out.avail[col] = num_records;
+        }
+        off += static_cast<std::size_t>(payload_bytes);
+    }
+    if (!tail_stopped && off != buf.size()) {
+        const std::string msg = "binary trace: " +
+                                std::to_string(buf.size() - off) +
+                                " trailing bytes after last column";
+        if (strict) throw trace_io_error(msg);
+        rep.add_error(opts, -1, "trailing_bytes", msg);
+        rep.reject_bytes(opts, buf.substr(off), 0);
+    }
+
+    // The salvageable record count is bounded by the least-available
+    // column: a record missing any column cannot be reconstructed.
+    std::uint64_t salvage = num_records;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        salvage = std::min(salvage, out.avail[col]);
+    }
+    if (salvage < num_records) {
+        rep.salvaged_records += salvage;
+        rep.records_lost += num_records - salvage;
+    }
+    rep.records_recovered += salvage;
+    rep.enforce_cap(opts);
+    out.salvage = salvage;
+    return out;
+}
+
+/// What a trace_view keeps alive: the mapping or slurped buffer its
+/// raw-column spans point into, plus the decoded v2 column payloads.
+struct view_backing {
+    mmap_file map;
+    std::shared_ptr<const std::string> buffer;
+    std::vector<std::string> owned;
+};
+
+void write_trace_bin_v2(const trace& t, std::ostream& out) {
+    const auto& recs = t.records();
+    std::string header;
+    header.reserve(k_header_bytes);
+    header.append(k_trace_bin_magic_v2);
+    put_scalar<std::uint32_t>(header, k_version_v2);
+    put_scalar<std::uint32_t>(header, k_num_columns);
+    put_scalar<std::int64_t>(header, t.window_length());
+    put_scalar<std::uint32_t>(header,
+                              static_cast<std::uint32_t>(t.start_day()));
+    put_scalar<std::uint32_t>(header, 0);  // flags, reserved
+    put_scalar<std::uint64_t>(header, recs.size());
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+
+    std::string payload;
+    std::string coded;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        gather(recs, col, payload);
+        std::uint32_t encoding = k_encoding_raw;
+        const std::string* stored = &payload;
+        if (column_compressible(col)) {
+            coded = encode_varint_column(payload.data(), recs.size(),
+                                         column_elem_size(col));
+            // Deterministic fallback: store raw whenever coding would
+            // not shrink the column, so pathological inputs never pay a
+            // decode for negative compression.
+            if (coded.size() < payload.size()) {
+                encoding = k_encoding_varint;
+                stored = &coded;
+            }
+        }
+        std::string block;
+        block.reserve(k_block_header_bytes_v2);
+        put_scalar<std::uint32_t>(block, col);
+        put_scalar<std::uint32_t>(block, column_elem_size(col));
+        put_scalar<std::uint32_t>(block, encoding);
+        put_scalar<std::uint32_t>(block, 0);  // reserved
+        put_scalar<std::uint64_t>(block, stored->size());
+        put_scalar<std::uint64_t>(
+            block, fnv1a64_words(stored->data(), stored->size()));
+        out.write(block.data(), static_cast<std::streamsize>(block.size()));
+        out.write(stored->data(),
+                  static_cast<std::streamsize>(stored->size()));
+    }
+}
+
 }  // namespace
 
 bool buffer_is_trace_bin(std::string_view prefix) {
-    return prefix.size() >= k_trace_bin_magic.size() &&
-           prefix.substr(0, k_trace_bin_magic.size()) == k_trace_bin_magic;
+    if (prefix.size() < k_trace_bin_magic.size()) return false;
+    const std::string_view head = prefix.substr(0, k_trace_bin_magic.size());
+    return head == k_trace_bin_magic || head == k_trace_bin_magic_v2;
 }
 
 void write_trace_bin(const trace& t, std::ostream& out) {
@@ -218,10 +612,24 @@ void write_trace_bin(const trace& t, std::ostream& out) {
     }
 }
 
+void write_trace_bin(const trace& t, std::ostream& out,
+                     const trace_bin_write_options& wopts) {
+    if (wopts.compress) {
+        write_trace_bin_v2(t, out);
+    } else {
+        write_trace_bin(t, out);
+    }
+}
+
 void write_trace_bin_file(const trace& t, const std::string& path) {
+    write_trace_bin_file(t, path, trace_bin_write_options{});
+}
+
+void write_trace_bin_file(const trace& t, const std::string& path,
+                          const trace_bin_write_options& wopts) {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw trace_io_error("cannot open for writing: " + path);
-    write_trace_bin(t, out);
+    write_trace_bin(t, out, wopts);
     if (!out) throw trace_io_error("write failed: " + path);
 }
 
@@ -234,181 +642,38 @@ trace read_trace_bin_buffer(std::string_view buf,
                             ingest_report* report) {
     ingest_report local;
     ingest_report& rep = report != nullptr ? *report : local;
-    const bool strict = opts.on_error == on_error_policy::strict;
-    if (buf.size() < k_header_bytes) {
-        throw trace_io_error("binary trace: truncated header (" +
-                             std::to_string(buf.size()) + " bytes)");
-    }
-    if (!buffer_is_trace_bin(buf)) {
-        throw trace_io_error("binary trace: bad magic");
-    }
-    const char* p = buf.data() + k_trace_bin_magic.size();
-    const auto version = get_scalar<std::uint32_t>(p);
-    if (version != k_version) {
-        throw trace_io_error("binary trace: unsupported version " +
-                             std::to_string(version));
-    }
-    const auto columns = get_scalar<std::uint32_t>(p + 4);
-    if (columns != k_num_columns) {
-        throw trace_io_error("binary trace: expected " +
-                             std::to_string(k_num_columns) +
-                             " columns, got " + std::to_string(columns));
-    }
-    const auto window = get_scalar<std::int64_t>(p + 8);
-    if (window < 0) {
-        throw trace_io_error("binary trace: negative window length");
-    }
-    const auto start_day = get_scalar<std::uint32_t>(p + 16);
-    if (start_day > 6) {
-        throw trace_io_error("binary trace: bad start day " +
-                             std::to_string(start_day));
-    }
-    const auto num_records = get_scalar<std::uint64_t>(p + 24);
-    // A record count the buffer cannot possibly hold is corruption; catch
-    // it before sizing any allocation by it.
-    if (num_records > buf.size() / k_bytes_per_record + 1) {
-        throw trace_io_error(
-            "binary trace: record count " + std::to_string(num_records) +
-            " exceeds file capacity");
-    }
+    const bin_columns cols = parse_bin_columns(buf, opts, rep);
 
     trace t;
-    t.set_window_length(window);
-    t.set_start_day(static_cast<weekday>(start_day));
+    t.set_window_length(cols.window);
+    t.set_start_day(static_cast<weekday>(cols.start_day));
     auto& recs = t.records();
+    recs.resize(static_cast<std::size_t>(cols.salvage));
+    if (recs.empty()) return t;
 
-    // Phase 1: validate every block header and checksum, remembering the
-    // payload base of each column. Under a non-strict policy each column
-    // also gets an availability count: damage degrades the column instead
-    // of aborting the read.
-    const char* col_base[k_num_columns] = {};
-    std::uint64_t col_avail[k_num_columns] = {};
-    std::size_t off = k_header_bytes;
-    bool tail_stopped = false;
+    const char* base[k_num_columns];
     for (std::uint32_t col = 0; col < k_num_columns; ++col) {
-        if (buf.size() - off < k_block_header_bytes) {
-            const std::string msg = "binary trace: truncated block header "
-                                    "for column '" +
-                                    std::string(k_column_names[col]) + "'";
-            if (strict) throw trace_io_error(msg);
-            rep.add_error(opts, -1, "truncated", msg);
-            rep.salvaged_tail = true;
-            rep.reject_bytes(opts, buf.substr(off), 0);
-            tail_stopped = true;
-            break;
-        }
-        const char* bh = buf.data() + off;
-        const auto col_id = get_scalar<std::uint32_t>(bh);
-        const auto elem_size = get_scalar<std::uint32_t>(bh + 4);
-        const auto payload_bytes = get_scalar<std::uint64_t>(bh + 8);
-        const auto checksum = get_scalar<std::uint64_t>(bh + 16);
-        std::string block_err;
-        if (col_id != col) {
-            block_err = "binary trace: expected column " +
-                        std::to_string(col) + ", found " +
-                        std::to_string(col_id);
-        } else if (elem_size != column_elem_size(col)) {
-            block_err = "binary trace: column '" +
-                        std::string(k_column_names[col]) +
-                        "' has element size " + std::to_string(elem_size) +
-                        ", expected " +
-                        std::to_string(column_elem_size(col));
-        } else if (payload_bytes != num_records * elem_size) {
-            block_err = "binary trace: column '" +
-                        std::string(k_column_names[col]) +
-                        "' payload size mismatch";
-        }
-        if (!block_err.empty()) {
-            // A lying block header poisons every subsequent offset; the
-            // walk cannot continue safely.
-            if (strict) throw trace_io_error(block_err);
-            rep.add_error(opts, -1, "bad_block", std::move(block_err));
-            rep.salvaged_tail = true;
-            rep.reject_bytes(opts, buf.substr(off), 0);
-            tail_stopped = true;
-            break;
-        }
-        off += k_block_header_bytes;
-        if (buf.size() - off < payload_bytes) {
-            const std::size_t have = buf.size() - off;
-            const std::string msg = "binary trace: truncated payload for "
-                                    "column '" +
-                                    std::string(k_column_names[col]) + "'";
-            if (strict) throw trace_io_error(msg);
-            // Keep whole trailing elements, necessarily unverified: the
-            // checksum covers the full payload we no longer have.
-            col_avail[col] = have / elem_size;
-            col_base[col] = buf.data() + off;
-            rep.add_error(opts, -1, "truncated",
-                          msg + " (have " + std::to_string(have) + " of " +
-                              std::to_string(payload_bytes) + " bytes)");
-            rep.salvaged_tail = true;
-            rep.reject_bytes(
-                opts, buf.substr(off + col_avail[col] * elem_size), 0);
-            tail_stopped = true;
-            break;
-        }
-        const char* payload = buf.data() + off;
-        if (fnv1a64_words(payload,
-                          static_cast<std::size_t>(payload_bytes)) !=
-            checksum) {
-            const std::string msg = "binary trace: checksum mismatch in "
-                                    "column '" +
-                                    std::string(k_column_names[col]) + "'";
-            if (strict) throw trace_io_error(msg);
-            rep.add_error(opts, -1, "checksum", msg);
-            rep.reject_bytes(opts,
-                             buf.substr(off, static_cast<std::size_t>(
-                                                 payload_bytes)),
-                             0);
-        } else {
-            col_base[col] = payload;
-            col_avail[col] = num_records;
-        }
-        off += static_cast<std::size_t>(payload_bytes);
+        base[col] = cols.base(buf, col);
     }
-    if (!tail_stopped && off != buf.size()) {
-        const std::string msg = "binary trace: " +
-                                std::to_string(buf.size() - off) +
-                                " trailing bytes after last column";
-        if (strict) throw trace_io_error(msg);
-        rep.add_error(opts, -1, "trailing_bytes", msg);
-        rep.reject_bytes(opts, buf.substr(off), 0);
-    }
-
-    // The salvageable record count is bounded by the least-available
-    // column: a record missing any column cannot be reconstructed.
-    std::uint64_t salvage = num_records;
-    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
-        salvage = std::min(salvage, col_avail[col]);
-    }
-    if (salvage < num_records) {
-        rep.salvaged_records += salvage;
-        rep.records_lost += num_records - salvage;
-    }
-    rep.records_recovered += salvage;
-    rep.enforce_cap(opts);
-    recs.resize(static_cast<std::size_t>(salvage));
-
-    // Phase 2: fill records record-major — eleven sequential column
-    // cursors feeding one sequential write stream, one pass over the
-    // record array instead of eleven strided ones.
+    // Fill records record-major — eleven sequential column cursors
+    // feeding one sequential write stream, one pass over the record
+    // array instead of eleven strided ones.
     for (std::size_t i = 0; i < recs.size(); ++i) {
         log_record& r = recs[i];
-        r.client = get_scalar<std::uint64_t>(col_base[0] + i * 8);
-        r.ip = get_scalar<std::uint32_t>(col_base[1] + i * 4);
-        r.asn = get_scalar<std::uint32_t>(col_base[2] + i * 4);
-        const auto cc = get_scalar<country_bytes>(col_base[3] + i * 2);
+        r.client = get_scalar<std::uint64_t>(base[0] + i * 8);
+        r.ip = get_scalar<std::uint32_t>(base[1] + i * 4);
+        r.asn = get_scalar<std::uint32_t>(base[2] + i * 4);
+        const auto cc = get_scalar<country_bytes>(base[3] + i * 2);
         r.country.c[0] = cc.c[0];
         r.country.c[1] = cc.c[1];
-        r.object = get_scalar<std::uint16_t>(col_base[4] + i * 2);
-        r.start = get_scalar<std::int64_t>(col_base[5] + i * 8);
-        r.duration = get_scalar<std::int64_t>(col_base[6] + i * 8);
-        r.avg_bandwidth_bps = get_scalar<double>(col_base[7] + i * 8);
-        r.packet_loss = get_scalar<float>(col_base[8] + i * 4);
-        r.server_cpu = get_scalar<float>(col_base[9] + i * 4);
+        r.object = get_scalar<std::uint16_t>(base[4] + i * 2);
+        r.start = get_scalar<std::int64_t>(base[5] + i * 8);
+        r.duration = get_scalar<std::int64_t>(base[6] + i * 8);
+        r.avg_bandwidth_bps = get_scalar<double>(base[7] + i * 8);
+        r.packet_loss = get_scalar<float>(base[8] + i * 4);
+        r.server_cpu = get_scalar<float>(base[9] + i * 4);
         r.status = static_cast<transfer_status>(
-            get_scalar<std::uint16_t>(col_base[10] + i * 2));
+            get_scalar<std::uint16_t>(base[10] + i * 2));
     }
     return t;
 }
@@ -421,6 +686,623 @@ trace read_trace_bin_file(const std::string& path) {
     return read_trace_bin_buffer(slurp_file(path));
 }
 
+log_record trace_view::record(std::size_t i) const {
+    log_record r;
+    r.client = client(i);
+    r.ip = ip(i);
+    r.asn = asn(i);
+    r.country = country(i);
+    r.object = object(i);
+    r.start = start(i);
+    r.duration = duration(i);
+    r.avg_bandwidth_bps = avg_bandwidth_bps(i);
+    r.packet_loss = packet_loss(i);
+    r.server_cpu = server_cpu(i);
+    r.status = status(i);
+    return r;
+}
+
+trace_view open_trace_bin_view(std::shared_ptr<const std::string> buffer) {
+    if (buffer == nullptr) {
+        throw trace_io_error("binary trace: null view buffer");
+    }
+    ingest_report rep;
+    bin_columns cols = parse_bin_columns(*buffer, ingest_options{}, rep);
+    auto backing = std::make_shared<view_backing>();
+    backing->buffer = std::move(buffer);
+    backing->owned = std::move(cols.owned);
+    const std::string_view buf = *backing->buffer;
+    trace_view v;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        v.col_[col] = cols.owned_idx[col] >= 0
+                          ? backing->owned[static_cast<std::size_t>(
+                                               cols.owned_idx[col])]
+                                .data()
+                          : buf.data() + cols.buf_off[col];
+    }
+    v.n_ = cols.num_records;
+    v.window_ = cols.window;
+    v.day_ = static_cast<weekday>(cols.start_day);
+    v.backing_ = std::move(backing);
+    return v;
+}
+
+trace_view open_trace_bin_view_file(const std::string& path) {
+    std::string map_error;
+    bool shrunk = false;
+    const std::int64_t seam = detail::mmap_test_truncate_to;
+    detail::mmap_test_truncate_to = -1;
+    mmap_file m = mmap_file::map(path, &map_error, seam, &shrunk);
+    if (shrunk) {
+        // The file is being truncated under us; touching the mapping's
+        // tail would fault, and re-reading would race again. Refuse.
+        throw trace_io_error("empty or unrecognized trace file: " + path +
+                             " (file shrank while mapping)");
+    }
+    if (!m.valid()) {
+        try {
+            return open_trace_bin_view(
+                std::make_shared<const std::string>(slurp_file(path)));
+        } catch (const trace_io_error& e) {
+            throw trace_io_error(path + ": " + e.what());
+        }
+    }
+    try {
+        auto backing = std::make_shared<view_backing>();
+        backing->map = std::move(m);
+        const std::string_view buf = backing->map.view();
+        ingest_report rep;
+        bin_columns cols = parse_bin_columns(buf, ingest_options{}, rep);
+        backing->owned = std::move(cols.owned);
+        trace_view v;
+        for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+            v.col_[col] = cols.owned_idx[col] >= 0
+                              ? backing->owned[static_cast<std::size_t>(
+                                                   cols.owned_idx[col])]
+                                    .data()
+                              : buf.data() + cols.buf_off[col];
+        }
+        v.n_ = cols.num_records;
+        v.window_ = cols.window;
+        v.day_ = static_cast<weekday>(cols.start_day);
+        v.backing_ = std::move(backing);
+        return v;
+    } catch (const trace_io_error& e) {
+        throw trace_io_error(path + ": " + e.what());
+    }
+}
+
+trace materialize(const trace_view& v) {
+    trace t;
+    t.set_window_length(v.window_length());
+    t.set_start_day(v.start_day());
+    auto& recs = t.records();
+    recs.reserve(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        recs.push_back(v.record(i));
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// trace_bin_reader: streaming, bounded-memory
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// I/O granule for the streaming validation pass; a multiple of 8 so
+/// word-wise FNV folding never straddles a refill except at the final
+/// partial word.
+constexpr std::size_t k_scan_buf_bytes = std::size_t{1} << 20;
+/// How much of a rejected region the streaming reader retains under the
+/// quarantine policy. The full size is always accounted; retention is
+/// capped so recovery cannot silently re-materialize an out-of-core
+/// input.
+constexpr std::size_t k_stream_quarantine_cap = std::size_t{1} << 20;
+
+struct payload_scan {
+    std::uint64_t checksum = k_fnv_offset;
+    std::uint64_t vcount = 0;      ///< complete varints seen
+    std::uint64_t vconsumed = 0;   ///< bytes of complete varints
+};
+
+/// Streams [off, off+n) of `in`, folding the FNV checksum and (when
+/// `count_varints`) counting how many whole varints the region decodes
+/// to. Throws trace_io_error on I/O failure.
+payload_scan scan_payload(std::ifstream& in, const std::string& path,
+                          std::uint64_t off, std::uint64_t n,
+                          bool count_varints) {
+    payload_scan s;
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(off));
+    std::vector<char> buf(std::min<std::uint64_t>(n, k_scan_buf_bytes));
+    std::string carry;
+    bool vdone = !count_varints;
+    std::uint64_t left = n;
+    while (left > 0) {
+        const std::size_t want =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                left, k_scan_buf_bytes));
+        in.read(buf.data(), static_cast<std::streamsize>(want));
+        if (in.gcount() != static_cast<std::streamsize>(want)) {
+            throw trace_io_error("read failed: " + path);
+        }
+        std::size_t i = 0;
+        for (; i + 8 <= want; i += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, buf.data() + i, 8);
+            s.checksum = (s.checksum ^ w) * k_fnv_prime;
+        }
+        if (i < want) {
+            std::uint64_t w = 0;
+            std::memcpy(&w, buf.data() + i, want - i);
+            s.checksum = (s.checksum ^ w) * k_fnv_prime;
+        }
+        left -= want;
+        if (!vdone) {
+            const bool final_chunk = left == 0;
+            carry.append(buf.data(), want);
+            const char* p = carry.data();
+            const char* end = p + carry.size();
+            while (p < end) {
+                std::uint64_t v;
+                const std::size_t used = get_varint(p, end, v);
+                if (used == 0) {
+                    if (static_cast<std::size_t>(end - p) >=
+                            k_max_varint_bytes ||
+                        final_chunk) {
+                        // Overlong sequence (or a partial trailing one):
+                        // the decodable prefix ends here for good.
+                        vdone = true;
+                    }
+                    break;
+                }
+                ++s.vcount;
+                s.vconsumed += used;
+                p += used;
+            }
+            carry.erase(0, carry.size() -
+                               static_cast<std::size_t>(end - p));
+        }
+    }
+    return s;
+}
+
+/// Accounts a rejected [off, off+n) region of the file in the report,
+/// retaining at most k_stream_quarantine_cap bytes of it under the
+/// quarantine policy (the full size is always counted).
+void reject_region(std::ifstream& in, const std::string& path,
+                   ingest_report& rep, const ingest_options& opts,
+                   std::uint64_t off, std::uint64_t n) {
+    if (n == 0) return;
+    rep.bytes_rejected += n;
+    if (opts.on_error != on_error_policy::quarantine) return;
+    const std::size_t keep = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, k_stream_quarantine_cap));
+    std::string bytes(keep, '\0');
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(off));
+    in.read(bytes.data(), static_cast<std::streamsize>(keep));
+    if (in.gcount() != static_cast<std::streamsize>(keep)) {
+        throw trace_io_error("read failed: " + path);
+    }
+    rep.quarantine.append(bytes);
+}
+
+}  // namespace
+
+struct trace_bin_reader::impl {
+    struct column {
+        std::uint32_t elem = 0;
+        std::uint32_t encoding = k_encoding_raw;
+        std::uint64_t payload_off = 0;
+        std::uint64_t avail_bytes = 0;  ///< bytes present in the file
+        std::uint64_t avail = 0;        ///< decodable elements
+        // Sequential varint cursor (encoding 1 only).
+        std::uint64_t cur_off = 0;
+        std::uint64_t prev = 0;
+        std::string buf;
+        std::size_t buf_pos = 0;
+    };
+
+    std::ifstream in;
+    std::string path;
+    std::int64_t window = 0;
+    std::uint32_t start_day = 0;
+    std::uint64_t num_records = 0;  ///< declared
+    std::uint64_t salvage = 0;      ///< usable
+    std::uint64_t pos = 0;          ///< records yielded so far
+    column cols[k_num_columns];
+    std::string scratch;
+
+    void refill_varint(column& c) {
+        const std::uint64_t data_end = c.payload_off + c.avail_bytes;
+        c.buf.erase(0, c.buf_pos);
+        c.buf_pos = 0;
+        const std::uint64_t want = std::min<std::uint64_t>(
+            data_end - c.cur_off, std::size_t{64} << 10);
+        if (want == 0) return;
+        const std::size_t old = c.buf.size();
+        c.buf.resize(old + static_cast<std::size_t>(want));
+        in.clear();
+        in.seekg(static_cast<std::streamoff>(c.cur_off));
+        in.read(c.buf.data() + old, static_cast<std::streamsize>(want));
+        if (in.gcount() != static_cast<std::streamsize>(want)) {
+            throw trace_io_error("read failed: " + path);
+        }
+        c.cur_off += want;
+    }
+
+    /// Decodes the next `k` elements of varint column `c` and assigns
+    /// them into `out[0..k)` via `set`.
+    template <typename Set>
+    void fill_varint(column& c, std::vector<log_record>& out,
+                     std::size_t k, Set set) {
+        for (std::size_t i = 0; i < k; ++i) {
+            if (c.buf.size() - c.buf_pos < k_max_varint_bytes) {
+                refill_varint(c);
+            }
+            std::uint64_t z;
+            const std::size_t used =
+                get_varint(c.buf.data() + c.buf_pos,
+                           c.buf.data() + c.buf.size(), z);
+            if (used == 0) {
+                // The constructor validated this prefix; reaching here
+                // means the file changed underneath us.
+                throw trace_io_error(
+                    path + ": binary trace: varint stream desync");
+            }
+            c.buf_pos += used;
+            c.prev += static_cast<std::uint64_t>(zigzag_decode(z));
+            set(out[i], c.prev);
+        }
+    }
+
+    /// Reads `k` raw elements of column `col` starting at record `first`
+    /// and assigns them into `out[0..k)`.
+    void fill_raw(std::uint32_t col, std::uint64_t first,
+                  std::vector<log_record>& out, std::size_t k) {
+        column& c = cols[col];
+        scratch.resize(k * c.elem);
+        in.clear();
+        in.seekg(static_cast<std::streamoff>(c.payload_off +
+                                             first * c.elem));
+        in.read(scratch.data(),
+                static_cast<std::streamsize>(scratch.size()));
+        if (in.gcount() != static_cast<std::streamsize>(scratch.size())) {
+            throw trace_io_error("read failed: " + path);
+        }
+        const char* p = scratch.data();
+        switch (col) {
+            case 0:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].client = get_scalar<std::uint64_t>(p + i * 8);
+                return;
+            case 1:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].ip = get_scalar<std::uint32_t>(p + i * 4);
+                return;
+            case 2:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].asn = get_scalar<std::uint32_t>(p + i * 4);
+                return;
+            case 3:
+                for (std::size_t i = 0; i < k; ++i) {
+                    const auto cc = get_scalar<country_bytes>(p + i * 2);
+                    out[i].country.c[0] = cc.c[0];
+                    out[i].country.c[1] = cc.c[1];
+                }
+                return;
+            case 4:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].object = get_scalar<std::uint16_t>(p + i * 2);
+                return;
+            case 5:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].start = get_scalar<std::int64_t>(p + i * 8);
+                return;
+            case 6:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].duration = get_scalar<std::int64_t>(p + i * 8);
+                return;
+            case 7:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].avg_bandwidth_bps =
+                        get_scalar<double>(p + i * 8);
+                return;
+            case 8:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].packet_loss = get_scalar<float>(p + i * 4);
+                return;
+            case 9:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].server_cpu = get_scalar<float>(p + i * 4);
+                return;
+            case 10:
+                for (std::size_t i = 0; i < k; ++i)
+                    out[i].status = static_cast<transfer_status>(
+                        get_scalar<std::uint16_t>(p + i * 2));
+                return;
+            default:
+                return;
+        }
+    }
+
+    /// Assigns a decoded integer column value into its record field.
+    static void set_value(std::uint32_t col, log_record& r,
+                          std::uint64_t v) {
+        switch (col) {
+            case 0: r.client = v; return;
+            case 1: r.ip = static_cast<std::uint32_t>(v); return;
+            case 2: r.asn = static_cast<std::uint32_t>(v); return;
+            case 4: r.object = static_cast<std::uint16_t>(v); return;
+            case 5: r.start = static_cast<std::int64_t>(v); return;
+            case 6: r.duration = static_cast<std::int64_t>(v); return;
+            case 10:
+                r.status = static_cast<transfer_status>(
+                    static_cast<std::uint16_t>(v));
+                return;
+            default: return;
+        }
+    }
+};
+
+trace_bin_reader::trace_bin_reader(const std::string& path,
+                                   const ingest_options& opts,
+                                   ingest_report* report)
+    : impl_(std::make_unique<impl>()) {
+    impl& m = *impl_;
+    m.path = path;
+    ingest_report local;
+    ingest_report& rep = report != nullptr ? *report : local;
+    if (rep.file.empty()) rep.file = path;
+    const bool strict = opts.on_error == on_error_policy::strict;
+    const auto fail = [&path](const std::string& msg) {
+        throw trace_io_error(path + ": " + msg);
+    };
+
+    m.in.open(path, std::ios::binary);
+    if (!m.in) throw trace_io_error("cannot open for reading: " + path);
+    m.in.seekg(0, std::ios::end);
+    const std::streamoff end_off = m.in.tellg();
+    if (end_off < 0) throw trace_io_error("cannot determine size: " + path);
+    const auto file_size = static_cast<std::uint64_t>(end_off);
+    if (file_size < k_header_bytes) {
+        fail("binary trace: truncated header (" +
+             std::to_string(file_size) + " bytes)");
+    }
+    char header[k_header_bytes];
+    m.in.seekg(0);
+    m.in.read(header, k_header_bytes);
+    if (m.in.gcount() != static_cast<std::streamsize>(k_header_bytes)) {
+        throw trace_io_error("read failed: " + path);
+    }
+    const std::string_view magic(header, k_trace_bin_magic.size());
+    if (!buffer_is_trace_bin(magic)) fail("binary trace: bad magic");
+    const bool v2 = magic == k_trace_bin_magic_v2;
+    const char* p = header + k_trace_bin_magic.size();
+    const auto version = get_scalar<std::uint32_t>(p);
+    if (version != (v2 ? k_version_v2 : k_version)) {
+        fail("binary trace: unsupported version " +
+             std::to_string(version));
+    }
+    const auto columns = get_scalar<std::uint32_t>(p + 4);
+    if (columns != k_num_columns) {
+        fail("binary trace: expected " + std::to_string(k_num_columns) +
+             " columns, got " + std::to_string(columns));
+    }
+    m.window = get_scalar<std::int64_t>(p + 8);
+    if (m.window < 0) fail("binary trace: negative window length");
+    m.start_day = get_scalar<std::uint32_t>(p + 16);
+    if (m.start_day > 6) {
+        fail("binary trace: bad start day " + std::to_string(m.start_day));
+    }
+    m.num_records = get_scalar<std::uint64_t>(p + 24);
+    const std::size_t min_bpr =
+        v2 ? k_min_bytes_per_record_v2 : k_bytes_per_record;
+    if (m.num_records > file_size / min_bpr + 1) {
+        fail("binary trace: record count " + std::to_string(m.num_records) +
+             " exceeds file capacity");
+    }
+    const std::size_t bh_bytes =
+        v2 ? k_block_header_bytes_v2 : k_block_header_bytes;
+
+    std::uint64_t off = k_header_bytes;
+    bool tail_stopped = false;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        impl::column& c = m.cols[col];
+        if (file_size - off < bh_bytes) {
+            const std::string msg = "binary trace: truncated block header "
+                                    "for column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) fail(msg);
+            rep.add_error(opts, -1, "truncated", msg);
+            rep.salvaged_tail = true;
+            reject_region(m.in, path, rep, opts, off, file_size - off);
+            tail_stopped = true;
+            break;
+        }
+        char bh[k_block_header_bytes_v2];
+        m.in.clear();
+        m.in.seekg(static_cast<std::streamoff>(off));
+        m.in.read(bh, static_cast<std::streamsize>(bh_bytes));
+        if (m.in.gcount() != static_cast<std::streamsize>(bh_bytes)) {
+            throw trace_io_error("read failed: " + path);
+        }
+        const auto col_id = get_scalar<std::uint32_t>(bh);
+        const auto elem_size = get_scalar<std::uint32_t>(bh + 4);
+        const auto encoding =
+            v2 ? get_scalar<std::uint32_t>(bh + 8) : k_encoding_raw;
+        const auto payload_bytes =
+            get_scalar<std::uint64_t>(bh + (v2 ? 16 : 8));
+        const auto checksum =
+            get_scalar<std::uint64_t>(bh + (v2 ? 24 : 16));
+        std::string block_err;
+        if (col_id != col) {
+            block_err = "binary trace: expected column " +
+                        std::to_string(col) + ", found " +
+                        std::to_string(col_id);
+        } else if (elem_size != column_elem_size(col)) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' has element size " + std::to_string(elem_size) +
+                        ", expected " +
+                        std::to_string(column_elem_size(col));
+        } else if (encoding > k_encoding_varint) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' has unknown encoding " +
+                        std::to_string(encoding);
+        } else if (encoding == k_encoding_varint &&
+                   !column_compressible(col)) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' unexpectedly varint-coded";
+        } else if (encoding == k_encoding_raw &&
+                   payload_bytes != m.num_records * elem_size) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' payload size mismatch";
+        } else if (encoding == k_encoding_varint &&
+                   payload_bytes >
+                       m.num_records * k_max_varint_bytes) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' varint payload implausibly large";
+        }
+        if (!block_err.empty()) {
+            if (strict) fail(block_err);
+            rep.add_error(opts, -1, "bad_block", std::move(block_err));
+            rep.salvaged_tail = true;
+            reject_region(m.in, path, rep, opts, off, file_size - off);
+            tail_stopped = true;
+            break;
+        }
+        off += bh_bytes;
+        c.elem = elem_size;
+        c.encoding = encoding;
+        c.payload_off = off;
+        if (file_size - off < payload_bytes) {
+            const std::uint64_t have = file_size - off;
+            const std::string msg = "binary trace: truncated payload for "
+                                    "column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) fail(msg);
+            c.avail_bytes = have;
+            std::uint64_t kept_bytes = 0;
+            if (encoding == k_encoding_raw) {
+                c.avail = have / elem_size;
+                kept_bytes = c.avail * elem_size;
+            } else {
+                const payload_scan s =
+                    scan_payload(m.in, path, off, have, true);
+                c.avail = s.vcount;
+                kept_bytes = s.vconsumed;
+            }
+            rep.add_error(opts, -1, "truncated",
+                          msg + " (have " + std::to_string(have) + " of " +
+                              std::to_string(payload_bytes) + " bytes)");
+            rep.salvaged_tail = true;
+            reject_region(m.in, path, rep, opts, off + kept_bytes,
+                          have - kept_bytes);
+            tail_stopped = true;
+            break;
+        }
+        c.avail_bytes = payload_bytes;
+        const payload_scan s = scan_payload(
+            m.in, path, off, payload_bytes, encoding == k_encoding_varint);
+        if (s.checksum != checksum) {
+            const std::string msg = "binary trace: checksum mismatch in "
+                                    "column '" +
+                                    std::string(k_column_names[col]) + "'";
+            if (strict) fail(msg);
+            rep.add_error(opts, -1, "checksum", msg);
+            reject_region(m.in, path, rep, opts, off, payload_bytes);
+            c.avail = 0;
+        } else if (encoding == k_encoding_varint &&
+                   !(s.vcount == m.num_records &&
+                     s.vconsumed == payload_bytes)) {
+            const std::string msg =
+                "binary trace: malformed varint stream in column '" +
+                std::string(k_column_names[col]) + "'";
+            if (strict) fail(msg);
+            rep.add_error(opts, -1, "varint", msg);
+            c.avail = std::min(s.vcount, m.num_records);
+            reject_region(m.in, path, rep, opts, off + s.vconsumed,
+                          payload_bytes - s.vconsumed);
+        } else {
+            c.avail = m.num_records;
+        }
+        off += payload_bytes;
+    }
+    if (!tail_stopped && off != file_size) {
+        const std::string msg = "binary trace: " +
+                                std::to_string(file_size - off) +
+                                " trailing bytes after last column";
+        if (strict) fail(msg);
+        rep.add_error(opts, -1, "trailing_bytes", msg);
+        reject_region(m.in, path, rep, opts, off, file_size - off);
+    }
+
+    std::uint64_t salvage = m.num_records;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        salvage = std::min(salvage, m.cols[col].avail);
+    }
+    if (salvage < m.num_records) {
+        rep.salvaged_records += salvage;
+        rep.records_lost += m.num_records - salvage;
+    }
+    rep.records_recovered += salvage;
+    rep.enforce_cap(opts);
+    m.salvage = salvage;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        m.cols[col].cur_off = m.cols[col].payload_off;
+    }
+}
+
+trace_bin_reader::~trace_bin_reader() = default;
+trace_bin_reader::trace_bin_reader(trace_bin_reader&&) noexcept = default;
+trace_bin_reader& trace_bin_reader::operator=(trace_bin_reader&&) noexcept =
+    default;
+
+seconds_t trace_bin_reader::window_length() const { return impl_->window; }
+
+weekday trace_bin_reader::start_day() const {
+    return static_cast<weekday>(impl_->start_day);
+}
+
+std::uint64_t trace_bin_reader::num_records() const {
+    return impl_->salvage;
+}
+
+std::size_t trace_bin_reader::read_chunk(std::vector<log_record>& out,
+                                         std::size_t max_records) {
+    impl& m = *impl_;
+    out.clear();
+    const std::uint64_t left = m.salvage - m.pos;
+    const std::size_t k = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_records, left));
+    if (k == 0) return 0;
+    out.resize(k);
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        impl::column& c = m.cols[col];
+        if (c.encoding == k_encoding_raw) {
+            m.fill_raw(col, m.pos, out, k);
+        } else {
+            m.fill_varint(c, out, k,
+                          [col](log_record& r, std::uint64_t v) {
+                              impl::set_value(col, r, v);
+                          });
+        }
+    }
+    m.pos += k;
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// Format dispatch and the auto reader
+// ---------------------------------------------------------------------
+
 trace_format parse_trace_format(std::string_view name) {
     if (name == "csv") return trace_format::csv;
     if (name == "bin") return trace_format::bin;
@@ -430,8 +1312,14 @@ trace_format parse_trace_format(std::string_view name) {
 
 void write_trace_file(const trace& t, const std::string& path,
                       trace_format format) {
+    write_trace_file(t, path, format, trace_bin_write_options{});
+}
+
+void write_trace_file(const trace& t, const std::string& path,
+                      trace_format format,
+                      const trace_bin_write_options& wopts) {
     if (format == trace_format::bin) {
-        write_trace_bin_file(t, path);
+        write_trace_bin_file(t, path, wopts);
     } else {
         write_trace_csv_file(t, path);
     }
@@ -447,10 +1335,36 @@ trace read_trace_auto_file(const std::string& path, thread_pool* pool,
                            const ingest_options& opts,
                            ingest_report* report) {
     obs::scoped_timer t_all(metrics, "ingest");
-    std::string buf;
+    // Map the file when possible — decoding then reads straight from the
+    // page cache with no slurp copy — and fall back to the owning slurp
+    // for pipes, devices, and platforms without mmap.
+    mmap_file map;
+    std::string owned_buf;
+    std::string_view buf;
     {
-        obs::scoped_timer t_slurp(metrics, "slurp");
-        buf = slurp_file(path);
+        bool shrunk = false;
+        const std::int64_t seam = detail::mmap_test_truncate_to;
+        detail::mmap_test_truncate_to = -1;
+        std::string map_error;
+        {
+            obs::scoped_timer t_map(metrics, "map");
+            map = mmap_file::map(path, &map_error, seam, &shrunk);
+        }
+        if (map.valid()) {
+            obs::add_counter(metrics, "ingest/mmap_files");
+            buf = map.view();
+        } else if (shrunk) {
+            // A file shrinking between the size probe and the map is
+            // being truncated under us; the mapping (refused) would
+            // have faulted on its unbacked tail, and a re-read would
+            // race the truncator again. Reject it as unreadable.
+            throw trace_io_error("empty or unrecognized trace file: " +
+                                 path + " (file shrank while mapping)");
+        } else {
+            obs::scoped_timer t_slurp(metrics, "slurp");
+            owned_buf = slurp_file(path);
+            buf = owned_buf;
+        }
     }
     obs::add_counter(metrics, "ingest/bytes_read", buf.size());
     // Shorter than either format's magic: neither decoder could ever

@@ -1,25 +1,40 @@
-// Binary columnar serialization of traces: the `lsm-trace-bin-v1` format.
+// Binary columnar serialization of traces: the `lsm-trace-bin-v1` and
+// `lsm-trace-bin-v2` formats.
 //
-// The CSV format (core/trace_io.h) is the interchange format; this one is
-// the fast path for large traces — loading is a whole-file slurp plus one
-// bulk copy per column, with no per-field parsing. Layout (all integers
-// little-endian):
+// The CSV format (core/trace_io.h) is the interchange format; these are
+// the fast paths for large traces. v1 loading is a whole-file map (or
+// slurp) plus one bulk copy per column, with no per-field parsing.
+// Layout (all integers little-endian):
 //
 //   offset  size  field
-//   0       16    magic "lsm-trace-bin-v1" (no NUL)
-//   16      4     u32 version (1)
+//   0       16    magic "lsm-trace-bin-v1" or "lsm-trace-bin-v2"
+//   16      4     u32 version (1 or 2, matching the magic)
 //   20      4     u32 column count (11)
 //   24      8     i64 window_length seconds
 //   32      4     u32 start_day (weekday, 0..6)
 //   36      4     u32 flags (0, reserved)
 //   40      8     u64 record count
 //
-// followed by one block per column, in column-id order:
+// followed by one block per column, in column-id order. A v1 block is
 //
 //   u32 column_id, u32 element_size, u64 payload_bytes,
 //   u64 checksum, payload (element_size * record_count bytes)
 //
-// The checksum is FNV-1a-64 computed over the payload taken as
+// and a v2 block adds an encoding word (and keeps 8-byte alignment):
+//
+//   u32 column_id, u32 element_size, u32 encoding, u32 reserved,
+//   u64 payload_bytes (stored), u64 checksum (stored), payload
+//
+// v2 encodings: 0 = raw (identical to v1 payload) and 1 = delta +
+// zigzag + varint over the elements widened to 64 bits (see
+// core/varint.h) — timestamps and ids are nearly sorted or low-
+// cardinality, so their deltas varint-code to a fraction of the raw
+// size. The writer compresses the integer columns and falls back to
+// raw per column whenever coding would not shrink it, so decoding
+// never pays for an anti-pattern. v1 files are written and read byte-
+// identically to before; the reader negotiates by header version.
+//
+// The checksum is FNV-1a-64 computed over the stored payload taken as
 // little-endian 64-bit words (final partial word zero-padded), so
 // verification costs one multiply per 8 payload bytes.
 //
@@ -27,14 +42,30 @@
 // 4 object u16, 5 start i64, 6 duration i64, 7 bandwidth f64,
 // 8 loss f32, 9 cpu f32, 10 status u16.
 //
-// The 16-byte magic shares its "lsm-trace-" prefix with the CSV magic
+// The 16-byte magics share their "lsm-trace-" prefix with the CSV magic
 // line, so the first bytes of any trace file identify the format:
 // read_trace_auto_file() dispatches on it.
+//
+// Three consumption models, in order of decreasing laziness:
+//   * trace_view (open_trace_bin_view_file): mmap + validate, then
+//     serve column spans straight out of the mapping — zero copy for
+//     v1/raw columns; v2-coded columns decode into buffers the view
+//     owns. See DESIGN.md §11 for the lifetime rules.
+//   * trace_bin_reader: a bounded-memory sequential cursor that yields
+//     record chunks without ever materializing the file — the
+//     out-of-core sessionizer's source.
+//   * read_trace_bin_* / read_trace_auto_file: materialize a full
+//     in-memory trace (the original owning path, kept for pipes and
+//     for every consumer that wants the whole trace anyway).
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/trace.h"
 #include "core/trace_io.h"
@@ -45,17 +76,30 @@ namespace lsm {
 class thread_pool;
 
 inline constexpr std::string_view k_trace_bin_magic = "lsm-trace-bin-v1";
+inline constexpr std::string_view k_trace_bin_magic_v2 = "lsm-trace-bin-v2";
 
 /// True when `prefix` (the first bytes of a file or buffer) identifies
-/// the binary trace format. Needs at least 16 bytes to say yes.
+/// either binary trace version. Needs at least 16 bytes to say yes.
 bool buffer_is_trace_bin(std::string_view prefix);
 
-void write_trace_bin(const trace& t, std::ostream& out);
-void write_trace_bin_file(const trace& t, const std::string& path);
+struct trace_bin_write_options {
+    /// Write `lsm-trace-bin-v2` with per-column delta+zigzag+varint
+    /// compression (raw fallback per column when coding would grow it).
+    /// false writes v1, byte-identical to the historical writer.
+    bool compress = false;
+};
 
-/// Parses a whole in-memory image of a binary trace file. Throws
-/// trace_io_error on any structural problem (bad magic/version, short or
-/// oversized buffer, column mismatch, checksum failure).
+void write_trace_bin(const trace& t, std::ostream& out);
+void write_trace_bin(const trace& t, std::ostream& out,
+                     const trace_bin_write_options& wopts);
+void write_trace_bin_file(const trace& t, const std::string& path);
+void write_trace_bin_file(const trace& t, const std::string& path,
+                          const trace_bin_write_options& wopts);
+
+/// Parses a whole in-memory image of a binary trace file (either
+/// version). Throws trace_io_error on any structural problem (bad
+/// magic/version, short or oversized buffer, column mismatch, checksum
+/// failure, malformed varint stream).
 trace read_trace_bin_buffer(std::string_view buf);
 /// Recovery-aware overload. The 48-byte file header is always fatal —
 /// without it nothing can be trusted — but under a non-strict policy
@@ -64,6 +108,9 @@ trace read_trace_bin_buffer(std::string_view buf);
 ///   - a checksum-failing column contributes zero usable records
 ///     (category "checksum"); its payload is quarantined and the walk
 ///     continues, since the block header still gives the offsets;
+///   - a v2 column whose checksum passes but whose varint stream does
+///     not decode to the declared record count keeps its longest
+///     decodable prefix (category "varint");
 ///   - a truncated block header/payload ends the walk (category
 ///     "truncated", salvaged_tail set); whole trailing elements of the
 ///     partial column are kept unverified;
@@ -83,6 +130,117 @@ trace read_trace_bin_buffer(std::string_view buf,
 trace read_trace_bin(std::istream& in);
 trace read_trace_bin_file(const std::string& path);
 
+/// Zero-copy view of a validated binary trace: eleven column spans plus
+/// the trace metadata. For a mapped v1 file (or v2 raw columns) the
+/// spans point straight into the mapping; v2 varint columns decode once
+/// into buffers the view owns. Copies share the backing; the spans stay
+/// valid as long as any copy of the view lives. Accessors load through
+/// memcpy, so spans need no alignment (column payload offsets are not
+/// 8-aligned for every record count).
+class trace_view {
+public:
+    trace_view() = default;
+
+    seconds_t window_length() const { return window_; }
+    weekday start_day() const { return day_; }
+    std::size_t size() const { return static_cast<std::size_t>(n_); }
+    bool empty() const { return n_ == 0; }
+
+    client_id client(std::size_t i) const { return load<client_id>(0, i); }
+    ipv4_addr ip(std::size_t i) const { return load<ipv4_addr>(1, i); }
+    as_number asn(std::size_t i) const { return load<as_number>(2, i); }
+    country_code country(std::size_t i) const {
+        country_code cc;
+        cc.c[0] = col_[3][i * 2];
+        cc.c[1] = col_[3][i * 2 + 1];
+        return cc;
+    }
+    object_id object(std::size_t i) const { return load<object_id>(4, i); }
+    seconds_t start(std::size_t i) const { return load<seconds_t>(5, i); }
+    seconds_t duration(std::size_t i) const {
+        return load<seconds_t>(6, i);
+    }
+    double avg_bandwidth_bps(std::size_t i) const {
+        return load<double>(7, i);
+    }
+    float packet_loss(std::size_t i) const { return load<float>(8, i); }
+    float server_cpu(std::size_t i) const { return load<float>(9, i); }
+    transfer_status status(std::size_t i) const {
+        return static_cast<transfer_status>(load<std::uint16_t>(10, i));
+    }
+
+    /// Gathers record `i` from the column spans.
+    log_record record(std::size_t i) const;
+
+private:
+    friend trace_view open_trace_bin_view(
+        std::shared_ptr<const std::string> buffer);
+    friend trace_view open_trace_bin_view_file(const std::string& path);
+
+    template <typename T>
+    T load(std::size_t col, std::size_t i) const {
+        T v;
+        std::memcpy(&v, col_[col] + i * sizeof(T), sizeof(T));
+        return v;
+    }
+
+    const char* col_[11] = {};
+    std::uint64_t n_ = 0;
+    seconds_t window_ = 0;
+    weekday day_ = weekday::sunday;
+    /// Owns whatever the spans point into: the mapping (or slurped
+    /// buffer) plus any decoded v2 column payloads.
+    std::shared_ptr<const void> backing_;
+};
+
+/// Validates `buffer` (strictly) and returns a view sharing ownership
+/// of it. Throws trace_io_error on any structural problem.
+trace_view open_trace_bin_view(std::shared_ptr<const std::string> buffer);
+
+/// Maps `path` (mmap, falling back to a slurp for unmappable files) and
+/// returns a validated view — the zero-copy read path. Strict: any
+/// structural problem throws trace_io_error with the path in the
+/// message. The file must not be modified while the view (or a copy)
+/// is alive; checksums are verified once, at open.
+trace_view open_trace_bin_view_file(const std::string& path);
+
+/// Materializes a full trace from a view (one record-major gather).
+trace materialize(const trace_view& v);
+
+/// Bounded-memory sequential reader over a binary trace file (either
+/// version): validates the header, every block header, and every
+/// column checksum with streaming reads at construction, then yields
+/// records in file order chunk by chunk. Peak memory is a few fixed
+/// I/O buffers plus the caller's chunk vector — never the file size —
+/// which makes this the record source for the out-of-core sessionizer.
+/// Under a non-strict policy, damage degrades exactly as in
+/// read_trace_bin_buffer (same categories, same min-over-columns
+/// salvage); num_records() then reports the salvaged count.
+class trace_bin_reader {
+public:
+    explicit trace_bin_reader(const std::string& path,
+                              const ingest_options& opts = {},
+                              ingest_report* report = nullptr);
+    ~trace_bin_reader();
+
+    trace_bin_reader(trace_bin_reader&&) noexcept;
+    trace_bin_reader& operator=(trace_bin_reader&&) noexcept;
+
+    seconds_t window_length() const;
+    weekday start_day() const;
+    /// Usable records (declared count, less any unsalvageable damage).
+    std::uint64_t num_records() const;
+
+    /// Appends the next at-most `max_records` records to `out` (which
+    /// is cleared first) and returns how many were produced; 0 at end.
+    std::size_t read_chunk(std::vector<log_record>& out,
+                           std::size_t max_records);
+
+private:
+    struct impl;
+    std::unique_ptr<impl> impl_;
+};
+
 /// On-disk trace encodings the tools can read and write.
 enum class trace_format { csv, bin };
 
@@ -92,11 +250,20 @@ trace_format parse_trace_format(std::string_view name);
 /// Writes `t` to `path` in the requested format.
 void write_trace_file(const trace& t, const std::string& path,
                       trace_format format);
+/// Flavor with binary write options (`wopts.compress` selects v2);
+/// ignored for CSV.
+void write_trace_file(const trace& t, const std::string& path,
+                      trace_format format,
+                      const trace_bin_write_options& wopts);
 
 /// Reads a trace file of either format, sniffing the leading bytes to
-/// dispatch. CSV decoding uses `pool` (when given) to parse newline-split
-/// chunks concurrently — output is byte-identical to the serial reader
-/// for every pool size. With `metrics`, the phases are timed under
+/// dispatch. Regular files are mmap'ed (no slurp copy; a file observed
+/// to shrink between the size probe and the map is rejected with the
+/// "empty or unrecognized trace file" error instead of faulting);
+/// pipes and unmappable files fall back to the owning slurp. CSV
+/// decoding uses `pool` (when given) to parse newline-split chunks
+/// concurrently — output is byte-identical to the serial reader for
+/// every pool size. With `metrics`, the phases are timed under
 /// `ingest/...` and byte/record counters recorded.
 trace read_trace_auto_file(const std::string& path,
                            thread_pool* pool = nullptr,
@@ -111,5 +278,13 @@ trace read_trace_auto_file(const std::string& path, thread_pool* pool,
                            obs::registry* metrics,
                            const ingest_options& opts,
                            ingest_report* report = nullptr);
+
+namespace detail {
+/// Test seam for the TOCTOU truncation check in read_trace_auto_file /
+/// open_trace_bin_view_file: when >= 0, the next mapping attempt
+/// truncates the file to this many bytes between the size probe and
+/// the map (then resets to -1). Tests only.
+extern std::int64_t mmap_test_truncate_to;
+}  // namespace detail
 
 }  // namespace lsm

@@ -1,0 +1,59 @@
+// Zigzag + LEB128 varint coding, the element codec behind the
+// `lsm-trace-bin-v2` compressed columns.
+//
+// Timestamp and id columns of a trace are nearly sorted or low-
+// cardinality, so consecutive deltas are tiny; zigzag folds the signed
+// delta into a small unsigned value and LEB128 stores it in one byte
+// per 7 significant bits. Deltas are taken with wrap-around u64
+// arithmetic, which is exact for every element width the trace formats
+// use (u16/u32/u64/i64 widened to 64 bits): decode adds the zigzag-
+// decoded delta back with the same wrap-around and truncates to the
+// element width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lsm {
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Longest LEB128 encoding of a u64: ceil(64 / 7) bytes.
+inline constexpr std::size_t k_max_varint_bytes = 10;
+
+inline void put_varint(std::string& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint from [p, end); returns the bytes consumed, or 0
+/// when the input is truncated or overlong (more than 10 bytes, or a
+/// 10th byte carrying bits beyond the 64th). Never reads past `end`.
+inline std::size_t get_varint(const char* p, const char* end,
+                              std::uint64_t& v) {
+    std::uint64_t out = 0;
+    std::size_t i = 0;
+    for (; i < k_max_varint_bytes && p + i < end; ++i) {
+        const auto byte = static_cast<std::uint8_t>(p[i]);
+        if (i == 9 && byte > 1) return 0;  // overflows 64 bits
+        out |= static_cast<std::uint64_t>(byte & 0x7F) << (7 * i);
+        if ((byte & 0x80) == 0) {
+            v = out;
+            return i + 1;
+        }
+    }
+    return 0;  // ran off the end (or an 11-byte encoding)
+}
+
+}  // namespace lsm

@@ -1,0 +1,288 @@
+#include "characterize/session_spill.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "characterize/session_builder.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/trace_io.h"
+
+namespace lsm::characterize {
+namespace {
+
+/// A trace with many interleaved clients and gap structure around the
+/// timeout, so sessions both merge and split; duplicate (client, start)
+/// keys exercise the stable tie-breaking the spill merge must preserve.
+trace busy_trace(std::uint64_t seed, std::size_t n) {
+    rng r(seed);
+    trace t(500000, weekday::tuesday);
+    for (std::size_t i = 0; i < n; ++i) {
+        log_record rec;
+        rec.client = 1 + r.next_u64() % 97;
+        rec.start = static_cast<seconds_t>(r.next_u64() % 400000);
+        rec.duration = static_cast<seconds_t>(r.next_u64() % 3000);
+        rec.object = static_cast<object_id>(r.next_u64() % 8);
+        t.add(rec);
+        if (i % 11 == 0) {
+            // An exact duplicate key with a different object: the
+            // canonical order is input order, which the run-index
+            // tie-break must reproduce after spilling.
+            rec.object = static_cast<object_id>((rec.object + 1) % 8);
+            t.add(rec);
+            ++i;
+        }
+    }
+    return t;
+}
+
+std::string sessions_csv(const session_set& s) {
+    std::ostringstream ss;
+    write_sessions_csv(s, ss);
+    return std::move(ss).str();
+}
+
+TEST(SessionSpill, MatchesInMemoryForEveryBudgetAndPoolSize) {
+    const trace t = busy_trace(5, 4000);
+    const seconds_t timeout = 1500;
+    thread_pool ref_pool(1);
+    const session_set ref = build_sessions(t, timeout, ref_pool);
+    const std::string ref_csv = sessions_csv(ref);
+    for (unsigned threads : {1U, 2U, 8U}) {
+        thread_pool pool(threads);
+        // The merge keeps one open cursor per run (~ records/budget x
+        // shards), so tiny budgets on a large input would exhaust file
+        // descriptors — 97 here keeps the fan-in realistic.
+        for (std::size_t budget : {std::size_t{97}, std::size_t{1000},
+                                   std::size_t{3999}, std::size_t{4000},
+                                   std::size_t{100000}}) {
+            spill_options opts;
+            opts.timeout = timeout;
+            opts.max_resident_records = budget;
+            opts.spill_dir = ::testing::TempDir();
+            const session_set got = build_sessions_spill(t, opts, pool);
+            EXPECT_EQ(sessions_csv(got), ref_csv)
+                << "threads=" << threads << " budget=" << budget;
+        }
+    }
+}
+
+TEST(SessionSpill, UnboundedBudgetSkipsDisk) {
+    const trace t = busy_trace(6, 500);
+    thread_pool pool(2);
+    spill_options opts;
+    opts.timeout = 100;
+    opts.max_resident_records = 0;  // in-memory path
+    const session_set got = build_sessions_spill(t, opts, pool);
+    thread_pool ref_pool(1);
+    EXPECT_EQ(sessions_csv(got),
+              sessions_csv(build_sessions(t, 100, ref_pool)));
+}
+
+TEST(SessionSpill, ShortChunksFromTheSourceAreNotEndOfStream) {
+    // A sanitizing source legitimately returns fewer records than asked
+    // while the stream continues; only a 0 return ends it. Feed chunks
+    // of at most 3 from a 100-record timeline through a budget of 10.
+    const trace t = busy_trace(7, 100);
+    std::size_t pos = 0;
+    record_source source = [&](std::vector<log_record>& out,
+                               std::size_t max) {
+        out.clear();
+        const std::size_t take =
+            std::min({std::size_t{3}, max, t.size() - pos});
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(t.records()[pos + i]);
+        }
+        pos += take;
+        return take;
+    };
+    thread_pool pool(2);
+    spill_options opts;
+    opts.timeout = 1500;
+    opts.max_resident_records = 10;
+    opts.spill_dir = ::testing::TempDir();
+    session_set got;
+    got.timeout = opts.timeout;
+    sessionize_spill(source, opts, pool,
+                     [&](const session& s) { got.sessions.push_back(s); });
+    thread_pool ref_pool(1);
+    EXPECT_EQ(sessions_csv(got),
+              sessions_csv(build_sessions(t, 1500, ref_pool)));
+}
+
+TEST(SessionSpill, EmptySourceEmitsNothing) {
+    record_source source = [](std::vector<log_record>& out, std::size_t) {
+        out.clear();
+        return std::size_t{0};
+    };
+    thread_pool pool(1);
+    spill_options opts;
+    opts.max_resident_records = 8;
+    std::size_t emitted = 0;
+    sessionize_spill(source, opts, pool,
+                     [&](const session&) { ++emitted; });
+    EXPECT_EQ(emitted, 0U);
+}
+
+TEST(SessionSpill, EmitsSessionsInCanonicalOrderAsTheyClose) {
+    const trace t = busy_trace(9, 1200);
+    thread_pool pool(4);
+    spill_options opts;
+    opts.timeout = 800;
+    opts.max_resident_records = 50;
+    opts.spill_dir = ::testing::TempDir();
+    client_id last_client = 0;
+    seconds_t last_start = -1;
+    std::size_t emitted = 0;
+    sessionize_spill(
+        [&, pos = std::size_t{0}](std::vector<log_record>& out,
+                                  std::size_t max) mutable {
+            out.clear();
+            const std::size_t take = std::min(max, t.size() - pos);
+            out.insert(out.end(), t.records().begin() + pos,
+                       t.records().begin() + pos + take);
+            pos += take;
+            return take;
+        },
+        opts, pool,
+        [&](const session& s) {
+            if (emitted > 0) {
+                EXPECT_TRUE(s.client > last_client ||
+                            (s.client == last_client &&
+                             s.start >= last_start))
+                    << "session " << emitted << " out of order";
+            }
+            last_client = s.client;
+            last_start = s.start;
+            ++emitted;
+        });
+    thread_pool ref_pool(1);
+    EXPECT_EQ(emitted, build_sessions(t, 800, ref_pool).sessions.size());
+}
+
+// --- Spill run files ---------------------------------------------------
+
+std::vector<spill_record> sample_records(std::size_t n) {
+    std::vector<spill_record> recs;
+    rng r(11);
+    for (std::size_t i = 0; i < n; ++i) {
+        spill_record rec;
+        rec.client = r.next_u64() % 1000;
+        rec.start = static_cast<seconds_t>(r.next_u64() % 100000);
+        rec.duration = static_cast<seconds_t>(r.next_u64() % 5000);
+        rec.object = static_cast<object_id>(r.next_u64() % 16);
+        recs.push_back(rec);
+    }
+    return recs;
+}
+
+std::string write_run(const std::string& name, const std::string& image) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream(path, std::ios::binary) << image;
+    return path;
+}
+
+void expect_records_equal(const std::vector<spill_record>& a,
+                          const std::vector<spill_record>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].client, b[i].client) << i;
+        EXPECT_EQ(a[i].start, b[i].start) << i;
+        EXPECT_EQ(a[i].duration, b[i].duration) << i;
+        EXPECT_EQ(a[i].object, b[i].object) << i;
+    }
+}
+
+ingest_options quarantine_opts() {
+    ingest_options o;
+    o.on_error = on_error_policy::quarantine;
+    return o;
+}
+
+TEST(SpillRun, RoundTrips) {
+    const auto recs = sample_records(100);
+    const std::string path =
+        write_run("run_roundtrip.run", encode_spill_run(recs));
+    expect_records_equal(recs, read_spill_run_file(path));
+    const std::string empty_path =
+        write_run("run_empty.run", encode_spill_run({}));
+    EXPECT_TRUE(read_spill_run_file(empty_path).empty());
+}
+
+TEST(SpillRun, TruncatedPayloadSalvagesWholeRecordPrefix) {
+    const auto recs = sample_records(20);
+    std::string image = encode_spill_run(recs);
+    image.resize(image.size() - 30);  // kills one record + 4 byte tail
+    const std::string path = write_run("run_trunc.run", image);
+    EXPECT_THROW(read_spill_run_file(path), trace_io_error);
+    ingest_report rep;
+    const auto got = read_spill_run_file(path, quarantine_opts(), &rep);
+    expect_records_equal(
+        {recs.begin(), recs.begin() + 18}, got);
+    EXPECT_TRUE(rep.salvaged_tail);
+    EXPECT_EQ(rep.records_lost, 2U);
+    EXPECT_GE(rep.errors_by_category.at("truncated"), 1U);
+}
+
+TEST(SpillRun, ChecksumDamageRejectsTheRun) {
+    const auto recs = sample_records(20);
+    std::string image = encode_spill_run(recs);
+    image[image.size() - 3] ^= 0x10;  // payload byte; checksum now wrong
+    const std::string path = write_run("run_badsum.run", image);
+    EXPECT_THROW(read_spill_run_file(path), trace_io_error);
+    ingest_report rep;
+    const auto got = read_spill_run_file(path, quarantine_opts(), &rep);
+    EXPECT_TRUE(got.empty());
+    EXPECT_GE(rep.errors_by_category.at("checksum"), 1U);
+    EXPECT_EQ(rep.records_lost, 20U);
+}
+
+TEST(SpillRun, HeaderDamageAlwaysFatal) {
+    std::string image = encode_spill_run(sample_records(5));
+    image[0] = 'X';
+    const std::string bad_magic = write_run("run_badmagic.run", image);
+    EXPECT_THROW(read_spill_run_file(bad_magic, quarantine_opts()),
+                 trace_io_error);
+    const std::string short_file = write_run(
+        "run_short.run", encode_spill_run(sample_records(5)).substr(0, 10));
+    EXPECT_THROW(read_spill_run_file(short_file, quarantine_opts()),
+                 trace_io_error);
+}
+
+TEST(SpillRun, MissingFileThrows) {
+    EXPECT_THROW(read_spill_run_file("/nonexistent/x.run"),
+                 trace_io_error);
+}
+
+// --- Session CSV writers ----------------------------------------------
+
+TEST(SessionCsv, HeaderCarriesTimeoutAndRowsJoinTransfers) {
+    trace t(1000, weekday::monday);
+    log_record r;
+    r.client = 7;
+    r.start = 10;
+    r.duration = 5;
+    r.object = 2;
+    t.add(r);
+    r.start = 20;
+    r.duration = 3;
+    r.object = 4;
+    t.add(r);
+    const session_set ss = build_sessions(t, 100);
+    std::ostringstream out;
+    write_sessions_csv(ss, out);
+    EXPECT_EQ(out.str(),
+              "lsm-sessions-v1,timeout=100\n"
+              "client,start,end,num_transfers,transfer_starts,"
+              "transfer_ends,transfer_objects\n"
+              "7,10,23,2,10;20,15;23,2;4\n");
+}
+
+}  // namespace
+}  // namespace lsm::characterize

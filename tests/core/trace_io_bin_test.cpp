@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/parallel.h"
 #include "core/rng.h"
@@ -350,6 +354,397 @@ TEST(TraceIoBin, AutoReadEmptyOrShortFileSaysSo) {
                 << e.what();
         }
     }
+}
+
+// --- Compressed v2 format ---------------------------------------------
+
+std::string to_bin_v2(const trace& t) {
+    std::ostringstream ss;
+    trace_bin_write_options wopts;
+    wopts.compress = true;
+    write_trace_bin(t, ss, wopts);
+    return std::move(ss).str();
+}
+
+/// A trace with realistic column statistics: sorted starts, a small
+/// client population, low-cardinality objects — what the varint coder
+/// is built for.
+trace sorted_trace(std::size_t n) {
+    trace t(2000000, weekday::friday);
+    rng r(123);
+    for (std::size_t i = 0; i < n; ++i) {
+        log_record rec;
+        rec.client = 1000 + r.next_u64() % 50;
+        rec.ip = static_cast<ipv4_addr>(0x0A000000 + r.next_u64() % 256);
+        rec.asn = static_cast<as_number>(64512 + r.next_u64() % 16);
+        rec.country = make_country("SE");
+        rec.object = static_cast<object_id>(r.next_u64() % 4);
+        rec.start = static_cast<seconds_t>(i * 3);
+        rec.duration = static_cast<seconds_t>(r.next_u64() % 600);
+        rec.avg_bandwidth_bps = 56000.0;
+        rec.status = transfer_status::ok;
+        t.add(rec);
+    }
+    return t;
+}
+
+TEST(TraceIoBinV2, RoundTripIsBitExact) {
+    const trace original = random_trace(21, 500);
+    const std::string v2 = to_bin_v2(original);
+    EXPECT_TRUE(buffer_is_trace_bin(v2));
+    EXPECT_EQ(v2.substr(0, 16), k_trace_bin_magic_v2);
+    expect_identical(original, read_trace_bin_buffer(v2));
+}
+
+TEST(TraceIoBinV2, WriterIsDeterministic) {
+    const trace t = sorted_trace(400);
+    EXPECT_EQ(to_bin_v2(t), to_bin_v2(t));
+}
+
+TEST(TraceIoBinV2, CompressesRealisticColumns) {
+    const trace t = sorted_trace(2000);
+    const std::string v1 = to_bin(t);
+    const std::string v2 = to_bin_v2(t);
+    expect_identical(t, read_trace_bin_buffer(v2));
+    // Sorted timestamps and low-cardinality ids shrink by more than the
+    // eight extra bytes each of the eleven v2 block headers costs.
+    EXPECT_LT(v2.size(), v1.size());
+}
+
+TEST(TraceIoBinV2, ExtremeDeltasFallBackToRawAndSurvive) {
+    // Alternating u64 extremes make every delta ~2^64: the varint coder
+    // would expand the column, so the writer must fall back to raw —
+    // and the reader must reproduce the values bit-exactly either way.
+    trace t(1000, weekday::monday);
+    for (int i = 0; i < 64; ++i) {
+        log_record rec;
+        rec.client = (i % 2 == 0)
+                         ? std::numeric_limits<std::uint64_t>::max()
+                         : 0;
+        rec.start = (i % 2 == 0) ? 999 : 0;
+        rec.duration = 0;
+        t.add(rec);
+    }
+    expect_identical(t, read_trace_bin_buffer(to_bin_v2(t)));
+}
+
+TEST(TraceIoBinV2, EmptyAndSingleRecordRoundTrip) {
+    trace empty(777, weekday::monday);
+    const trace parsed = read_trace_bin_buffer(to_bin_v2(empty));
+    EXPECT_EQ(parsed.size(), 0U);
+    EXPECT_EQ(parsed.window_length(), 777);
+    const trace one = random_trace(9, 1);
+    expect_identical(one, read_trace_bin_buffer(to_bin_v2(one)));
+}
+
+TEST(TraceIoBinV2, RejectsTruncationEverywhere) {
+    const std::string buf = to_bin_v2(sorted_trace(50));
+    for (std::size_t keep = 0; keep < buf.size(); keep += 61) {
+        EXPECT_THROW(read_trace_bin_buffer(buf.substr(0, keep)),
+                     trace_io_error)
+            << "kept " << keep << " of " << buf.size();
+    }
+}
+
+// Little-endian field access into a raw file image, mirroring the
+// on-disk layout (tests only; the library has its own codecs).
+std::uint32_t peek_u32(const std::string& b, std::size_t off) {
+    std::uint32_t v;
+    std::memcpy(&v, b.data() + off, sizeof v);
+    return v;
+}
+std::uint64_t peek_u64(const std::string& b, std::size_t off) {
+    std::uint64_t v;
+    std::memcpy(&v, b.data() + off, sizeof v);
+    return v;
+}
+void poke_u64(std::string& b, std::size_t off, std::uint64_t v) {
+    std::memcpy(b.data() + off, &v, sizeof v);
+}
+
+/// FNV-1a-64 over little-endian 64-bit words, final partial word
+/// zero-padded — the format's column checksum.
+std::uint64_t test_fnv(const char* p, std::size_t n) {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (std::size_t i = 0; i < n; i += 8) {
+        std::uint64_t w = 0;
+        std::memcpy(&w, p + i, std::min<std::size_t>(8, n - i));
+        h = (h ^ w) * 1099511628211ULL;
+    }
+    return h;
+}
+
+struct v2_block {
+    std::size_t header_off = 0;
+    std::size_t payload_off = 0;
+    std::uint32_t encoding = 0;
+    std::uint64_t payload_bytes = 0;
+};
+
+/// Walks the eleven v2 blocks and returns the one for `col`.
+v2_block find_v2_block(const std::string& buf, std::uint32_t col) {
+    std::size_t off = 48;
+    for (std::uint32_t c = 0; c < 11; ++c) {
+        v2_block b;
+        b.header_off = off;
+        b.payload_off = off + 32;
+        b.encoding = peek_u32(buf, off + 8);
+        b.payload_bytes = peek_u64(buf, off + 16);
+        EXPECT_EQ(peek_u32(buf, off), c);
+        if (c == col) return b;
+        off = b.payload_off + b.payload_bytes;
+    }
+    ADD_FAILURE() << "column " << col << " not found";
+    return {};
+}
+
+TEST(TraceIoBinV2, ChecksumCatchesVarintPayloadDamage) {
+    std::string buf = to_bin_v2(sorted_trace(100));
+    const v2_block b = find_v2_block(buf, 5);  // start column
+    ASSERT_EQ(b.encoding, 1U) << "sorted starts should be varint-coded";
+    buf[b.payload_off + b.payload_bytes / 2] ^= 0x20;
+    EXPECT_THROW(
+        {
+            try {
+                read_trace_bin_buffer(buf);
+            } catch (const trace_io_error& e) {
+                EXPECT_NE(std::string(e.what()).find("checksum"),
+                          std::string::npos)
+                    << e.what();
+                throw;
+            }
+        },
+        trace_io_error);
+}
+
+TEST(TraceIoBinV2, MalformedVarintStreamSalvagesPrefix) {
+    // Damage the final varint of the start column and REPAIR the stored
+    // checksum — the stream is now internally consistent but does not
+    // decode to the declared count, which is the "varint" category.
+    std::string buf = to_bin_v2(sorted_trace(100));
+    const v2_block b = find_v2_block(buf, 5);
+    ASSERT_EQ(b.encoding, 1U);
+    // 0x80 is a continuation byte with nothing after it: the last
+    // element becomes undecodable, every earlier one stays intact.
+    buf[b.payload_off + b.payload_bytes - 1] = static_cast<char>(0x80);
+    poke_u64(buf, b.header_off + 24,
+             test_fnv(buf.data() + b.payload_off, b.payload_bytes));
+
+    // Strict: the error names the stream, not the checksum.
+    try {
+        read_trace_bin_buffer(buf);
+        FAIL() << "expected trace_io_error";
+    } catch (const trace_io_error& e) {
+        EXPECT_NE(std::string(e.what()).find("varint"), std::string::npos)
+            << e.what();
+    }
+
+    // Non-strict: longest decodable prefix survives; the other ten
+    // columns are whole, so salvage is bounded by this column alone.
+    ingest_report rep;
+    const trace got = read_trace_bin_buffer(buf, quarantine_opts(), &rep);
+    EXPECT_EQ(got.size(), 99U);
+    EXPECT_GE(rep.errors_by_category.at("varint"), 1U);
+    EXPECT_EQ(rep.records_lost, 1U);
+    const trace original = sorted_trace(100);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got.records()[i].start, original.records()[i].start);
+    }
+}
+
+TEST(TraceIoBinV2, HeaderDamageFatalUnderEveryPolicy) {
+    std::string buf = to_bin_v2(sorted_trace(10));
+    buf[16] = 9;  // version low byte no longer matches the magic
+    ingest_options opts;
+    opts.on_error = on_error_policy::skip;
+    EXPECT_THROW(read_trace_bin_buffer(buf, opts), trace_io_error);
+}
+
+// --- Zero-copy views and mmap -----------------------------------------
+
+TEST(TraceIoBinView, BufferViewMatchesOwningReader) {
+    const trace original = random_trace(31, 300);
+    for (const std::string& buf : {to_bin(original), to_bin_v2(original)}) {
+        const trace_view v =
+            open_trace_bin_view(std::make_shared<const std::string>(buf));
+        ASSERT_EQ(v.size(), original.size());
+        EXPECT_EQ(v.window_length(), original.window_length());
+        EXPECT_EQ(v.start_day(), original.start_day());
+        expect_identical(original, materialize(v));
+        // Spot-check the per-field accessors against the gather.
+        for (std::size_t i : {std::size_t{0}, std::size_t{299}}) {
+            const log_record& r = original.records()[i];
+            EXPECT_EQ(v.client(i), r.client);
+            EXPECT_EQ(v.country(i), r.country);
+            EXPECT_EQ(v.start(i), r.start);
+            EXPECT_EQ(v.avg_bandwidth_bps(i), r.avg_bandwidth_bps);
+            EXPECT_EQ(v.status(i), r.status);
+            const log_record g = v.record(i);
+            EXPECT_EQ(g.client, r.client);
+            EXPECT_EQ(g.duration, r.duration);
+        }
+    }
+}
+
+TEST(TraceIoBinView, CopiesShareBackingAndOutliveTheOriginal) {
+    const trace original = random_trace(33, 64);
+    trace_view copy;
+    {
+        auto buf = std::make_shared<const std::string>(to_bin(original));
+        const trace_view v = open_trace_bin_view(buf);
+        buf.reset();  // the view keeps the buffer alive
+        copy = v;
+    }  // original view destroyed; the copy still owns the backing
+    expect_identical(original, materialize(copy));
+}
+
+TEST(TraceIoBinView, FileViewMapsAndValidates) {
+    const std::string dir = ::testing::TempDir();
+    const trace original = random_trace(35, 200);
+    const std::string p1 = dir + "/view_v1.bin";
+    const std::string p2 = dir + "/view_v2.bin";
+    write_trace_bin_file(original, p1);
+    trace_bin_write_options wopts;
+    wopts.compress = true;
+    write_trace_bin_file(original, p2, wopts);
+    expect_identical(original, materialize(open_trace_bin_view_file(p1)));
+    expect_identical(original, materialize(open_trace_bin_view_file(p2)));
+}
+
+TEST(TraceIoBinView, FileViewRejectsCorruption) {
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/view_bad.bin";
+    std::string buf = to_bin(random_trace(7, 50));
+    buf[100] = static_cast<char>(buf[100] ^ 0x40);
+    std::ofstream(path, std::ios::binary) << buf;
+    try {
+        open_trace_bin_view_file(path);
+        FAIL() << "expected trace_io_error";
+    } catch (const trace_io_error& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIoBinView, EmptyTraceViewWorks) {
+    const trace t(777, weekday::monday);
+    const trace_view v =
+        open_trace_bin_view(std::make_shared<const std::string>(to_bin(t)));
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(materialize(v).size(), 0U);
+}
+
+TEST(TraceIoBin, AutoReadRejectsFileShrinkingDuringMap) {
+    // TOCTOU: the file shrinks between the size probe and the map. The
+    // reader must reject it like any unrecognized file — never fault on
+    // pages past the new end.
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/shrinking_trace.bin";
+    write_trace_bin_file(random_trace(41, 100), path);
+    detail::mmap_test_truncate_to = 64;  // magic survives, records don't
+    try {
+        read_trace_auto_file(path);
+        FAIL() << "expected trace_io_error";
+    } catch (const trace_io_error& e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("empty or unrecognized trace file"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("shrank"), std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(detail::mmap_test_truncate_to, -1) << "seam must self-reset";
+}
+
+TEST(TraceIoBinView, FileViewRejectsFileShrinkingDuringMap) {
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/shrinking_view.bin";
+    write_trace_bin_file(random_trace(43, 100), path);
+    detail::mmap_test_truncate_to = 64;
+    try {
+        open_trace_bin_view_file(path);
+        FAIL() << "expected trace_io_error";
+    } catch (const trace_io_error& e) {
+        EXPECT_NE(std::string(e.what()).find("shrank"), std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(detail::mmap_test_truncate_to, -1);
+}
+
+// --- Bounded streaming reader -----------------------------------------
+
+TEST(TraceIoBinReader, ChunkedReadMatchesFullRead) {
+    const std::string dir = ::testing::TempDir();
+    const trace original = random_trace(51, 377);
+    for (bool compress : {false, true}) {
+        const std::string path =
+            dir + (compress ? "/reader_v2.bin" : "/reader_v1.bin");
+        trace_bin_write_options wopts;
+        wopts.compress = compress;
+        write_trace_bin_file(original, path, wopts);
+        for (std::size_t chunk_size : {std::size_t{1}, std::size_t{7},
+                                       std::size_t{100},
+                                       std::size_t{100000}}) {
+            trace_bin_reader reader(path);
+            EXPECT_EQ(reader.window_length(), original.window_length());
+            EXPECT_EQ(reader.start_day(), original.start_day());
+            EXPECT_EQ(reader.num_records(), original.size());
+            trace assembled(reader.window_length(), reader.start_day());
+            std::vector<log_record> chunk;
+            std::size_t n;
+            while ((n = reader.read_chunk(chunk, chunk_size)) > 0) {
+                EXPECT_LE(n, chunk_size);
+                ASSERT_EQ(chunk.size(), n);
+                for (const log_record& r : chunk) assembled.add(r);
+            }
+            expect_identical(original, assembled);
+            EXPECT_EQ(reader.read_chunk(chunk, chunk_size), 0U)
+                << "end is sticky";
+        }
+    }
+}
+
+TEST(TraceIoBinReader, StrictConstructorRejectsChecksumDamage) {
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/reader_bad.bin";
+    std::string buf = to_bin(random_trace(7, 50));
+    buf[100] = static_cast<char>(buf[100] ^ 0x40);
+    std::ofstream(path, std::ios::binary) << buf;
+    EXPECT_THROW(trace_bin_reader reader(path), trace_io_error);
+}
+
+TEST(TraceIoBinReader, SalvagesTailTruncatedFinalColumn) {
+    // Mirror of the buffer reader's salvage: cut 5 bytes off the status
+    // column of a 20-record file -> 17 whole records stream out.
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/reader_trunc.bin";
+    const trace original = random_trace(7, 20);
+    std::string buf = to_bin(original);
+    buf.resize(buf.size() - 5);
+    std::ofstream(path, std::ios::binary) << buf;
+    ingest_report rep;
+    trace_bin_reader reader(path, quarantine_opts(), &rep);
+    EXPECT_EQ(reader.num_records(), 17U);
+    EXPECT_TRUE(rep.salvaged_tail);
+    EXPECT_EQ(rep.records_lost, 3U);
+    trace assembled(reader.window_length(), reader.start_day());
+    std::vector<log_record> chunk;
+    while (reader.read_chunk(chunk, 8) > 0) {
+        for (const log_record& r : chunk) assembled.add(r);
+    }
+    trace expect_t(original.window_length(), original.start_day());
+    for (std::size_t i = 0; i < 17; ++i) {
+        expect_t.add(original.records()[i]);
+    }
+    expect_identical(expect_t, assembled);
+}
+
+TEST(TraceIoBinReader, MissingFileThrows) {
+    EXPECT_THROW(trace_bin_reader reader("/nonexistent/x.bin"),
+                 trace_io_error);
 }
 
 TEST(TraceIoBin, AutoReadCarriesPathAndReportThroughRecovery) {

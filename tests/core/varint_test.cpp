@@ -1,0 +1,123 @@
+#include "core/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lsm {
+namespace {
+
+TEST(Zigzag, RoundTripsSignedValues) {
+    const std::vector<std::int64_t> cases = {
+        0,
+        1,
+        -1,
+        2,
+        -2,
+        63,
+        -64,
+        64,
+        -65,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    for (std::int64_t v : cases) {
+        EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+    }
+}
+
+TEST(Zigzag, SmallMagnitudesGetSmallCodes) {
+    // The point of zigzag: |v| <= 63 fits one LEB128 byte either sign.
+    EXPECT_EQ(zigzag_encode(0), 0U);
+    EXPECT_EQ(zigzag_encode(-1), 1U);
+    EXPECT_EQ(zigzag_encode(1), 2U);
+    EXPECT_EQ(zigzag_encode(-64), 127U);
+    EXPECT_EQ(zigzag_encode(64), 128U);
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+    std::vector<std::uint64_t> cases = {0, 1, 0x7F, 0x80, 0x3FFF, 0x4000};
+    for (int shift = 7; shift < 64; shift += 7) {
+        cases.push_back((std::uint64_t{1} << shift) - 1);
+        cases.push_back(std::uint64_t{1} << shift);
+    }
+    cases.push_back(std::numeric_limits<std::uint64_t>::max());
+    for (std::uint64_t v : cases) {
+        std::string buf;
+        put_varint(buf, v);
+        ASSERT_LE(buf.size(), k_max_varint_bytes);
+        std::uint64_t got = 0;
+        const std::size_t used =
+            get_varint(buf.data(), buf.data() + buf.size(), got);
+        EXPECT_EQ(used, buf.size()) << v;
+        EXPECT_EQ(got, v) << v;
+    }
+}
+
+TEST(Varint, RandomizedRoundTripWithConcatenation) {
+    rng r(77);
+    std::string buf;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 5000; ++i) {
+        // Mix tiny deltas with full-width values.
+        const std::uint64_t v = (i % 3 == 0)
+                                    ? r.next_u64()
+                                    : r.next_u64() % 1000;
+        values.push_back(v);
+        put_varint(buf, v);
+    }
+    const char* p = buf.data();
+    const char* end = buf.data() + buf.size();
+    for (std::uint64_t expected : values) {
+        std::uint64_t got = 0;
+        const std::size_t used = get_varint(p, end, got);
+        ASSERT_GT(used, 0U);
+        EXPECT_EQ(got, expected);
+        p += used;
+    }
+    EXPECT_EQ(p, end);  // no slack bytes
+}
+
+TEST(Varint, TruncatedInputReturnsZero) {
+    std::string buf;
+    put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+    ASSERT_EQ(buf.size(), k_max_varint_bytes);
+    for (std::size_t keep = 0; keep < buf.size(); ++keep) {
+        std::uint64_t v = 0;
+        EXPECT_EQ(get_varint(buf.data(), buf.data() + keep, v), 0U)
+            << "kept " << keep;
+    }
+}
+
+TEST(Varint, OverlongEncodingRejected) {
+    // Ten continuation bytes followed by anything is an 11-byte coding.
+    std::string buf(10, static_cast<char>(0x80));
+    buf.push_back(0x01);
+    std::uint64_t v = 0;
+    EXPECT_EQ(get_varint(buf.data(), buf.data() + buf.size(), v), 0U);
+    // A 10th byte with bits above the 64th overflows.
+    std::string high(9, static_cast<char>(0x80));
+    high.push_back(0x02);
+    EXPECT_EQ(get_varint(high.data(), high.data() + high.size(), v), 0U);
+    // ...while 0x01 in the 10th byte is exactly the top bit.
+    std::string max(9, static_cast<char>(0xFF));
+    max.push_back(0x01);
+    EXPECT_EQ(get_varint(max.data(), max.data() + max.size(), v), 10U);
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Varint, NeverReadsPastEnd) {
+    // A continuation byte right at the boundary must stop cleanly.
+    const char byte = static_cast<char>(0xFF);
+    std::uint64_t v = 0;
+    EXPECT_EQ(get_varint(&byte, &byte + 1, v), 0U);
+    EXPECT_EQ(get_varint(&byte, &byte, v), 0U);  // empty range
+}
+
+}  // namespace
+}  // namespace lsm
