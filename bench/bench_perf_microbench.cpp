@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "characterize/live_daemon.h"
 #include "characterize/session_builder.h"
 #include "characterize/session_spill.h"
 #include "characterize/transfer_layer.h"
@@ -22,6 +23,10 @@
 #include "core/rng.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
+#include "core/wms_log.h"
+#include "sketch/countmin.h"
+#include "sketch/hll.h"
+#include "sketch/quantile.h"
 #include "characterize/hierarchical.h"
 #include "gismo/arrival_process.h"
 #include "gismo/live_generator.h"
@@ -373,6 +378,95 @@ void BM_WriteTraceBin(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_WriteTraceBin)->Unit(benchmark::kMillisecond);
+
+// --- Sketch / live-daemon rows ---------------------------------------
+// Cost of the mergeable-sketch layer and the one-pass incremental
+// service mode built on it. Each row reports keys-or-records/s plus
+// the resident sketch footprint.
+
+void BM_SketchAdd(benchmark::State& state) {
+    // One add() into each sketch kind per key — the per-record sketch
+    // tax the live daemon pays on top of parsing.
+    hll h(14, 1);
+    quantile_sketch q(0.01);
+    countmin cm(4, 8192, 1);
+    std::uint64_t k = 0x9e3779b97f4a7c15ULL;
+    for (auto _ : state) {
+        k += 0x9e3779b97f4a7c15ULL;
+        h.add(k);
+        q.add(static_cast<double>(k >> 40));
+        cm.add(k & 0xffff);
+        benchmark::DoNotOptimize(k);
+    }
+    state.counters["keys/s"] = benchmark::Counter(
+        1.0, benchmark::Counter::kIsIterationInvariantRate);
+    state.counters["sketch_bytes"] = static_cast<double>(
+        h.state_bytes() + q.state_bytes() + cm.state_bytes());
+}
+BENCHMARK(BM_SketchAdd);
+
+void BM_SketchMerge(benchmark::State& state) {
+    // Merge of fully populated shard-local sketches — the per-shard
+    // combine step of a parallel characterization.
+    hll h1(14, 1), h2(14, 1);
+    quantile_sketch q1(0.01), q2(0.01);
+    countmin c1(4, 8192, 1), c2(4, 8192, 1);
+    rng r(3);
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t k = r.next_u64();
+        h1.add(k);
+        h2.add(~k);
+        q1.add(static_cast<double>(k >> 40));
+        q2.add(static_cast<double>(~k >> 40));
+        c1.add(k & 0xffff);
+        c2.add(~k & 0xffff);
+    }
+    for (auto _ : state) {
+        hll h = h1;
+        quantile_sketch q = q1;
+        countmin c = c1;
+        h.merge(h2);
+        q.merge(q2);
+        c.merge(c2);
+        benchmark::DoNotOptimize(h.state_bytes());
+        benchmark::DoNotOptimize(q.state_bytes());
+        benchmark::DoNotOptimize(c.state_bytes());
+    }
+    state.counters["merges/s"] = benchmark::Counter(
+        1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SketchMerge);
+
+const std::string& scaling_trace_wms() {
+    static const std::string buf = [] {
+        std::ostringstream ss;
+        write_wms_log(scaling_trace(), ss);
+        return std::move(ss).str();
+    }();
+    return buf;
+}
+
+void BM_LiveDaemonIngest(benchmark::State& state) {
+    // Whole service mode end to end: WMS parse + sanitize + every
+    // sketch + sessionizer + diurnal ring, one pass over the scaling
+    // trace's log text. Compare records/s against
+    // BM_FullCharacterizationPipeline for the batch-vs-incremental
+    // cost, and MB/s against BM_ReadTraceCsv for parse overhead.
+    const std::string& buf = scaling_trace_wms();
+    std::size_t sketch_bytes = 0;
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        characterize::live_daemon d;
+        d.consume_bytes(buf);
+        d.finish();
+        benchmark::DoNotOptimize(d.records());
+        sketch_bytes = d.sketch_state_bytes();
+        records = d.records();
+        set_ingest_counters(state, buf.size(), records);
+    }
+    state.counters["sketch_bytes"] = static_cast<double>(sketch_bytes);
+}
+BENCHMARK(BM_LiveDaemonIngest)->Unit(benchmark::kMillisecond);
 
 void BM_SessionizeSpill(benchmark::State& state) {
     // Out-of-core sessionizer over the scaling trace: Arg is the

@@ -1,0 +1,632 @@
+// Live characterization daemon CLI: tails a growing WMS log and keeps
+// a sketch-backed characterization current, emitting lsm-metrics-v1
+// and lsm-livesnap-v1 snapshots as it goes.
+//
+//   $ ./lsm_live server.log --follow --stop-after-records 1200000 \
+//       --snapshot-out live.snap --metrics-out live.json
+//   $ ./lsm_live server.log --resume live.snap --snapshot-out live.snap
+//   $ ./lsm_live server.log --exact-compare --metrics-out live.json \
+//       --exact-metrics-out exact.json
+//
+// Modes:
+//   default           drain the file to EOF once, write outputs, exit.
+//   --follow          keep polling for appended bytes (tail -f), with
+//                     rotation and truncation survival; stops at
+//                     --stop-after-records.
+//   --exact-compare   drain to EOF, then run the batch characterizer
+//                     over the same file and assert every sketch
+//                     estimate within its stated error bound, plus
+//                     byte-identical shard-merged sketches at 1, 2,
+//                     and 8 threads. Exit 3 on any violation — this is
+//                     the CI accuracy gate.
+//
+// Flags:
+//   --seed N                   root sketch seed (default 0)
+//   --on-error P               strict|skip|quarantine (default skip)
+//   --snapshot-out PATH        lsm-livesnap-v1, written atomically
+//   --metrics-out PATH         lsm-metrics-v1 via obs::try_write_sink
+//   --exact-metrics-out PATH   exact batch values under the same metric
+//                              names (for lsm_metrics_diff --gate-all)
+//   --snapshot-every-records N periodic emission interval, measured in
+//                              records so runs are deterministic
+//                              (default: only at exit)
+//   --poll-ms N                follow-mode poll sleep (default 50)
+//   --read-chunk-bytes N       max bytes per poll (default 1 MiB); the
+//                              CI resume test shrinks this so
+//                              --stop-after-records lands mid-file
+//   --stop-after-records N     stop once this many records consumed
+//   --resume PATH              restore an lsm-livesnap-v1 and continue
+//                              tailing from its consumed offset
+//   --timeout N                session gap timeout seconds
+//   --quarantine-out PATH      retain rejected raw bytes
+//
+// Snapshots written while tailing never reflect finish(): they carry
+// the open-session set, so a resumed run converges byte-identically
+// with an uninterrupted one. Only --exact-compare finishes the stream
+// (closing every open session) before exporting metrics, making the
+// session totals comparable with batch build_sessions.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "characterize/live_daemon.h"
+#include "characterize/session_builder.h"
+#include "core/ingest.h"
+#include "core/parallel.h"
+#include "core/tail_reader.h"
+#include "core/time_utils.h"
+#include "core/wms_log.h"
+#include "obs/metrics.h"
+#include "obs/sinks.h"
+#include "sketch/countmin.h"
+#include "sketch/hll.h"
+#include "sketch/quantile.h"
+#include "stats/timeseries.h"
+
+namespace {
+
+using lsm::characterize::live_daemon;
+using lsm::characterize::live_daemon_config;
+
+std::int64_t scaled(double v) {
+    return static_cast<std::int64_t>(std::llround(v * 1e6));
+}
+
+/// Exact value at the sketch's lower-rank quantile convention.
+double exact_quantile(std::vector<double> v, double q) {
+    if (v.empty()) return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1));
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(rank),
+                     v.end());
+    return v[rank];
+}
+
+/// Builds the batch ("exact") side of --exact-compare from the records
+/// the daemon accepted, in the same order.
+struct exact_state {
+    lsm::characterize::streaming_summary summary;
+    std::vector<double> durations;
+    std::vector<double> gaps;
+    std::vector<lsm::seconds_t> starts;
+    std::vector<std::uint64_t> object_counts;
+    lsm::characterize::session_set sessions;
+    std::vector<double> session_on;
+    std::vector<double> session_transfers;
+    std::array<std::uint64_t, 24> hour_of_day{};
+
+    explicit exact_state(const live_daemon_config& cfg,
+                         const std::vector<lsm::log_record>& kept)
+        : summary(lsm::characterize::streaming_summary_config{
+              cfg.congestion_threshold_bps, false, cfg.hll_precision,
+              cfg.seed}),
+          object_counts(std::size_t{1} << 16, 0) {
+        lsm::trace t;
+        for (const lsm::log_record& r : kept) {
+            summary.add(r);
+            durations.push_back(static_cast<double>(r.duration));
+            if (!starts.empty())
+                gaps.push_back(static_cast<double>(r.start - starts.back()));
+            starts.push_back(r.start);
+            ++object_counts[r.object];
+            ++hour_of_day[static_cast<std::size_t>(
+                lsm::hour_of_day(r.start))];
+            t.add(r);
+        }
+        sessions = lsm::characterize::build_sessions(t, cfg.session_timeout);
+        for (const auto& s : sessions.sessions) {
+            session_on.push_back(static_cast<double>(s.on_time()));
+            session_transfers.push_back(
+                static_cast<double>(s.num_transfers));
+        }
+    }
+};
+
+/// Publishes the exact batch values under the daemon's metric names so
+/// `lsm_metrics_diff --gate-all` can hold the two documents together.
+void export_exact_metrics(lsm::obs::registry& reg, const exact_state& ex,
+                          const live_daemon& d,
+                          const lsm::ingest_report& batch_report) {
+    auto g = [&reg](const std::string& name, std::int64_t v) {
+        reg.get_gauge(name).set(v);
+    };
+    const auto& s = ex.summary;
+    g("live/records", static_cast<std::int64_t>(s.transfers()));
+    g("live/dropped/negative",
+      static_cast<std::int64_t>(d.dropped_negative()));
+    g("live/dropped/out_of_window",
+      static_cast<std::int64_t>(d.dropped_out_of_window()));
+    g("live/dropped/unsorted",
+      static_cast<std::int64_t>(d.dropped_unsorted()));
+    g("live/distinct/clients",
+      static_cast<std::int64_t>(s.distinct_clients()));
+    g("live/distinct/ips", static_cast<std::int64_t>(s.distinct_ips()));
+    g("live/distinct/asns", static_cast<std::int64_t>(s.distinct_asns()));
+    g("live/distinct/objects",
+      static_cast<std::int64_t>(s.distinct_objects()));
+    g("live/total_bytes",
+      static_cast<std::int64_t>(std::llround(s.total_bytes())));
+    g("live/congested_ppm", scaled(s.congestion_bound_fraction()));
+    if (s.log_length().count() > 0) {
+        g("live/moments/log_length_mean_x1e6", scaled(s.log_length().mean()));
+        g("live/moments/log_length_stddev_x1e6",
+          scaled(s.log_length().stddev()));
+    }
+    if (s.log_interarrival().count() > 0) {
+        g("live/moments/log_interarrival_mean_x1e6",
+          scaled(s.log_interarrival().mean()));
+        g("live/moments/log_interarrival_stddev_x1e6",
+          scaled(s.log_interarrival().stddev()));
+    }
+    if (s.bandwidth().count() > 0) {
+        g("live/moments/bandwidth_mean_bps",
+          static_cast<std::int64_t>(std::llround(s.bandwidth().mean())));
+    }
+    auto quantiles = [&](const std::string& base,
+                         const std::vector<double>& v) {
+        if (v.empty()) return;
+        g(base + "_p50_x1e6", scaled(exact_quantile(v, 0.50)));
+        g(base + "_p90_x1e6", scaled(exact_quantile(v, 0.90)));
+        g(base + "_p99_x1e6", scaled(exact_quantile(v, 0.99)));
+    };
+    quantiles("live/quantile/duration", ex.durations);
+    quantiles("live/quantile/interarrival", ex.gaps);
+    quantiles("live/quantile/session_on", ex.session_on);
+    quantiles("live/quantile/session_transfers", ex.session_transfers);
+    g("live/sessions_closed",
+      static_cast<std::int64_t>(ex.sessions.sessions.size()));
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked;
+    for (std::uint32_t o = 0; o < ex.object_counts.size(); ++o) {
+        if (ex.object_counts[o] > 0)
+            ranked.emplace_back(ex.object_counts[o], o);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    });
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size());
+         ++i) {
+        g("live/object/rank" + std::to_string(i + 1) + "_count",
+          static_cast<std::int64_t>(ranked[i].first));
+    }
+    for (std::size_t h = 0; h < ex.hour_of_day.size(); ++h) {
+        g("live/diurnal/hour_" + std::to_string(h),
+          static_cast<std::int64_t>(ex.hour_of_day[h]));
+    }
+    const live_daemon_config& cfg = d.config();
+    if (!ex.starts.empty() && !d.diurnal_evicted()) {
+        const lsm::seconds_t horizon =
+            (ex.starts.back() / cfg.diurnal_bucket_seconds + 1) *
+            cfg.diurnal_bucket_seconds;
+        const std::vector<double> series = lsm::stats::bin_event_counts(
+            std::span<const lsm::seconds_t>(ex.starts),
+            cfg.diurnal_bucket_seconds, horizon);
+        const std::size_t day_lag = static_cast<std::size_t>(
+            lsm::seconds_per_day / cfg.diurnal_bucket_seconds);
+        if (series.size() > day_lag && day_lag > 0) {
+            const std::vector<double> acf = lsm::stats::autocorrelation(
+                std::span<const double>(series), day_lag);
+            g("live/diurnal/acf_lag1d_x1e6", scaled(acf[day_lag]));
+        }
+    }
+    lsm::publish_ingest_report(&reg, batch_report);
+}
+
+/// Shard-merge byte-identity: rebuilds the daemon's mergeable sketches
+/// from `kept` via run_shards at `nthreads`, merges in shard order, and
+/// compares serialized bytes with the daemon's own sketches.
+bool shard_merge_identical(const std::vector<lsm::log_record>& kept,
+                           const live_daemon& d, unsigned nthreads) {
+    const lsm::hll& ref_hll = d.summary().clients_sketch();
+    const lsm::countmin& ref_cm = d.object_counts();
+    const double alpha = d.duration_sketch().relative_accuracy();
+    struct shard_sketches {
+        std::vector<lsm::hll> hlls;
+        lsm::quantile_sketch q_dur;
+        lsm::quantile_sketch q_gap;
+        lsm::countmin cm;
+        shard_sketches(const live_daemon& d, double alpha)
+            : q_dur(alpha),
+              q_gap(alpha),
+              cm(d.object_counts().depth(), d.object_counts().width(),
+                 d.object_counts().seed()) {
+            hlls.emplace_back(d.summary().clients_sketch().precision(),
+                              d.summary().clients_sketch().seed());
+            hlls.emplace_back(d.summary().ips_sketch().precision(),
+                              d.summary().ips_sketch().seed());
+            hlls.emplace_back(d.summary().asns_sketch().precision(),
+                              d.summary().asns_sketch().seed());
+            hlls.emplace_back(d.summary().objects_sketch().precision(),
+                              d.summary().objects_sketch().seed());
+        }
+    };
+    std::vector<shard_sketches> parts;
+    parts.reserve(nthreads);
+    for (unsigned i = 0; i < nthreads; ++i) parts.emplace_back(d, alpha);
+    lsm::thread_pool pool(nthreads);
+    pool.run_shards(nthreads, [&](std::size_t shard) {
+        const auto [lo, hi] =
+            lsm::shard_bounds(kept.size(), nthreads, shard);
+        shard_sketches& p = parts[shard];
+        for (std::size_t i = lo; i < hi; ++i) {
+            const lsm::log_record& r = kept[i];
+            p.hlls[0].add(r.client);
+            p.hlls[1].add(r.ip);
+            p.hlls[2].add(r.asn);
+            p.hlls[3].add(r.object);
+            p.q_dur.add(static_cast<double>(r.duration));
+            if (i > 0)
+                p.q_gap.add(
+                    static_cast<double>(r.start - kept[i - 1].start));
+            p.cm.add(r.object);
+        }
+    });
+    shard_sketches merged = std::move(parts[0]);
+    for (unsigned i = 1; i < nthreads; ++i) {
+        for (std::size_t h = 0; h < merged.hlls.size(); ++h)
+            merged.hlls[h].merge(parts[i].hlls[h]);
+        merged.q_dur.merge(parts[i].q_dur);
+        merged.q_gap.merge(parts[i].q_gap);
+        merged.cm.merge(parts[i].cm);
+    }
+    return merged.hlls[0].serialize() == ref_hll.serialize() &&
+           merged.hlls[1].serialize() ==
+               d.summary().ips_sketch().serialize() &&
+           merged.hlls[2].serialize() ==
+               d.summary().asns_sketch().serialize() &&
+           merged.hlls[3].serialize() ==
+               d.summary().objects_sketch().serialize() &&
+           merged.q_dur.serialize() == d.duration_sketch().serialize() &&
+           merged.q_gap.serialize() ==
+               d.interarrival_sketch().serialize() &&
+           merged.cm.serialize() == ref_cm.serialize();
+}
+
+int run_exact_compare(const std::string& path, live_daemon& d) {
+    d.finish();
+    // Re-read the same file in batch and apply the daemon's record
+    // acceptance rules to reconstruct the accepted sequence.
+    lsm::ingest_report batch_report;
+    const lsm::trace t =
+        lsm::read_wms_log_file(path, d.config().ingest, &batch_report);
+    std::vector<lsm::log_record> kept;
+    kept.reserve(t.size());
+    lsm::seconds_t prev = 0;
+    bool have_prev = false;
+    const lsm::seconds_t window = t.window_length();
+    for (const lsm::log_record& r : t.records()) {
+        if (r.start < 0 || r.duration < 0) continue;
+        if (window > 0 && (r.start >= window || r.end() > window)) continue;
+        if (have_prev && r.start < prev) continue;
+        kept.push_back(r);
+        prev = r.start;
+        have_prev = true;
+    }
+    const exact_state ex(d.config(), kept);
+
+    int failures = 0;
+    auto check = [&failures](bool ok, const std::string& what) {
+        if (!ok) {
+            std::cerr << "exact-compare FAIL: " << what << "\n";
+            ++failures;
+        }
+    };
+    auto within = [](double est, double exact, double bound) {
+        return std::abs(est - exact) <= bound * std::abs(exact) + 1e-9;
+    };
+
+    check(d.records() == kept.size(), "accepted record count");
+    const auto& ds = d.summary();
+    const auto& es = ex.summary;
+    check(ds.transfers() == es.transfers(), "transfer count");
+    check(ds.total_bytes() == es.total_bytes(), "total bytes");
+    check(ds.congestion_bound_fraction() == es.congestion_bound_fraction(),
+          "congestion fraction");
+    check(ds.log_length().count() == es.log_length().count() &&
+              ds.log_length().mean() == es.log_length().mean() &&
+              ds.log_length().stddev() == es.log_length().stddev(),
+          "log-length moments (must be bit-identical)");
+    check(ds.log_interarrival().count() == es.log_interarrival().count() &&
+              ds.log_interarrival().mean() == es.log_interarrival().mean(),
+          "log-interarrival moments (must be bit-identical)");
+
+    const double hll_bound = ds.distinct_error_bound();
+    check(within(static_cast<double>(ds.distinct_clients()),
+                 static_cast<double>(es.distinct_clients()), hll_bound),
+          "distinct clients within HLL bound");
+    check(within(static_cast<double>(ds.distinct_ips()),
+                 static_cast<double>(es.distinct_ips()), hll_bound),
+          "distinct ips within HLL bound");
+    check(within(static_cast<double>(ds.distinct_asns()),
+                 static_cast<double>(es.distinct_asns()), hll_bound),
+          "distinct asns within HLL bound");
+    check(within(static_cast<double>(ds.distinct_objects()),
+                 static_cast<double>(es.distinct_objects()), hll_bound),
+          "distinct objects within HLL bound");
+
+    auto check_quantiles = [&](const std::string& what,
+                               const lsm::quantile_sketch& q,
+                               const std::vector<double>& v) {
+        if (v.empty()) return;
+        const double a = q.relative_accuracy();
+        for (double p : {0.50, 0.90, 0.99}) {
+            check(within(q.quantile(p), exact_quantile(v, p), a),
+                  what + " p" + std::to_string(static_cast<int>(p * 100)) +
+                      " within alpha");
+        }
+    };
+    check_quantiles("duration", d.duration_sketch(), ex.durations);
+    check_quantiles("interarrival", d.interarrival_sketch(), ex.gaps);
+    check_quantiles("session on-time", d.session_on_time_sketch(),
+                    ex.session_on);
+    check_quantiles("session transfers", d.session_transfers_sketch(),
+                    ex.session_transfers);
+
+    check(d.sessions_closed() == ex.sessions.sessions.size(),
+          "session count (streaming sessionizer vs build_sessions)");
+
+    const lsm::countmin& cm = d.object_counts();
+    const double cm_slack =
+        cm.epsilon() * static_cast<double>(cm.total());
+    for (lsm::object_id o : d.objects_seen()) {
+        const std::uint64_t est = cm.estimate(o);
+        const std::uint64_t exact = ex.object_counts[o];
+        check(est >= exact &&
+                  static_cast<double>(est) <=
+                      static_cast<double>(exact) + cm_slack,
+              "count-min estimate for object " + std::to_string(o));
+    }
+
+    if (!d.diurnal_evicted() && !ex.starts.empty()) {
+        const auto& cfg = d.config();
+        const lsm::seconds_t horizon =
+            (ex.starts.back() / cfg.diurnal_bucket_seconds + 1) *
+            cfg.diurnal_bucket_seconds;
+        const std::vector<double> exact_series =
+            lsm::stats::bin_event_counts(
+                std::span<const lsm::seconds_t>(ex.starts),
+                cfg.diurnal_bucket_seconds, horizon);
+        check(d.diurnal_series() == exact_series,
+              "diurnal hourly series (exact counts)");
+    }
+    check(d.hour_of_day_counts() == ex.hour_of_day,
+          "hour-of-day histogram (exact counts)");
+
+    for (unsigned nthreads : {1u, 2u, 8u}) {
+        check(shard_merge_identical(kept, d, nthreads),
+              "shard-merged sketches byte-identical at " +
+                  std::to_string(nthreads) + " thread(s)");
+    }
+
+    if (failures == 0) {
+        std::cout << "exact-compare OK: " << kept.size() << " records, "
+                  << ex.sessions.sessions.size()
+                  << " sessions; every sketch estimate within its stated "
+                     "bound; shard merges byte-identical at 1/2/8 "
+                     "threads\n";
+    }
+    return failures == 0 ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::cerr
+            << "usage: " << argv[0] << " <log-path> [--follow]"
+            << " [--exact-compare] [--seed N] [--on-error P]"
+            << " [--timeout N] [--snapshot-out PATH] [--metrics-out PATH]"
+            << " [--exact-metrics-out PATH] [--snapshot-every-records N]"
+            << " [--poll-ms N] [--stop-after-records N] [--resume PATH]"
+            << " [--quarantine-out PATH]\n";
+        return 2;
+    }
+    const std::string log_path = argv[1];
+    live_daemon_config cfg;
+    cfg.ingest.on_error = lsm::on_error_policy::skip;
+    bool follow = false;
+    bool exact_compare = false;
+    std::string snapshot_out;
+    std::string metrics_out;
+    std::string exact_metrics_out;
+    std::string quarantine_out;
+    std::string resume_path;
+    std::uint64_t snapshot_every = 0;
+    std::uint64_t stop_after = 0;
+    int poll_ms = 50;
+    std::size_t read_chunk = std::size_t{1} << 20;
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--follow") {
+            follow = true;
+        } else if (flag == "--exact-compare") {
+            exact_compare = true;
+        } else if (flag == "--seed" && i + 1 < argc) {
+            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (flag == "--on-error" && i + 1 < argc) {
+            try {
+                cfg.ingest.on_error =
+                    lsm::parse_on_error_policy(argv[++i]);
+            } catch (const std::exception& e) {
+                std::cerr << e.what() << "\n";
+                return 2;
+            }
+        } else if (flag == "--timeout" && i + 1 < argc) {
+            cfg.session_timeout = std::atoll(argv[++i]);
+        } else if (flag == "--snapshot-out" && i + 1 < argc) {
+            snapshot_out = argv[++i];
+        } else if (flag == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
+        } else if (flag == "--exact-metrics-out" && i + 1 < argc) {
+            exact_metrics_out = argv[++i];
+        } else if (flag == "--snapshot-every-records" && i + 1 < argc) {
+            snapshot_every = std::strtoull(argv[++i], nullptr, 10);
+        } else if (flag == "--poll-ms" && i + 1 < argc) {
+            poll_ms = std::atoi(argv[++i]);
+        } else if (flag == "--read-chunk-bytes" && i + 1 < argc) {
+            read_chunk = std::strtoull(argv[++i], nullptr, 10);
+            if (read_chunk == 0) {
+                std::cerr << "--read-chunk-bytes must be positive\n";
+                return 2;
+            }
+        } else if (flag == "--stop-after-records" && i + 1 < argc) {
+            stop_after = std::strtoull(argv[++i], nullptr, 10);
+        } else if (flag == "--resume" && i + 1 < argc) {
+            resume_path = argv[++i];
+        } else if (flag == "--quarantine-out" && i + 1 < argc) {
+            quarantine_out = argv[++i];
+            cfg.ingest.on_error = lsm::on_error_policy::quarantine;
+        } else {
+            std::cerr << "unknown or incomplete flag: " << flag << "\n";
+            return 2;
+        }
+    }
+
+    try {
+        live_daemon daemon(cfg);
+        std::uint64_t start_offset = 0;
+        if (!resume_path.empty()) {
+            std::ifstream in(resume_path, std::ios::binary);
+            if (!in) {
+                std::cerr << "cannot open snapshot: " << resume_path
+                          << "\n";
+                return 2;
+            }
+            std::string bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+            daemon = live_daemon::load_snapshot(bytes);
+            start_offset = daemon.consumed_offset();
+            std::cout << "resumed at offset " << start_offset << " ("
+                      << daemon.records() << " records)\n";
+        }
+
+        lsm::tail_reader tail(log_path, start_offset);
+        std::uint64_t file_generation = 0;
+
+        auto emit = [&](bool warn_only) {
+            if (!snapshot_out.empty()) {
+                lsm::obs::try_write_sink(
+                    "snapshot", snapshot_out,
+                    [&] {
+                        lsm::obs::write_file_atomic(snapshot_out,
+                                                    daemon.save_snapshot());
+                    },
+                    std::cerr);
+            }
+            if (!metrics_out.empty()) {
+                lsm::obs::registry reg;
+                daemon.export_metrics(reg);
+                reg.get_gauge("live/tail/rotations")
+                    .set(static_cast<std::int64_t>(tail.rotations()));
+                reg.get_gauge("live/tail/truncations")
+                    .set(static_cast<std::int64_t>(tail.truncations()));
+                lsm::obs::try_write_sink(
+                    "metrics", metrics_out,
+                    [&] { reg.write_json_file(metrics_out); }, std::cerr);
+            }
+            (void)warn_only;
+        };
+
+        std::string buf;
+        std::uint64_t last_emit_records = 0;
+        bool done = false;
+        while (!done) {
+            buf.clear();
+            const std::size_t n = tail.poll(buf, read_chunk);
+            const std::uint64_t generation =
+                tail.rotations() + tail.truncations();
+            if (generation != file_generation) {
+                file_generation = generation;
+                daemon.on_file_restart();
+            }
+            if (n > 0) {
+                daemon.consume_bytes(buf);
+                if (snapshot_every > 0 &&
+                    daemon.records() - last_emit_records >= snapshot_every) {
+                    last_emit_records = daemon.records();
+                    emit(true);
+                }
+            }
+            if (stop_after > 0 && daemon.records() >= stop_after) {
+                done = true;
+            } else if (n == 0) {
+                if (follow) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(poll_ms));
+                } else {
+                    done = true;  // drained to EOF in one-shot mode
+                }
+            }
+        }
+
+        int rc = 0;
+        if (exact_compare) {
+            // Snapshot BEFORE finish(): a snapshot must stay resumable
+            // (finish closes every open session).
+            emit(false);
+            rc = run_exact_compare(log_path, daemon);
+            if (!metrics_out.empty()) {
+                lsm::obs::registry reg;
+                daemon.export_metrics(reg);
+                lsm::obs::try_write_sink(
+                    "metrics", metrics_out,
+                    [&] { reg.write_json_file(metrics_out); }, std::cerr);
+            }
+            if (!exact_metrics_out.empty()) {
+                lsm::ingest_report batch_report;
+                const lsm::trace t = lsm::read_wms_log_file(
+                    log_path, cfg.ingest, &batch_report);
+                std::vector<lsm::log_record> kept;
+                lsm::seconds_t prev = 0;
+                bool have_prev = false;
+                for (const lsm::log_record& r : t.records()) {
+                    if (r.start < 0 || r.duration < 0) continue;
+                    if (t.window_length() > 0 &&
+                        (r.start >= t.window_length() ||
+                         r.end() > t.window_length()))
+                        continue;
+                    if (have_prev && r.start < prev) continue;
+                    kept.push_back(r);
+                    prev = r.start;
+                    have_prev = true;
+                }
+                const exact_state ex(cfg, kept);
+                lsm::obs::registry reg;
+                export_exact_metrics(reg, ex, daemon, batch_report);
+                lsm::obs::try_write_sink(
+                    "exact metrics", exact_metrics_out,
+                    [&] { reg.write_json_file(exact_metrics_out); },
+                    std::cerr);
+            }
+        } else {
+            emit(false);
+        }
+
+        if (!quarantine_out.empty()) {
+            lsm::obs::try_write_sink(
+                "quarantine", quarantine_out,
+                [&] {
+                    lsm::write_quarantine_file(daemon.report(),
+                                               quarantine_out);
+                },
+                std::cerr);
+        }
+        if (!daemon.report().clean()) {
+            std::cerr << "ingest: " << daemon.report().summary() << "\n";
+        }
+        std::cout << "consumed " << daemon.records() << " records ("
+                  << daemon.sessions_closed() << " sessions closed, "
+                  << daemon.open_session_count() << " open) at offset "
+                  << daemon.consumed_offset() << "\n";
+        return rc;
+    } catch (const std::exception& e) {
+        std::cerr << "lsm_live failed: " << e.what() << "\n";
+        return 2;
+    }
+}

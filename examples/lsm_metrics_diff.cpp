@@ -10,9 +10,15 @@
 // Flags:
 //   --threshold F     fractional slowdown that fails the gate
 //                     (default 0.25 = +25%)
+//   --max-regress P   same knob in percent (P=10 means +10%), so CI
+//                     jobs can tune the gate without code edits
 //   --min-time-ms F   time metrics with a baseline below this never
 //                     gate (default 1ms — sub-millisecond spans are
 //                     timer noise)
+//   --gate-all        gate every paired metric, two-sided (|delta| >
+//                     threshold·|base|) — the accuracy-gate mode the
+//                     live-daemon job uses to compare sketch estimates
+//                     against exact batch values
 //   --report-only     print the table but always exit 0 (CI smoke mode
 //                     for runs on shared, noisy hardware)
 //
@@ -38,6 +44,14 @@ int main(int argc, char** argv) {
                 std::cerr << "--threshold must be positive\n";
                 return 2;
             }
+        } else if (flag == "--max-regress" && i + 1 < argc) {
+            opts.threshold = std::atof(argv[++i]) / 100.0;
+            if (opts.threshold <= 0.0) {
+                std::cerr << "--max-regress must be positive\n";
+                return 2;
+            }
+        } else if (flag == "--gate-all") {
+            opts.gate_all = true;
         } else if (flag == "--min-time-ms" && i + 1 < argc) {
             opts.min_time_ns = std::atof(argv[++i]) * 1e6;
             if (opts.min_time_ns < 0.0) {
@@ -57,7 +71,8 @@ int main(int argc, char** argv) {
     }
     if (base_path.empty() || test_path.empty()) {
         std::cerr << "usage: " << argv[0]
-                  << " [--threshold F] [--min-time-ms F] [--report-only]"
+                  << " [--threshold F] [--max-regress P] [--min-time-ms F]"
+                  << " [--gate-all] [--report-only]"
                   << " <base.json> <test.json>\n";
         return 2;
     }

@@ -1,0 +1,72 @@
+# End-to-end smoke of the live characterization daemon: generate a
+# workload, serialize it as the WMS log lsm_live tails, run the daemon
+# in --exact-compare mode (every sketch estimate must land within its
+# stated bound and shard merges must be byte-identical at 1/2/8
+# threads), gate the live metrics against the exact batch metrics with
+# lsm_metrics_diff --gate-all, and replay a kill-and-resume mid-stream
+# to prove the final snapshot is byte-identical to an uninterrupted
+# run. The CI live-daemon job runs the same flow at 1.2M records with
+# a writer appending chunks while the daemon tails.
+execute_process(COMMAND ${GEN} live_smoke.csv scale=0.02 days=2 seed=5
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen_workload failed: ${rc}")
+endif()
+execute_process(COMMAND ${CONVERT} live_smoke.csv live_smoke.log
+                        --format wms
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_convert --format wms failed: ${rc}")
+endif()
+
+# 1. Exact-compare: the accuracy gate.
+execute_process(COMMAND ${LIVE} live_smoke.log --exact-compare
+                        --metrics-out live_smoke_live.json
+                        --exact-metrics-out live_smoke_exact.json
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lsm_live --exact-compare failed: ${rc}")
+endif()
+foreach(out live_smoke_live.json live_smoke_exact.json)
+  if(NOT EXISTS ${out})
+    message(FATAL_ERROR "expected output missing: ${out}")
+  endif()
+endforeach()
+
+# 2. Sketch-vs-exact metrics within 5% on every paired metric.
+execute_process(COMMAND ${DIFF} --gate-all --max-regress 5
+                        live_smoke_exact.json live_smoke_live.json
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metrics gate (sketch vs exact) failed: ${rc}")
+endif()
+
+# 3. Kill-and-resume determinism: stop mid-file (small read chunks so
+# --stop-after-records lands before EOF), resume from the snapshot,
+# and compare against an uninterrupted run byte for byte.
+execute_process(COMMAND ${LIVE} live_smoke.log --follow
+                        --stop-after-records 1000 --read-chunk-bytes 4096
+                        --snapshot-out live_smoke_s1.snap
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "interrupted run failed: ${rc}")
+endif()
+execute_process(COMMAND ${LIVE} live_smoke.log
+                        --resume live_smoke_s1.snap
+                        --snapshot-out live_smoke_s2.snap
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed run failed: ${rc}")
+endif()
+execute_process(COMMAND ${LIVE} live_smoke.log
+                        --snapshot-out live_smoke_s3.snap
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "uninterrupted run failed: ${rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        live_smoke_s2.snap live_smoke_s3.snap
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed snapshot differs from uninterrupted run")
+endif()

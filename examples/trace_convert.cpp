@@ -2,7 +2,7 @@
 // bytes identify CSV vs binary — no input flag needed) and rewrites it
 // in the requested one.
 //
-//   $ ./trace_convert <in> <out> [--format csv|bin] [--compress]
+//   $ ./trace_convert <in> <out> [--format csv|bin|wms] [--compress]
 //                     [--threads N] [--metrics-out m.json]
 //                     [--on-error strict|skip|quarantine] [--max-errors N]
 //                     [--quarantine-out q.txt]
@@ -17,6 +17,9 @@
 // rejected raw bytes (and implies the quarantine policy). --compress
 // writes the varint-coded lsm-trace-bin-v2 layout instead of v1 (binary
 // output only; readers sniff the version, so no decode flag exists).
+// --format wms emits the Windows Media Services W3C log flavor
+// (core/wms_log.h), records sorted by start time — the input format the
+// live daemon (`lsm_live`) tails.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -25,13 +28,14 @@
 #include "core/parallel.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
+#include "core/wms_log.h"
 #include "obs/metrics.h"
 #include "obs/sinks.h"
 
 int main(int argc, char** argv) {
     if (argc < 3) {
         std::cerr << "usage: " << argv[0]
-                  << " <in> <out> [--format csv|bin] [--compress]"
+                  << " <in> <out> [--format csv|bin|wms] [--compress]"
                   << " [--threads N] [--metrics-out m.json]"
                   << " [--on-error strict|skip|quarantine]"
                   << " [--max-errors N] [--quarantine-out q.txt]\n";
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
     const std::string in_path = argv[1];
     const std::string out_path = argv[2];
     lsm::trace_format format = lsm::trace_format::bin;
+    bool wms_out = false;
     lsm::trace_bin_write_options wopts;
     unsigned threads = 0;  // 0 = hardware concurrency
     std::string metrics_out;
@@ -49,11 +54,16 @@ int main(int argc, char** argv) {
     for (int i = 3; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--format" && i + 1 < argc) {
-            try {
-                format = lsm::parse_trace_format(argv[++i]);
-            } catch (const std::exception& e) {
-                std::cerr << e.what() << "\n";
-                return 1;
+            const std::string name = argv[++i];
+            if (name == "wms") {
+                wms_out = true;
+            } else {
+                try {
+                    format = lsm::parse_trace_format(name);
+                } catch (const std::exception& e) {
+                    std::cerr << e.what() << "\n";
+                    return 1;
+                }
             }
         } else if (flag == "--compress") {
             wopts.compress = true;
@@ -82,7 +92,7 @@ int main(int argc, char** argv) {
     if (!quarantine_out.empty() && !on_error_set) {
         iopts.on_error = lsm::on_error_policy::quarantine;
     }
-    if (wopts.compress && format != lsm::trace_format::bin) {
+    if (wopts.compress && (wms_out || format != lsm::trace_format::bin)) {
         std::cerr << "--compress requires --format bin\n";
         return 1;
     }
@@ -105,12 +115,21 @@ int main(int argc, char** argv) {
         }
         {
             lsm::obs::scoped_timer t_write(metrics, "write");
-            lsm::write_trace_file(tr, out_path, format, wopts);
+            if (wms_out) {
+                // The daemon's streaming sessionizer requires start-
+                // sorted input; emit the log in that order.
+                tr.sort_by_start();
+                lsm::write_wms_log_file(tr, out_path);
+            } else {
+                lsm::write_trace_file(tr, out_path, format, wopts);
+            }
         }
         lsm::obs::add_counter(metrics, "convert/records", tr.size());
         std::cout << "Wrote " << tr.size() << " records to " << out_path
                   << " ("
-                  << (format == lsm::trace_format::bin ? "binary" : "csv")
+                  << (wms_out ? "wms"
+                              : format == lsm::trace_format::bin ? "binary"
+                                                                 : "csv")
                   << ")\n";
     } catch (const std::exception& e) {
         std::cerr << "conversion failed: " << e.what() << "\n";

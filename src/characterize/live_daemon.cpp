@@ -1,0 +1,516 @@
+#include "characterize/live_daemon.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "core/checksum.h"
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "core/time_utils.h"
+#include "obs/metrics.h"
+#include "sketch/sketch_io.h"
+#include "stats/timeseries.h"
+
+namespace lsm::characterize {
+
+namespace {
+
+// rng::stream() ids 0..3 belong to streaming_summary's per-entity HLLs
+// (see streaming_summary.cpp); the daemon's count-min continues the
+// sequence.
+constexpr std::uint64_t k_stream_countmin = 4;
+
+constexpr char k_snap_magic[16] = {'l', 's', 'm', '-', 'l', 'i', 'v', 'e',
+                                   's', 'n', 'a', 'p', '-', 'v', '1', '\0'};
+constexpr std::size_t k_snap_header_bytes = 32;
+constexpr std::size_t k_objects_words = (std::size_t{1} << 16) / 64;
+
+streaming_summary_config summary_config(const live_daemon_config& cfg) {
+    streaming_summary_config sc;
+    sc.congestion_threshold_bps = cfg.congestion_threshold_bps;
+    sc.use_sketches = true;
+    sc.hll_precision = cfg.hll_precision;
+    sc.sketch_seed = cfg.seed;
+    return sc;
+}
+
+std::int64_t scaled(double v) {
+    return static_cast<std::int64_t>(std::llround(v * 1e6));
+}
+
+void put_string(std::string& out, std::string_view s) {
+    put_scalar<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+std::string get_string(byte_reader& r) {
+    auto n = r.get<std::uint32_t>();
+    std::string s(n, '\0');
+    r.raw(s.data(), n);
+    return s;
+}
+
+}  // namespace
+
+live_daemon::live_daemon(const live_daemon_config& cfg)
+    : cfg_(cfg),
+      parser_(cfg.ingest),
+      summary_(summary_config(cfg)),
+      q_duration_(cfg.quantile_alpha),
+      q_gap_(cfg.quantile_alpha),
+      q_session_on_(cfg.quantile_alpha),
+      q_session_transfers_(cfg.quantile_alpha),
+      cm_objects_(cfg.countmin_depth, cfg.countmin_width,
+                  rng(cfg.seed).stream(k_stream_countmin).next_u64()),
+      objects_seen_(k_objects_words, 0),
+      diurnal_ring_(cfg.diurnal_window_buckets, 0) {
+    LSM_EXPECTS(cfg.session_timeout >= 0);
+    LSM_EXPECTS(cfg.diurnal_bucket_seconds > 0);
+    LSM_EXPECTS(cfg.diurnal_window_buckets > 0);
+}
+
+void live_daemon::consume_bytes(std::string_view bytes) {
+    LSM_EXPECTS(!finished_);
+    stream_offset_ += bytes.size();
+    std::size_t pos = 0;
+    while (pos <= bytes.size()) {
+        const std::size_t nl = bytes.find('\n', pos);
+        if (nl == std::string_view::npos) {
+            partial_.append(bytes.substr(pos));
+            break;
+        }
+        if (partial_.empty()) {
+            consume_line(bytes.substr(pos, nl - pos), true);
+        } else {
+            partial_.append(bytes.substr(pos, nl - pos));
+            const std::string line = std::move(partial_);
+            partial_.clear();
+            consume_line(line, true);
+        }
+        pos = nl + 1;
+    }
+}
+
+void live_daemon::on_file_restart() {
+    partial_.clear();
+    stream_offset_ = 0;
+    parser_ = wms_line_parser(cfg_.ingest);
+}
+
+void live_daemon::finish() {
+    if (finished_) return;
+    if (!partial_.empty()) {
+        const std::string line = std::move(partial_);
+        partial_.clear();
+        consume_line(line, false);
+    }
+    for (const auto& [client, s] : open_) close_session(s);
+    open_.clear();
+    finished_ = true;
+}
+
+void live_daemon::consume_line(std::string_view line, bool had_newline) {
+    log_record r;
+    if (!parser_.consume_line(line, had_newline, r, report_)) return;
+    // The batch pipeline's sanitize predicate, applied per record so
+    // --exact-compare holds the daemon to sanitize(trace)'s numbers.
+    const wms_parser_state& st = parser_.state();
+    const seconds_t window = st.has_window ? st.window_length : 0;
+    if (r.start < 0 || r.duration < 0) {
+        ++dropped_negative_;
+        return;
+    }
+    if (window > 0 && (r.start >= window || r.end() > window)) {
+        ++dropped_out_of_window_;
+        return;
+    }
+    // Start-sorted input contract: records stepping backwards cannot be
+    // sessionized incrementally, so they are dropped and counted.
+    if (have_prev_start_ && r.start < prev_start_) {
+        ++dropped_unsorted_;
+        return;
+    }
+    feed_record(r);
+}
+
+void live_daemon::feed_record(const log_record& r) {
+    summary_.add(r);
+    q_duration_.add(static_cast<double>(r.duration));
+    if (have_prev_start_)
+        q_gap_.add(static_cast<double>(r.start - prev_start_));
+    prev_start_ = r.start;
+    have_prev_start_ = true;
+
+    cm_objects_.add(r.object);
+    objects_seen_[static_cast<std::size_t>(r.object) >> 6] |=
+        std::uint64_t{1} << (r.object & 63);
+
+    advance_diurnal(r.start);
+    ++hour_of_day_[static_cast<std::size_t>(hour_of_day(r.start))];
+
+    auto [it, inserted] = open_.try_emplace(
+        r.client, live_open_session{r.start, r.end(), 1});
+    if (!inserted) {
+        live_open_session& s = it->second;
+        if (r.start - s.end > cfg_.session_timeout) {
+            close_session(s);
+            s = live_open_session{r.start, r.end(), 1};
+        } else {
+            if (r.end() > s.end) s.end = r.end();
+            ++s.num_transfers;
+        }
+    }
+
+    ++records_;
+    if (cfg_.sweep_interval_records > 0 &&
+        records_ % cfg_.sweep_interval_records == 0) {
+        sweep_closeable();
+    }
+}
+
+void live_daemon::close_session(const live_open_session& s) {
+    q_session_on_.add(static_cast<double>(s.end - s.start));
+    q_session_transfers_.add(static_cast<double>(s.num_transfers));
+    ++sessions_closed_;
+}
+
+void live_daemon::sweep_closeable() {
+    // With start-sorted input, no future record can extend a session
+    // whose gap to the newest start already exceeds the timeout. The
+    // sketches closing feeds are order-invariant, so the map's
+    // iteration order does not reach the results.
+    for (auto it = open_.begin(); it != open_.end();) {
+        if (prev_start_ - it->second.end > cfg_.session_timeout) {
+            close_session(it->second);
+            it = open_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void live_daemon::advance_diurnal(seconds_t start) {
+    const std::int64_t w = cfg_.diurnal_window_buckets;
+    const std::int64_t b = start / cfg_.diurnal_bucket_seconds;
+    if (!have_diurnal_bucket_) {
+        have_diurnal_bucket_ = true;
+        diurnal_bucket_ = b;
+    } else if (b > diurnal_bucket_) {
+        const std::int64_t steps = std::min(b - diurnal_bucket_, w);
+        for (std::int64_t i = 1; i <= steps; ++i) {
+            diurnal_ring_[static_cast<std::size_t>((diurnal_bucket_ + i) %
+                                                   w)] = 0;
+        }
+        diurnal_bucket_ = b;
+    }
+    if (b >= w) diurnal_evicted_ = true;
+    ++diurnal_ring_[static_cast<std::size_t>(b % w)];
+}
+
+std::vector<std::pair<client_id, live_open_session>>
+live_daemon::open_sessions() const {
+    std::vector<std::pair<client_id, live_open_session>> out(open_.begin(),
+                                                             open_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+}
+
+std::vector<object_id> live_daemon::objects_seen() const {
+    std::vector<object_id> out;
+    for (std::size_t w = 0; w < objects_seen_.size(); ++w) {
+        std::uint64_t word = objects_seen_[w];
+        while (word != 0) {
+            const int bit = std::countr_zero(word);
+            out.push_back(static_cast<object_id>(w * 64 +
+                                                 static_cast<std::size_t>(
+                                                     bit)));
+            word &= word - 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::uint64_t, object_id>> live_daemon::top_objects(
+    std::size_t k) const {
+    std::vector<std::pair<std::uint64_t, object_id>> all;
+    for (object_id o : objects_seen())
+        all.emplace_back(cm_objects_.estimate(o), o);
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    });
+    if (all.size() > k) all.resize(k);
+    return all;
+}
+
+std::vector<double> live_daemon::diurnal_series() const {
+    std::vector<double> out;
+    if (!have_diurnal_bucket_) return out;
+    const std::int64_t w = cfg_.diurnal_window_buckets;
+    const std::int64_t first = std::max<std::int64_t>(
+        0, diurnal_bucket_ - w + 1);
+    out.reserve(static_cast<std::size_t>(diurnal_bucket_ - first + 1));
+    for (std::int64_t b = first; b <= diurnal_bucket_; ++b)
+        out.push_back(static_cast<double>(
+            diurnal_ring_[static_cast<std::size_t>(b % w)]));
+    return out;
+}
+
+std::size_t live_daemon::sketch_state_bytes() const {
+    return 4 * summary_.clients_sketch().state_bytes() +
+           q_duration_.state_bytes() + q_gap_.state_bytes() +
+           q_session_on_.state_bytes() + q_session_transfers_.state_bytes() +
+           cm_objects_.state_bytes();
+}
+
+void live_daemon::export_metrics(obs::registry& reg) const {
+    // The gauges are set, not added, but the ingest/* counters below
+    // accumulate — callers hand in a fresh registry per snapshot.
+    auto g = [&reg](std::string_view name, std::int64_t v) {
+        reg.get_gauge(name).set(v);
+    };
+    g("live/records", static_cast<std::int64_t>(records_));
+    g("live/dropped/negative", static_cast<std::int64_t>(dropped_negative_));
+    g("live/dropped/out_of_window",
+      static_cast<std::int64_t>(dropped_out_of_window_));
+    g("live/dropped/unsorted", static_cast<std::int64_t>(dropped_unsorted_));
+    g("live/distinct/clients",
+      static_cast<std::int64_t>(summary_.distinct_clients()));
+    g("live/distinct/ips", static_cast<std::int64_t>(summary_.distinct_ips()));
+    g("live/distinct/asns",
+      static_cast<std::int64_t>(summary_.distinct_asns()));
+    g("live/distinct/objects",
+      static_cast<std::int64_t>(summary_.distinct_objects()));
+    g("live/total_bytes",
+      static_cast<std::int64_t>(std::llround(summary_.total_bytes())));
+    g("live/congested_ppm", scaled(summary_.congestion_bound_fraction()));
+    if (summary_.log_length().count() > 0) {
+        g("live/moments/log_length_mean_x1e6",
+          scaled(summary_.log_length().mean()));
+        g("live/moments/log_length_stddev_x1e6",
+          scaled(summary_.log_length().stddev()));
+    }
+    if (summary_.log_interarrival().count() > 0) {
+        g("live/moments/log_interarrival_mean_x1e6",
+          scaled(summary_.log_interarrival().mean()));
+        g("live/moments/log_interarrival_stddev_x1e6",
+          scaled(summary_.log_interarrival().stddev()));
+    }
+    if (summary_.bandwidth().count() > 0) {
+        g("live/moments/bandwidth_mean_bps",
+          static_cast<std::int64_t>(std::llround(
+              summary_.bandwidth().mean())));
+    }
+    auto quantiles = [&](std::string_view base, const quantile_sketch& q) {
+        if (q.count() == 0) return;
+        g(std::string(base) + "_p50_x1e6", scaled(q.quantile(0.50)));
+        g(std::string(base) + "_p90_x1e6", scaled(q.quantile(0.90)));
+        g(std::string(base) + "_p99_x1e6", scaled(q.quantile(0.99)));
+    };
+    quantiles("live/quantile/duration", q_duration_);
+    quantiles("live/quantile/interarrival", q_gap_);
+    quantiles("live/quantile/session_on", q_session_on_);
+    quantiles("live/quantile/session_transfers", q_session_transfers_);
+    g("live/sessions_closed", static_cast<std::int64_t>(sessions_closed_));
+    g("live/open_sessions", static_cast<std::int64_t>(open_.size()));
+    const auto top = top_objects(5);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+        g("live/object/rank" + std::to_string(i + 1) + "_count",
+          static_cast<std::int64_t>(top[i].first));
+    }
+    for (std::size_t h = 0; h < hour_of_day_.size(); ++h) {
+        g("live/diurnal/hour_" + std::to_string(h),
+          static_cast<std::int64_t>(hour_of_day_[h]));
+    }
+    const std::vector<double> series = diurnal_series();
+    const std::size_t day_lag = static_cast<std::size_t>(
+        seconds_per_day / cfg_.diurnal_bucket_seconds);
+    if (series.size() > day_lag && day_lag > 0) {
+        const std::vector<double> acf = stats::autocorrelation(
+            std::span<const double>(series), day_lag);
+        g("live/diurnal/acf_lag1d_x1e6", scaled(acf[day_lag]));
+    }
+    g("live/sketch_state_bytes",
+      static_cast<std::int64_t>(sketch_state_bytes()));
+    publish_ingest_report(&reg, report_);
+}
+
+std::string live_daemon::save_snapshot() const {
+    std::string payload;
+    // Config echo: a snapshot is self-describing; load_snapshot
+    // reconstructs the daemon without re-supplying flags.
+    put_scalar<std::uint64_t>(payload, cfg_.seed);
+    put_scalar<std::uint32_t>(payload, cfg_.hll_precision);
+    put_scalar<double>(payload, cfg_.quantile_alpha);
+    put_scalar<std::uint32_t>(payload, cfg_.countmin_depth);
+    put_scalar<std::uint32_t>(payload, cfg_.countmin_width);
+    put_scalar<std::int64_t>(payload, cfg_.session_timeout);
+    put_scalar<std::int64_t>(payload, cfg_.diurnal_bucket_seconds);
+    put_scalar<std::uint32_t>(payload, cfg_.diurnal_window_buckets);
+    put_scalar<double>(payload, cfg_.congestion_threshold_bps);
+    put_scalar<std::uint32_t>(payload, cfg_.sweep_interval_records);
+    put_scalar<std::uint8_t>(payload,
+                             static_cast<std::uint8_t>(cfg_.ingest.on_error));
+    put_scalar<std::uint64_t>(payload, cfg_.ingest.max_errors);
+    put_scalar<std::uint64_t>(payload, cfg_.ingest.max_samples);
+    // Tail position and parser state.
+    put_scalar<std::uint64_t>(payload, consumed_offset());
+    const wms_parser_state& ps = parser_.state();
+    put_scalar<std::int64_t>(payload, ps.line_no);
+    put_scalar<std::uint8_t>(payload, ps.fields_seen ? 1 : 0);
+    put_scalar<std::uint8_t>(payload, ps.has_window ? 1 : 0);
+    put_scalar<std::uint8_t>(payload, ps.has_start_day ? 1 : 0);
+    put_scalar<std::int64_t>(payload, ps.window_length);
+    put_scalar<std::int32_t>(payload, ps.start_day);
+    // Record counters.
+    put_scalar<std::uint64_t>(payload, records_);
+    put_scalar<std::uint64_t>(payload, dropped_negative_);
+    put_scalar<std::uint64_t>(payload, dropped_out_of_window_);
+    put_scalar<std::uint64_t>(payload, dropped_unsorted_);
+    put_scalar<std::uint64_t>(payload, sessions_closed_);
+    put_scalar<std::uint8_t>(payload, have_prev_start_ ? 1 : 0);
+    put_scalar<std::int64_t>(payload, prev_start_);
+    // Ingest totals (samples and quarantine bytes intentionally not
+    // persisted).
+    put_scalar<std::uint64_t>(payload, report_.records_recovered);
+    put_scalar<std::uint64_t>(payload, report_.errors_total);
+    put_scalar<std::uint64_t>(payload, report_.lines_rejected);
+    put_scalar<std::uint64_t>(payload, report_.bytes_rejected);
+    put_scalar<std::uint32_t>(
+        payload,
+        static_cast<std::uint32_t>(report_.errors_by_category.size()));
+    for (const auto& [cat, n] : report_.errors_by_category) {
+        put_string(payload, cat);
+        put_scalar<std::uint64_t>(payload, n);
+    }
+    // Accumulators and sketches.
+    summary_.save(payload);
+    payload += q_duration_.serialize();
+    payload += q_gap_.serialize();
+    payload += q_session_on_.serialize();
+    payload += q_session_transfers_.serialize();
+    payload += cm_objects_.serialize();
+    payload.append(reinterpret_cast<const char*>(objects_seen_.data()),
+                   objects_seen_.size() * sizeof(std::uint64_t));
+    // Open sessions, sorted by client for byte-stable output.
+    const auto open = open_sessions();
+    put_scalar<std::uint64_t>(payload, open.size());
+    for (const auto& [client, s] : open) {
+        put_scalar<std::uint64_t>(payload, client);
+        put_scalar<std::int64_t>(payload, s.start);
+        put_scalar<std::int64_t>(payload, s.end);
+        put_scalar<std::uint32_t>(payload, s.num_transfers);
+    }
+    // Diurnal state.
+    put_scalar<std::uint8_t>(payload, have_diurnal_bucket_ ? 1 : 0);
+    put_scalar<std::int64_t>(payload, diurnal_bucket_);
+    put_scalar<std::uint8_t>(payload, diurnal_evicted_ ? 1 : 0);
+    payload.append(reinterpret_cast<const char*>(diurnal_ring_.data()),
+                   diurnal_ring_.size() * sizeof(std::uint64_t));
+    payload.append(reinterpret_cast<const char*>(hour_of_day_.data()),
+                   hour_of_day_.size() * sizeof(std::uint64_t));
+
+    std::string out;
+    out.reserve(k_snap_header_bytes + payload.size());
+    out.append(k_snap_magic, sizeof k_snap_magic);
+    put_scalar<std::uint64_t>(out, payload.size());
+    put_scalar<std::uint64_t>(out,
+                              fnv1a64_words(payload.data(), payload.size()));
+    out.append(payload);
+    return out;
+}
+
+live_daemon live_daemon::load_snapshot(std::string_view bytes) {
+    if (bytes.size() < k_snap_header_bytes)
+        throw sketch_io_error("lsm-livesnap-v1: truncated header");
+    if (std::memcmp(bytes.data(), k_snap_magic, sizeof k_snap_magic) != 0)
+        throw sketch_io_error("lsm-livesnap-v1: bad magic");
+    std::uint64_t payload_bytes;
+    std::uint64_t checksum;
+    std::memcpy(&payload_bytes, bytes.data() + 16, sizeof payload_bytes);
+    std::memcpy(&checksum, bytes.data() + 24, sizeof checksum);
+    if (bytes.size() - k_snap_header_bytes != payload_bytes)
+        throw sketch_io_error("lsm-livesnap-v1: bad payload length");
+    const std::string_view payload = bytes.substr(k_snap_header_bytes);
+    if (fnv1a64_words(payload.data(), payload.size()) != checksum)
+        throw sketch_io_error("lsm-livesnap-v1: checksum mismatch");
+
+    byte_reader r(payload);
+    live_daemon_config cfg;
+    cfg.seed = r.get<std::uint64_t>();
+    cfg.hll_precision = r.get<std::uint32_t>();
+    cfg.quantile_alpha = r.get<double>();
+    cfg.countmin_depth = r.get<std::uint32_t>();
+    cfg.countmin_width = r.get<std::uint32_t>();
+    cfg.session_timeout = r.get<std::int64_t>();
+    cfg.diurnal_bucket_seconds = r.get<std::int64_t>();
+    cfg.diurnal_window_buckets = r.get<std::uint32_t>();
+    cfg.congestion_threshold_bps = r.get<double>();
+    cfg.sweep_interval_records = r.get<std::uint32_t>();
+    cfg.ingest.on_error =
+        static_cast<on_error_policy>(r.get<std::uint8_t>());
+    cfg.ingest.max_errors = r.get<std::uint64_t>();
+    cfg.ingest.max_samples =
+        static_cast<std::size_t>(r.get<std::uint64_t>());
+
+    live_daemon d(cfg);
+    d.stream_offset_ = r.get<std::uint64_t>();  // == consumed offset
+    wms_parser_state ps;
+    ps.line_no = r.get<std::int64_t>();
+    ps.fields_seen = r.get<std::uint8_t>() != 0;
+    ps.has_window = r.get<std::uint8_t>() != 0;
+    ps.has_start_day = r.get<std::uint8_t>() != 0;
+    ps.window_length = r.get<std::int64_t>();
+    ps.start_day = r.get<std::int32_t>();
+    d.parser_ = wms_line_parser(cfg.ingest, ps);
+    d.records_ = r.get<std::uint64_t>();
+    d.dropped_negative_ = r.get<std::uint64_t>();
+    d.dropped_out_of_window_ = r.get<std::uint64_t>();
+    d.dropped_unsorted_ = r.get<std::uint64_t>();
+    d.sessions_closed_ = r.get<std::uint64_t>();
+    d.have_prev_start_ = r.get<std::uint8_t>() != 0;
+    d.prev_start_ = r.get<std::int64_t>();
+    d.report_.records_recovered = r.get<std::uint64_t>();
+    d.report_.errors_total = r.get<std::uint64_t>();
+    d.report_.lines_rejected = r.get<std::uint64_t>();
+    d.report_.bytes_rejected = r.get<std::uint64_t>();
+    const auto ncat = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < ncat; ++i) {
+        std::string cat = get_string(r);
+        d.report_.errors_by_category[std::move(cat)] =
+            r.get<std::uint64_t>();
+    }
+    d.summary_ = streaming_summary::load(r);
+    d.q_duration_ = quantile_sketch::deserialize(take_sketch_frame(r));
+    d.q_gap_ = quantile_sketch::deserialize(take_sketch_frame(r));
+    d.q_session_on_ = quantile_sketch::deserialize(take_sketch_frame(r));
+    d.q_session_transfers_ =
+        quantile_sketch::deserialize(take_sketch_frame(r));
+    d.cm_objects_ = countmin::deserialize(take_sketch_frame(r));
+    r.raw(d.objects_seen_.data(),
+          d.objects_seen_.size() * sizeof(std::uint64_t));
+    const auto nopen = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nopen; ++i) {
+        const auto client = r.get<std::uint64_t>();
+        live_open_session s;
+        s.start = r.get<std::int64_t>();
+        s.end = r.get<std::int64_t>();
+        s.num_transfers = r.get<std::uint32_t>();
+        d.open_.emplace(client, s);
+    }
+    d.have_diurnal_bucket_ = r.get<std::uint8_t>() != 0;
+    d.diurnal_bucket_ = r.get<std::int64_t>();
+    d.diurnal_evicted_ = r.get<std::uint8_t>() != 0;
+    r.raw(d.diurnal_ring_.data(),
+          d.diurnal_ring_.size() * sizeof(std::uint64_t));
+    r.raw(d.hour_of_day_.data(),
+          d.hour_of_day_.size() * sizeof(std::uint64_t));
+    if (!r.exhausted())
+        throw sketch_io_error("lsm-livesnap-v1: trailing payload bytes");
+    return d;
+}
+
+}  // namespace lsm::characterize

@@ -1,0 +1,208 @@
+// Live characterization daemon: one-pass incremental service mode.
+//
+// The paper characterizes its 28-day workload in batch; at the
+// ROADMAP's north-star scale an operator must characterize a stream
+// that cannot be re-read. This daemon consumes a growing WMS log
+// incrementally — bytes in, snapshots out — and maintains:
+//
+//   * a sketch-backed streaming_summary (HLL distinct counts, Welford
+//     log-moments, congestion fraction);
+//   * quantile sketches for the transfer-duration, interarrival,
+//     session ON-time, and transfers-per-session marginals;
+//   * a count-min sketch over object ids (plus an exact 2^16-bit seen
+//     set, so Zipf rank estimates can be enumerated);
+//   * a streaming sessionizer equivalent to batch build_sessions for
+//     start-sorted input: a client's open session closes when a gap
+//     exceeds the timeout, and a deterministic sweep (every
+//     sweep_interval_records) retires sessions no new record could
+//     extend;
+//   * windowed diurnal state: an hourly ring for the ACF plus a
+//     cumulative hour-of-day histogram.
+//
+// Everything the daemon accumulates is either order-invariant (sketch
+// bucket counts, register maxima) or fed in strict input order
+// (Welford moments), so `save_snapshot()` → kill → `load_snapshot()` →
+// feed the remaining bytes produces the byte-identical final snapshot
+// of an uninterrupted run — the resume-determinism contract the CI
+// live-daemon job replays.
+//
+// Input contract: records sorted by start time (write_wms_log output
+// and any sane server log satisfy this). Records that step backwards
+// are dropped and counted, as are records failing the batch pipeline's
+// sanitize predicate, so `--exact-compare` can hold the daemon to the
+// batch characterizer's numbers record-for-record.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "characterize/session_builder.h"
+#include "characterize/streaming_summary.h"
+#include "core/ingest.h"
+#include "core/wms_log.h"
+#include "obs/fwd.h"
+#include "sketch/countmin.h"
+#include "sketch/quantile.h"
+
+namespace lsm::characterize {
+
+struct live_daemon_config {
+    /// Root seed; every sketch hash family derives from it via
+    /// rng::stream(), so a run is reproducible from this one number.
+    std::uint64_t seed = 0;
+    unsigned hll_precision = 14;
+    double quantile_alpha = 0.01;
+    unsigned countmin_depth = 4;
+    std::uint32_t countmin_width = 8192;
+    seconds_t session_timeout = default_session_timeout;
+    /// Diurnal ring geometry: bucket width × window buckets of history
+    /// (defaults: hourly × 14 days).
+    seconds_t diurnal_bucket_seconds = 3600;
+    std::uint32_t diurnal_window_buckets = 336;
+    double congestion_threshold_bps = 25000.0;
+    /// Retire closeable open sessions every this many records — record
+    ///-count based, so sweeps land identically on every byte chunking.
+    std::uint32_t sweep_interval_records = 4096;
+    ingest_options ingest;
+};
+
+/// A client's session still open at the stream head.
+struct live_open_session {
+    seconds_t start = 0;
+    seconds_t end = 0;
+    std::uint32_t num_transfers = 0;
+};
+
+class live_daemon {
+public:
+    explicit live_daemon(const live_daemon_config& cfg = {});
+
+    const live_daemon_config& config() const { return cfg_; }
+
+    /// Feeds raw bytes appended to the tailed log. Complete lines are
+    /// parsed through the ingest-recovery layer; a trailing partial
+    /// line is buffered until its terminator arrives.
+    void consume_bytes(std::string_view bytes);
+
+    /// The tailed file was replaced or truncated: reset the parse
+    /// position (line counter, #Fields state, partial buffer) for the
+    /// new file generation. Accumulated characterization state carries
+    /// across — the workload does not restart because the log rotated.
+    void on_file_restart();
+
+    /// End of input: flushes an unterminated final line and closes
+    /// every open session, making session totals comparable to batch
+    /// build_sessions. Feed no further bytes after this.
+    void finish();
+
+    /// Offset of the end of the last fully consumed line in the current
+    /// file generation — the tail_reader start_offset a resume uses.
+    std::uint64_t consumed_offset() const {
+        return stream_offset_ - partial_.size();
+    }
+
+    const wms_parser_state& parser_state() const { return parser_.state(); }
+    const ingest_report& report() const { return report_; }
+    const streaming_summary& summary() const { return summary_; }
+    const quantile_sketch& duration_sketch() const { return q_duration_; }
+    const quantile_sketch& interarrival_sketch() const { return q_gap_; }
+    const quantile_sketch& session_on_time_sketch() const {
+        return q_session_on_;
+    }
+    const quantile_sketch& session_transfers_sketch() const {
+        return q_session_transfers_;
+    }
+    const countmin& object_counts() const { return cm_objects_; }
+
+    /// Sanitized records accepted into the characterization.
+    std::uint64_t records() const { return records_; }
+    std::uint64_t dropped_negative() const { return dropped_negative_; }
+    std::uint64_t dropped_out_of_window() const {
+        return dropped_out_of_window_;
+    }
+    std::uint64_t dropped_unsorted() const { return dropped_unsorted_; }
+    std::uint64_t sessions_closed() const { return sessions_closed_; }
+    std::size_t open_session_count() const { return open_.size(); }
+    /// Open sessions sorted by client id (the snapshot order).
+    std::vector<std::pair<client_id, live_open_session>> open_sessions()
+        const;
+
+    /// Object ids observed so far, ascending — enumerable because the
+    /// id space is 2^16; pairs with the count-min estimates for Zipf
+    /// rank reporting.
+    std::vector<object_id> objects_seen() const;
+    /// Top-k (estimate, object) by count-min estimate, descending, ties
+    /// broken by ascending object id.
+    std::vector<std::pair<std::uint64_t, object_id>> top_objects(
+        std::size_t k) const;
+
+    /// Hourly ring contents oldest → newest (for the ACF); covers the
+    /// whole stream unless diurnal_evicted().
+    std::vector<double> diurnal_series() const;
+    const std::array<std::uint64_t, 24>& hour_of_day_counts() const {
+        return hour_of_day_;
+    }
+    /// True once the stream outgrew the ring window (ACF is windowed).
+    bool diurnal_evicted() const { return diurnal_evicted_; }
+
+    /// Total resident sketch state (HLLs + quantiles + count-min), for
+    /// the bench counters and capacity planning.
+    std::size_t sketch_state_bytes() const;
+
+    /// Publishes the `live/...` gauge/counter set (plus the ingest/*
+    /// counters) into `reg` — the lsm-metrics-v1 snapshot the CLI
+    /// writes through obs::try_write_sink.
+    void export_metrics(obs::registry& reg) const;
+
+    /// `lsm-livesnap-v1`: checksummed full-state snapshot (config echo,
+    /// tail position, parser state, ingest totals, every sketch, open
+    /// sessions, diurnal state). Error samples and quarantine bytes are
+    /// NOT persisted — they are forensic side-channels, not
+    /// characterization state.
+    std::string save_snapshot() const;
+    static live_daemon load_snapshot(std::string_view bytes);
+
+private:
+    void consume_line(std::string_view line, bool had_newline);
+    void feed_record(const log_record& r);
+    void close_session(const live_open_session& s);
+    void sweep_closeable();
+    void advance_diurnal(seconds_t start);
+
+    live_daemon_config cfg_;
+    wms_line_parser parser_;
+    ingest_report report_;
+    std::string partial_;
+    std::uint64_t stream_offset_ = 0;
+    bool finished_ = false;
+
+    streaming_summary summary_;
+    quantile_sketch q_duration_;
+    quantile_sketch q_gap_;
+    quantile_sketch q_session_on_;
+    quantile_sketch q_session_transfers_;
+    countmin cm_objects_;
+    std::vector<std::uint64_t> objects_seen_;  // 2^16-bit set, 1024 words
+
+    std::uint64_t records_ = 0;
+    std::uint64_t dropped_negative_ = 0;
+    std::uint64_t dropped_out_of_window_ = 0;
+    std::uint64_t dropped_unsorted_ = 0;
+    bool have_prev_start_ = false;
+    seconds_t prev_start_ = 0;
+
+    std::unordered_map<client_id, live_open_session> open_;
+    std::uint64_t sessions_closed_ = 0;
+
+    bool have_diurnal_bucket_ = false;
+    std::int64_t diurnal_bucket_ = 0;  // absolute bucket index
+    bool diurnal_evicted_ = false;
+    std::vector<std::uint64_t> diurnal_ring_;
+    std::array<std::uint64_t, 24> hour_of_day_{};
+};
+
+}  // namespace lsm::characterize

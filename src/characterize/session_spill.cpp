@@ -14,6 +14,7 @@
 #include <thread>
 #include <tuple>
 
+#include "core/checksum.h"
 #include "core/contracts.h"
 #include "core/trace_io.h"
 #include "obs/metrics.h"
@@ -31,53 +32,6 @@ constexpr std::size_t k_cursor_buf_bytes = std::size_t{64} << 10;
 /// producer blocks — enough to overlap sort and write, small enough to
 /// stay inside the memory budget.
 constexpr std::size_t k_flush_queue_depth = 2;
-
-constexpr std::uint64_t k_fnv_offset = 14695981039346656037ULL;
-constexpr std::uint64_t k_fnv_prime = 1099511628211ULL;
-
-/// Incremental FNV-1a-64 over little-endian 64-bit words (final partial
-/// word zero-padded) — the same segmentation as the binary trace
-/// format's fnv1a64_words, fed piecewise.
-struct fnv_stream {
-    std::uint64_t h = k_fnv_offset;
-    std::uint64_t word = 0;
-    unsigned nb = 0;
-
-    void feed(const char* p, std::size_t n) {
-        std::size_t i = 0;
-        while (nb != 0 && i < n) {
-            word |= static_cast<std::uint64_t>(
-                        static_cast<unsigned char>(p[i])) << (8 * nb);
-            ++i;
-            if (++nb == 8) {
-                h = (h ^ word) * k_fnv_prime;
-                word = 0;
-                nb = 0;
-            }
-        }
-        for (; i + 8 <= n; i += 8) {
-            std::uint64_t w;
-            std::memcpy(&w, p + i, 8);
-            h = (h ^ w) * k_fnv_prime;
-        }
-        for (; i < n; ++i) {
-            word |= static_cast<std::uint64_t>(
-                        static_cast<unsigned char>(p[i])) << (8 * nb);
-            ++nb;
-        }
-    }
-
-    std::uint64_t final() const {
-        if (nb == 0) return h;
-        return (h ^ word) * k_fnv_prime;
-    }
-};
-
-std::uint64_t fnv1a64_words(const char* data, std::size_t n) {
-    fnv_stream s;
-    s.feed(data, n);
-    return s.final();
-}
 
 template <typename T>
 void put_scalar(std::string& out, T v) {

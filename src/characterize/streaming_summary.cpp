@@ -4,22 +4,59 @@
 #include <istream>
 
 #include "core/contracts.h"
+#include "core/rng.h"
 #include "core/trace_io.h"
 
 namespace lsm::characterize {
 
+namespace {
+
+// rng::stream() ids for the per-entity hash families; shared with the
+// live daemon so a daemon sketch and a streaming_summary sketch built
+// from the same root seed merge (and compare) byte-identically.
+enum : std::uint64_t {
+    k_stream_clients = 0,
+    k_stream_ips = 1,
+    k_stream_asns = 2,
+    k_stream_objects = 3,
+};
+
+hll make_hll(const streaming_summary_config& cfg, std::uint64_t stream_id) {
+    return hll(cfg.hll_precision,
+               rng(cfg.sketch_seed).stream(stream_id).next_u64());
+}
+
+std::uint64_t hll_count(const hll& h) {
+    return static_cast<std::uint64_t>(std::llround(h.estimate()));
+}
+
+}  // namespace
+
 streaming_summary::streaming_summary(const streaming_summary_config& cfg)
     : cfg_(cfg) {
     LSM_EXPECTS(cfg.congestion_threshold_bps >= 0.0);
+    if (cfg_.use_sketches) {
+        clients_hll_.emplace(make_hll(cfg_, k_stream_clients));
+        ips_hll_.emplace(make_hll(cfg_, k_stream_ips));
+        asns_hll_.emplace(make_hll(cfg_, k_stream_asns));
+        objects_hll_.emplace(make_hll(cfg_, k_stream_objects));
+    }
 }
 
 void streaming_summary::add(const log_record& r) {
     ++transfers_;
     total_bytes_ += r.bytes();
-    clients_.insert(r.client);
-    ips_.insert(r.ip);
-    asns_.insert(r.asn);
-    objects_.insert(r.object);
+    if (cfg_.use_sketches) {
+        clients_hll_->add(r.client);
+        ips_hll_->add(r.ip);
+        asns_hll_->add(r.asn);
+        objects_hll_->add(r.object);
+    } else {
+        clients_.insert(r.client);
+        ips_.insert(r.ip);
+        asns_.insert(r.asn);
+        objects_.insert(r.object);
+    }
     log_len_.add(std::log(static_cast<double>(r.duration) + 1.0));
     bandwidth_.add(r.avg_bandwidth_bps);
     if (r.avg_bandwidth_bps < cfg_.congestion_threshold_bps) ++congested_;
@@ -29,6 +66,110 @@ void streaming_summary::add(const log_record& r) {
     }
     prev_start_ = r.start;
     have_prev_start_ = true;
+}
+
+std::uint64_t streaming_summary::distinct_clients() const {
+    return cfg_.use_sketches ? hll_count(*clients_hll_) : clients_.size();
+}
+
+std::uint64_t streaming_summary::distinct_ips() const {
+    return cfg_.use_sketches ? hll_count(*ips_hll_) : ips_.size();
+}
+
+std::uint64_t streaming_summary::distinct_asns() const {
+    return cfg_.use_sketches ? hll_count(*asns_hll_) : asns_.size();
+}
+
+std::uint64_t streaming_summary::distinct_objects() const {
+    return cfg_.use_sketches ? hll_count(*objects_hll_) : objects_.size();
+}
+
+double streaming_summary::distinct_error_bound() const {
+    return cfg_.use_sketches ? clients_hll_->relative_error_bound() : 0.0;
+}
+
+const hll& streaming_summary::clients_sketch() const {
+    LSM_EXPECTS(cfg_.use_sketches);
+    return *clients_hll_;
+}
+
+const hll& streaming_summary::ips_sketch() const {
+    LSM_EXPECTS(cfg_.use_sketches);
+    return *ips_hll_;
+}
+
+const hll& streaming_summary::asns_sketch() const {
+    LSM_EXPECTS(cfg_.use_sketches);
+    return *asns_hll_;
+}
+
+const hll& streaming_summary::objects_sketch() const {
+    LSM_EXPECTS(cfg_.use_sketches);
+    return *objects_hll_;
+}
+
+namespace {
+
+void put_stats_state(std::string& out, const stats::streaming_stats& s) {
+    const stats::streaming_stats_state st = s.state();
+    put_scalar<std::uint64_t>(out, st.n);
+    put_scalar<double>(out, st.mean);
+    put_scalar<double>(out, st.m2);
+    put_scalar<double>(out, st.min);
+    put_scalar<double>(out, st.max);
+}
+
+stats::streaming_stats get_stats_state(byte_reader& r) {
+    stats::streaming_stats_state st;
+    st.n = r.get<std::uint64_t>();
+    st.mean = r.get<double>();
+    st.m2 = r.get<double>();
+    st.min = r.get<double>();
+    st.max = r.get<double>();
+    return stats::streaming_stats(st);
+}
+
+}  // namespace
+
+void streaming_summary::save(std::string& out) const {
+    LSM_EXPECTS(cfg_.use_sketches);
+    put_scalar<double>(out, cfg_.congestion_threshold_bps);
+    put_scalar<std::uint32_t>(out, cfg_.hll_precision);
+    put_scalar<std::uint64_t>(out, cfg_.sketch_seed);
+    put_scalar<std::uint64_t>(out, transfers_);
+    put_scalar<std::uint64_t>(out, congested_);
+    put_scalar<double>(out, total_bytes_);
+    put_stats_state(out, log_len_);
+    put_stats_state(out, log_gap_);
+    put_stats_state(out, bandwidth_);
+    put_scalar<std::uint8_t>(out, have_prev_start_ ? 1 : 0);
+    put_scalar<std::int64_t>(out, prev_start_);
+    out += clients_hll_->serialize();
+    out += ips_hll_->serialize();
+    out += asns_hll_->serialize();
+    out += objects_hll_->serialize();
+}
+
+streaming_summary streaming_summary::load(byte_reader& r) {
+    streaming_summary_config cfg;
+    cfg.use_sketches = true;
+    cfg.congestion_threshold_bps = r.get<double>();
+    cfg.hll_precision = r.get<std::uint32_t>();
+    cfg.sketch_seed = r.get<std::uint64_t>();
+    streaming_summary s(cfg);
+    s.transfers_ = r.get<std::uint64_t>();
+    s.congested_ = r.get<std::uint64_t>();
+    s.total_bytes_ = r.get<double>();
+    s.log_len_ = get_stats_state(r);
+    s.log_gap_ = get_stats_state(r);
+    s.bandwidth_ = get_stats_state(r);
+    s.have_prev_start_ = r.get<std::uint8_t>() != 0;
+    s.prev_start_ = r.get<std::int64_t>();
+    s.clients_hll_ = hll::deserialize(take_sketch_frame(r));
+    s.ips_hll_ = hll::deserialize(take_sketch_frame(r));
+    s.asns_hll_ = hll::deserialize(take_sketch_frame(r));
+    s.objects_hll_ = hll::deserialize(take_sketch_frame(r));
+    return s;
 }
 
 double streaming_summary::congestion_bound_fraction() const {

@@ -4,16 +4,29 @@
 // over. This module computes the Table-1 summary plus the moment-level
 // transfer statistics (length and interarrival log-moments, bandwidth
 // modes, congestion fraction) in ONE pass over the records, using
-// constant memory per distinct entity class and Welford accumulators for
-// moments. Records must arrive sorted by start time for the interarrival
-// statistics; unsorted input still yields correct non-temporal fields.
+// Welford accumulators for moments. Records must arrive sorted by start
+// time for the interarrival statistics; unsorted input still yields
+// correct non-temporal fields.
+//
+// Distinct-entity counts come in two modes:
+//
+//   * exact (default): one std::unordered_set per entity class. Memory
+//     grows with the number of distinct clients/IPs/ASes/objects — NOT
+//     constant; fine up to a few million distinct clients.
+//   * sketch (opt-in via config): one HyperLogLog per entity class.
+//     Truly constant memory (4 × 2^hll_precision bytes) at the cost of
+//     ~1% relative error; this is what the live daemon runs, and its
+//     `--exact-compare` gate checks sketch vs exact on the same stream.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 
 #include "core/log_record.h"
 #include "core/trace.h"
+#include "sketch/hll.h"
+#include "sketch/sketch_io.h"
 #include "stats/streaming_stats.h"
 
 namespace lsm::characterize {
@@ -21,6 +34,14 @@ namespace lsm::characterize {
 struct streaming_summary_config {
     /// Bandwidth below this counts as congestion-bound (Fig 20).
     double congestion_threshold_bps = 25000.0;
+    /// Opt-in sketch-backed distinct counts (HyperLogLog): bounded
+    /// memory for unbounded entity populations.
+    bool use_sketches = false;
+    /// HLL precision when use_sketches is set (2^p registers each).
+    unsigned hll_precision = 14;
+    /// Root seed for the per-entity hash families; each entity class
+    /// draws an independent seed via rng::stream().
+    std::uint64_t sketch_seed = 0;
 };
 
 class streaming_summary {
@@ -32,12 +53,18 @@ public:
     void add(const log_record& r);
 
     std::uint64_t transfers() const { return transfers_; }
-    std::uint64_t distinct_clients() const { return clients_.size(); }
-    std::uint64_t distinct_ips() const { return ips_.size(); }
-    std::uint64_t distinct_asns() const { return asns_.size(); }
-    std::uint64_t distinct_objects() const { return objects_.size(); }
+    std::uint64_t distinct_clients() const;
+    std::uint64_t distinct_ips() const;
+    std::uint64_t distinct_asns() const;
+    std::uint64_t distinct_objects() const;
     double total_bytes() const { return total_bytes_; }
     double congestion_bound_fraction() const;
+
+    /// True when distinct counts are HLL estimates rather than exact.
+    bool sketch_backed() const { return cfg_.use_sketches; }
+    /// Relative error bound on the distinct counts: the HLL bound in
+    /// sketch mode, 0 in exact mode.
+    double distinct_error_bound() const;
 
     /// Moments of log(duration + 1): a lognormal's (mu, sigma) via the
     /// method of log-moments — matches fit_lognormal_mle up to the n/n-1
@@ -49,6 +76,20 @@ public:
     }
     const stats::streaming_stats& bandwidth() const { return bandwidth_; }
 
+    /// The per-entity HLLs (sketch mode only) — lets the live daemon's
+    /// `--exact-compare` check shard-merged sketches byte-for-byte.
+    const hll& clients_sketch() const;
+    const hll& ips_sketch() const;
+    const hll& asns_sketch() const;
+    const hll& objects_sketch() const;
+
+    /// Appends the full accumulator state to `out` (sketch mode only) —
+    /// a building block of the live daemon's `lsm-livesnap-v1`
+    /// snapshot, not a standalone interchange format.
+    void save(std::string& out) const;
+    /// Restores a summary serialized by save().
+    static streaming_summary load(byte_reader& r);
+
 private:
     streaming_summary_config cfg_;
     std::uint64_t transfers_ = 0;
@@ -58,6 +99,10 @@ private:
     std::unordered_set<ipv4_addr> ips_;
     std::unordered_set<as_number> asns_;
     std::unordered_set<object_id> objects_;
+    std::optional<hll> clients_hll_;
+    std::optional<hll> ips_hll_;
+    std::optional<hll> asns_hll_;
+    std::optional<hll> objects_hll_;
     stats::streaming_stats log_len_;
     stats::streaming_stats log_gap_;
     stats::streaming_stats bandwidth_;

@@ -1,0 +1,65 @@
+// Word-wise FNV-1a-64: the library's one checksum.
+//
+// Every checksummed on-disk format here (`lsm-trace-bin-v*`,
+// `lsm-spill-v1`, `lsm-sketch-v1`, `lsm-livesnap-v1`) folds its payload
+// as little-endian 64-bit words with the final partial word zero-padded
+// — one multiply per 8 payload bytes, so verification never dominates a
+// bulk-copy decode. This header is the single definition those formats
+// share; `fnv_stream` is the incremental flavor for writers that stream
+// a payload piecewise.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace lsm {
+
+inline constexpr std::uint64_t k_fnv64_offset = 14695981039346656037ULL;
+inline constexpr std::uint64_t k_fnv64_prime = 1099511628211ULL;
+
+/// Incremental FNV-1a-64 over little-endian 64-bit words (final partial
+/// word zero-padded). Feeding one buffer or the same bytes piecewise
+/// yields the same digest.
+struct fnv_stream {
+    std::uint64_t h = k_fnv64_offset;
+    std::uint64_t word = 0;
+    unsigned nb = 0;
+
+    void feed(const char* p, std::size_t n) {
+        std::size_t i = 0;
+        while (nb != 0 && i < n) {
+            word |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(p[i])) << (8 * nb);
+            ++i;
+            if (++nb == 8) {
+                h = (h ^ word) * k_fnv64_prime;
+                word = 0;
+                nb = 0;
+            }
+        }
+        for (; i + 8 <= n; i += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, p + i, 8);
+            h = (h ^ w) * k_fnv64_prime;
+        }
+        for (; i < n; ++i) {
+            word |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(p[i])) << (8 * nb);
+            ++nb;
+        }
+    }
+
+    std::uint64_t final() const {
+        if (nb == 0) return h;
+        return (h ^ word) * k_fnv64_prime;
+    }
+};
+
+/// One-shot digest of a whole buffer.
+inline std::uint64_t fnv1a64_words(const char* data, std::size_t n) {
+    fnv_stream s;
+    s.feed(data, n);
+    return s.final();
+}
+
+}  // namespace lsm

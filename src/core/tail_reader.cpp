@@ -1,0 +1,85 @@
+#include "core/tail_reader.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LSM_HAVE_TAIL 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define LSM_HAVE_TAIL 0
+#endif
+
+namespace lsm {
+
+tail_reader::tail_reader(std::string path, std::uint64_t start_offset)
+    : path_(std::move(path)), offset_(start_offset) {}
+
+tail_reader::~tail_reader() { close_file(); }
+
+#if LSM_HAVE_TAIL
+
+void tail_reader::close_file() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::size_t tail_reader::poll(std::string& out, std::size_t max_bytes) {
+    if (fd_ < 0) {
+        fd_ = ::open(path_.c_str(), O_RDONLY);
+        if (fd_ < 0) return 0;  // Not created yet; try again next poll.
+        struct stat st {};
+        if (::fstat(fd_, &st) != 0) {
+            close_file();
+            return 0;
+        }
+        inode_ = static_cast<std::uint64_t>(st.st_ino);
+    }
+
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) {
+        close_file();
+        return 0;
+    }
+    if (static_cast<std::uint64_t>(st.st_size) < offset_) {
+        // Truncated in place (copytruncate rotation): restart at 0.
+        ++truncations_;
+        offset_ = 0;
+    }
+
+    std::size_t want = max_bytes;
+    if (static_cast<std::uint64_t>(st.st_size) - offset_ < want)
+        want = static_cast<std::size_t>(st.st_size - offset_);
+    if (want > 0) {
+        const std::size_t base = out.size();
+        out.resize(base + want);
+        ssize_t n = ::pread(fd_, out.data() + base, want,
+                            static_cast<off_t>(offset_));
+        if (n < 0) n = 0;
+        out.resize(base + static_cast<std::size_t>(n));
+        offset_ += static_cast<std::uint64_t>(n);
+        return static_cast<std::size_t>(n);
+    }
+
+    // Old file fully drained: if the path moved to a new inode, switch
+    // over and restart from the top of the new file.
+    struct stat path_st {};
+    if (::stat(path_.c_str(), &path_st) == 0 &&
+        static_cast<std::uint64_t>(path_st.st_ino) != inode_) {
+        ++rotations_;
+        close_file();
+        offset_ = 0;
+    }
+    return 0;
+}
+
+#else  // !LSM_HAVE_TAIL
+
+void tail_reader::close_file() {}
+
+std::size_t tail_reader::poll(std::string&, std::size_t) { return 0; }
+
+#endif
+
+}  // namespace lsm

@@ -1,0 +1,66 @@
+// Follow-mode reader over a growing log file (`tail -f` semantics).
+//
+// The live characterization daemon consumes a WMS log while the server
+// is still appending to it. `tail_reader` polls the file for bytes past
+// its consumed offset and handles the two events a long-lived tail must
+// survive:
+//
+//   * rotation — the path now names a different inode. The reader first
+//     drains the old file to EOF, then reopens the new one at offset 0.
+//   * truncation — same inode, but the size shrank below the consumed
+//     offset (copytruncate-style rotation). The reader restarts from
+//     offset 0.
+//
+// The reader is deliberately dumb about content: it hands back raw byte
+// chunks and leaves line splitting (and the partial-trailing-line
+// buffer) to the caller, so the caller can define "consumed" as
+// end-of-last-complete-line and resume from a snapshot by constructing
+// a new tail_reader at that offset.
+//
+// Standalone fallback: on non-POSIX builds every poll reports the file
+// as unavailable; the daemon is gated to POSIX hosts like mmap_file's
+// out-of-core path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lsm {
+
+class tail_reader {
+public:
+    /// Starts (re)reading `path` at `start_offset` consumed bytes — 0
+    /// for a fresh tail, a snapshot's consumed offset for a resume.
+    explicit tail_reader(std::string path, std::uint64_t start_offset = 0);
+    ~tail_reader();
+
+    tail_reader(const tail_reader&) = delete;
+    tail_reader& operator=(const tail_reader&) = delete;
+
+    /// Appends newly available bytes (at most `max_bytes`) to `out`.
+    /// Returns the byte count appended; 0 means no new data right now
+    /// (including "file does not exist yet"). Never blocks.
+    std::size_t poll(std::string& out, std::size_t max_bytes = 1 << 20);
+
+    /// Total bytes handed to the caller since start_offset 0 in the
+    /// current file generation (resets on rotation/truncation restart).
+    std::uint64_t offset() const { return offset_; }
+
+    /// Lifetime event counts, exported as daemon gauges.
+    std::uint64_t rotations() const { return rotations_; }
+    std::uint64_t truncations() const { return truncations_; }
+
+    const std::string& path() const { return path_; }
+
+private:
+    void close_file();
+
+    std::string path_;
+    std::uint64_t offset_;
+    std::uint64_t rotations_ = 0;
+    std::uint64_t truncations_ = 0;
+    int fd_ = -1;
+    std::uint64_t inode_ = 0;
+};
+
+}  // namespace lsm

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <vector>
 
+#include "core/checksum.h"
 #include "core/mmap_file.h"
 #include "core/parallel.h"
 #include "core/varint.h"
@@ -59,29 +60,6 @@ constexpr const char* k_column_names[k_num_columns] = {
 constexpr bool column_compressible(std::uint32_t col) {
     return col == 0 || col == 1 || col == 2 || col == 4 || col == 5 ||
            col == 6 || col == 10;
-}
-
-/// FNV-1a-64 over the payload taken as little-endian 64-bit words, the
-/// final partial word zero-padded. Word-wise rather than byte-wise so
-/// verification runs one multiply per 8 bytes — checksumming must not
-/// dominate a format whose whole point is bulk-copy decoding.
-constexpr std::uint64_t k_fnv_offset = 14695981039346656037ULL;
-constexpr std::uint64_t k_fnv_prime = 1099511628211ULL;
-
-std::uint64_t fnv1a64_words(const char* data, std::size_t n) {
-    std::uint64_t h = k_fnv_offset;
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-        std::uint64_t w;
-        std::memcpy(&w, data + i, 8);
-        h = (h ^ w) * k_fnv_prime;
-    }
-    if (i < n) {
-        std::uint64_t w = 0;
-        std::memcpy(&w, data + i, n - i);
-        h = (h ^ w) * k_fnv_prime;
-    }
-    return h;
 }
 
 void put_bytes(std::string& out, const void* p, std::size_t n) {
@@ -801,7 +779,7 @@ constexpr std::size_t k_scan_buf_bytes = std::size_t{1} << 20;
 constexpr std::size_t k_stream_quarantine_cap = std::size_t{1} << 20;
 
 struct payload_scan {
-    std::uint64_t checksum = k_fnv_offset;
+    std::uint64_t checksum = k_fnv64_offset;
     std::uint64_t vcount = 0;      ///< complete varints seen
     std::uint64_t vconsumed = 0;   ///< bytes of complete varints
 };
@@ -831,12 +809,12 @@ payload_scan scan_payload(std::ifstream& in, const std::string& path,
         for (; i + 8 <= want; i += 8) {
             std::uint64_t w;
             std::memcpy(&w, buf.data() + i, 8);
-            s.checksum = (s.checksum ^ w) * k_fnv_prime;
+            s.checksum = (s.checksum ^ w) * k_fnv64_prime;
         }
         if (i < want) {
             std::uint64_t w = 0;
             std::memcpy(&w, buf.data() + i, want - i);
-            s.checksum = (s.checksum ^ w) * k_fnv_prime;
+            s.checksum = (s.checksum ^ w) * k_fnv64_prime;
         }
         left -= want;
         if (!vdone) {

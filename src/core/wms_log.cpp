@@ -155,6 +155,59 @@ log_record parse_wms_record(const std::vector<std::string_view>& f,
 
 }  // namespace
 
+wms_line_parser::wms_line_parser(const ingest_options& opts,
+                                 const wms_parser_state& st)
+    : opts_(opts), state_(st) {}
+
+bool wms_line_parser::consume_line(std::string_view line, bool had_newline,
+                                   log_record& out, ingest_report& rep) {
+    const int line_no = static_cast<int>(++state_.line_no);
+    if (line.empty()) return false;
+    try {
+        if (line[0] == '#') {
+            if (line.rfind("#Date: window=", 0) == 0) {
+                // "#Date: window=<W> start-day=<D>"
+                const auto parts = split_ws(line);
+                for (const auto& p : parts) {
+                    if (p.rfind("window=", 0) == 0) {
+                        state_.window_length = parse_uint<seconds_t>(
+                            p.substr(7), line_no, "window");
+                        state_.has_window = true;
+                    } else if (p.rfind("start-day=", 0) == 0) {
+                        state_.start_day = parse_uint<std::int32_t>(
+                            p.substr(10), line_no, "start-day");
+                        state_.has_start_day = true;
+                    }
+                }
+            } else if (line.rfind("#Fields:", 0) == 0) {
+                if (line != k_fields) {
+                    throw wms_record_error(
+                        "unsupported #Fields layout at line " +
+                            std::to_string(line_no),
+                        "bad_directive");
+                }
+                state_.fields_seen = true;
+            }
+            return false;
+        }
+        if (!state_.fields_seen) {
+            throw wms_record_error("record before #Fields at line " +
+                                       std::to_string(line_no),
+                                   "no_fields");
+        }
+        out = parse_wms_record(split_ws(line), line_no);
+        ++rep.records_recovered;
+        return true;
+    } catch (const wms_log_error& e) {
+        if (opts_.on_error == on_error_policy::strict) throw;
+        rep.add_error(opts_, line_no, wms_error_category(e), e.what());
+        std::string raw(line);
+        if (had_newline) raw += '\n';
+        rep.reject_bytes(opts_, raw);
+        return false;
+    }
+}
+
 void write_wms_log(const trace& t, std::ostream& out) {
     out << "#Software: Microsoft Windows Media Services\n";
     out << "#Version: 1.0\n";
@@ -192,57 +245,18 @@ trace read_wms_log(std::istream& in, const ingest_options& opts,
                    ingest_report* report) {
     ingest_report local;
     ingest_report& rep = report != nullptr ? *report : local;
-    const bool strict = opts.on_error == on_error_policy::strict;
     trace t;
+    wms_line_parser parser(opts);
     std::string line;
-    int line_no = 0;
-    bool fields_seen = false;
+    log_record r;
     while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty()) continue;
-        try {
-            if (line[0] == '#') {
-                if (line.rfind("#Date: window=", 0) == 0) {
-                    // "#Date: window=<W> start-day=<D>"
-                    const auto parts = split_ws(line);
-                    for (const auto& p : parts) {
-                        if (p.rfind("window=", 0) == 0) {
-                            t.set_window_length(parse_uint<seconds_t>(
-                                p.substr(7), line_no, "window"));
-                        } else if (p.rfind("start-day=", 0) == 0) {
-                            t.set_start_day(
-                                static_cast<weekday>(parse_uint<int>(
-                                    p.substr(10), line_no, "start-day")));
-                        }
-                    }
-                } else if (line.rfind("#Fields:", 0) == 0) {
-                    if (line != k_fields) {
-                        throw wms_record_error(
-                            "unsupported #Fields layout at line " +
-                                std::to_string(line_no),
-                            "bad_directive");
-                    }
-                    fields_seen = true;
-                }
-                continue;
-            }
-            if (!fields_seen) {
-                throw wms_record_error("record before #Fields at line " +
-                                           std::to_string(line_no),
-                                       "no_fields");
-            }
-            t.add(parse_wms_record(split_ws(line), line_no));
-            ++rep.records_recovered;
-        } catch (const wms_log_error& e) {
-            if (strict) throw;
-            rep.add_error(opts, line_no, wms_error_category(e), e.what());
-            // Keep the original terminator: getline stripped '\n' unless
-            // the final line was unterminated.
-            std::string raw = line;
-            if (!in.eof()) raw += '\n';
-            rep.reject_bytes(opts, raw);
-        }
+        // getline stripped '\n' unless the final line was unterminated;
+        // consume_line restores the terminator on the reject path.
+        if (parser.consume_line(line, !in.eof(), r, rep)) t.add(r);
     }
+    const wms_parser_state& st = parser.state();
+    if (st.has_window) t.set_window_length(st.window_length);
+    if (st.has_start_day) t.set_start_day(static_cast<weekday>(st.start_day));
     rep.enforce_cap(opts);
     return t;
 }

@@ -21,9 +21,11 @@
 // the loss fraction and document so), CPU as percent.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/ingest.h"
 #include "core/trace.h"
@@ -42,6 +44,42 @@ class wms_record_error : public wms_log_error, public with_error_category {
 public:
     wms_record_error(const std::string& what_arg, const char* category)
         : wms_log_error(what_arg), with_error_category(category) {}
+};
+
+/// Resumable parse-position state for wms_line_parser. Plain data so the
+/// live daemon can serialize it into an `lsm-livesnap-v1` snapshot and
+/// resume a tail mid-file with identical semantics.
+struct wms_parser_state {
+    std::int64_t line_no = 0;
+    bool fields_seen = false;
+    bool has_window = false;
+    bool has_start_day = false;
+    seconds_t window_length = 0;
+    std::int32_t start_day = 0;
+};
+
+/// Incremental, line-at-a-time WMS parser: the one implementation behind
+/// both the batch `read_wms_log` readers and the live daemon's tail loop,
+/// so streaming and batch ingestion reject and recover identically.
+class wms_line_parser {
+public:
+    explicit wms_line_parser(const ingest_options& opts,
+                             const wms_parser_state& st = {});
+
+    /// Feeds one line (terminator already stripped). Returns true when
+    /// `out` now holds a parsed record (and records_recovered was
+    /// counted). Directive and blank lines return false. Malformed lines
+    /// throw under the strict policy; otherwise they are rejected into
+    /// `rep` (with the terminator restored when `had_newline`) and
+    /// return false. Callers apply `enforce_cap` when their scan ends.
+    bool consume_line(std::string_view line, bool had_newline,
+                      log_record& out, ingest_report& rep);
+
+    const wms_parser_state& state() const { return state_; }
+
+private:
+    ingest_options opts_;
+    wms_parser_state state_;
 };
 
 void write_wms_log(const trace& t, std::ostream& out);

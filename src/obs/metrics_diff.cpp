@@ -162,8 +162,21 @@ diff_result diff_metrics(const json_value& base, const json_value& test,
         row.base = b.value;
         row.test = it->second.value;
         row.time_valued = b.time_valued;
-        if (row.time_valued && row.base >= opts.min_time_ns &&
-            row.test > row.base * (1.0 + opts.threshold)) {
+        bool regressed = false;
+        if (opts.gate_all) {
+            if (row.time_valued && row.base < opts.min_time_ns) {
+                // Below the timer-noise floor: never gate.
+            } else if (row.base == 0.0) {
+                regressed = row.test != 0.0;
+            } else {
+                regressed = std::abs(row.test - row.base) >
+                            opts.threshold * std::abs(row.base);
+            }
+        } else {
+            regressed = row.time_valued && row.base >= opts.min_time_ns &&
+                        row.test > row.base * (1.0 + opts.threshold);
+        }
+        if (regressed) {
             row.regressed = true;
             ++result.regressions;
         }
@@ -209,9 +222,14 @@ void print_diff(std::ostream& out, const diff_result& result,
         for (const std::string& n : result.only_test) out << ' ' << n;
         out << '\n';
     }
-    out << result.regressions << " regression(s) beyond +"
-        << opts.threshold * 100.0 << "% (time metrics with base >= "
-        << opts.min_time_ns / 1e6 << "ms)\n";
+    if (opts.gate_all) {
+        out << result.regressions << " regression(s) beyond ±"
+            << opts.threshold * 100.0 << "% (all paired metrics)\n";
+    } else {
+        out << result.regressions << " regression(s) beyond +"
+            << opts.threshold * 100.0 << "% (time metrics with base >= "
+            << opts.min_time_ns / 1e6 << "ms)\n";
+    }
 }
 
 }  // namespace lsm::obs

@@ -28,6 +28,13 @@ struct diff_options {
     double threshold = 0.25;
     /// Time metrics with a baseline below this never gate.
     double min_time_ns = 1e6;
+    /// Gate EVERY paired metric, two-sided: a row regresses when
+    /// |test - base| > threshold * |base|, or base == 0 but test != 0.
+    /// Time metrics keep the min_time_ns noise floor. This is the
+    /// accuracy-gate mode the live-daemon CI job runs, where the two
+    /// documents are sketch estimates versus exact batch values and any
+    /// divergence beyond the sketch bound is a failure.
+    bool gate_all = false;
 };
 
 struct diff_row {

@@ -1,7 +1,12 @@
 #include "obs/sinks.h"
 
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <system_error>
 
 namespace lsm::obs {
 
@@ -14,6 +19,24 @@ bool try_write_sink(const std::string& what, const std::string& path,
         err << "warning: cannot write " << what << " to " << path << ": "
             << e.what() << "\n";
         return false;
+    }
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out) throw std::runtime_error("write failed: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        throw std::runtime_error("cannot rename " + tmp + " to " + path);
     }
 }
 

@@ -13,6 +13,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 namespace lsm::obs {
 
@@ -22,5 +23,13 @@ namespace lsm::obs {
 /// the write succeeded.
 bool try_write_sink(const std::string& what, const std::string& path,
                     const std::function<void()>& write, std::ostream& err);
+
+/// Writes `contents` to `path` via a same-directory temp file and
+/// rename, so a reader never observes a half-written file — the live
+/// daemon's snapshot/metrics emitter depends on this: a concurrent
+/// resume must see either the old snapshot or the new one, never a
+/// torn one. Throws std::runtime_error on failure (wrap in
+/// try_write_sink for the usual graceful degradation).
+void write_file_atomic(const std::string& path, std::string_view contents);
 
 }  // namespace lsm::obs

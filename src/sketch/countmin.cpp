@@ -1,0 +1,89 @@
+#include "sketch/countmin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "sketch/sketch_io.h"
+
+namespace lsm {
+
+countmin::countmin(unsigned depth, std::uint32_t width, std::uint64_t seed)
+    : depth_(depth), width_(width), seed_(seed) {
+    LSM_EXPECTS(depth >= 1 && depth <= 32);
+    LSM_EXPECTS(width >= 2 && (width & (width - 1)) == 0);
+    splitmix64 sm(seed);
+    row_seed_.reserve(depth);
+    for (unsigned r = 0; r < depth; ++r) row_seed_.push_back(sm.next());
+    table_.assign(static_cast<std::size_t>(depth) * width, 0);
+}
+
+void countmin::add(std::uint64_t key, std::uint64_t count) {
+    for (unsigned r = 0; r < depth_; ++r) {
+        std::size_t idx = static_cast<std::size_t>(
+            mix64(key ^ row_seed_[r]) & (width_ - 1));
+        table_[static_cast<std::size_t>(r) * width_ + idx] += count;
+    }
+    total_ += count;
+}
+
+std::uint64_t countmin::estimate(std::uint64_t key) const {
+    std::uint64_t best = ~0ULL;
+    for (unsigned r = 0; r < depth_; ++r) {
+        std::size_t idx = static_cast<std::size_t>(
+            mix64(key ^ row_seed_[r]) & (width_ - 1));
+        best = std::min(best,
+                        table_[static_cast<std::size_t>(r) * width_ + idx]);
+    }
+    return best;
+}
+
+double countmin::epsilon() const {
+    return std::exp(1.0) / static_cast<double>(width_);
+}
+
+double countmin::failure_probability() const {
+    return std::exp(-static_cast<double>(depth_));
+}
+
+void countmin::merge(const countmin& other) {
+    LSM_EXPECTS(depth_ == other.depth_ && width_ == other.width_ &&
+                seed_ == other.seed_);
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        table_[i] += other.table_[i];
+    total_ += other.total_;
+}
+
+std::string countmin::serialize() const {
+    std::string payload;
+    payload.reserve(32 + table_.size() * 8);
+    put_scalar<std::uint32_t>(payload, static_cast<std::uint32_t>(depth_));
+    put_scalar<std::uint32_t>(payload, width_);
+    put_scalar<std::uint64_t>(payload, seed_);
+    put_scalar<std::uint64_t>(payload, total_);
+    payload.append(reinterpret_cast<const char*>(table_.data()),
+                   table_.size() * sizeof(std::uint64_t));
+    std::string out;
+    append_sketch_frame(out, k_sketch_kind_countmin, payload);
+    return out;
+}
+
+countmin countmin::deserialize(std::string_view bytes) {
+    std::string_view payload =
+        expect_sketch_frame(bytes, k_sketch_kind_countmin);
+    byte_reader r(payload);
+    auto depth = r.get<std::uint32_t>();
+    auto width = r.get<std::uint32_t>();
+    auto seed = r.get<std::uint64_t>();
+    if (depth < 1 || depth > 32 || width < 2 || (width & (width - 1)) != 0)
+        throw sketch_io_error("countmin: bad geometry");
+    countmin s(depth, width, seed);
+    s.total_ = r.get<std::uint64_t>();
+    r.raw(s.table_.data(), s.table_.size() * sizeof(std::uint64_t));
+    if (!r.exhausted())
+        throw sketch_io_error("countmin: trailing payload bytes");
+    return s;
+}
+
+}  // namespace lsm

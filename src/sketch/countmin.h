@@ -1,0 +1,67 @@
+// Count-min sketch (Cormode & Muthukrishnan 2005) for object-popularity
+// frequencies — the live daemon's stand-in for the exact per-object
+// counters the batch Zipf fit uses.
+//
+// d rows of w counters; add() increments one counter per row, and
+// estimate() takes the row-wise minimum, so estimates never
+// underestimate and overshoot by at most epsilon() * total() with
+// probability 1 - failure_probability(). Merge is element-wise counter
+// addition — associative, commutative, and partition-invariant, so
+// shard-local sketches combine byte-identically regardless of split.
+//
+// Row hash seeds derive from the constructor seed via splitmix64;
+// callers obtain that seed from `rng::stream()` (see live_daemon).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsm {
+
+class countmin {
+public:
+    /// depth >= 1 rows, width a power of two >= 2.
+    countmin(unsigned depth, std::uint32_t width, std::uint64_t seed);
+
+    void add(std::uint64_t key, std::uint64_t count = 1);
+
+    /// Upper-biased frequency estimate: true count <= estimate, and
+    /// estimate <= true count + epsilon() * total() with probability
+    /// 1 - failure_probability().
+    std::uint64_t estimate(std::uint64_t key) const;
+
+    /// Additive error factor e / width, as a fraction of total().
+    double epsilon() const;
+    /// Probability e^-depth that a single estimate exceeds the bound.
+    double failure_probability() const;
+
+    std::uint64_t total() const { return total_; }
+    unsigned depth() const { return depth_; }
+    std::uint32_t width() const { return width_; }
+    std::uint64_t seed() const { return seed_; }
+    /// Resident state, for capacity planning and the bench counters.
+    std::size_t state_bytes() const {
+        return table_.size() * sizeof(std::uint64_t);
+    }
+
+    /// Element-wise addition. Requires identical depth, width, seed.
+    void merge(const countmin& other);
+
+    /// `lsm-sketch-v1` frame (kind 3).
+    std::string serialize() const;
+    static countmin deserialize(std::string_view bytes);
+
+    bool operator==(const countmin& other) const = default;
+
+private:
+    unsigned depth_;
+    std::uint32_t width_;
+    std::uint64_t seed_;
+    std::uint64_t total_ = 0;
+    std::vector<std::uint64_t> row_seed_;
+    std::vector<std::uint64_t> table_;  // depth_ rows of width_ counters
+};
+
+}  // namespace lsm

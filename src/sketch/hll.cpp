@@ -1,0 +1,93 @@
+#include "sketch/hll.h"
+
+#include <bit>
+#include <cmath>
+
+#include "core/contracts.h"
+#include "sketch/sketch_io.h"
+
+namespace lsm {
+
+namespace {
+
+double alpha_for(std::size_t m) {
+    // Bias-correction constants from the HLL paper.
+    if (m == 16) return 0.673;
+    if (m == 32) return 0.697;
+    if (m == 64) return 0.709;
+    return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+}  // namespace
+
+hll::hll(unsigned precision, std::uint64_t seed)
+    : precision_(precision), seed_(seed) {
+    LSM_EXPECTS(precision >= 4 && precision <= 16);
+    registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void hll::add(std::uint64_t key) {
+    std::uint64_t h = mix64(key ^ seed_);
+    std::size_t idx = static_cast<std::size_t>(h >> (64 - precision_));
+    // Rank of the first set bit in the remaining 64 - p bits (1-based);
+    // an all-zero remainder ranks 64 - p + 1.
+    std::uint64_t rest = h << precision_;
+    std::uint8_t rho =
+        rest == 0 ? static_cast<std::uint8_t>(64 - precision_ + 1)
+                  : static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rho > registers_[idx]) registers_[idx] = rho;
+}
+
+double hll::estimate() const {
+    double m = static_cast<double>(registers_.size());
+    double sum = 0.0;
+    std::size_t zeros = 0;
+    for (std::uint8_t r : registers_) {
+        sum += std::ldexp(1.0, -static_cast<int>(r));
+        if (r == 0) ++zeros;
+    }
+    double raw = alpha_for(registers_.size()) * m * m / sum;
+    if (raw <= 2.5 * m && zeros > 0)
+        return m * std::log(m / static_cast<double>(zeros));
+    return raw;
+}
+
+double hll::relative_error_bound() const {
+    double m = static_cast<double>(registers_.size());
+    return 3.0 * 1.04 / std::sqrt(m) + 0.005;
+}
+
+void hll::merge(const hll& other) {
+    LSM_EXPECTS(precision_ == other.precision_ && seed_ == other.seed_);
+    for (std::size_t i = 0; i < registers_.size(); ++i)
+        if (other.registers_[i] > registers_[i])
+            registers_[i] = other.registers_[i];
+}
+
+std::string hll::serialize() const {
+    std::string payload;
+    payload.reserve(16 + registers_.size());
+    put_scalar<std::uint16_t>(payload,
+                              static_cast<std::uint16_t>(precision_));
+    put_scalar<std::uint64_t>(payload, seed_);
+    payload.append(reinterpret_cast<const char*>(registers_.data()),
+                   registers_.size());
+    std::string out;
+    append_sketch_frame(out, k_sketch_kind_hll, payload);
+    return out;
+}
+
+hll hll::deserialize(std::string_view bytes) {
+    std::string_view payload = expect_sketch_frame(bytes, k_sketch_kind_hll);
+    byte_reader r(payload);
+    auto precision = r.get<std::uint16_t>();
+    auto seed = r.get<std::uint64_t>();
+    if (precision < 4 || precision > 16)
+        throw sketch_io_error("hll: bad precision");
+    hll h(precision, seed);
+    r.raw(h.registers_.data(), h.registers_.size());
+    if (!r.exhausted()) throw sketch_io_error("hll: trailing payload bytes");
+    return h;
+}
+
+}  // namespace lsm

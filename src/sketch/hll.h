@@ -1,0 +1,62 @@
+// HyperLogLog distinct counter (Flajolet, Fusy, Gandouet, Meunier 2007).
+//
+// The characterization pipeline counts distinct clients, IPs, ASes, and
+// objects; at the ROADMAP's billion-record scale exact sets do not fit,
+// and the live daemon must merge shard-local state deterministically.
+// HLL gives both: 2^p one-byte registers, a register-wise `max` merge
+// that is associative, commutative, and idempotent — so any partition
+// of a stream merges to the byte-identical register array — and a
+// standard error of 1.04/sqrt(2^p).
+//
+// Seeding: the hash family is mix64(key ^ seed); callers derive `seed`
+// from `rng::stream()` so every sketch in a run is reproducible from
+// the run's root seed (see live_daemon).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsm {
+
+class hll {
+public:
+    /// precision in [4, 16]: 2^precision registers. 14 (16 KiB, ~0.81%
+    /// standard error) is the daemon's default.
+    hll(unsigned precision, std::uint64_t seed);
+
+    void add(std::uint64_t key);
+
+    /// Cardinality estimate with the standard linear-counting
+    /// small-range correction.
+    double estimate() const;
+
+    /// Stated relative error bound used by `--exact-compare` and the
+    /// sketch tests: three standard errors (3 * 1.04 / sqrt(m)) plus a
+    /// 0.5% allowance for bias near the linear-counting crossover.
+    /// Not a hard guarantee (HLL is probabilistic), but with the fixed
+    /// deterministic seeds every CI run replays the same estimate.
+    double relative_error_bound() const;
+
+    /// Register-wise max. Requires identical precision and seed.
+    void merge(const hll& other);
+
+    unsigned precision() const { return precision_; }
+    std::uint64_t seed() const { return seed_; }
+    /// Resident state, for capacity planning and the bench counters.
+    std::size_t state_bytes() const { return registers_.size(); }
+
+    /// `lsm-sketch-v1` frame (kind 1).
+    std::string serialize() const;
+    static hll deserialize(std::string_view bytes);
+
+    bool operator==(const hll& other) const = default;
+
+private:
+    unsigned precision_;
+    std::uint64_t seed_;
+    std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace lsm

@@ -1,0 +1,107 @@
+#include "sketch/quantile.h"
+
+#include <cmath>
+
+#include "core/contracts.h"
+#include "sketch/sketch_io.h"
+
+namespace lsm {
+
+quantile_sketch::quantile_sketch(double alpha) : alpha_(alpha) {
+    LSM_EXPECTS(alpha > 0.0 && alpha < 0.5);
+    gamma_ = (1.0 + alpha) / (1.0 - alpha);
+    inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t quantile_sketch::bucket_index(double x) const {
+    return static_cast<std::int32_t>(
+        std::ceil(std::log(x) * inv_log_gamma_));
+}
+
+double quantile_sketch::bucket_value(std::int32_t index) const {
+    // Midpoint (in the relative sense) of (gamma^(i-1), gamma^i]: every
+    // value in the bucket is within alpha of this, which is the whole
+    // accuracy argument.
+    return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void quantile_sketch::add(double x, std::uint64_t weight) {
+    LSM_EXPECTS(x >= 0.0 && std::isfinite(x));
+    if (weight == 0) return;
+    if (x < k_min_value)
+        zero_count_ += weight;
+    else
+        buckets_[bucket_index(x)] += weight;
+    count_ += weight;
+}
+
+double quantile_sketch::quantile(double q) const {
+    LSM_EXPECTS(q >= 0.0 && q <= 1.0);
+    LSM_EXPECTS(count_ > 0);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    if (rank < zero_count_) return 0.0;
+    std::uint64_t cum = zero_count_;
+    for (const auto& [index, cnt] : buckets_) {
+        cum += cnt;
+        if (rank < cum) return bucket_value(index);
+    }
+    // Unreachable when counts are consistent; return the top bucket.
+    return buckets_.empty() ? 0.0 : bucket_value(buckets_.rbegin()->first);
+}
+
+std::size_t quantile_sketch::state_bytes() const {
+    return sizeof(*this) +
+           buckets_.size() * (sizeof(std::int32_t) + sizeof(std::uint64_t));
+}
+
+void quantile_sketch::merge(const quantile_sketch& other) {
+    LSM_EXPECTS(alpha_ == other.alpha_);
+    zero_count_ += other.zero_count_;
+    count_ += other.count_;
+    for (const auto& [index, cnt] : other.buckets_) buckets_[index] += cnt;
+}
+
+std::string quantile_sketch::serialize() const {
+    std::string payload;
+    payload.reserve(32 + buckets_.size() * 12);
+    put_scalar<double>(payload, alpha_);
+    put_scalar<std::uint64_t>(payload, zero_count_);
+    put_scalar<std::uint64_t>(payload, count_);
+    put_scalar<std::uint32_t>(payload,
+                              static_cast<std::uint32_t>(buckets_.size()));
+    for (const auto& [index, cnt] : buckets_) {
+        put_scalar<std::int32_t>(payload, index);
+        put_scalar<std::uint64_t>(payload, cnt);
+    }
+    std::string out;
+    append_sketch_frame(out, k_sketch_kind_quantile, payload);
+    return out;
+}
+
+quantile_sketch quantile_sketch::deserialize(std::string_view bytes) {
+    std::string_view payload =
+        expect_sketch_frame(bytes, k_sketch_kind_quantile);
+    byte_reader r(payload);
+    auto alpha = r.get<double>();
+    if (!(alpha > 0.0 && alpha < 0.5))
+        throw sketch_io_error("quantile: bad alpha");
+    quantile_sketch s(alpha);
+    s.zero_count_ = r.get<std::uint64_t>();
+    s.count_ = r.get<std::uint64_t>();
+    auto n = r.get<std::uint32_t>();
+    std::int32_t prev = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto index = r.get<std::int32_t>();
+        auto cnt = r.get<std::uint64_t>();
+        if (i > 0 && index <= prev)
+            throw sketch_io_error("quantile: bucket indices not ascending");
+        prev = index;
+        s.buckets_.emplace_hint(s.buckets_.end(), index, cnt);
+    }
+    if (!r.exhausted())
+        throw sketch_io_error("quantile: trailing payload bytes");
+    return s;
+}
+
+}  // namespace lsm

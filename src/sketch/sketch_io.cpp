@@ -1,0 +1,59 @@
+#include "sketch/sketch_io.h"
+
+#include <cstring>
+
+#include "core/checksum.h"
+
+namespace lsm {
+
+namespace {
+
+constexpr char k_magic[14] = {'l', 's', 'm', '-', 's', 'k', 'e',
+                              't', 'c', 'h', '-', 'v', '1', '\0'};
+constexpr std::size_t k_header_bytes = 32;
+
+}  // namespace
+
+void append_sketch_frame(std::string& out, std::uint16_t kind,
+                         std::string_view payload) {
+    out.append(k_magic, sizeof k_magic);
+    put_scalar<std::uint16_t>(out, kind);
+    put_scalar<std::uint64_t>(out, payload.size());
+    put_scalar<std::uint64_t>(out,
+                              fnv1a64_words(payload.data(), payload.size()));
+    out.append(payload);
+}
+
+sketch_frame parse_sketch_frame(std::string_view bytes) {
+    if (bytes.size() < k_header_bytes)
+        throw sketch_io_error("lsm-sketch-v1: truncated header");
+    if (std::memcmp(bytes.data(), k_magic, sizeof k_magic) != 0)
+        throw sketch_io_error("lsm-sketch-v1: bad magic");
+    std::uint16_t kind;
+    std::uint64_t payload_bytes;
+    std::uint64_t checksum;
+    std::memcpy(&kind, bytes.data() + 14, sizeof kind);
+    std::memcpy(&payload_bytes, bytes.data() + 16, sizeof payload_bytes);
+    std::memcpy(&checksum, bytes.data() + 24, sizeof checksum);
+    if (bytes.size() - k_header_bytes < payload_bytes)
+        throw sketch_io_error("lsm-sketch-v1: truncated payload");
+    std::string_view payload = bytes.substr(k_header_bytes, payload_bytes);
+    if (fnv1a64_words(payload.data(), payload.size()) != checksum)
+        throw sketch_io_error("lsm-sketch-v1: checksum mismatch");
+    return sketch_frame{kind, payload,
+                        k_header_bytes + static_cast<std::size_t>(
+                                             payload_bytes)};
+}
+
+std::string_view expect_sketch_frame(std::string_view bytes,
+                                     std::uint16_t kind) {
+    sketch_frame f = parse_sketch_frame(bytes);
+    if (f.kind != kind)
+        throw sketch_io_error("lsm-sketch-v1: unexpected sketch kind " +
+                              std::to_string(f.kind));
+    if (f.consumed != bytes.size())
+        throw sketch_io_error("lsm-sketch-v1: trailing bytes after frame");
+    return f.payload;
+}
+
+}  // namespace lsm

@@ -1,0 +1,119 @@
+// Shared plumbing for the mergeable-sketch subsystem: the `lsm-sketch-v1`
+// binary frame every sketch serializes into, the 64-bit hash mixer the
+// sketches key with, and little-endian scalar put/get helpers.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----
+//        0    14  magic "lsm-sketch-v1\0"
+//       14     2  kind   (u16: 1 = hll, 2 = quantile, 3 = countmin)
+//       16     8  payload_bytes (u64)
+//       24     8  checksum      (u64, FNV-1a-64 word-wise over payload)
+//       32     –  payload
+//
+// Frames are self-delimiting, so containers (the live daemon's
+// `lsm-livesnap-v1` snapshot) can concatenate them back to back and
+// parse them in sequence.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace lsm {
+
+/// Thrown on malformed, truncated, or checksum-failing sketch bytes.
+class sketch_io_error : public std::runtime_error {
+public:
+    explicit sketch_io_error(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+inline constexpr std::uint16_t k_sketch_kind_hll = 1;
+inline constexpr std::uint16_t k_sketch_kind_quantile = 2;
+inline constexpr std::uint16_t k_sketch_kind_countmin = 3;
+
+/// 64-bit finalizer-style mixer (the murmur3 fmix64 constants). A
+/// bijection on u64, so hashing `key ^ seed` gives an independent hash
+/// family per seed — the seeding contract all three sketches rely on.
+inline std::uint64_t mix64(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/// Appends `v`'s object representation little-endian. The library only
+/// targets little-endian hosts (see trace_io_bin), so raw memcpy is the
+/// canonical encoding.
+template <typename T>
+void put_scalar(std::string& out, T v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Bounds-checked sequential reader over a serialized payload.
+struct byte_reader {
+    const char* p;
+    const char* end;
+
+    explicit byte_reader(std::string_view bytes)
+        : p(bytes.data()), end(bytes.data() + bytes.size()) {}
+
+    template <typename T>
+    T get() {
+        if (static_cast<std::size_t>(end - p) < sizeof(T))
+            throw sketch_io_error("sketch payload: truncated scalar");
+        T v;
+        std::memcpy(&v, p, sizeof v);
+        p += sizeof v;
+        return v;
+    }
+
+    void raw(void* dst, std::size_t n) {
+        if (static_cast<std::size_t>(end - p) < n)
+            throw sketch_io_error("sketch payload: truncated block");
+        std::memcpy(dst, p, n);
+        p += n;
+    }
+
+    bool exhausted() const { return p == end; }
+};
+
+/// One parsed frame: payload points into the caller's buffer; consumed
+/// is the total frame size (header + payload) for sequential parsing.
+struct sketch_frame {
+    std::uint16_t kind;
+    std::string_view payload;
+    std::size_t consumed;
+};
+
+/// Wraps `payload` in an `lsm-sketch-v1` frame appended to `out`.
+void append_sketch_frame(std::string& out, std::uint16_t kind,
+                         std::string_view payload);
+
+/// Parses the frame at the head of `bytes`, validating magic, length,
+/// and checksum. Throws sketch_io_error on any defect.
+sketch_frame parse_sketch_frame(std::string_view bytes);
+
+/// Convenience for whole-buffer sketches: the frame must have the given
+/// kind and span `bytes` exactly. Returns the payload view.
+std::string_view expect_sketch_frame(std::string_view bytes,
+                                     std::uint16_t kind);
+
+/// Splits one frame off the reader's position and returns its full
+/// bytes (header + payload) — the form the sketches' deserialize()
+/// expects — advancing the reader past it. Containers that embed frames
+/// (the live daemon's snapshot) parse sequences with this.
+inline std::string_view take_sketch_frame(byte_reader& r) {
+    std::string_view rest(r.p, static_cast<std::size_t>(r.end - r.p));
+    sketch_frame f = parse_sketch_frame(rest);
+    r.p += f.consumed;
+    return rest.substr(0, f.consumed);
+}
+
+}  // namespace lsm

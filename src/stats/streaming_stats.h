@@ -10,8 +10,23 @@
 
 namespace lsm::stats {
 
+/// The accumulator's full state as plain data, for serialization
+/// (the live daemon snapshots its moment accumulators bit-exactly).
+struct streaming_stats_state {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
 class streaming_stats {
 public:
+    streaming_stats() = default;
+    /// Restores an accumulator from a saved state.
+    explicit streaming_stats(const streaming_stats_state& st)
+        : n_(st.n), mean_(st.mean), m2_(st.m2), min_(st.min), max_(st.max) {}
+
     void add(double x);
 
     std::uint64_t count() const { return n_; }
@@ -27,6 +42,10 @@ public:
 
     /// Merges another accumulator (parallel reduction), Chan et al.
     void merge(const streaming_stats& other);
+
+    streaming_stats_state state() const {
+        return streaming_stats_state{n_, mean_, m2_, min_, max_};
+    }
 
 private:
     std::uint64_t n_ = 0;

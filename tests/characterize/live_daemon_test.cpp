@@ -1,0 +1,247 @@
+// live_daemon: the one-pass incremental service mode. The contracts
+// under test are the ones the CI live-daemon job replays end to end:
+// byte-chunking invariance, snapshot/resume determinism, agreement
+// with the batch characterizer on the same prefix, and survival of
+// file rotation.
+#include "characterize/live_daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "characterize/session_builder.h"
+#include "core/wms_log.h"
+#include "gismo/live_generator.h"
+#include "obs/metrics.h"
+#include "stats/timeseries.h"
+
+namespace lsm::characterize {
+namespace {
+
+trace small_trace() {
+    auto cfg = gismo::live_config::scaled(0.005);
+    cfg.window = 2 * seconds_per_day;
+    return gismo::generate_live_workload(cfg, 13);
+}
+
+std::string wms_text(const trace& t) {
+    std::ostringstream out;
+    write_wms_log(t, out);
+    return out.str();
+}
+
+TEST(LiveDaemon, ByteChunkingDoesNotChangeTheSnapshot) {
+    const std::string log = wms_text(small_trace());
+
+    live_daemon one_shot;
+    one_shot.consume_bytes(log);
+
+    live_daemon dribble;
+    for (std::size_t i = 0; i < log.size(); i += 7) {
+        dribble.consume_bytes(
+            std::string_view(log).substr(i, std::min<std::size_t>(
+                                                7, log.size() - i)));
+    }
+
+    ASSERT_GT(one_shot.records(), 0u);
+    EXPECT_EQ(one_shot.records(), dribble.records());
+    EXPECT_EQ(one_shot.save_snapshot(), dribble.save_snapshot());
+}
+
+TEST(LiveDaemon, SnapshotResumeConvergesByteIdentically) {
+    const std::string log = wms_text(small_trace());
+    const std::size_t cut = log.size() / 3;
+
+    live_daemon uninterrupted;
+    uninterrupted.consume_bytes(log);
+
+    live_daemon first;
+    first.consume_bytes(std::string_view(log).substr(0, cut));
+    const std::string snap = first.save_snapshot();
+
+    live_daemon resumed = live_daemon::load_snapshot(snap);
+    // The snapshot rewinds to the end of the last complete line; a
+    // resume re-feeds from consumed_offset, not from the cut point.
+    resumed.consume_bytes(
+        std::string_view(log).substr(resumed.consumed_offset()));
+
+    EXPECT_EQ(resumed.records(), uninterrupted.records());
+    EXPECT_EQ(resumed.save_snapshot(), uninterrupted.save_snapshot());
+}
+
+TEST(LiveDaemon, SnapshotRejectsCorruption) {
+    live_daemon d;
+    d.consume_bytes(wms_text(small_trace()));
+    std::string snap = d.save_snapshot();
+    snap[snap.size() / 2] ^= 0x40;
+    EXPECT_THROW(live_daemon::load_snapshot(snap), std::exception);
+}
+
+TEST(LiveDaemon, StreamingSessionizerMatchesBatchBuildSessions) {
+    const trace t = small_trace();
+    live_daemon d;
+    d.consume_bytes(wms_text(t));
+    d.finish();
+
+    const session_set batch = build_sessions(t, d.config().session_timeout);
+    EXPECT_EQ(d.sessions_closed(), batch.sessions.size());
+    EXPECT_EQ(d.open_session_count(), 0u);
+    EXPECT_EQ(d.session_on_time_sketch().count(), batch.sessions.size());
+    EXPECT_EQ(d.session_transfers_sketch().count(), batch.sessions.size());
+}
+
+TEST(LiveDaemon, MatchesStreamingSummaryOnTheSameRecords) {
+    const std::string log = wms_text(small_trace());
+    live_daemon d;
+    d.consume_bytes(log);
+
+    // Compare against the batch pipeline on the SAME parsed records
+    // (the WMS text representation quantizes bandwidth, so the parsed
+    // stream — not the pre-serialization trace — is the ground truth
+    // both sides must agree on).
+    std::istringstream in(log);
+    const trace t = read_wms_log(in);
+    streaming_summary exact;
+    for (const auto& r : t.records()) exact.add(r);
+
+    EXPECT_EQ(d.records(), exact.transfers());
+    EXPECT_EQ(d.summary().transfers(), exact.transfers());
+    EXPECT_EQ(d.summary().total_bytes(), exact.total_bytes());
+    EXPECT_EQ(d.summary().log_length().mean(),
+              exact.log_length().mean());
+    const double bound = d.summary().distinct_error_bound();
+    const double est = static_cast<double>(d.summary().distinct_clients());
+    const double truth = static_cast<double>(exact.distinct_clients());
+    EXPECT_NEAR(est, truth, bound * truth);
+}
+
+TEST(LiveDaemon, DropsUnsortedRecordsAndCountsThem) {
+    trace t(seconds_per_day);
+    t.add({.client = 1, .ip = 1, .asn = 1, .object = 1,
+           .start = 500, .duration = 10, .avg_bandwidth_bps = 1000});
+    t.add({.client = 2, .ip = 2, .asn = 1, .object = 1,
+           .start = 100, .duration = 10, .avg_bandwidth_bps = 1000});
+    t.add({.client = 3, .ip = 3, .asn = 1, .object = 1,
+           .start = 600, .duration = 10, .avg_bandwidth_bps = 1000});
+    live_daemon d;
+    d.consume_bytes(wms_text(t));
+    EXPECT_EQ(d.records(), 2u);
+    EXPECT_EQ(d.dropped_unsorted(), 1u);
+}
+
+TEST(LiveDaemon, DropsRecordsBeyondTheDeclaredWindow) {
+    trace t(1000);  // #Date: window=1000
+    t.add({.client = 1, .ip = 1, .asn = 1, .object = 1,
+           .start = 10, .duration = 10, .avg_bandwidth_bps = 1000});
+    t.add({.client = 2, .ip = 2, .asn = 1, .object = 1,
+           .start = 990, .duration = 60, .avg_bandwidth_bps = 1000});
+    live_daemon d;
+    d.consume_bytes(wms_text(t));
+    EXPECT_EQ(d.records(), 1u);
+    EXPECT_EQ(d.dropped_out_of_window(), 1u);
+}
+
+TEST(LiveDaemon, DiurnalRingMatchesBatchBinning) {
+    const trace t = small_trace();
+    live_daemon d;
+    d.consume_bytes(wms_text(t));
+    ASSERT_FALSE(d.diurnal_evicted());
+
+    std::vector<seconds_t> starts;
+    for (const auto& r : t.records()) starts.push_back(r.start);
+    const seconds_t bucket = d.config().diurnal_bucket_seconds;
+    const seconds_t horizon = (starts.back() / bucket + 1) * bucket;
+    const std::vector<double> exact = stats::bin_event_counts(
+        std::span<const seconds_t>(starts), bucket, horizon);
+    EXPECT_EQ(d.diurnal_series(), exact);
+}
+
+TEST(LiveDaemon, DiurnalRingEvictsBeyondTheWindow) {
+    live_daemon_config cfg;
+    cfg.diurnal_window_buckets = 4;
+    trace t(100 * 3600);
+    for (int h = 0; h < 10; ++h) {
+        t.add({.client = static_cast<client_id>(h + 1), .ip = 1,
+               .asn = 1, .object = 1,
+               .start = static_cast<seconds_t>(h) * 3600,
+               .duration = 10, .avg_bandwidth_bps = 1000});
+    }
+    live_daemon d(cfg);
+    d.consume_bytes(wms_text(t));
+    EXPECT_TRUE(d.diurnal_evicted());
+    // Ring holds the newest 4 hourly buckets, one record each.
+    EXPECT_EQ(d.diurnal_series(), (std::vector<double>{1, 1, 1, 1}));
+}
+
+TEST(LiveDaemon, RotationKeepsAccumulatedState) {
+    trace gen1(seconds_per_day);
+    gen1.add({.client = 1, .ip = 1, .asn = 1, .object = 1,
+              .start = 100, .duration = 10, .avg_bandwidth_bps = 1000});
+    trace gen2(seconds_per_day);
+    gen2.add({.client = 2, .ip = 2, .asn = 2, .object = 2,
+              .start = 200, .duration = 10, .avg_bandwidth_bps = 1000});
+
+    live_daemon d;
+    d.consume_bytes(wms_text(gen1));
+    d.on_file_restart();  // log rotated: new file, new header
+    d.consume_bytes(wms_text(gen2));
+
+    EXPECT_EQ(d.records(), 2u);
+    EXPECT_EQ(d.consumed_offset(), wms_text(gen2).size());
+    EXPECT_EQ(d.parser_state().line_no,
+              static_cast<std::int64_t>(5));  // gen2's lines only
+}
+
+TEST(LiveDaemon, ObjectRanksComeFromTheCountMin) {
+    trace t(seconds_per_day);
+    seconds_t now = 0;
+    for (int i = 0; i < 60; ++i) {
+        t.add({.client = static_cast<client_id>(i + 1), .ip = 1,
+               .asn = 1, .object = static_cast<object_id>(i % 3),
+               .start = ++now, .duration = 1,
+               .avg_bandwidth_bps = 1000});
+    }
+    live_daemon d;
+    d.consume_bytes(wms_text(t));
+    EXPECT_EQ(d.objects_seen(),
+              (std::vector<object_id>{0, 1, 2}));
+    const auto top = d.top_objects(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_GE(top[0].first, top[1].first);
+    EXPECT_GE(top[0].first, 20u);  // 60 records over 3 objects
+}
+
+TEST(LiveDaemon, ExportMetricsPublishesTheLiveGaugeSet) {
+    live_daemon d;
+    d.consume_bytes(wms_text(small_trace()));
+    d.finish();
+    obs::registry reg;
+    d.export_metrics(reg);
+    EXPECT_EQ(reg.get_gauge("live/records").value(),
+              static_cast<std::int64_t>(d.records()));
+    EXPECT_EQ(reg.get_gauge("live/sessions_closed").value(),
+              static_cast<std::int64_t>(d.sessions_closed()));
+    EXPECT_GT(reg.get_gauge("live/distinct/clients").value(), 0);
+    EXPECT_GT(reg.get_gauge("live/sketch_state_bytes").value(), 0);
+    EXPECT_GT(reg.get_gauge("live/quantile/duration_p50_x1e6").value(), 0);
+}
+
+TEST(LiveDaemon, PartialTrailingLineWaitsForItsTerminator) {
+    trace t(seconds_per_day);
+    t.add({.client = 1, .ip = 1, .asn = 1, .object = 1,
+           .start = 100, .duration = 10, .avg_bandwidth_bps = 1000});
+    const std::string log = wms_text(t);
+    // Strip the final newline: the record is incomplete until more
+    // bytes (its terminator) arrive.
+    live_daemon d;
+    d.consume_bytes(std::string_view(log).substr(0, log.size() - 1));
+    EXPECT_EQ(d.records(), 0u);
+    EXPECT_LT(d.consumed_offset(), log.size() - 1);
+    d.consume_bytes("\n");
+    EXPECT_EQ(d.records(), 1u);
+    EXPECT_EQ(d.consumed_offset(), log.size());
+}
+
+}  // namespace
+}  // namespace lsm::characterize

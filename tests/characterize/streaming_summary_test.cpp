@@ -76,6 +76,77 @@ TEST(StreamingSummary, EmptyIsWellDefined) {
     EXPECT_EQ(ss.log_interarrival().count(), 0U);
 }
 
+TEST(StreamingSummary, SketchModeStaysWithinTheStatedBound) {
+    const trace t = small_trace();
+    streaming_summary_config cfg;
+    cfg.use_sketches = true;
+    cfg.sketch_seed = 7;
+    streaming_summary sk(cfg);
+    streaming_summary exact;
+    for (const auto& r : t.records()) {
+        sk.add(r);
+        exact.add(r);
+    }
+    ASSERT_TRUE(sk.sketch_backed());
+    ASSERT_FALSE(exact.sketch_backed());
+    EXPECT_EQ(exact.distinct_error_bound(), 0.0);
+    const double bound = sk.distinct_error_bound();
+    ASSERT_GT(bound, 0.0);
+    ASSERT_LT(bound, 0.05);
+    const auto near = [bound](std::uint64_t est, std::uint64_t truth) {
+        return std::abs(static_cast<double>(est) -
+                        static_cast<double>(truth)) <=
+               bound * static_cast<double>(truth);
+    };
+    EXPECT_TRUE(near(sk.distinct_clients(), exact.distinct_clients()));
+    EXPECT_TRUE(near(sk.distinct_ips(), exact.distinct_ips()));
+    EXPECT_TRUE(near(sk.distinct_asns(), exact.distinct_asns()));
+    EXPECT_TRUE(near(sk.distinct_objects(), exact.distinct_objects()));
+    // Everything non-distinct is identical in both modes.
+    EXPECT_EQ(sk.transfers(), exact.transfers());
+    EXPECT_EQ(sk.total_bytes(), exact.total_bytes());
+    EXPECT_EQ(sk.log_length().mean(), exact.log_length().mean());
+}
+
+TEST(StreamingSummary, SketchModeMemoryIsConstant) {
+    streaming_summary_config cfg;
+    cfg.use_sketches = true;
+    cfg.hll_precision = 12;
+    streaming_summary sk(cfg);
+    const std::size_t before = sk.clients_sketch().state_bytes();
+    for (std::uint32_t i = 0; i < 100000; ++i) {
+        sk.add({.client = i, .ip = i, .asn = i % 1000,
+                .object = static_cast<object_id>(i % 100),
+                .start = static_cast<seconds_t>(i), .duration = 1,
+                .avg_bandwidth_bps = 1000});
+    }
+    EXPECT_EQ(sk.clients_sketch().state_bytes(), before);
+    EXPECT_EQ(before, std::size_t{1} << 12);
+}
+
+TEST(StreamingSummary, SaveLoadRoundTripsSketchMode) {
+    const trace t = small_trace();
+    streaming_summary_config cfg;
+    cfg.use_sketches = true;
+    cfg.sketch_seed = 3;
+    streaming_summary ss(cfg);
+    for (const auto& r : t.records()) ss.add(r);
+
+    std::string bytes;
+    ss.save(bytes);
+    byte_reader reader(bytes);
+    const streaming_summary back = streaming_summary::load(reader);
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(back.transfers(), ss.transfers());
+    EXPECT_EQ(back.distinct_clients(), ss.distinct_clients());
+    EXPECT_EQ(back.log_length().mean(), ss.log_length().mean());
+    EXPECT_EQ(back.clients_sketch().serialize(),
+              ss.clients_sketch().serialize());
+    std::string bytes2;
+    back.save(bytes2);
+    EXPECT_EQ(bytes2, bytes);
+}
+
 TEST(StreamingCsvReader, SinkReceivesEveryRecord) {
     const trace t = small_trace();
     std::stringstream csv;

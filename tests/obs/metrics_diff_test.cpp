@@ -180,6 +180,49 @@ TEST(MetricsDiff, MixedSchemasCompareSharedSpanNames) {
     EXPECT_EQ(r.regressions, 0U);
 }
 
+TEST(MetricsDiff, GateAllFlagsTwoSidedDeviationOnAnyMetric) {
+    const json_value base = parse_json(
+        R"({"schema":"lsm-metrics-v1","gauges":{)"
+        R"("live/distinct/clients":{"value":1000,"max":1000}}})");
+    const json_value low = parse_json(
+        R"({"schema":"lsm-metrics-v1","gauges":{)"
+        R"("live/distinct/clients":{"value":930,"max":930}}})");
+    diff_options opts;
+    opts.gate_all = true;
+    opts.threshold = 0.05;
+    // -7% deviation on a gauge: invisible to the default one-sided
+    // time gate, a failure under --gate-all.
+    EXPECT_EQ(diff_metrics(base, low, diff_options{}).regressions, 0U);
+    EXPECT_EQ(diff_metrics(base, low, opts).regressions, 2U);  // + /max
+    const json_value close = parse_json(
+        R"({"schema":"lsm-metrics-v1","gauges":{)"
+        R"("live/distinct/clients":{"value":970,"max":970}}})");
+    EXPECT_EQ(diff_metrics(base, close, opts).regressions, 0U);
+}
+
+TEST(MetricsDiff, GateAllZeroBaselineMustStayZero) {
+    const json_value base = parse_json(
+        R"({"schema":"lsm-metrics-v1","gauges":{)"
+        R"("live/dropped/unsorted":{"value":0,"max":0}}})");
+    const json_value drift = parse_json(
+        R"({"schema":"lsm-metrics-v1","gauges":{)"
+        R"("live/dropped/unsorted":{"value":3,"max":3}}})");
+    diff_options opts;
+    opts.gate_all = true;
+    EXPECT_EQ(diff_metrics(base, base, opts).regressions, 0U);
+    EXPECT_EQ(diff_metrics(base, drift, opts).regressions, 2U);
+}
+
+TEST(MetricsDiff, GateAllKeepsTheTimerNoiseFloor) {
+    // A 0.2ms span doubling is noise, not regression, even under
+    // gate_all; time metrics keep the min_time_ns floor.
+    const json_value base = parse_json(metrics_doc(2e5));
+    const json_value slow = parse_json(metrics_doc(4e5));
+    diff_options opts;
+    opts.gate_all = true;
+    EXPECT_EQ(diff_metrics(base, slow, opts).regressions, 0U);
+}
+
 TEST(MetricsDiff, PrintDiffMarksRegressedRows) {
     const json_value base = parse_json(metrics_doc(2e7));
     const json_value slow = parse_json(metrics_doc(3e7));

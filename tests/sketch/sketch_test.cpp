@@ -1,0 +1,319 @@
+// Sketch algebra: every sketch must round-trip byte-exactly, merge
+// associatively/commutatively to byte-identical state, stay invariant
+// to how the input is sharded (the 1/2/8-thread contract lsm_live's
+// --exact-compare replays), and honor its stated error bound on
+// adversarial inputs (heavy-skew Zipf, all-distinct, all-equal).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "sketch/countmin.h"
+#include "sketch/hll.h"
+#include "sketch/quantile.h"
+#include "sketch/sketch_io.h"
+
+namespace lsm {
+namespace {
+
+std::vector<std::uint64_t> distinct_keys(std::size_t n) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    rng r(99);
+    for (std::size_t i = 0; i < n; ++i) keys.push_back(r.next_u64());
+    return keys;
+}
+
+/// Zipf(1)-skewed key stream over `universe` ids: adversarial for
+/// count-min (one key dominates) and for quantile bucket spread.
+std::vector<std::uint64_t> zipf_stream(std::size_t n,
+                                       std::uint64_t universe) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    rng r(7);
+    double h = 0.0;
+    for (std::uint64_t k = 1; k <= universe; ++k) {
+        h += 1.0 / static_cast<double>(k);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = r.next_double() * h;
+        double acc = 0.0;
+        std::uint64_t k = 1;
+        for (; k < universe; ++k) {
+            acc += 1.0 / static_cast<double>(k);
+            if (acc >= u) break;
+        }
+        keys.push_back(k - 1);
+    }
+    return keys;
+}
+
+// ---------------------------------------------------------------- HLL
+
+TEST(Hll, SmallCardinalityIsExactViaLinearCounting) {
+    hll h(14, 42);
+    for (std::uint64_t k = 0; k < 16; ++k) h.add(k);
+    EXPECT_EQ(std::llround(h.estimate()), 16);
+}
+
+TEST(Hll, AllEqualCountsOne) {
+    hll h(12, 1);
+    for (int i = 0; i < 100000; ++i) h.add(777);
+    EXPECT_EQ(std::llround(h.estimate()), 1);
+}
+
+TEST(Hll, AllDistinctWithinStatedBound) {
+    const auto keys = distinct_keys(200000);
+    hll h(14, 42);
+    for (auto k : keys) h.add(k);
+    const double est = h.estimate();
+    const double exact = static_cast<double>(keys.size());
+    EXPECT_NEAR(est, exact, h.relative_error_bound() * exact);
+}
+
+TEST(Hll, RoundTripIsByteExact) {
+    hll h(10, 5);
+    for (auto k : distinct_keys(5000)) h.add(k);
+    const std::string bytes = h.serialize();
+    const hll back = hll::deserialize(bytes);
+    EXPECT_EQ(back, h);
+    EXPECT_EQ(back.serialize(), bytes);
+}
+
+TEST(Hll, MergeIsCommutativeAndAssociativeByteIdentical) {
+    const auto keys = distinct_keys(30000);
+    hll a(12, 9), b(12, 9), c(12, 9);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(keys[i]);
+    }
+    hll ab = a;
+    ab.merge(b);
+    hll ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.serialize(), ba.serialize());
+    hll ab_c = ab;
+    ab_c.merge(c);
+    hll bc = b;
+    bc.merge(c);
+    hll a_bc = a;
+    a_bc.merge(bc);
+    EXPECT_EQ(ab_c.serialize(), a_bc.serialize());
+}
+
+TEST(Hll, MergeRejectsMismatchedGeometry) {
+    hll a(10, 1), b(11, 1), c(10, 2);
+    EXPECT_THROW(a.merge(b), contract_violation);
+    EXPECT_THROW(a.merge(c), contract_violation);
+}
+
+// ----------------------------------------------------------- quantile
+
+TEST(QuantileSketch, WithinRelativeAccuracyOnSkewedData) {
+    const auto keys = zipf_stream(50000, 1000);
+    quantile_sketch q(0.01);
+    std::vector<double> exact;
+    for (auto k : keys) {
+        const double v = static_cast<double>(k * k + 1);
+        q.add(v);
+        exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double p : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+        const std::size_t rank = static_cast<std::size_t>(
+            p * static_cast<double>(exact.size() - 1));
+        const double truth = exact[rank];
+        EXPECT_NEAR(q.quantile(p), truth, q.relative_accuracy() * truth)
+            << "p=" << p;
+    }
+}
+
+TEST(QuantileSketch, AllEqualAndExactZeros) {
+    quantile_sketch q(0.01);
+    for (int i = 0; i < 1000; ++i) q.add(0.0);
+    for (int i = 0; i < 10; ++i) q.add(5.0);
+    // Zeros dominate every low quantile and must come back exact.
+    EXPECT_EQ(q.quantile(0.5), 0.0);
+    EXPECT_NEAR(q.quantile(0.999), 5.0, 0.01 * 5.0);
+}
+
+TEST(QuantileSketch, RoundTripIsByteExact) {
+    quantile_sketch q(0.02);
+    for (auto k : zipf_stream(20000, 300)) {
+        q.add(static_cast<double>(k + 1));
+    }
+    const std::string bytes = q.serialize();
+    const quantile_sketch back = quantile_sketch::deserialize(bytes);
+    EXPECT_EQ(back, q);
+    EXPECT_EQ(back.serialize(), bytes);
+    EXPECT_EQ(back.count(), q.count());
+}
+
+TEST(QuantileSketch, MergeIsCommutativeByteIdentical) {
+    quantile_sketch a(0.01), b(0.01);
+    for (int i = 0; i < 5000; ++i) a.add(static_cast<double>(i % 97));
+    for (int i = 0; i < 3000; ++i) b.add(static_cast<double>(i % 13) * 7);
+    quantile_sketch ab = a;
+    ab.merge(b);
+    quantile_sketch ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.serialize(), ba.serialize());
+}
+
+// ----------------------------------------------------------- countmin
+
+TEST(CountMin, NeverUnderestimatesAndHonorsEpsilonOnZipf) {
+    const auto keys = zipf_stream(100000, 64);
+    countmin cm(4, 8192, 3);
+    std::vector<std::uint64_t> exact(64, 0);
+    for (auto k : keys) {
+        cm.add(k);
+        ++exact[k];
+    }
+    const double slack = cm.epsilon() * static_cast<double>(cm.total());
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        const std::uint64_t est = cm.estimate(k);
+        EXPECT_GE(est, exact[k]) << "key " << k;
+        EXPECT_LE(static_cast<double>(est),
+                  static_cast<double>(exact[k]) + slack)
+            << "key " << k;
+    }
+}
+
+TEST(CountMin, RoundTripIsByteExact) {
+    countmin cm(3, 1024, 11);
+    for (auto k : zipf_stream(10000, 100)) cm.add(k);
+    const std::string bytes = cm.serialize();
+    const countmin back = countmin::deserialize(bytes);
+    EXPECT_EQ(back, cm);
+    EXPECT_EQ(back.serialize(), bytes);
+    EXPECT_EQ(back.total(), cm.total());
+}
+
+TEST(CountMin, MergeIsCommutativeByteIdentical) {
+    countmin a(4, 2048, 5), b(4, 2048, 5);
+    for (auto k : zipf_stream(20000, 50)) a.add(k);
+    for (auto k : distinct_keys(5000)) b.add(k % 50);
+    countmin ab = a;
+    ab.merge(b);
+    countmin ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.serialize(), ba.serialize());
+    EXPECT_EQ(ab.total(), a.total() + b.total());
+}
+
+TEST(CountMin, MergeRejectsMismatchedGeometry) {
+    countmin a(4, 1024, 1), b(4, 2048, 1), c(4, 1024, 2);
+    EXPECT_THROW(a.merge(b), contract_violation);
+    EXPECT_THROW(a.merge(c), contract_violation);
+}
+
+// ------------------------------------------- shard-merge invariance
+
+/// The contract lsm_live --exact-compare replays end-to-end: splitting
+/// a stream into N contiguous shards, sketching each independently,
+/// and merging in shard order must produce byte-identical state to the
+/// serial sketch, for every N.
+TEST(SketchShardMerge, ByteIdenticalAtOneTwoEightThreads) {
+    const auto keys = zipf_stream(60000, 500);
+
+    hll serial_h(12, 21);
+    quantile_sketch serial_q(0.01);
+    countmin serial_c(4, 4096, 21);
+    for (auto k : keys) {
+        serial_h.add(k);
+        serial_q.add(static_cast<double>(k + 1));
+        serial_c.add(k);
+    }
+
+    for (unsigned nshards : {1u, 2u, 8u}) {
+        std::vector<hll> hs(nshards, hll(12, 21));
+        std::vector<quantile_sketch> qs(nshards, quantile_sketch(0.01));
+        std::vector<countmin> cs(nshards, countmin(4, 4096, 21));
+        thread_pool pool(nshards);
+        pool.run_shards(nshards, [&](std::size_t shard) {
+            const auto [lo, hi] =
+                shard_bounds(keys.size(), nshards, shard);
+            for (std::size_t i = lo; i < hi; ++i) {
+                hs[shard].add(keys[i]);
+                qs[shard].add(static_cast<double>(keys[i] + 1));
+                cs[shard].add(keys[i]);
+            }
+        });
+        for (unsigned i = 1; i < nshards; ++i) {
+            hs[0].merge(hs[i]);
+            qs[0].merge(qs[i]);
+            cs[0].merge(cs[i]);
+        }
+        EXPECT_EQ(hs[0].serialize(), serial_h.serialize())
+            << nshards << " shards";
+        EXPECT_EQ(qs[0].serialize(), serial_q.serialize())
+            << nshards << " shards";
+        EXPECT_EQ(cs[0].serialize(), serial_c.serialize())
+            << nshards << " shards";
+    }
+}
+
+// ----------------------------------------------------- frame format
+
+TEST(SketchIo, FrameRejectsCorruption) {
+    hll h(8, 3);
+    for (std::uint64_t k = 0; k < 100; ++k) h.add(k);
+    std::string bytes = h.serialize();
+    // Flip one payload byte: the checksum must catch it.
+    bytes[bytes.size() - 1] ^= 0x01;
+    EXPECT_THROW(hll::deserialize(bytes), sketch_io_error);
+    // Truncation must be caught too.
+    const std::string h_bytes = h.serialize();
+    EXPECT_THROW(
+        hll::deserialize(std::string_view(h_bytes).substr(
+            0, h_bytes.size() - 4)),
+        sketch_io_error);
+}
+
+TEST(SketchIo, FrameRejectsKindMismatch) {
+    quantile_sketch q(0.05);
+    q.add(1.0);
+    EXPECT_THROW(hll::deserialize(q.serialize()), sketch_io_error);
+}
+
+TEST(SketchIo, FramesAreSelfDelimitingInAContainer) {
+    hll h(8, 3);
+    h.add(17);
+    countmin cm(2, 256, 4);
+    cm.add(17);
+    std::string container = h.serialize();
+    container += cm.serialize();
+    byte_reader r(container);
+    const std::string_view first = take_sketch_frame(r);
+    const std::string_view second = take_sketch_frame(r);
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(hll::deserialize(first), h);
+    EXPECT_EQ(countmin::deserialize(second), cm);
+}
+
+/// Seeds flow through rng::stream(), so two sketches with different
+/// seeds hash differently — the determinism story is "reproducible
+/// from one root seed", not "hash function is fixed".
+TEST(SketchIo, SeedChangesHashFamily) {
+    hll a(12, rng(1).stream(0).next_u64());
+    hll b(12, rng(1).stream(1).next_u64());
+    for (auto k : distinct_keys(10000)) {
+        a.add(k);
+        b.add(k);
+    }
+    EXPECT_NE(a.serialize(), b.serialize());
+    // Same data, either hash family: both within the stated bound.
+    EXPECT_NEAR(a.estimate(), 10000.0,
+                a.relative_error_bound() * 10000.0);
+    EXPECT_NEAR(b.estimate(), 10000.0,
+                b.relative_error_bound() * 10000.0);
+}
+
+}  // namespace
+}  // namespace lsm
