@@ -19,10 +19,14 @@
 #include "characterize/session_builder.h"
 #include "characterize/session_spill.h"
 #include "characterize/transfer_layer.h"
+#include "core/ingest.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/scan.h"
+#include "core/swar.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
+#include "core/varint.h"
 #include "core/wms_log.h"
 #include "sketch/countmin.h"
 #include "sketch/hll.h"
@@ -445,6 +449,121 @@ const std::string& scaling_trace_wms() {
     }();
     return buf;
 }
+
+void BM_WmsParse(benchmark::State& state) {
+    // Parse-only slice of the live daemon: fused framing+record decode
+    // over the scaling trace's WMS text, falling back to framed
+    // consume_line for directives — the exact loop consume_bytes runs,
+    // minus sketches and sessionizer. The gap between this row's MB/s
+    // and BM_LiveDaemonIngest's is the characterization tax.
+    const std::string& buf = scaling_trace_wms();
+    const lsm::ingest_options opts;
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        lsm::wms_line_parser parser(opts);
+        lsm::ingest_report rep;
+        lsm::log_record r;
+        std::size_t pos = 0;
+        std::uint64_t n = 0;
+        while (pos < buf.size()) {
+            const std::size_t next =
+                parser.try_consume_fast(buf, pos, r, rep);
+            if (next != std::string_view::npos) {
+                benchmark::DoNotOptimize(r.start);
+                pos = next;
+                ++n;
+                continue;
+            }
+            std::size_t nl = buf.find('\n', pos);
+            if (nl == std::string::npos) nl = buf.size();
+            if (parser.consume_line(
+                    std::string_view(buf).substr(pos, nl - pos),
+                    nl < buf.size(), r, rep)) {
+                benchmark::DoNotOptimize(r.start);
+                ++n;
+            }
+            pos = nl + 1;
+        }
+        records = n;
+        set_ingest_counters(state, buf.size(), n);
+    }
+    benchmark::DoNotOptimize(records);
+}
+BENCHMARK(BM_WmsParse)->Unit(benchmark::kMillisecond);
+
+void BM_VarintDecodeBlock(benchmark::State& state) {
+    // Word-at-a-time varint decode over a realistic column image: the
+    // scaling trace's zigzag start deltas, the same value distribution
+    // the bin-v2 reader's tiled sweep decodes. MB/s is over the
+    // encoded bytes; records/s counts varints.
+    const std::string block = [] {
+        const trace& t = scaling_trace();
+        std::string out;
+        lsm::seconds_t prev = 0;
+        for (const log_record& r : t.records()) {
+            lsm::put_varint(out, lsm::zigzag_encode(r.start - prev));
+            prev = r.start;
+        }
+        return out;
+    }();
+    const std::uint64_t count = scaling_trace().size();
+    for (auto _ : state) {
+        const char* p = block.data();
+        const char* const end = p + block.size();
+        std::int64_t sum = 0;
+        while (p < end) {
+            std::uint64_t v = 0;
+            if (end - p >= 8) {
+                const std::size_t n =
+                    lsm::get_varint_in_word(lsm::swar::load8(p), v);
+                p += n;
+                if (n != 0) {
+                    sum += lsm::zigzag_decode(v);
+                    continue;
+                }
+            }
+            p += lsm::get_varint(p, end, v);
+            sum += lsm::zigzag_decode(v);
+        }
+        benchmark::DoNotOptimize(sum);
+        set_ingest_counters(state, block.size(), count);
+    }
+}
+BENCHMARK(BM_VarintDecodeBlock)->Unit(benchmark::kMillisecond);
+
+void BM_Ipv4Parse(benchmark::State& state) {
+    // Strict dotted-quad parse over newline-separated addresses drawn
+    // from the scaling trace's client IP distribution.
+    const std::string buf = [] {
+        const trace& t = scaling_trace();
+        std::string out;
+        char tmp[20];
+        for (const log_record& r : t.records()) {
+            std::snprintf(tmp, sizeof tmp, "%u.%u.%u.%u\n", r.ip >> 24,
+                          (r.ip >> 16) & 0xFF, (r.ip >> 8) & 0xFF,
+                          r.ip & 0xFF);
+            out += tmp;
+        }
+        return out;
+    }();
+    const std::uint64_t count = scaling_trace().size();
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        std::size_t pos = 0;
+        const std::string_view view = buf;
+        while (pos < view.size()) {
+            const std::size_t nl = lsm::scan::find_byte(view, '\n', pos);
+            std::uint32_t ip = 0;
+            if (lsm::scan::parse_ipv4(view.substr(pos, nl - pos), ip)) {
+                sum += ip;
+            }
+            pos = nl + 1;
+        }
+        benchmark::DoNotOptimize(sum);
+        set_ingest_counters(state, buf.size(), count);
+    }
+}
+BENCHMARK(BM_Ipv4Parse)->Unit(benchmark::kMillisecond);
 
 void BM_LiveDaemonIngest(benchmark::State& state) {
     // Whole service mode end to end: WMS parse + sanitize + every

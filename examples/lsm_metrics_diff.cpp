@@ -1,7 +1,8 @@
 // Metrics-diff regression gate: compares two lsm-metrics-v1 or
 // lsm-bench-v1 JSON documents (either side may be either schema),
 // prints a per-metric delta table, and exits nonzero when a time-valued
-// metric regresses beyond the threshold.
+// metric slows down — or a "/s" throughput counter (MB/s, records/s)
+// drops — beyond the threshold.
 //
 //   $ ./lsm_metrics_diff base.json test.json
 //   $ ./lsm_metrics_diff --threshold 0.10 base.json test.json
@@ -15,6 +16,9 @@
 //   --min-time-ms F   time metrics with a baseline below this never
 //                     gate (default 1ms — sub-millisecond spans are
 //                     timer noise)
+//   --no-rate-gate    do not gate "/s" throughput counters on downward
+//                     movement (default: a rate below base·(1-threshold)
+//                     fails, so decode-kernel MB/s floors hold in CI)
 //   --gate-all        gate every paired metric, two-sided (|delta| >
 //                     threshold·|base|) — the accuracy-gate mode the
 //                     live-daemon job uses to compare sketch estimates
@@ -50,6 +54,8 @@ int main(int argc, char** argv) {
                 std::cerr << "--max-regress must be positive\n";
                 return 2;
             }
+        } else if (flag == "--no-rate-gate") {
+            opts.gate_rates = false;
         } else if (flag == "--gate-all") {
             opts.gate_all = true;
         } else if (flag == "--min-time-ms" && i + 1 < argc) {
@@ -72,7 +78,7 @@ int main(int argc, char** argv) {
     if (base_path.empty() || test_path.empty()) {
         std::cerr << "usage: " << argv[0]
                   << " [--threshold F] [--max-regress P] [--min-time-ms F]"
-                  << " [--gate-all] [--report-only]"
+                  << " [--no-rate-gate] [--gate-all] [--report-only]"
                   << " <base.json> <test.json>\n";
         return 2;
     }

@@ -75,7 +75,21 @@ void live_daemon::consume_bytes(std::string_view bytes) {
     LSM_EXPECTS(!finished_);
     stream_offset_ += bytes.size();
     std::size_t pos = 0;
+    log_record r;
     while (pos <= bytes.size()) {
+        // Fused framing + parse: the parser consumes a complete
+        // well-formed record line straight out of the buffer, skipping
+        // the separate newline scan. Anything else — directives, bad
+        // lines, a partial tail — drops to the framed path below.
+        if (partial_.empty()) {
+            const std::size_t next =
+                parser_.try_consume_fast(bytes, pos, r, report_);
+            if (next != std::string_view::npos) {
+                ingest_record(r);
+                pos = next;
+                continue;
+            }
+        }
         const std::size_t nl = bytes.find('\n', pos);
         if (nl == std::string_view::npos) {
             partial_.append(bytes.substr(pos));
@@ -114,6 +128,10 @@ void live_daemon::finish() {
 void live_daemon::consume_line(std::string_view line, bool had_newline) {
     log_record r;
     if (!parser_.consume_line(line, had_newline, r, report_)) return;
+    ingest_record(r);
+}
+
+void live_daemon::ingest_record(const log_record& r) {
     // The batch pipeline's sanitize predicate, applied per record so
     // --exact-compare holds the daemon to sanitize(trace)'s numbers.
     const wms_parser_state& st = parser_.state();
@@ -147,8 +165,15 @@ void live_daemon::feed_record(const log_record& r) {
     objects_seen_[static_cast<std::size_t>(r.object) >> 6] |=
         std::uint64_t{1} << (r.object & 63);
 
-    advance_diurnal(r.start);
-    ++hour_of_day_[static_cast<std::size_t>(hour_of_day(r.start))];
+    if (r.start != cached_start_) {
+        cached_start_ = r.start;
+        cached_bucket_ = r.start / cfg_.diurnal_bucket_seconds;
+        cached_ring_slot_ = static_cast<std::size_t>(
+            cached_bucket_ % cfg_.diurnal_window_buckets);
+        cached_hour_ = static_cast<std::size_t>(hour_of_day(r.start));
+    }
+    advance_diurnal();
+    ++hour_of_day_[cached_hour_];
 
     auto [it, inserted] = open_.try_emplace(
         r.client, live_open_session{r.start, r.end(), 1});
@@ -191,9 +216,9 @@ void live_daemon::sweep_closeable() {
     }
 }
 
-void live_daemon::advance_diurnal(seconds_t start) {
+void live_daemon::advance_diurnal() {
     const std::int64_t w = cfg_.diurnal_window_buckets;
-    const std::int64_t b = start / cfg_.diurnal_bucket_seconds;
+    const std::int64_t b = cached_bucket_;
     if (!have_diurnal_bucket_) {
         have_diurnal_bucket_ = true;
         diurnal_bucket_ = b;
@@ -206,7 +231,7 @@ void live_daemon::advance_diurnal(seconds_t start) {
         diurnal_bucket_ = b;
     }
     if (b >= w) diurnal_evicted_ = true;
-    ++diurnal_ring_[static_cast<std::size_t>(b % w)];
+    ++diurnal_ring_[cached_ring_slot_];
 }
 
 std::vector<std::pair<client_id, live_open_session>>

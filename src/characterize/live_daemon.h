@@ -168,10 +168,13 @@ public:
 
 private:
     void consume_line(std::string_view line, bool had_newline);
+    /// Sanitize + feed of one parsed record (shared by the framed and
+    /// fused fast ingest paths).
+    void ingest_record(const log_record& r);
     void feed_record(const log_record& r);
     void close_session(const live_open_session& s);
     void sweep_closeable();
-    void advance_diurnal(seconds_t start);
+    void advance_diurnal();
 
     live_daemon_config cfg_;
     wms_line_parser parser_;
@@ -201,6 +204,14 @@ private:
     bool have_diurnal_bucket_ = false;
     std::int64_t diurnal_bucket_ = 0;  // absolute bucket index
     bool diurnal_evicted_ = false;
+    // Derived-from-start cache: input is start-sorted, so equal starts
+    // arrive consecutively and the bucket/hour divisions run once per
+    // distinct second instead of once per record. Transient — not
+    // snapshotted; a resumed daemon just recomputes on its first record.
+    seconds_t cached_start_ = -1;
+    std::int64_t cached_bucket_ = 0;
+    std::size_t cached_ring_slot_ = 0;
+    std::size_t cached_hour_ = 0;
     std::vector<std::uint64_t> diurnal_ring_;
     std::array<std::uint64_t, 24> hour_of_day_{};
 };

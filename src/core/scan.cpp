@@ -1,0 +1,307 @@
+#include "core/scan.h"
+
+#include <array>
+#include <atomic>
+#include <charconv>
+
+#include "core/swar.h"
+
+namespace lsm::scan {
+
+namespace {
+
+std::atomic<bool> g_swar_enabled{k_swar_default};
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// ---- scalar reference implementations -------------------------------
+//
+// Deliberately naive byte loops: these are the semantics the SWAR
+// kernels must reproduce bit-for-bit, and the fallback `-DLSM_NO_SWAR`
+// builds ship.
+
+std::size_t find_byte_scalar(std::string_view hay, char c,
+                             std::size_t pos) {
+    for (std::size_t i = pos; i < hay.size(); ++i) {
+        if (hay[i] == c) return i;
+    }
+    return std::string_view::npos;
+}
+
+std::size_t count_byte_scalar(std::string_view hay, char c) {
+    std::size_t n = 0;
+    for (char b : hay) {
+        if (b == c) ++n;
+    }
+    return n;
+}
+
+std::size_t split_fields_scalar(std::string_view line, char delim,
+                                std::string_view* out,
+                                std::size_t max_out) {
+    std::size_t nf = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == delim) {
+            if (nf < max_out) out[nf] = line.substr(start, i - start);
+            ++nf;
+            start = i + 1;
+        }
+    }
+    if (nf < max_out) out[nf] = line.substr(start);
+    return nf + 1;
+}
+
+std::size_t split_tokens_scalar(std::string_view line, char delim,
+                                std::string_view* out,
+                                std::size_t max_out) {
+    std::size_t nt = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == delim) {
+            if (i > start) {
+                if (nt < max_out) out[nt] = line.substr(start, i - start);
+                ++nt;
+            }
+            start = i + 1;
+        }
+    }
+    if (line.size() > start) {
+        if (nt < max_out) out[nt] = line.substr(start);
+        ++nt;
+    }
+    return nt;
+}
+
+std::size_t line_fields_scalar(std::string_view hay, std::size_t pos,
+                               char delim, std::string_view* out,
+                               std::size_t max_out, std::size_t& nf) {
+    std::size_t n = 0;
+    std::size_t start = pos;
+    std::size_t i = pos;
+    for (; i < hay.size() && hay[i] != '\n'; ++i) {
+        if (hay[i] == delim) {
+            if (n < max_out) out[n] = hay.substr(start, i - start);
+            ++n;
+            start = i + 1;
+        }
+    }
+    if (n < max_out) out[n] = hay.substr(start, i - start);
+    nf = n + 1;
+    return i;
+}
+
+// ---- SWAR kernels ---------------------------------------------------
+
+std::size_t find_byte_swar(std::string_view hay, char c,
+                           std::size_t pos) {
+    const char* p = hay.data();
+    const std::size_t n = hay.size();
+    std::size_t i = pos;
+    for (; i + 8 <= n; i += 8) {
+        const std::uint64_t m = swar::eq_bytes(swar::load8(p + i), c);
+        if (m != 0) return i + static_cast<std::size_t>(
+                               swar::first_byte(m));
+    }
+    for (; i < n; ++i) {
+        if (p[i] == c) return i;
+    }
+    return std::string_view::npos;
+}
+
+std::size_t count_byte_swar(std::string_view hay, char c) {
+    const char* p = hay.data();
+    const std::size_t n = hay.size();
+    std::size_t count = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        count += static_cast<std::size_t>(
+            swar::count_bytes(swar::eq_bytes(swar::load8(p + i), c)));
+    }
+    for (; i < n; ++i) {
+        if (p[i] == c) ++count;
+    }
+    return count;
+}
+
+std::size_t split_fields_swar(std::string_view line, char delim,
+                              std::string_view* out,
+                              std::size_t max_out) {
+    const char* p = line.data();
+    const std::size_t n = line.size();
+    std::size_t nf = 0;
+    std::size_t start = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t m = swar::eq_bytes(swar::load8(p + i), delim);
+        while (m != 0) {
+            const std::size_t pos =
+                i + static_cast<std::size_t>(swar::first_byte(m));
+            if (nf < max_out) out[nf] = line.substr(start, pos - start);
+            ++nf;
+            start = pos + 1;
+            m &= m - 1;
+        }
+    }
+    for (; i < n; ++i) {
+        if (p[i] == delim) {
+            if (nf < max_out) out[nf] = line.substr(start, i - start);
+            ++nf;
+            start = i + 1;
+        }
+    }
+    if (nf < max_out) out[nf] = line.substr(start);
+    return nf + 1;
+}
+
+std::size_t split_tokens_swar(std::string_view line, char delim,
+                              std::string_view* out,
+                              std::size_t max_out) {
+    const char* p = line.data();
+    const std::size_t n = line.size();
+    std::size_t nt = 0;
+    std::size_t start = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t m = swar::eq_bytes(swar::load8(p + i), delim);
+        while (m != 0) {
+            const std::size_t pos =
+                i + static_cast<std::size_t>(swar::first_byte(m));
+            if (pos > start) {
+                if (nt < max_out) out[nt] = line.substr(start, pos - start);
+                ++nt;
+            }
+            start = pos + 1;
+            m &= m - 1;
+        }
+    }
+    for (; i < n; ++i) {
+        if (p[i] == delim) {
+            if (i > start) {
+                if (nt < max_out) out[nt] = line.substr(start, i - start);
+                ++nt;
+            }
+            start = i + 1;
+        }
+    }
+    if (n > start) {
+        if (nt < max_out) out[nt] = line.substr(start);
+        ++nt;
+    }
+    return nt;
+}
+
+std::size_t line_fields_swar(std::string_view hay, std::size_t pos,
+                             char delim, std::string_view* out,
+                             std::size_t max_out, std::size_t& nf) {
+    const char* p = hay.data();
+    const std::size_t n = hay.size();
+    std::size_t count = 0;
+    std::size_t start = pos;
+    std::size_t i = pos;
+    std::size_t line_end = n;
+    for (; i + 8 <= n; i += 8) {
+        const std::uint64_t w = swar::load8(p + i);
+        std::uint64_t dm = swar::eq_bytes(w, delim);
+        const std::uint64_t nm = swar::eq_bytes(w, '\n');
+        if (nm != 0) {
+            // Keep only delimiters before the newline, then stop.
+            dm &= nm - 1;  // bits strictly below the lowest '\n' bit
+            line_end = i + static_cast<std::size_t>(swar::first_byte(nm));
+        }
+        while (dm != 0) {
+            const std::size_t at =
+                i + static_cast<std::size_t>(swar::first_byte(dm));
+            if (count < max_out) out[count] = hay.substr(start, at - start);
+            ++count;
+            start = at + 1;
+            dm &= dm - 1;
+        }
+        if (nm != 0) {
+            if (count < max_out)
+                out[count] = hay.substr(start, line_end - start);
+            nf = count + 1;
+            return line_end;
+        }
+    }
+    for (; i < n && p[i] != '\n'; ++i) {
+        if (p[i] == delim) {
+            if (count < max_out) out[count] = hay.substr(start, i - start);
+            ++count;
+            start = i + 1;
+        }
+    }
+    if (count < max_out) out[count] = hay.substr(start, i - start);
+    nf = count + 1;
+    return i;
+}
+
+}  // namespace
+
+bool swar_enabled() {
+    return g_swar_enabled.load(std::memory_order_relaxed);
+}
+
+void set_swar_enabled(bool enabled) {
+    g_swar_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t find_byte(std::string_view hay, char c, std::size_t pos) {
+    if (pos >= hay.size()) return std::string_view::npos;
+    return swar_enabled() ? find_byte_swar(hay, c, pos)
+                          : find_byte_scalar(hay, c, pos);
+}
+
+std::size_t count_byte(std::string_view hay, char c) {
+    return swar_enabled() ? count_byte_swar(hay, c)
+                          : count_byte_scalar(hay, c);
+}
+
+std::size_t split_fields(std::string_view line, char delim,
+                         std::string_view* out, std::size_t max_out) {
+    return swar_enabled() ? split_fields_swar(line, delim, out, max_out)
+                          : split_fields_scalar(line, delim, out, max_out);
+}
+
+std::size_t split_tokens(std::string_view line, char delim,
+                         std::string_view* out, std::size_t max_out) {
+    return swar_enabled() ? split_tokens_swar(line, delim, out, max_out)
+                          : split_tokens_scalar(line, delim, out, max_out);
+}
+
+std::size_t line_fields(std::string_view hay, std::size_t pos, char delim,
+                        std::string_view* out, std::size_t max_out,
+                        std::size_t& nf) {
+    return swar_enabled()
+               ? line_fields_swar(hay, pos, delim, out, max_out, nf)
+               : line_fields_scalar(hay, pos, delim, out, max_out, nf);
+}
+
+bool parse_ipv4(std::string_view s, std::uint32_t& out) {
+    const char* p = s.data();
+    const char* const end = p + s.size();
+    std::uint32_t v = 0;
+    for (int octet = 0; octet < 4; ++octet) {
+        if (octet != 0) {
+            if (p == end || *p != '.') return false;
+            ++p;
+        }
+        if (p == end || !is_digit(*p)) return false;
+        std::uint32_t o = static_cast<std::uint32_t>(*p++ - '0');
+        if (p != end && is_digit(*p)) {
+            o = o * 10 + static_cast<std::uint32_t>(*p++ - '0');
+            if (p != end && is_digit(*p)) {
+                o = o * 10 + static_cast<std::uint32_t>(*p++ - '0');
+                // A fourth digit is an overlong run, not a big octet.
+                if (p != end && is_digit(*p)) return false;
+            }
+        }
+        if (o > 255) return false;
+        v = (v << 8) | o;
+    }
+    if (p != end) return false;
+    out = v;
+    return true;
+}
+
+}  // namespace lsm::scan

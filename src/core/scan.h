@@ -1,0 +1,376 @@
+// Structural scanning over delimited text: the shared decode kernels
+// behind the WMS line parser, the CSV readers, and live-daemon line
+// framing.
+//
+// Each scan primitive has two implementations compiled into every
+// build: a word-at-a-time SWAR kernel (see core/swar.h) and a plain
+// byte-loop scalar reference. Which one runs is decided at runtime by
+// `swar_enabled()`, whose default is flipped by the `-DLSM_NO_SWAR`
+// build option; `set_swar_enabled()` lets differential tests replay
+// the same input through both paths in one process. The contract the
+// tests enforce: for every input, both paths produce byte-identical
+// results — same fields, same counts, same positions.
+//
+// The numeric helpers (`parse_ipv4`, `parse_double_field`) have one
+// implementation each — they are scalar arithmetic, not scanning — and
+// live here because every ingest path shares them.
+#pragma once
+
+#include <array>
+#include <charconv>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <type_traits>
+
+#include "core/swar.h"
+
+namespace lsm::scan {
+
+#ifdef LSM_NO_SWAR
+inline constexpr bool k_swar_default = false;
+#else
+inline constexpr bool k_swar_default = true;
+#endif
+
+/// Whether the SWAR kernels are active (default: !LSM_NO_SWAR).
+bool swar_enabled();
+/// Test hook: force the scalar reference implementations in-process,
+/// so a differential test can replay one corpus through both paths.
+/// Not thread-safe against concurrent scans; toggle only between runs.
+void set_swar_enabled(bool enabled);
+
+/// Index of the first `c` in `hay` at or after `pos`, or npos.
+std::size_t find_byte(std::string_view hay, char c, std::size_t pos = 0);
+
+/// Number of occurrences of `c` in `hay`.
+std::size_t count_byte(std::string_view hay, char c);
+
+/// CSV-style split: every delimiter ends a field, empty fields
+/// included, so the result always has (delimiters + 1) fields. The
+/// first `max_out` fields are stored in `out`; the return value is the
+/// TOTAL field count (callers diagnose "expected N fields, got M" with
+/// the exact M even when M > max_out).
+std::size_t split_fields(std::string_view line, char delim,
+                         std::string_view* out, std::size_t max_out);
+
+/// Whitespace-style split: tokens are maximal runs of non-`delim`
+/// bytes, so delimiter runs collapse and no empty tokens exist. Same
+/// max_out / total-count contract as split_fields.
+std::size_t split_tokens(std::string_view line, char delim,
+                         std::string_view* out, std::size_t max_out);
+
+/// Fused line framing + field split: one sweep that both finds the end
+/// of the line starting at `pos` (the next '\n', or hay.size()) and
+/// splits it on `delim` with split_fields semantics, storing the total
+/// field count in `nf`. Equivalent to find_byte + split_fields on the
+/// line, in a single pass over the bytes. Returns the line-end index.
+std::size_t line_fields(std::string_view hay, std::size_t pos, char delim,
+                        std::string_view* out, std::size_t max_out,
+                        std::size_t& nf);
+
+/// Strict IPv4 dotted quad: exactly four octets of 1-3 decimal digits,
+/// each <= 255, separated by single dots, consuming the whole field.
+/// Rejects everything `sscanf("%u.%u.%u.%u")` silently tolerated:
+/// leading whitespace, a leading '+' or '-', overlong digit runs
+/// ("0000000001"), and trailing junk. Returns false on reject.
+bool parse_ipv4(std::string_view s, std::uint32_t& out);
+
+namespace detail {
+/// Nibble table: 0-15 for hex digits of either case, 0xFF elsewhere.
+inline constexpr auto k_nibble = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (auto& e : t) e = 0xFF;
+    for (int i = 0; i < 10; ++i) t['0' + i] = static_cast<std::uint8_t>(i);
+    for (int i = 0; i < 6; ++i) {
+        t['a' + i] = static_cast<std::uint8_t>(10 + i);
+        t['A' + i] = static_cast<std::uint8_t>(10 + i);
+    }
+    return t;
+}();
+}  // namespace detail
+
+/// Parses exactly 16 hex digits (either case) into a u64. Equivalent
+/// to std::from_chars(base 16) over a 16-digit field, but decodes via
+/// a nibble table instead of the generic loop — the WMS player-id
+/// field is always exactly 16 digits, and this parse was the single
+/// hottest call in the line parser. Returns false when `s` is not
+/// exactly 16 hex digits. Inline: once per record on the WMS paths.
+inline bool parse_hex16(std::string_view s, std::uint64_t& out) {
+    if (s.size() != 16) return false;
+    if (swar_enabled()) {
+        std::uint32_t hi = 0;
+        std::uint32_t lo = 0;
+        if (!swar::hex_digits8(swar::load8(s.data()), hi) ||
+            !swar::hex_digits8(swar::load8(s.data() + 8), lo)) {
+            return false;
+        }
+        out = (static_cast<std::uint64_t>(hi) << 32) | lo;
+        return true;
+    }
+    std::uint64_t v = 0;
+    std::uint32_t bad = 0;
+    for (int i = 0; i < 16; ++i) {
+        const std::uint8_t n = detail::k_nibble[static_cast<std::uint8_t>(
+            s[static_cast<std::size_t>(i)])];
+        bad |= n;
+        v = (v << 4) | (n & 0xF);
+    }
+    if ((bad & 0xF0) != 0) return false;
+    out = v;
+    return true;
+}
+
+/// Parses a decimal integer with std::from_chars semantics over the
+/// whole field: an optional '-' for signed T (never '+'), then one or
+/// more digits, rejecting values outside T's range. Returns false
+/// exactly when from_chars would fail or leave bytes unconsumed. The
+/// inline digit loop replaces a per-field from_chars call in the CSV
+/// and WMS record decoders; fields longer than 19 digits (only
+/// overflowing or malformed inputs) defer to from_chars itself so
+/// out-of-range detection is identical.
+template <typename T>
+bool parse_int_field(std::string_view s, T& out) {
+    static_assert(std::is_integral_v<T>);
+    const char* p = s.data();
+    const char* const end = p + s.size();
+    bool neg = false;
+    if constexpr (std::is_signed_v<T>) {
+        if (p != end && *p == '-') {
+            neg = true;
+            ++p;
+        }
+    }
+    if (end - p > 19) {  // 19 decimal digits always fit a u64
+        T v{};
+        const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+        if (ec != std::errc{} || ptr != end) return false;
+        out = v;
+        return true;
+    }
+    if (p == end) return false;
+    std::uint64_t v = 0;
+    for (; p != end; ++p) {
+        const unsigned d = static_cast<unsigned>(*p) - '0';
+        if (d > 9) return false;
+        v = v * 10 + d;
+    }
+    constexpr std::uint64_t k_max =
+        static_cast<std::uint64_t>(std::numeric_limits<T>::max());
+    if constexpr (std::is_signed_v<T>) {
+        if (v > k_max + (neg ? 1 : 0)) return false;
+        out = neg ? static_cast<T>(std::uint64_t{0} - v)
+                  : static_cast<T>(v);
+    } else {
+        if (v > k_max) return false;
+        out = static_cast<T>(v);
+    }
+    return true;
+}
+
+namespace detail {
+/// Exact power-of-ten table: every entry is an exactly-representable
+/// double, so one multiply or divide by it is correctly rounded
+/// (Clinger's fast path).
+inline constexpr double k_pow10[23] = {
+    1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,
+    1e8,  1e9,  1e10, 1e11, 1e12, 1e13, 1e14, 1e15,
+    1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22};
+
+/// Integer powers of ten up to 10^15 (the 15-significant-digit cap of
+/// the double fast path): used to splice integer and fraction digit
+/// runs into one mantissa.
+inline constexpr std::uint64_t k_p10_u64[16] = {
+    1ULL,
+    10ULL,
+    100ULL,
+    1000ULL,
+    10000ULL,
+    100000ULL,
+    1000000ULL,
+    10000000ULL,
+    100000000ULL,
+    1000000000ULL,
+    10000000000ULL,
+    100000000000ULL,
+    1000000000000ULL,
+    10000000000000ULL,
+    100000000000000ULL,
+    1000000000000000ULL};
+}  // namespace detail
+
+/// Decimal digit-run prefix parse: consumes the run of ASCII digits at
+/// `p`, accumulating its value word-at-a-time (swar::digit_run8 folds
+/// eight digits in three multiplies; the value is the same integer the
+/// serial `acc*10+d` reference produces, exactly). Returns false on an
+/// empty run or one longer than 19 digits — callers treat false as
+/// "take the reference parser", which decides acceptance (a 20-digit
+/// run can still be in range via leading zeros). `count` is the run
+/// length on success.
+inline bool digit_run(const char*& p, const char* const end,
+                      std::uint64_t& acc, int& count) {
+    if (end - p >= 8) [[likely]] {
+        std::uint64_t v;
+        const int n = swar::digit_run8(swar::load8(p), v);
+        if (n == 0) return false;
+        p += n;
+        acc = v;
+        count = n;
+        if (n < 8) [[likely]] return true;
+        // Run continues past the first word: finish with the serial
+        // reference accumulate — identical value, short tail.
+        int total = 8;
+        while (p != end) {
+            const unsigned d = static_cast<unsigned>(*p) - '0';
+            if (d > 9) break;
+            if (++total > 19) return false;
+            acc = acc * 10 + d;
+            ++p;
+        }
+        count = total;
+        return true;
+    }
+    // Fewer than 8 bytes left in the buffer: plain serial parse.
+    int total = 0;
+    acc = 0;
+    while (p != end) {
+        const unsigned d = static_cast<unsigned>(*p) - '0';
+        if (d > 9) break;
+        if (++total > 19) return false;
+        acc = acc * 10 + d;
+        ++p;
+    }
+    count = total;
+    return total != 0;
+}
+
+/// Fast-path double PREFIX parse: the digit-run-fused form of
+/// parse_double_field's fast path, stopping at the first byte that is
+/// not part of the number (the caller checks it is the expected field
+/// terminator). The mantissa is the same u64 parse_double_field
+/// accumulates and the Clinger scaling the same expression, so
+/// accepted values are bit-identical. Returns false for every shape
+/// parse_double_field would defer to from_chars for ("1.", ".5",
+/// 16+ significant digits, oversized exponents) — callers then re-run
+/// the reference path over the whole field.
+inline bool parse_double_prefix(const char*& p, const char* const end,
+                                double& out) {
+    bool neg = false;
+    if (p != end && *p == '-') {
+        neg = true;
+        ++p;
+    }
+    std::uint64_t mant;
+    int int_digits;
+    if (!digit_run(p, end, mant, int_digits)) return false;
+    int frac_digits = 0;
+    if (p != end && *p == '.') {
+        ++p;
+        std::uint64_t frac;
+        if (!digit_run(p, end, frac, frac_digits)) return false;
+        if (int_digits + frac_digits > 15) return false;
+        mant = mant * detail::k_p10_u64[frac_digits] + frac;
+    }
+    if (int_digits + frac_digits > 15) return false;
+    int exp10 = 0;
+    if (p != end && (*p == 'e' || *p == 'E')) {
+        ++p;
+        bool eneg = false;
+        if (p != end && (*p == '+' || *p == '-')) {
+            eneg = *p == '-';
+            ++p;
+        }
+        const char* const exp_start = p;
+        int ev = 0;
+        while (p != end && static_cast<unsigned>(*p) - '0' <= 9 &&
+               p - exp_start < 3) {
+            ev = ev * 10 + (*p++ - '0');
+        }
+        if (p == exp_start) return false;
+        if (p != end && static_cast<unsigned>(*p) - '0' <= 9) return false;
+        exp10 = eneg ? -ev : ev;
+    }
+    exp10 -= frac_digits;
+    if (exp10 < -22 || exp10 > 22) return false;
+    const double m = static_cast<double>(mant);  // exact: mant < 10^15
+    const double v =
+        exp10 >= 0 ? m * detail::k_pow10[exp10] : m / detail::k_pow10[-exp10];
+    out = neg ? -v : v;
+    return true;
+}
+
+/// Parses a double with std::from_chars(general) semantics, requiring
+/// the whole field to be consumed. A fast path covers the shapes the
+/// writers emit (plain/decimal/exponent notation with <= 15
+/// significant digits and a small decimal exponent — exactly
+/// representable via one correctly-rounded power-of-ten scaling, per
+/// Clinger); everything else defers to std::from_chars itself, so
+/// accept/reject behavior is identical to calling from_chars directly.
+/// Inline: three of these run per record in both hot decode paths.
+inline bool parse_double_field(std::string_view s, double& out) {
+    const auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+    const auto fallback = [&] {
+        double v{};
+        const auto [ptr, ec] =
+            std::from_chars(s.data(), s.data() + s.size(), v);
+        if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+        out = v;
+        return true;
+    };
+
+    const char* p = s.data();
+    const char* const end = p + s.size();
+    bool neg = false;
+    if (p != end && *p == '-') {
+        neg = true;
+        ++p;
+    }
+    std::uint64_t mant = 0;
+    const char* const int_start = p;
+    while (p != end && is_digit(*p)) {
+        mant = mant * 10 + static_cast<std::uint64_t>(*p++ - '0');
+    }
+    const std::ptrdiff_t int_digits = p - int_start;
+    if (int_digits == 0) return fallback();  // ".5", "inf", "nan", "-", …
+    std::ptrdiff_t frac_digits = 0;
+    if (p != end && *p == '.') {
+        ++p;
+        const char* const frac_start = p;
+        while (p != end && is_digit(*p)) {
+            mant = mant * 10 + static_cast<std::uint64_t>(*p++ - '0');
+        }
+        frac_digits = p - frac_start;
+        if (frac_digits == 0) return fallback();  // "1." — grammar edge
+    }
+    if (int_digits + frac_digits > 15) return fallback();
+    int exp10 = 0;
+    if (p != end && (*p == 'e' || *p == 'E')) {
+        ++p;
+        bool eneg = false;
+        if (p != end && (*p == '+' || *p == '-')) {
+            eneg = *p == '-';
+            ++p;
+        }
+        const char* const exp_start = p;
+        int ev = 0;
+        while (p != end && is_digit(*p) && p - exp_start < 3) {
+            ev = ev * 10 + (*p++ - '0');
+        }
+        if (p == exp_start) return fallback();  // "1e", "1e+" edges
+        if (p != end && is_digit(*p)) return fallback();  // huge exponent
+        exp10 = eneg ? -ev : ev;
+    }
+    // Any unconsumed byte stops from_chars at the same place, so the
+    // caller's whole-field requirement fails either way.
+    if (p != end) return false;
+    exp10 -= static_cast<int>(frac_digits);
+    if (exp10 < -22 || exp10 > 22) return fallback();
+    const double m = static_cast<double>(mant);  // exact: mant < 10^15
+    const double v =
+        exp10 >= 0 ? m * detail::k_pow10[exp10] : m / detail::k_pow10[-exp10];
+    out = neg ? -v : v;
+    return true;
+}
+
+}  // namespace lsm::scan

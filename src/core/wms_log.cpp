@@ -9,7 +9,8 @@
 #include <ostream>
 #include <sstream>
 #include <string_view>
-#include <vector>
+
+#include "core/scan.h"
 
 namespace lsm {
 
@@ -19,28 +20,10 @@ constexpr const char* k_fields =
     "#Fields: c-ip c-playerid cs-uri-stem x-asnum c-country x-start "
     "x-duration avg-bandwidth c-rate s-cpu-util sc-status";
 
-std::vector<std::string_view> split_ws(std::string_view line) {
-    std::vector<std::string_view> out;
-    std::size_t i = 0;
-    while (i < line.size()) {
-        while (i < line.size() && line[i] == ' ') ++i;
-        const std::size_t j = line.find(' ', i);
-        if (i >= line.size()) break;
-        if (j == std::string_view::npos) {
-            out.push_back(line.substr(i));
-            break;
-        }
-        out.push_back(line.substr(i, j - i));
-        i = j;
-    }
-    return out;
-}
-
 template <typename T>
 T parse_uint(std::string_view s, int line_no, const char* field) {
     T value{};
-    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    if (!scan::parse_int_field(s, value)) {
         throw wms_record_error("line " + std::to_string(line_no) +
                                    ": bad field " + field + ": '" +
                                    std::string(s) + "'",
@@ -50,17 +33,11 @@ T parse_uint(std::string_view s, int line_no, const char* field) {
 }
 
 double parse_num(std::string_view s, int line_no, const char* field) {
-    char buf[64];
-    if (s.size() >= sizeof buf) {
-        throw wms_record_error("line " + std::to_string(line_no) +
-                                   ": oversized field " + field,
-                               "bad_field");
-    }
-    std::memcpy(buf, s.data(), s.size());
-    buf[s.size()] = '\0';
-    char* end = nullptr;
-    const double v = std::strtod(buf, &end);
-    if (end != buf + s.size()) {
+    // Locale-proof and strict: from_chars semantics over the whole
+    // field (the strtod this replaced honored LC_NUMERIC and accepted
+    // leading whitespace, '+', and hex floats).
+    double v;
+    if (!scan::parse_double_field(s, v)) {
         throw wms_record_error("line " + std::to_string(line_no) +
                                    ": bad field " + field + ": '" +
                                    std::string(s) + "'",
@@ -70,22 +47,16 @@ double parse_num(std::string_view s, int line_no, const char* field) {
 }
 
 ipv4_addr parse_ip(std::string_view s, int line_no) {
-    unsigned a = 0, b = 0, c = 0, d = 0;
-    char buf[32];
-    if (s.size() >= sizeof buf) {
-        throw wms_record_error("line " + std::to_string(line_no) +
-                                   ": bad c-ip",
-                               "bad_ip");
-    }
-    std::memcpy(buf, s.data(), s.size());
-    buf[s.size()] = '\0';
-    if (std::sscanf(buf, "%u.%u.%u.%u", &a, &b, &c, &d) != 4 || a > 255 ||
-        b > 255 || c > 255 || d > 255) {
+    // Strict dotted-quad: the sscanf("%u.%u.%u.%u") this replaced
+    // silently accepted leading whitespace, '+', overlong digit runs,
+    // and trailing junk after the fourth octet.
+    std::uint32_t ip;
+    if (!scan::parse_ipv4(s, ip)) {
         throw wms_record_error("line " + std::to_string(line_no) +
                                    ": bad c-ip: '" + std::string(s) + "'",
                                "bad_ip");
     }
-    return (a << 24) | (b << 16) | (c << 8) | d;
+    return ip;
 }
 
 const char* wms_error_category(const wms_log_error& e) {
@@ -93,14 +64,15 @@ const char* wms_error_category(const wms_log_error& e) {
     return cat != nullptr ? cat->category : "other";
 }
 
-/// Parses one record line (already whitespace-split). Throws
-/// wms_record_error; shared by the strict and recovery read paths.
-log_record parse_wms_record(const std::vector<std::string_view>& f,
+/// Parses one record line. `f` holds the first 11 whitespace tokens,
+/// `nf` the total token count (possibly > 11). Throws wms_record_error;
+/// shared by the strict and recovery read paths.
+log_record parse_wms_record(const std::string_view* f, std::size_t nf,
                             int line_no) {
-    if (f.size() != 11) {
+    if (nf != 11) {
         throw wms_record_error("line " + std::to_string(line_no) +
                                    ": expected 11 fields, got " +
-                                   std::to_string(f.size()),
+                                   std::to_string(nf),
                                "field_count");
     }
     log_record r;
@@ -112,11 +84,8 @@ log_record parse_wms_record(const std::vector<std::string_view>& f,
                                "bad_playerid");
     }
     {
-        const std::string_view hex = f[1].substr(1, 16);
         std::uint64_t id = 0;
-        auto [ptr, ec] =
-            std::from_chars(hex.data(), hex.data() + hex.size(), id, 16);
-        if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
+        if (!scan::parse_hex16(f[1].substr(1, 16), id)) {
             throw wms_record_error("line " + std::to_string(line_no) +
                                        ": bad c-playerid hex",
                                    "bad_playerid");
@@ -125,7 +94,8 @@ log_record parse_wms_record(const std::vector<std::string_view>& f,
     }
     // Stream URI: mms://server/feed<N>.
     constexpr std::string_view prefix = "mms://server/feed";
-    if (f[2].rfind(prefix, 0) != 0) {
+    if (f[2].size() < prefix.size() ||
+        std::memcmp(f[2].data(), prefix.data(), prefix.size()) != 0) {
         throw wms_record_error("line " + std::to_string(line_no) +
                                    ": bad cs-uri-stem",
                                "bad_uri");
@@ -153,11 +123,149 @@ log_record parse_wms_record(const std::vector<std::string_view>& f,
     return r;
 }
 
+/// Common-case decode of one record line starting at `p`: all 11
+/// tokens well-formed, separated by single spaces, no leading or
+/// trailing whitespace — exactly what write_wms_log emits. Accepts a
+/// strict subset of parse_wms_record with bit-identical values (same
+/// octet rules as scan::parse_ipv4, same digit-run accumulation as
+/// parse_int_field, same Clinger scaling as parse_double_field); ANY
+/// irregularity returns nullptr and the caller re-runs the reference
+/// split_tokens + parse_wms_record path, so every error message and
+/// category is unchanged. On success returns the position just past
+/// the status token; the caller checks it is its line terminator
+/// (end-of-line for framed input, '\n' for buffer input — every
+/// byte-class check below rejects '\n', so the parse cannot silently
+/// run across a line boundary).
+const char* parse_wms_record_prefix(const char* p, const char* const end,
+                                    log_record& r) {
+    const auto space = [&]() -> bool {
+        if (p == end || *p != ' ') return false;
+        ++p;
+        return true;
+    };
+    const auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+    // c-ip: strict dotted quad, inline mirror of scan::parse_ipv4
+    // (1-3 digit octets, <= 255, a fourth digit is an overlong run).
+    {
+        std::uint32_t v = 0;
+        for (int octet = 0; octet < 4; ++octet) {
+            if (octet != 0) {
+                if (p == end || *p != '.') return nullptr;
+                ++p;
+            }
+            if (p == end || !is_digit(*p)) return nullptr;
+            std::uint32_t o = static_cast<std::uint32_t>(*p++ - '0');
+            if (p != end && is_digit(*p)) {
+                o = o * 10 + static_cast<std::uint32_t>(*p++ - '0');
+                if (p != end && is_digit(*p)) {
+                    o = o * 10 + static_cast<std::uint32_t>(*p++ - '0');
+                    if (p != end && is_digit(*p)) return nullptr;
+                }
+            }
+            if (o > 255) return nullptr;
+            v = (v << 8) | o;
+        }
+        r.ip = v;
+    }
+    if (!space()) return nullptr;
+    // c-playerid: {<16 hex digits>}.
+    if (end - p < 18 || p[0] != '{' || p[17] != '}') return nullptr;
+    {
+        std::uint64_t id;
+        if (!scan::parse_hex16(std::string_view(p + 1, 16), id))
+            return nullptr;
+        r.client = id;
+    }
+    p += 18;
+    if (!space()) return nullptr;
+    // cs-uri-stem: mms://server/feed<N>, object = N - 1 computed in
+    // unsigned like the reference path (parse_uint<unsigned> - 1).
+    constexpr std::string_view prefix = "mms://server/feed";
+    if (end - p < static_cast<std::ptrdiff_t>(prefix.size()) ||
+        std::memcmp(p, prefix.data(), prefix.size()) != 0)
+        return nullptr;
+    p += prefix.size();
+    std::uint64_t v;
+    int count;
+    if (!scan::digit_run(p, end, v, count) || v > 0xFFFFFFFFu)
+        return nullptr;
+    r.object = static_cast<object_id>(static_cast<unsigned>(v) - 1);
+    if (!space()) return nullptr;
+    // x-asnum.
+    if (!scan::digit_run(p, end, v, count) || v > 0xFFFFFFFFu)
+        return nullptr;
+    r.asn = static_cast<as_number>(v);
+    if (!space()) return nullptr;
+    // c-country: exactly two field bytes (not space, not newline —
+    // the newline check keeps buffer-mode parses inside one line).
+    if (end - p < 3 || p[0] == ' ' || p[0] == '\n' || p[1] == ' ' ||
+        p[1] == '\n' || p[2] != ' ')
+        return nullptr;
+    r.country.c[0] = p[0];
+    r.country.c[1] = p[1];
+    p += 3;
+    // x-start, x-duration: signed (parse_int_field allows '-', not '+').
+    const auto parse_i64_space = [&](seconds_t& out) -> bool {
+        bool neg = false;
+        if (p != end && *p == '-') {
+            neg = true;
+            ++p;
+        }
+        constexpr std::uint64_t k_max = static_cast<std::uint64_t>(
+            std::numeric_limits<std::int64_t>::max());
+        std::uint64_t acc;
+        int n;
+        if (!scan::digit_run(p, end, acc, n) ||
+            acc > k_max + (neg ? 1 : 0))
+            return false;
+        if (!space()) return false;
+        out = neg ? static_cast<seconds_t>(std::uint64_t{0} - acc)
+                  : static_cast<seconds_t>(acc);
+        return true;
+    };
+    if (!parse_i64_space(r.start)) return nullptr;
+    if (!parse_i64_space(r.duration)) return nullptr;
+    // avg-bandwidth, c-rate, s-cpu-util: the shared fast-path double.
+    double d;
+    if (!scan::parse_double_prefix(p, end, d) || !space()) return nullptr;
+    r.avg_bandwidth_bps = d;
+    if (!scan::parse_double_prefix(p, end, d) || !space()) return nullptr;
+    r.packet_loss = static_cast<float>(d);
+    if (!scan::parse_double_prefix(p, end, d) || !space()) return nullptr;
+    r.server_cpu = static_cast<float>(d / 100.0);
+    // sc-status: final token. The caller verifies the byte at the
+    // returned position is its line terminator (a trailing space means
+    // a 12th token position — the reference splitter collapses it, so
+    // that shape falls back rather than being reasoned about here).
+    if (!scan::digit_run(p, end, v, count) || v > 0xFFFFu) return nullptr;
+    r.status = static_cast<transfer_status>(v);
+    return p;
+}
+
 }  // namespace
 
 wms_line_parser::wms_line_parser(const ingest_options& opts,
                                  const wms_parser_state& st)
     : opts_(opts), state_(st) {}
+
+std::size_t wms_line_parser::try_consume_fast(std::string_view buf,
+                                              std::size_t pos,
+                                              log_record& out,
+                                              ingest_report& rep) {
+    if (!scan::swar_enabled() || !state_.fields_seen)
+        return std::string_view::npos;
+    const char* const stop = parse_wms_record_prefix(
+        buf.data() + pos, buf.data() + buf.size(), out);
+    // Only a complete, '\n'-terminated record counts: a parse that
+    // reaches the end of the buffer may be a partial line whose tail
+    // has not streamed in yet, so it goes back to the framed path.
+    if (stop == nullptr || stop == buf.data() + buf.size() ||
+        *stop != '\n')
+        return std::string_view::npos;
+    ++state_.line_no;
+    ++rep.records_recovered;
+    return static_cast<std::size_t>(stop - buf.data()) + 1;
+}
 
 bool wms_line_parser::consume_line(std::string_view line, bool had_newline,
                                    log_record& out, ingest_report& rep) {
@@ -166,9 +274,17 @@ bool wms_line_parser::consume_line(std::string_view line, bool had_newline,
     try {
         if (line[0] == '#') {
             if (line.rfind("#Date: window=", 0) == 0) {
-                // "#Date: window=<W> start-day=<D>"
-                const auto parts = split_ws(line);
-                for (const auto& p : parts) {
+                // "#Date: window=<W> start-day=<D>". Cold path (once
+                // per file): walk tokens incrementally, no cap.
+                std::size_t i = 0;
+                while (i < line.size()) {
+                    if (line[i] == ' ') {
+                        ++i;
+                        continue;
+                    }
+                    std::size_t j = scan::find_byte(line, ' ', i);
+                    if (j == std::string_view::npos) j = line.size();
+                    const std::string_view p = line.substr(i, j - i);
                     if (p.rfind("window=", 0) == 0) {
                         state_.window_length = parse_uint<seconds_t>(
                             p.substr(7), line_no, "window");
@@ -178,6 +294,7 @@ bool wms_line_parser::consume_line(std::string_view line, bool had_newline,
                             p.substr(10), line_no, "start-day");
                         state_.has_start_day = true;
                     }
+                    i = j;
                 }
             } else if (line.rfind("#Fields:", 0) == 0) {
                 if (line != k_fields) {
@@ -195,7 +312,19 @@ bool wms_line_parser::consume_line(std::string_view line, bool had_newline,
                                        std::to_string(line_no),
                                    "no_fields");
         }
-        out = parse_wms_record(split_ws(line), line_no);
+        // Single-pass fast path: parses the writer's exact shape
+        // straight off the bytes, bit-identical to the reference path
+        // below on everything it accepts. Scalar builds skip it and
+        // run the reference path alone.
+        if (scan::swar_enabled() &&
+            parse_wms_record_prefix(line.data(), line.data() + line.size(),
+                                    out) == line.data() + line.size()) {
+            ++rep.records_recovered;
+            return true;
+        }
+        std::string_view f[11];
+        const std::size_t nf = scan::split_tokens(line, ' ', f, 11);
+        out = parse_wms_record(f, nf, line_no);
         ++rep.records_recovered;
         return true;
     } catch (const wms_log_error& e) {

@@ -75,6 +75,18 @@ public:
     bool consume_line(std::string_view line, bool had_newline,
                       log_record& out, ingest_report& rep);
 
+    /// Buffer-mode fast path: when the bytes at `pos` form one
+    /// complete '\n'-terminated record line in the writer's exact
+    /// shape, fills `out`, advances the line counter, counts the
+    /// record, and returns the index just past the terminator —
+    /// framing and parsing fused into one sweep. Returns npos
+    /// otherwise, with no state change: the caller frames the line
+    /// and feeds consume_line as usual (directives, malformed input,
+    /// and partial trailing lines all take that path, so behavior is
+    /// byte-identical to framed ingest).
+    std::size_t try_consume_fast(std::string_view buf, std::size_t pos,
+                                 log_record& out, ingest_report& rep);
+
     const wms_parser_state& state() const { return state_; }
 
 private:

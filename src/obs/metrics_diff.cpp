@@ -10,6 +10,12 @@ namespace lsm::obs {
 
 namespace {
 
+/// Throughput counters carry a per-second unit suffix ("MB/s",
+/// "records/s", "keys/s"): those gate on downward movement.
+bool is_rate_name(const std::string& name) {
+    return name.size() >= 2 && name.compare(name.size() - 2, 2, "/s") == 0;
+}
+
 double time_unit_to_ns(const std::string& unit) {
     if (unit == "ns") return 1.0;
     if (unit == "us") return 1e3;
@@ -47,7 +53,8 @@ void flatten_metrics_v1(const json_value& doc,
         counters != nullptr && counters->is_object()) {
         for (const auto& [name, v] : counters->as_object()) {
             if (v.is_number()) {
-                out.push_back({"counter/" + name, v.as_number(), false});
+                out.push_back({"counter/" + name, v.as_number(), false,
+                               is_rate_name(name)});
             }
         }
     }
@@ -103,7 +110,7 @@ void flatten_bench_v1(const json_value& doc,
             for (const auto& [cname, v] : counters->as_object()) {
                 if (v.is_number()) {
                     out.push_back({base + "/" + cname, v.as_number(),
-                                   false});
+                                   false, is_rate_name(cname)});
                 }
             }
         }
@@ -162,6 +169,7 @@ diff_result diff_metrics(const json_value& base, const json_value& test,
         row.base = b.value;
         row.test = it->second.value;
         row.time_valued = b.time_valued;
+        row.rate_valued = b.rate_valued;
         bool regressed = false;
         if (opts.gate_all) {
             if (row.time_valued && row.base < opts.min_time_ns) {
@@ -175,6 +183,10 @@ diff_result diff_metrics(const json_value& base, const json_value& test,
         } else {
             regressed = row.time_valued && row.base >= opts.min_time_ns &&
                         row.test > row.base * (1.0 + opts.threshold);
+            if (opts.gate_rates && row.rate_valued && row.base > 0.0 &&
+                row.test < row.base * (1.0 - opts.threshold)) {
+                regressed = true;
+            }
         }
         if (regressed) {
             row.regressed = true;
@@ -225,6 +237,11 @@ void print_diff(std::ostream& out, const diff_result& result,
     if (opts.gate_all) {
         out << result.regressions << " regression(s) beyond ±"
             << opts.threshold * 100.0 << "% (all paired metrics)\n";
+    } else if (opts.gate_rates) {
+        out << result.regressions << " regression(s) beyond +"
+            << opts.threshold * 100.0 << "% (time metrics with base >= "
+            << opts.min_time_ns / 1e6 << "ms; -" << opts.threshold * 100.0
+            << "% on \"/s\" throughput counters)\n";
     } else {
         out << result.regressions << " regression(s) beyond +"
             << opts.threshold * 100.0 << "% (time metrics with base >= "

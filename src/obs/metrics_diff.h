@@ -3,15 +3,19 @@
 // (either side may be either schema) into named scalars, pairs them by
 // name, and flags regressions.
 //
-// Regression rule: only *time-valued* metrics gate — span wall times
+// Regression rule: *time-valued* metrics gate upward — span wall times
 // from lsm-metrics-v1 and real/cpu times from lsm-bench-v1, all
 // normalized to nanoseconds. A metric regresses when its baseline is at
 // least `min_time_ns` (sub-millisecond spans are timer noise, not
 // signal) and the new value exceeds the baseline by more than
-// `threshold` (fractional, default +25%). Counters, gauges, histogram
-// shapes, and bench throughput counters are reported in the delta
-// table for eyeballing but never fail the gate: they measure workload
-// shape, which the determinism suite pins exactly.
+// `threshold` (fractional, default +25%). *Rate-valued* metrics —
+// counters whose name ends in "/s" (MB/s, records/s, keys/s) — gate
+// downward with the same threshold: a throughput counter falling below
+// baseline·(1-threshold) fails, so the decode-kernel speedups the
+// bench rows pin cannot silently rot. Other counters, gauges, and
+// histogram shapes are reported in the delta table for eyeballing but
+// never fail the gate: they measure workload shape, which the
+// determinism suite pins exactly.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +32,10 @@ struct diff_options {
     double threshold = 0.25;
     /// Time metrics with a baseline below this never gate.
     double min_time_ns = 1e6;
+    /// Gate rate-valued metrics ("…/s" counters) on downward movement
+    /// beyond `threshold`. On by default; `--no-rate-gate` turns it off
+    /// for runs on hardware too noisy to hold a throughput floor.
+    bool gate_rates = true;
     /// Gate EVERY paired metric, two-sided: a row regresses when
     /// |test - base| > threshold * |base|, or base == 0 but test != 0.
     /// Time metrics keep the min_time_ns noise floor. This is the
@@ -41,8 +49,10 @@ struct diff_row {
     std::string name;
     double base = 0.0;
     double test = 0.0;
-    /// Nanosecond-valued (and thus eligible to gate).
+    /// Nanosecond-valued (and thus eligible to gate upward).
     bool time_valued = false;
+    /// Throughput-valued ("…/s": eligible to gate downward).
+    bool rate_valued = false;
     bool regressed = false;
 };
 
@@ -61,6 +71,7 @@ struct flat_metric {
     std::string name;
     double value = 0.0;
     bool time_valued = false;
+    bool rate_valued = false;
 };
 
 /// Flattens a parsed lsm-metrics-v1 or lsm-bench-v1 document (detected

@@ -1,5 +1,6 @@
 #include "sketch/quantile.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/contracts.h"
@@ -25,13 +26,36 @@ double quantile_sketch::bucket_value(std::int32_t index) const {
     return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
 }
 
+void quantile_sketch::bump(std::int32_t index, std::uint64_t weight) {
+    if (counts_.empty()) {
+        base_ = index;
+        counts_.assign(1, 0);
+    } else if (index < base_) {
+        const auto gap = static_cast<std::size_t>(
+            static_cast<std::int64_t>(base_) - index);
+        const std::size_t grow = std::max(gap, counts_.size());
+        counts_.insert(counts_.begin(), grow, 0);
+        base_ -= static_cast<std::int32_t>(grow);
+    } else if (static_cast<std::size_t>(
+                   static_cast<std::int64_t>(index) - base_) >=
+               counts_.size()) {
+        const auto need = static_cast<std::size_t>(
+            static_cast<std::int64_t>(index) - base_ + 1);
+        counts_.resize(std::max(need, counts_.size() * 2), 0);
+    }
+    std::uint64_t& c = counts_[static_cast<std::size_t>(
+        static_cast<std::int64_t>(index) - base_)];
+    if (c == 0) ++nonzero_;
+    c += weight;
+}
+
 void quantile_sketch::add(double x, std::uint64_t weight) {
     LSM_EXPECTS(x >= 0.0 && std::isfinite(x));
     if (weight == 0) return;
     if (x < k_min_value)
         zero_count_ += weight;
     else
-        buckets_[bucket_index(x)] += weight;
+        bump(bucket_index(x), weight);
     count_ += weight;
 }
 
@@ -42,41 +66,75 @@ double quantile_sketch::quantile(double q) const {
         static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
     if (rank < zero_count_) return 0.0;
     std::uint64_t cum = zero_count_;
-    for (const auto& [index, cnt] : buckets_) {
-        cum += cnt;
-        if (rank < cum) return bucket_value(index);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        cum += counts_[i];
+        if (rank < cum) {
+            return bucket_value(base_ + static_cast<std::int32_t>(i));
+        }
     }
     // Unreachable when counts are consistent; return the top bucket.
-    return buckets_.empty() ? 0.0 : bucket_value(buckets_.rbegin()->first);
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+        if (counts_[i] != 0) {
+            return bucket_value(base_ + static_cast<std::int32_t>(i));
+        }
+    }
+    return 0.0;
 }
 
 std::size_t quantile_sketch::state_bytes() const {
-    return sizeof(*this) +
-           buckets_.size() * (sizeof(std::int32_t) + sizeof(std::uint64_t));
+    return sizeof(*this) + counts_.size() * sizeof(std::uint64_t);
 }
 
 void quantile_sketch::merge(const quantile_sketch& other) {
     LSM_EXPECTS(alpha_ == other.alpha_);
     zero_count_ += other.zero_count_;
     count_ += other.count_;
-    for (const auto& [index, cnt] : other.buckets_) buckets_[index] += cnt;
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+        if (other.counts_[i] != 0) {
+            bump(other.base_ + static_cast<std::int32_t>(i),
+                 other.counts_[i]);
+        }
+    }
 }
 
 std::string quantile_sketch::serialize() const {
     std::string payload;
-    payload.reserve(32 + buckets_.size() * 12);
+    payload.reserve(32 + static_cast<std::size_t>(nonzero_) * 12);
     put_scalar<double>(payload, alpha_);
     put_scalar<std::uint64_t>(payload, zero_count_);
     put_scalar<std::uint64_t>(payload, count_);
     put_scalar<std::uint32_t>(payload,
-                              static_cast<std::uint32_t>(buckets_.size()));
-    for (const auto& [index, cnt] : buckets_) {
-        put_scalar<std::int32_t>(payload, index);
-        put_scalar<std::uint64_t>(payload, cnt);
+                              static_cast<std::uint32_t>(nonzero_));
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        put_scalar<std::int32_t>(payload,
+                                 base_ + static_cast<std::int32_t>(i));
+        put_scalar<std::uint64_t>(payload, counts_[i]);
     }
     std::string out;
     append_sketch_frame(out, k_sketch_kind_quantile, payload);
     return out;
+}
+
+bool quantile_sketch::operator==(const quantile_sketch& other) const {
+    if (alpha_ != other.alpha_ || zero_count_ != other.zero_count_ ||
+        count_ != other.count_ || nonzero_ != other.nonzero_) {
+        return false;
+    }
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        const std::int32_t index = base_ + static_cast<std::int32_t>(i);
+        while (j < other.counts_.size() && other.counts_[j] == 0) ++j;
+        if (j >= other.counts_.size()) return false;
+        if (other.base_ + static_cast<std::int32_t>(j) != index ||
+            other.counts_[j] != counts_[i]) {
+            return false;
+        }
+        ++j;
+    }
+    return true;
 }
 
 quantile_sketch quantile_sketch::deserialize(std::string_view bytes) {
@@ -96,8 +154,10 @@ quantile_sketch quantile_sketch::deserialize(std::string_view bytes) {
         auto cnt = r.get<std::uint64_t>();
         if (i > 0 && index <= prev)
             throw sketch_io_error("quantile: bucket indices not ascending");
+        if (cnt == 0)
+            throw sketch_io_error("quantile: zero-count bucket");
         prev = index;
-        s.buckets_.emplace_hint(s.buckets_.end(), index, cnt);
+        s.bump(index, cnt);
     }
     if (!r.exhausted())
         throw sketch_io_error("quantile: trailing payload bytes");

@@ -20,9 +20,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lsm {
 
@@ -53,20 +53,29 @@ public:
     std::string serialize() const;
     static quantile_sketch deserialize(std::string_view bytes);
 
-    bool operator==(const quantile_sketch& other) const = default;
+    /// Logical equality: same alpha and same bucket contents. The
+    /// dense array's base/extent are growth artifacts and ignored.
+    bool operator==(const quantile_sketch& other) const;
 
 private:
     std::int32_t bucket_index(double x) const;
     double bucket_value(std::int32_t index) const;
+    void bump(std::int32_t index, std::uint64_t weight);
 
     double alpha_;
     double gamma_;
     double inv_log_gamma_;
     std::uint64_t zero_count_ = 0;
     std::uint64_t count_ = 0;
-    // Ordered map: serialization and quantile walks iterate ascending,
-    // so identical bucket contents serialize to identical bytes.
-    std::map<std::int32_t, std::uint64_t> buckets_;
+    // Dense bucket array: counts_[i] holds bucket (base_ + i). The
+    // feed path is one add per record, so bucket update must be O(1) —
+    // a node-based map's pointer chase dominated the live daemon's
+    // whole feed loop. Growth is amortized two-sided; serialization
+    // and quantile walks iterate ascending and skip zero counts, so
+    // identical contents still serialize to identical bytes.
+    std::int32_t base_ = 0;
+    std::uint64_t nonzero_ = 0;
+    std::vector<std::uint64_t> counts_;
 };
 
 }  // namespace lsm

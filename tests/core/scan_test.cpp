@@ -1,0 +1,384 @@
+// Differential tests for the scan kernels: every SWAR primitive must
+// reproduce its scalar reference bit-for-bit on every input, and the
+// strict numeric parsers must hold the rejection lines the readers
+// depend on (sscanf-style tolerance is how bad records sneak into a
+// characterization).
+#include "core/scan.h"
+
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/swar.h"
+
+namespace lsm {
+namespace {
+
+/// Restores the SWAR toggle even when an assertion bails out early.
+class swar_mode_guard {
+public:
+    swar_mode_guard() : saved_(scan::swar_enabled()) {}
+    ~swar_mode_guard() { scan::set_swar_enabled(saved_); }
+
+private:
+    bool saved_;
+};
+
+/// Random byte string biased toward the delimiters under test, so
+/// SWAR lanes see dense and sparse hit patterns and every alignment.
+std::string random_line(rng& r, std::size_t len) {
+    static constexpr char k_alphabet[] = "abc013,,  \n\t.-";
+    std::string s(len, '\0');
+    for (auto& c : s) {
+        c = k_alphabet[r.next_below(sizeof(k_alphabet) - 1)];
+    }
+    return s;
+}
+
+TEST(ScanSwar, FindByteMatchesScalarOnRandomInput) {
+    swar_mode_guard guard;
+    rng r(0x5ca9);
+    for (int iter = 0; iter < 400; ++iter) {
+        const std::string s = random_line(r, r.next_below(40));
+        for (char c : {',', '\n', 'x'}) {
+            for (std::size_t pos = 0; pos <= s.size() + 1; ++pos) {
+                scan::set_swar_enabled(true);
+                const std::size_t a = scan::find_byte(s, c, pos);
+                scan::set_swar_enabled(false);
+                const std::size_t b = scan::find_byte(s, c, pos);
+                ASSERT_EQ(a, b) << "find_byte('" << c << "', " << pos
+                                << ") on \"" << s << "\"";
+            }
+        }
+    }
+}
+
+TEST(ScanSwar, CountByteMatchesScalarOnRandomInput) {
+    swar_mode_guard guard;
+    rng r(0xc0de);
+    for (int iter = 0; iter < 400; ++iter) {
+        const std::string s = random_line(r, r.next_below(64));
+        for (char c : {',', ' ', 'q'}) {
+            scan::set_swar_enabled(true);
+            const std::size_t a = scan::count_byte(s, c);
+            scan::set_swar_enabled(false);
+            const std::size_t b = scan::count_byte(s, c);
+            ASSERT_EQ(a, b) << "count_byte('" << c << "') on \"" << s << "\"";
+        }
+    }
+}
+
+/// Runs one of the splitters under both modes and asserts identical
+/// field count, identical stored views (content AND position).
+template <typename Fn>
+void expect_split_identical(Fn&& fn, std::string_view line, char delim,
+                            std::size_t max_out) {
+    std::vector<std::string_view> a(max_out), b(max_out);
+    scan::set_swar_enabled(true);
+    const std::size_t na = fn(line, delim, a.data(), max_out);
+    scan::set_swar_enabled(false);
+    const std::size_t nb = fn(line, delim, b.data(), max_out);
+    ASSERT_EQ(na, nb) << "field count on \"" << line << "\"";
+    for (std::size_t i = 0; i < std::min(na, max_out); ++i) {
+        ASSERT_EQ(a[i], b[i]) << "field " << i << " on \"" << line << "\"";
+        ASSERT_EQ(a[i].data(), b[i].data())
+            << "field " << i << " position on \"" << line << "\"";
+    }
+}
+
+TEST(ScanSwar, SplitFieldsMatchesScalarOnRandomInput) {
+    swar_mode_guard guard;
+    rng r(0xf1e1d);
+    for (int iter = 0; iter < 600; ++iter) {
+        const std::string s = random_line(r, r.next_below(48));
+        expect_split_identical(scan::split_fields, s, ',', 12);
+        expect_split_identical(scan::split_fields, s, ',', 2);
+    }
+}
+
+TEST(ScanSwar, SplitTokensMatchesScalarOnRandomInput) {
+    swar_mode_guard guard;
+    rng r(0x70c3);
+    for (int iter = 0; iter < 600; ++iter) {
+        const std::string s = random_line(r, r.next_below(48));
+        expect_split_identical(scan::split_tokens, s, ' ', 12);
+        expect_split_identical(scan::split_tokens, s, ' ', 3);
+    }
+}
+
+TEST(ScanSwar, LineFieldsMatchesScalarOnRandomInput) {
+    swar_mode_guard guard;
+    rng r(0x11ef);
+    for (int iter = 0; iter < 600; ++iter) {
+        const std::string s = random_line(r, 1 + r.next_below(64));
+        const std::size_t pos = r.next_below(s.size());
+        std::string_view a[12], b[12];
+        std::size_t nfa = 0, nfb = 0;
+        scan::set_swar_enabled(true);
+        const std::size_t ea = scan::line_fields(s, pos, ',', a, 12, nfa);
+        scan::set_swar_enabled(false);
+        const std::size_t eb = scan::line_fields(s, pos, ',', b, 12, nfb);
+        ASSERT_EQ(ea, eb) << "line end from " << pos << " in \"" << s << "\"";
+        ASSERT_EQ(nfa, nfb);
+        for (std::size_t i = 0; i < std::min(nfa, std::size_t{12}); ++i) {
+            ASSERT_EQ(a[i], b[i]);
+            ASSERT_EQ(a[i].data(), b[i].data());
+        }
+    }
+}
+
+TEST(ScanSwar, LineFieldsStopsAtNewlineNotBufferEnd) {
+    swar_mode_guard guard;
+    const std::string_view s = "a,b\nc,d";
+    for (bool mode : {true, false}) {
+        scan::set_swar_enabled(mode);
+        std::string_view f[4];
+        std::size_t nf = 0;
+        const std::size_t end = scan::line_fields(s, 0, ',', f, 4, nf);
+        EXPECT_EQ(end, 3u);
+        ASSERT_EQ(nf, 2u);
+        EXPECT_EQ(f[0], "a");
+        EXPECT_EQ(f[1], "b");
+    }
+}
+
+// ---- word-level kernels ---------------------------------------------
+
+TEST(SwarKernels, DigitRun8MatchesSerialReference) {
+    rng r(0xd161);
+    static constexpr char k_bytes[] = "0123456789 ,.x";
+    for (int iter = 0; iter < 4000; ++iter) {
+        char buf[8];
+        for (char& c : buf) c = k_bytes[r.next_below(sizeof(k_bytes) - 1)];
+        std::uint64_t got = 0xdead;
+        const int n = swar::digit_run8(swar::load8(buf), got);
+        // Serial reference over the same 8 bytes.
+        int ref_n = 0;
+        std::uint64_t ref_v = 0;
+        while (ref_n < 8 && buf[ref_n] >= '0' && buf[ref_n] <= '9') {
+            ref_v = ref_v * 10 +
+                    static_cast<std::uint64_t>(buf[ref_n] - '0');
+            ++ref_n;
+        }
+        ASSERT_EQ(n, ref_n) << std::string_view(buf, 8);
+        if (n > 0) {
+            ASSERT_EQ(got, ref_v) << std::string_view(buf, 8);
+        }
+    }
+}
+
+TEST(SwarKernels, FoldDigits8FoldsAllEightLanes) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, "\x01\x02\x03\x04\x05\x06\x07\x08", 8);
+    EXPECT_EQ(swar::fold_digits8(v), 12345678u);
+}
+
+TEST(SwarKernels, HexDigits8MatchesNibbleTable) {
+    rng r(0x4e78);
+    static constexpr char k_bytes[] = "0123456789abcdefABCDEFg@{ ";
+    for (int iter = 0; iter < 4000; ++iter) {
+        char buf[8];
+        for (char& c : buf) c = k_bytes[r.next_below(sizeof(k_bytes) - 1)];
+        if (iter % 16 == 0) buf[r.next_below(8)] = static_cast<char>(0x80);
+        std::uint32_t got = 0;
+        const bool ok = swar::hex_digits8(swar::load8(buf), got);
+        std::uint32_t ref = 0;
+        bool ref_ok = true;
+        for (char c : buf) {
+            const std::uint8_t n =
+                scan::detail::k_nibble[static_cast<std::uint8_t>(c)];
+            if (n == 0xFF) ref_ok = false;
+            ref = (ref << 4) | (n & 0xF);
+        }
+        ASSERT_EQ(ok, ref_ok) << std::string_view(buf, 8);
+        if (ok) {
+            ASSERT_EQ(got, ref) << std::string_view(buf, 8);
+        }
+    }
+}
+
+TEST(ScanSwar, ParseHex16MatchesScalarOnRandomInput) {
+    swar_mode_guard guard;
+    rng r(0x16);
+    static constexpr char k_bytes[] = "0123456789abcdefABCDEFxyz!";
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string s(16, '0');
+        for (char& c : s) c = k_bytes[r.next_below(sizeof(k_bytes) - 1)];
+        scan::set_swar_enabled(true);
+        std::uint64_t a = 1;
+        const bool oa = scan::parse_hex16(s, a);
+        scan::set_swar_enabled(false);
+        std::uint64_t b = 2;
+        const bool ob = scan::parse_hex16(s, b);
+        ASSERT_EQ(oa, ob) << s;
+        if (oa) {
+            ASSERT_EQ(a, b) << s;
+        }
+    }
+    for (bool mode : {true, false}) {
+        scan::set_swar_enabled(mode);
+        std::uint64_t v = 0;
+        EXPECT_TRUE(scan::parse_hex16("00DEADbeef001234", v));
+        EXPECT_EQ(v, 0x00DEADbeef001234ULL);
+        EXPECT_FALSE(scan::parse_hex16("00dead_eef001234", v));
+        EXPECT_FALSE(scan::parse_hex16("deadbeef", v));
+        EXPECT_FALSE(scan::parse_hex16("00deadbeef0012345", v));
+    }
+}
+
+// ---- prefix parsers --------------------------------------------------
+
+TEST(ScanPrefix, DigitRunMatchesSerialAccumulate) {
+    rng r(0xacc);
+    for (int iter = 0; iter < 3000; ++iter) {
+        // Digit run of 0-22 digits followed by junk, at a random
+        // offset from the end so the <8-bytes-left tail path runs too.
+        const std::size_t nd = r.next_below(23);
+        std::string s;
+        for (std::size_t i = 0; i < nd; ++i) {
+            s += static_cast<char>('0' + r.next_below(10));
+        }
+        s += " tail";
+        s.resize(r.next_below(s.size() + 1));
+        const char* p = s.data();
+        std::uint64_t acc = 0;
+        int count = 0;
+        const bool ok = scan::digit_run(p, s.data() + s.size(), acc, count);
+        // Reference: leading-digit count, capped at 19.
+        std::size_t ref_n = 0;
+        std::uint64_t ref_v = 0;
+        while (ref_n < s.size() && s[ref_n] >= '0' && s[ref_n] <= '9') {
+            ref_v = ref_v * 10 + static_cast<std::uint64_t>(s[ref_n] - '0');
+            ++ref_n;
+        }
+        if (ref_n == 0 || ref_n > 19) {
+            ASSERT_FALSE(ok) << s;
+        } else {
+            ASSERT_TRUE(ok) << s;
+            ASSERT_EQ(static_cast<std::size_t>(count), ref_n) << s;
+            ASSERT_EQ(acc, ref_v) << s;
+            ASSERT_EQ(p, s.data() + ref_n) << s;
+        }
+    }
+}
+
+TEST(ScanPrefix, ParseDoublePrefixBitIdenticalToFieldParse) {
+    rng r(0xdb1);
+    const auto check = [](std::string_view num) {
+        const std::string line = std::string(num) + ",";
+        const char* p = line.data();
+        double fast = 0;
+        const bool fast_ok =
+            scan::parse_double_prefix(p, line.data() + line.size(), fast);
+        double ref = 0;
+        const bool ref_ok = scan::parse_double_field(num, ref);
+        if (fast_ok && p == line.data() + num.size()) {
+            // Fast path consumed exactly the field: the reference must
+            // accept it with the bit-identical value.
+            ASSERT_TRUE(ref_ok) << num;
+            std::uint64_t fb = 0, rb = 0;
+            std::memcpy(&fb, &fast, 8);
+            std::memcpy(&rb, &ref, 8);
+            ASSERT_EQ(fb, rb) << num;
+        }
+    };
+    check("0");
+    check("56000");
+    check("0.001");
+    check("3.25");
+    check("-12.5");
+    check("1e3");
+    check("2.5e-4");
+    check("1.");
+    for (int iter = 0; iter < 3000; ++iter) {
+        std::string s;
+        if (r.next_below(2)) s += '-';
+        for (std::size_t i = 0, n = 1 + r.next_below(17); i < n; ++i) {
+            s += static_cast<char>('0' + r.next_below(10));
+        }
+        if (r.next_below(2)) {
+            s += '.';
+            for (std::size_t i = 0, n = r.next_below(6); i < n; ++i) {
+                s += static_cast<char>('0' + r.next_below(10));
+            }
+        }
+        if (r.next_below(4) == 0) {
+            s += 'e';
+            if (r.next_below(2)) s += (r.next_below(2) ? '+' : '-');
+            for (std::size_t i = 0, n = r.next_below(4); i < n; ++i) {
+                s += static_cast<char>('0' + r.next_below(10));
+            }
+        }
+        check(s);
+    }
+}
+
+// ---- strict IPv4 ----------------------------------------------------
+
+TEST(ParseIpv4, AcceptsCanonicalQuads) {
+    std::uint32_t v = 0;
+    EXPECT_TRUE(scan::parse_ipv4("0.0.0.0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(scan::parse_ipv4("255.255.255.255", v));
+    EXPECT_EQ(v, 0xFFFFFFFFu);
+    EXPECT_TRUE(scan::parse_ipv4("10.0.0.1", v));
+    EXPECT_EQ(v, 0x0A000001u);
+    EXPECT_TRUE(scan::parse_ipv4("192.168.1.10", v));
+    EXPECT_EQ(v, 0xC0A8010Au);
+    // Leading zeros within a 1-3 digit octet are tolerated (WMS logs
+    // zero-pad), parsed as decimal, never octal.
+    EXPECT_TRUE(scan::parse_ipv4("010.001.000.009", v));
+    EXPECT_EQ(v, 0x0A010009u);
+}
+
+TEST(ParseIpv4, RejectsSignsAndWhitespace) {
+    // Everything sscanf("%u.%u.%u.%u") silently accepts and we must
+    // not: signs, leading/trailing whitespace, embedded spaces.
+    std::uint32_t v = 0;
+    EXPECT_FALSE(scan::parse_ipv4("+1.2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4("-1.2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.+2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4(" 1.2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4("\t1.2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3.4 ", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2. 3.4", v));
+}
+
+TEST(ParseIpv4, RejectsOverlongDigitRuns) {
+    // A 4+ digit octet is an overlong run even when its value fits:
+    // "0000000001" is how a corrupted field pretends to be octet 1.
+    std::uint32_t v = 0;
+    EXPECT_FALSE(scan::parse_ipv4("0000000001.2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3.0004", v));
+    EXPECT_FALSE(scan::parse_ipv4("0001.2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.1000.4", v));
+}
+
+TEST(ParseIpv4, RejectsRangeAndShapeErrors) {
+    std::uint32_t v = 0;
+    EXPECT_FALSE(scan::parse_ipv4("256.1.1.1", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3.256", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3.4.5", v));
+    EXPECT_FALSE(scan::parse_ipv4("1..2.3", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3.", v));
+    EXPECT_FALSE(scan::parse_ipv4(".1.2.3.4", v));
+    EXPECT_FALSE(scan::parse_ipv4("", v));
+    EXPECT_FALSE(scan::parse_ipv4("a.b.c.d", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3.4x", v));
+    EXPECT_FALSE(scan::parse_ipv4("1.2.3.x", v));
+}
+
+TEST(ParseIpv4, RejectedInputLeavesOutputUntouched) {
+    std::uint32_t v = 0x12345678;
+    EXPECT_FALSE(scan::parse_ipv4("299.1.1.1", v));
+    EXPECT_EQ(v, 0x12345678u);
+}
+
+}  // namespace
+}  // namespace lsm

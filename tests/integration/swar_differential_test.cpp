@@ -1,0 +1,287 @@
+// SWAR-vs-scalar differential fuzz: replay seeded fault_inject corpora
+// through every decode path twice — once with the SWAR kernels enabled,
+// once forced onto the scalar reference via set_swar_enabled(false) —
+// and assert byte-identical outcomes: the same records, the same ingest
+// report (error totals, per-category counts, sample line numbers and
+// messages), and the same quarantine bytes, for every seed and thread
+// count. This is the contract that makes `-DLSM_NO_SWAR` builds safe
+// drop-ins and keeps the fast-path/fallback split honest: a fast path
+// may only accept inputs the reference accepts with the identical
+// parse.
+//
+// Failures echo the seed; rerun one with LSM_FUZZ_SEED=<n>.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "characterize/live_daemon.h"
+#include "core/fault.h"
+#include "core/ingest.h"
+#include "core/parallel.h"
+#include "core/scan.h"
+#include "core/trace_io.h"
+#include "core/trace_io_bin.h"
+#include "core/wms_log.h"
+
+namespace lsm {
+namespace {
+
+class swar_mode_guard {
+public:
+    swar_mode_guard() : saved_(scan::swar_enabled()) {}
+    ~swar_mode_guard() { scan::set_swar_enabled(saved_); }
+
+private:
+    bool saved_;
+};
+
+trace synthetic_trace(std::size_t n) {
+    trace t(7 * 86400, weekday::monday);
+    seconds_t start = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        log_record r;
+        r.client = 1 + i % 37;
+        r.ip = 0x0A000000 + static_cast<std::uint32_t>(i * 131 % 9001);
+        r.asn = 100 + static_cast<as_number>(i % 53);
+        r.country = make_country(i % 3 == 0 ? "BR" : "US");
+        r.object = static_cast<object_id>(i % 3);
+        start += static_cast<seconds_t>(i * 31 % 11);
+        r.start = start;
+        r.duration = static_cast<seconds_t>(1 + i * 13 % 900);
+        r.avg_bandwidth_bps = 20000.0 + 997.25 * static_cast<double>(i % 8);
+        r.packet_loss = 0.001F * static_cast<float>(i % 5);
+        r.server_cpu = 0.01F * static_cast<float>(i % 90);
+        r.status = i % 11 == 0 ? transfer_status::rejected
+                               : transfer_status::ok;
+        t.add(r);
+    }
+    return t;
+}
+
+std::string to_csv(const trace& t) {
+    std::ostringstream os;
+    write_trace_csv(t, os);
+    return os.str();
+}
+
+void expect_reports_identical(const ingest_report& a,
+                              const ingest_report& b,
+                              const std::string& scenario) {
+    EXPECT_EQ(a.records_recovered, b.records_recovered) << scenario;
+    EXPECT_EQ(a.errors_total, b.errors_total) << scenario;
+    EXPECT_EQ(a.lines_rejected, b.lines_rejected) << scenario;
+    EXPECT_EQ(a.bytes_rejected, b.bytes_rejected) << scenario;
+    EXPECT_EQ(a.salvaged_tail, b.salvaged_tail) << scenario;
+    EXPECT_EQ(a.salvaged_records, b.salvaged_records) << scenario;
+    EXPECT_EQ(a.records_lost, b.records_lost) << scenario;
+    EXPECT_EQ(a.errors_by_category, b.errors_by_category) << scenario;
+    EXPECT_EQ(a.quarantine, b.quarantine) << scenario;
+    ASSERT_EQ(a.samples.size(), b.samples.size()) << scenario;
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        EXPECT_EQ(a.samples[i].line, b.samples[i].line)
+            << scenario << " sample " << i;
+        EXPECT_EQ(a.samples[i].category, b.samples[i].category)
+            << scenario << " sample " << i;
+        EXPECT_EQ(a.samples[i].message, b.samples[i].message)
+            << scenario << " sample " << i;
+    }
+}
+
+struct fuzz_seeds {
+    std::uint64_t base = 0x5ABD1FF;
+    int count = 16;
+};
+
+fuzz_seeds seeds_from_env() {
+    fuzz_seeds s;
+    if (const char* env = std::getenv("LSM_FUZZ_SEED")) {
+        s.base = std::strtoull(env, nullptr, 10);
+        s.count = 1;
+    }
+    std::cout << "[ fuzz ] base seed " << s.base << " (" << s.count
+              << " seed(s); rerun one with LSM_FUZZ_SEED=<n>)\n";
+    return s;
+}
+
+TEST(SwarDifferential, CsvReaderIdenticalAcrossKernelsAndThreads) {
+    swar_mode_guard guard;
+    const std::string clean = to_csv(synthetic_trace(140));
+    const fuzz_seeds seeds = seeds_from_env();
+    thread_pool pool2(2);
+    thread_pool pool8(8);
+
+    for (int s = 0; s < seeds.count; ++s) {
+        const std::uint64_t seed =
+            seeds.base + static_cast<std::uint64_t>(s);
+        fault_config fcfg;
+        fcfg.count = 1 + static_cast<std::uint32_t>(seed % 8);
+        fcfg.protect_prefix_lines = 2;
+        const corruption_result bad = inject_faults(clean, seed, fcfg);
+        const std::string scenario =
+            "seed " + std::to_string(seed) + "\n" + describe(bad.plan);
+
+        ingest_options opts;
+        opts.on_error = on_error_policy::quarantine;
+        for (thread_pool* pool :
+             {static_cast<thread_pool*>(nullptr), &pool2, &pool8}) {
+            const std::string label =
+                scenario + "\nthreads=" +
+                std::to_string(pool == nullptr ? 0 : pool->size());
+            scan::set_swar_enabled(true);
+            ingest_report swar_rep;
+            const trace swar_t =
+                read_trace_csv_buffer(bad.data, pool, opts, &swar_rep);
+            scan::set_swar_enabled(false);
+            ingest_report ref_rep;
+            const trace ref_t =
+                read_trace_csv_buffer(bad.data, pool, opts, &ref_rep);
+            EXPECT_EQ(to_csv(swar_t), to_csv(ref_t)) << label;
+            expect_reports_identical(swar_rep, ref_rep, label);
+        }
+    }
+}
+
+TEST(SwarDifferential, WmsStreamReaderIdenticalAcrossKernels) {
+    swar_mode_guard guard;
+    std::ostringstream os;
+    write_wms_log(synthetic_trace(140), os);
+    const std::string clean = std::move(os).str();
+    const fuzz_seeds seeds = seeds_from_env();
+
+    for (int s = 0; s < seeds.count; ++s) {
+        const std::uint64_t seed =
+            seeds.base + static_cast<std::uint64_t>(s);
+        fault_config fcfg;
+        fcfg.count = 1 + static_cast<std::uint32_t>(seed % 8);
+        // Shield the directive prologue (#Software/#Version/#Date/
+        // #Fields) so most seeds exercise record-level recovery.
+        fcfg.protect_prefix_lines = 4;
+        const corruption_result bad = inject_faults(clean, seed, fcfg);
+        const std::string scenario =
+            "seed " + std::to_string(seed) + "\n" + describe(bad.plan);
+
+        ingest_options opts;
+        opts.on_error = on_error_policy::quarantine;
+        scan::set_swar_enabled(true);
+        std::istringstream in_a(bad.data);
+        ingest_report swar_rep;
+        const trace swar_t = read_wms_log(in_a, opts, &swar_rep);
+        scan::set_swar_enabled(false);
+        std::istringstream in_b(bad.data);
+        ingest_report ref_rep;
+        const trace ref_t = read_wms_log(in_b, opts, &ref_rep);
+        EXPECT_EQ(to_csv(swar_t), to_csv(ref_t)) << scenario;
+        expect_reports_identical(swar_rep, ref_rep, scenario);
+    }
+}
+
+/// Feeds the daemon in awkward chunk sizes (prime stride) so fast-path
+/// hits, partial-line buffering, and chunk boundaries all interleave.
+characterize::live_daemon run_daemon(std::string_view bytes,
+                                     std::size_t chunk) {
+    characterize::live_daemon_config cfg;
+    cfg.ingest.on_error = on_error_policy::quarantine;
+    characterize::live_daemon d(cfg);
+    for (std::size_t pos = 0; pos < bytes.size(); pos += chunk) {
+        d.consume_bytes(bytes.substr(pos, chunk));
+    }
+    d.finish();
+    return d;
+}
+
+TEST(SwarDifferential, LiveDaemonIdenticalAcrossKernelsAndChunkings) {
+    swar_mode_guard guard;
+    std::ostringstream os;
+    write_wms_log(synthetic_trace(140), os);
+    const std::string clean = std::move(os).str();
+    const fuzz_seeds seeds = seeds_from_env();
+
+    for (int s = 0; s < seeds.count; ++s) {
+        const std::uint64_t seed =
+            seeds.base + static_cast<std::uint64_t>(s);
+        fault_config fcfg;
+        fcfg.count = 1 + static_cast<std::uint32_t>(seed % 8);
+        fcfg.protect_prefix_lines = 4;
+        const corruption_result bad = inject_faults(clean, seed, fcfg);
+        const std::string scenario =
+            "seed " + std::to_string(seed) + "\n" + describe(bad.plan);
+
+        // Whole-buffer feed exercises the fused framing fast path;
+        // 61-byte chunks force partial-line reassembly around it.
+        for (const std::size_t chunk : {bad.data.size(), std::size_t{61}}) {
+            const std::string label =
+                scenario + "\nchunk=" + std::to_string(chunk);
+            scan::set_swar_enabled(true);
+            const characterize::live_daemon swar_d =
+                run_daemon(bad.data, chunk);
+            scan::set_swar_enabled(false);
+            const characterize::live_daemon ref_d =
+                run_daemon(bad.data, chunk);
+            EXPECT_EQ(swar_d.records(), ref_d.records()) << label;
+            EXPECT_EQ(swar_d.consumed_offset(), ref_d.consumed_offset())
+                << label;
+            EXPECT_EQ(swar_d.save_snapshot(), ref_d.save_snapshot())
+                << label;
+            expect_reports_identical(swar_d.report(), ref_d.report(),
+                                     label);
+        }
+    }
+}
+
+TEST(SwarDifferential, BinV2ReaderIdenticalAcrossKernels) {
+    swar_mode_guard guard;
+    std::ostringstream os;
+    trace_bin_write_options wopts;
+    wopts.compress = true;
+    write_trace_bin(synthetic_trace(600), os, wopts);
+    const std::string clean = std::move(os).str();
+    const fuzz_seeds seeds = seeds_from_env();
+
+    for (int s = 0; s < seeds.count; ++s) {
+        const std::uint64_t seed =
+            seeds.base + static_cast<std::uint64_t>(s);
+        fault_config fcfg;
+        fcfg.count = 1 + static_cast<std::uint32_t>(seed % 5);
+        const corruption_result bad = inject_faults(clean, seed, fcfg);
+        const std::string scenario =
+            "seed " + std::to_string(seed) + "\n" + describe(bad.plan);
+
+        ingest_options opts;
+        opts.on_error = on_error_policy::skip;
+        scan::set_swar_enabled(true);
+        ingest_report swar_rep;
+        std::string swar_err;
+        trace swar_t;
+        bool swar_ok = true;
+        try {
+            swar_t = read_trace_bin_buffer(bad.data, opts, &swar_rep);
+        } catch (const std::exception& e) {
+            swar_ok = false;
+            swar_err = e.what();
+        }
+        scan::set_swar_enabled(false);
+        ingest_report ref_rep;
+        std::string ref_err;
+        trace ref_t;
+        bool ref_ok = true;
+        try {
+            ref_t = read_trace_bin_buffer(bad.data, opts, &ref_rep);
+        } catch (const std::exception& e) {
+            ref_ok = false;
+            ref_err = e.what();
+        }
+        ASSERT_EQ(swar_ok, ref_ok) << scenario;
+        EXPECT_EQ(swar_err, ref_err) << scenario;
+        if (swar_ok) {
+            EXPECT_EQ(to_csv(swar_t), to_csv(ref_t)) << scenario;
+        }
+        expect_reports_identical(swar_rep, ref_rep, scenario);
+    }
+}
+
+}  // namespace
+}  // namespace lsm

@@ -155,6 +155,73 @@ TEST(MetricsDiff, NonTimeMetricsNeverGate) {
     EXPECT_EQ(diff_metrics(base, test, diff_options{}).regressions, 0U);
 }
 
+std::string bench_rate_doc(double mb_s, double rec_s) {
+    std::ostringstream out;
+    out << R"({"schema":"lsm-bench-v1","rows":[)"
+        << R"({"name":"BM_ReadTraceCsv","real_time":30,"cpu_time":30,)"
+        << R"("time_unit":"ms","counters":{"MB/s":)" << mb_s
+        << R"(,"records/s":)" << rec_s << R"(,"bytes":1000}}]})";
+    return out.str();
+}
+
+TEST(MetricsDiff, ThroughputDropBeyondThresholdGates) {
+    const json_value base = parse_json(bench_rate_doc(600.0, 7e6));
+    const json_value slow = parse_json(bench_rate_doc(400.0, 7e6));
+    const diff_result r = diff_metrics(base, slow, diff_options{});
+    EXPECT_EQ(r.regressions, 1U);  // MB/s -33%; records/s unchanged
+    bool flagged = false;
+    for (const diff_row& row : r.rows) {
+        if (row.name == "bench/BM_ReadTraceCsv/MB/s") {
+            flagged = row.regressed;
+            EXPECT_TRUE(row.rate_valued);
+        }
+    }
+    EXPECT_TRUE(flagged);
+}
+
+TEST(MetricsDiff, ThroughputDropWithinThresholdPasses) {
+    const json_value base = parse_json(bench_rate_doc(600.0, 7e6));
+    const json_value ok = parse_json(bench_rate_doc(500.0, 6e6));  // -17%/-14%
+    EXPECT_EQ(diff_metrics(base, ok, diff_options{}).regressions, 0U);
+}
+
+TEST(MetricsDiff, ThroughputGainNeverGates) {
+    const json_value base = parse_json(bench_rate_doc(600.0, 7e6));
+    const json_value fast = parse_json(bench_rate_doc(1200.0, 14e6));
+    EXPECT_EQ(diff_metrics(base, fast, diff_options{}).regressions, 0U);
+}
+
+TEST(MetricsDiff, NoRateGateDisablesThroughputGating) {
+    const json_value base = parse_json(bench_rate_doc(600.0, 7e6));
+    const json_value slow = parse_json(bench_rate_doc(100.0, 1e6));
+    diff_options opts;
+    opts.gate_rates = false;
+    EXPECT_EQ(diff_metrics(base, slow, opts).regressions, 0U);
+}
+
+TEST(MetricsDiff, NonRateCountersStillNeverGateDownward) {
+    // "bytes" halves: not a "/s" counter, so the default gate ignores it.
+    const json_value base = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[{"name":"BM_X",)"
+        R"("real_time":30,"cpu_time":30,"time_unit":"ms",)"
+        R"("counters":{"bytes":1000}}]})");
+    const json_value test = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[{"name":"BM_X",)"
+        R"("real_time":30,"cpu_time":30,"time_unit":"ms",)"
+        R"("counters":{"bytes":500}}]})");
+    EXPECT_EQ(diff_metrics(base, test, diff_options{}).regressions, 0U);
+}
+
+TEST(MetricsDiff, MetricsV1RateCountersGateToo) {
+    const json_value base = parse_json(
+        R"({"schema":"lsm-metrics-v1",)"
+        R"("counters":{"ingest/MB/s":350,"ingest/records":100}})");
+    const json_value slow = parse_json(
+        R"({"schema":"lsm-metrics-v1",)"
+        R"("counters":{"ingest/MB/s":200,"ingest/records":100}})");
+    EXPECT_EQ(diff_metrics(base, slow, diff_options{}).regressions, 1U);
+}
+
 TEST(MetricsDiff, OneSidedNamesAreReportedNotGated) {
     const json_value base = parse_json(
         R"({"schema":"lsm-bench-v1","rows":[)"
