@@ -35,6 +35,9 @@
 #include "gismo/arrival_process.h"
 #include "gismo/live_generator.h"
 #include "gismo/vbr.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_event.h"
 #include "stats/fitting.h"
 #include "stats/timeseries.h"
@@ -642,6 +645,61 @@ void BM_TracerOverhead(benchmark::State& state) {
         benchmark::Counter(64.0, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TracerOverhead)->Arg(0)->Arg(1);
+
+void BM_LogEmit(benchmark::State& state) {
+    // Cost of one structured log line end to end: level check, JSON
+    // rendering with two fields, mutex-guarded sink write into an
+    // in-memory stream. Arg(0) logs below the sink threshold (the
+    // filtered fast path every silent call site pays), Arg(1) emits.
+    const bool emits = state.range(0) != 0;
+    obs::logger lg;
+    std::ostringstream sink;
+    lg.set_console(nullptr, obs::log_level::off);
+    lg.set_structured(&sink, emits ? obs::log_level::info
+                                   : obs::log_level::error);
+    const obs::log_kv fields[] = {{"path", "/var/log/wms.log"},
+                                  {"records", "12345"}};
+    std::uint64_t lines = 0;
+    for (auto _ : state) {
+        lg.log(obs::log_level::info, "bench", "progress", fields);
+        ++lines;
+        if (sink.tellp() > (1 << 20)) {
+            sink.str({});  // keep the sink from growing unboundedly
+        }
+    }
+    state.counters["lines/s"] = benchmark::Counter(
+        static_cast<double>(lines), benchmark::Counter::kIsRate);
+    benchmark::DoNotOptimize(lg.emitted());
+}
+BENCHMARK(BM_LogEmit)->Arg(0)->Arg(1);
+
+void BM_ProfilerOverhead(benchmark::State& state) {
+    // Live-daemon ingest with the span-sampling profiler off (Arg 0)
+    // and on (Arg 1). The delta between the rows is the acceptance
+    // bound the observability plane promises: publishing span paths
+    // into the sampler's slot table must cost <2% of ingest throughput.
+    const bool profiled = state.range(0) != 0;
+    const std::string& buf = scaling_trace_wms();
+    obs::profiler prof;
+    if (profiled) prof.start();
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        obs::registry reg;
+        obs::scoped_timer span(&reg, "bench/ingest");
+        characterize::live_daemon d;
+        d.consume_bytes(buf);
+        d.finish();
+        benchmark::DoNotOptimize(d.records());
+        records = d.records();
+        set_ingest_counters(state, buf.size(), records);
+    }
+    if (profiled) prof.stop();
+    state.counters["prof_samples"] =
+        static_cast<double>(prof.samples());
+}
+BENCHMARK(BM_ProfilerOverhead)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /// Console reporter that additionally captures every run, so main() can
 /// dump the whole session as machine-readable JSON next to the normal

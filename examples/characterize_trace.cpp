@@ -22,10 +22,13 @@
 // memory stays near N records regardless of file size. The session
 // output is byte-identical to the uncapped run for every N and thread
 // count — the CI memory-cap gate diffs exactly that.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,7 +44,10 @@
 #include "core/parallel.h"
 #include "core/trace_io.h"
 #include "core/trace_io_bin.h"
+#include "obs/httpd.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sinks.h"
 #include "obs/trace_event.h"
 #include "world/world_sim.h"
@@ -56,6 +62,8 @@ int main(int argc, char** argv) {
                   << " [--quarantine-out q.txt]"
                   << " [--max-resident-records N] [--spill-dir DIR]"
                   << " [--sessions-out s.csv] [--sessions-only]"
+                  << " [--listen HOST:PORT] [--log-out l.jsonl]"
+                  << " [--log-level LV] [--profile-out p.txt]"
                   << " <trace-file> [session_timeout] | --demo\n";
         return 1;
     }
@@ -71,6 +79,11 @@ int main(int argc, char** argv) {
     std::string spill_dir;
     std::size_t max_resident = 0;
     bool sessions_only = false;
+    std::string listen_addr;
+    std::string log_out;
+    std::string log_level_str;
+    std::string profile_out;
+    int profile_interval_ms = 10;
     lsm::ingest_options iopts;
     bool on_error_set = false;
     lsm::trace_format demo_format = lsm::trace_format::csv;
@@ -172,6 +185,42 @@ int main(int argc, char** argv) {
         } else if (flag == "--sessions-only") {
             sessions_only = true;
             ++argi;
+        } else if (flag == "--listen") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--listen requires HOST:PORT\n";
+                return 1;
+            }
+            listen_addr = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--log-out") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--log-out requires a path\n";
+                return 1;
+            }
+            log_out = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--log-level") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--log-level requires "
+                             "debug|info|warn|error|off\n";
+                return 1;
+            }
+            log_level_str = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--profile-out") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--profile-out requires a path\n";
+                return 1;
+            }
+            profile_out = argv[argi + 1];
+            argi += 2;
+        } else if (flag == "--profile-interval-ms") {
+            if (argi + 1 >= argc) {
+                std::cerr << "--profile-interval-ms requires a count\n";
+                return 1;
+            }
+            profile_interval_ms = std::atoi(argv[argi + 1]);
+            argi += 2;
         } else {
             break;
         }
@@ -188,11 +237,114 @@ int main(int argc, char** argv) {
     argv += argi - 1;
     argc -= argi - 1;
 
+    // Telemetry plumbing mirrors lsm_live: console log level only
+    // changes when asked, so default stderr output stays byte-stable.
+    if (!log_level_str.empty()) {
+        try {
+            lsm::obs::global_logger().set_console(
+                &std::cerr, lsm::obs::parse_log_level(log_level_str));
+        } catch (const std::exception& e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+    }
+    if (!log_out.empty() &&
+        !lsm::obs::global_logger().open_structured(
+            log_out, lsm::obs::log_level::debug, std::cerr)) {
+        return 1;
+    }
+
     // One registry for the whole run; every instrumented layer the tool
-    // touches records into it, and it is dumped once at exit.
+    // touches records into it, and it is dumped once at exit. Serving
+    // or profiling forces it on: both read the span tree the
+    // instrumented layers only build when a registry is present.
     lsm::obs::registry reg;
     lsm::obs::registry* metrics =
-        metrics_out.empty() && series_out.empty() ? nullptr : &reg;
+        metrics_out.empty() && series_out.empty() && listen_addr.empty() &&
+                profile_out.empty()
+            ? nullptr
+            : &reg;
+
+    lsm::obs::profiler prof;
+    if (!profile_out.empty()) {
+        lsm::obs::profiler::options popts;
+        popts.interval =
+            std::chrono::milliseconds(std::max(1, profile_interval_ms));
+        prof.start(popts);
+    }
+
+    // Registry reads are snapshots, so scrape handlers can read `reg`
+    // concurrently with the phases still writing into it. Unlike the
+    // live daemon there is no re-export problem: counters here are
+    // added once by the run itself, so /metrics serves `reg` directly.
+    // Profiler gauges ride along on HTTP scrapes only — --metrics-out
+    // files stay byte-identical whether or not the profiler ran.
+    lsm::obs::httpd server;
+    const auto started = std::chrono::steady_clock::now();
+    if (!listen_addr.empty()) {
+        const std::size_t colon = listen_addr.rfind(':');
+        if (colon == std::string::npos) {
+            std::cerr << "--listen expects HOST:PORT\n";
+            return 1;
+        }
+        const std::string host = listen_addr.substr(0, colon);
+        const int port = std::atoi(listen_addr.c_str() + colon + 1);
+        server.handle("/metrics", [&](const lsm::obs::http_request&) {
+            std::ostringstream out;
+            reg.write_prometheus(out);
+            if (prof.running()) {
+                lsm::obs::registry preg;
+                prof.export_metrics(preg);
+                preg.write_prometheus(out);
+            }
+            lsm::obs::http_response r;
+            r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            r.body = out.str();
+            return r;
+        });
+        server.handle("/metrics.json", [&](const lsm::obs::http_request&) {
+            std::ostringstream out;
+            reg.write_json(out);
+            out << '\n';
+            lsm::obs::http_response r;
+            r.content_type = "application/json";
+            r.body = out.str();
+            return r;
+        });
+        server.handle("/healthz", [&](const lsm::obs::http_request&) {
+            // A batch tool is healthy while the process is alive to
+            // answer; there is no ingest-progress watchdog here.
+            lsm::obs::http_response r;
+            r.body = "ok\n";
+            return r;
+        });
+        server.handle("/statusz", [&](const lsm::obs::http_request&) {
+            const double up_s = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    started)
+                                    .count();
+            std::ostringstream out;
+            out << "characterize_trace status\nuptime_seconds: "
+                << static_cast<std::int64_t>(up_s)
+                << "\nhttp_requests: " << server.requests_served()
+                << "\nlog_lines_emitted: "
+                << lsm::obs::global_logger().emitted() << "\n";
+            if (prof.running()) {
+                out << "\nprofiler (" << prof.samples() << " samples):\n";
+                prof.write_top(out, 10);
+            }
+            lsm::obs::http_response r;
+            r.body = out.str();
+            return r;
+        });
+        std::string err;
+        if (!server.start(host, static_cast<std::uint16_t>(port), &err)) {
+            std::cerr << "cannot start telemetry server: " << err << "\n";
+            return 1;
+        }
+        std::cerr << "telemetry listening on " << host << ":"
+                  << server.port() << "\n";
+    }
     // The execution tracer is ambient: installing it lights up every
     // scoped_timer span and pool shard without any config plumbing.
     lsm::obs::tracer exec_tracer;
@@ -202,6 +354,26 @@ int main(int argc, char** argv) {
     // fail a run whose analysis succeeded, so each write degrades to a
     // warning.
     auto dump_metrics = [&]() {
+        // Telemetry teardown first: the server must stop before the
+        // process exits, and the profiler's collapsed output covers the
+        // whole run once the sampler has been joined.
+        server.stop();
+        if (prof.running()) {
+            prof.stop();
+            std::ostringstream collapsed;
+            prof.write_collapsed(collapsed);
+            if (!profile_out.empty() &&
+                lsm::obs::try_write_sink(
+                    "profile", profile_out,
+                    [&] {
+                        lsm::obs::write_file_atomic(profile_out,
+                                                    collapsed.str());
+                    },
+                    std::cerr)) {
+                std::cerr << "profile written to " << profile_out << " ("
+                          << prof.samples() << " samples)\n";
+            }
+        }
         if (!metrics_out.empty() &&
             lsm::obs::try_write_sink(
                 "metrics", metrics_out,

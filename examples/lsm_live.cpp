@@ -40,17 +40,39 @@
 //   --timeout N                session gap timeout seconds
 //   --quarantine-out PATH      retain rejected raw bytes
 //
+// Telemetry (DESIGN.md §14):
+//   --listen HOST:PORT         serve /metrics (Prometheus), /metrics.json
+//                              (lsm-metrics-v1), /healthz, /statusz while
+//                              running; PORT 0 binds an ephemeral port
+//   --listen-port-file PATH    write the bound port (for PORT 0)
+//   --log-out PATH             structured JSON-lines log sink (append)
+//   --log-level LVL            debug|info|warn|error for both sinks
+//                              (default: console warn, structured info)
+//   --watchdog-seconds N       /healthz flips 503 when no bytes were
+//                              tailed for N seconds while the source
+//                              grew (default 30)
+//   --profile-out PATH         run the span-sampling self-profiler and
+//                              write flamegraph collapsed stacks at exit
+//   --profile-interval-ms N    profiler sampling period (default 10)
+//   --stall-after-records N    test hook: stop consuming (but keep
+//                              serving) once N records are in — CI uses
+//                              it to drive the /healthz watchdog flip
+//
 // Snapshots written while tailing never reflect finish(): they carry
 // the open-session set, so a resumed run converges byte-identically
 // with an uninterrupted one. Only --exact-compare finishes the stream
 // (closing every open session) before exporting metrics, making the
 // session totals comparable with batch build_sessions.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,7 +84,10 @@
 #include "core/tail_reader.h"
 #include "core/time_utils.h"
 #include "core/wms_log.h"
+#include "obs/httpd.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sinks.h"
 #include "sketch/countmin.h"
 #include "sketch/hll.h"
@@ -414,6 +439,27 @@ int run_exact_compare(const std::string& path, live_daemon& d) {
     return failures == 0 ? 0 : 3;
 }
 
+/// Shared state between the ingest loop and HTTP handler threads. The
+/// mutex covers the daemon object (handlers export from it while the
+/// loop feeds it); the atomics are loop-side mirrors the lock-free
+/// handlers (/healthz) read.
+struct telemetry_state {
+    std::mutex mu;  // guards the live_daemon during export vs consume
+    std::atomic<std::uint64_t> tail_offset{0};
+    std::atomic<std::uint64_t> rotations{0};
+    std::atomic<std::uint64_t> truncations{0};
+    std::atomic<std::int64_t> last_progress_ns{0};
+    std::atomic<std::uint64_t> snapshots_emitted{0};
+    std::chrono::steady_clock::time_point started =
+        std::chrono::steady_clock::now();
+};
+
+std::int64_t steady_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -424,7 +470,11 @@ int main(int argc, char** argv) {
             << " [--timeout N] [--snapshot-out PATH] [--metrics-out PATH]"
             << " [--exact-metrics-out PATH] [--snapshot-every-records N]"
             << " [--poll-ms N] [--stop-after-records N] [--resume PATH]"
-            << " [--quarantine-out PATH]\n";
+            << " [--quarantine-out PATH] [--listen HOST:PORT]"
+            << " [--listen-port-file PATH] [--log-out PATH]"
+            << " [--log-level LVL] [--watchdog-seconds N]"
+            << " [--profile-out PATH] [--profile-interval-ms N]"
+            << " [--stall-after-records N]\n";
         return 2;
     }
     const std::string log_path = argv[1];
@@ -441,6 +491,14 @@ int main(int argc, char** argv) {
     std::uint64_t stop_after = 0;
     int poll_ms = 50;
     std::size_t read_chunk = std::size_t{1} << 20;
+    std::string listen_addr;
+    std::string listen_port_file;
+    std::string log_out;
+    std::string log_level_name;
+    std::string profile_out;
+    int profile_interval_ms = 10;
+    int watchdog_seconds = 30;
+    std::uint64_t stall_after = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--follow") {
@@ -482,10 +540,44 @@ int main(int argc, char** argv) {
         } else if (flag == "--quarantine-out" && i + 1 < argc) {
             quarantine_out = argv[++i];
             cfg.ingest.on_error = lsm::on_error_policy::quarantine;
+        } else if (flag == "--listen" && i + 1 < argc) {
+            listen_addr = argv[++i];
+        } else if (flag == "--listen-port-file" && i + 1 < argc) {
+            listen_port_file = argv[++i];
+        } else if (flag == "--log-out" && i + 1 < argc) {
+            log_out = argv[++i];
+        } else if (flag == "--log-level" && i + 1 < argc) {
+            log_level_name = argv[++i];
+        } else if (flag == "--profile-out" && i + 1 < argc) {
+            profile_out = argv[++i];
+        } else if (flag == "--profile-interval-ms" && i + 1 < argc) {
+            profile_interval_ms = std::atoi(argv[++i]);
+        } else if (flag == "--watchdog-seconds" && i + 1 < argc) {
+            watchdog_seconds = std::atoi(argv[++i]);
+        } else if (flag == "--stall-after-records" && i + 1 < argc) {
+            stall_after = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::cerr << "unknown or incomplete flag: " << flag << "\n";
             return 2;
         }
+    }
+
+    // Logging sinks: console stays at warn (byte-compatible with the
+    // pre-logger stderr) unless --log-level lowers it; --log-out adds
+    // the structured JSON-lines sink.
+    lsm::obs::log_level min_level = lsm::obs::log_level::info;
+    if (!log_level_name.empty()) {
+        try {
+            min_level = lsm::obs::parse_log_level(log_level_name);
+        } catch (const std::exception& e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
+        lsm::obs::global_logger().set_console(&std::cerr, min_level);
+    }
+    if (!log_out.empty()) {
+        lsm::obs::global_logger().open_structured(log_out, min_level,
+                                                  std::cerr);
     }
 
     try {
@@ -509,19 +601,213 @@ int main(int argc, char** argv) {
         lsm::tail_reader tail(log_path, start_offset);
         std::uint64_t file_generation = 0;
 
+        telemetry_state st;
+        st.tail_offset.store(start_offset, std::memory_order_relaxed);
+        st.last_progress_ns.store(steady_ns(), std::memory_order_relaxed);
+
+        // Long-lived registry for the ingest loop's own phase spans —
+        // what the self-profiler samples. Scrape handlers build a fresh
+        // registry per request instead (export_metrics adds ingest
+        // counters, so re-exporting into a long-lived one would
+        // double-count).
+        lsm::obs::registry service_reg;
+
+        lsm::obs::profiler prof;
+        if (!profile_out.empty()) {
+            lsm::obs::profiler::options popts;
+            popts.interval =
+                std::chrono::milliseconds(std::max(1, profile_interval_ms));
+            prof.start(popts);
+        }
+        // Held open for the daemon's whole lifetime, so every sampler
+        // tick attributes somewhere: time outside live/poll and
+        // live/consume shows up as bare live/run (idle + serving), and
+        // the flamegraph is never empty on a mostly-idle tail.
+        lsm::obs::scoped_timer run_span(&service_reg, "live/run");
+
+        // Builds one scrape snapshot: daemon metrics + tail/obs-plane
+        // gauges. Profiler gauges ride along on HTTP scrapes only — the
+        // --metrics-out file must stay byte-identical profiler-on/off.
+        lsm::obs::httpd server;
+        auto build_scrape = [&](lsm::obs::registry& reg) {
+            {
+                std::lock_guard<std::mutex> lock(st.mu);
+                daemon.export_metrics(reg);
+            }
+            reg.get_gauge("live/tail/rotations",
+                          "Tail-follow inode rotations observed.")
+                .set(static_cast<std::int64_t>(
+                    st.rotations.load(std::memory_order_relaxed)));
+            reg.get_gauge("live/tail/truncations",
+                          "Tail-follow in-place truncations observed.")
+                .set(static_cast<std::int64_t>(
+                    st.truncations.load(std::memory_order_relaxed)));
+            reg.get_gauge("live/tail/offset",
+                          "Consumed byte offset in the current file "
+                          "generation.")
+                .set(static_cast<std::int64_t>(
+                    st.tail_offset.load(std::memory_order_relaxed)));
+            reg.get_gauge("obs/log/emitted",
+                          "Log lines that reached at least one sink.")
+                .set(static_cast<std::int64_t>(
+                    lsm::obs::global_logger().emitted()));
+            reg.get_gauge("obs/log/suppressed",
+                          "Log events dropped by per-site rate limits.")
+                .set(static_cast<std::int64_t>(
+                    lsm::obs::global_logger().suppressed()));
+            reg.get_gauge("obs/httpd/requests",
+                          "HTTP telemetry requests served.")
+                .set(static_cast<std::int64_t>(server.requests_served()));
+            if (prof.running()) prof.export_metrics(reg);
+        };
+        const auto healthz = [&]() {
+            lsm::obs::http_response r;
+            const double idle_s =
+                static_cast<double>(steady_ns() -
+                                    st.last_progress_ns.load(
+                                        std::memory_order_relaxed)) *
+                1e-9;
+            std::error_code ec;
+            const std::uintmax_t size =
+                std::filesystem::file_size(log_path, ec);
+            const std::uint64_t consumed =
+                st.tail_offset.load(std::memory_order_relaxed);
+            const bool source_grew = !ec && size > consumed;
+            if (watchdog_seconds > 0 &&
+                idle_s > static_cast<double>(watchdog_seconds) &&
+                source_grew) {
+                r.status = 503;
+                std::ostringstream body;
+                body << "stalled: no ingest progress for "
+                     << static_cast<std::int64_t>(idle_s)
+                     << "s while the source grew (consumed " << consumed
+                     << " of " << size << " bytes)\n";
+                r.body = body.str();
+            } else {
+                r.body = "ok\n";
+            }
+            return r;
+        };
+        if (!listen_addr.empty()) {
+            const std::size_t colon = listen_addr.rfind(':');
+            if (colon == std::string::npos) {
+                std::cerr << "--listen expects HOST:PORT\n";
+                return 2;
+            }
+            const std::string host = listen_addr.substr(0, colon);
+            const int port = std::atoi(listen_addr.c_str() + colon + 1);
+            server.handle("/metrics", [&](const lsm::obs::http_request&) {
+                lsm::obs::registry reg;
+                build_scrape(reg);
+                std::ostringstream out;
+                reg.write_prometheus(out);
+                lsm::obs::http_response r;
+                r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                r.body = out.str();
+                return r;
+            });
+            server.handle(
+                "/metrics.json", [&](const lsm::obs::http_request&) {
+                    lsm::obs::registry reg;
+                    build_scrape(reg);
+                    std::ostringstream out;
+                    reg.write_json(out);
+                    out << '\n';
+                    lsm::obs::http_response r;
+                    r.content_type = "application/json";
+                    r.body = out.str();
+                    return r;
+                });
+            server.handle("/healthz",
+                          [&](const lsm::obs::http_request&) {
+                              return healthz();
+                          });
+            server.handle("/statusz", [&](const lsm::obs::http_request&) {
+                std::uint64_t records = 0;
+                std::uint64_t closed = 0;
+                std::size_t open = 0;
+                std::uint64_t offset = 0;
+                {
+                    std::lock_guard<std::mutex> lock(st.mu);
+                    records = daemon.records();
+                    closed = daemon.sessions_closed();
+                    open = daemon.open_session_count();
+                    offset = daemon.consumed_offset();
+                }
+                const double up_s =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - st.started)
+                        .count();
+                std::ostringstream out;
+                out << "lsm_live status\n"
+                    << "uptime_seconds: " << static_cast<std::int64_t>(up_s)
+                    << "\nrecords: " << records << "\nrecords_per_second: "
+                    << static_cast<std::int64_t>(
+                           up_s > 0 ? static_cast<double>(records) / up_s
+                                    : 0.0)
+                    << "\nsessions_closed: " << closed
+                    << "\nsessions_open: " << open
+                    << "\nconsumed_offset: " << offset
+                    << "\ntail_rotations: "
+                    << st.rotations.load(std::memory_order_relaxed)
+                    << "\ntail_truncations: "
+                    << st.truncations.load(std::memory_order_relaxed)
+                    << "\nsnapshots_emitted: "
+                    << st.snapshots_emitted.load(std::memory_order_relaxed)
+                    << "\nhttp_requests: " << server.requests_served()
+                    << "\nlog_lines_emitted: "
+                    << lsm::obs::global_logger().emitted() << "\n";
+                if (prof.running()) {
+                    out << "\nprofiler (" << prof.samples()
+                        << " samples):\n";
+                    prof.write_top(out, 10);
+                }
+                lsm::obs::http_response r;
+                r.body = out.str();
+                return r;
+            });
+            std::string err;
+            if (!server.start(host, static_cast<std::uint16_t>(port),
+                              &err)) {
+                std::cerr << "cannot start telemetry server: " << err
+                          << "\n";
+                return 2;
+            }
+            std::cerr << "telemetry listening on " << host << ":"
+                      << server.port() << "\n";
+            if (!listen_port_file.empty()) {
+                lsm::obs::try_write_sink(
+                    "listen port", listen_port_file,
+                    [&] {
+                        lsm::obs::write_file_atomic(
+                            listen_port_file,
+                            std::to_string(server.port()) + "\n");
+                    },
+                    std::cerr);
+            }
+        }
+
         auto emit = [&](bool warn_only) {
+            lsm::obs::scoped_timer span(&service_reg, "live/emit");
             if (!snapshot_out.empty()) {
+                std::string bytes;
+                {
+                    std::lock_guard<std::mutex> lock(st.mu);
+                    bytes = daemon.save_snapshot();
+                }
                 lsm::obs::try_write_sink(
                     "snapshot", snapshot_out,
                     [&] {
-                        lsm::obs::write_file_atomic(snapshot_out,
-                                                    daemon.save_snapshot());
+                        lsm::obs::write_file_atomic(snapshot_out, bytes);
                     },
                     std::cerr);
             }
             if (!metrics_out.empty()) {
                 lsm::obs::registry reg;
-                daemon.export_metrics(reg);
+                {
+                    std::lock_guard<std::mutex> lock(st.mu);
+                    daemon.export_metrics(reg);
+                }
                 reg.get_gauge("live/tail/rotations")
                     .set(static_cast<std::int64_t>(tail.rotations()));
                 reg.get_gauge("live/tail/truncations")
@@ -530,39 +816,85 @@ int main(int argc, char** argv) {
                     "metrics", metrics_out,
                     [&] { reg.write_json_file(metrics_out); }, std::cerr);
             }
+            st.snapshots_emitted.fetch_add(1, std::memory_order_relaxed);
             (void)warn_only;
         };
 
         std::string buf;
         std::uint64_t last_emit_records = 0;
         bool done = false;
+        bool stalled = false;
+        static lsm::obs::log_site stall_site;
         while (!done) {
             buf.clear();
-            const std::size_t n = tail.poll(buf, read_chunk);
+            std::size_t n = 0;
+            if (!stalled) {
+                lsm::obs::scoped_timer span(&service_reg, "live/poll");
+                n = tail.poll(buf, read_chunk);
+                st.rotations.store(tail.rotations(),
+                                   std::memory_order_relaxed);
+                st.truncations.store(tail.truncations(),
+                                     std::memory_order_relaxed);
+            }
             const std::uint64_t generation =
                 tail.rotations() + tail.truncations();
             if (generation != file_generation) {
                 file_generation = generation;
+                std::lock_guard<std::mutex> lock(st.mu);
                 daemon.on_file_restart();
             }
             if (n > 0) {
-                daemon.consume_bytes(buf);
+                {
+                    std::lock_guard<std::mutex> lock(st.mu);
+                    lsm::obs::scoped_timer span(&service_reg,
+                                                "live/consume");
+                    daemon.consume_bytes(buf);
+                }
+                st.tail_offset.store(tail.offset(),
+                                     std::memory_order_relaxed);
+                st.last_progress_ns.store(steady_ns(),
+                                          std::memory_order_relaxed);
                 if (snapshot_every > 0 &&
                     daemon.records() - last_emit_records >= snapshot_every) {
                     last_emit_records = daemon.records();
                     emit(true);
                 }
             }
-            if (stop_after > 0 && daemon.records() >= stop_after) {
+            if (stall_after > 0 && !stalled &&
+                daemon.records() >= stall_after) {
+                stalled = true;
+                lsm::obs::global_logger().log_rated(
+                    stall_site, lsm::obs::log_level::warn, "live",
+                    "--stall-after-records hit: ingest paused, telemetry "
+                    "still serving");
+            }
+            if (!stalled && stop_after > 0 &&
+                daemon.records() >= stop_after) {
                 done = true;
             } else if (n == 0) {
-                if (follow) {
+                if (follow || stalled) {
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(poll_ms));
                 } else {
                     done = true;  // drained to EOF in one-shot mode
                 }
             }
+        }
+
+        // Quiesce the telemetry plane before the post-loop phase:
+        // exact-compare and finish() mutate the daemon outside st.mu.
+        server.stop();
+        if (prof.running()) {
+            prof.stop();
+            lsm::obs::try_write_sink(
+                "profile", profile_out,
+                [&] {
+                    std::ostringstream collapsed;
+                    prof.write_collapsed(collapsed);
+                    lsm::obs::write_file_atomic(profile_out,
+                                                collapsed.str());
+                },
+                std::cerr);
         }
 
         int rc = 0;
@@ -618,7 +950,12 @@ int main(int argc, char** argv) {
                 std::cerr);
         }
         if (!daemon.report().clean()) {
+            // Console bytes are load-bearing (scripts grep "ingest:");
+            // the structured sink gets the tagged copy.
             std::cerr << "ingest: " << daemon.report().summary() << "\n";
+            lsm::obs::global_logger().log_structured(
+                lsm::obs::log_level::warn, "ingest",
+                daemon.report().summary());
         }
         std::cout << "consumed " << daemon.records() << " records ("
                   << daemon.sessions_closed() << " sessions closed, "

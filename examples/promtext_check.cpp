@@ -1,0 +1,53 @@
+// Validates Prometheus text exposition documents — the CI half of the
+// telemetry contract. The live-daemon job curls /metrics mid-ingest and
+// pipes the bytes through this tool; a nonzero exit means a real
+// Prometheus server would have choked on the scrape.
+//
+//   $ curl -s localhost:9100/metrics | ./promtext_check
+//   $ ./promtext_check scrape.prom
+//
+// Issues are printed one per line with 1-based line numbers.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/promtext.h"
+
+int main(int argc, char** argv) {
+    if (argc > 2 || (argc == 2 && std::string(argv[1]) == "--help")) {
+        std::cerr << "usage: " << argv[0]
+                  << " [file]    (reads stdin when no file is given)\n";
+        return 2;
+    }
+    std::string text;
+    if (argc == 2) {
+        std::ifstream in(argv[1], std::ios::binary);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    } else {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    }
+    if (text.empty()) {
+        std::cerr << "promtext_check: empty document\n";
+        return 1;
+    }
+    const auto issues = lsm::obs::validate_promtext(text);
+    if (issues.empty()) {
+        std::cerr << "promtext_check: ok\n";
+        return 0;
+    }
+    for (const lsm::obs::promtext_issue& issue : issues) {
+        std::cout << "line " << issue.line << ": " << issue.message
+                  << "\n";
+    }
+    std::cerr << "promtext_check: " << issues.size() << " issue(s)\n";
+    return 1;
+}

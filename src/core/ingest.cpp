@@ -111,14 +111,25 @@ void write_quarantine_file(const ingest_report& report,
 void publish_ingest_report(obs::registry* reg,
                            const ingest_report& report) {
     if (reg == nullptr) return;
-    obs::add_counter(reg, "ingest/errors", report.errors_total);
-    obs::add_counter(reg, "ingest/lines_rejected", report.lines_rejected);
-    obs::add_counter(reg, "ingest/bytes_rejected", report.bytes_rejected);
-    obs::add_counter(reg, "ingest/records_recovered",
-                     report.records_recovered);
-    obs::add_counter(reg, "ingest/salvaged_records",
-                     report.salvaged_records);
-    obs::add_counter(reg, "ingest/records_lost", report.records_lost);
+    reg->get_counter("ingest/errors",
+                    "Ingest errors across all categories.")
+        .add(report.errors_total);
+    reg->get_counter("ingest/lines_rejected",
+                    "Input lines rejected by the active error policy.")
+        .add(report.lines_rejected);
+    reg->get_counter("ingest/bytes_rejected",
+                    "Raw bytes belonging to rejected input.")
+        .add(report.bytes_rejected);
+    reg->get_counter("ingest/records_recovered",
+                    "Records recovered by resynchronization after an "
+                    "error.")
+        .add(report.records_recovered);
+    reg->get_counter("ingest/salvaged_records",
+                    "Records salvaged from a truncated binary tail.")
+        .add(report.salvaged_records);
+    reg->get_counter("ingest/records_lost",
+                    "Records conclusively lost to corruption.")
+        .add(report.records_lost);
     for (const auto& [category, count] : report.errors_by_category) {
         obs::add_counter(reg, std::string("ingest/errors/") + category,
                          count);

@@ -1,5 +1,7 @@
 #include "core/tail_reader.h"
 
+#include "obs/log.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define LSM_HAVE_TAIL 1
 #include <fcntl.h>
@@ -46,6 +48,12 @@ std::size_t tail_reader::poll(std::string& out, std::size_t max_bytes) {
         // Truncated in place (copytruncate rotation): restart at 0.
         ++truncations_;
         offset_ = 0;
+        static obs::log_site site;
+        const obs::log_kv fields[] = {
+            {"path", path_}, {"truncations", std::to_string(truncations_)}};
+        obs::global_logger().log_rated(
+            site, obs::log_level::info, "tail",
+            "file truncated in place; restarting at offset 0", fields);
     }
 
     std::size_t want = max_bytes;
@@ -70,6 +78,12 @@ std::size_t tail_reader::poll(std::string& out, std::size_t max_bytes) {
         ++rotations_;
         close_file();
         offset_ = 0;
+        static obs::log_site site;
+        const obs::log_kv fields[] = {
+            {"path", path_}, {"rotations", std::to_string(rotations_)}};
+        obs::global_logger().log_rated(
+            site, obs::log_level::info, "tail",
+            "path moved to a new inode; following the new file", fields);
     }
     return 0;
 }

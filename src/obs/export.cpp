@@ -5,8 +5,12 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -98,22 +102,59 @@ void write_label_value(std::ostream& out, std::string_view s) {
     }
 }
 
-void write_span_prometheus(std::ostream& out, const span_node& node) {
-    if (node.parent() != nullptr) {
-        const std::string path = node.path();
-        out << "lsm_span_wall_seconds{path=\"";
-        write_label_value(out, path);
-        out << "\"} ";
-        write_number(out,
-                     static_cast<double>(node.total_ns()) * 1e-9);
+void collect_spans(const span_node& node,
+                   std::vector<const span_node*>& out) {
+    if (node.parent() != nullptr) out.push_back(&node);
+    for (const span_node* c : node.children()) collect_spans(*c, out);
+}
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; this maps a
+/// hierarchical instrument name onto a legal family name. Distinct
+/// instrument names can collide after sanitization — the caller merges
+/// such families and keeps them apart via the `name` label.
+std::string sanitize_family(std::string_view name) {
+    std::string out = "lsm_";
+    out.reserve(out.size() + name.size());
+    for (const char ch : name) {
+        const bool ok =
+            (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+            (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+        out += ok ? ch : '_';
+    }
+    return out;
+}
+
+/// HELP docstrings escape backslash and newline only.
+void write_help_text(std::ostream& out, std::string_view s) {
+    for (const char ch : s) {
+        switch (ch) {
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            default: out << ch;
+        }
+    }
+}
+
+void write_family_header(std::ostream& out, const std::string& family,
+                         std::string_view help, std::string_view type) {
+    if (!help.empty()) {
+        out << "# HELP " << family << ' ';
+        write_help_text(out, help);
         out << '\n';
-        out << "lsm_span_count{path=\"";
-        write_label_value(out, path);
-        out << "\"} " << node.count() << '\n';
     }
-    for (const span_node* c : node.children()) {
-        write_span_prometheus(out, *c);
+    out << "# TYPE " << family << ' ' << type << '\n';
+}
+
+/// Claims a family name, disambiguating cross-kind sanitization
+/// collisions with a numeric suffix. (Same-kind collisions never reach
+/// here — they are merged into one family before claiming.)
+std::string claim_family(std::string base,
+                         std::set<std::string>& used) {
+    std::string family = base;
+    for (int i = 2; !used.insert(family).second; ++i) {
+        family = base + "_" + std::to_string(i);
     }
+    return family;
 }
 
 }  // namespace
@@ -176,48 +217,137 @@ void registry::write_json(std::ostream& out) const {
 }
 
 void registry::write_prometheus(std::ostream& out) const {
-    out << "# TYPE lsm_counter counter\n";
-    for (const auto& [name, c] : counters()) {
-        out << "lsm_counter{name=\"";
-        write_label_value(out, name);
-        out << "\"} " << c->value() << '\n';
-    }
-    out << "# TYPE lsm_gauge gauge\n";
-    for (const auto& [name, g] : gauges()) {
-        out << "lsm_gauge{name=\"";
-        write_label_value(out, name);
-        out << "\"} " << g->value() << '\n';
-        out << "lsm_gauge_max{name=\"";
-        write_label_value(out, name);
-        out << "\"} " << g->max_value() << '\n';
-    }
-    out << "# TYPE lsm_histogram histogram\n";
-    for (const auto& [name, h] : histograms()) {
-        const auto& bounds = h->bounds();
-        std::uint64_t cumulative = 0;
-        for (std::size_t i = 0; i <= bounds.size(); ++i) {
-            cumulative += h->bucket_count(i);
-            out << "lsm_histogram_bucket{name=\"";
-            write_label_value(out, name);
-            out << "\",le=\"";
-            if (i < bounds.size()) {
-                write_number(out, bounds[i]);
-            } else {
-                out << "+Inf";
-            }
-            out << "\"} " << cumulative << '\n';
+    // One family per instrument (sanitized hierarchical name), each
+    // introduced by optional `# HELP` plus mandatory `# TYPE`, with the
+    // exact hierarchical name preserved in the `name` label. Distinct
+    // instruments whose names sanitize identically share one family,
+    // distinguishable by that label; cross-kind collisions get a
+    // numeric suffix so no family carries two TYPEs.
+    std::set<std::string> used;
+
+    // Counters: group same-family instruments, emit one header each.
+    {
+        std::map<std::string,
+                 std::vector<std::pair<std::string, const counter*>>>
+            groups;
+        for (const auto& [name, c] : counters()) {
+            groups[sanitize_family(name)].emplace_back(name, c);
         }
-        out << "lsm_histogram_sum{name=\"";
-        write_label_value(out, name);
-        out << "\"} ";
-        write_number(out, h->sum());
-        out << '\n';
-        out << "lsm_histogram_count{name=\"";
-        write_label_value(out, name);
-        out << "\"} " << h->total_count() << '\n';
+        for (const auto& [base, members] : groups) {
+            const std::string family = claim_family(base, used);
+            write_family_header(out, family, help(members.front().first),
+                                "counter");
+            for (const auto& [name, c] : members) {
+                out << family << "{name=\"";
+                write_label_value(out, name);
+                out << "\"} " << c->value() << '\n';
+            }
+        }
     }
-    out << "# TYPE lsm_span_wall_seconds gauge\n";
-    write_span_prometheus(out, root_span());
+
+    // Gauges: a value family plus a `_max` high-water family.
+    {
+        std::map<std::string,
+                 std::vector<std::pair<std::string, const gauge*>>>
+            groups;
+        for (const auto& [name, g] : gauges()) {
+            groups[sanitize_family(name)].emplace_back(name, g);
+        }
+        for (const auto& [base, members] : groups) {
+            const std::string family = claim_family(base, used);
+            const std::string help_text = help(members.front().first);
+            write_family_header(out, family, help_text, "gauge");
+            for (const auto& [name, g] : members) {
+                out << family << "{name=\"";
+                write_label_value(out, name);
+                out << "\"} " << g->value() << '\n';
+            }
+            const std::string max_family =
+                claim_family(family + "_max", used);
+            write_family_header(
+                out, max_family,
+                help_text.empty() ? "" : help_text + " (high-water mark)",
+                "gauge");
+            for (const auto& [name, g] : members) {
+                out << max_family << "{name=\"";
+                write_label_value(out, name);
+                out << "\"} " << g->max_value() << '\n';
+            }
+        }
+    }
+
+    // Histograms: _bucket/_sum/_count series under one family.
+    {
+        std::map<std::string,
+                 std::vector<std::pair<std::string, const histogram*>>>
+            groups;
+        for (const auto& [name, h] : histograms()) {
+            groups[sanitize_family(name)].emplace_back(name, h);
+        }
+        for (const auto& [base, members] : groups) {
+            const std::string family = claim_family(base, used);
+            // Reserve the derived series names too, so a later family
+            // cannot collide with this histogram's _bucket/_sum/_count.
+            used.insert(family + "_bucket");
+            used.insert(family + "_sum");
+            used.insert(family + "_count");
+            write_family_header(out, family, help(members.front().first),
+                                "histogram");
+            for (const auto& [name, h] : members) {
+                const auto& bounds = h->bounds();
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i <= bounds.size(); ++i) {
+                    cumulative += h->bucket_count(i);
+                    out << family << "_bucket{name=\"";
+                    write_label_value(out, name);
+                    out << "\",le=\"";
+                    if (i < bounds.size()) {
+                        write_number(out, bounds[i]);
+                    } else {
+                        out << "+Inf";
+                    }
+                    out << "\"} " << cumulative << '\n';
+                }
+                out << family << "_sum{name=\"";
+                write_label_value(out, name);
+                out << "\"} ";
+                write_number(out, h->sum());
+                out << '\n';
+                out << family << "_count{name=\"";
+                write_label_value(out, name);
+                out << "\"} " << h->total_count() << '\n';
+            }
+        }
+    }
+
+    // Spans: two fixed families, emitted only when spans exist, with
+    // each family's samples kept consecutive.
+    std::vector<const span_node*> spans;
+    collect_spans(root_span(), spans);
+    if (!spans.empty()) {
+        const std::string wall_family =
+            claim_family("lsm_span_wall_seconds", used);
+        write_family_header(out, wall_family,
+                            "Inclusive wall-clock time per phase span.",
+                            "gauge");
+        for (const span_node* node : spans) {
+            out << wall_family << "{path=\"";
+            write_label_value(out, node->path());
+            out << "\"} ";
+            write_number(out, static_cast<double>(node->total_ns()) * 1e-9);
+            out << '\n';
+        }
+        const std::string count_family =
+            claim_family("lsm_span_count", used);
+        write_family_header(out, count_family,
+                            "Completed executions per phase span.",
+                            "gauge");
+        for (const span_node* node : spans) {
+            out << count_family << "{path=\"";
+            write_label_value(out, node->path());
+            out << "\"} " << node->count() << '\n';
+        }
+    }
 }
 
 void registry::write_json_file(const std::string& path) const {

@@ -1,0 +1,263 @@
+#include "obs/httpd.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LSM_HAVE_HTTPD 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#else
+#define LSM_HAVE_HTTPD 0
+#endif
+
+#include <exception>
+
+#include "obs/log.h"
+
+namespace lsm::obs {
+
+std::string_view http_status_reason(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        default: return "Unknown";
+    }
+}
+
+httpd::~httpd() { stop(); }
+
+void httpd::handle(std::string path, handler h) {
+    routes_[std::move(path)] = std::move(h);
+}
+
+#if LSM_HAVE_HTTPD
+
+bool httpd::supported() { return true; }
+
+namespace {
+
+constexpr std::size_t k_max_request_head = 8 * 1024;
+
+void set_io_timeouts(int fd) {
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, 0);
+        if (n <= 0) return false;
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void send_response(int fd, int status, const std::string& content_type,
+                   const std::string& body, bool head_only) {
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      std::string(http_status_reason(status)) +
+                      "\r\nContent-Type: " + content_type +
+                      "\r\nContent-Length: " + std::to_string(body.size()) +
+                      "\r\nConnection: close\r\n\r\n";
+    if (!head_only) out += body;
+    send_all(fd, out.data(), out.size());
+}
+
+}  // namespace
+
+bool httpd::start(const std::string& host, std::uint16_t port,
+                  std::string* err) {
+    if (running()) {
+        if (err != nullptr) *err = "already running";
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string node = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+        if (err != nullptr) *err = "cannot parse listen host: " + host;
+        return false;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err != nullptr) {
+            *err = std::string("socket: ") + std::strerror(errno);
+        }
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd, 16) != 0) {
+        if (err != nullptr) {
+            *err = std::string("bind/listen ") + node + ":" +
+                   std::to_string(port) + ": " + std::strerror(errno);
+        }
+        ::close(fd);
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+        if (err != nullptr) {
+            *err = std::string("getsockname: ") + std::strerror(errno);
+        }
+        ::close(fd);
+        return false;
+    }
+    listen_fd_ = fd;
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return true;
+}
+
+void httpd::stop() {
+    if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+    // shutdown() (not just close()) reliably unblocks the accept() the
+    // loop thread is parked in.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    port_.store(0, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+}
+
+void httpd::accept_loop() {
+    while (running_.load(std::memory_order_acquire)) {
+        const int conn = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn < 0) {
+            if (!running_.load(std::memory_order_acquire)) break;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            break;  // listening socket is gone; nothing to serve
+        }
+        if (!running_.load(std::memory_order_acquire)) {
+            ::close(conn);
+            break;
+        }
+        set_io_timeouts(conn);
+        {
+            std::lock_guard<std::mutex> lock(conn_mu_);
+            ++active_conns_;
+        }
+        std::thread([this, conn] {
+            serve_connection(conn);
+            std::lock_guard<std::mutex> lock(conn_mu_);
+            --active_conns_;
+            conn_cv_.notify_all();
+        }).detach();
+    }
+}
+
+void httpd::serve_connection(int fd) {
+    std::string head;
+    bool oversize = false;
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos) {
+        char buf[2048];
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) break;  // EOF or timeout mid-request
+        head.append(buf, static_cast<std::size_t>(n));
+        if (head.size() > k_max_request_head) {
+            oversize = true;
+            break;
+        }
+    }
+    if (oversize) {
+        send_response(fd, 400, "text/plain; charset=utf-8",
+                      "request head too large\n", false);
+        ::close(fd);
+        return;
+    }
+    // Request line: METHOD SP target SP HTTP/x.y
+    const std::size_t eol = head.find_first_of("\r\n");
+    const std::string line =
+        eol == std::string::npos ? head : head.substr(0, eol);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (line.empty() || sp1 == std::string::npos ||
+        sp2 == std::string::npos || sp2 == sp1 + 1 ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+        send_response(fd, 400, "text/plain; charset=utf-8",
+                      "malformed request line\n", false);
+        ::close(fd);
+        return;
+    }
+    http_request req;
+    req.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t q = target.find('?');
+    if (q != std::string::npos) {
+        req.query = target.substr(q + 1);
+        target.resize(q);
+    }
+    req.path = std::move(target);
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const bool head_only = req.method == "HEAD";
+    if (req.method != "GET" && !head_only) {
+        send_response(fd, 405, "text/plain; charset=utf-8",
+                      "method not allowed\n", false);
+        ::close(fd);
+        return;
+    }
+    const auto it = routes_.find(req.path);
+    if (it == routes_.end()) {
+        send_response(fd, 404, "text/plain; charset=utf-8",
+                      "not found\n", head_only);
+        ::close(fd);
+        return;
+    }
+    http_response resp;
+    try {
+        resp = it->second(req);
+    } catch (const std::exception& e) {
+        static log_site site;
+        global_logger().log_rated(site, log_level::warn, "httpd",
+                                  std::string("handler failed for ") +
+                                      req.path + ": " + e.what());
+        resp.status = 500;
+        resp.content_type = "text/plain; charset=utf-8";
+        resp.body = "handler error\n";
+    }
+    send_response(fd, resp.status, resp.content_type, resp.body,
+                  head_only);
+    ::close(fd);
+}
+
+#else  // !LSM_HAVE_HTTPD
+
+bool httpd::supported() { return false; }
+
+bool httpd::start(const std::string&, std::uint16_t, std::string* err) {
+    if (err != nullptr) {
+        *err = "http telemetry is not supported on this platform";
+    }
+    return false;
+}
+
+void httpd::stop() {}
+
+void httpd::accept_loop() {}
+void httpd::serve_connection(int) {}
+
+#endif
+
+}  // namespace lsm::obs

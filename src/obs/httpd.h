@@ -1,0 +1,106 @@
+// Minimal dependency-free HTTP/1.1 server for telemetry endpoints.
+//
+// This is an *operational* surface, not a web framework: a blocking
+// accept loop on its own thread, one short-lived thread per connection,
+// exact-match GET routes, every response `Connection: close`. That is
+// the right shape for a scrape target — Prometheus opens one
+// connection per scrape, a human runs curl — and it keeps the server
+// at ~300 lines with zero dependencies beyond POSIX sockets.
+//
+// Lifecycle: start() binds (port 0 requests an ephemeral port; port()
+// reports what the kernel chose, which is how tests and --listen
+// 127.0.0.1:0 discover the address) and launches the accept thread.
+// stop() closes the listening socket to unblock accept(), then waits
+// for in-flight connection threads — which are bounded by per-socket
+// send/receive timeouts, so shutdown cannot hang on a stuck client.
+//
+// Handlers run on connection threads and must be thread-safe; they
+// receive the request path (query string already split off) and return
+// a status + body. Non-GET/HEAD methods get 405, unknown paths 404,
+// malformed or oversize (>8 KiB) request heads 400.
+//
+// Non-POSIX builds compile but start() fails with "not supported",
+// mirroring tail_reader's platform gate.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace lsm::obs {
+
+struct http_request {
+    std::string method;  // "GET", "HEAD", ...
+    std::string path;    // decoded-as-is target path, query stripped
+    std::string query;   // bytes after '?', possibly empty
+};
+
+struct http_response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+class httpd {
+public:
+    using handler = std::function<http_response(const http_request&)>;
+
+    httpd() = default;
+    ~httpd();
+    httpd(const httpd&) = delete;
+    httpd& operator=(const httpd&) = delete;
+
+    /// True when this build can serve at all (POSIX sockets present).
+    static bool supported();
+
+    /// Registers an exact-match route. Call before start().
+    void handle(std::string path, handler h);
+
+    /// Binds host:port and starts the accept thread. Port 0 binds an
+    /// ephemeral port (see port()). On failure fills *err (when
+    /// non-null) and returns false without starting anything.
+    bool start(const std::string& host, std::uint16_t port,
+               std::string* err = nullptr);
+
+    /// Stops accepting, waits for in-flight connections, joins the
+    /// accept thread. Idempotent.
+    void stop();
+
+    bool running() const {
+        return running_.load(std::memory_order_acquire);
+    }
+    /// The bound port (the kernel's choice when start() got port 0);
+    /// 0 when not running.
+    std::uint16_t port() const {
+        return port_.load(std::memory_order_acquire);
+    }
+    std::uint64_t requests_served() const {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void accept_loop();
+    void serve_connection(int fd);
+
+    std::map<std::string, handler> routes_;
+    std::thread accept_thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint16_t> port_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    int listen_fd_ = -1;
+
+    std::mutex conn_mu_;
+    std::condition_variable conn_cv_;
+    std::uint64_t active_conns_ = 0;  // guarded by conn_mu_
+};
+
+/// Reason phrase for the handful of statuses the telemetry plane uses.
+std::string_view http_status_reason(int status);
+
+}  // namespace lsm::obs

@@ -1,0 +1,276 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(ch));
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+}
+
+}  // namespace
+
+std::string_view log_level_name(log_level lv) {
+    switch (lv) {
+        case log_level::debug: return "debug";
+        case log_level::info: return "info";
+        case log_level::warn: return "warn";
+        case log_level::error: return "error";
+        case log_level::off: return "off";
+    }
+    return "?";
+}
+
+log_level parse_log_level(std::string_view name) {
+    for (log_level lv : {log_level::debug, log_level::info, log_level::warn,
+                         log_level::error, log_level::off}) {
+        if (name == log_level_name(lv)) return lv;
+    }
+    throw std::runtime_error("unknown log level: " + std::string(name) +
+                             " (expected debug|info|warn|error|off)");
+}
+
+bool token_bucket::try_take(std::chrono::steady_clock::time_point now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!primed_) {
+        primed_ = true;
+        last_ = now;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    if (elapsed > 0.0) {
+        tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+        last_ = now;
+    }
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+bool log_site::admit(std::chrono::steady_clock::time_point now,
+                     std::uint64_t& taken) {
+    if (bucket_.try_take(now)) {
+        taken = suppressed_.exchange(0, std::memory_order_relaxed);
+        return true;
+    }
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    taken = 0;
+    return false;
+}
+
+logger::logger() : console_(&std::cerr) {}
+
+void logger::set_console(std::ostream* out, log_level min) {
+    std::lock_guard<std::mutex> lock(mu_);
+    console_ = out;
+    console_min_ = min;
+}
+
+void logger::set_structured(std::ostream* out, log_level min) {
+    std::lock_guard<std::mutex> lock(mu_);
+    structured_ = out;
+    structured_min_ = min;
+    owned_structured_.reset();
+}
+
+bool logger::open_structured(const std::string& path, log_level min,
+                             std::ostream& err) {
+    auto out = std::make_unique<std::ofstream>(path, std::ios::app);
+    if (!*out) {
+        err << "warning: cannot write log to " << path
+            << ": cannot open for append\n";
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    structured_ = out.get();
+    structured_min_ = min;
+    owned_structured_ = std::move(out);
+    return true;
+}
+
+log_level logger::console_level() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return console_ == nullptr ? log_level::off : console_min_;
+}
+
+log_level logger::structured_level() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return structured_ == nullptr ? log_level::off : structured_min_;
+}
+
+bool logger::enabled(log_level lv) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return (console_ != nullptr && lv >= console_min_) ||
+           (structured_ != nullptr && lv >= structured_min_);
+}
+
+void logger::log(log_level lv, std::string_view component,
+                 std::string_view msg, std::span<const log_kv> fields) {
+    emit(lv, component, msg, fields, 0, /*console_too=*/true);
+}
+
+void logger::log_structured(log_level lv, std::string_view component,
+                            std::string_view msg,
+                            std::span<const log_kv> fields) {
+    emit(lv, component, msg, fields, 0, /*console_too=*/false);
+}
+
+void logger::log_rated(log_site& site, log_level lv,
+                       std::string_view component, std::string_view msg,
+                       std::span<const log_kv> fields) {
+    if (!enabled(lv)) return;  // filtered events do not consume tokens
+    std::uint64_t taken = 0;
+    if (!site.admit(std::chrono::steady_clock::now(), taken)) {
+        suppressed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    emit(lv, component, msg, fields, taken, /*console_too=*/true);
+}
+
+std::string format_log_line(log_level lv, std::string_view component,
+                            std::string_view msg,
+                            std::span<const log_kv> fields,
+                            std::uint64_t rate_suppressed,
+                            std::chrono::system_clock::time_point wall,
+                            std::uint64_t mono_ns, unsigned tid) {
+    std::string line;
+    line.reserve(128 + msg.size());
+    const std::time_t secs = std::chrono::system_clock::to_time_t(wall);
+    const auto millis =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            wall.time_since_epoch())
+            .count() %
+        1000;
+    std::tm tm_utc{};
+#if defined(_WIN32)
+    gmtime_s(&tm_utc, &secs);
+#else
+    gmtime_r(&secs, &tm_utc);
+#endif
+    char ts[80];
+    std::snprintf(ts, sizeof ts, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                  tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                  static_cast<int>(millis < 0 ? 0 : millis));
+    line += "{\"ts\":\"";
+    line += ts;
+    line += "\",\"mono_ns\":";
+    line += std::to_string(mono_ns);
+    line += ",\"tid\":";
+    line += std::to_string(tid);
+    line += ",\"level\":\"";
+    line += log_level_name(lv);
+    line += "\",\"component\":\"";
+    append_escaped(line, component);
+    line += "\",\"msg\":\"";
+    append_escaped(line, msg);
+    line += '"';
+    if (rate_suppressed > 0) {
+        line += ",\"suppressed\":";
+        line += std::to_string(rate_suppressed);
+    }
+    for (const log_kv& kv : fields) {
+        line += ",\"";
+        append_escaped(line, kv.key);
+        line += "\":\"";
+        append_escaped(line, kv.value);
+        line += '"';
+    }
+    line += '}';
+    return line;
+}
+
+void logger::emit(log_level lv, std::string_view component,
+                  std::string_view msg, std::span<const log_kv> fields,
+                  std::uint64_t rate_suppressed, bool console_too) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool any = false;
+    if (console_too && console_ != nullptr && lv >= console_min_) {
+        std::string line;
+        if (lv == log_level::warn) {
+            line += "warning: ";
+        } else if (lv == log_level::error) {
+            line += "error: ";
+        }
+        line += '[';
+        line += component;
+        line += "] ";
+        line += msg;
+        for (const log_kv& kv : fields) {
+            line += ' ';
+            line += kv.key;
+            line += '=';
+            line += kv.value;
+        }
+        if (rate_suppressed > 0) {
+            line += " (+";
+            line += std::to_string(rate_suppressed);
+            line += " suppressed)";
+        }
+        line += '\n';
+        *console_ << line << std::flush;
+        any = true;
+    }
+    if (structured_ != nullptr && lv >= structured_min_) {
+        const std::uint64_t mono_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        *structured_ << format_log_line(lv, component, msg, fields,
+                                        rate_suppressed,
+                                        std::chrono::system_clock::now(),
+                                        mono_ns, detail::thread_slot())
+                     << '\n';
+        structured_->flush();
+        if (!*structured_) {
+            // The structured sink went bad (disk full, pipe closed):
+            // disable it after one console notice instead of failing
+            // every later line. try_write_sink-style degradation.
+            dropped_sink_.fetch_add(1, std::memory_order_relaxed);
+            if (console_ != nullptr) {
+                *console_ << "warning: [log] structured log sink failed; "
+                             "disabling\n";
+            }
+            structured_ = nullptr;
+            owned_structured_.reset();
+        } else {
+            any = true;
+        }
+    }
+    if (any) emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+logger& global_logger() {
+    static logger* g = new logger();  // immortal: call sites may log at exit
+    return *g;
+}
+
+}  // namespace lsm::obs

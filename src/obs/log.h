@@ -1,0 +1,176 @@
+// Structured logging for the long-running tools.
+//
+// Every long-lived process in this repo (the live characterization
+// daemon, a multi-hour out-of-core characterization, the simulated
+// server fleet) used to report operational events as ad-hoc
+// `std::cerr` lines. This layer gives those events one shape:
+//
+//   * leveled       — debug < info < warn < error, filtered per sink;
+//   * structured    — one JSON object per line on the structured sink
+//                     (machine-tailable: {"ts":...,"mono_ns":...,
+//                     "tid":...,"level":...,"component":...,"msg":...});
+//   * rate-limited  — each call site owns a `log_site` token bucket, so
+//                     a wedged tail or a flood of ingest errors cannot
+//                     turn the log into its own availability problem;
+//                     suppressed events are counted, and the count is
+//                     attached to the next line that gets through;
+//   * two sinks     — a console sink (default: stderr at warn, plain
+//                     "warning: [component] msg" lines, matching the
+//                     style of the pre-existing warnings) and an
+//                     optional structured JSON-lines sink (--log-out).
+//
+// Thread safety: log() may be called from any thread; each sink write
+// happens under one mutex so lines never interleave. Sink failures
+// degrade gracefully in the obs::try_write_sink spirit: a structured
+// sink whose stream goes bad is disabled with a single console warning
+// rather than throwing into the instrumented code path.
+//
+// Call sites that must stay byte-compatible with pre-logger output
+// (obs::try_write_sink's "warning: cannot write ..." contract) keep
+// writing their legacy line to their legacy stream and route only the
+// structured copy through here (log_structured()).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace lsm::obs {
+
+enum class log_level : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// "debug", "info", "warn", "error", "off".
+std::string_view log_level_name(log_level lv);
+/// Parses a level name; throws std::runtime_error on anything else.
+log_level parse_log_level(std::string_view name);
+
+/// One extra key/value attached to a structured line. Values are
+/// emitted as JSON strings (escaped); numeric callers format first.
+struct log_kv {
+    std::string_view key;
+    std::string value;
+};
+
+/// Token bucket: `rate_per_sec` refill, `burst` capacity, starts full.
+/// try_take() is explicit about time so tests are deterministic.
+class token_bucket {
+public:
+    token_bucket(double rate_per_sec, double burst)
+        : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+    bool try_take(std::chrono::steady_clock::time_point now);
+
+private:
+    std::mutex mu_;
+    double rate_;
+    double burst_;
+    double tokens_;
+    bool primed_ = false;
+    std::chrono::steady_clock::time_point last_{};
+};
+
+/// Per-call-site rate limiter state: a token bucket plus the count of
+/// events it suppressed since the last admitted one. Declared `static`
+/// at the call site (see logger::log_rated).
+class log_site {
+public:
+    explicit log_site(double rate_per_sec = 2.0, double burst = 8.0)
+        : bucket_(rate_per_sec, burst) {}
+
+    /// Returns true when the event may be emitted; false increments the
+    /// suppressed count. `taken` receives the suppressed count that the
+    /// admitted event should report (0 when nothing was dropped).
+    bool admit(std::chrono::steady_clock::time_point now,
+               std::uint64_t& taken);
+
+    std::uint64_t suppressed() const {
+        return suppressed_.load(std::memory_order_relaxed);
+    }
+
+private:
+    token_bucket bucket_;
+    std::atomic<std::uint64_t> suppressed_{0};
+};
+
+class logger {
+public:
+    logger();
+
+    /// Console sink: plain one-line rendering ("warning: [tail] ...").
+    /// nullptr disables. Default: stderr at warn.
+    void set_console(std::ostream* out, log_level min);
+    /// Structured sink: JSON lines at `min` and above. nullptr disables.
+    void set_structured(std::ostream* out, log_level min);
+    /// Opens `path` (append) as the structured sink. On failure prints a
+    /// try_write_sink-style warning to `err` and returns false, leaving
+    /// the structured sink unchanged.
+    bool open_structured(const std::string& path, log_level min,
+                         std::ostream& err);
+
+    log_level console_level() const;
+    log_level structured_level() const;
+    /// True when a line at `lv` would reach at least one sink.
+    bool enabled(log_level lv) const;
+
+    /// Emits to both sinks (each subject to its own level filter).
+    void log(log_level lv, std::string_view component, std::string_view msg,
+             std::span<const log_kv> fields = {});
+    /// Emits to the structured sink only — for call sites whose console
+    /// line is still written by legacy code that tests assert on.
+    void log_structured(log_level lv, std::string_view component,
+                        std::string_view msg,
+                        std::span<const log_kv> fields = {});
+    /// Rate-limited emit: admitted events carry a "suppressed" field
+    /// when the site dropped events since the last admitted one.
+    void log_rated(log_site& site, log_level lv, std::string_view component,
+                   std::string_view msg,
+                   std::span<const log_kv> fields = {});
+
+    /// Lifetime counters, exported as obs/log/* metrics.
+    std::uint64_t emitted() const {
+        return emitted_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t suppressed() const {
+        return suppressed_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t dropped_sink() const {
+        return dropped_sink_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void emit(log_level lv, std::string_view component, std::string_view msg,
+              std::span<const log_kv> fields, std::uint64_t rate_suppressed,
+              bool console_too);
+
+    mutable std::mutex mu_;
+    std::ostream* console_ = nullptr;
+    log_level console_min_ = log_level::warn;
+    std::ostream* structured_ = nullptr;
+    log_level structured_min_ = log_level::info;
+    std::unique_ptr<std::ostream> owned_structured_;
+    std::atomic<std::uint64_t> emitted_{0};
+    std::atomic<std::uint64_t> suppressed_{0};
+    std::atomic<std::uint64_t> dropped_sink_{0};
+};
+
+/// The process-wide logger every library call site routes through.
+/// Defaults to console-on-stderr at warn with no structured sink, so a
+/// tool that never touches it behaves exactly like the pre-logger code.
+logger& global_logger();
+
+/// Renders one structured JSON line (without trailing newline) — the
+/// exact bytes the structured sink would write, exposed for tests.
+std::string format_log_line(log_level lv, std::string_view component,
+                            std::string_view msg,
+                            std::span<const log_kv> fields,
+                            std::uint64_t rate_suppressed,
+                            std::chrono::system_clock::time_point wall,
+                            std::uint64_t mono_ns, unsigned tid);
+
+}  // namespace lsm::obs

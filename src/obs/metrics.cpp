@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "obs/timeseries.h"
 #include "obs/trace_event.h"
 
@@ -177,6 +178,18 @@ histogram& registry::get_histogram(std::string_view name,
     return *it->second;
 }
 
+void registry::set_help(std::string_view name, std::string_view help) {
+    if (help.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    help_.emplace(std::string(name), std::string(help));  // first wins
+}
+
+std::string registry::help(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = help_.find(name);
+    return it == help_.end() ? std::string() : it->second;
+}
+
 time_series& registry::get_time_series(std::string_view name,
                                        std::int64_t bucket_width) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -271,6 +284,15 @@ scoped_timer::scoped_timer(registry* reg, std::string_view name) noexcept
         return;
     }
     detail::tl_current_span = node_;
+    if (detail::profiler_enabled()) {
+        try {
+            prof_saved_ = detail::profiler_publish(*node_);
+            prof_published_ = true;
+        } catch (...) {
+            // Interning allocates; a timer must never throw. The
+            // sampler just misses this span.
+        }
+    }
     start_ = std::chrono::steady_clock::now();
 }
 
@@ -281,6 +303,7 @@ scoped_timer::~scoped_timer() {
     node_->record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count()));
+    if (prof_published_) detail::profiler_restore(prof_saved_);
     detail::tl_current_span = saved_current_;
 }
 

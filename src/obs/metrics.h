@@ -231,6 +231,28 @@ public:
     /// same name return the existing histogram and ignore `bounds`.
     histogram& get_histogram(std::string_view name,
                              std::vector<double> bounds);
+
+    /// Registration overloads that also attach a help string — emitted
+    /// as the family's `# HELP` line by the Prometheus exporter. The
+    /// first non-empty help for a name wins; later strings are ignored.
+    counter& get_counter(std::string_view name, std::string_view help) {
+        set_help(name, help);
+        return get_counter(name);
+    }
+    gauge& get_gauge(std::string_view name, std::string_view help) {
+        set_help(name, help);
+        return get_gauge(name);
+    }
+    histogram& get_histogram(std::string_view name,
+                             std::vector<double> bounds,
+                             std::string_view help) {
+        set_help(name, help);
+        return get_histogram(name, std::move(bounds));
+    }
+    /// Attaches (first-wins) a help string to a metric name.
+    void set_help(std::string_view name, std::string_view help);
+    /// The help string registered for `name`; empty when none.
+    std::string help(std::string_view name) const;
     /// Sim-time series (obs/timeseries.h). First registration fixes the
     /// bucket width; later calls return the existing series and ignore
     /// `bucket_width`. The returned series is single-writer — record
@@ -276,6 +298,7 @@ private:
         histograms_;
     std::map<std::string, std::unique_ptr<time_series>, std::less<>>
         series_;
+    std::map<std::string, std::string, std::less<>> help_;
     span_node root_;
 };
 
@@ -303,6 +326,11 @@ private:
     span_node* node_ = nullptr;
     span_node* saved_current_ = nullptr;
     tracer* tracer_ = nullptr;  // non-null iff a slice was recorded
+    // Self-profiler hook (obs/profiler.h): while a profiler runs, the
+    // timer publishes its span's interned collapsed path for the
+    // sampler and restores the previous one on destruction.
+    const std::string* prof_saved_ = nullptr;
+    bool prof_published_ = false;
     std::chrono::steady_clock::time_point start_{};
 };
 

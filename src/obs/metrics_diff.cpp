@@ -105,12 +105,14 @@ void flatten_bench_v1(const json_value& doc,
                        row.number_or("real_time", 0.0) * scale, true});
         out.push_back({base + "/cpu_time",
                        row.number_or("cpu_time", 0.0) * scale, true});
+        // "counters" may be absent or null (benchmark runners emit both
+        // shapes); only an object contributes rows.
         if (const json_value* counters = row.find("counters");
             counters != nullptr && counters->is_object()) {
             for (const auto& [cname, v] : counters->as_object()) {
                 if (v.is_number()) {
                     out.push_back({base + "/" + cname, v.as_number(),
-                                   false, is_rate_name(cname)});
+                                   false, is_rate_name(cname), base});
                 }
             }
         }
@@ -161,7 +163,16 @@ diff_result diff_metrics(const json_value& base, const json_value& test,
     for (const auto& [name, b] : base_by_name) {
         const auto it = test_by_name.find(name);
         if (it == test_by_name.end()) {
-            result.only_base.push_back(name);
+            // A bench counter whose owning row is still present on the
+            // test side didn't get renamed — it vanished. That would
+            // silently drop whatever floor it pinned, so it gates.
+            if (!b.bench_row.empty() &&
+                test_by_name.count(b.bench_row + "/real_time") > 0) {
+                result.missing_counters.push_back(name);
+                ++result.regressions;
+            } else {
+                result.only_base.push_back(name);
+            }
             continue;
         }
         diff_row row;
@@ -221,6 +232,14 @@ void print_diff(std::ostream& out, const diff_result& result,
             out << delta;
         } else if (row.test != 0.0) {
             out << "     new";
+        }
+        out << '\n';
+    }
+    if (!result.missing_counters.empty()) {
+        out << "! counters missing from test on paired rows ("
+            << result.missing_counters.size() << ", gated):";
+        for (const std::string& n : result.missing_counters) {
+            out << ' ' << n;
         }
         out << '\n';
     }

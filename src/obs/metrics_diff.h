@@ -64,6 +64,12 @@ struct diff_result {
     /// benches are routine).
     std::vector<std::string> only_base;
     std::vector<std::string> only_test;
+    /// Baseline bench-row counters whose row IS paired (its real_time
+    /// exists on both sides) but whose counter is absent from the test
+    /// row. A vanished counter is a schema change, not a rename: the
+    /// floor it pinned would otherwise rot silently, so each entry
+    /// counts as a regression.
+    std::vector<std::string> missing_counters;
 };
 
 /// One flattened scalar extracted from a document. Exposed for tests.
@@ -72,6 +78,11 @@ struct flat_metric {
     double value = 0.0;
     bool time_valued = false;
     bool rate_valued = false;
+    /// For lsm-bench-v1 per-row counters: the owning row's flattened
+    /// prefix ("bench/BM_Foo"). Empty for everything else; lets the
+    /// differ tell a missing counter on a paired row from a renamed or
+    /// deleted bench.
+    std::string bench_row;
 };
 
 /// Flattens a parsed lsm-metrics-v1 or lsm-bench-v1 document (detected

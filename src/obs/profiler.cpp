@@ -1,0 +1,175 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+
+namespace detail {
+
+namespace {
+
+constexpr unsigned k_prof_slots = 256;
+
+std::atomic<int>& enable_count() {
+    static std::atomic<int> count{0};
+    return count;
+}
+
+std::atomic<const std::string*>* slot_table() {
+    // Zero-initialized static storage: slots start null ("not in span").
+    static std::atomic<const std::string*> slots[k_prof_slots];
+    return slots;
+}
+
+/// Interns a collapsed path. Returned pointers are immortal: the pool
+/// is leaked on purpose so the sampler can read a slot published by a
+/// registry that has since been destroyed.
+const std::string* intern_path(const std::string& path) {
+    static std::mutex mu;
+    static auto* pool = new std::map<std::string, const std::string*>();
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = pool->find(path);
+    if (it == pool->end()) {
+        it = pool->emplace(path, new std::string(path)).first;
+    }
+    return it->second;
+}
+
+}  // namespace
+
+bool profiler_enabled() noexcept {
+    return enable_count().load(std::memory_order_relaxed) > 0;
+}
+
+const std::string* profiler_publish(const span_node& node) {
+    std::string collapsed = node.path();
+    for (char& ch : collapsed) {
+        if (ch == '/') ch = ';';
+    }
+    const std::string* interned = intern_path(collapsed);
+    return slot_table()[thread_slot() % k_prof_slots].exchange(
+        interned, std::memory_order_relaxed);
+}
+
+void profiler_restore(const std::string* prev) noexcept {
+    slot_table()[thread_slot() % k_prof_slots].store(
+        prev, std::memory_order_relaxed);
+}
+
+const std::string* profiler_slot(unsigned slot) noexcept {
+    return slot_table()[slot % k_prof_slots].load(
+        std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+profiler::~profiler() { stop(); }
+
+void profiler::start(options opts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    interval_ = opts.interval;
+    if (interval_ <= std::chrono::milliseconds(0)) {
+        interval_ = std::chrono::milliseconds(1);
+    }
+    stop_flag_.store(false, std::memory_order_relaxed);
+    detail::enable_count().fetch_add(1, std::memory_order_relaxed);
+    running_ = true;
+    sampler_ = std::thread([this] { run(); });
+}
+
+void profiler::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!running_) return;
+        stop_flag_.store(true, std::memory_order_relaxed);
+        cv_.notify_all();
+    }
+    sampler_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    detail::enable_count().fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool profiler::running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+}
+
+void profiler::run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_flag_.load(std::memory_order_relaxed)) {
+        cv_.wait_for(lock, interval_, [this] {
+            return stop_flag_.load(std::memory_order_relaxed);
+        });
+        if (stop_flag_.load(std::memory_order_relaxed)) break;
+        ticks_.fetch_add(1, std::memory_order_relaxed);
+        for (unsigned slot = 0; slot < 256; ++slot) {
+            const std::string* path = detail::profiler_slot(slot);
+            if (path == nullptr) continue;
+            ++counts_[path];  // mu_ held
+            samples_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> profiler::collapsed()
+    const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out.reserve(counts_.size());
+        for (const auto& [path, n] : counts_) out.emplace_back(*path, n);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void profiler::write_collapsed(std::ostream& out) const {
+    for (const auto& [path, n] : collapsed()) {
+        out << path << ' ' << n << '\n';
+    }
+}
+
+void profiler::write_top(std::ostream& out, std::size_t n) const {
+    auto rows = collapsed();
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+    });
+    if (rows.size() > n) rows.resize(n);
+    std::uint64_t total = samples();
+    if (total == 0) total = 1;
+    out << "  samples       %  span\n";
+    for (const auto& [path, count] : rows) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%9llu  %5.1f%%  ",
+                      static_cast<unsigned long long>(count),
+                      100.0 * static_cast<double>(count) /
+                          static_cast<double>(total));
+        out << buf << path << '\n';
+    }
+}
+
+void profiler::export_metrics(registry& reg) const {
+    reg.get_gauge("obs/profiler/ticks")
+        .set(static_cast<std::int64_t>(ticks()));
+    reg.get_gauge("obs/profiler/samples")
+        .set(static_cast<std::int64_t>(samples()));
+    auto rows = collapsed();
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+    });
+    if (rows.size() > 8) rows.resize(8);
+    for (const auto& [path, count] : rows) {
+        reg.get_gauge("obs/profiler/top/" + path)
+            .set(static_cast<std::int64_t>(count));
+    }
+}
+
+}  // namespace lsm::obs

@@ -1,0 +1,116 @@
+// Span-sampling self-profiler.
+//
+// A sampler thread wakes at a fixed interval and records, for every
+// worker thread, the collapsed path of the scoped_timer span that
+// thread is currently inside. The accumulated counts export directly as
+// flamegraph collapsed-stack text (`a;b;c 42`) and as a top-N table —
+// wall-clock attribution for a long-running daemon without ptrace,
+// signals, or frame-pointer walking.
+//
+// How sampling works without touching foreign thread-locals: each
+// scoped_timer, while a profiler is running, publishes an *interned*
+// collapsed-path string pointer into a fixed global slot table indexed
+// by the thread's dense slot (detail::thread_slot() % 256), and
+// restores the previous pointer on destruction. Interned strings are
+// immortal (they outlive every registry), so the sampler may read a
+// slot at any moment — including after the publishing registry died —
+// and never dereferences freed memory. Slot collisions past 256 threads
+// only blur attribution between the colliding threads.
+//
+// Cost model: with no profiler running, the publish hook is one relaxed
+// atomic load per scoped_timer construction — the existing
+// "observability is a never-taken branch" contract. While running, each
+// span enter/exit adds one interning lookup (a mutex-guarded map probe;
+// spans are per-phase, not per-record) and two relaxed stores. The
+// profiler reads pipeline state and feeds nothing back, so profiled
+// runs stay byte-identical to unprofiled runs — the
+// ObservabilityHooksDoNotPerturbOutputs pin covers it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lsm::obs {
+
+class registry;
+class span_node;
+
+namespace detail {
+/// True while at least one profiler is running (relaxed; the fast-path
+/// guard every scoped_timer takes).
+bool profiler_enabled() noexcept;
+/// Publishes `node`'s interned collapsed path in the calling thread's
+/// slot; returns the previous slot value for profiler_restore().
+const std::string* profiler_publish(const span_node& node);
+/// Restores the slot to the value profiler_publish returned.
+void profiler_restore(const std::string* prev) noexcept;
+/// The sampler's view of one slot (test hook).
+const std::string* profiler_slot(unsigned slot) noexcept;
+}  // namespace detail
+
+class profiler {
+public:
+    struct options {
+        /// Sampling period. 10ms ≈ 100Hz, the usual profiling default.
+        std::chrono::milliseconds interval{10};
+    };
+
+    profiler() = default;
+    ~profiler();
+    profiler(const profiler&) = delete;
+    profiler& operator=(const profiler&) = delete;
+
+    /// Starts the sampler thread. No-op if already running.
+    void start(options opts);
+    void start() { start(options{}); }
+    /// Stops and joins the sampler. Accumulated counts are kept.
+    void stop();
+    bool running() const;
+
+    /// Sampling passes completed.
+    std::uint64_t ticks() const {
+        return ticks_.load(std::memory_order_relaxed);
+    }
+    /// In-span thread observations recorded (one per occupied slot per
+    /// tick).
+    std::uint64_t samples() const {
+        return samples_.load(std::memory_order_relaxed);
+    }
+
+    /// Collapsed-stack counts, sorted by path.
+    std::vector<std::pair<std::string, std::uint64_t>> collapsed() const;
+
+    /// Flamegraph collapsed format: one "path;to;span <count>" per line.
+    void write_collapsed(std::ostream& out) const;
+    /// Human-readable top-N table by sample count.
+    void write_top(std::ostream& out, std::size_t n) const;
+    /// Publishes obs/profiler/{ticks,samples} gauges plus one
+    /// obs/profiler/top/<collapsed-path> gauge per top-8 stack into
+    /// `reg`, so profiler state rides along in metrics snapshots.
+    void export_metrics(registry& reg) const;
+
+private:
+    void run();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;  // wakes the sampler for prompt stop()
+    std::thread sampler_;
+    std::atomic<bool> stop_flag_{false};
+    bool running_ = false;
+    std::chrono::milliseconds interval_{10};
+    std::atomic<std::uint64_t> ticks_{0};
+    std::atomic<std::uint64_t> samples_{0};
+    /// Keyed by interned pointer — pointer identity is path identity.
+    std::map<const std::string*, std::uint64_t> counts_;
+};
+
+}  // namespace lsm::obs

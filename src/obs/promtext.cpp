@@ -1,0 +1,340 @@
+#include "obs/promtext.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace lsm::obs {
+
+namespace {
+
+bool is_name_start(char ch) {
+    return std::isalpha(static_cast<unsigned char>(ch)) != 0 ||
+           ch == '_' || ch == ':';
+}
+bool is_name_char(char ch) {
+    return is_name_start(ch) ||
+           std::isdigit(static_cast<unsigned char>(ch)) != 0;
+}
+bool is_label_start(char ch) {
+    return std::isalpha(static_cast<unsigned char>(ch)) != 0 || ch == '_';
+}
+bool is_label_char(char ch) {
+    return is_label_start(ch) ||
+           std::isdigit(static_cast<unsigned char>(ch)) != 0;
+}
+
+bool valid_float(std::string_view tok) {
+    if (tok.empty()) return false;
+    std::string_view body = tok;
+    if (body.front() == '+' || body.front() == '-') body.remove_prefix(1);
+    if (body == "Inf" || body == "inf" || body == "NaN" || body == "nan") {
+        return true;
+    }
+    const std::string s(tok);
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+struct family_state {
+    bool saw_help = false;
+    bool saw_type = false;
+    std::string type;  // empty until TYPE seen
+    bool saw_samples = false;
+    bool closed = false;  // a different family's lines appeared after
+    // histogram completeness
+    bool saw_bucket = false;
+    bool saw_bucket_le = false;
+    bool saw_sum = false;
+    bool saw_count = false;
+};
+
+struct validator {
+    std::vector<promtext_issue> issues;
+    std::map<std::string, family_state> families;
+    std::set<std::string> seen_series;  // name{labels} duplicates
+    std::string current_family;
+
+    void issue(std::size_t line, std::string msg) {
+        issues.push_back({line, std::move(msg)});
+    }
+
+    family_state& enter_family(std::size_t line_no,
+                               const std::string& fam) {
+        family_state& st = families[fam];
+        if (fam != current_family) {
+            if (st.closed) {
+                issue(line_no, "lines for family '" + fam +
+                                   "' are not consecutive");
+                st.closed = false;  // report the interleave once
+            }
+            if (!current_family.empty()) {
+                families[current_family].closed = true;
+            }
+            current_family = fam;
+        }
+        return st;
+    }
+
+    /// The declared family a sample name belongs to: its own name, or a
+    /// typed histogram/summary family it extends with a known suffix.
+    std::string family_of_sample(const std::string& name) {
+        for (std::string_view suffix :
+             {"_bucket", "_sum", "_count", "_total"}) {
+            if (name.size() > suffix.size() &&
+                name.compare(name.size() - suffix.size(), suffix.size(),
+                             suffix) == 0) {
+                const std::string base =
+                    name.substr(0, name.size() - suffix.size());
+                const auto it = families.find(base);
+                if (it != families.end() && it->second.saw_type &&
+                    (it->second.type == "histogram" ||
+                     it->second.type == "summary" ||
+                     (suffix == "_total" &&
+                      it->second.type == "counter"))) {
+                    return base;
+                }
+            }
+        }
+        return name;
+    }
+
+    void check_comment(std::size_t line_no, std::string_view line) {
+        // "# HELP name docstring" / "# TYPE name kind"; any other
+        // comment is free-form and ignored.
+        std::string_view rest = line.substr(1);
+        while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+        const bool is_help = rest.rfind("HELP ", 0) == 0;
+        const bool is_type = rest.rfind("TYPE ", 0) == 0;
+        if (!is_help && !is_type) return;
+        rest.remove_prefix(5);
+        std::size_t i = 0;
+        if (rest.empty() || !is_name_start(rest[0])) {
+            issue(line_no, std::string(is_help ? "HELP" : "TYPE") +
+                               " line with invalid metric name");
+            return;
+        }
+        while (i < rest.size() && is_name_char(rest[i])) ++i;
+        const std::string name(rest.substr(0, i));
+        if (i < rest.size() && rest[i] != ' ') {
+            issue(line_no, "invalid character in metric name on " +
+                               std::string(is_help ? "HELP" : "TYPE") +
+                               " line");
+            return;
+        }
+        std::string_view body =
+            i < rest.size() ? rest.substr(i + 1) : std::string_view{};
+        family_state& st = enter_family(line_no, name);
+        if (is_help) {
+            if (st.saw_help) {
+                issue(line_no, "second HELP line for family '" + name + "'");
+            }
+            st.saw_help = true;
+            for (std::size_t k = 0; k < body.size(); ++k) {
+                if (body[k] != '\\') continue;
+                if (k + 1 >= body.size() ||
+                    (body[k + 1] != '\\' && body[k + 1] != 'n')) {
+                    issue(line_no, "invalid escape in HELP docstring of '" +
+                                       name + "'");
+                    break;
+                }
+                ++k;
+            }
+        } else {
+            if (st.saw_type) {
+                issue(line_no, "second TYPE line for family '" + name + "'");
+            }
+            if (st.saw_samples) {
+                issue(line_no,
+                      "TYPE line after samples of family '" + name + "'");
+            }
+            st.saw_type = true;
+            const std::string kind(body);
+            if (kind != "counter" && kind != "gauge" &&
+                kind != "histogram" && kind != "summary" &&
+                kind != "untyped") {
+                issue(line_no, "unknown TYPE '" + kind + "' for family '" +
+                                   name + "'");
+            }
+            st.type = kind;
+        }
+    }
+
+    void check_sample(std::size_t line_no, std::string_view line) {
+        std::size_t i = 0;
+        if (!is_name_start(line[0])) {
+            issue(line_no, "sample line does not start with a metric name");
+            return;
+        }
+        while (i < line.size() && is_name_char(line[i])) ++i;
+        const std::string name(line.substr(0, i));
+        std::string labels_key;
+        bool has_le = false;
+        if (i < line.size() && line[i] == '{') {
+            const std::size_t label_start = i;
+            ++i;
+            while (true) {
+                if (i >= line.size()) {
+                    issue(line_no, "unterminated label set");
+                    return;
+                }
+                if (line[i] == '}') {
+                    ++i;
+                    break;
+                }
+                if (!is_label_start(line[i])) {
+                    issue(line_no, "invalid label name");
+                    return;
+                }
+                const std::size_t lname_start = i;
+                while (i < line.size() && is_label_char(line[i])) ++i;
+                const std::string_view lname =
+                    line.substr(lname_start, i - lname_start);
+                if (i >= line.size() || line[i] != '=') {
+                    issue(line_no, "label without '=' value");
+                    return;
+                }
+                ++i;
+                if (i >= line.size() || line[i] != '"') {
+                    issue(line_no, "label value is not quoted");
+                    return;
+                }
+                ++i;
+                while (i < line.size() && line[i] != '"') {
+                    if (line[i] == '\\') {
+                        if (i + 1 >= line.size() ||
+                            (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                             line[i + 1] != 'n')) {
+                            issue(line_no,
+                                  "invalid escape in label value");
+                            return;
+                        }
+                        ++i;
+                    } else if (line[i] == '\n') {
+                        issue(line_no, "raw newline in label value");
+                        return;
+                    }
+                    ++i;
+                }
+                if (i >= line.size()) {
+                    issue(line_no, "unterminated label value");
+                    return;
+                }
+                ++i;  // closing quote
+                if (lname == "le") has_le = true;
+                if (i < line.size() && line[i] == ',') ++i;
+                else if (i < line.size() && line[i] != '}') {
+                    issue(line_no, "expected ',' or '}' after label");
+                    return;
+                }
+            }
+            labels_key = std::string(
+                line.substr(label_start, i - label_start));
+        }
+        if (i >= line.size() || line[i] != ' ') {
+            issue(line_no, "missing value on sample line");
+            return;
+        }
+        while (i < line.size() && line[i] == ' ') ++i;
+        std::size_t val_end = i;
+        while (val_end < line.size() && line[val_end] != ' ') ++val_end;
+        const std::string_view value = line.substr(i, val_end - i);
+        if (!valid_float(value)) {
+            issue(line_no,
+                  "unparsable sample value '" + std::string(value) + "'");
+        }
+        // Optional integer timestamp.
+        i = val_end;
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i < line.size()) {
+            std::size_t ts = i;
+            if (line[ts] == '-' || line[ts] == '+') ++ts;
+            bool digits = false;
+            while (ts < line.size() &&
+                   std::isdigit(static_cast<unsigned char>(line[ts]))) {
+                ++ts;
+                digits = true;
+            }
+            if (!digits || ts != line.size()) {
+                issue(line_no, "trailing garbage after sample value");
+            }
+        }
+
+        const std::string fam = family_of_sample(name);
+        family_state& st = enter_family(line_no, fam);
+        st.saw_samples = true;
+        if (st.saw_type && st.type == "histogram" && fam != name) {
+            if (name.size() >= 7 &&
+                name.compare(name.size() - 7, 7, "_bucket") == 0) {
+                st.saw_bucket = true;
+                if (has_le) st.saw_bucket_le = true;
+                else {
+                    issue(line_no, "histogram _bucket sample without an "
+                                   "'le' label");
+                }
+            } else if (name.size() >= 4 &&
+                       name.compare(name.size() - 4, 4, "_sum") == 0) {
+                st.saw_sum = true;
+            } else {
+                st.saw_count = true;
+            }
+        }
+        if (!seen_series.insert(name + labels_key).second) {
+            issue(line_no, "duplicate sample '" + name + labels_key + "'");
+        }
+    }
+
+    void finish() {
+        for (const auto& [fam, st] : families) {
+            if (!st.saw_type || st.type != "histogram" || !st.saw_samples) {
+                continue;
+            }
+            if (!st.saw_bucket) {
+                issues.push_back(
+                    {0, "histogram family '" + fam + "' has no _bucket "
+                        "series"});
+            }
+            if (!st.saw_sum) {
+                issues.push_back(
+                    {0, "histogram family '" + fam + "' has no _sum "
+                        "series"});
+            }
+            if (!st.saw_count) {
+                issues.push_back(
+                    {0, "histogram family '" + fam + "' has no _count "
+                        "series"});
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<promtext_issue> validate_promtext(std::string_view text) {
+    validator v;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string_view line =
+            nl == std::string_view::npos ? text.substr(pos)
+                                         : text.substr(pos, nl - pos);
+        ++line_no;
+        if (nl == std::string_view::npos && line.empty()) break;
+        if (!line.empty()) {
+            if (line.front() == '#') {
+                v.check_comment(line_no, line);
+            } else {
+                v.check_sample(line_no, line);
+            }
+        }
+        if (nl == std::string_view::npos) break;
+        pos = nl + 1;
+    }
+    v.finish();
+    return v.issues;
+}
+
+}  // namespace lsm::obs

@@ -1,0 +1,37 @@
+// Minimal validator for the Prometheus text exposition format.
+//
+// CI scrapes a live daemon and needs to know the bytes are something a
+// real Prometheus server would ingest, without adding a dependency.
+// This checks the format rules that actually bite exporters:
+//
+//   * sample lines parse as `name{labels} value [timestamp]` with legal
+//     metric/label names, quoted label values using only the three
+//     legal escapes (\\, \", \n), and a float-parsable value
+//     (including +Inf/-Inf/NaN);
+//   * `# HELP` / `# TYPE` lines are well-formed, appear at most once
+//     per metric family, and TYPE names one of the five known kinds;
+//   * all samples of a family are consecutive (no interleaving), TYPE
+//     precedes the family's first sample, and histogram families expose
+//     `_bucket` (with an `le` label), `_sum`, and `_count` series.
+//
+// It is a validator, not a parser: it reports issues with line numbers
+// and leaves interpretation to the scraper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsm::obs {
+
+struct promtext_issue {
+    std::size_t line;  // 1-based
+    std::string message;
+};
+
+/// Validates `text` against the exposition format; an empty result
+/// means the document is acceptable.
+std::vector<promtext_issue> validate_promtext(std::string_view text);
+
+}  // namespace lsm::obs

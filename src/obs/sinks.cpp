@@ -8,6 +8,8 @@
 #include <string_view>
 #include <system_error>
 
+#include "obs/log.h"
+
 namespace lsm::obs {
 
 bool try_write_sink(const std::string& what, const std::string& path,
@@ -16,8 +18,15 @@ bool try_write_sink(const std::string& what, const std::string& path,
         write();
         return true;
     } catch (const std::exception& e) {
+        // The console line is a compatibility contract (callers and
+        // tests grep for it); the structured sink gets a tagged copy.
         err << "warning: cannot write " << what << " to " << path << ": "
             << e.what() << "\n";
+        const log_kv fields[] = {{"what", what},
+                                 {"path", path},
+                                 {"error", e.what()}};
+        global_logger().log_structured(log_level::warn, "sink",
+                                       "cannot write " + what, fields);
         return false;
     }
 }

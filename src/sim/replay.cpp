@@ -27,7 +27,10 @@ serve_result replay_trace(const trace& t, const server_config& cfg,
     // map (null when metrics are off).
     obs::gauge* m_queue_depth =
         cfg.metrics != nullptr
-            ? &cfg.metrics->get_gauge("sim/replay/event_queue_depth")
+            ? &cfg.metrics->get_gauge(
+                  "sim/replay/event_queue_depth",
+                  "Pending departure events in the replay engine's "
+                  "queue.")
             : nullptr;
     // Sim-time series, sampled at arrivals (single-writer: this sweep
     // is serial). Bandwidth is recorded as the emitted bits of each

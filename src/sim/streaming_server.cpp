@@ -15,10 +15,16 @@ streaming_server::streaming_server(const server_config& cfg) : cfg_(cfg) {
     LSM_EXPECTS(cfg.nic_capacity_bps >= 0.0);
     LSM_EXPECTS(cfg.series_bucket_width > 0);
     if (cfg_.metrics != nullptr) {
-        m_admitted_ = &cfg_.metrics->get_counter("sim/server/admitted");
-        m_rejected_ = &cfg_.metrics->get_counter("sim/server/rejected");
-        m_concurrency_ =
-            &cfg_.metrics->get_gauge("sim/server/concurrent_streams");
+        m_admitted_ = &cfg_.metrics->get_counter(
+            "sim/server/admitted",
+            "Transfers admitted by the server's CPU/NIC admission "
+            "control.");
+        m_rejected_ = &cfg_.metrics->get_counter(
+            "sim/server/rejected",
+            "Transfers rejected at admission (CPU or NIC saturated).");
+        m_concurrency_ = &cfg_.metrics->get_gauge(
+            "sim/server/concurrent_streams",
+            "Streams concurrently being served.");
         const seconds_t w = cfg_.series_bucket_width;
         s_admitted_ = &cfg_.metrics->get_time_series(
             "sim/server/admitted_per_bucket", w);

@@ -4,6 +4,7 @@
 // 1, 2, and 8 threads on the same seed and assert byte-level equality.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "core/trace_io.h"
 #include "gismo/live_generator.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_event.h"
 #include "world/world_sim.h"
 
@@ -187,6 +189,13 @@ TEST(Determinism, ObservabilityHooksDoNotPerturbOutputs) {
         obs::registry reg;
         obs::tracer exec_tracer;
         obs::global_tracer_guard guard(&exec_tracer);
+        // The span-sampling profiler is the most intrusive observer —
+        // every scoped_timer publishes its path while one runs — so it
+        // must also leave outputs byte-identical.
+        obs::profiler prof;
+        obs::profiler::options popts;
+        popts.interval = std::chrono::milliseconds(1);
+        prof.start(popts);
 
         world::world_config wc = wcfg;
         wc.threads = threads;
@@ -208,6 +217,8 @@ TEST(Determinism, ObservabilityHooksDoNotPerturbOutputs) {
         // The hooks must actually have observed the run.
         EXPECT_GT(exec_tracer.recorded(), 0U);
         EXPECT_FALSE(reg.series().empty());
+        prof.stop();
+        EXPECT_GT(prof.ticks(), 0U);
     }
 }
 

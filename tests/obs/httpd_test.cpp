@@ -1,0 +1,207 @@
+#include "obs/httpd.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define LSM_TEST_HAVE_SOCKETS 1
+#endif
+
+namespace lsm::obs {
+namespace {
+
+#if defined(LSM_TEST_HAVE_SOCKETS)
+/// Sends `request` bytes to 127.0.0.1:`port` and returns everything the
+/// server wrote before closing (the server is Connection: close).
+std::string raw_round_trip(std::uint16_t port, const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        ::close(fd);
+        return "";
+    }
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+    return raw_round_trip(port, "GET " + path +
+                                    " HTTP/1.1\r\n"
+                                    "Host: localhost\r\n"
+                                    "Connection: close\r\n\r\n");
+}
+#endif
+
+TEST(Httpd, EphemeralPortBindAndDiscovery) {
+    if (!httpd::supported()) GTEST_SKIP() << "no POSIX sockets";
+    httpd server;
+    server.handle("/ping", [](const http_request&) {
+        http_response r;
+        r.body = "pong\n";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &err)) << err;
+    EXPECT_NE(server.port(), 0);
+#if defined(LSM_TEST_HAVE_SOCKETS)
+    const std::string resp = get(server.port(), "/ping");
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+    EXPECT_NE(resp.find("\r\n\r\npong\n"), std::string::npos) << resp;
+#endif
+    server.stop();
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.port(), 0);
+}
+
+TEST(Httpd, RoutesQueryAndMethodHandling) {
+    if (!httpd::supported()) GTEST_SKIP() << "no POSIX sockets";
+    httpd server;
+    server.handle("/echo", [](const http_request& req) {
+        http_response r;
+        r.body = req.method + " " + req.path + " q=" + req.query + "\n";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &err)) << err;
+#if defined(LSM_TEST_HAVE_SOCKETS)
+    const std::string ok = get(server.port(), "/echo?x=1");
+    EXPECT_NE(ok.find("GET /echo q=x=1"), std::string::npos) << ok;
+    const std::string missing = get(server.port(), "/nope");
+    EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos) << missing;
+    const std::string post = raw_round_trip(
+        server.port(), "POST /echo HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+    // HEAD gets headers but no body.
+    const std::string head = raw_round_trip(
+        server.port(), "HEAD /echo HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos) << head;
+    EXPECT_TRUE(head.ends_with("\r\n\r\n")) << head;
+#endif
+    server.stop();
+}
+
+TEST(Httpd, MalformedAndOversizeRequestsGet400) {
+    if (!httpd::supported()) GTEST_SKIP() << "no POSIX sockets";
+    httpd server;
+    server.handle("/x", [](const http_request&) { return http_response{}; });
+    std::string err;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &err)) << err;
+#if defined(LSM_TEST_HAVE_SOCKETS)
+    const std::string bogus =
+        raw_round_trip(server.port(), "BOGUS\r\n\r\n");
+    EXPECT_NE(bogus.find("HTTP/1.1 400"), std::string::npos) << bogus;
+    // A request head past the 8 KiB cap is rejected without a handler
+    // ever running.
+    std::string oversize = "GET /x";
+    oversize.append(10000, 'a');
+    oversize += " HTTP/1.1\r\n\r\n";
+    const std::string big = raw_round_trip(server.port(), oversize);
+    EXPECT_NE(big.find("HTTP/1.1 400"), std::string::npos) << big;
+#endif
+    server.stop();
+}
+
+TEST(Httpd, ConcurrentScrapesAllSucceed) {
+    if (!httpd::supported()) GTEST_SKIP() << "no POSIX sockets";
+    httpd server;
+    std::atomic<int> calls{0};
+    server.handle("/metrics", [&](const http_request&) {
+        calls.fetch_add(1);
+        http_response r;
+        r.body = "lsm_up 1\n";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &err)) << err;
+#if defined(LSM_TEST_HAVE_SOCKETS)
+    constexpr int k_clients = 8;
+    std::vector<std::thread> clients;
+    std::atomic<int> ok{0};
+    clients.reserve(k_clients);
+    for (int i = 0; i < k_clients; ++i) {
+        clients.emplace_back([&] {
+            const std::string resp = get(server.port(), "/metrics");
+            if (resp.find("HTTP/1.1 200 OK") != std::string::npos &&
+                resp.find("lsm_up 1") != std::string::npos) {
+                ok.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(ok.load(), k_clients);
+    EXPECT_EQ(calls.load(), k_clients);
+    EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(
+                                            k_clients));
+#endif
+    server.stop();
+}
+
+TEST(Httpd, GracefulShutdownWaitsForInFlightConnection) {
+    if (!httpd::supported()) GTEST_SKIP() << "no POSIX sockets";
+    httpd server;
+    std::atomic<bool> entered{false};
+    server.handle("/slow", [&](const http_request&) {
+        entered.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        http_response r;
+        r.body = "done\n";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start("127.0.0.1", 0, &err)) << err;
+#if defined(LSM_TEST_HAVE_SOCKETS)
+    const std::uint16_t port = server.port();
+    std::string resp;
+    std::thread client([&] { resp = get(port, "/slow"); });
+    while (!entered.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // stop() must wait for the in-flight handler, so the client still
+    // receives its complete response.
+    server.stop();
+    client.join();
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+    EXPECT_NE(resp.find("done"), std::string::npos) << resp;
+#endif
+    server.stop();  // idempotent
+}
+
+TEST(Httpd, StartFailureReportsError) {
+    if (!httpd::supported()) GTEST_SKIP() << "no POSIX sockets";
+    httpd server;
+    std::string err;
+    EXPECT_FALSE(server.start("256.1.1.1", 0, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace lsm::obs

@@ -1,0 +1,195 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace lsm::obs {
+namespace {
+
+using std::chrono::seconds;
+using std::chrono::steady_clock;
+
+TEST(LogLevel, NamesRoundTrip) {
+    for (log_level lv : {log_level::debug, log_level::info, log_level::warn,
+                         log_level::error, log_level::off}) {
+        EXPECT_EQ(parse_log_level(log_level_name(lv)), lv);
+    }
+    EXPECT_THROW(parse_log_level("loud"), std::runtime_error);
+}
+
+TEST(TokenBucket, DeterministicWithExplicitTime) {
+    token_bucket bucket(1.0, 2.0);  // 1 token/s refill, burst of 2
+    const auto t0 = steady_clock::time_point{};
+    EXPECT_TRUE(bucket.try_take(t0));
+    EXPECT_TRUE(bucket.try_take(t0));
+    EXPECT_FALSE(bucket.try_take(t0));  // burst exhausted
+    EXPECT_TRUE(bucket.try_take(t0 + seconds(1)));  // one refilled
+    EXPECT_FALSE(bucket.try_take(t0 + seconds(1)));
+    // Refill caps at the burst: a long quiet period grants 2, not 10.
+    EXPECT_TRUE(bucket.try_take(t0 + seconds(11)));
+    EXPECT_TRUE(bucket.try_take(t0 + seconds(11)));
+    EXPECT_FALSE(bucket.try_take(t0 + seconds(11)));
+}
+
+TEST(LogSite, CountsSuppressedAndReportsOnNextAdmit) {
+    log_site site(1.0, 1.0);
+    const auto t0 = steady_clock::time_point{};
+    std::uint64_t taken = 99;
+    EXPECT_TRUE(site.admit(t0, taken));
+    EXPECT_EQ(taken, 0U);
+    EXPECT_FALSE(site.admit(t0, taken));
+    EXPECT_FALSE(site.admit(t0, taken));
+    EXPECT_EQ(site.suppressed(), 2U);
+    // The next admitted event carries the drop count and resets it.
+    EXPECT_TRUE(site.admit(t0 + seconds(5), taken));
+    EXPECT_EQ(taken, 2U);
+    EXPECT_EQ(site.suppressed(), 0U);
+}
+
+TEST(LogFormat, StructuredLineBytesArePinned) {
+    const auto wall = std::chrono::system_clock::time_point{} +
+                      std::chrono::milliseconds(86400123);  // 1970-01-02
+    const log_kv fields[] = {{"path", "/tmp/a.log"}, {"n", "3"}};
+    const std::string line =
+        format_log_line(log_level::warn, "tail", "truncated", fields,
+                        /*rate_suppressed=*/2, wall, /*mono_ns=*/42,
+                        /*tid=*/7);
+    EXPECT_EQ(line,
+              "{\"ts\":\"1970-01-02T00:00:00.123Z\",\"mono_ns\":42,"
+              "\"tid\":7,\"level\":\"warn\",\"component\":\"tail\","
+              "\"msg\":\"truncated\",\"suppressed\":2,"
+              "\"path\":\"/tmp/a.log\",\"n\":\"3\"}");
+}
+
+TEST(LogFormat, EscapesHostileBytes) {
+    const log_kv fields[] = {{"k", "a\"b\\c\nd\te\x01"}};
+    const std::string line = format_log_line(
+        log_level::info, "c", "m", fields, 0,
+        std::chrono::system_clock::time_point{}, 0, 0);
+    EXPECT_NE(line.find("\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\""),
+              std::string::npos)
+        << line;
+}
+
+TEST(Logger, LevelFiltersAndConsoleRendering) {
+    logger lg;
+    std::ostringstream console;
+    std::ostringstream structured;
+    lg.set_console(&console, log_level::warn);
+    lg.set_structured(&structured, log_level::debug);
+
+    const log_kv fields[] = {{"path", "x.log"}};
+    lg.log(log_level::info, "tail", "rotated", fields);
+    // info is below the console threshold but reaches the structured
+    // sink.
+    EXPECT_TRUE(console.str().empty()) << console.str();
+    EXPECT_NE(structured.str().find("\"level\":\"info\""),
+              std::string::npos);
+
+    lg.log(log_level::warn, "tail", "truncated", fields);
+    EXPECT_EQ(console.str(), "warning: [tail] truncated path=x.log\n");
+    EXPECT_EQ(lg.emitted(), 2U);
+
+    lg.log(log_level::error, "tail", "gone");
+    EXPECT_NE(console.str().find("error: [tail] gone\n"),
+              std::string::npos);
+}
+
+TEST(Logger, StructuredOnlyKeepsConsoleSilent) {
+    logger lg;
+    std::ostringstream console;
+    std::ostringstream structured;
+    lg.set_console(&console, log_level::debug);
+    lg.set_structured(&structured, log_level::debug);
+    lg.log_structured(log_level::warn, "sink", "cannot write metrics");
+    EXPECT_TRUE(console.str().empty()) << console.str();
+    EXPECT_NE(structured.str().find("cannot write metrics"),
+              std::string::npos);
+}
+
+TEST(Logger, RateLimitedSiteSuppressesFloods) {
+    logger lg;
+    std::ostringstream console;
+    lg.set_console(&console, log_level::debug);
+    lg.set_structured(nullptr, log_level::off);
+    // Zero refill: exactly `burst` lines ever get through this site.
+    log_site site(0.0, 2.0);
+    for (int i = 0; i < 10; ++i) {
+        lg.log_rated(site, log_level::warn, "tail", "stuck");
+    }
+    EXPECT_EQ(lg.emitted(), 2U);
+    EXPECT_EQ(lg.suppressed(), 8U);
+    EXPECT_EQ(site.suppressed(), 8U);
+}
+
+TEST(Logger, DisabledLevelsDoNotConsumeTokens) {
+    logger lg;
+    lg.set_console(nullptr, log_level::off);
+    lg.set_structured(nullptr, log_level::off);
+    log_site site(0.0, 1.0);
+    for (int i = 0; i < 5; ++i) {
+        lg.log_rated(site, log_level::warn, "tail", "stuck");
+    }
+    // Nothing enabled: the site's budget is untouched for when a sink
+    // comes back.
+    EXPECT_EQ(site.suppressed(), 0U);
+    EXPECT_EQ(lg.emitted(), 0U);
+}
+
+TEST(Logger, BadStructuredSinkDegradesOnce) {
+    logger lg;
+    std::ostringstream console;
+    std::ostringstream structured;
+    lg.set_console(&console, log_level::debug);
+    lg.set_structured(&structured, log_level::debug);
+    structured.setstate(std::ios::badbit);
+    lg.log(log_level::warn, "tail", "one");
+    lg.log(log_level::warn, "tail", "two");
+    EXPECT_EQ(lg.dropped_sink(), 1U);
+    EXPECT_NE(console.str().find("structured log sink failed"),
+              std::string::npos)
+        << console.str();
+    // The sink was disabled, not retried: later lines still reach the
+    // console and count as emitted.
+    EXPECT_EQ(lg.emitted(), 2U);
+}
+
+TEST(Logger, OpenStructuredRejectsUnwritablePath) {
+    logger lg;
+    std::ostringstream err;
+    EXPECT_FALSE(lg.open_structured("/nonexistent-dir/x/y.jsonl",
+                                    log_level::debug, err));
+    EXPECT_NE(err.str().find("warning: cannot write log"),
+              std::string::npos)
+        << err.str();
+}
+
+TEST(Logger, OpenStructuredWritesJsonLines) {
+    const std::string path =
+        testing::TempDir() + "/lsm_log_test_lines.jsonl";
+    std::remove(path.c_str());
+    logger lg;
+    lg.set_console(nullptr, log_level::off);
+    std::ostringstream err;
+    ASSERT_TRUE(lg.open_structured(path, log_level::debug, err))
+        << err.str();
+    const log_kv fields[] = {{"k", "v"}};
+    lg.log(log_level::info, "test", "hello", fields);
+    lg.set_structured(nullptr, log_level::off);  // close the file
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("\"component\":\"test\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"msg\":\"hello\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"k\":\"v\""), std::string::npos) << line;
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsm::obs

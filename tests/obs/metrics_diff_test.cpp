@@ -290,6 +290,64 @@ TEST(MetricsDiff, GateAllKeepsTheTimerNoiseFloor) {
     EXPECT_EQ(diff_metrics(base, slow, opts).regressions, 0U);
 }
 
+TEST(MetricsDiff, MissingCounterOnPairedBenchRowGates) {
+    // The row exists on both sides, but the candidate stopped reporting
+    // the MB/s counter the baseline pins. Letting it fall into
+    // only_base would pass the gate with the throughput floor gone.
+    const json_value base = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_X","real_time":2.0,"cpu_time":1.5,)"
+        R"("time_unit":"ms","counters":{"MB/s":100}}]})");
+    const json_value test = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_X","real_time":2.0,"cpu_time":1.5,)"
+        R"("time_unit":"ms"}]})");
+    const diff_result r = diff_metrics(base, test, diff_options{});
+    ASSERT_EQ(r.missing_counters.size(), 1U);
+    EXPECT_EQ(r.missing_counters[0], "bench/BM_X/MB/s");
+    EXPECT_EQ(r.regressions, 1U);
+    EXPECT_TRUE(r.only_base.empty());
+    std::ostringstream out;
+    print_diff(out, r, diff_options{});
+    EXPECT_NE(out.str().find("counters missing from test"),
+              std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("bench/BM_X/MB/s"), std::string::npos)
+        << out.str();
+}
+
+TEST(MetricsDiff, NullCountersMemberDoesNotCrashAndGates) {
+    // Some benchmark runners emit "counters": null instead of omitting
+    // the member; flattening must not crash, and the vanished counter
+    // still gates because the row itself is paired.
+    const json_value base = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_X","real_time":2.0,"cpu_time":1.5,)"
+        R"("time_unit":"ms","counters":{"MB/s":100}}]})");
+    const json_value test = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_X","real_time":2.0,"cpu_time":1.5,)"
+        R"("time_unit":"ms","counters":null}]})");
+    const diff_result r = diff_metrics(base, test, diff_options{});
+    EXPECT_EQ(r.missing_counters.size(), 1U);
+    EXPECT_EQ(r.regressions, 1U);
+}
+
+TEST(MetricsDiff, DeletedBenchRowStaysUngatedWithItsCounters) {
+    // The whole row vanished — a rename or retired bench. Its counters
+    // must NOT gate; they travel with the row into only_base.
+    const json_value base = parse_json(
+        R"({"schema":"lsm-bench-v1","rows":[)"
+        R"({"name":"BM_Gone","real_time":2.0,"cpu_time":1.5,)"
+        R"("time_unit":"ms","counters":{"MB/s":100}}]})");
+    const json_value test =
+        parse_json(R"({"schema":"lsm-bench-v1","rows":[]})");
+    const diff_result r = diff_metrics(base, test, diff_options{});
+    EXPECT_TRUE(r.missing_counters.empty());
+    EXPECT_EQ(r.regressions, 0U);
+    EXPECT_EQ(r.only_base.size(), 3U);
+}
+
 TEST(MetricsDiff, PrintDiffMarksRegressedRows) {
     const json_value base = parse_json(metrics_doc(2e7));
     const json_value slow = parse_json(metrics_doc(3e7));

@@ -269,11 +269,50 @@ TEST(Exporters, PrometheusTextShape) {
     std::ostringstream out;
     reg.write_prometheus(out);
     const std::string s = out.str();
-    EXPECT_NE(s.find("lsm_counter{name=\"a/b\"} 2"), std::string::npos);
-    EXPECT_NE(s.find("lsm_gauge{name=\"g\"} -1"), std::string::npos);
-    EXPECT_NE(s.find("le=\"+Inf\""), std::string::npos);
+    // Per-metric families: sanitized name, TYPE header, hierarchical
+    // name preserved in the `name` label.
+    EXPECT_NE(s.find("# TYPE lsm_a_b counter"), std::string::npos) << s;
+    EXPECT_NE(s.find("lsm_a_b{name=\"a/b\"} 2"), std::string::npos) << s;
+    EXPECT_NE(s.find("# TYPE lsm_g gauge"), std::string::npos) << s;
+    EXPECT_NE(s.find("lsm_g{name=\"g\"} -1"), std::string::npos) << s;
+    EXPECT_NE(s.find("lsm_g_max{name=\"g\"} 0"), std::string::npos) << s;
+    EXPECT_NE(s.find("# TYPE lsm_h histogram"), std::string::npos) << s;
+    EXPECT_NE(s.find("lsm_h_bucket{name=\"h\",le=\"+Inf\"} 1"),
+              std::string::npos)
+        << s;
+    EXPECT_NE(s.find("lsm_h_count{name=\"h\"} 1"), std::string::npos) << s;
     EXPECT_NE(s.find("lsm_span_wall_seconds{path=\"phase\"}"),
               std::string::npos);
+    EXPECT_NE(s.find("# TYPE lsm_span_count gauge"), std::string::npos)
+        << s;
+}
+
+TEST(Exporters, PrometheusHelpLinesAndCollisionMerge) {
+    registry reg;
+    reg.get_counter("world/records", "Records emitted by the world sim.")
+        .add(5);
+    // Two distinct hierarchical names that sanitize to one family name
+    // share the family; the `name` label keeps them apart.
+    reg.get_counter("a/b").add(1);
+    reg.get_counter("a.b").add(2);
+    // A gauge colliding with a counter family gets a suffixed family.
+    reg.get_gauge("a/b").set(9);
+
+    std::ostringstream out;
+    reg.write_prometheus(out);
+    const std::string s = out.str();
+    EXPECT_NE(
+        s.find("# HELP lsm_world_records Records emitted by the world "
+               "sim.\n# TYPE lsm_world_records counter"),
+        std::string::npos)
+        << s;
+    EXPECT_NE(s.find("lsm_a_b{name=\"a.b\"} 2"), std::string::npos) << s;
+    EXPECT_NE(s.find("lsm_a_b{name=\"a/b\"} 1"), std::string::npos) << s;
+    EXPECT_NE(s.find("lsm_a_b_2{name=\"a/b\"} 9"), std::string::npos) << s;
+    // Exactly one TYPE per family name.
+    EXPECT_EQ(s.find("# TYPE lsm_a_b counter"),
+              s.rfind("# TYPE lsm_a_b counter"))
+        << s;
 }
 
 TEST(Exporters, JsonEscapesHostileMetricNames) {
@@ -298,9 +337,11 @@ TEST(Exporters, PrometheusEscapesHostileLabelValues) {
     std::ostringstream out;
     reg.write_prometheus(out);
     const std::string s = out.str();
-    // Label values escape ", \, and newline per the exposition format.
+    // Label values escape ", \, and newline per the exposition format;
+    // the family name itself is sanitized to legal characters.
     EXPECT_NE(
-        s.find("lsm_counter{name=\"bad\\\"name\\\\with\\nnewline\"} 3"),
+        s.find(
+            "lsm_bad_name_with_newline{name=\"bad\\\"name\\\\with\\nnewline\"} 3"),
         std::string::npos)
         << s;
     EXPECT_NE(s.find("lsm_span_wall_seconds{path=\"sp\\\"an\\\\x\\ny\""),

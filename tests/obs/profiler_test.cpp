@@ -1,0 +1,139 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+namespace {
+
+TEST(Profiler, DisabledByDefaultAndAfterStop) {
+    EXPECT_FALSE(detail::profiler_enabled());
+    profiler prof;
+    EXPECT_FALSE(prof.running());
+    prof.start();
+    EXPECT_TRUE(detail::profiler_enabled());
+    EXPECT_TRUE(prof.running());
+    prof.stop();
+    EXPECT_FALSE(detail::profiler_enabled());
+    EXPECT_FALSE(prof.running());
+    prof.stop();  // idempotent
+}
+
+TEST(Profiler, ScopedTimerPublishesAndRestoresSlot) {
+    profiler prof;
+    profiler::options opts;
+    opts.interval = std::chrono::hours(1);  // sampler stays asleep
+    prof.start(opts);
+    const unsigned slot = detail::thread_slot() % 256;
+    registry reg;
+    {
+        scoped_timer outer(&reg, "alpha");
+        const std::string* published = detail::profiler_slot(slot);
+        ASSERT_NE(published, nullptr);
+        EXPECT_EQ(*published, "alpha");
+        {
+            scoped_timer inner(&reg, "beta");
+            const std::string* nested = detail::profiler_slot(slot);
+            ASSERT_NE(nested, nullptr);
+            EXPECT_EQ(*nested, "alpha;beta");
+        }
+        // Exiting the inner span restores the outer path.
+        EXPECT_EQ(detail::profiler_slot(slot), published);
+    }
+    EXPECT_EQ(detail::profiler_slot(slot), nullptr);
+    prof.stop();
+}
+
+TEST(Profiler, InternedPathsAreStableAcrossRegistries) {
+    profiler prof;
+    profiler::options opts;
+    opts.interval = std::chrono::hours(1);
+    prof.start(opts);
+    const unsigned slot = detail::thread_slot() % 256;
+    const std::string* first = nullptr;
+    {
+        registry reg;
+        scoped_timer t(&reg, "gamma");
+        first = detail::profiler_slot(slot);
+    }
+    const std::string* second = nullptr;
+    {
+        registry reg;  // a different registry, same span path
+        scoped_timer t(&reg, "gamma");
+        second = detail::profiler_slot(slot);
+    }
+    ASSERT_NE(first, nullptr);
+    // Pointer identity is path identity — and the string outlives both
+    // registries, which is what makes sampling safe.
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(*first, "gamma");
+    prof.stop();
+}
+
+TEST(Profiler, SamplesAHeldOpenSpan) {
+    profiler prof;
+    profiler::options opts;
+    opts.interval = std::chrono::milliseconds(1);
+    prof.start(opts);
+    registry reg;
+    {
+        scoped_timer outer(&reg, "work");
+        scoped_timer inner(&reg, "phase");
+        // Hold the span open long enough for the 1ms sampler to see it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    }
+    prof.stop();
+    EXPECT_GT(prof.ticks(), 0U);
+    EXPECT_GT(prof.samples(), 0U);
+    std::uint64_t work_phase = 0;
+    for (const auto& [path, count] : prof.collapsed()) {
+        if (path == "work;phase") work_phase = count;
+    }
+    EXPECT_GT(work_phase, 0U);
+
+    std::ostringstream collapsed;
+    prof.write_collapsed(collapsed);
+    EXPECT_NE(collapsed.str().find("work;phase "), std::string::npos)
+        << collapsed.str();
+    std::ostringstream top;
+    prof.write_top(top, 5);
+    EXPECT_NE(top.str().find("work;phase"), std::string::npos)
+        << top.str();
+}
+
+TEST(Profiler, ExportMetricsPublishesGauges) {
+    profiler prof;
+    profiler::options opts;
+    opts.interval = std::chrono::milliseconds(1);
+    prof.start(opts);
+    registry reg;
+    {
+        scoped_timer t(&reg, "busy");
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    prof.stop();
+    registry out;
+    prof.export_metrics(out);
+    EXPECT_EQ(out.get_gauge("obs/profiler/ticks").value(),
+              static_cast<std::int64_t>(prof.ticks()));
+    EXPECT_EQ(out.get_gauge("obs/profiler/samples").value(),
+              static_cast<std::int64_t>(prof.samples()));
+}
+
+TEST(Profiler, NoPublishingWhenStopped) {
+    // With no profiler running the scoped_timer fast path must not
+    // touch the slot table.
+    const unsigned slot = detail::thread_slot() % 256;
+    registry reg;
+    ASSERT_FALSE(detail::profiler_enabled());
+    scoped_timer t(&reg, "idle");
+    EXPECT_EQ(detail::profiler_slot(slot), nullptr);
+}
+
+}  // namespace
+}  // namespace lsm::obs

@@ -1,0 +1,143 @@
+#include "obs/promtext.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lsm::obs {
+namespace {
+
+std::string issues_to_string(const std::vector<promtext_issue>& issues) {
+    std::ostringstream out;
+    for (const promtext_issue& i : issues) {
+        out << "line " << i.line << ": " << i.message << "\n";
+    }
+    return out.str();
+}
+
+bool has_issue(const std::vector<promtext_issue>& issues,
+               const std::string& needle) {
+    for (const promtext_issue& i : issues) {
+        if (i.message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+TEST(Promtext, AcceptsAWellFormedDocument) {
+    const std::string doc =
+        "# HELP lsm_requests Requests served.\n"
+        "# TYPE lsm_requests counter\n"
+        "lsm_requests{name=\"a/b\"} 42\n"
+        "lsm_requests{name=\"c\"} 7 1700000000000\n"
+        "# TYPE lsm_depth gauge\n"
+        "lsm_depth -3.5e2\n"
+        "# TYPE lsm_lat histogram\n"
+        "lsm_lat_bucket{le=\"0.5\"} 1\n"
+        "lsm_lat_bucket{le=\"+Inf\"} 2\n"
+        "lsm_lat_sum 1.7\n"
+        "lsm_lat_count 2\n"
+        "lsm_weird{v=\"q\\\"esc\\\\aped\\nnewline\"} NaN\n";
+    const auto issues = validate_promtext(doc);
+    EXPECT_TRUE(issues.empty()) << issues_to_string(issues);
+}
+
+TEST(Promtext, AcceptsTheRegistrysOwnOutput) {
+    registry reg;
+    reg.get_counter("a/b", "Things counted.").add(2);
+    reg.get_gauge("depth", "Queue depth.").set(-1);
+    reg.get_histogram("lat", {0.5, 5.0}, "Latency.").observe(0.3);
+    reg.get_counter("bad\"name\\with\nnewline").add(3);
+    scoped_timer t(&reg, "phase");
+    std::ostringstream out;
+    reg.write_prometheus(out);
+    const auto issues = validate_promtext(out.str());
+    EXPECT_TRUE(issues.empty())
+        << issues_to_string(issues) << "--- document ---\n"
+        << out.str();
+}
+
+TEST(Promtext, RejectsBadMetricAndLabelNames) {
+    EXPECT_TRUE(has_issue(validate_promtext("9leading_digit 1\n"),
+                          "metric name"));
+    EXPECT_TRUE(has_issue(validate_promtext("ok{9bad=\"x\"} 1\n"),
+                          "label name"));
+    // A dash ends the name token mid-line, so the sample fails to parse.
+    EXPECT_FALSE(validate_promtext("with-dash 1\n").empty());
+}
+
+TEST(Promtext, RejectsIllegalEscapesAndUnparsableValues) {
+    EXPECT_TRUE(has_issue(validate_promtext("m{v=\"a\\tb\"} 1\n"),
+                          "escape"));
+    EXPECT_TRUE(has_issue(validate_promtext("m 1.2.3\n"), "value"));
+    EXPECT_TRUE(has_issue(validate_promtext("m\n"), "value"));
+    EXPECT_TRUE(has_issue(validate_promtext("m 1 not_a_ts\n"),
+                          "value"));
+    EXPECT_TRUE(validate_promtext("m +Inf\nn -Inf\no NaN\n").empty());
+}
+
+TEST(Promtext, RejectsDuplicateSeries) {
+    const auto issues = validate_promtext(
+        "m{a=\"1\"} 1\n"
+        "m{a=\"1\"} 2\n");
+    EXPECT_TRUE(has_issue(issues, "duplicate")) << issues_to_string(issues);
+}
+
+TEST(Promtext, RejectsInterleavedFamilies) {
+    const auto issues = validate_promtext(
+        "a 1\n"
+        "b 1\n"
+        "a 2\n");
+    EXPECT_TRUE(has_issue(issues, "not consecutive"))
+        << issues_to_string(issues);
+}
+
+TEST(Promtext, RejectsMalformedAndMisplacedMetadata) {
+    EXPECT_TRUE(has_issue(validate_promtext("# TYPE m sideways\n"),
+                          "TYPE"));
+    // TYPE must precede the family's first sample.
+    const auto late = validate_promtext(
+        "m 1\n"
+        "# TYPE m counter\n");
+    EXPECT_TRUE(has_issue(late, "TYPE")) << issues_to_string(late);
+    // At most one HELP/TYPE per family.
+    const auto twice = validate_promtext(
+        "# TYPE m counter\n"
+        "# TYPE m counter\n"
+        "m 1\n");
+    EXPECT_TRUE(has_issue(twice, "TYPE")) << issues_to_string(twice);
+}
+
+TEST(Promtext, RejectsIncompleteHistograms) {
+    const auto no_sum = validate_promtext(
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"+Inf\"} 1\n"
+        "h_count 1\n");
+    EXPECT_TRUE(has_issue(no_sum, "_sum")) << issues_to_string(no_sum);
+    const auto no_le = validate_promtext(
+        "# TYPE h histogram\n"
+        "h_bucket 1\n"
+        "h_sum 1\n"
+        "h_count 1\n");
+    EXPECT_TRUE(has_issue(no_le, "le")) << issues_to_string(no_le);
+}
+
+TEST(Promtext, HistogramSuffixesBelongToTheTypedParentFamily) {
+    // _bucket/_sum/_count must not count as separate families that
+    // would trip the interleaving check.
+    const std::string doc =
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 1\n"
+        "h_bucket{le=\"+Inf\"} 1\n"
+        "h_sum 0.3\n"
+        "h_count 1\n"
+        "# TYPE next counter\n"
+        "next 1\n";
+    const auto issues = validate_promtext(doc);
+    EXPECT_TRUE(issues.empty()) << issues_to_string(issues);
+}
+
+}  // namespace
+}  // namespace lsm::obs
