@@ -592,7 +592,18 @@ int main(int argc, char** argv) {
             }
             std::string bytes((std::istreambuf_iterator<char>(in)),
                               std::istreambuf_iterator<char>());
-            daemon = live_daemon::load_snapshot(bytes);
+            try {
+                daemon = live_daemon::load_snapshot(bytes);
+            } catch (const std::exception& e) {
+                // A corrupt or truncated snapshot must fail loudly, not
+                // resume from garbage: say which file and why, and point
+                // at the recovery path (reingest from offset 0).
+                std::cerr << "cannot resume from " << resume_path << ": "
+                          << e.what()
+                          << "\n(delete the snapshot or rerun without "
+                             "--resume to reingest from the start)\n";
+                return 2;
+            }
             start_offset = daemon.consumed_offset();
             std::cout << "resumed at offset " << start_offset << " ("
                       << daemon.records() << " records)\n";

@@ -1,9 +1,9 @@
 #include "core/ingest.h"
 
-#include <fstream>
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 
 namespace lsm {
 
@@ -99,13 +99,14 @@ std::string ingest_report::summary() const {
 
 void write_quarantine_file(const ingest_report& report,
                            const std::string& path) {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        throw ingest_error("cannot open quarantine output: " + path);
+    // Temp+rename so a crash mid-write cannot truncate an existing
+    // quarantine file; rewrapped so callers keep catching ingest_error.
+    try {
+        obs::write_file_atomic(path, report.quarantine);
+    } catch (const std::exception& e) {
+        throw ingest_error("quarantine write failed: " + path + ": " +
+                           e.what());
     }
-    out.write(report.quarantine.data(),
-              static_cast<std::streamsize>(report.quarantine.size()));
-    if (!out) throw ingest_error("quarantine write failed: " + path);
 }
 
 void publish_ingest_report(obs::registry* reg,

@@ -4,15 +4,16 @@
 // running, which is exactly the live-scrape semantics Prometheus has.
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 #include "obs/timeseries.h"
 
 namespace lsm::obs {
@@ -351,22 +352,18 @@ void registry::write_prometheus(std::ostream& out) const {
 }
 
 void registry::write_json_file(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-        throw std::runtime_error("cannot open metrics output: " + path);
-    }
+    // Render to memory, then temp+rename: a crash mid-export must never
+    // leave a truncated file where a previous good export used to be.
+    std::ostringstream out;
     write_json(out);
     out << '\n';
-    if (!out) throw std::runtime_error("metrics write failed: " + path);
+    write_file_atomic(path, out.str());
 }
 
 void registry::write_prometheus_file(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-        throw std::runtime_error("cannot open metrics output: " + path);
-    }
+    std::ostringstream out;
     write_prometheus(out);
-    if (!out) throw std::runtime_error("metrics write failed: " + path);
+    write_file_atomic(path, out.str());
 }
 
 }  // namespace lsm::obs

@@ -5,11 +5,12 @@
 #include "obs/timeseries.h"
 
 #include <cstdio>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 
 namespace lsm::obs {
 
@@ -46,12 +47,10 @@ void registry::write_series_csv(std::ostream& out) const {
 }
 
 void registry::write_series_csv_file(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-        throw std::runtime_error("cannot open series output: " + path);
-    }
+    // Render to memory, then temp+rename (crash-safe; see sinks.h).
+    std::ostringstream out;
     write_series_csv(out);
-    if (!out) throw std::runtime_error("series write failed: " + path);
+    write_file_atomic(path, out.str());
 }
 
 }  // namespace lsm::obs

@@ -1,11 +1,12 @@
 #include "obs/trace_event.h"
 
 #include <cstdio>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 
 namespace lsm::obs {
 
@@ -217,13 +218,11 @@ void tracer::write_json(std::ostream& out) const {
 }
 
 void tracer::write_json_file(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-        throw std::runtime_error("cannot open trace output: " + path);
-    }
+    // Render to memory, then temp+rename (crash-safe; see sinks.h).
+    std::ostringstream out;
     write_json(out);
     out << '\n';
-    if (!out) throw std::runtime_error("trace write failed: " + path);
+    write_file_atomic(path, out.str());
 }
 
 }  // namespace lsm::obs

@@ -47,8 +47,13 @@ closed_loop_result run_closed_loop(const trace& t,
                             [&server, bw]() { server.finish(bw); });
             return;
         }
-        if (cfg.kind == content_kind::live ||
-            req.attempts >= cfg.max_retries) {
+        if (cfg.kind == content_kind::live) {
+            ++res.lost_live;
+            ++res.lost;
+            return;
+        }
+        if (req.attempts >= cfg.max_retries) {
+            ++res.gave_up;
             ++res.lost;
             return;
         }

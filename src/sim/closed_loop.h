@@ -33,6 +33,11 @@ struct closed_loop_result {
     std::uint64_t requests = 0;
     std::uint64_t served_first_try = 0;
     std::uint64_t served_after_retry = 0;  ///< stored only
+    /// Live requests lost at rejection (the moment passed, §1).
+    std::uint64_t lost_live = 0;
+    /// Stored requests that exhausted their retry budget.
+    std::uint64_t gave_up = 0;
+    /// Total losses: lost_live + gave_up.
     std::uint64_t lost = 0;
     double requested_seconds = 0.0;
     double delivered_seconds = 0.0;

@@ -1,0 +1,136 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+
+namespace lsm::sim {
+
+namespace {
+
+// Stream-id layout for rng::stream(): one substream per failure source,
+// spaced so adding edges never collides with regions or the origin.
+constexpr std::uint64_t k_edge_stream_base = 1'000'000;
+constexpr std::uint64_t k_region_stream_base = 2'000'000;
+constexpr std::uint64_t k_origin_stream = 3'000'000;
+
+// Draws a Poisson process of failure intervals over [0, horizon) with
+// the given events-per-day rate and exponential mean duration.
+void draw_process(rng stream, double rate_per_day, double mean_duration,
+                  seconds_t horizon, failure_kind kind,
+                  std::uint32_t target, double severity,
+                  std::vector<failure_event>& out) {
+    if (rate_per_day <= 0.0) return;
+    const double mean_gap =
+        static_cast<double>(seconds_per_day) / rate_per_day;
+    double t = stream.next_exponential(mean_gap);
+    while (t < static_cast<double>(horizon)) {
+        failure_event ev;
+        ev.at = static_cast<seconds_t>(t);
+        ev.duration = std::max<seconds_t>(
+            1, static_cast<seconds_t>(
+                   stream.next_exponential(mean_duration)));
+        ev.kind = kind;
+        ev.target = target;
+        ev.severity = severity;
+        out.push_back(ev);
+        // The next failure can only begin after this one has healed —
+        // a source is not "down twice at once".
+        t += static_cast<double>(ev.duration) +
+             stream.next_exponential(mean_gap);
+    }
+}
+
+const char* kind_name(failure_kind k) {
+    switch (k) {
+        case failure_kind::edge_crash:
+            return "edge_crash";
+        case failure_kind::regional_outage:
+            return "regional_outage";
+        case failure_kind::origin_degraded:
+            return "origin_degraded";
+    }
+    return "?";
+}
+
+}  // namespace
+
+bool failure_event_less(const failure_event& a, const failure_event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.target < b.target;
+}
+
+failure_schedule failure_schedule::generate(
+    const failure_schedule_config& cfg) {
+    LSM_EXPECTS(cfg.num_edges >= 1);
+    LSM_EXPECTS(cfg.num_regions >= 1);
+    LSM_EXPECTS(cfg.horizon > 0);
+    LSM_EXPECTS(cfg.edge_crash_rate_per_day >= 0.0);
+    LSM_EXPECTS(cfg.regional_outage_rate_per_day >= 0.0);
+    LSM_EXPECTS(cfg.origin_degrade_rate_per_day >= 0.0);
+    LSM_EXPECTS(cfg.edge_mean_downtime >= 1.0);
+    LSM_EXPECTS(cfg.regional_mean_downtime >= 1.0);
+    LSM_EXPECTS(cfg.origin_mean_duration >= 1.0);
+    LSM_EXPECTS(cfg.origin_severity > 0.0 && cfg.origin_severity <= 1.0);
+
+    const rng root(cfg.seed);
+    failure_schedule sched;
+    for (std::uint32_t e = 0; e < cfg.num_edges; ++e) {
+        draw_process(root.stream(k_edge_stream_base + e),
+                     cfg.edge_crash_rate_per_day, cfg.edge_mean_downtime,
+                     cfg.horizon, failure_kind::edge_crash, e, 1.0,
+                     sched.events_);
+    }
+    for (std::uint32_t g = 0; g < cfg.num_regions; ++g) {
+        draw_process(root.stream(k_region_stream_base + g),
+                     cfg.regional_outage_rate_per_day,
+                     cfg.regional_mean_downtime, cfg.horizon,
+                     failure_kind::regional_outage, g, 1.0,
+                     sched.events_);
+    }
+    draw_process(root.stream(k_origin_stream),
+                 cfg.origin_degrade_rate_per_day, cfg.origin_mean_duration,
+                 cfg.horizon, failure_kind::origin_degraded, 0,
+                 cfg.origin_severity, sched.events_);
+    sched.finalize();
+    return sched;
+}
+
+void failure_schedule::add(const failure_event& ev) {
+    LSM_EXPECTS(ev.at >= 0);
+    LSM_EXPECTS(ev.duration >= 1);
+    LSM_EXPECTS(ev.severity > 0.0 && ev.severity <= 1.0);
+    events_.push_back(ev);
+}
+
+void failure_schedule::finalize() {
+    std::sort(events_.begin(), events_.end(), failure_event_less);
+}
+
+std::size_t failure_schedule::count(failure_kind k) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [k](const failure_event& e) { return e.kind == k; }));
+}
+
+std::string failure_schedule::describe() const {
+    std::ostringstream out;
+    for (const failure_event& e : events_) {
+        out << kind_name(e.kind) << ' '
+            << (e.kind == failure_kind::origin_degraded ? "severity_pct="
+                : e.kind == failure_kind::regional_outage ? "region="
+                                                          : "edge=");
+        if (e.kind == failure_kind::origin_degraded) {
+            out << static_cast<int>(e.severity * 100.0 + 0.5);
+        } else {
+            out << e.target;
+        }
+        out << " at=" << e.at << " dur=" << e.duration << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,112 @@
+// Seeded failure schedules for the serving-fleet simulation.
+//
+// The paper's capacity-planning argument (§1: provisioning "servers,
+// network, CDN" for live delivery) is only answerable if the simulated
+// infrastructure can fail. This module produces the *schedule* of
+// failures a fleet run replays: independent per-edge crashes, correlated
+// regional outages that take down every edge in an AS region at once,
+// and origin-link degradations that throttle the whole fleet. Schedules
+// are either generated from seeded Poisson processes (one rng::stream()
+// substream per failure source, so edge 3's crash times do not move when
+// edge 2's rate changes) or scripted event by event; either way the
+// result is a plain sorted vector that replays byte-identically for a
+// given seed at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time_utils.h"
+
+namespace lsm::sim {
+
+enum class failure_kind : std::uint8_t {
+    /// One edge server crashes and later recovers.
+    edge_crash = 0,
+    /// Every edge in one region goes down together (correlated outage:
+    /// shared power, shared upstream AS, shared rack).
+    regional_outage = 1,
+    /// The origin feed link degrades: while active, every edge's
+    /// effective capacity is scaled by `severity`.
+    origin_degraded = 2,
+};
+
+/// One failure interval: the target is down (or degraded) during
+/// [at, at + duration).
+struct failure_event {
+    seconds_t at = 0;
+    seconds_t duration = 0;
+    failure_kind kind = failure_kind::edge_crash;
+    /// Target edge (edge_crash) or region (regional_outage); unused for
+    /// origin_degraded.
+    std::uint32_t target = 0;
+    /// Fraction of fleet capacity REMAINING while an origin degradation
+    /// is active, in (0, 1]; unused for the other kinds.
+    double severity = 1.0;
+};
+
+/// Deterministic ordering used by failure_schedule: by start time, then
+/// kind, then target — the replay's tie-break contract.
+bool failure_event_less(const failure_event& a, const failure_event& b);
+
+struct failure_schedule_config {
+    std::uint32_t num_edges = 4;
+    /// Edges are placed round-robin into regions (edge e lives in region
+    /// e % num_regions); a regional outage downs all of them at once.
+    std::uint32_t num_regions = 2;
+    /// Schedule horizon; events starting at/after it are not generated.
+    seconds_t horizon = seconds_per_day;
+
+    /// Expected independent crashes per edge per day (Poisson process;
+    /// 0 disables).
+    double edge_crash_rate_per_day = 0.0;
+    /// Mean downtime of one edge crash (exponential, >= 1 s).
+    double edge_mean_downtime = 600.0;
+
+    /// Expected correlated outages per region per day (0 disables).
+    double regional_outage_rate_per_day = 0.0;
+    double regional_mean_downtime = 1800.0;
+
+    /// Expected origin-link degradations per day (0 disables).
+    double origin_degrade_rate_per_day = 0.0;
+    double origin_mean_duration = 900.0;
+    /// Capacity remaining while degraded, in (0, 1].
+    double origin_severity = 0.5;
+
+    std::uint64_t seed = 1;
+};
+
+/// A replayable failure schedule: events sorted by failure_event_less.
+class failure_schedule {
+public:
+    failure_schedule() = default;
+
+    /// Draws a schedule from the config's Poisson processes. Each
+    /// failure source (edge, region, origin link) owns an independent
+    /// rng::stream() substream of cfg.seed, so schedules are stable
+    /// under adding/removing other sources. Deterministic in cfg.
+    static failure_schedule generate(const failure_schedule_config& cfg);
+
+    /// Adds a scripted event (CLI scenarios); call finalize() when done.
+    void add(const failure_event& ev);
+
+    /// Sorts events into the deterministic replay order. generate()
+    /// returns finalized schedules.
+    void finalize();
+
+    const std::vector<failure_event>& events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    /// Events of a given kind (for reports and tests).
+    std::size_t count(failure_kind k) const;
+
+    /// Human-readable one-line-per-event rendering, e.g.
+    /// "edge_crash edge=2 at=3600 dur=600". Stable — CI diffs it.
+    std::string describe() const;
+
+private:
+    std::vector<failure_event> events_;
+};
+
+}  // namespace lsm::sim

@@ -1,0 +1,532 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <functional>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "sim/event_queue.h"
+
+namespace lsm::sim {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint32_t region_of_client(as_number asn, std::uint32_t num_regions) {
+    return static_cast<std::uint32_t>(mix64(asn) % num_regions);
+}
+
+/// One client request in flight. `remaining` is the stored-content
+/// balance; live requests recompute what is left of the broadcast from
+/// `live_end` at every attempt.
+struct pending_request {
+    as_number asn = 0;       ///< home AS (drives edge preference)
+    seconds_t release = 0;   ///< original start (live window opens here)
+    seconds_t live_end = 0;  ///< end of the live window
+    seconds_t remaining = 0; ///< stored content-seconds still owed
+    double bandwidth_bps = 0.0;
+    std::uint32_t attempts = 0;
+    std::uint32_t rank = 0;  ///< next edge preference index to try
+    /// True once a stream of this request was cut mid-transfer; the
+    /// served_* counters only count a request's first admission.
+    bool resumed = false;
+};
+
+/// One admitted stream, tracked so a failure can cut it mid-transfer.
+struct active_stream {
+    pending_request req;
+    double bandwidth_bps = 0.0;  ///< as admitted (may be stepped down)
+    seconds_t serve = 0;         ///< content-seconds promised at admit
+    seconds_t admit_time = 0;
+};
+
+struct edge_state {
+    std::unique_ptr<streaming_server> server;
+    std::uint32_t region = 0;
+    int down_count = 0;           ///< active overlapping failure causes
+    seconds_t down_since = 0;
+    std::map<std::uint64_t, active_stream> streams;  ///< id-ordered
+    fleet_edge_result stats;
+};
+
+seconds_t clamp_window(seconds_t t, seconds_t window) {
+    return std::clamp<seconds_t>(t, 0, window);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> fleet_edge_preference(as_number asn,
+                                                 std::uint32_t num_edges,
+                                                 std::uint32_t num_regions) {
+    LSM_EXPECTS(num_edges >= 1);
+    LSM_EXPECTS(num_regions >= 1);
+    const std::uint32_t home = region_of_client(asn, num_regions);
+    std::vector<std::uint32_t> order(num_edges);
+    for (std::uint32_t e = 0; e < num_edges; ++e) order[e] = e;
+    // Nearest-first: ring distance from the client's home region, then a
+    // per-(asn, edge) hash so clients of one AS agree on an order while
+    // different ASes spread load across same-distance edges.
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  const std::uint32_t da =
+                      (a % num_regions + num_regions - home) % num_regions;
+                  const std::uint32_t db =
+                      (b % num_regions + num_regions - home) % num_regions;
+                  if (da != db) return da < db;
+                  const std::uint64_t ha = mix64(mix64(asn) ^ a);
+                  const std::uint64_t hb = mix64(mix64(asn) ^ b);
+                  if (ha != hb) return ha < hb;
+                  return a < b;
+              });
+    return order;
+}
+
+fleet_result run_fleet(const trace& t, const fleet_config& cfg) {
+    LSM_EXPECTS(t.window_length() > 0);
+    LSM_EXPECTS(cfg.num_edges >= 1);
+    LSM_EXPECTS(cfg.num_regions >= 1);
+    LSM_EXPECTS(cfg.request_timeout >= 1);
+    LSM_EXPECTS(cfg.retry_backoff_mean > 0.0);
+    LSM_EXPECTS(cfg.degraded_bitrate_fraction > 0.0 &&
+                cfg.degraded_bitrate_fraction <= 1.0);
+
+    const seconds_t window = t.window_length();
+
+    fleet_result res;
+    res.requests = t.size();
+
+    // Per-edge servers; the per-edge metrics hooks stay off (fleet-level
+    // series below replace them — a 64-edge fleet must not register 192
+    // per-edge series).
+    server_config edge_cfg = cfg.edge;
+    edge_cfg.metrics = nullptr;
+    std::vector<edge_state> edges(cfg.num_edges);
+    for (std::uint32_t e = 0; e < cfg.num_edges; ++e) {
+        edges[e].server = std::make_unique<streaming_server>(edge_cfg);
+        edges[e].region = e % cfg.num_regions;
+        edges[e].stats.edge = e;
+        edges[e].stats.region = edges[e].region;
+    }
+
+    // Fleet-level sim-time series (single-writer: the DES is serial).
+    obs::time_series* s_failovers = nullptr;
+    obs::time_series* s_rejected = nullptr;
+    obs::time_series* s_active = nullptr;
+    obs::time_series* s_down_edges = nullptr;
+    if (cfg.metrics != nullptr) {
+        const seconds_t w = cfg.series_bucket_width;
+        s_failovers = &cfg.metrics->get_time_series(
+            "sim/fleet/failovers_per_bucket", w);
+        s_rejected = &cfg.metrics->get_time_series(
+            "sim/fleet/rejected_per_bucket", w);
+        s_active = &cfg.metrics->get_time_series(
+            "sim/fleet/active_streams_series", w);
+        s_down_edges = &cfg.metrics->get_time_series(
+            "sim/fleet/down_edges_series", w);
+    }
+
+    simulator des;
+    rng backoff_rng(cfg.seed);
+
+    // Origin-link state: the currently active degradations; effective
+    // severity is the harshest one.
+    std::vector<double> origin_degradations;
+    auto origin_severity = [&]() {
+        double s = 1.0;
+        for (double d : origin_degradations) s = std::min(s, d);
+        return s;
+    };
+
+    std::uint32_t edges_down = 0;
+    seconds_t all_down_since = 0;
+    std::uint64_t next_stream_id = 0;
+    std::uint64_t active_total = 0;
+
+    // Routing cache: preference orders are pure in (asn, fleet shape)
+    // but sorting per request would be O(requests * E log E).
+    std::map<as_number, std::vector<std::uint32_t>> pref_cache;
+    auto preference = [&](as_number asn) -> const std::vector<std::uint32_t>& {
+        auto it = pref_cache.find(asn);
+        if (it == pref_cache.end()) {
+            it = pref_cache
+                     .emplace(asn, fleet_edge_preference(asn, cfg.num_edges,
+                                                         cfg.num_regions))
+                     .first;
+        }
+        return it->second;
+    };
+
+    std::function<void(pending_request)> attempt_fn;
+
+    // Admission against one edge, honoring origin degradation: while the
+    // origin link runs at severity s, an edge only sustains s of its
+    // provisioned streams and NIC.
+    auto fleet_admit = [&](edge_state& es, seconds_t now, double bw) {
+        const double sev = origin_severity();
+        if (sev < 1.0) {
+            if (edge_cfg.max_concurrent_streams > 0) {
+                const auto cap = std::max<std::uint32_t>(
+                    1, static_cast<std::uint32_t>(
+                           sev * edge_cfg.max_concurrent_streams));
+                if (es.server->concurrency() >= cap) return false;
+            }
+            if (edge_cfg.nic_capacity_bps > 0.0 &&
+                es.server->used_bandwidth_bps() + bw >
+                    sev * edge_cfg.nic_capacity_bps) {
+                return false;
+            }
+        }
+        return es.server->try_admit(now, bw);
+    };
+
+    auto start_stream = [&](std::uint32_t e, pending_request req,
+                            double bw, seconds_t serve, bool degraded) {
+        edge_state& es = edges[e];
+        ++es.stats.admitted;
+        es.stats.peak_concurrency = std::max(
+            es.stats.peak_concurrency, es.server->concurrency());
+        if (!req.resumed) {
+            if (req.attempts == 0) {
+                ++res.served_first_try;
+            } else {
+                ++res.served_after_retry;
+            }
+        }
+        if (degraded) ++res.served_degraded;
+        const std::uint64_t id = next_stream_id++;
+        es.streams.emplace(id, active_stream{req, bw, serve, des.now()});
+        ++active_total;
+        if (s_active != nullptr) {
+            s_active->record(des.now(),
+                             static_cast<double>(active_total));
+        }
+        des.schedule_in(std::max<seconds_t>(serve, 1), [&, e, id]() {
+            edge_state& owner = edges[e];
+            auto it = owner.streams.find(id);
+            if (it == owner.streams.end()) return;  // cut by a failure
+            const active_stream& st = it->second;
+            res.delivered_seconds += static_cast<double>(st.serve);
+            owner.stats.served_seconds += static_cast<double>(st.serve);
+            owner.server->finish(st.bandwidth_bps);
+            owner.streams.erase(it);
+            --active_total;
+        });
+    };
+
+    attempt_fn = [&](pending_request req) {
+        const seconds_t now = des.now();
+        const bool live = cfg.kind == content_kind::live;
+        if (live && now > req.release && now >= req.live_end) {
+            ++res.lost_live;
+            return;
+        }
+        const seconds_t serve =
+            live ? req.live_end - now : req.remaining;
+        const auto& pref = preference(req.asn);
+        while (req.rank < cfg.num_edges) {
+            const std::uint32_t e = pref[req.rank];
+            edge_state& es = edges[e];
+            if (es.down_count > 0) {
+                // The edge is unreachable; the client burns one timeout
+                // discovering that, then fails over.
+                ++res.failovers;
+                if (s_failovers != nullptr) s_failovers->record(now, 1.0);
+                ++req.rank;
+                des.schedule_in(cfg.request_timeout, [&attempt_fn, req]() {
+                    attempt_fn(req);
+                });
+                return;
+            }
+            if (fleet_admit(es, now, req.bandwidth_bps)) {
+                start_stream(e, req, req.bandwidth_bps, serve, false);
+                return;
+            }
+            ++res.rejections;
+            ++es.stats.rejected;
+            if (s_rejected != nullptr) s_rejected->record(now, 1.0);
+            if (cfg.allow_degraded_bitrate &&
+                cfg.degraded_bitrate_fraction < 1.0) {
+                const double bw_down =
+                    req.bandwidth_bps * cfg.degraded_bitrate_fraction;
+                if (fleet_admit(es, now, bw_down)) {
+                    start_stream(e, req, bw_down, serve, true);
+                    return;
+                }
+                ++res.rejections;
+                ++es.stats.rejected;
+                if (s_rejected != nullptr) s_rejected->record(now, 1.0);
+            }
+            ++req.rank;
+        }
+        // Round exhausted: no edge took the request.
+        if (req.attempts >= cfg.retry_budget) {
+            ++res.gave_up;
+            return;
+        }
+        ++res.total_retries;
+        ++req.attempts;
+        req.rank = 0;
+        const auto backoff = std::max<seconds_t>(
+            1, static_cast<seconds_t>(
+                   backoff_rng.next_exponential(cfg.retry_backoff_mean)));
+        des.schedule_in(backoff, [&attempt_fn, req]() { attempt_fn(req); });
+    };
+
+    // Edge failure bookkeeping. Interrupted clients re-enter the attempt
+    // loop (rank reset — they re-resolve routing against the new fleet
+    // health) after one detection timeout, in ascending stream-id order
+    // so the replay is deterministic.
+    auto edge_failure_begin = [&](std::uint32_t e) {
+        edge_state& es = edges[e];
+        ++es.stats.failures;
+        if (++es.down_count != 1) return;
+        es.down_since = des.now();
+        if (++edges_down == cfg.num_edges) all_down_since = des.now();
+        if (s_down_edges != nullptr) {
+            s_down_edges->record(des.now(),
+                                 static_cast<double>(edges_down));
+        }
+        while (!es.streams.empty()) {
+            auto it = es.streams.begin();
+            active_stream st = it->second;
+            es.streams.erase(it);
+            --active_total;
+            es.server->finish(st.bandwidth_bps);
+            const seconds_t streamed = std::clamp<seconds_t>(
+                des.now() - st.admit_time, 0, st.serve);
+            res.delivered_seconds += static_cast<double>(streamed);
+            es.stats.served_seconds += static_cast<double>(streamed);
+            ++es.stats.interrupted;
+            ++res.rebuffers;
+            ++res.failovers;
+            if (s_failovers != nullptr) {
+                s_failovers->record(des.now(), 1.0);
+            }
+            pending_request req = st.req;
+            req.remaining = std::max<seconds_t>(0, st.serve - streamed);
+            req.rank = 0;
+            req.resumed = true;
+            des.schedule_in(cfg.request_timeout, [&attempt_fn, req]() {
+                attempt_fn(req);
+            });
+        }
+    };
+
+    auto edge_failure_end = [&](std::uint32_t e) {
+        edge_state& es = edges[e];
+        LSM_ENSURES(es.down_count > 0);
+        if (--es.down_count != 0) return;
+        const seconds_t lo = clamp_window(es.down_since, window);
+        const seconds_t hi = clamp_window(des.now(), window);
+        es.stats.down_seconds += hi - lo;
+        if (edges_down-- == cfg.num_edges) {
+            res.all_down_seconds +=
+                clamp_window(des.now(), window) -
+                clamp_window(all_down_since, window);
+        }
+        if (s_down_edges != nullptr) {
+            s_down_edges->record(des.now(),
+                                 static_cast<double>(edges_down));
+        }
+    };
+
+    // Failure events are scheduled before client arrivals so that, at
+    // equal times, the world changes before clients act on it (the
+    // documented tie-break).
+    for (const failure_event& ev : cfg.failures.events()) {
+        switch (ev.kind) {
+            case failure_kind::edge_crash: {
+                if (ev.target >= cfg.num_edges) break;
+                const std::uint32_t e = ev.target;
+                des.schedule_at(ev.at,
+                                [&, e]() { edge_failure_begin(e); });
+                des.schedule_at(ev.at + ev.duration,
+                                [&, e]() { edge_failure_end(e); });
+                break;
+            }
+            case failure_kind::regional_outage: {
+                for (std::uint32_t e = 0; e < cfg.num_edges; ++e) {
+                    if (e % cfg.num_regions !=
+                        ev.target % cfg.num_regions) {
+                        continue;
+                    }
+                    des.schedule_at(ev.at,
+                                    [&, e]() { edge_failure_begin(e); });
+                    des.schedule_at(ev.at + ev.duration,
+                                    [&, e]() { edge_failure_end(e); });
+                }
+                break;
+            }
+            case failure_kind::origin_degraded: {
+                const double sev = ev.severity;
+                des.schedule_at(ev.at, [&, sev]() {
+                    origin_degradations.push_back(sev);
+                });
+                des.schedule_at(ev.at + ev.duration, [&, sev]() {
+                    auto it = std::find(origin_degradations.begin(),
+                                        origin_degradations.end(), sev);
+                    LSM_ENSURES(it != origin_degradations.end());
+                    origin_degradations.erase(it);
+                });
+                break;
+            }
+        }
+    }
+
+    for (const log_record& rec : t.records()) {
+        res.requested_seconds += static_cast<double>(rec.duration);
+        pending_request req;
+        req.asn = rec.asn;
+        req.release = rec.start;
+        req.live_end = rec.end();
+        req.remaining = rec.duration;
+        req.bandwidth_bps = rec.avg_bandwidth_bps;
+        des.schedule_at(rec.start, [&attempt_fn, req]() {
+            attempt_fn(req);
+        });
+    }
+
+    des.run_all();
+
+    // Edges still down at the end of the schedule: charge up to the
+    // window edge.
+    for (edge_state& es : edges) {
+        if (es.down_count > 0) {
+            es.stats.down_seconds +=
+                window - clamp_window(es.down_since, window);
+        }
+    }
+    if (edges_down == cfg.num_edges && cfg.num_edges > 0 &&
+        edges[0].down_count > 0) {
+        res.all_down_seconds += window - clamp_window(all_down_since, window);
+    }
+
+    res.lost = res.lost_live + res.gave_up;
+    res.delivered_fraction =
+        res.requested_seconds > 0.0
+            ? res.delivered_seconds / res.requested_seconds
+            : 1.0;
+    double avail_sum = 0.0;
+    res.edges.reserve(edges.size());
+    for (edge_state& es : edges) {
+        es.stats.down_seconds =
+            std::min<seconds_t>(es.stats.down_seconds, window);
+        es.stats.availability =
+            1.0 - static_cast<double>(es.stats.down_seconds) /
+                      static_cast<double>(window);
+        avail_sum += es.stats.availability;
+        res.edges.push_back(es.stats);
+    }
+    res.fleet_availability =
+        avail_sum / static_cast<double>(cfg.num_edges);
+
+    if (cfg.metrics != nullptr) export_fleet_metrics(*cfg.metrics, res);
+    return res;
+}
+
+void write_fleet_report(std::ostream& out, const fleet_result& res) {
+    const auto flags = out.flags();
+    const auto prec = out.precision();
+    out << std::fixed << std::setprecision(4);
+    out << "fleet: " << res.edges.size() << " edges, " << res.requests
+        << " requests\n";
+    out << "served_first_try: " << res.served_first_try << "\n"
+        << "served_after_retry: " << res.served_after_retry << "\n"
+        << "served_degraded: " << res.served_degraded << "\n"
+        << "lost_live: " << res.lost_live << "\n"
+        << "gave_up: " << res.gave_up << "\n"
+        << "rejections: " << res.rejections << "\n"
+        << "failovers: " << res.failovers << "\n"
+        << "rebuffers: " << res.rebuffers << "\n"
+        << "retries: " << res.total_retries << "\n";
+    out << "requested_seconds: " << res.requested_seconds << "\n"
+        << "delivered_seconds: " << res.delivered_seconds << "\n"
+        << "delivered_fraction: " << res.delivered_fraction << "\n"
+        << "fleet_availability: " << res.fleet_availability << "\n"
+        << "all_down_seconds: " << res.all_down_seconds << "\n";
+    for (const fleet_edge_result& e : res.edges) {
+        out << "edge " << e.edge << " region " << e.region
+            << ": admitted " << e.admitted << ", rejected " << e.rejected
+            << ", interrupted " << e.interrupted << ", failures "
+            << e.failures << ", down_s " << e.down_seconds
+            << ", availability " << e.availability << ", peak "
+            << e.peak_concurrency << ", served_s " << e.served_seconds
+            << "\n";
+    }
+    out.flags(flags);
+    out.precision(prec);
+}
+
+void export_fleet_metrics(obs::registry& reg, const fleet_result& res) {
+    auto c = [&](const char* name, std::uint64_t v, const char* help) {
+        reg.get_counter(name, help).add(v);
+    };
+    c("sim/fleet/requests", res.requests,
+      "Client requests entering the fleet.");
+    c("sim/fleet/served_first_try", res.served_first_try,
+      "Requests admitted on the first attempt round.");
+    c("sim/fleet/served_after_retry", res.served_after_retry,
+      "Requests admitted after one or more backoff retries.");
+    c("sim/fleet/served_degraded", res.served_degraded,
+      "Requests served only after a bitrate step-down.");
+    c("sim/fleet/lost_live", res.lost_live,
+      "Live requests whose broadcast window expired before service.");
+    c("sim/fleet/gave_up", res.gave_up,
+      "Requests that exhausted their retry budget.");
+    c("sim/fleet/rejections", res.rejections,
+      "Admission rejections across all edges and attempts.");
+    c("sim/fleet/failovers", res.failovers,
+      "Health-driven edge switches (down-edge hops and interruptions).");
+    c("sim/fleet/rebuffers", res.rebuffers,
+      "Streams interrupted mid-transfer by a failure.");
+    c("sim/fleet/retries", res.total_retries,
+      "Backoff retries scheduled after exhausted attempt rounds.");
+    auto g = [&](const std::string& name, std::int64_t v,
+                 const char* help) {
+        reg.get_gauge(name, help).set(v);
+    };
+    auto ppm = [](double x) {
+        return static_cast<std::int64_t>(x * 1e6 + 0.5);
+    };
+    g("sim/fleet/availability_ppm", ppm(res.fleet_availability),
+      "Mean per-edge availability, parts per million.");
+    g("sim/fleet/delivered_fraction_ppm", ppm(res.delivered_fraction),
+      "Delivered / requested seconds, parts per million.");
+    g("sim/fleet/all_down_seconds",
+      static_cast<std::int64_t>(res.all_down_seconds),
+      "Seconds the entire fleet was down at once.");
+    for (const fleet_edge_result& e : res.edges) {
+        const std::string base =
+            "sim/fleet/edge/" + std::to_string(e.edge) + "/";
+        c((base + "admitted").c_str(), e.admitted,
+          "Streams admitted by this edge.");
+        c((base + "rejected").c_str(), e.rejected,
+          "Admission rejections at this edge.");
+        c((base + "interrupted").c_str(), e.interrupted,
+          "Streams this edge dropped mid-transfer when it failed.");
+        g(base + "down_seconds",
+          static_cast<std::int64_t>(e.down_seconds),
+          "Seconds this edge was down within the trace window.");
+        g(base + "availability_ppm", ppm(e.availability),
+          "This edge's availability, parts per million.");
+        g(base + "peak_concurrency",
+          static_cast<std::int64_t>(e.peak_concurrency),
+          "Peak concurrent streams on this edge.");
+    }
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,163 @@
+// Fault-tolerant serving-fleet simulation.
+//
+// Extends the single always-up unicast server of closed_loop.h to a
+// fleet: one origin feed plus N edge servers, each running the paper's
+// admission control (streaming_server), with clients routed to edges by
+// home AS region and a failure schedule (failure.h) injecting edge
+// crashes, correlated regional outages, and origin-link degradation.
+//
+// The client-side resilience model generalizes the closed loop's
+// retry-after-backoff: a request walks its region's edge preference
+// order; a down edge costs one request_timeout before the client fails
+// over to the next edge; an admission rejection optionally retries the
+// same edge at a stepped-down bitrate before moving on; an exhausted
+// round waits an exponential backoff and retries while the retry budget
+// lasts. Live requests can only recover the seconds that remain of the
+// broadcast — time burned in timeouts and backoffs is value lost, which
+// is exactly the paper's §1 argument with infrastructure failure as the
+// cause instead of admission control.
+//
+// Determinism contract: the run is a serial DES; all randomness comes
+// from rng(cfg.seed) consumed in event order (backoff draws) and from
+// the failure schedule's own rng::stream() substreams; ties in event
+// time break by insertion order with failure events inserted before
+// client arrivals, so a (trace, config, schedule) triple replays
+// byte-identically at any thread count. With an empty schedule, one
+// edge, and step-down disabled, run_fleet() reproduces
+// run_closed_loop() field for field (pinned by FleetSim.* tests).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/trace.h"
+#include "obs/fwd.h"
+#include "sim/closed_loop.h"
+#include "sim/failure.h"
+#include "sim/streaming_server.h"
+
+namespace lsm::sim {
+
+struct fleet_config {
+    /// Number of edge servers (>= 1).
+    std::uint32_t num_edges = 4;
+    /// AS regions for routing and correlated failures; edge e lives in
+    /// region e % num_regions, client regions hash from the home AS.
+    std::uint32_t num_regions = 2;
+    /// Per-edge admission template (policy, stream cap, NIC). The
+    /// metrics pointer inside is ignored — fleet metrics flow through
+    /// `metrics` below.
+    server_config edge{};
+
+    content_kind kind = content_kind::live;
+    /// Seconds a client waits on an unresponsive (down) edge before
+    /// failing over to the next edge in its preference order (>= 1).
+    seconds_t request_timeout = 4;
+    /// Mean of the exponential retry backoff after a round in which no
+    /// edge admitted the request (> 0).
+    double retry_backoff_mean = 300.0;
+    /// Retries allowed after the first round (0 = a single round, the
+    /// closed loop's live semantics).
+    std::uint32_t retry_budget = 10;
+    /// Graceful degradation: on an admission rejection, retry the same
+    /// edge once at bandwidth * degraded_bitrate_fraction before
+    /// failing over. Disabled when the fraction is 1.
+    bool allow_degraded_bitrate = false;
+    /// Bitrate multiplier of the stepped-down attempt, in (0, 1].
+    double degraded_bitrate_fraction = 0.5;
+
+    /// Failure schedule replayed against the fleet (empty = all
+    /// healthy).
+    failure_schedule failures{};
+
+    std::uint64_t seed = 1;
+    /// Optional metrics sink (`sim/fleet/...`). Default-off; the
+    /// fleet_result is identical with or without it.
+    obs::registry* metrics = nullptr;
+    /// Bucket width of the sim-time series recorded when metrics is on.
+    seconds_t series_bucket_width = 60;
+};
+
+/// Per-edge accounting over the run.
+struct fleet_edge_result {
+    std::uint32_t edge = 0;
+    std::uint32_t region = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    /// Streams cut mid-transfer by a crash or outage of this edge.
+    std::uint64_t interrupted = 0;
+    /// Crash/outage intervals that hit this edge.
+    std::uint32_t failures = 0;
+    /// Seconds within the trace window this edge was down.
+    seconds_t down_seconds = 0;
+    /// 1 - down_seconds / window.
+    double availability = 1.0;
+    std::uint32_t peak_concurrency = 0;
+    /// Content-seconds actually streamed from this edge.
+    double served_seconds = 0.0;
+};
+
+struct fleet_result {
+    std::uint64_t requests = 0;
+    /// served_* count a request's FIRST admission; a stream cut by a
+    /// failure and re-admitted later is not counted twice. A request
+    /// interrupted and then lost shows up in both a served_* counter and
+    /// a loss counter — partial delivery is real, so the counters are
+    /// not a partition of `requests` once failures interrupt streams
+    /// (they are in all-healthy runs).
+    std::uint64_t served_first_try = 0;
+    std::uint64_t served_after_retry = 0;
+    /// Requests served only after a bitrate step-down.
+    std::uint64_t served_degraded = 0;
+    /// Live requests whose broadcast window expired before service.
+    std::uint64_t lost_live = 0;
+    /// Requests that exhausted their retry budget.
+    std::uint64_t gave_up = 0;
+    /// lost_live + gave_up (the closed loop's `lost`).
+    std::uint64_t lost = 0;
+    /// Admission rejections across all edges and attempts.
+    std::uint64_t rejections = 0;
+    /// Health-driven edge switches: hops past a down edge plus
+    /// mid-stream interruptions that moved a client elsewhere.
+    std::uint64_t failovers = 0;
+    /// Streams interrupted mid-transfer by a failure.
+    std::uint64_t rebuffers = 0;
+    std::uint64_t total_retries = 0;
+
+    double requested_seconds = 0.0;
+    /// Content-seconds actually delivered (partial streams count what
+    /// they streamed before the cut).
+    double delivered_seconds = 0.0;
+    /// delivered / requested; 1 when nothing was requested.
+    double delivered_fraction = 0.0;
+    /// Mean over edges of per-edge availability (edge-seconds up /
+    /// edge-seconds total).
+    double fleet_availability = 1.0;
+    /// Seconds the whole fleet (every edge) was down at once.
+    seconds_t all_down_seconds = 0;
+
+    std::vector<fleet_edge_result> edges;
+};
+
+/// Runs the trace's transfers through the fleet. Requires a trace with
+/// a positive window; every failure event is clamped to that window for
+/// availability accounting. Deterministic in (t, cfg).
+fleet_result run_fleet(const trace& t, const fleet_config& cfg);
+
+/// The edge preference order of a client homed in `asn` — the routing
+/// the simulation uses, exposed for tests: edges sorted nearest-first
+/// (own region before others, deterministic hash tie-break).
+std::vector<std::uint32_t> fleet_edge_preference(as_number asn,
+                                                 std::uint32_t num_edges,
+                                                 std::uint32_t num_regions);
+
+/// Stable plain-text report (CI byte-compares it across thread counts).
+void write_fleet_report(std::ostream& out, const fleet_result& res);
+
+/// Publishes the result into `reg` as `sim/fleet/...` counters and
+/// gauges (availability gauges are scaled to parts-per-million so the
+/// integer gauge keeps 6 digits).
+void export_fleet_metrics(obs::registry& reg, const fleet_result& res);
+
+}  // namespace lsm::sim

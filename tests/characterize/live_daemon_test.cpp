@@ -78,6 +78,23 @@ TEST(LiveDaemon, SnapshotRejectsCorruption) {
     EXPECT_THROW(live_daemon::load_snapshot(snap), std::exception);
 }
 
+TEST(LiveDaemon, SnapshotRejectsTruncation) {
+    live_daemon d;
+    d.consume_bytes(wms_text(small_trace()));
+    const std::string snap = d.save_snapshot();
+    // A crash mid-write can truncate anywhere: the header, the length
+    // field, or the payload. Every prefix must be rejected cleanly.
+    for (std::size_t keep :
+         {std::size_t{0}, std::size_t{4}, std::size_t{12},
+          snap.size() / 2, snap.size() - 1}) {
+        EXPECT_THROW(live_daemon::load_snapshot(snap.substr(0, keep)),
+                     std::exception)
+            << "truncated to " << keep << " bytes";
+    }
+    // ...and trailing garbage after a valid payload as well.
+    EXPECT_THROW(live_daemon::load_snapshot(snap + "x"), std::exception);
+}
+
 TEST(LiveDaemon, StreamingSessionizerMatchesBatchBuildSessions) {
     const trace t = small_trace();
     live_daemon d;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace lsm::obs {
 namespace {
@@ -51,6 +52,54 @@ TEST(Sinks, RegistryWriterDegradesOnUnwritablePath) {
     EXPECT_TRUE(in.good());
     in.close();
     std::remove(ok_path.c_str());
+}
+
+TEST(Sinks, RegistryWritersAreAtomic) {
+    // A failed write must leave a previous good file untouched (the
+    // temp+rename contract), and a successful one must not leave the
+    // .tmp behind.
+    const std::string path = "sinks_test_atomic.json";
+    {
+        std::ofstream prev(path);
+        prev << "previous good export\n";
+    }
+    registry reg;
+    reg.get_counter("a").add(1);
+    reg.write_json_file(path);
+
+    std::ifstream check_tmp(path + ".tmp");
+    EXPECT_FALSE(check_tmp.good());
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_NE(content.str().find("\"a\""), std::string::npos);
+    EXPECT_EQ(content.str().find("previous good"), std::string::npos);
+    std::remove(path.c_str());
+
+    // Unwritable directory: the old file (here: none) is never touched
+    // and no temp file materializes anywhere we can observe.
+    EXPECT_THROW(reg.write_json_file("/nonexistent-dir/m.json"),
+                 std::exception);
+    EXPECT_THROW(reg.write_prometheus_file("/nonexistent-dir/m.prom"),
+                 std::exception);
+    EXPECT_THROW(reg.write_series_csv_file("/nonexistent-dir/m.csv"),
+                 std::exception);
+}
+
+TEST(Sinks, PrometheusAndSeriesWritersLeaveNoTemp) {
+    registry reg;
+    reg.get_counter("b").add(2);
+    reg.get_time_series("s", 60).record(0, 1.0);
+    const std::string prom = "sinks_test_atomic.prom";
+    const std::string csv = "sinks_test_atomic.csv";
+    reg.write_prometheus_file(prom);
+    reg.write_series_csv_file(csv);
+    EXPECT_FALSE(std::ifstream(prom + ".tmp").good());
+    EXPECT_FALSE(std::ifstream(csv + ".tmp").good());
+    EXPECT_TRUE(std::ifstream(prom).good());
+    EXPECT_TRUE(std::ifstream(csv).good());
+    std::remove(prom.c_str());
+    std::remove(csv.c_str());
 }
 
 }  // namespace

@@ -131,6 +131,48 @@ TEST(Cdn, GeneratedWorkloadBalancesAcrossEdges) {
     EXPECT_GT(rep.fanout_factor, 1.0);
 }
 
+TEST(Cdn, SingleTransferSpanningWholeWindow) {
+    trace t(1000);
+    t.add(rec(1, 42, 0, 0, 1000, 300000.0));
+    cdn_config cfg;
+    cfg.num_edges = 1;
+    cfg.feed_rate_bps = 300000.0;
+    const auto rep = simulate_cdn(t, cfg);
+    // One viewer, whole window: the feed subscription covers every
+    // second, and edge egress equals origin ingress (fan-out 1).
+    EXPECT_EQ(rep.edges[0].feed_subscription_seconds, 1000);
+    EXPECT_EQ(rep.edges[0].peak_concurrency, 1U);
+    EXPECT_DOUBLE_EQ(rep.client_bytes, 1000 * 300000.0 / 8.0);
+    EXPECT_DOUBLE_EQ(rep.origin_bytes, 1000 * 300000.0 / 8.0);
+    EXPECT_DOUBLE_EQ(rep.fanout_factor, 1.0);
+}
+
+TEST(Cdn, TransferOverrunningTheWindowIsClampedToIt) {
+    trace t(100);
+    t.add(rec(1, 42, 0, 50, 500));  // runs 400 s past the window
+    cdn_config cfg;
+    cfg.num_edges = 1;
+    const auto rep = simulate_cdn(t, cfg);
+    EXPECT_EQ(rep.edges[0].feed_subscription_seconds, 50);
+}
+
+TEST(Cdn, ZeroDurationTransfersStillCountAndCoverTheirSecond) {
+    trace t(1000);
+    t.add(rec(1, 42, 0, 10, 0));
+    t.add(rec(2, 42, 0, 10, 0));
+    cdn_config cfg;
+    cfg.num_edges = 1;
+    const auto rep = simulate_cdn(t, cfg);
+    EXPECT_EQ(rep.edges[0].transfers, 2U);
+    // Sub-second views quantized to zero by the log carry no bytes but
+    // occupy their start second for feed coverage and concurrency.
+    EXPECT_DOUBLE_EQ(rep.client_bytes, 0.0);
+    EXPECT_EQ(rep.edges[0].feed_subscription_seconds, 1);
+    EXPECT_EQ(rep.edges[0].peak_concurrency, 2U);
+    EXPECT_DOUBLE_EQ(rep.fanout_factor, 0.0);
+    EXPECT_DOUBLE_EQ(rep.load_imbalance, 0.0);
+}
+
 TEST(Cdn, RejectsBadInput) {
     trace empty(100);
     EXPECT_THROW(simulate_cdn(empty), lsm::contract_violation);

@@ -42,6 +42,9 @@ TEST(ClosedLoop, LiveLosesRejectedValue) {
     EXPECT_EQ(res.requests, 20U);
     EXPECT_EQ(res.served_first_try, 5U);
     EXPECT_EQ(res.lost, 15U);
+    // Every live loss is a lost moment, not an exhausted budget.
+    EXPECT_EQ(res.lost_live, 15U);
+    EXPECT_EQ(res.gave_up, 0U);
     EXPECT_EQ(res.served_after_retry, 0U);
     EXPECT_DOUBLE_EQ(res.delivered_fraction, 0.25);
 }
@@ -76,6 +79,9 @@ TEST(ClosedLoop, RetryBudgetExhaustionLosesStoredRequests) {
     cfg.max_retries = 3;
     const auto res = run_closed_loop(t, cfg);
     EXPECT_GT(res.lost, 0U);
+    // Stored losses are exhausted retry budgets, never expired moments.
+    EXPECT_EQ(res.gave_up, res.lost);
+    EXPECT_EQ(res.lost_live, 0U);
     EXPECT_LT(res.delivered_fraction, 0.9);
 }
 
@@ -84,6 +90,7 @@ TEST(ClosedLoop, DeliveredPlusLostAccountsForAllRequests) {
         content_kind::stored));
     EXPECT_EQ(res.served_first_try + res.served_after_retry + res.lost,
               res.requests);
+    EXPECT_EQ(res.lost, res.lost_live + res.gave_up);
 }
 
 TEST(ClosedLoop, DeterministicForSeed) {

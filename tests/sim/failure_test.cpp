@@ -1,0 +1,166 @@
+#include "sim/failure.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/contracts.h"
+
+namespace lsm::sim {
+namespace {
+
+failure_schedule_config busy_config() {
+    failure_schedule_config cfg;
+    cfg.num_edges = 4;
+    cfg.num_regions = 2;
+    cfg.horizon = 7 * seconds_per_day;
+    cfg.edge_crash_rate_per_day = 3.0;
+    cfg.regional_outage_rate_per_day = 1.0;
+    cfg.origin_degrade_rate_per_day = 0.5;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(FailureSchedule, GeneratesAllKinds) {
+    const auto sched = failure_schedule::generate(busy_config());
+    EXPECT_GT(sched.count(failure_kind::edge_crash), 0U);
+    EXPECT_GT(sched.count(failure_kind::regional_outage), 0U);
+    EXPECT_GT(sched.count(failure_kind::origin_degraded), 0U);
+    for (const failure_event& e : sched.events()) {
+        EXPECT_GE(e.at, 0);
+        EXPECT_LT(e.at, busy_config().horizon);
+        EXPECT_GE(e.duration, 1);
+        EXPECT_GT(e.severity, 0.0);
+        EXPECT_LE(e.severity, 1.0);
+    }
+}
+
+TEST(FailureSchedule, DeterministicForSeedAndSensitiveToIt) {
+    const auto a = failure_schedule::generate(busy_config());
+    const auto b = failure_schedule::generate(busy_config());
+    EXPECT_EQ(a.describe(), b.describe());
+
+    auto other = busy_config();
+    other.seed = 43;
+    EXPECT_NE(a.describe(), failure_schedule::generate(other).describe());
+}
+
+TEST(FailureSchedule, EventsAreSorted) {
+    const auto sched = failure_schedule::generate(busy_config());
+    EXPECT_TRUE(std::is_sorted(sched.events().begin(),
+                               sched.events().end(), failure_event_less));
+}
+
+TEST(FailureSchedule, SourcesOwnIndependentStreams) {
+    // Edge 0's crash times must not move when more edges are added: each
+    // source draws from its own rng::stream() substream.
+    auto small = busy_config();
+    small.num_edges = 2;
+    small.regional_outage_rate_per_day = 0.0;
+    small.origin_degrade_rate_per_day = 0.0;
+    auto big = small;
+    big.num_edges = 4;
+
+    auto crashes_of = [](const failure_schedule& s, std::uint32_t edge) {
+        std::vector<seconds_t> at;
+        for (const failure_event& e : s.events()) {
+            if (e.kind == failure_kind::edge_crash && e.target == edge) {
+                at.push_back(e.at);
+            }
+        }
+        return at;
+    };
+    const auto a = failure_schedule::generate(small);
+    const auto b = failure_schedule::generate(big);
+    EXPECT_EQ(crashes_of(a, 0), crashes_of(b, 0));
+    EXPECT_EQ(crashes_of(a, 1), crashes_of(b, 1));
+}
+
+TEST(FailureSchedule, SourceIntervalsDoNotOverlapThemselves) {
+    // One source is never down twice at once: its intervals are disjoint.
+    auto cfg = busy_config();
+    cfg.edge_crash_rate_per_day = 50.0;  // force dense schedules
+    const auto sched = failure_schedule::generate(cfg);
+    for (std::uint32_t e = 0; e < cfg.num_edges; ++e) {
+        seconds_t healed = -1;
+        for (const failure_event& ev : sched.events()) {
+            if (ev.kind != failure_kind::edge_crash || ev.target != e) {
+                continue;
+            }
+            EXPECT_GE(ev.at, healed);
+            healed = ev.at + ev.duration;
+        }
+    }
+}
+
+TEST(FailureSchedule, ZeroRatesProduceEmptySchedule) {
+    failure_schedule_config cfg;
+    cfg.horizon = seconds_per_day;
+    const auto sched = failure_schedule::generate(cfg);
+    EXPECT_TRUE(sched.empty());
+}
+
+TEST(FailureSchedule, ScriptedEventsSortOnFinalize) {
+    failure_schedule sched;
+    failure_event late;
+    late.at = 500;
+    late.duration = 10;
+    late.kind = failure_kind::regional_outage;
+    failure_event early;
+    early.at = 100;
+    early.duration = 60;
+    early.kind = failure_kind::edge_crash;
+    early.target = 2;
+    sched.add(late);
+    sched.add(early);
+    sched.finalize();
+    EXPECT_EQ(sched.events().front().at, 100);
+    EXPECT_EQ(sched.describe(),
+              "edge_crash edge=2 at=100 dur=60\n"
+              "regional_outage region=0 at=500 dur=10\n");
+}
+
+TEST(FailureSchedule, DescribeRendersSeverity) {
+    failure_schedule sched;
+    failure_event ev;
+    ev.at = 30;
+    ev.duration = 90;
+    ev.kind = failure_kind::origin_degraded;
+    ev.severity = 0.25;
+    sched.add(ev);
+    sched.finalize();
+    EXPECT_EQ(sched.describe(),
+              "origin_degraded severity_pct=25 at=30 dur=90\n");
+}
+
+TEST(FailureSchedule, RejectsBadConfigAndEvents) {
+    auto bad = busy_config();
+    bad.horizon = 0;
+    EXPECT_THROW(failure_schedule::generate(bad),
+                 lsm::contract_violation);
+    bad = busy_config();
+    bad.edge_crash_rate_per_day = -1.0;
+    EXPECT_THROW(failure_schedule::generate(bad),
+                 lsm::contract_violation);
+    bad = busy_config();
+    bad.origin_severity = 0.0;
+    EXPECT_THROW(failure_schedule::generate(bad),
+                 lsm::contract_violation);
+    bad = busy_config();
+    bad.edge_mean_downtime = 0.5;
+    EXPECT_THROW(failure_schedule::generate(bad),
+                 lsm::contract_violation);
+
+    failure_schedule sched;
+    failure_event ev;
+    ev.at = -1;
+    ev.duration = 10;
+    EXPECT_THROW(sched.add(ev), lsm::contract_violation);
+    ev.at = 0;
+    ev.duration = 0;
+    EXPECT_THROW(sched.add(ev), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::sim

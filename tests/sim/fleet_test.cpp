@@ -1,0 +1,359 @@
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/contracts.h"
+#include "obs/metrics.h"
+#include "sim/closed_loop.h"
+
+namespace lsm::sim {
+namespace {
+
+log_record rec(client_id c, seconds_t start, seconds_t dur,
+               as_number asn = 0) {
+    log_record r;
+    r.client = c;
+    r.asn = asn;
+    r.start = start;
+    r.duration = dur;
+    r.avg_bandwidth_bps = 56000.0;
+    return r;
+}
+
+trace overload_trace() {
+    // Mirror of the closed-loop suite: 20 simultaneous 100 s requests
+    // against capacity 5, plus some zero-duration stragglers.
+    trace t(100000);
+    for (int c = 0; c < 20; ++c) {
+        t.add(rec(static_cast<client_id>(c), 0, 100));
+    }
+    for (int c = 20; c < 23; ++c) {
+        t.add(rec(static_cast<client_id>(c), 500, 0));
+    }
+    return t;
+}
+
+fleet_config single_edge(content_kind kind, std::uint32_t budget) {
+    fleet_config cfg;
+    cfg.num_edges = 1;
+    cfg.num_regions = 1;
+    cfg.edge.policy = admission_policy::reject_at_capacity;
+    cfg.edge.max_concurrent_streams = 5;
+    cfg.kind = kind;
+    cfg.retry_backoff_mean = 120.0;
+    cfg.retry_budget = budget;
+    return cfg;
+}
+
+closed_loop_config capped(content_kind kind) {
+    closed_loop_config cfg;
+    cfg.kind = kind;
+    cfg.server.policy = admission_policy::reject_at_capacity;
+    cfg.server.max_concurrent_streams = 5;
+    cfg.retry_backoff_mean = 120.0;
+    cfg.max_retries = 20;
+    return cfg;
+}
+
+std::string report_of(const fleet_result& res) {
+    std::ostringstream out;
+    write_fleet_report(out, res);
+    return out.str();
+}
+
+// The acceptance contract: an all-healthy single-edge fleet with
+// step-down disabled IS the closed loop — same admissions, same backoff
+// draws, same totals.
+TEST(FleetSim, HealthySingleEdgeMatchesClosedLoopStored) {
+    const trace t = overload_trace();
+    const auto want = run_closed_loop(t, capped(content_kind::stored));
+    const auto got = run_fleet(t, single_edge(content_kind::stored, 20));
+    EXPECT_EQ(got.requests, want.requests);
+    EXPECT_EQ(got.served_first_try, want.served_first_try);
+    EXPECT_EQ(got.served_after_retry, want.served_after_retry);
+    EXPECT_EQ(got.lost, want.lost);
+    EXPECT_EQ(got.gave_up, want.gave_up);
+    EXPECT_EQ(got.total_retries, want.total_retries);
+    EXPECT_DOUBLE_EQ(got.requested_seconds, want.requested_seconds);
+    EXPECT_DOUBLE_EQ(got.delivered_seconds, want.delivered_seconds);
+    EXPECT_DOUBLE_EQ(got.delivered_fraction, want.delivered_fraction);
+    EXPECT_DOUBLE_EQ(got.fleet_availability, 1.0);
+    EXPECT_EQ(got.failovers, 0U);
+    EXPECT_EQ(got.rebuffers, 0U);
+}
+
+TEST(FleetSim, HealthySingleEdgeMatchesClosedLoopLive) {
+    const trace t = overload_trace();
+    const auto want = run_closed_loop(t, capped(content_kind::live));
+    // Budget 0 = one attempt round: the closed loop's live semantics.
+    const auto got = run_fleet(t, single_edge(content_kind::live, 0));
+    EXPECT_EQ(got.served_first_try, want.served_first_try);
+    EXPECT_EQ(got.served_after_retry, want.served_after_retry);
+    EXPECT_EQ(got.lost, want.lost);
+    EXPECT_EQ(got.total_retries, want.total_retries);
+    EXPECT_DOUBLE_EQ(got.delivered_seconds, want.delivered_seconds);
+    EXPECT_DOUBLE_EQ(got.delivered_fraction, want.delivered_fraction);
+}
+
+TEST(FleetSim, HealthyRunPartitionsRequests) {
+    trace t(100000);
+    for (int c = 0; c < 200; ++c) {
+        t.add(rec(static_cast<client_id>(c), c * 7, 50,
+                  static_cast<as_number>(c % 17)));
+    }
+    auto cfg = single_edge(content_kind::live, 0);
+    cfg.num_edges = 4;
+    cfg.num_regions = 2;
+    cfg.edge.max_concurrent_streams = 3;
+    const auto res = run_fleet(t, cfg);
+    EXPECT_EQ(res.served_first_try + res.served_after_retry + res.lost,
+              res.requests);
+    EXPECT_EQ(res.lost, res.lost_live + res.gave_up);
+}
+
+trace regional_burst_trace() {
+    // Requests from many ASes arriving through the outage window
+    // [1000, 1500): live value decays while clients wait out timeouts.
+    trace t(seconds_per_day);
+    client_id c = 0;
+    for (int wave = 0; wave < 50; ++wave) {
+        for (int a = 0; a < 8; ++a) {
+            t.add(rec(c++, 900 + wave * 20, 120,
+                      static_cast<as_number>(100 + a)));
+        }
+    }
+    return t;
+}
+
+TEST(FleetSim, RegionalOutageFailsOverAndBeatsSingleServer) {
+    failure_event outage;
+    outage.kind = failure_kind::regional_outage;
+    outage.target = 0;
+    outage.at = 1000;
+    outage.duration = 500;
+
+    fleet_config fleet;
+    fleet.num_edges = 4;
+    fleet.num_regions = 2;
+    fleet.edge.policy = admission_policy::reject_at_capacity;
+    fleet.edge.max_concurrent_streams = 200;
+    fleet.kind = content_kind::live;
+    fleet.retry_budget = 10;
+    fleet.retry_backoff_mean = 30.0;
+    fleet.failures.add(outage);
+    fleet.failures.finalize();
+    const auto res = run_fleet(regional_burst_trace(), fleet);
+
+    // The outage is visible (availability dips, failovers happen)...
+    EXPECT_GT(res.failovers, 0U);
+    EXPECT_LT(res.fleet_availability, 1.0);
+    EXPECT_EQ(res.all_down_seconds, 0);
+    // ...region-0 edges were down for exactly the scripted interval...
+    for (const fleet_edge_result& e : res.edges) {
+        if (e.region == 0) {
+            EXPECT_EQ(e.down_seconds, 500);
+            EXPECT_EQ(e.failures, 1U);
+            EXPECT_DOUBLE_EQ(
+                e.availability,
+                1.0 - 500.0 / static_cast<double>(seconds_per_day));
+        } else {
+            EXPECT_EQ(e.down_seconds, 0);
+            EXPECT_DOUBLE_EQ(e.availability, 1.0);
+        }
+    }
+
+    // ...and failover to the healthy region delivers far more live value
+    // than a single server suffering the same outage.
+    failure_event crash;
+    crash.kind = failure_kind::edge_crash;
+    crash.target = 0;
+    crash.at = 1000;
+    crash.duration = 500;
+    fleet_config solo = fleet;
+    solo.num_edges = 1;
+    solo.num_regions = 1;
+    solo.failures = failure_schedule{};
+    solo.failures.add(crash);
+    solo.failures.finalize();
+    const auto single = run_fleet(regional_burst_trace(), solo);
+    EXPECT_GT(res.delivered_fraction, single.delivered_fraction);
+    EXPECT_LT(single.delivered_fraction, 1.0);
+}
+
+TEST(FleetSim, InterruptedStreamResumesAndKeepsAccounting) {
+    trace t(1000);
+    t.add(rec(1, 0, 100));
+
+    failure_event crash;
+    crash.kind = failure_kind::edge_crash;
+    crash.target = 0;
+    crash.at = 50;
+    crash.duration = 60;
+
+    auto cfg = single_edge(content_kind::stored, 50);
+    cfg.retry_backoff_mean = 20.0;
+    cfg.failures.add(crash);
+    cfg.failures.finalize();
+    const auto res = run_fleet(t, cfg);
+
+    // 50 s streamed before the cut, the remaining 50 s after recovery.
+    EXPECT_EQ(res.rebuffers, 1U);
+    EXPECT_GT(res.failovers, 0U);
+    EXPECT_EQ(res.served_first_try, 1U);
+    EXPECT_EQ(res.served_after_retry, 0U);  // resume never double-counts
+    EXPECT_EQ(res.lost, 0U);
+    EXPECT_DOUBLE_EQ(res.delivered_seconds, 100.0);
+    EXPECT_EQ(res.edges[0].interrupted, 1U);
+    EXPECT_EQ(res.edges[0].down_seconds, 60);
+    EXPECT_DOUBLE_EQ(res.edges[0].availability, 1.0 - 60.0 / 1000.0);
+}
+
+TEST(FleetSim, InterruptedLiveRequestLosesBurnedSeconds) {
+    trace t(1000);
+    t.add(rec(1, 0, 100));
+    failure_event crash;
+    crash.kind = failure_kind::edge_crash;
+    crash.target = 0;
+    crash.at = 50;
+    crash.duration = 20;
+
+    auto cfg = single_edge(content_kind::live, 50);
+    cfg.retry_backoff_mean = 5.0;
+    cfg.failures.add(crash);
+    cfg.failures.finalize();
+    const auto res = run_fleet(t, cfg);
+    // Live: only what remains of the broadcast at re-admission can be
+    // recovered, so delivered < requested but > the pre-cut half.
+    EXPECT_EQ(res.rebuffers, 1U);
+    EXPECT_GE(res.delivered_seconds, 50.0);
+    EXPECT_LT(res.delivered_seconds, 100.0);
+}
+
+TEST(FleetSim, OriginDegradationThrottlesAdmission) {
+    trace t(1000);
+    for (int c = 0; c < 10; ++c) {
+        t.add(rec(static_cast<client_id>(c), 10, 50));
+    }
+    failure_event degrade;
+    degrade.kind = failure_kind::origin_degraded;
+    degrade.at = 0;
+    degrade.duration = 200;
+    degrade.severity = 0.2;
+
+    auto cfg = single_edge(content_kind::live, 0);
+    cfg.edge.max_concurrent_streams = 10;
+    cfg.failures.add(degrade);
+    cfg.failures.finalize();
+    const auto res = run_fleet(t, cfg);
+    // 20% of 10 slots survive the degradation: 2 admitted, 8 turned away.
+    EXPECT_EQ(res.served_first_try, 2U);
+    EXPECT_EQ(res.gave_up, 8U);
+    EXPECT_EQ(res.rejections, 8U);
+    EXPECT_DOUBLE_EQ(res.fleet_availability, 1.0);  // no edge was down
+}
+
+TEST(FleetSim, BitrateStepDownServesWhatWouldBeRejected) {
+    trace t(1000);
+    t.add(rec(1, 0, 100));
+    t.add(rec(2, 0, 100));
+
+    fleet_config cfg;
+    cfg.num_edges = 1;
+    cfg.num_regions = 1;
+    cfg.edge.policy = admission_policy::admit_all;
+    cfg.edge.nic_capacity_bps = 100000.0;  // one 56 kbit stream fits
+    cfg.kind = content_kind::live;
+    cfg.retry_budget = 0;
+
+    const auto rejected = run_fleet(t, cfg);
+    EXPECT_EQ(rejected.served_first_try, 1U);
+    EXPECT_EQ(rejected.lost, 1U);
+
+    cfg.allow_degraded_bitrate = true;
+    cfg.degraded_bitrate_fraction = 0.5;
+    const auto degraded = run_fleet(t, cfg);
+    EXPECT_EQ(degraded.served_first_try, 2U);
+    EXPECT_EQ(degraded.served_degraded, 1U);
+    EXPECT_EQ(degraded.lost, 0U);
+}
+
+TEST(FleetSim, PreferenceOrdersAreDeterministicPermutations) {
+    EXPECT_EQ(fleet_edge_preference(7, 1, 1),
+              std::vector<std::uint32_t>{0});
+    for (as_number asn : {0U, 1U, 17U, 100U, 65535U}) {
+        auto order = fleet_edge_preference(asn, 6, 2);
+        EXPECT_EQ(order, fleet_edge_preference(asn, 6, 2));
+        auto sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted,
+                  (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+        // Nearest-first: the first half of the order is the client's own
+        // region (edges of equal e % 2 parity).
+        EXPECT_EQ(order[0] % 2, order[1] % 2);
+        EXPECT_EQ(order[1] % 2, order[2] % 2);
+    }
+}
+
+TEST(FleetSim, ReplayIsByteIdenticalAndMetricsNeutral) {
+    failure_schedule_config scfg;
+    scfg.num_edges = 4;
+    scfg.num_regions = 2;
+    scfg.horizon = seconds_per_day;
+    scfg.edge_crash_rate_per_day = 24.0;
+    scfg.regional_outage_rate_per_day = 12.0;
+    scfg.origin_degrade_rate_per_day = 6.0;
+    scfg.seed = 9;
+
+    fleet_config cfg;
+    cfg.num_edges = 4;
+    cfg.num_regions = 2;
+    cfg.edge.policy = admission_policy::reject_at_capacity;
+    cfg.edge.max_concurrent_streams = 4;
+    cfg.kind = content_kind::live;
+    cfg.retry_budget = 5;
+    cfg.retry_backoff_mean = 60.0;
+    cfg.allow_degraded_bitrate = true;
+    cfg.failures = failure_schedule::generate(scfg);
+
+    const trace t = regional_burst_trace();
+    const std::string once = report_of(run_fleet(t, cfg));
+    EXPECT_EQ(once, report_of(run_fleet(t, cfg)));
+
+    // Observability must not perturb the simulation.
+    obs::registry reg;
+    cfg.metrics = &reg;
+    EXPECT_EQ(once, report_of(run_fleet(t, cfg)));
+    std::ostringstream json;
+    reg.write_json(json);
+    EXPECT_NE(json.str().find("sim/fleet/requests"), std::string::npos);
+    EXPECT_NE(json.str().find("sim/fleet/availability_ppm"),
+              std::string::npos);
+}
+
+TEST(FleetSim, RejectsBadConfig) {
+    trace empty(0);
+    EXPECT_THROW(run_fleet(empty, fleet_config{}),
+                 lsm::contract_violation);
+
+    trace ok(100);
+    ok.add(rec(1, 0, 10));
+    fleet_config bad;
+    bad.request_timeout = 0;
+    EXPECT_THROW(run_fleet(ok, bad), lsm::contract_violation);
+    bad = fleet_config{};
+    bad.retry_backoff_mean = 0.0;
+    EXPECT_THROW(run_fleet(ok, bad), lsm::contract_violation);
+    bad = fleet_config{};
+    bad.degraded_bitrate_fraction = 0.0;
+    EXPECT_THROW(run_fleet(ok, bad), lsm::contract_violation);
+    bad = fleet_config{};
+    bad.num_edges = 0;
+    EXPECT_THROW(run_fleet(ok, bad), lsm::contract_violation);
+}
+
+}  // namespace
+}  // namespace lsm::sim

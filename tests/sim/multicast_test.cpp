@@ -96,6 +96,35 @@ TEST(Multicast, GeneratedWorkloadSavesDuringPeaks) {
     EXPECT_GT(rep.unicast_bytes, 0.0);
 }
 
+TEST(Multicast, SingleTransferSpanningWholeWindow) {
+    trace t(1000);
+    t.add(rec(1, 0, 0, 1000, 300000.0));
+    multicast_config cfg;
+    cfg.stream_rate_bps = 300000.0;
+    const auto rep = analyze_multicast_savings(t, cfg);
+    // Coverage clamps to the window; one viewer means no savings.
+    ASSERT_EQ(rep.covered_seconds_per_object.size(), 1U);
+    EXPECT_EQ(rep.covered_seconds_per_object[0], 1000);
+    EXPECT_DOUBLE_EQ(rep.savings_factor, 1.0);
+    for (double s : rep.savings_timeline) {
+        EXPECT_DOUBLE_EQ(s, 1.0);
+    }
+}
+
+TEST(Multicast, ZeroDurationTransfersCoverOneSecondAndNoBytes) {
+    trace t(1000);
+    t.add(rec(1, 0, 10, 0));
+    t.add(rec(2, 0, 10, 0));
+    const auto rep = analyze_multicast_savings(t);
+    EXPECT_DOUBLE_EQ(rep.unicast_bytes, 0.0);
+    ASSERT_EQ(rep.covered_seconds_per_object.size(), 1U);
+    // Sub-second views quantized to zero still pin the feed for their
+    // start second — multicast would pay for that second.
+    EXPECT_EQ(rep.covered_seconds_per_object[0], 1);
+    EXPECT_DOUBLE_EQ(rep.mean_audience_while_covered, 2.0);
+    EXPECT_DOUBLE_EQ(rep.savings_factor, 0.0);
+}
+
 TEST(Multicast, RejectsBadInput) {
     trace empty(100);
     EXPECT_THROW(analyze_multicast_savings(empty),
